@@ -1,0 +1,1 @@
+bench/bench_common.ml: Array Filename Float Hashtbl Printf String Suu_algo Suu_core Suu_harness Suu_prob Suu_sim Sys

@@ -1,0 +1,1 @@
+bench/exp_a.ml: Bench_common Hashtbl List Printf Rng Suu_algo Suu_dag Suu_workloads

@@ -1,0 +1,1 @@
+bench/exp_b.ml: Array Bench_common Float List Printf Suu_algo Suu_dag Suu_prob

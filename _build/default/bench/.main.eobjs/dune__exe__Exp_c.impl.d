@@ -1,0 +1,1 @@
+bench/exp_c.ml: Bench_common List Printf Suu_algo Suu_dag

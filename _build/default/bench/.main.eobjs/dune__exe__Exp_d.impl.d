@@ -1,0 +1,1 @@
+bench/exp_d.ml: Array Bench_common Float Printf Rng Suu_algo Suu_core Suu_dag Suu_prob

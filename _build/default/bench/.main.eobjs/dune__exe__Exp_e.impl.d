@@ -1,0 +1,1 @@
+bench/exp_e.ml: Bench_common List Printf Rng Suu_algo Suu_core Suu_dag

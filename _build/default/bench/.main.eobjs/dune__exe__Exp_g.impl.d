@@ -1,0 +1,1 @@
+bench/exp_g.ml: Array Bench_common Float List Printf Rng Suu_algo Suu_core Suu_dag

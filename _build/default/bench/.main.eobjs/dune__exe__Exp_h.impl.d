@@ -1,0 +1,1 @@
+bench/exp_h.ml: Array Bench_common Hashtbl List Printf Queue String Suu_algo Suu_core Suu_sim Suu_workloads

@@ -1,0 +1,1 @@
+bench/exp_j.ml: Array Bench_common List Printf Rng Suu_algo Suu_core Suu_dag Suu_prob

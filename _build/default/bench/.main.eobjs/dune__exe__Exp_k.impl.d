@@ -1,0 +1,1 @@
+bench/exp_k.ml: Array Bench_common Float List Printf Rng Suu_jobshop

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_common Exp_a Exp_b Exp_c Exp_d Exp_e Exp_f Exp_g Exp_h Exp_i Exp_j Exp_k Exp_l List Perf Printf String Sys Unix

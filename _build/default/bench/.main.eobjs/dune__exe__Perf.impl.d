@@ -1,0 +1,1 @@
+bench/perf.ml: Array Bechamel Bench_common Float List Printf Rng Suu_algo Suu_core Suu_dag Suu_flow Suu_jobshop Suu_sim

@@ -1,0 +1,41 @@
+(* EXP-B — Theorem 3.3: SUU-I-ALG is an O(log n) approximation.
+
+   Sweep n for independent jobs, report the ratio to the best lower bound,
+   and fit ratio against log2 n. The reproduced shape: the ratio grows at
+   most logarithmically (in practice the fitted slope is small and the
+   ratio stays far below the proven constant). *)
+
+open Bench_common
+
+let run () =
+  section "EXP-B: SUU-I-ALG scaling on independent jobs (Theorem 3.3)";
+  let m = 8 in
+  let points = ref [] in
+  let rows =
+    List.map
+      (fun n ->
+        let inst =
+          uniform_instance (master_seed + n) ~n ~m ~lo:0.1 ~hi:0.9
+            (Suu_dag.Dag.empty n)
+        in
+        let lb = lower_bound inst in
+        let mean, ci = mean_makespan inst (Suu_algo.Suu_i.policy inst) in
+        let ratio = mean /. lb in
+        points := (log2 (Float.of_int n), ratio) :: !points;
+        [
+          string_of_int n;
+          Printf.sprintf "%.2f" lb;
+          Printf.sprintf "%.2f ±%.2f" mean ci;
+          Printf.sprintf "%.2f" ratio;
+        ])
+      [ 8; 16; 32; 64; 128; 256; 512 ]
+  in
+  table ~title:"EXP-B ratio vs n (m = 8)"
+    ~header:[ "n"; "LB"; "E[makespan]"; "ratio" ]
+    rows;
+  let slope, intercept = Suu_prob.Stats.linear_fit (Array.of_list !points) in
+  let r2 =
+    Suu_prob.Stats.r_squared (Array.of_list !points) (slope, intercept)
+  in
+  note "fit: ratio = %.3f * log2(n) + %.3f (r^2 = %.3f)" slope intercept r2;
+  note "Theorem 3.3 predicts at most logarithmic growth; slope should be small."

@@ -1,0 +1,63 @@
+(* EXP-F — Theorems 4.7 and 4.8: trees and directed forests.
+
+   For out-trees, in-trees and polytree forests across sizes: the chain
+   decomposition width against the Lemma 4.6 bound, and the measured
+   ratios. Reproduced shape: width <= bound (log-shaped growth), pipeline
+   ratios within the polylog envelope, adaptive heuristic well below. *)
+
+open Bench_common
+module CD = Suu_dag.Chain_decomp
+module Pipeline = Suu_algo.Pipeline
+
+let dag_for rng kind n =
+  match kind with
+  | "out-tree" -> Suu_dag.Gen.out_forest rng ~n ~trees:1
+  | "in-tree" -> Suu_dag.Gen.in_forest rng ~n ~trees:1
+  | "binary-out" -> Suu_dag.Gen.binary_out_tree ~n
+  | "polytree" -> Suu_dag.Gen.polytree_forest rng ~n ~trees:2
+  | other -> invalid_arg other
+
+let build_for inst kind =
+  if kind = "polytree" then Suu_algo.Forest.build inst
+  else Suu_algo.Trees.build inst
+
+let run () =
+  section "EXP-F: trees and forests (Theorems 4.7, 4.8; Lemma 4.6)";
+  let m = 6 in
+  let rows = ref [] in
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun n ->
+          let rng = Rng.create (master_seed + n) in
+          let dag = dag_for (Rng.split rng) kind n in
+          let inst =
+            uniform_instance (master_seed + (11 * n)) ~n ~m ~lo:0.15 ~hi:0.9 dag
+          in
+          let decomp = CD.decompose dag in
+          let bound = CD.width_bound dag decomp.CD.mode in
+          let lb = lower_bound inst in
+          let build = build_for inst kind in
+          let policy =
+            Suu_core.Policy.of_oblivious "pipeline" build.Pipeline.schedule
+          in
+          let r p = fst (mean_makespan inst p) /. lb in
+          rows :=
+            [
+              kind;
+              string_of_int n;
+              string_of_int (CD.width decomp);
+              string_of_int bound;
+              Printf.sprintf "%.2f" (r policy);
+              Printf.sprintf "%.2f" (r (Suu_algo.Suu_i.policy inst));
+              Printf.sprintf "%.2f"
+                (r (Suu_algo.Baselines.serial_all_machines inst));
+            ]
+            :: !rows)
+        [ 15; 31; 63 ])
+    [ "out-tree"; "binary-out"; "in-tree"; "polytree" ];
+  table ~title:"EXP-F trees & forests"
+    ~header:
+      [ "dag"; "n"; "width"; "bound"; "pipeline"; "adaptive"; "serial" ]
+    (List.rev !rows);
+  note "width column must stay <= bound (Lemma 4.6)."

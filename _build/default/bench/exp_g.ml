@@ -1,0 +1,157 @@
+(* EXP-G — ablations of the pipeline's design choices.
+
+   On one fixed chain instance:
+   (1) the random-delay step: best-of-K search budget and delay range vs
+       the resulting congestion and flattened length;
+   (2) the per-step replication factor σ: schedule length vs reliability
+       (timeouts are absorbed by the fallback tail, visible as a longer
+       measured makespan);
+   (3) paper constants vs tuned constants end to end. *)
+
+open Bench_common
+module Pipeline = Suu_algo.Pipeline
+module Delay = Suu_algo.Delay
+module Oblivious = Suu_core.Oblivious
+
+let instance () =
+  let rng = Rng.create (master_seed + 77) in
+  let n = 24 and m = 6 in
+  let dag = Suu_dag.Gen.chains (Rng.split rng) ~n ~chains:6 in
+  uniform_instance (master_seed + 78) ~n ~m ~lo:0.1 ~hi:0.9 dag
+
+let delay_ablation inst =
+  let chains = Suu_dag.Classify.chain_partition (Suu_core.Instance.dag inst) in
+  let frac = Suu_algo.Lp_relax.solve_chains inst ~chains in
+  let integral = Suu_algo.Rounding.round inst frac in
+  let pseudos = Suu_algo.Rounding.chain_pseudos inst integral in
+  let pi_max =
+    Suu_core.Pseudo.load (Suu_core.Pseudo.overlay pseudos)
+  in
+  let rows =
+    List.map
+      (fun (label, tries, ranges) ->
+        let _, choice =
+          Delay.choose (Rng.create 1234) ~tries ~ranges pseudos
+        in
+        [
+          label;
+          string_of_int tries;
+          string_of_int choice.Delay.congestion;
+          string_of_int choice.Delay.flattened_length;
+        ])
+      [
+        ("no delay", 1, [ 0 ]);
+        ("paper: 1 draw in [0,Pi_max]", 1, [ pi_max ]);
+        ("best-of-4, auto ranges", 4, Delay.auto_ranges pseudos);
+        ("best-of-16, auto ranges", 16, Delay.auto_ranges pseudos);
+        ("best-of-64, auto ranges", 64, Delay.auto_ranges pseudos);
+      ]
+  in
+  let _, der = Delay.derandomized pseudos in
+  let rows =
+    rows
+    @ [
+        [
+          "derandomized (cond. expectations)";
+          "-";
+          string_of_int der.Delay.congestion;
+          string_of_int der.Delay.flattened_length;
+        ];
+      ]
+  in
+  table ~title:"EXP-G.1 delay search (Pi_max as paper range)"
+    ~header:[ "strategy"; "K"; "congestion"; "flattened length" ]
+    rows
+
+let sigma_ablation inst =
+  let lb = lower_bound inst in
+  let rows =
+    List.map
+      (fun sigma ->
+        let params = { Pipeline.default_params with Pipeline.sigma = `Fixed sigma } in
+        let build = Suu_algo.Chains.build ~params inst in
+        let policy = Suu_core.Policy.of_oblivious "suu-c" build.Pipeline.schedule in
+        let mean, ci = mean_makespan inst policy in
+        [
+          string_of_int sigma;
+          string_of_int
+            (Oblivious.prefix_length build.Pipeline.schedule);
+          Printf.sprintf "%.2f ±%.2f" mean ci;
+          Printf.sprintf "%.2f" (mean /. lb);
+        ])
+      [ 1; 2; 4; 8; 16 ]
+  in
+  table
+    ~title:"EXP-G.2 replication factor (low sigma = shorter plan, more fallback)"
+    ~header:[ "sigma"; "schedule length"; "E[makespan]"; "ratio" ]
+    rows
+
+let constants_ablation inst =
+  let lb = lower_bound inst in
+  let rows =
+    List.map
+      (fun (label, params) ->
+        let build = Suu_algo.Chains.build ~params inst in
+        let d = build.Pipeline.diagnostics in
+        let policy = Suu_core.Policy.of_oblivious "suu-c" build.Pipeline.schedule in
+        let mean, _ = mean_makespan inst policy in
+        [
+          label;
+          string_of_int d.Pipeline.scale;
+          string_of_int d.Pipeline.congestion;
+          string_of_int d.Pipeline.core_length;
+          string_of_int d.Pipeline.sigma;
+          Printf.sprintf "%.2f" (mean /. lb);
+        ])
+      [
+        ("tuned", Pipeline.default_params);
+        ("paper", Pipeline.paper_params);
+      ]
+  in
+  table ~title:"EXP-G.3 paper vs tuned constants"
+    ~header:[ "constants"; "s"; "cong"; "core"; "sigma"; "ratio" ]
+    rows
+
+let rounding_ablation inst =
+  let chains = Suu_dag.Classify.chain_partition (Suu_core.Instance.dag inst) in
+  let frac = Suu_algo.Lp_relax.solve_chains inst ~chains in
+  let summarise label integral =
+    let loads = Array.map (Array.fold_left ( + ) 0) integral.Suu_algo.Rounding.x in
+    let max_load = Array.fold_left max 0 loads in
+    let worst_mass =
+      List.fold_left
+        (fun acc j -> Float.min acc integral.Suu_algo.Rounding.mass.(j))
+        infinity integral.Suu_algo.Rounding.jobs
+    in
+    let window_sum =
+      List.fold_left
+        (fun acc j -> acc + integral.Suu_algo.Rounding.window.(j))
+        0 integral.Suu_algo.Rounding.jobs
+    in
+    [
+      label;
+      string_of_int max_load;
+      string_of_int window_sum;
+      Printf.sprintf "%.2f" worst_mass;
+    ]
+  in
+  table
+    ~title:"EXP-G.4 rounding method (same LP solution)"
+    ~header:[ "method"; "max machine load"; "sum of windows"; "min job mass" ]
+    [
+      summarise "Thm 4.1 (tuned)" (Suu_algo.Rounding.round inst frac);
+      summarise "Thm 4.1 (paper)"
+        (Suu_algo.Rounding.round ~constants:`Paper inst frac);
+      summarise "randomized + repair"
+        (Suu_algo.Rounding.randomized (Rng.create 77) inst frac);
+    ]
+
+let run () =
+  section "EXP-G: ablations (delay search, replication, constants)";
+  let inst = instance () in
+  delay_ablation inst;
+  sigma_ablation inst;
+  constants_ablation inst;
+  rounding_ablation inst;
+  note "expected: delays cut congestion; sigma trades length vs reliability;";
+  note "paper constants are valid but much longer than tuned ones."

@@ -1,0 +1,119 @@
+(* EXP-H — the paper's Figure 1 as an executable exhibit.
+
+   Left diagram: the Markov chain of a regimen on a 3-job instance —
+   every reachable unfinished-set state, the regimen's assignment in that
+   state, and the transition probabilities. Right diagram: the first two
+   levels of the execution tree. Plus the exact expected makespan and the
+   makespan CDF of the chain. *)
+
+open Bench_common
+module Instance = Suu_core.Instance
+module Exact = Suu_sim.Exact
+
+let job_set_name n mask =
+  if mask = 0 then "{}"
+  else begin
+    let names =
+      List.filter_map
+        (fun j -> if mask land (1 lsl j) <> 0 then Some (string_of_int (j + 1)) else None)
+        (List.init n (fun j -> j))
+    in
+    "{" ^ String.concat "," names ^ "}"
+  end
+
+let run () =
+  section "EXP-H: Figure 1 - Markov chain and execution tree of a regimen";
+  let w = Suu_workloads.Workload.figure1 () in
+  let inst = w.Suu_workloads.Workload.instance in
+  let n = Instance.n inst in
+  note "%s" w.Suu_workloads.Workload.description;
+  let opt = Suu_algo.Malewicz.optimal inst in
+  note "optimal regimen TOPT = %.4f (%d reachable states)"
+    opt.Suu_algo.Malewicz.value opt.Suu_algo.Malewicz.states;
+  let decide = opt.Suu_algo.Malewicz.policy.Suu_core.Policy.fresh () in
+  let regimen mask =
+    decide
+      {
+        Suu_core.Policy.step = 0;
+        unfinished = Array.init n (fun j -> mask land (1 lsl j) <> 0);
+        eligible = Array.init n (fun j -> mask land (1 lsl j) <> 0);
+      }
+  in
+  (* Markov chain: enumerate states reachable from the full set. *)
+  let full = Exact.full_mask inst in
+  let seen = Hashtbl.create 16 in
+  let queue = Queue.create () in
+  Queue.add full queue;
+  Hashtbl.add seen full ();
+  let rows = ref [] in
+  while not (Queue.is_empty queue) do
+    let mask = Queue.pop queue in
+    if mask <> 0 then begin
+      let a = regimen mask in
+      let dist = Exact.step_distribution inst ~mask a in
+      let transitions =
+        List.filter_map
+          (fun (mask', p) ->
+            if p > 1e-12 then
+              Some (Printf.sprintf "%s:%.3f" (job_set_name n mask') p)
+            else None)
+          (List.sort (fun (a, _) (b, _) -> compare b a) dist)
+      in
+      let assignment =
+        String.concat " "
+          (Array.to_list
+             (Array.mapi
+                (fun i j ->
+                  if j < 0 then Printf.sprintf "m%d:idle" (i + 1)
+                  else Printf.sprintf "m%d->j%d" (i + 1) (j + 1))
+                a))
+      in
+      rows :=
+        [ job_set_name n mask; assignment; String.concat " " transitions ]
+        :: !rows;
+      List.iter
+        (fun (mask', p) ->
+          if p > 1e-12 && not (Hashtbl.mem seen mask') then begin
+            Hashtbl.add seen mask' ();
+            Queue.add mask' queue
+          end)
+        dist
+    end
+  done;
+  table
+    ~title:"EXP-H.1 Markov chain of the optimal regimen (Figure 1, left)"
+    ~header:[ "state"; "assignment"; "transitions" ]
+    (List.rev !rows);
+  (* Execution tree, two levels (Figure 1, right). *)
+  note "";
+  note "EXP-H.2 execution tree, two levels (Figure 1, right):";
+  let print_level prefix mask prob depth =
+    let rec go prefix mask prob depth =
+      Printf.printf "%s%s  (prob %.4f)\n" prefix (job_set_name n mask) prob;
+      if depth > 0 && mask <> 0 then begin
+        let a = regimen mask in
+        List.iter
+          (fun (mask', p) ->
+            if p > 1e-12 then go (prefix ^ "  ") mask' (prob *. p) (depth - 1))
+          (Exact.step_distribution inst ~mask a)
+      end
+    in
+    go prefix mask prob depth
+  in
+  print_level "  " full 1. 2;
+  (* CDF of the makespan. *)
+  let regimen_of_flags unfinished =
+    let mask = ref 0 in
+    Array.iteri (fun j u -> if u then mask := !mask lor (1 lsl j)) unfinished;
+    regimen !mask
+  in
+  let cdf =
+    Exact.makespan_distribution_regimen inst regimen_of_flags ~horizon:12
+  in
+  let rows =
+    List.map
+      (fun t -> [ string_of_int t; Printf.sprintf "%.4f" cdf.(t) ])
+      (List.init 13 (fun t -> t))
+  in
+  table ~title:"EXP-H.3 P(makespan <= t), exact"
+    ~header:[ "t"; "P" ] rows

@@ -1,0 +1,56 @@
+(* EXP-J — Lemma 4.2: T*(LP1) <= 16 TOPT, i.e. T*/16 is a valid lower
+   bound. On small instances with exact TOPT we report the distribution
+   of T*/TOPT — it must stay <= 16 (validity) — and of TOPT/(T*/16),
+   which measures how loose the LP bound is in practice. *)
+
+open Bench_common
+module Lp_relax = Suu_algo.Lp_relax
+
+let run () =
+  section "EXP-J: the (LP1) bound vs exact TOPT (Lemma 4.2)";
+  let samples = 60 in
+  let ratios = ref [] in
+  let loose = ref [] in
+  let attempted = ref 0 in
+  let rng = Rng.create (master_seed + 99) in
+  while List.length !ratios < samples && !attempted < samples * 3 do
+    incr attempted;
+    let n = 2 + Rng.int rng 4 and m = 1 + Rng.int rng 3 in
+    let chains_count = 1 + Rng.int rng n in
+    let dag = Suu_dag.Gen.chains (Rng.split rng) ~n ~chains:chains_count in
+    let inst =
+      uniform_instance (Rng.int rng 1_000_000) ~n ~m ~lo:0.15 ~hi:0.9 dag
+    in
+    match Suu_algo.Malewicz.optimal_value inst with
+    | exception Suu_algo.Malewicz.Too_expensive _ -> ()
+    | topt ->
+        let chains =
+          Suu_dag.Classify.chain_partition (Suu_core.Instance.dag inst)
+        in
+        let t_star = (Lp_relax.solve_chains inst ~chains).Lp_relax.t_star in
+        ratios := (t_star /. topt) :: !ratios;
+        loose := (topt /. (t_star /. 16.)) :: !loose
+  done;
+  let rs = Suu_prob.Stats.summarize (Array.of_list !ratios) in
+  let ls = Suu_prob.Stats.summarize (Array.of_list !loose) in
+  table ~title:"EXP-J T*(LP1) vs exact TOPT"
+    ~header:[ "quantity"; "instances"; "min"; "mean"; "max"; "limit" ]
+    [
+      [
+        "T*/TOPT (validity, <= 16)";
+        string_of_int rs.Suu_prob.Stats.count;
+        Printf.sprintf "%.3f" rs.Suu_prob.Stats.min;
+        Printf.sprintf "%.3f" rs.Suu_prob.Stats.mean;
+        Printf.sprintf "%.3f" rs.Suu_prob.Stats.max;
+        "16.000";
+      ];
+      [
+        "TOPT/(T*/16) (looseness)";
+        string_of_int ls.Suu_prob.Stats.count;
+        Printf.sprintf "%.2f" ls.Suu_prob.Stats.min;
+        Printf.sprintf "%.2f" ls.Suu_prob.Stats.mean;
+        Printf.sprintf "%.2f" ls.Suu_prob.Stats.max;
+        "-";
+      ];
+    ];
+  note "reproduced if max of the first row <= 16 (Lemma 4.2)."

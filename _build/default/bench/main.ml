@@ -1,0 +1,48 @@
+(* Experiment suite entry point: regenerates every exhibit of the paper
+   (see DESIGN.md §3 for the experiment index and EXPERIMENTS.md for the
+   recorded paper-vs-measured readings).
+
+   Usage:
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- exp-a perf   # a subset
+     SUU_BENCH_TRIALS=40 dune exec bench/main.exe   # faster, noisier *)
+
+let experiments =
+  [
+    ("exp-a", Exp_a.run);
+    ("exp-b", Exp_b.run);
+    ("exp-c", Exp_c.run);
+    ("exp-d", Exp_d.run);
+    ("exp-e", Exp_e.run);
+    ("exp-f", Exp_f.run);
+    ("exp-g", Exp_g.run);
+    ("exp-h", Exp_h.run);
+    ("exp-i", Exp_i.run);
+    ("exp-j", Exp_j.run);
+    ("exp-k", Exp_k.run);
+    ("exp-l", Exp_l.run);
+    ("perf", Perf.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  Printf.printf
+    "SUU experiment suite (Lin-Rajaraman SPAA'07 reproduction); trials=%d\n"
+    Bench_common.trials;
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some run ->
+          let start = Unix.gettimeofday () in
+          run ();
+          Printf.printf "[%s done in %.1fs]\n%!" name
+            (Unix.gettimeofday () -. start)
+      | None ->
+          Printf.eprintf "unknown experiment %s (available: %s)\n" name
+            (String.concat " " (List.map fst experiments));
+          exit 1)
+    requested

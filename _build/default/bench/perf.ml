@@ -1,0 +1,133 @@
+(* PERF — Bechamel micro-benchmarks of every major component: one
+   Test.make per substrate/stage, reported as estimated ns per run. *)
+
+open Bench_common
+module Test = Bechamel.Test
+module Staged = Bechamel.Staged
+
+let witness = Bechamel.Toolkit.Instance.monotonic_clock
+
+let indep_instance n m =
+  uniform_instance (master_seed + 123) ~n ~m ~lo:0.1 ~hi:0.9
+    (Suu_dag.Dag.empty n)
+
+let chain_instance n m chains =
+  let dag = Suu_dag.Gen.chains (Rng.create 17) ~n ~chains in
+  uniform_instance (master_seed + 124) ~n ~m ~lo:0.1 ~hi:0.9 dag
+
+let tests () =
+  let inst64 = indep_instance 64 16 in
+  let jobs64 = Array.make 64 true in
+  let chain_inst = chain_instance 20 5 4 in
+  let chains = Suu_dag.Classify.chain_partition (Suu_core.Instance.dag chain_inst) in
+  let frac = Suu_algo.Lp_relax.solve_chains chain_inst ~chains in
+  let integral = Suu_algo.Rounding.round chain_inst frac in
+  let pseudos = Suu_algo.Rounding.chain_pseudos chain_inst integral in
+  let big_tree = Suu_dag.Gen.binary_out_tree ~n:1023 in
+  let policy = Suu_algo.Suu_i.policy inst64 in
+  let tiny = indep_instance 8 2 in
+  [
+    Test.make ~name:"msm_alg n=64 m=16"
+      (Staged.stage (fun () -> Suu_algo.Msm.assign inst64 ~jobs:jobs64));
+    Test.make ~name:"msm_e_alg n=64 m=16 t=1000"
+      (Staged.stage (fun () ->
+           Suu_algo.Msm_ext.allocate inst64 ~jobs:jobs64 ~t:1000));
+    Test.make ~name:"lp1 solve n=20 m=5"
+      (Staged.stage (fun () -> Suu_algo.Lp_relax.solve_chains chain_inst ~chains));
+    Test.make ~name:"rounding n=20 m=5"
+      (Staged.stage (fun () -> Suu_algo.Rounding.round chain_inst frac));
+    Test.make ~name:"delay best-of-8"
+      (Staged.stage (fun () ->
+           Suu_algo.Delay.choose (Rng.create 3) ~tries:8
+             ~ranges:(Suu_algo.Delay.auto_ranges pseudos)
+             pseudos));
+    Test.make ~name:"chain_decomp n=1023"
+      (Staged.stage (fun () -> Suu_dag.Chain_decomp.decompose big_tree));
+    Test.make ~name:"simulate run n=64 m=16 (adaptive)"
+      (Staged.stage (fun () ->
+           Suu_sim.Engine.run (Rng.create 5) inst64 policy));
+    Test.make ~name:"malewicz dp n=8 m=2"
+      (Staged.stage (fun () -> Suu_algo.Malewicz.optimal_value tiny));
+    Test.make ~name:"200 MC trials sequential (n=64 m=16)"
+      (Staged.stage (fun () ->
+           Suu_sim.Engine.estimate_makespan ~trials:200 (Rng.create 3) inst64
+             policy));
+    Test.make ~name:"200 MC trials on 4 domains (n=64 m=16)"
+      (Staged.stage (fun () ->
+           Suu_sim.Engine.estimate_makespan_parallel ~domains:4 ~trials:200
+             ~seed:3 inst64 policy));
+    Test.make ~name:"jobshop derandomized delays 16x48"
+      (Staged.stage
+         (let shop =
+            Suu_jobshop.Jobshop.create ~machines:16
+              (Array.init 48 (fun j ->
+                   List.init 5 (fun k ->
+                       {
+                         Suu_jobshop.Jobshop.machine = (j + k) mod 16;
+                         duration = 1 + (k mod 2);
+                       })))
+          in
+          fun () -> Suu_jobshop.Jobshop.derandomized_delay shop));
+    Test.make ~name:"maxflow clrs-style 200 nodes"
+      (Staged.stage (fun () ->
+           let g = Suu_flow.Maxflow.create 200 in
+           let rng = Rng.create 11 in
+           for _ = 1 to 800 do
+             let u = Rng.int rng 200 and v = Rng.int rng 200 in
+             if u <> v then
+               ignore
+                 (Suu_flow.Maxflow.add_edge g ~src:u ~dst:v
+                    ~cap:(1 + Rng.int rng 20)
+                   : Suu_flow.Maxflow.edge)
+           done;
+           Suu_flow.Maxflow.max_flow g ~source:0 ~sink:199));
+  ]
+
+let human_ns ns =
+  if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+let run () =
+  section "PERF: Bechamel micro-benchmarks (ns per run, OLS estimate)";
+  let cfg =
+    Bechamel.Benchmark.cfg ~limit:2000
+      ~quota:(Bechamel.Time.second 0.5)
+      ~kde:None ()
+  in
+  let rows = ref [] in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Bechamel.Benchmark.run cfg [ witness ] elt in
+          let ols =
+            Bechamel.Analyze.OLS.ols ~bootstrap:0 ~r_square:true
+              ~responder:(Bechamel.Measure.label witness)
+              ~predictors:[| Bechamel.Measure.run |]
+              raw.Bechamel.Benchmark.lr
+          in
+          let estimate =
+            match Bechamel.Analyze.OLS.estimates ols with
+            | Some [ e ] -> e
+            | _ -> Float.nan
+          in
+          let r2 =
+            match Bechamel.Analyze.OLS.r_square ols with
+            | Some r -> r
+            | None -> Float.nan
+          in
+          rows :=
+            [
+              Test.Elt.name elt;
+              human_ns estimate;
+              Printf.sprintf "%.4f" r2;
+              string_of_int raw.Bechamel.Benchmark.stats.Bechamel.Benchmark.samples;
+            ]
+            :: !rows)
+        (Test.elements test))
+    (tests ());
+  table ~title:"PERF component timings"
+    ~header:[ "component"; "time/run"; "r^2"; "samples" ]
+    (List.rev !rows)

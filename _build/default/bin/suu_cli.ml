@@ -1,0 +1,270 @@
+(* suu: command-line front end.
+
+   Subcommands:
+     gen       generate a workload instance and write it to a file
+     info      classify an instance and print its lower bounds
+     solve     build a schedule for an instance and estimate its makespan
+     exact     optimal expected makespan via Malewicz's DP (small instances)
+     simulate  trace one execution of a policy step by step *)
+
+open Cmdliner
+
+let instance_arg =
+  let doc = "Instance file (format written by 'suu gen')." in
+  Arg.(required & opt (some file) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let trials_arg =
+  let doc = "Monte-Carlo trials." in
+  Arg.(value & opt int 200 & info [ "trials" ] ~docv:"K" ~doc)
+
+let workloads =
+  [
+    "grid-batch";
+    "grid-workflow";
+    "grid-divide";
+    "grid-aggregate";
+    "project";
+    "adversarial-spread";
+    "figure1";
+  ]
+
+let gen_workload name rng ~n ~m =
+  let module W = Suu_workloads.Workload in
+  match name with
+  | "grid-batch" -> W.grid_batch rng ~n ~m
+  | "grid-workflow" -> W.grid_workflow rng ~n ~m ~stages:4
+  | "grid-divide" -> W.grid_divide rng ~n ~m
+  | "grid-aggregate" -> W.grid_aggregate rng ~n ~m
+  | "project" -> W.project rng ~n ~m
+  | "adversarial-spread" -> W.adversarial_spread ~n ~m
+  | "figure1" -> W.figure1 ()
+  | other -> failwith ("unknown workload: " ^ other)
+
+let gen_cmd =
+  let workload_arg =
+    let doc =
+      "Workload family: " ^ String.concat ", " workloads ^ "."
+    in
+    Arg.(
+      value
+      & opt (enum (List.map (fun w -> (w, w)) workloads)) "grid-batch"
+      & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+  in
+  let n_arg =
+    Arg.(value & opt int 20 & info [ "n"; "jobs" ] ~docv:"N" ~doc:"Number of jobs.")
+  in
+  let m_arg =
+    Arg.(
+      value & opt int 6 & info [ "m"; "machines" ] ~docv:"M" ~doc:"Number of machines.")
+  in
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output instance file.")
+  in
+  let run workload n m seed out =
+    let rng = Suu_prob.Rng.create seed in
+    let w = gen_workload workload rng ~n ~m in
+    Suu_harness.Io.save out w.Suu_workloads.Workload.instance;
+    Printf.printf "wrote %s: %s\n" out w.Suu_workloads.Workload.description
+  in
+  let term = Term.(const run $ workload_arg $ n_arg $ m_arg $ seed_arg $ out_arg) in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate a workload instance") term
+
+let print_info inst =
+  let dag = Suu_core.Instance.dag inst in
+  Printf.printf "jobs:      %d\n" (Suu_core.Instance.n inst);
+  Printf.printf "machines:  %d\n" (Suu_core.Instance.m inst);
+  Printf.printf "edges:     %d\n" (Suu_dag.Dag.edge_count dag);
+  Printf.printf "class:     %s\n"
+    (Suu_dag.Classify.to_string (Suu_dag.Classify.classify dag));
+  Printf.printf "width:     %d\n" (Suu_dag.Dag.width dag);
+  Printf.printf "crit path: %d jobs\n" (Suu_dag.Dag.longest_path dag);
+  let bounds = Suu_algo.Bounds.compute inst in
+  Format.printf "bounds:    %a@." Suu_algo.Bounds.pp bounds
+
+let info_cmd =
+  let run file = print_info (Suu_harness.Io.load file) in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Classify an instance and print lower bounds")
+    Term.(const run $ instance_arg)
+
+let decompose_cmd =
+  let run file =
+    let inst = Suu_harness.Io.load file in
+    let dag = Suu_core.Instance.dag inst in
+    match Suu_dag.Classify.classify dag with
+    | Suu_dag.Classify.General ->
+        Printf.printf "class: general (not a directed forest)\n";
+        Printf.printf "level decomposition (layered heuristic blocks):\n";
+        List.iteri
+          (fun k level ->
+            Printf.printf "  level %d: %s\n" k
+              (String.concat " " (List.map string_of_int level)))
+          (Suu_algo.Layered.levels dag)
+    | shape ->
+        Printf.printf "class: %s\n" (Suu_dag.Classify.to_string shape);
+        let d = Suu_dag.Chain_decomp.decompose dag in
+        Printf.printf "chain decomposition: %d blocks (bound %d)\n"
+          (Suu_dag.Chain_decomp.width d)
+          (Suu_dag.Chain_decomp.width_bound dag d.Suu_dag.Chain_decomp.mode);
+        Array.iteri
+          (fun b chains ->
+            Printf.printf "  block %d: %s\n" b
+              (String.concat " | "
+                 (List.map
+                    (fun c -> String.concat "->" (List.map string_of_int c))
+                    chains)))
+          d.Suu_dag.Chain_decomp.blocks
+  in
+  Cmd.v
+    (Cmd.info "decompose"
+       ~doc:"Print the chain decomposition (Lemma 4.6) of an instance's DAG")
+    Term.(const run $ instance_arg)
+
+let algo_names = [ "auto"; "adaptive"; "oblivious"; "baselines" ]
+
+let solve_cmd =
+  let algo_arg =
+    let doc = "Algorithm: auto|adaptive|oblivious|baselines." in
+    Arg.(
+      value
+      & opt (enum (List.map (fun a -> (a, a)) algo_names)) "auto"
+      & info [ "a"; "algo" ] ~docv:"ALGO" ~doc)
+  in
+  let run file algo trials seed =
+    let inst = Suu_harness.Io.load file in
+    let bounds = Suu_algo.Bounds.compute inst in
+    let lb = Suu_algo.Bounds.best bounds in
+    let policies =
+      match algo with
+      | "adaptive" -> [ Suu_algo.Solver.solve ~kind:`Adaptive inst ]
+      | "oblivious" -> [ Suu_algo.Solver.solve ~kind:`Oblivious inst ]
+      | "baselines" -> Suu_algo.Baselines.all ~seed inst
+      | _ -> (
+          [ Suu_algo.Solver.solve ~kind:`Adaptive inst ]
+          @
+          match Suu_algo.Solver.solve ~kind:`Oblivious inst with
+          | p -> [ p ]
+          | exception Suu_algo.Solver.Unsupported _ -> [])
+    in
+    let ms =
+      Suu_harness.Experiment.compare_policies ~trials ~seed inst
+        ~lower_bound:lb policies
+    in
+    Format.printf "bounds: %a@." Suu_algo.Bounds.pp bounds;
+    Suu_harness.Table.print ~title:"expected makespan"
+      ~header:Suu_harness.Experiment.row_header
+      (List.map Suu_harness.Experiment.row ms)
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Schedule an instance and estimate the makespan")
+    Term.(const run $ instance_arg $ algo_arg $ trials_arg $ seed_arg)
+
+let exact_cmd =
+  let run file =
+    let inst = Suu_harness.Io.load file in
+    match Suu_algo.Malewicz.optimal inst with
+    | r ->
+        Printf.printf "TOPT = %.6f (%d states)\n" r.Suu_algo.Malewicz.value
+          r.Suu_algo.Malewicz.states
+    | exception Suu_algo.Malewicz.Too_expensive msg ->
+        Printf.eprintf "too expensive: %s\n" msg;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "exact" ~doc:"Optimal expected makespan (Malewicz DP)")
+    Term.(const run $ instance_arg)
+
+let plan_cmd =
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output plan file.")
+  in
+  let run file out =
+    let inst = Suu_harness.Io.load file in
+    let sched =
+      match Suu_dag.Classify.classify (Suu_core.Instance.dag inst) with
+      | Suu_dag.Classify.Independent -> Suu_algo.Lp_indep.schedule inst
+      | Suu_dag.Classify.Chains -> Suu_algo.Chains.schedule inst
+      | Suu_dag.Classify.Out_trees | Suu_dag.Classify.In_trees ->
+          Suu_algo.Trees.schedule inst
+      | Suu_dag.Classify.Forest -> Suu_algo.Forest.schedule inst
+      | Suu_dag.Classify.General -> Suu_algo.Layered.schedule inst
+    in
+    Suu_harness.Io.save_schedule out sched;
+    Printf.printf "wrote %s: %d prefix steps, %d cycle steps (%s)\n" out
+      (Suu_core.Oblivious.prefix_length sched)
+      (Suu_core.Oblivious.cycle_length sched)
+      (Suu_algo.Solver.algorithm_name ~allow_heuristic:true inst)
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:"Compute an oblivious schedule and write it to a plan file")
+    Term.(const run $ instance_arg $ out_arg)
+
+let simulate_cmd =
+  let plan_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "plan" ] ~docv:"FILE"
+          ~doc:"Replay a plan file instead of the adaptive policy.")
+  in
+  let gantt_arg =
+    Arg.(
+      value & flag
+      & info [ "gantt" ] ~doc:"Render the execution as a Gantt chart.")
+  in
+  let run file plan gantt trials seed =
+    let inst = Suu_harness.Io.load file in
+    let policy =
+      match plan with
+      | Some path ->
+          Suu_core.Policy.of_oblivious "plan"
+            (Suu_harness.Io.load_schedule path)
+      | None -> Suu_algo.Solver.solve ~kind:`Adaptive inst
+    in
+    let rng = Suu_prob.Rng.create seed in
+    let history = Suu_sim.Engine.trace rng inst policy in
+    if gantt then
+      print_string
+        (Suu_harness.Gantt.of_trace ~m:(Suu_core.Instance.m inst) history)
+    else
+      List.iter
+        (fun (t, a, completed) ->
+          Format.printf "step %3d  %a  done: %s@." t Suu_core.Assignment.pp a
+            (String.concat "," (List.map string_of_int completed)))
+        history;
+    let e = Suu_sim.Engine.estimate_makespan ~trials rng inst policy in
+    Format.printf "E[makespan] over %d trials: %.2f ±%.2f@." trials
+      e.Suu_sim.Engine.stats.Suu_prob.Stats.mean
+      e.Suu_sim.Engine.stats.Suu_prob.Stats.ci95
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Trace one execution step by step (adaptive, or a saved plan)")
+    Term.(const run $ instance_arg $ plan_arg $ gantt_arg $ trials_arg $ seed_arg)
+
+let () =
+  let doc = "multiprocessor scheduling under uncertainty (Lin-Rajaraman SPAA'07)" in
+  let info = Cmd.info "suu" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            gen_cmd;
+            info_cmd;
+            solve_cmd;
+            exact_cmd;
+            simulate_cmd;
+            decompose_cmd;
+            plan_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/adaptive_vs_oblivious.ml: Format List Printf Suu_algo Suu_dag Suu_harness Suu_prob Suu_workloads

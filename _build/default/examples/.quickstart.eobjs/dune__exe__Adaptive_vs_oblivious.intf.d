@@ -1,0 +1,1 @@
+examples/adaptive_vs_oblivious.mli:

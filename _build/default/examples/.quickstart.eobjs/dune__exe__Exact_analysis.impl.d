@@ -1,0 +1,1 @@
+examples/exact_analysis.ml: Array Float Format List Printf Suu_algo Suu_core Suu_dag Suu_harness Suu_prob Suu_sim

@@ -1,0 +1,1 @@
+examples/exact_analysis.mli:

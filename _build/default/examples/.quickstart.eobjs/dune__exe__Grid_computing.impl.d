@@ -1,0 +1,1 @@
+examples/grid_computing.ml: Format List Suu_algo Suu_harness Suu_prob Suu_workloads

@@ -1,0 +1,1 @@
+examples/online_arrivals.ml: Array Float Format List Printf Suu_algo Suu_harness Suu_prob Suu_sim Suu_workloads

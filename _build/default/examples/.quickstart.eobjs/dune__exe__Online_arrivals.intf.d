@@ -1,0 +1,1 @@
+examples/online_arrivals.mli:

@@ -1,0 +1,1 @@
+examples/project_management.ml: Array Format List Printf String Suu_algo Suu_core Suu_dag Suu_harness Suu_prob Suu_workloads

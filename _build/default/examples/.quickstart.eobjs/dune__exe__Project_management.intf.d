@@ -1,0 +1,1 @@
+examples/project_management.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List String Suu_algo Suu_core Suu_dag Suu_prob Suu_sim

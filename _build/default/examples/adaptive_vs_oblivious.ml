@@ -1,0 +1,64 @@
+(* The adaptivity gap in practice.
+
+   The paper's §2 distinguishes general (adaptive) schedules, regimens and
+   oblivious schedules. Adaptive schedules react to which jobs happen to
+   finish; oblivious schedules fix every step in advance and pay for it —
+   the paper's oblivious bounds carry extra log factors. This example
+   measures that gap on independent jobs as n grows, against the exact
+   optimum where affordable.
+
+   Run with: dune exec examples/adaptive_vs_oblivious.exe *)
+
+let trials = 300
+let seed = 9
+
+let () =
+  Format.printf
+    "independent jobs, m = 4 machines, uniform p in [0.2, 0.9]@.@.";
+  let rows =
+    List.map
+      (fun n ->
+        let rng = Suu_prob.Rng.create (seed + n) in
+        let w =
+          Suu_workloads.Workload.uniform rng ~n ~m:4 ~lo:0.2 ~hi:0.9
+            ~dag:(Suu_dag.Dag.empty n)
+        in
+        let inst = w.Suu_workloads.Workload.instance in
+        let exact =
+          if n <= 8 then
+            match Suu_algo.Malewicz.optimal_value inst with
+            | v -> Some v
+            | exception Suu_algo.Malewicz.Too_expensive _ -> None
+          else None
+        in
+        let bounds = Suu_algo.Bounds.compute inst in
+        let lb =
+          match exact with
+          | Some v -> v
+          | None -> Suu_algo.Bounds.best bounds
+        in
+        let measure policy =
+          (Suu_harness.Experiment.measure ~trials ~seed ~lower_bound:lb inst
+             policy)
+            .Suu_harness.Experiment.ratio
+        in
+        let adaptive = measure (Suu_algo.Suu_i.policy inst) in
+        let obl_greedy = measure (Suu_algo.Suu_i_obl.policy inst) in
+        let obl_lp = measure (Suu_algo.Lp_indep.policy inst) in
+        [
+          string_of_int n;
+          (match exact with Some v -> Printf.sprintf "%.2f" v | None -> "-");
+          Printf.sprintf "%.2f" adaptive;
+          Printf.sprintf "%.2f" obl_greedy;
+          Printf.sprintf "%.2f" obl_lp;
+        ])
+      [ 4; 6; 8; 16; 32; 64 ]
+  in
+  Suu_harness.Table.print ~title:"adaptivity gap (ratios to best bound)"
+    ~header:
+      [ "n"; "TOPT(exact)"; "adaptive"; "oblivious(greedy)"; "oblivious(LP)" ]
+    rows;
+  Format.printf
+    "@.ratios are E[makespan]/LB; the denominator is exact TOPT for n <= 8@.\
+     expected shape: adaptive stays near-constant; oblivious grows slowly@.\
+     (the paper proves O(log n) vs O(log n log min(n,m)) factors).@."

@@ -1,0 +1,46 @@
+(* Grid computing scenarios (paper §1's first motivating application):
+   a heterogeneous pool of machines — reliable, flaky and specialised —
+   executing batches, pipelined workflows, divide-and-conquer trees and
+   aggregation trees. Compares the paper's algorithms to naive baselines.
+
+   Run with: dune exec examples/grid_computing.exe *)
+
+module W = Suu_workloads.Workload
+module E = Suu_harness.Experiment
+
+let trials = 300
+let seed = 2026
+
+let run_scenario (w : W.t) =
+  let inst = w.W.instance in
+  let bounds = Suu_algo.Bounds.compute inst in
+  let lb = Suu_algo.Bounds.best bounds in
+  let ours =
+    [ Suu_algo.Solver.solve ~kind:`Adaptive inst ]
+    @
+    match Suu_algo.Solver.solve ~kind:`Oblivious inst with
+    | p -> [ p ]
+    | exception Suu_algo.Solver.Unsupported _ -> []
+  in
+  let baselines =
+    [
+      Suu_algo.Baselines.greedy_rate inst;
+      Suu_algo.Baselines.round_robin inst;
+      Suu_algo.Baselines.static_best_machine inst;
+    ]
+  in
+  let ms =
+    E.compare_policies ~trials ~seed inst ~lower_bound:lb (ours @ baselines)
+  in
+  Format.printf "@.%s — %s@." w.W.name w.W.description;
+  Format.printf "lower bound on TOPT: %.2f@." lb;
+  Suu_harness.Table.print ~title:w.W.name ~header:E.row_header
+    (List.map E.row ms)
+
+let () =
+  let rng = Suu_prob.Rng.create seed in
+  let n = 32 and m = 8 in
+  run_scenario (W.grid_batch (Suu_prob.Rng.split rng) ~n ~m);
+  run_scenario (W.grid_workflow (Suu_prob.Rng.split rng) ~n ~m ~stages:4);
+  run_scenario (W.grid_divide (Suu_prob.Rng.split rng) ~n ~m);
+  run_scenario (W.grid_aggregate (Suu_prob.Rng.split rng) ~n ~m)

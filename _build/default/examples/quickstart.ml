@@ -1,0 +1,60 @@
+(* Quickstart: build an SUU instance by hand, schedule it, and measure.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Instance = Suu_core.Instance
+module Dag = Suu_dag.Dag
+
+let () =
+  (* Four unit jobs. Job 0 must run before jobs 1 and 2 (a small fork);
+     job 3 is independent. Two machines with different strengths:
+     machine 0 is good at jobs 0 and 3, machine 1 at jobs 1 and 2. *)
+  let dag = Dag.create ~n:4 [ (0, 1); (0, 2) ] in
+  let p =
+    [|
+      (* machine 0 *) [| 0.8; 0.2; 0.1; 0.9 |];
+      (* machine 1 *) [| 0.3; 0.7; 0.6; 0.2 |];
+    |]
+  in
+  let inst = Instance.create ~p ~dag in
+  Format.printf "instance:@.%a@.@." Instance.pp inst;
+
+  (* Lower bounds on the optimal expected makespan. *)
+  let bounds = Suu_algo.Bounds.compute ~with_exact:true inst in
+  Format.printf "lower bounds: %a@.@." Suu_algo.Bounds.pp bounds;
+
+  (* The exact optimum (Malewicz's DP) is affordable at this size. *)
+  let opt = Suu_algo.Malewicz.optimal inst in
+  Format.printf "optimal regimen TOPT = %.4f@.@." opt.Suu_algo.Malewicz.value;
+
+  (* An adaptive schedule: MSM-ALG greedy every step (Theorem 3.3). *)
+  let adaptive = Suu_algo.Solver.solve ~kind:`Adaptive inst in
+  (* An oblivious schedule: the forest pipeline (Theorem 4.7 machinery;
+     this dag is an out-tree plus an isolated vertex, a directed forest). *)
+  let oblivious = Suu_algo.Solver.solve ~kind:`Oblivious inst in
+
+  let trials = 2000 in
+  List.iter
+    (fun policy ->
+      let e =
+        Suu_sim.Engine.estimate_makespan ~trials (Suu_prob.Rng.create 42) inst
+          policy
+      in
+      Format.printf "%-12s E[makespan] = %5.2f ±%.2f  (x%.2f of optimal)@."
+        policy.Suu_core.Policy.name e.Suu_sim.Engine.stats.Suu_prob.Stats.mean
+        e.Suu_sim.Engine.stats.Suu_prob.Stats.ci95
+        (e.Suu_sim.Engine.stats.Suu_prob.Stats.mean
+        /. opt.Suu_algo.Malewicz.value))
+    [ opt.Suu_algo.Malewicz.policy; adaptive; oblivious ];
+
+  (* Watch one adaptive execution unfold. *)
+  Format.printf "@.one adaptive execution:@.";
+  let history = Suu_sim.Engine.trace (Suu_prob.Rng.create 7) inst adaptive in
+  List.iter
+    (fun (t, a, completed) ->
+      Format.printf "  step %d: %a%s@." t Suu_core.Assignment.pp a
+        (match completed with
+        | [] -> ""
+        | js ->
+            "  completed " ^ String.concat "," (List.map string_of_int js)))
+    history

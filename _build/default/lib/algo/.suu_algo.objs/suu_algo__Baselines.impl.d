@@ -1,0 +1,1 @@
+lib/algo/baselines.ml: Array List Suu_core Suu_dag Suu_prob

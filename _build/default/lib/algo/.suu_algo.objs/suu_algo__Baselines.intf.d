@@ -1,0 +1,1 @@
+lib/algo/baselines.mli: Suu_core

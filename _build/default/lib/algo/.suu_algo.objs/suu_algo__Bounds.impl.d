@@ -1,0 +1,1 @@
+lib/algo/bounds.ml: Array Float Format List Lp_relax Malewicz Printf Suu_core Suu_dag Suu_sim

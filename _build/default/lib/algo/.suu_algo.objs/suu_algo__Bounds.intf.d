@@ -1,0 +1,1 @@
+lib/algo/bounds.mli: Format Suu_core

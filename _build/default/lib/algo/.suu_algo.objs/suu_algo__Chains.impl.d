@@ -1,0 +1,1 @@
+lib/algo/chains.ml: Pipeline Suu_core Suu_dag

@@ -1,0 +1,1 @@
+lib/algo/chains.mli: Pipeline Suu_core

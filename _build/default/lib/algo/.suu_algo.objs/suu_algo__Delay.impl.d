@@ -1,0 +1,1 @@
+lib/algo/delay.ml: Array Float List Suu_core Suu_prob

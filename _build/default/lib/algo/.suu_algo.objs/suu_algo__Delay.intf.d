@@ -1,0 +1,1 @@
+lib/algo/delay.mli: Suu_core Suu_prob

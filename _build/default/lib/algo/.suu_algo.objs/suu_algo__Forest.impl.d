@@ -1,0 +1,1 @@
+lib/algo/forest.ml: Pipeline Suu_core Suu_dag Trees

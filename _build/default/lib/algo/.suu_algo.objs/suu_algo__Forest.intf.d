@@ -1,0 +1,1 @@
+lib/algo/forest.mli: Pipeline Suu_core

@@ -1,0 +1,1 @@
+lib/algo/layered.ml: Array List Pipeline Suu_core Suu_dag

@@ -1,0 +1,1 @@
+lib/algo/layered.mli: Pipeline Suu_core Suu_dag

@@ -1,0 +1,1 @@
+lib/algo/lp_indep.ml: Array List Lp_relax Rounding Suu_core Suu_dag

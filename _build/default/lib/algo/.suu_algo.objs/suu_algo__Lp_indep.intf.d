@@ -1,0 +1,1 @@
+lib/algo/lp_indep.mli: Rounding Suu_core

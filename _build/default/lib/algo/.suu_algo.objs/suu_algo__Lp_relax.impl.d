@@ -1,0 +1,1 @@
+lib/algo/lp_relax.ml: Array Float Format Hashtbl List Printf Suu_core Suu_lp

@@ -1,0 +1,1 @@
+lib/algo/lp_relax.mli: Suu_core

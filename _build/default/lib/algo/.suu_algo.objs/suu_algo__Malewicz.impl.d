@@ -1,0 +1,1 @@
+lib/algo/malewicz.ml: Array Float Hashtbl List Option Printf Suu_core Suu_sim

@@ -1,0 +1,1 @@
+lib/algo/malewicz.mli: Suu_core

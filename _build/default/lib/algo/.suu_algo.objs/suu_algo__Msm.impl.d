@@ -1,0 +1,1 @@
+lib/algo/msm.ml: Array Float List Suu_core

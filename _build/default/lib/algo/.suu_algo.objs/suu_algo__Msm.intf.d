@@ -1,0 +1,1 @@
+lib/algo/msm.mli: Suu_core

@@ -1,0 +1,1 @@
+lib/algo/msm_ext.ml: Array Float List Msm Suu_core

@@ -1,0 +1,1 @@
+lib/algo/msm_ext.mli: Suu_core

@@ -1,0 +1,1 @@
+lib/algo/pipeline.ml: Array Delay Float List Lp_relax Rounding Suu_core Suu_dag Suu_prob

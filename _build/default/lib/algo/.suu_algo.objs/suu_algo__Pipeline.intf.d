@@ -1,0 +1,1 @@
+lib/algo/pipeline.mli: Rounding Suu_core

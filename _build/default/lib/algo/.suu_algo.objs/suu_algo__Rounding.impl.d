@@ -1,0 +1,1 @@
+lib/algo/rounding.ml: Array Float Hashtbl List Lp_relax Option Printf Suu_core Suu_flow Suu_prob

@@ -1,0 +1,1 @@
+lib/algo/rounding.mli: Lp_relax Suu_core Suu_prob

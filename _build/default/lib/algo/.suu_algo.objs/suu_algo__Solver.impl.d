@@ -1,0 +1,1 @@
+lib/algo/solver.ml: Chains Forest Layered Lp_indep Option Pipeline Suu_core Suu_dag Suu_i Trees

@@ -1,0 +1,1 @@
+lib/algo/solver.mli: Pipeline Suu_core

@@ -1,0 +1,1 @@
+lib/algo/suu_i.ml: Msm Suu_core

@@ -1,0 +1,1 @@
+lib/algo/suu_i.mli: Suu_core

@@ -1,0 +1,1 @@
+lib/algo/suu_i_obl.ml: Array Float List Msm_ext Suu_core

@@ -1,0 +1,1 @@
+lib/algo/suu_i_obl.mli: Suu_core

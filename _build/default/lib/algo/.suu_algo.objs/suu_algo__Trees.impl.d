@@ -1,0 +1,1 @@
+lib/algo/trees.ml: Array Pipeline Suu_core Suu_dag

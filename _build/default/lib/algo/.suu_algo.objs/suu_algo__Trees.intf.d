@@ -1,0 +1,1 @@
+lib/algo/trees.mli: Pipeline Suu_core Suu_dag

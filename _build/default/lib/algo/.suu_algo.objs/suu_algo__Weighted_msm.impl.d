@@ -1,0 +1,1 @@
+lib/algo/weighted_msm.ml: Array Float List Suu_core Suu_dag

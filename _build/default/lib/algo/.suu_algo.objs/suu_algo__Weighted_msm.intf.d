@@ -1,0 +1,1 @@
+lib/algo/weighted_msm.mli: Suu_core

@@ -1,0 +1,98 @@
+module Instance = Suu_core.Instance
+module Assignment = Suu_core.Assignment
+module Policy = Suu_core.Policy
+
+let eligible_list state =
+  let acc = ref [] in
+  Array.iteri
+    (fun j e -> if e then acc := j :: !acc)
+    state.Policy.eligible;
+  List.rev !acc
+
+let greedy_rate inst =
+  Policy.stateless "greedy-rate" (fun state ->
+      let m = Instance.m inst in
+      let a = Assignment.idle m in
+      let eligible = eligible_list state in
+      for i = 0 to m - 1 do
+        let best = ref Assignment.idle_job and best_p = ref 0. in
+        List.iter
+          (fun j ->
+            let p = Instance.prob inst ~machine:i ~job:j in
+            if p > !best_p then begin
+              best_p := p;
+              best := j
+            end)
+          eligible;
+        a.(i) <- !best
+      done;
+      a)
+
+let round_robin inst =
+  Policy.stateless "round-robin" (fun state ->
+      let m = Instance.m inst in
+      let a = Assignment.idle m in
+      let eligible = Array.of_list (eligible_list state) in
+      let k = Array.length eligible in
+      if k > 0 then
+        for i = 0 to m - 1 do
+          a.(i) <- eligible.((i + state.Policy.step) mod k)
+        done;
+      a)
+
+let serial_all_machines inst =
+  let topo = Suu_dag.Dag.topo_order (Instance.dag inst) in
+  Policy.stateless "serial-all-machines" (fun state ->
+      let m = Instance.m inst in
+      let target =
+        Array.fold_left
+          (fun acc j ->
+            match acc with
+            | Some _ -> acc
+            | None -> if state.Policy.eligible.(j) then Some j else None)
+          None topo
+      in
+      match target with
+      | None -> Assignment.idle m
+      | Some j -> Array.make m j)
+
+let random_assignment ~seed inst =
+  {
+    Policy.name = "random";
+    fresh =
+      (fun () ->
+        let rng = Suu_prob.Rng.create seed in
+        fun state ->
+          let m = Instance.m inst in
+          let a = Assignment.idle m in
+          let eligible = Array.of_list (eligible_list state) in
+          if Array.length eligible > 0 then
+            for i = 0 to m - 1 do
+              a.(i) <- Suu_prob.Rng.pick rng eligible
+            done;
+          a);
+  }
+
+let static_best_machine inst =
+  let n = Instance.n inst and m = Instance.m inst in
+  let topo = Suu_dag.Dag.topo_order (Instance.dag inst) in
+  (* Per machine, the list of jobs whose best machine it is, in topological
+     order; each machine cycles through its own list, one step per job. *)
+  let x = Array.make_matrix m n 0 in
+  Array.iter (fun j -> x.(Instance.best_machine inst j).(j) <- 1) topo;
+  let one_pass = Suu_core.Oblivious.of_matrix ~m ~n x in
+  let prefix = one_pass.Suu_core.Oblivious.prefix in
+  let sched =
+    if Array.length prefix = 0 then Suu_core.Oblivious.with_fallback inst one_pass
+    else Suu_core.Oblivious.create ~m ~cycle:prefix [||]
+  in
+  Policy.of_oblivious "static-best-machine" sched
+
+let all ~seed inst =
+  [
+    greedy_rate inst;
+    round_robin inst;
+    serial_all_machines inst;
+    random_assignment ~seed inst;
+    static_best_machine inst;
+  ]

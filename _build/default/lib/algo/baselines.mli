@@ -1,0 +1,33 @@
+(** Baseline scheduling policies the paper's algorithms are compared
+    against in the experiments.
+
+    None of these carries an approximation guarantee (that is the point);
+    they represent what a practitioner might do without the paper:
+    uncoordinated greedy choices, static rotation, full serialisation, or
+    random assignment. *)
+
+val greedy_rate : Suu_core.Instance.t -> Suu_core.Policy.t
+(** Every machine independently picks the eligible job it is best at
+    (max [p_ij], ties to the lowest job index). No coordination: machines
+    pile onto the same popular job and overshoot mass 1. *)
+
+val round_robin : Suu_core.Instance.t -> Suu_core.Policy.t
+(** Machine [i] takes the [(i + t)]-th eligible job modulo the eligible
+    count: full coordination, no probability awareness. *)
+
+val serial_all_machines : Suu_core.Instance.t -> Suu_core.Policy.t
+(** All machines gang up on the single first eligible job in topological
+    order — the paper's fallback schedule [Σ_{o,3}] run as a policy.
+    Optimal for one job, n× too slow for independent ones. *)
+
+val random_assignment : seed:int -> Suu_core.Instance.t -> Suu_core.Policy.t
+(** Every machine picks a uniformly random eligible job each step. *)
+
+val static_best_machine : Suu_core.Instance.t -> Suu_core.Policy.t
+(** Oblivious baseline: each job is served only by its single best machine,
+    jobs in topological order per machine, repeated forever. What a naive
+    deterministic "assign each task to the most reliable worker" plan
+    does. *)
+
+val all : seed:int -> Suu_core.Instance.t -> Suu_core.Policy.t list
+(** All baselines, for experiment sweeps. *)

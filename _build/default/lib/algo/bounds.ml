@@ -1,0 +1,101 @@
+module Instance = Suu_core.Instance
+module Dag = Suu_dag.Dag
+
+type t = {
+  rate : float;
+  capacity : float;
+  critical_path : float;
+  lp : float option;
+  exact : float option;
+}
+
+let rate_bound inst =
+  let n = Instance.n inst in
+  let worst = ref 0. in
+  for j = 0 to n - 1 do
+    let q = Float.min 1. (Instance.total_rate inst j) in
+    if q > 0. then worst := Float.max !worst (1. /. q)
+  done;
+  !worst
+
+(* Two capacity arguments. Deterministic: at most m jobs finish per step.
+   Probabilistic: with μ = Σ_i max_j p_ij, E[completions in t steps] ≤ tμ,
+   so P(T ≤ t) = P(n completions within t) ≤ tμ/n by Markov; then
+   E[T] ≥ Σ_{t < n/(2μ)} P(T > t) ≥ (n/2μ)(1 − (n/2μ)μ/n) = n/(4μ). *)
+let capacity_bound inst =
+  let n = Float.of_int (Instance.n inst) in
+  let m = Float.of_int (Instance.m inst) in
+  let mu = ref 0. in
+  for i = 0 to Instance.m inst - 1 do
+    mu := !mu +. Instance.machine_max_prob inst i
+  done;
+  let deterministic = n /. m in
+  let probabilistic = if !mu > 0. then n /. (4. *. !mu) else 0. in
+  Float.max deterministic probabilistic
+
+let critical_path_bound inst =
+  let n = Instance.n inst in
+  let dag = Instance.dag inst in
+  if n = 0 then 0.
+  else begin
+    let weight j =
+      let q = Float.min 1. (Instance.total_rate inst j) in
+      if q > 0. then 1. /. q else 1.
+    in
+    let best = Array.make n 0. in
+    let topo = Dag.topo_order dag in
+    Array.iter
+      (fun j ->
+        let from_preds =
+          List.fold_left
+            (fun acc p -> Float.max acc best.(p))
+            0. (Dag.preds dag j)
+        in
+        best.(j) <- from_preds +. weight j)
+      topo;
+    Array.fold_left Float.max 0. best
+  end
+
+let lp_bound inst ~chains =
+  let frac = Lp_relax.solve_chains inst ~chains in
+  frac.Lp_relax.t_star /. 16.
+
+let compute ?(with_lp = true) ?(with_exact = false) inst =
+  let lp =
+    if with_lp && Instance.n inst > 0 then
+      match
+        lp_bound inst
+          ~chains:(Suu_dag.Classify.greedy_path_cover (Instance.dag inst))
+      with
+      | v -> Some v
+      | exception Lp_relax.Lp_failure _ -> None
+    else None
+  in
+  let exact =
+    if with_exact && Instance.n inst > 0 then
+      match Malewicz.optimal_value inst with
+      | v -> Some v
+      | exception (Malewicz.Too_expensive _ | Suu_sim.Exact.Too_large _) ->
+          None
+    else None
+  in
+  {
+    rate = rate_bound inst;
+    capacity = capacity_bound inst;
+    critical_path = critical_path_bound inst;
+    lp;
+    exact;
+  }
+
+let best b =
+  let base = Float.max b.rate (Float.max b.capacity b.critical_path) in
+  let base = match b.lp with Some v -> Float.max base v | None -> base in
+  match b.exact with Some v -> Float.max base v | None -> base
+
+let pp fmt b =
+  Format.fprintf fmt
+    "@[rate=%.3f capacity=%.3f critical-path=%.3f lp=%s exact=%s best=%.3f@]"
+    b.rate b.capacity b.critical_path
+    (match b.lp with Some v -> Printf.sprintf "%.3f" v | None -> "-")
+    (match b.exact with Some v -> Printf.sprintf "%.3f" v | None -> "-")
+    (best b)

@@ -1,0 +1,42 @@
+(** Lower bounds on the optimal expected makespan TOPT.
+
+    The experiments report approximation ratios as (measured expected
+    makespan) / (best lower bound); each bound here is rigorous, so the
+    reported ratios are upper bounds on the true ones.
+
+    - [rate]: a job cannot complete faster than one over its best per-step
+      success probability: TOPT ≥ max_j 1/min(1, Σ_i p_ij) (the per-step
+      success probability is at most the mass by Proposition 2.1).
+    - [capacity]: at most [m] jobs finish per step, so TOPT ≥ n/m; and the
+      expected number of completions per step is at most
+      [μ = Σ_i max_j p_ij], so by Markov's inequality on the completion
+      count, TOPT ≥ n/(4μ) (derivation in the implementation).
+    - [critical_path]: jobs on a directed path run sequentially, so TOPT ≥
+      max over paths of [Σ_j 1/min(1, Σ_i p_ij)] ≥ the path length.
+    - [lp]: Lemma 4.2 — the (LP1) optimum over any family of
+      vertex-disjoint directed paths satisfies T* ≤ 16·TOPT, so T*/16 is a
+      bound; we use a greedy path cover of the DAG.
+    - [exact]: Malewicz's DP when affordable — TOPT itself. *)
+
+type t = {
+  rate : float;
+  capacity : float;
+  critical_path : float;
+  lp : float option;
+  exact : float option;
+}
+
+val compute :
+  ?with_lp:bool -> ?with_exact:bool -> Suu_core.Instance.t -> t
+(** Compute the bounds. [with_lp] defaults to [true]; [with_exact] defaults
+    to [false] (it is exponential — enable only on small instances; if the
+    DP trips its gates the field is silently [None]). *)
+
+val best : t -> float
+(** The largest available bound (≥ 1 for non-empty instances). *)
+
+val lp_bound : Suu_core.Instance.t -> chains:int list list -> float
+(** T*(LP1)/16 for a caller-supplied family of vertex-disjoint directed
+    paths covering all jobs. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,8 @@
+let build ?params inst =
+  let chains = Suu_dag.Classify.chain_partition (Suu_core.Instance.dag inst) in
+  Pipeline.build ?params inst ~blocks:[ chains ]
+
+let schedule ?params inst = (build ?params inst).Pipeline.schedule
+
+let policy ?params inst =
+  Suu_core.Policy.of_oblivious "suu-c" (schedule ?params inst)

@@ -1,0 +1,20 @@
+(** SUU-C: scheduling under disjoint-chain precedence constraints
+    (paper §4.1, Theorem 4.4).
+
+    The pipeline: solve (LP1), round it into an integral pseudo-schedule
+    with per-job windows laid out sequentially along every chain
+    (Theorem 4.1 + Theorem 4.3), delay the chains and flatten into a
+    feasible oblivious schedule (the Shmoys–Stein–Wein step), replicate
+    each step σ times and fall back to the all-machines topological cycle.
+    Expected makespan O(log m · log n · log(n+m)/log log(n+m)) × TOPT. *)
+
+val build :
+  ?params:Pipeline.params -> Suu_core.Instance.t -> Pipeline.build
+(** Run the pipeline on an instance whose DAG is a disjoint union of
+    chains (independent jobs count as length-1 chains).
+    @raise Invalid_argument otherwise. *)
+
+val schedule :
+  ?params:Pipeline.params -> Suu_core.Instance.t -> Suu_core.Oblivious.t
+
+val policy : ?params:Pipeline.params -> Suu_core.Instance.t -> Suu_core.Policy.t

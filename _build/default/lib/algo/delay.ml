@@ -1,0 +1,116 @@
+module Pseudo = Suu_core.Pseudo
+module Rng = Suu_prob.Rng
+
+type choice = {
+  delays : int array;
+  congestion : int;
+  flattened_length : int;
+}
+
+let flattened_length p =
+  let total = ref 0 in
+  Array.iter
+    (fun step ->
+      let c =
+        Array.fold_left (fun acc jobs -> max acc (List.length jobs)) 0 step
+      in
+      total := !total + max c 1)
+    p.Pseudo.steps;
+  !total
+
+let overlay_with_delays pseudos delays =
+  if List.length pseudos <> Array.length delays then
+    invalid_arg "Delay.overlay_with_delays: arity mismatch";
+  Pseudo.overlay (List.mapi (fun k p -> Pseudo.shift p delays.(k)) pseudos)
+
+let auto_ranges pseudos =
+  let count = List.length pseudos in
+  let pi_max = Pseudo.load (Pseudo.overlay pseudos) in
+  let log_chains =
+    max 1
+      (Float.to_int
+         (Float.ceil (Float.log (Float.of_int (count + 1)) /. Float.log 2.)))
+  in
+  List.sort_uniq compare [ pi_max; pi_max / log_chains; 0 ]
+
+(* All (machine, job, start, length) runs of a pseudo-schedule, recovered
+   from its step structure: consecutive steps where machine [i] carries
+   job [j] form one run. For collision counting we only need the covered
+   (machine, step) multiset, so runs are expanded per step below. *)
+let machine_steps p =
+  let acc = ref [] in
+  Array.iteri
+    (fun t step ->
+      Array.iteri
+        (fun i jobs -> List.iter (fun _ -> acc := (i, t) :: !acc) jobs)
+        step)
+    p.Pseudo.steps;
+  !acc
+
+let derandomized ?range pseudos =
+  let count = List.length pseudos in
+  if count = 0 then invalid_arg "Delay.derandomized: no chains";
+  let m = (List.hd pseudos).Pseudo.m in
+  let range =
+    match range with
+    | Some r ->
+        if r < 0 then invalid_arg "Delay.derandomized: negative range" else r
+    | None -> Pseudo.load (Pseudo.overlay pseudos)
+  in
+  let max_len =
+    List.fold_left (fun acc p -> max acc (Pseudo.length p)) 0 pseudos + range
+  in
+  (* load.(i).(t): units already placed on machine i at absolute step t. *)
+  let load = Array.make_matrix m (max 1 max_len) 0 in
+  (* Heaviest chains first: their placement constrains the rest most. *)
+  let order =
+    List.mapi (fun k p -> (k, p)) pseudos
+    |> List.sort (fun (_, a) (_, b) ->
+           compare (Pseudo.load b, Pseudo.length b) (Pseudo.load a, Pseudo.length a))
+  in
+  let delays = Array.make count 0 in
+  List.iter
+    (fun (k, p) ->
+      let units = machine_steps p in
+      let cost d =
+        List.fold_left (fun acc (i, t) -> acc + load.(i).(t + d)) 0 units
+      in
+      let best_d = ref 0 and best_cost = ref (cost 0) in
+      for d = 1 to range do
+        let c = cost d in
+        if c < !best_cost then begin
+          best_cost := c;
+          best_d := d
+        end
+      done;
+      delays.(k) <- !best_d;
+      List.iter (fun (i, t) -> load.(i).(t + !best_d) <- load.(i).(t + !best_d) + 1) units)
+    order;
+  let overlay = overlay_with_delays pseudos delays in
+  ( overlay,
+    {
+      delays;
+      congestion = Pseudo.max_congestion overlay;
+      flattened_length = flattened_length overlay;
+    } )
+
+let choose rng ~tries ~ranges pseudos =
+  let count = List.length pseudos in
+  if count = 0 then invalid_arg "Delay.choose: no chains";
+  let evaluate delays =
+    let overlay = overlay_with_delays pseudos delays in
+    let fl = flattened_length overlay in
+    (overlay, { delays; congestion = Pseudo.max_congestion overlay; flattened_length = fl })
+  in
+  let best = ref (evaluate (Array.make count 0)) in
+  List.iter
+    (fun range ->
+      if range > 0 then
+        for _ = 1 to max 1 tries do
+          let delays = Array.init count (fun _ -> Rng.int rng (range + 1)) in
+          let candidate = evaluate delays in
+          if (snd candidate).flattened_length < (snd !best).flattened_length
+          then best := candidate
+        done)
+    ranges;
+  !best

@@ -1,0 +1,58 @@
+(** Random delays for pseudo-schedules (paper §4.1, after Theorem 4.3).
+
+    The rounded pseudo-schedule may put many chains on one machine in the
+    same step. Delaying each chain's start by an independent uniform amount
+    in [\[0, Π_max\]] (Π_max = the load) brings the worst per-machine
+    per-step congestion down to O(log(n+m)/log log(n+m)) with high
+    probability (Shmoys–Stein–Wein); the flattening step then expands each
+    step by its congestion.
+
+    The paper invokes external derandomizations
+    (Schmidt–Siegel–Srinivasan); we substitute a *seeded best-of-K search*:
+    draw K delay vectors from a deterministic RNG and keep the one whose
+    flattened schedule is shortest (the all-zeros vector is always a
+    candidate, so the result never loses to not delaying at all). This is
+    deterministic given the seed, achieves the randomized bound with
+    probability ≥ 1 − 2^{-K} per the same analysis, and exercises the
+    identical delay → congestion → flatten code path. See DESIGN.md. *)
+
+type choice = {
+  delays : int array;  (** per-chain delay actually used *)
+  congestion : int;  (** max jobs on one machine in one step *)
+  flattened_length : int;  (** length after flattening *)
+}
+
+val flattened_length : Suu_core.Pseudo.t -> int
+(** [Σ_t max(1, congestion_t)] — the length [Pseudo.flatten] will produce. *)
+
+val overlay_with_delays : Suu_core.Pseudo.t list -> int array -> Suu_core.Pseudo.t
+(** Shift each chain pseudo-schedule by its delay, then overlay. *)
+
+val auto_ranges : Suu_core.Pseudo.t list -> int list
+(** Candidate maximum-delay ranges for [choose]: the combined load Π_max
+    (the paper's choice for chains), Π_max divided by ⌈log₂(#chains+1)⌉
+    (the Theorem 4.8 choice for trees), and 0. *)
+
+val choose :
+  Suu_prob.Rng.t ->
+  tries:int ->
+  ranges:int list ->
+  Suu_core.Pseudo.t list ->
+  Suu_core.Pseudo.t * choice
+(** Best-of-[K] search: for every range [r] in [ranges], draw [tries] delay
+    vectors uniform in [\[0, r\]]; return the overlay minimising
+    [flattened_length] (the all-zero vector is always included). *)
+
+val derandomized :
+  ?range:int -> Suu_core.Pseudo.t list -> Suu_core.Pseudo.t * choice
+(** Deterministic delays by the method of conditional expectations, the
+    spirit of the Schmidt–Siegel–Srinivasan derandomization the paper
+    cites. The pessimistic estimator is the pairwise-collision count
+    [Σ_{machine,step} (load choose 2)]-style overlap: chains are placed
+    one at a time (heaviest first) at the delay in [\[0, range\]] that
+    adds the fewest unit-on-unit collisions with the chains already
+    placed. Under uniformly random delays the expected number of added
+    collisions is the average over candidate delays, so the greedy choice
+    never exceeds the random bound — and the flattened length exceeds the
+    collision-free length by at most the total collision count. [range]
+    defaults to the overlay load Π_max. *)

@@ -1,0 +1,9 @@
+let build ?params inst =
+  let dag = Suu_core.Instance.dag inst in
+  let decomp = Suu_dag.Chain_decomp.decompose dag in
+  Pipeline.build ?params inst ~blocks:(Trees.blocks_of_decomposition decomp)
+
+let schedule ?params inst = (build ?params inst).Pipeline.schedule
+
+let policy ?params inst =
+  Suu_core.Policy.of_oblivious "suu-forest" (schedule ?params inst)

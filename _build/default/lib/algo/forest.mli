@@ -1,0 +1,16 @@
+(** SUU with directed-forest precedence constraints (paper §4.2,
+    Theorem 4.7).
+
+    Same block-by-block pipeline as {!Trees}, but the DAG may be any
+    polytree forest (edges oriented arbitrarily), decomposed into
+    ≤ 2⌊log₂ n⌋ + 1 blocks (Lemma 4.6). Expected makespan
+    O(log m · log² n · log(n+m)/log log(n+m)) × TOPT. *)
+
+val build : ?params:Pipeline.params -> Suu_core.Instance.t -> Pipeline.build
+(** @raise Invalid_argument unless the underlying undirected graph is a
+    forest. *)
+
+val schedule :
+  ?params:Pipeline.params -> Suu_core.Instance.t -> Suu_core.Oblivious.t
+
+val policy : ?params:Pipeline.params -> Suu_core.Instance.t -> Suu_core.Policy.t

@@ -1,0 +1,31 @@
+module Dag = Suu_dag.Dag
+
+let levels g =
+  let n = Dag.n g in
+  if n = 0 then []
+  else begin
+    let depth = Array.make n 1 in
+    Array.iter
+      (fun u ->
+        List.iter
+          (fun v -> if depth.(u) + 1 > depth.(v) then depth.(v) <- depth.(u) + 1)
+          (Dag.succs g u))
+      (Dag.topo_order g);
+    let max_depth = Array.fold_left max 1 depth in
+    let buckets = Array.make max_depth [] in
+    for v = n - 1 downto 0 do
+      buckets.(depth.(v) - 1) <- v :: buckets.(depth.(v) - 1)
+    done;
+    Array.to_list buckets
+  end
+
+let blocks inst =
+  levels (Suu_core.Instance.dag inst)
+  |> List.map (fun level -> List.map (fun j -> [ j ]) level)
+
+let build ?params inst = Pipeline.build ?params inst ~blocks:(blocks inst)
+
+let schedule ?params inst = (build ?params inst).Pipeline.schedule
+
+let policy ?params inst =
+  Suu_core.Policy.of_oblivious "suu-layered" (schedule ?params inst)

@@ -1,0 +1,26 @@
+(** Oblivious schedules for {e general} DAGs by level decomposition — an
+    answer to the paper's §5 open problem, with a depth-dependent (rather
+    than polylogarithmic) guarantee.
+
+    Every DAG partitions into levels by longest-path depth; each level is
+    an antichain, i.e. an independent job set, and every precedence edge
+    points to a strictly later level. Running the chain pipeline with one
+    block per level (each job its own singleton chain) therefore respects
+    all precedence and inherits the per-block guarantees: each level's
+    (LP1) optimum is at most 16·TOPT (Lemma 4.2 applies to any job
+    subset), so the schedule length is O(depth · log m) · TOPT before
+    replication — useful when the DAG is shallow, exact on independent
+    jobs (depth 1), and always correct. *)
+
+val levels : Suu_dag.Dag.t -> int list list
+(** The level decomposition: [levels g] lists the jobs at each
+    longest-path depth, shallowest first. Every edge goes from an earlier
+    list to a strictly later one. *)
+
+val build : ?params:Pipeline.params -> Suu_core.Instance.t -> Pipeline.build
+(** Run the pipeline over the level blocks. Works for every DAG. *)
+
+val schedule :
+  ?params:Pipeline.params -> Suu_core.Instance.t -> Suu_core.Oblivious.t
+
+val policy : ?params:Pipeline.params -> Suu_core.Instance.t -> Suu_core.Policy.t

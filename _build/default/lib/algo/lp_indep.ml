@@ -1,0 +1,29 @@
+module Instance = Suu_core.Instance
+module Oblivious = Suu_core.Oblivious
+
+type build = {
+  schedule : Oblivious.t;
+  core : Oblivious.t;
+  t_star : float;
+  integral : Rounding.integral;
+}
+
+let build ?(constants = `Tuned) inst =
+  if Suu_dag.Dag.edge_count (Instance.dag inst) > 0 then
+    invalid_arg "Lp_indep.build: instance has precedence constraints";
+  let n = Instance.n inst and m = Instance.m inst in
+  let jobs = List.init n (fun j -> j) in
+  let frac = Lp_relax.solve_independent inst ~jobs in
+  let integral = Rounding.round ~constants inst frac in
+  let core = Oblivious.of_matrix ~m ~n integral.Rounding.x in
+  let prefix = core.Oblivious.prefix in
+  let schedule =
+    if Array.length prefix = 0 then Oblivious.with_fallback inst core
+    else Oblivious.create ~m ~cycle:prefix [||]
+  in
+  { schedule; core; t_star = frac.Lp_relax.t_star; integral }
+
+let schedule ?constants inst = (build ?constants inst).schedule
+
+let policy ?constants inst =
+  Suu_core.Policy.of_oblivious "lp-indep" (schedule ?constants inst)

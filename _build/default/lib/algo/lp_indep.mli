@@ -1,0 +1,28 @@
+(** LP-based oblivious schedules for independent jobs
+    (paper §4.1, Theorem 4.5).
+
+    Solve (LP2) — the relaxation without window or chain constraints —
+    round it with the Theorem 4.1 machinery, and pack the integral
+    allocation machine-by-machine (jobs are independent, so no windows or
+    delays are needed; the machine loads alone bound the length). The
+    resulting accumulate-mass-1/2 schedule is repeated forever. Expected
+    makespan O(log n · log min(n, m)) × TOPT, improving on SUU-I-OBL's
+    O(log² n): the rounding analysis only pays for the probability buckets
+    that actually occur in a basic feasible solution of (LP2), of which
+    there are O(log min(n, m)). *)
+
+type build = {
+  schedule : Suu_core.Oblivious.t;  (** core repeated as the cycle *)
+  core : Suu_core.Oblivious.t;  (** one mass-1/2 pass *)
+  t_star : float;  (** the (LP2) optimum *)
+  integral : Rounding.integral;
+}
+
+val build : ?constants:Rounding.constants -> Suu_core.Instance.t -> build
+(** @raise Invalid_argument if the instance has precedence constraints. *)
+
+val schedule :
+  ?constants:Rounding.constants -> Suu_core.Instance.t -> Suu_core.Oblivious.t
+
+val policy :
+  ?constants:Rounding.constants -> Suu_core.Instance.t -> Suu_core.Policy.t

@@ -1,0 +1,162 @@
+module Instance = Suu_core.Instance
+module Assignment = Suu_core.Assignment
+module Exact = Suu_sim.Exact
+
+exception Too_expensive of string
+
+type result = {
+  value : float;
+  policy : Suu_core.Policy.t;
+  states : int;
+}
+
+
+(* Machines with identical probability rows are interchangeable: the
+   transition distribution depends only on the multiset of machines per
+   job. Grouping them turns the per-class enumeration from k^c tuples
+   into (k+c-1 choose c) multisets — a large saving on homogeneous
+   instances. *)
+let machine_classes inst =
+  let m = Instance.m inst and n = Instance.n inst in
+  let tbl : (float list, int list) Hashtbl.t = Hashtbl.create 8 in
+  for i = m - 1 downto 0 do
+    let row =
+      List.init n (fun j -> Instance.prob inst ~machine:i ~job:j)
+    in
+    let members = Option.value (Hashtbl.find_opt tbl row) ~default:[] in
+    Hashtbl.replace tbl row (i :: members)
+  done;
+  Hashtbl.fold (fun _ members acc -> members :: acc) tbl []
+  |> List.sort compare
+
+let assignments_per_state_estimate inst =
+  let n = Instance.n inst in
+  (* Multisets of size c over k candidates: C(k + c - 1, c) per class. *)
+  let choose k c =
+    let acc = ref 1. in
+    for i = 1 to c do
+      acc := !acc *. Float.of_int (k + i - 1) /. Float.of_int i
+    done;
+    !acc
+  in
+  List.fold_left
+    (fun acc members ->
+      let representative = List.hd members in
+      let capable = ref 0 in
+      for j = 0 to n - 1 do
+        if Instance.prob inst ~machine:representative ~job:j > 0. then
+          incr capable
+      done;
+      acc *. choose (max 1 !capable) (List.length members))
+    1. (machine_classes inst)
+
+(* Enumerate assignments of machines to eligible capable jobs (or idle),
+   calling [k] on each; count is bounded by the caller's budget. Identical
+   machines are enumerated as multisets. *)
+let iter_assignments inst ~eligible ~budget k =
+  let m = Instance.m inst in
+  let classes =
+    List.map
+      (fun members ->
+        let representative = List.hd members in
+        let candidates =
+          List.filter
+            (fun j -> Instance.prob inst ~machine:representative ~job:j > 0.)
+            eligible
+        in
+        (Array.of_list members, Array.of_list candidates))
+      (machine_classes inst)
+  in
+  let a = Assignment.idle m in
+  let count = ref 0 in
+  let emit () =
+    incr count;
+    if !count > budget then
+      raise
+        (Too_expensive
+           (Printf.sprintf "more than %d assignments in one state" budget));
+    k a
+  in
+  (* For one class: non-decreasing candidate indices over its machines (a
+     multiset); a machine with no capable eligible job idles. *)
+  let rec fill_class members candidates slot min_cand next =
+    if slot = Array.length members then next ()
+    else if Array.length candidates = 0 then begin
+      a.(members.(slot)) <- Assignment.idle_job;
+      fill_class members candidates (slot + 1) min_cand next
+    end
+    else
+      for c = min_cand to Array.length candidates - 1 do
+        a.(members.(slot)) <- candidates.(c);
+        fill_class members candidates (slot + 1) c next
+      done
+  in
+  let rec go = function
+    | [] -> emit ()
+    | (members, candidates) :: rest ->
+        fill_class members candidates 0 0 (fun () -> go rest)
+  in
+  go classes
+
+let optimal ?(max_states = 200_000) ?(max_assignments_per_state = 20_000) inst =
+  let n = Instance.n inst in
+  let full = Exact.full_mask inst in
+  let values : (int, float) Hashtbl.t = Hashtbl.create 1024 in
+  let choices : (int, Assignment.t) Hashtbl.t = Hashtbl.create 1024 in
+  let rec value mask =
+    if mask = 0 then 0.
+    else
+      match Hashtbl.find_opt values mask with
+      | Some v -> v
+      | None ->
+          if Hashtbl.length values >= max_states then
+            raise
+              (Too_expensive
+                 (Printf.sprintf "more than %d states" max_states));
+          let elig_mask = Exact.eligible_mask inst mask in
+          let eligible =
+            List.filter
+              (fun j -> elig_mask land (1 lsl j) <> 0)
+              (List.init n (fun j -> j))
+          in
+          let best = ref infinity and best_a = ref None in
+          iter_assignments inst ~eligible ~budget:max_assignments_per_state
+            (fun a ->
+              let dist = Exact.step_distribution inst ~mask a in
+              let stay = ref 0. and rest = ref 0. in
+              List.iter
+                (fun (mask', p) ->
+                  if mask' = mask then stay := !stay +. p
+                  else rest := !rest +. (p *. value mask'))
+                dist;
+              if !stay < 1. -. 1e-12 then begin
+                let v = (1. +. !rest) /. (1. -. !stay) in
+                if v < !best then begin
+                  best := v;
+                  best_a := Some (Array.copy a)
+                end
+              end);
+          (match !best_a with
+          | None ->
+              raise
+                (Too_expensive
+                   "no progressing assignment exists in a reachable state")
+          | Some a -> Hashtbl.replace choices mask a);
+          Hashtbl.replace values mask !best;
+          !best
+  in
+  let v = value full in
+  let policy =
+    Suu_core.Policy.of_regimen "malewicz-optimal" (fun unfinished ->
+        let mask = ref 0 in
+        Array.iteri (fun j u -> if u then mask := !mask lor (1 lsl j)) unfinished;
+        if !mask = 0 then Assignment.idle (Instance.m inst)
+        else begin
+          ignore (value !mask : float);
+          Hashtbl.find choices !mask
+        end)
+  in
+  { value = v; policy; states = Hashtbl.length values }
+
+let optimal_value ?max_states ?max_assignments_per_state inst =
+  (optimal ?max_states ?max_assignments_per_state inst).value

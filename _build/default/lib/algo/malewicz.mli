@@ -1,0 +1,54 @@
+(** Exact optimal regimens by dynamic programming (Malewicz 2005, cited as
+    [21] in the paper).
+
+    Malewicz showed that when both the number of machines and the width of
+    the precedence DAG are constant, the optimal regimen can be computed in
+    polynomial time by dynamic programming over unfinished-job sets: the
+    chain only ever moves to strict subsets, so
+
+    [V(S) = min_f (1 + Σ_{∅≠F} P_f(F) · V(S∖F)) / (1 − P_f(∅))]
+
+    can be evaluated bottom-up, where [f] ranges over assignments of
+    machines to eligible jobs of [S]. We enumerate [f] over capable
+    machines only (a machine with [p_ij = 0] for all eligible [j] idles),
+    and machines with identical probability rows are treated as
+    interchangeable: per class of [c] identical machines with [k]
+    candidate jobs, only the [(k+c-1 choose c)] multisets are enumerated
+    instead of [k^c] tuples — transition distributions depend only on the
+    multiset of machines per job, so no optimum is lost.
+
+    This is the exact-optimum baseline of the experiments (EXP-C, EXP-J):
+    the denominator of every small-instance approximation ratio. Cost is
+    exponential in general — use the gates below. *)
+
+exception Too_expensive of string
+(** Raised when the state or per-state assignment budget would be
+    exceeded. *)
+
+type result = {
+  value : float;  (** the optimal expected makespan TOPT *)
+  policy : Suu_core.Policy.t;  (** an optimal regimen *)
+  states : int;  (** memoised states *)
+}
+
+val optimal :
+  ?max_states:int ->
+  ?max_assignments_per_state:int ->
+  Suu_core.Instance.t ->
+  result
+(** Compute an optimal regimen. Defaults: at most [200_000] states and
+    [20_000] assignments per state.
+    @raise Too_expensive when a gate trips;
+    @raise Suu_sim.Exact.Too_large for more jobs than a bitmask holds. *)
+
+val optimal_value :
+  ?max_states:int ->
+  ?max_assignments_per_state:int ->
+  Suu_core.Instance.t ->
+  float
+(** Just TOPT. *)
+
+val assignments_per_state_estimate : Suu_core.Instance.t -> float
+(** Upper estimate of the per-state enumeration cost (product over machine
+    classes of the multiset counts) — callers can pre-check
+    affordability. *)

@@ -1,0 +1,68 @@
+module Instance = Suu_core.Instance
+module Assignment = Suu_core.Assignment
+
+(* Pairs sorted by non-increasing p_ij, ties by machine then job index so
+   the algorithm is deterministic. *)
+let sorted_pairs inst ~jobs =
+  let pairs = ref [] in
+  for i = 0 to Instance.m inst - 1 do
+    for j = 0 to Instance.n inst - 1 do
+      if jobs.(j) then begin
+        let p = Instance.prob inst ~machine:i ~job:j in
+        if p > 0. then pairs := (p, i, j) :: !pairs
+      end
+    done
+  done;
+  List.sort
+    (fun (p1, i1, j1) (p2, i2, j2) ->
+      match Float.compare p2 p1 with
+      | 0 -> compare (i1, j1) (i2, j2)
+      | c -> c)
+    !pairs
+
+let assign inst ~jobs =
+  if Array.length jobs <> Instance.n inst then
+    invalid_arg "Msm.assign: jobs length mismatch";
+  let m = Instance.m inst in
+  let a = Assignment.idle m in
+  let mass = Array.make (Instance.n inst) 0. in
+  List.iter
+    (fun (p, i, j) ->
+      if a.(i) = Assignment.idle_job && mass.(j) +. p <= 1. +. 1e-12 then begin
+        a.(i) <- j;
+        mass.(j) <- mass.(j) +. p
+      end)
+    (sorted_pairs inst ~jobs);
+  a
+
+let total_mass inst a =
+  let mass = Assignment.mass_added inst a in
+  Array.fold_left (fun acc mj -> acc +. Float.min mj 1.) 0. mass
+
+let optimal_mass_brute_force inst ~jobs =
+  let m = Instance.m inst and n = Instance.n inst in
+  let targets =
+    Array.of_list
+      (List.filter (fun j -> jobs.(j)) (List.init n (fun j -> j)))
+  in
+  let k = Array.length targets in
+  let space = Float.of_int (k + 1) ** Float.of_int m in
+  if space > 1e7 then
+    invalid_arg "Msm.optimal_mass_brute_force: search space too large";
+  let a = Assignment.idle m in
+  let best = ref 0. in
+  let rec search i =
+    if i = m then best := Float.max !best (total_mass inst a)
+    else begin
+      a.(i) <- Assignment.idle_job;
+      search (i + 1);
+      Array.iter
+        (fun j ->
+          a.(i) <- j;
+          search (i + 1))
+        targets;
+      a.(i) <- Assignment.idle_job
+    end
+  in
+  search 0;
+  !best

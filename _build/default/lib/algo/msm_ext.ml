@@ -1,0 +1,40 @@
+module Instance = Suu_core.Instance
+
+type result = {
+  x : int array array;
+  mass : float array;
+  length : int;
+}
+
+let allocate inst ~jobs ~t =
+  if Array.length jobs <> Instance.n inst then
+    invalid_arg "Msm_ext.allocate: jobs length mismatch";
+  if t < 0 then invalid_arg "Msm_ext.allocate: negative length";
+  let m = Instance.m inst and n = Instance.n inst in
+  let x = Array.make_matrix m n 0 in
+  let mass = Array.make n 0. in
+  let capacity = Array.make m t in
+  List.iter
+    (fun (p, i, j) ->
+      if capacity.(i) > 0 && mass.(j) < 1. then begin
+        (* Headroom in steps before job j's mass would exceed 1; guard the
+           float→int conversion against tiny p. *)
+        let headroom_f = Float.floor ((1. -. mass.(j)) /. p) in
+        let steps =
+          if headroom_f >= Float.of_int capacity.(i) then capacity.(i)
+          else min capacity.(i) (Float.to_int headroom_f)
+        in
+        if steps > 0 then begin
+          x.(i).(j) <- steps;
+          mass.(j) <- mass.(j) +. (Float.of_int steps *. p);
+          capacity.(i) <- capacity.(i) - steps
+        end
+      end)
+    (Msm.sorted_pairs inst ~jobs);
+  { x; mass; length = t }
+
+let to_schedule inst r =
+  Suu_core.Oblivious.of_matrix ~m:(Instance.m inst) ~n:(Instance.n inst) r.x
+
+let total_mass r =
+  Array.fold_left (fun acc mj -> acc +. Float.min mj 1.) 0. r.mass

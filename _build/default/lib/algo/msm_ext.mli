@@ -1,0 +1,29 @@
+(** MSM-E-ALG: 1/3-approximation for MaxSumMass-Ext (paper §3.2, Alg. 1).
+
+    MaxSumMass-Ext generalises MaxSumMass to oblivious schedules of length
+    [t]: each machine may be assigned up to [t] job-steps, and the goal is
+    to maximise [Σ_j min(Σ_i p_ij x_ij, 1)] where [x_ij] is the number of
+    steps machine [i] spends on job [j]. The greedy scan is the same as
+    MSM-ALG but allocates, for each pair in non-increasing [p_ij] order, as
+    many steps as the machine's remaining capacity and the job's remaining
+    mass headroom allow: [x_ij = min(t_i, ⌊(1 − Σ_k x_kj p_kj) / p_ij⌋)].
+    Lemma 3.4: the result is within 1/3 of optimal, and the running time is
+    independent of [t]. *)
+
+type result = {
+  x : int array array;  (** x.(i).(j): steps of machine [i] on job [j] *)
+  mass : float array;  (** per-job accumulated mass [Σ_i p_ij x_ij] *)
+  length : int;  (** the requested schedule length [t] *)
+}
+
+val allocate : Suu_core.Instance.t -> jobs:bool array -> t:int -> result
+(** Allocate machine steps to the flagged jobs for a schedule of length
+    [t ≥ 0]. *)
+
+val to_schedule : Suu_core.Instance.t -> result -> Suu_core.Oblivious.t
+(** Pack the allocation into an oblivious schedule of length ≤ [t] (each
+    machine works through its jobs in index order — the paper's
+    [f_τ] specification). *)
+
+val total_mass : result -> float
+(** Objective value [Σ_j min(mass_j, 1)]. *)

@@ -1,0 +1,154 @@
+module Instance = Suu_core.Instance
+module Oblivious = Suu_core.Oblivious
+module Pseudo = Suu_core.Pseudo
+module Dag = Suu_dag.Dag
+
+type params = {
+  constants : Rounding.constants;
+  delay_tries : int;
+  derandomize : bool;
+  sigma : [ `Auto | `Fixed of int ];
+  seed : int;
+}
+
+let default_params =
+  {
+    constants = `Tuned;
+    delay_tries = 8;
+    derandomize = false;
+    sigma = `Auto;
+    seed = 0x5EED;
+  }
+
+let paper_params =
+  {
+    constants = `Paper;
+    delay_tries = 1;
+    derandomize = true;
+    sigma = `Auto;
+    seed = 0x5EED;
+  }
+
+type diagnostics = {
+  lp_t_star : float list;
+  scale : int;
+  flow_jobs : int;
+  congestion : int;
+  pseudo_length : int;
+  core_length : int;
+  sigma : int;
+  blocks : int;
+}
+
+type build = {
+  schedule : Oblivious.t;
+  accumass : Oblivious.t;
+  diagnostics : diagnostics;
+}
+
+let auto_sigma (params : params) ~n =
+  match params.sigma with
+  | `Fixed k ->
+      if k < 1 then invalid_arg "Pipeline: sigma must be >= 1";
+      k
+  | `Auto -> (
+      match params.constants with
+      | `Tuned ->
+          (* EXP-G.2: with the fallback tail absorbing rare window failures,
+             σ ≈ ln n minimises the measured expected makespan; the w.h.p.
+             guarantee of the paper needs the larger `Paper value. *)
+          max 2 (Float.to_int (Float.ceil (Float.log (Float.of_int (n + 1)))))
+      | `Paper ->
+          max 1
+            (Float.to_int
+               (Float.ceil (16. *. (Float.log (Float.of_int (max 2 n)) /. Float.log 2.)))))
+
+let check_blocks inst blocks =
+  let n = Instance.n inst in
+  let dag = Instance.dag inst in
+  let block_of = Array.make n (-1) in
+  List.iteri
+    (fun b chains ->
+      List.iter
+        (List.iter (fun j ->
+             if j < 0 || j >= n then invalid_arg "Pipeline: job out of range";
+             if block_of.(j) >= 0 then invalid_arg "Pipeline: job in two blocks";
+             block_of.(j) <- b))
+        chains)
+    blocks;
+  if Array.exists (fun b -> b < 0) block_of then
+    invalid_arg "Pipeline: blocks do not cover all jobs";
+  (* Chains must follow precedence; cross-block edges must point forward. *)
+  List.iter
+    (fun chains ->
+      List.iter
+        (fun chain ->
+          let rec check = function
+            | u :: (v :: _ as rest) ->
+                if not (Dag.has_edge dag u v) then
+                  invalid_arg "Pipeline: chain step is not a dag edge";
+                check rest
+            | _ -> ()
+          in
+          check chain)
+        chains)
+    blocks;
+  List.iter
+    (fun (u, v) ->
+      if block_of.(u) > block_of.(v) then
+        invalid_arg "Pipeline: precedence edge crosses blocks backwards")
+    (Dag.edges dag)
+
+let build ?(params = default_params) inst ~blocks =
+  check_blocks inst blocks;
+  let n = Instance.n inst and m = Instance.m inst in
+  let rng = Suu_prob.Rng.create params.seed in
+  let process_block chains =
+    let frac = Lp_relax.solve_chains inst ~chains in
+    let integral = Rounding.round ~constants:params.constants inst frac in
+    let pseudos = Rounding.chain_pseudos inst integral in
+    let overlay, choice =
+      if params.derandomize then Delay.derandomized pseudos
+      else begin
+        let delay_rng = Suu_prob.Rng.split rng in
+        let ranges = Delay.auto_ranges pseudos in
+        Delay.choose delay_rng ~tries:params.delay_tries ~ranges pseudos
+      end
+    in
+    (overlay, frac.Lp_relax.t_star, integral, choice)
+  in
+  let results = List.map process_block blocks in
+  let combined =
+    match List.map (fun (p, _, _, _) -> p) results with
+    | [] -> Pseudo.create ~m [||]
+    | first :: rest -> List.fold_left Pseudo.append first rest
+  in
+  let accumass = Pseudo.flatten combined in
+  let sigma = auto_sigma params ~n in
+  let replicated = Oblivious.replicate_steps accumass sigma in
+  let schedule = Oblivious.with_fallback inst replicated in
+  let diagnostics =
+    {
+      lp_t_star = List.map (fun (_, t, _, _) -> t) results;
+      scale =
+        List.fold_left
+          (fun acc (_, _, integral, _) -> max acc integral.Rounding.scale)
+          1 results;
+      flow_jobs =
+        List.fold_left
+          (fun acc (_, _, integral, _) -> acc + integral.Rounding.flow_jobs)
+          0 results;
+      congestion =
+        List.fold_left
+          (fun acc (_, _, _, choice) -> max acc choice.Delay.congestion)
+          0 results;
+      pseudo_length = Pseudo.length combined;
+      core_length = Oblivious.prefix_length accumass;
+      sigma;
+      blocks = List.length blocks;
+    }
+  in
+  { schedule; accumass; diagnostics }
+
+let lp_lower_bound b =
+  List.fold_left Float.max 0. b.diagnostics.lp_t_star /. 16.

@@ -1,0 +1,68 @@
+(** The full LP → round → delay → flatten → replicate pipeline shared by the
+    chain (Theorem 4.4), tree (Theorem 4.8) and forest (Theorem 4.7)
+    algorithms.
+
+    Input is a partition of the jobs into *blocks*, each block a collection
+    of vertex-disjoint precedence chains, with all precedence across blocks
+    pointing forward (exactly what a chain decomposition provides; for
+    SUU-C there is a single block). Per block: solve (LP1), round
+    (Theorem 4.1) into per-chain pseudo-schedules, pick chain delays and
+    overlay (§4.1's random-delay step). Blocks are concatenated
+    sequentially, the result flattened into a feasible oblivious schedule
+    in which every job accumulates mass ≥ 1/2 after its predecessors did
+    (AccuMass-C conditions (i) and (ii)), every step is replicated σ times
+    (the "schedule replication" step), and the all-machines topological
+    cycle [Σ_{o,3}] is attached as the fallback tail. *)
+
+type params = {
+  constants : Rounding.constants;
+  delay_tries : int;  (** K of the best-of-K delay search *)
+  derandomize : bool;
+      (** use {!Delay.derandomized} (method of conditional expectations)
+          instead of the seeded best-of-K search *)
+  sigma : [ `Auto | `Fixed of int ];
+      (** per-step replication. [`Auto] with tuned constants is
+          [max 2 ⌈ln(n+1)⌉] — the expected-makespan sweet spot given the
+          fallback tail (ablated in EXP-G.2); with paper constants it is
+          the paper's ⌈16·log₂ n⌉, which makes the core succeed w.h.p. *)
+  seed : int;  (** seed of the delay search RNG *)
+}
+
+val default_params : params
+(** Tuned constants, 8 delay tries, auto σ, seed 0x5EED. *)
+
+val paper_params : params
+(** Paper constants everywhere: [`Paper] rounding scale, derandomized
+    delays (the paper's final schedules are deterministic),
+    σ = ⌈16·log₂ n⌉. For EXP-G ablations. *)
+
+type diagnostics = {
+  lp_t_star : float list;  (** per-block LP optima *)
+  scale : int;  (** max rounding scale used *)
+  flow_jobs : int;  (** jobs routed through the flow network *)
+  congestion : int;  (** max post-delay congestion over blocks *)
+  pseudo_length : int;  (** total pseudo-schedule length before flattening *)
+  core_length : int;  (** oblivious length after flattening, before σ *)
+  sigma : int;
+  blocks : int;
+}
+
+type build = {
+  schedule : Suu_core.Oblivious.t;  (** final schedule with fallback cycle *)
+  accumass : Suu_core.Oblivious.t;
+      (** flattened, un-replicated core: every job accumulates mass ≥ 1/2,
+          predecessors first — the AccuMass-C artifact, exposed for tests *)
+  diagnostics : diagnostics;
+}
+
+val build :
+  ?params:params -> Suu_core.Instance.t -> blocks:int list list list -> build
+(** Run the pipeline. [blocks] must partition all jobs; each chain must be
+    in precedence order; cross-block edges must point to later blocks (all
+    verified — @raise Invalid_argument otherwise). *)
+
+val lp_lower_bound : build -> float
+(** [max_block t*_block / 16]: a valid makespan lower bound. Each block's
+    (LP1) optimum is at most 16 × the optimal expected makespan of the
+    block's sub-instance (Lemma 4.2), which is itself a lower bound on the
+    full instance's TOPT (scheduling a subset can only be easier). *)

@@ -1,0 +1,292 @@
+module Instance = Suu_core.Instance
+module Maxflow = Suu_flow.Maxflow
+
+type constants = [ `Paper | `Tuned ]
+
+type integral = {
+  x : int array array;
+  window : int array;
+  mass : float array;
+  jobs : int list;
+  chains : int list list;
+  scale : int;
+  flow_jobs : int;
+}
+
+let target = Lp_relax.mass_target
+
+let iceil f = Float.to_int (Float.ceil (f -. 1e-9))
+
+let bucket_of p = Float.to_int (Float.floor (-.(Float.log p /. Float.log 2.)))
+
+(* Shared epilogue: per-job replication to the mass target, then mass and
+   window computation. *)
+let finalize inst frac x ~scale ~flow_jobs =
+  let m = Instance.m inst and n = Instance.n inst in
+  let add_mass j =
+    let acc = ref 0. in
+    for i = 0 to m - 1 do
+      acc :=
+        !acc +. (Float.of_int x.(i).(j) *. Instance.prob inst ~machine:i ~job:j)
+    done;
+    !acc
+  in
+  List.iter
+    (fun j ->
+      let mu = add_mass j in
+      if mu <= 0. then
+        failwith
+          (Printf.sprintf "Rounding: job %d received no allocation" j);
+      if mu < target then begin
+        let k = iceil (target /. mu) in
+        for i = 0 to m - 1 do
+          x.(i).(j) <- x.(i).(j) * k
+        done
+      end)
+    frac.Lp_relax.jobs;
+  let mass = Array.make n 0. in
+  List.iter (fun j -> mass.(j) <- add_mass j) frac.Lp_relax.jobs;
+  let window = Array.make n 0 in
+  List.iter
+    (fun j ->
+      let w = ref 1 in
+      for i = 0 to m - 1 do
+        if x.(i).(j) > !w then w := x.(i).(j)
+      done;
+      window.(j) <- !w)
+    frac.Lp_relax.jobs;
+  {
+    x;
+    window;
+    mass;
+    jobs = frac.Lp_relax.jobs;
+    chains =
+      (if frac.Lp_relax.chains = [] then
+         List.map (fun j -> [ j ]) frac.Lp_relax.jobs
+       else frac.Lp_relax.chains);
+    scale;
+    flow_jobs;
+  }
+
+(* Heaviest probability bucket of a job's small fractional parts:
+   returns [(bucket, parts, d'_j)] where parts are the (i, x_ij) in the
+   bucket and d'_j their total fractional allocation. *)
+let best_bucket inst ~j ~smalls ~m =
+  let cutoff = 1. /. (8. *. Float.of_int m) in
+  let weights = Hashtbl.create 8 in
+  List.iter
+    (fun (i, xij) ->
+      let p = Instance.prob inst ~machine:i ~job:j in
+      if p >= cutoff then begin
+        let b = bucket_of p in
+        let w, parts =
+          Option.value (Hashtbl.find_opt weights b) ~default:(0., [])
+        in
+        Hashtbl.replace weights b (w +. (p *. xij), (i, xij) :: parts)
+      end)
+    smalls;
+  Hashtbl.fold
+    (fun b (w, parts) best ->
+      match best with
+      | Some (_, bw, _, _) when bw >= w -> best
+      | _ ->
+          let d' = List.fold_left (fun acc (_, x) -> acc +. x) 0. parts in
+          Some (b, w, parts, d'))
+    weights None
+
+(* Route the scaled bucket demands through the Figure-3 network and return
+   the integral allocation, or [None] if the flow falls short of the total
+   demand (a scale too small for integrality to go through). *)
+let try_flow inst frac ~flow_data ~s =
+  let m = Instance.m inst in
+  let njobs = List.length flow_data in
+  if njobs = 0 then Some []
+  else begin
+    let demands =
+      List.map
+        (fun (j, parts, d'_j) ->
+          let dj = Float.to_int (Float.floor (Float.of_int s *. d'_j +. 1e-9)) in
+          (j, parts, max 0 dj))
+        flow_data
+    in
+    if List.exists (fun (_, _, dj) -> dj = 0) demands then None
+    else begin
+      (* Nodes: 0 = source, 1 = sink, 2.. = jobs then machines. *)
+      let source = 0 and sink = 1 in
+      let job_node = Hashtbl.create njobs in
+      List.iteri (fun k (j, _, _) -> Hashtbl.add job_node j (2 + k)) demands;
+      let machine_node i = 2 + njobs + i in
+      let g = Maxflow.create (2 + njobs + m) in
+      let machine_cap = iceil (Float.of_int s *. frac.Lp_relax.t_star) + 1 in
+      for i = 0 to m - 1 do
+        ignore
+          (Maxflow.add_edge g ~src:(machine_node i) ~dst:sink ~cap:machine_cap
+            : Maxflow.edge)
+      done;
+      let edge_ids = ref [] in
+      let total = ref 0 in
+      List.iter
+        (fun (j, parts, dj) ->
+          total := !total + dj;
+          let jn = Hashtbl.find job_node j in
+          ignore (Maxflow.add_edge g ~src:source ~dst:jn ~cap:dj : Maxflow.edge);
+          let win_cap =
+            iceil (Float.of_int s *. Float.max frac.Lp_relax.d.(j) 1.)
+          in
+          List.iter
+            (fun (i, _) ->
+              let e =
+                Maxflow.add_edge g ~src:jn ~dst:(machine_node i) ~cap:win_cap
+              in
+              edge_ids := (j, i, e) :: !edge_ids)
+            parts)
+        demands;
+      let value = Maxflow.max_flow g ~source ~sink in
+      if value < !total then None
+      else
+        Some
+          (List.filter_map
+             (fun (j, i, e) ->
+               let f = Maxflow.flow g e in
+               if f > 0 then Some (j, i, f) else None)
+             !edge_ids)
+    end
+  end
+
+let round ?(constants = `Tuned) inst (frac : Lp_relax.fractional) =
+  let m = Instance.m inst and n = Instance.n inst in
+  let njobs = List.length frac.jobs in
+  let x = Array.make_matrix m n 0 in
+  let flow_jobs = ref 0 in
+  let scale = ref 1 in
+  if Float.of_int njobs <= frac.t_star +. 1e-9 then
+    (* Case t* >= n: rounding up everything costs only a factor 2. *)
+    List.iter
+      (fun j ->
+        for i = 0 to m - 1 do
+          if frac.x.(i).(j) > 1e-12 then x.(i).(j) <- iceil frac.x.(i).(j)
+        done)
+      frac.jobs
+  else begin
+    (* Case t* < n: split each job's fractional parts. *)
+    let flow_data = ref [] in
+    List.iter
+      (fun j ->
+        let bigs = ref [] and smalls = ref [] in
+        let big_mass = ref 0. and small_mass = ref 0. in
+        for i = 0 to m - 1 do
+          let xij = frac.x.(i).(j) in
+          if xij > 1e-12 then begin
+            let p = Instance.prob inst ~machine:i ~job:j in
+            if xij >= 1. then begin
+              bigs := (i, xij) :: !bigs;
+              big_mass := !big_mass +. (p *. xij)
+            end
+            else begin
+              smalls := (i, xij) :: !smalls;
+              small_mass := !small_mass +. (p *. xij)
+            end
+          end
+        done;
+        if !big_mass >= !small_mass || !big_mass >= target /. 2. then
+          (* The large parts carry enough mass: round them up. *)
+          List.iter (fun (i, xij) -> x.(i).(j) <- iceil xij) !bigs
+        else begin
+          match best_bucket inst ~j ~smalls:!smalls ~m with
+          | None ->
+              (* Theoretically impossible (see Theorem 4.1); fall back to
+                 rounding everything up. *)
+              List.iter (fun (i, xij) -> x.(i).(j) <- iceil xij) !bigs;
+              List.iter (fun (i, xij) -> x.(i).(j) <- iceil xij) !smalls
+          | Some (_, _, parts, d'_j) ->
+              incr flow_jobs;
+              flow_data := (j, parts, d'_j) :: !flow_data
+        end)
+      frac.jobs;
+    (* Scale choice. *)
+    let bbits = iceil (Float.log (8. *. Float.of_int m) /. Float.log 2.) in
+    let s0 =
+      match constants with
+      | `Paper -> 64 * max 1 bbits
+      | `Tuned ->
+          List.fold_left
+            (fun acc (_, _, d') -> max acc (iceil (1. /. Float.max d' 1e-9)))
+            1 !flow_data
+    in
+    (* Integrality can require one more doubling in degenerate cases. *)
+    let rec attempt s tries =
+      scale := s;
+      match try_flow inst frac ~flow_data:!flow_data ~s with
+      | Some flows -> flows
+      | None ->
+          if tries > 30 then
+            failwith "Rounding.round: flow rounding failed to converge"
+          else attempt (2 * s) (tries + 1)
+    in
+    let flows = attempt s0 0 in
+    List.iter (fun (j, i, f) -> x.(i).(j) <- x.(i).(j) + f) flows
+  end;
+  finalize inst frac x ~scale:!scale ~flow_jobs:!flow_jobs
+
+let randomized rng inst (frac : Lp_relax.fractional) =
+  let m = Instance.m inst and n = Instance.n inst in
+  let x = Array.make_matrix m n 0 in
+  List.iter
+    (fun j ->
+      for i = 0 to m - 1 do
+        let xij = frac.Lp_relax.x.(i).(j) in
+        if xij > 1e-12 then begin
+          let base = Float.to_int (Float.floor xij) in
+          let frac_part = xij -. Float.of_int base in
+          x.(i).(j) <-
+            (base + if Suu_prob.Rng.bernoulli rng frac_part then 1 else 0)
+        end
+      done;
+      (* Repair: a job whose draws all came up zero gets one step on its
+         best machine so the replication epilogue has something to scale. *)
+      let any = ref false in
+      for i = 0 to m - 1 do
+        if x.(i).(j) > 0 && Instance.prob inst ~machine:i ~job:j > 0. then
+          any := true
+      done;
+      if not !any then x.(Instance.best_machine inst j).(j) <- 1)
+    frac.jobs;
+  finalize inst frac x ~scale:1 ~flow_jobs:0
+
+let chain_pseudo inst integral chain =
+  let m = Instance.m inst in
+  let length = List.fold_left (fun acc j -> acc + integral.window.(j)) 0 chain in
+  let units = ref [] in
+  let start = ref 0 in
+  List.iter
+    (fun j ->
+      for i = 0 to m - 1 do
+        if integral.x.(i).(j) > 0 then
+          units := (i, j, !start, integral.x.(i).(j)) :: !units
+      done;
+      start := !start + integral.window.(j))
+    chain;
+  Suu_core.Pseudo.of_windows ~m ~length !units
+
+let chain_pseudos inst integral =
+  List.map (chain_pseudo inst integral) integral.chains
+
+let verify inst integral =
+  let m = Instance.m inst in
+  let bad = ref None in
+  List.iter
+    (fun j ->
+      if integral.mass.(j) < target -. 1e-9 then
+        bad :=
+          Some
+            (Printf.sprintf "job %d integral mass %g < %g" j integral.mass.(j)
+               target);
+      for i = 0 to m - 1 do
+        if integral.x.(i).(j) > integral.window.(j) then
+          bad :=
+            Some
+              (Printf.sprintf "x_%d_%d = %d exceeds window %d" i j
+                 integral.x.(i).(j) integral.window.(j))
+      done)
+    integral.jobs;
+  match !bad with Some e -> Error e | None -> Ok ()

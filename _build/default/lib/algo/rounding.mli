@@ -1,0 +1,61 @@
+(** Rounding the (LP1) relaxation to an integral allocation
+    (paper Theorem 4.1, Figure 3).
+
+    Given an optimal fractional solution [{x, d, t*}], produce integral
+    step counts [x̂_ij] such that every job accumulates mass ≥ 1/2, every
+    machine's load is O(log m)·t*, and the windows along every chain sum to
+    O(log m)·t*. Two cases, exactly as in the paper:
+
+    - [t* ≥ #jobs]: round every variable up; a factor-2 blowup.
+    - [t* < #jobs]: per job, if the "large" parts ([x_ij ≥ 1]) carry at
+      least half the mass, round those up. Otherwise bucket the small
+      parts by probability ([p_ij ∈ (2^{-(b+1)}, 2^{-b}]], only
+      [p_ij ≥ 1/(8m)] matter), keep the heaviest bucket, scale by a factor
+      [s], and route the scaled demands through the flow network of
+      Figure 3 — source → job (capacity [D_j]), job → machine (capacity
+      [⌈s·d_j⌉]), machine → sink (capacity [⌈s·t*⌉]). Ford–Fulkerson
+      integrality yields the integral [x̂_ij].
+
+    Finally each job's allocation is replicated [k_j = ⌈(1/2)/mass_j⌉]
+    times to reach mass 1/2; the paper's analysis makes [s·k_j = O(log m)].
+    With [`Paper] constants [s = 64·⌈log₂ 8m⌉] (which forces [k_j] ∈ {1,2});
+    with [`Tuned] constants [s] is the smallest scale giving every flow job
+    a positive integral demand — far shorter schedules, same guarantees up
+    to constants. *)
+
+type constants = [ `Paper | `Tuned ]
+
+type integral = {
+  x : int array array;  (** x.(i).(j): integral steps after replication *)
+  window : int array;  (** per-job window length [L_j = max(1, max_i x̂_ij)] *)
+  mass : float array;  (** per-job mass of the integral allocation *)
+  jobs : int list;
+  chains : int list list;
+  scale : int;  (** the [s] actually used *)
+  flow_jobs : int;  (** how many jobs went through the flow network *)
+}
+
+val round :
+  ?constants:constants -> Suu_core.Instance.t -> Lp_relax.fractional -> integral
+(** Round a fractional solution (default [`Tuned]). *)
+
+val randomized :
+  Suu_prob.Rng.t -> Suu_core.Instance.t -> Lp_relax.fractional -> integral
+(** Ablation alternative to the paper's rounding (EXP-G): independent
+    randomized rounding — [x̂_ij = ⌊x_ij⌋ + Bernoulli(frac x_ij)] — with
+    per-job repair (a job left with zero allocation gets one step on its
+    best machine) and the same per-job replication to mass 1/2.
+    Expectation-preserving, so loads concentrate near the LP's; no
+    worst-case guarantee, unlike {!round}. *)
+
+val chain_pseudo : Suu_core.Instance.t -> integral -> int list -> Suu_core.Pseudo.t
+(** The pseudo-schedule of one chain (which must be one of [integral.chains]):
+    jobs receive consecutive windows in chain order; within job [j]'s
+    window, machine [i] works its first [x̂_ij] steps. Length is
+    [Σ_{j ∈ chain} L_j]. *)
+
+val chain_pseudos : Suu_core.Instance.t -> integral -> Suu_core.Pseudo.t list
+(** [chain_pseudo] for every chain. *)
+
+val verify : Suu_core.Instance.t -> integral -> (unit, string) result
+(** Every job reaches mass ≥ 1/2 and windows dominate allocations. *)

@@ -1,0 +1,3 @@
+let policy inst =
+  Suu_core.Policy.stateless "suu-i-alg" (fun state ->
+      Msm.assign inst ~jobs:state.Suu_core.Policy.eligible)

@@ -1,0 +1,15 @@
+(** SUU-I-ALG: adaptive O(log n)-approximation for independent jobs
+    (paper §3.1, Fig. 2, Theorem 3.3).
+
+    In every step, run MSM-ALG on the currently unfinished jobs and
+    schedule its assignment. Theorem 3.3: the expected makespan is within
+    O(log n) of optimal for independent jobs — each step accumulates total
+    mass ≥ |S_t| / (96 TOPT), so the unfinished count decays geometrically.
+
+    The same policy is well-defined for instances with precedence
+    constraints (MSM-ALG is then run on the currently *eligible* jobs);
+    the O(log n) guarantee only applies to the independent case, but the
+    generalised policy is a useful adaptive baseline in the experiments. *)
+
+val policy : Suu_core.Instance.t -> Suu_core.Policy.t
+(** The adaptive MSM-driven policy for this instance. *)

@@ -1,0 +1,95 @@
+module Instance = Suu_core.Instance
+module Oblivious = Suu_core.Oblivious
+
+type params = {
+  mass_target : float;
+  rounds_per_guess : int -> int;
+  early_exit : bool;
+  t0 : int;
+}
+
+let log2 x = Float.log x /. Float.log 2.
+
+let paper_params =
+  {
+    mass_target = 1. /. 96.;
+    rounds_per_guess =
+      (fun n -> max 1 (Float.to_int (Float.ceil (66. *. log2 (Float.of_int (max 2 n))))));
+    early_exit = true;
+    t0 = 1;
+  }
+
+let tuned_params =
+  {
+    mass_target = 0.25;
+    rounds_per_guess =
+      (fun n -> max 1 (Float.to_int (Float.ceil (8. *. log2 (Float.of_int (max 2 n))))));
+    early_exit = true;
+    t0 = 1;
+  }
+
+type result = {
+  core : Oblivious.t;
+  final_t : int;
+  rounds_used : int;
+  guesses : int;
+}
+
+let build ?(params = tuned_params) inst =
+  let n = Instance.n inst and m = Instance.m inst in
+  if n = 0 then
+    { core = Oblivious.finite ~m [||]; final_t = 0; rounds_used = 0; guesses = 0 }
+  else begin
+    let max_rounds = params.rounds_per_guess n in
+    (* A guess of O(n / p_min) always succeeds (§3.2), so the doubling
+       terminates; the cap below is a defensive backstop. *)
+    let hard_cap =
+      let pmin = Instance.p_min inst in
+      Float.to_int (Float.min 1e9 (16. *. Float.of_int n /. pmin)) + 2
+    in
+    let rec attempt t guesses =
+      let remaining = Array.make n true in
+      let remaining_count = ref n in
+      let pieces = ref [] in
+      let rounds = ref 0 in
+      let stop = ref false in
+      while (not !stop) && !remaining_count > 0 && !rounds < max_rounds do
+        incr rounds;
+        let alloc = Msm_ext.allocate inst ~jobs:remaining ~t in
+        pieces := Msm_ext.to_schedule inst alloc :: !pieces;
+        let removed = ref 0 in
+        for j = 0 to n - 1 do
+          if remaining.(j) && alloc.Msm_ext.mass.(j) >= params.mass_target -. 1e-12
+          then begin
+            remaining.(j) <- false;
+            decr remaining_count;
+            incr removed
+          end
+        done;
+        if params.early_exit && !removed = 0 then stop := true
+      done;
+      if !remaining_count > 0 then
+        if t >= hard_cap then
+          invalid_arg "Suu_i_obl.build: guess cap exceeded (unreachable jobs?)"
+        else attempt (2 * t) (guesses + 1)
+      else begin
+        let core =
+          List.fold_left
+            (fun acc piece -> Oblivious.append piece acc)
+            (Oblivious.finite ~m [||])
+            !pieces
+        in
+        { core; final_t = t; rounds_used = !rounds; guesses = guesses + 1 }
+      end
+    in
+    attempt params.t0 0
+  end
+
+let schedule ?params inst =
+  let r = build ?params inst in
+  let prefix = r.core.Oblivious.prefix in
+  if Array.length prefix = 0 then r.core
+  else Oblivious.create ~m:(Instance.m inst) ~cycle:prefix [||]
+
+let policy ?params inst =
+  Suu_core.Policy.of_oblivious "suu-i-obl" (schedule ?params inst)

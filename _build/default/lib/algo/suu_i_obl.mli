@@ -1,0 +1,50 @@
+(** SUU-I-OBL: oblivious O(log² n)-approximation for independent jobs
+    (paper §3.2, Alg. 2, Lemma 3.5 and Theorem 3.6).
+
+    The algorithm guesses the optimal makespan by doubling a length
+    parameter [t]. For each guess it repeatedly invokes MSM-E-ALG on the
+    jobs that have not yet accumulated mass [1/96], concatenating the
+    resulting oblivious schedules, for at most [66 log n] rounds. If
+    [t ≥ 2 TOPT], Theorem 3.1 + Lemma 3.4 guarantee each round serves at
+    least a [1/95] fraction of the remaining jobs, so the loop drains; if
+    jobs remain the guess was too small and [t] doubles.
+
+    The result (Lemma 3.5) is an oblivious schedule of length
+    [O(log n) · TOPT] in which every job accumulates mass ≥ 1/96; repeated
+    forever (Theorem 3.6) its expected makespan is [O(log² n) · TOPT]. *)
+
+type params = {
+  mass_target : float;  (** removal threshold (paper: 1/96) *)
+  rounds_per_guess : int -> int;
+      (** max MSM-E-ALG rounds for [n] jobs (paper: ⌈66 log₂ n⌉) *)
+  early_exit : bool;
+      (** abandon a guess as soon as a round removes no job — safe, because
+          a sufficient [t] always removes at least one (see Lemma 3.5's
+          counting argument), and it skips useless rounds *)
+  t0 : int;  (** initial guess (paper: 1) *)
+}
+
+val paper_params : params
+(** The constants exactly as in Algorithm 2 (with [early_exit] on). *)
+
+val tuned_params : params
+(** Practical constants: mass target 1/4, at most [⌈8 log₂ n⌉] rounds —
+    same structure and guarantees up to constants, far shorter schedules.
+    Used as the experiment default; EXP-G ablates against [paper_params]. *)
+
+type result = {
+  core : Suu_core.Oblivious.t;
+      (** the accumulated schedule: every job reaches the mass target *)
+  final_t : int;  (** the accepted guess *)
+  rounds_used : int;
+  guesses : int;  (** how many doublings were tried *)
+}
+
+val build : ?params:params -> Suu_core.Instance.t -> result
+(** Run Algorithm 2. Terminates for every valid instance (the guess is
+    accepted before [t] exceeds O(n/p_min)). *)
+
+val schedule : ?params:params -> Suu_core.Instance.t -> Suu_core.Oblivious.t
+(** The Theorem 3.6 schedule: [core] repeated forever (as the cycle). *)
+
+val policy : ?params:params -> Suu_core.Instance.t -> Suu_core.Policy.t

@@ -1,0 +1,21 @@
+module Chain_decomp = Suu_dag.Chain_decomp
+module Classify = Suu_dag.Classify
+
+let blocks_of_decomposition (decomp : Chain_decomp.t) =
+  Array.to_list decomp.Chain_decomp.blocks
+
+let build ?params inst =
+  let dag = Suu_core.Instance.dag inst in
+  let mode =
+    if Classify.matches dag Classify.Out_trees then Chain_decomp.Out_mode
+    else if Classify.matches dag Classify.In_trees then Chain_decomp.In_mode
+    else
+      invalid_arg "Trees.build: dag is not a collection of out- or in-trees"
+  in
+  let decomp = Chain_decomp.decompose ~mode dag in
+  Pipeline.build ?params inst ~blocks:(blocks_of_decomposition decomp)
+
+let schedule ?params inst = (build ?params inst).Pipeline.schedule
+
+let policy ?params inst =
+  Suu_core.Policy.of_oblivious "suu-trees" (schedule ?params inst)

@@ -1,0 +1,19 @@
+(** SUU with in-/out-tree precedence constraints (paper §4.2, Theorem 4.8).
+
+    Decompose the forest of out-trees (or in-trees) into ≤ ⌊log₂ n⌋ + 1
+    blocks of vertex-disjoint chains ({!Suu_dag.Chain_decomp}), then run
+    the chain pipeline block by block; blocks execute sequentially, which
+    respects all cross-block precedence. Expected makespan
+    O(log m · log² n) × TOPT. *)
+
+val build : ?params:Pipeline.params -> Suu_core.Instance.t -> Pipeline.build
+(** @raise Invalid_argument unless the DAG is a collection of out-trees or
+    a collection of in-trees. *)
+
+val schedule :
+  ?params:Pipeline.params -> Suu_core.Instance.t -> Suu_core.Oblivious.t
+
+val policy : ?params:Pipeline.params -> Suu_core.Instance.t -> Suu_core.Policy.t
+
+val blocks_of_decomposition : Suu_dag.Chain_decomp.t -> int list list list
+(** The block structure the pipeline consumes, shared with {!Forest}. *)

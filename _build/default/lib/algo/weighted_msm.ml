@@ -1,0 +1,72 @@
+module Instance = Suu_core.Instance
+module Assignment = Suu_core.Assignment
+module Dag = Suu_dag.Dag
+
+type weighting = Uniform | Descendants | Critical_path
+
+let weights inst = function
+  | Uniform -> Array.make (Instance.n inst) 1.
+  | Descendants ->
+      (* Count true descendants via reachability (descendant_counts is only
+         exact on forests). *)
+      let dag = Instance.dag inst in
+      let r = Dag.reachable dag in
+      Array.init (Instance.n inst) (fun j ->
+          let count = ref 0 in
+          Array.iter (fun reachable -> if reachable then incr count) r.(j);
+          Float.of_int (1 + !count))
+  | Critical_path ->
+      let dag = Instance.dag inst in
+      let n = Instance.n inst in
+      let depth = Array.make n 1 in
+      let topo = Dag.topo_order dag in
+      for k = n - 1 downto 0 do
+        let u = topo.(k) in
+        List.iter
+          (fun v -> if depth.(v) + 1 > depth.(u) then depth.(u) <- depth.(v) + 1)
+          (Dag.succs dag u)
+      done;
+      Array.map Float.of_int depth
+
+let sorted_pairs inst ~weights ~jobs =
+  let pairs = ref [] in
+  for i = 0 to Instance.m inst - 1 do
+    for j = 0 to Instance.n inst - 1 do
+      if jobs.(j) then begin
+        let p = Instance.prob inst ~machine:i ~job:j in
+        if p > 0. then pairs := (p *. weights.(j), p, i, j) :: !pairs
+      end
+    done
+  done;
+  List.sort
+    (fun (s1, _, i1, j1) (s2, _, i2, j2) ->
+      match Float.compare s2 s1 with
+      | 0 -> compare (i1, j1) (i2, j2)
+      | c -> c)
+    !pairs
+
+let assign inst ~weights ~jobs =
+  if Array.length jobs <> Instance.n inst then
+    invalid_arg "Weighted_msm.assign: jobs length mismatch";
+  if Array.length weights <> Instance.n inst then
+    invalid_arg "Weighted_msm.assign: weights length mismatch";
+  let a = Assignment.idle (Instance.m inst) in
+  let mass = Array.make (Instance.n inst) 0. in
+  List.iter
+    (fun (_, p, i, j) ->
+      if a.(i) = Assignment.idle_job && mass.(j) +. p <= 1. +. 1e-12 then begin
+        a.(i) <- j;
+        mass.(j) <- mass.(j) +. p
+      end)
+    (sorted_pairs inst ~weights ~jobs);
+  a
+
+let name_of = function
+  | Uniform -> "msm-uniform"
+  | Descendants -> "msm-descendants"
+  | Critical_path -> "msm-critical-path"
+
+let policy ?(weighting = Critical_path) inst =
+  let w = weights inst weighting in
+  Suu_core.Policy.stateless (name_of weighting) (fun state ->
+      assign inst ~weights:w ~jobs:state.Suu_core.Policy.eligible)

@@ -1,0 +1,1 @@
+lib/core/assignment.ml: Array Format Instance List Printf

@@ -1,0 +1,1 @@
+lib/core/instance.ml: Array Float Format Printf Suu_dag

@@ -1,0 +1,1 @@
+lib/core/instance.mli: Format Suu_dag

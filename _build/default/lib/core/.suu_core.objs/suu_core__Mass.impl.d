@@ -1,0 +1,1 @@
+lib/core/mass.ml: Array Assignment Float Instance List Oblivious Printf Suu_dag

@@ -1,0 +1,1 @@
+lib/core/mass.mli: Instance Oblivious

@@ -1,0 +1,1 @@
+lib/core/oblivious.ml: Array Assignment Format Instance List Suu_dag

@@ -1,0 +1,1 @@
+lib/core/oblivious.mli: Assignment Format Instance

@@ -1,0 +1,1 @@
+lib/core/pseudo.ml: Array Assignment Format Instance List Oblivious String

@@ -1,0 +1,1 @@
+lib/core/pseudo.mli: Format Instance Oblivious

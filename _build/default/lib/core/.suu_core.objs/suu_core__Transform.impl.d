@@ -1,0 +1,1 @@
+lib/core/transform.ml: Array Float Hashtbl Instance List Suu_dag

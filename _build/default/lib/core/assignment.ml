@@ -1,0 +1,65 @@
+type t = int array
+
+let idle_job = -1
+let idle m = Array.make m idle_job
+
+let of_pairs ~m pairs =
+  let a = idle m in
+  List.iter
+    (fun (i, j) ->
+      if i < 0 || i >= m then invalid_arg "Assignment.of_pairs: bad machine";
+      if a.(i) <> idle_job then
+        invalid_arg "Assignment.of_pairs: machine assigned twice";
+      a.(i) <- j)
+    pairs;
+  a
+
+let validate a ~n ~m =
+  if Array.length a <> m then
+    Error (Printf.sprintf "assignment length %d, expected %d" (Array.length a) m)
+  else begin
+    let bad = ref None in
+    Array.iteri
+      (fun i j ->
+        if j <> idle_job && (j < 0 || j >= n) then
+          bad := Some (Printf.sprintf "machine %d assigned to bad job %d" i j))
+      a;
+    match !bad with Some e -> Error e | None -> Ok ()
+  end
+
+let jobs_assigned a =
+  Array.to_list a
+  |> List.filter (fun j -> j <> idle_job)
+  |> List.sort_uniq compare
+
+let machines_on a ~job =
+  let rec collect i acc =
+    if i < 0 then acc else collect (i - 1) (if a.(i) = job then i :: acc else acc)
+  in
+  collect (Array.length a - 1) []
+
+let mass_added inst a =
+  let mass = Array.make (Instance.n inst) 0. in
+  Array.iteri
+    (fun i j ->
+      if j <> idle_job then
+        mass.(j) <- mass.(j) +. Instance.prob inst ~machine:i ~job:j)
+    a;
+  mass
+
+let success_prob inst a ~job =
+  let fail = ref 1. in
+  Array.iteri
+    (fun i j ->
+      if j = job then fail := !fail *. (1. -. Instance.prob inst ~machine:i ~job:j))
+    a;
+  1. -. !fail
+
+let pp fmt a =
+  Format.fprintf fmt "[";
+  Array.iteri
+    (fun i j ->
+      if i > 0 then Format.fprintf fmt " ";
+      if j = idle_job then Format.fprintf fmt "_" else Format.fprintf fmt "%d" j)
+    a;
+  Format.fprintf fmt "]"

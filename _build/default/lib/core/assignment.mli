@@ -1,0 +1,36 @@
+(** Single-step machine→job assignments.
+
+    One step of a schedule: [a.(i)] is the job machine [i] works on, or
+    [idle_job] (-1) when the machine rests. Several machines may share a
+    job (that is the point of the model); a machine works on at most one
+    job per step. *)
+
+type t = int array
+
+val idle_job : int
+(** The pseudo-job [⊥] of the paper, represented as [-1]. *)
+
+val idle : int -> t
+(** [idle m] is the all-idle assignment for [m] machines. *)
+
+val of_pairs : m:int -> (int * int) list -> t
+(** [of_pairs ~m pairs] builds an assignment from [(machine, job)] pairs.
+    @raise Invalid_argument if a machine is assigned twice. *)
+
+val validate : t -> n:int -> m:int -> (unit, string) result
+(** Well-formedness: length [m], every entry [idle_job] or in [\[0, n)]. *)
+
+val jobs_assigned : t -> int list
+(** Distinct jobs receiving at least one machine, ascending. *)
+
+val machines_on : t -> job:int -> int list
+(** Machines assigned to [job], ascending. *)
+
+val mass_added : Instance.t -> t -> float array
+(** Per-job mass contributed by this step: [Σ_{i : a.(i) = j} p_ij]
+    (uncapped — capping at 1 is the caller's concern, per Definition 2.4). *)
+
+val success_prob : Instance.t -> t -> job:int -> float
+(** Probability that [job] completes this step: [1 − Π_{i on j} (1 − p_ij)]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,91 @@
+type t = { nm : int; p : float array array; dag : Suu_dag.Dag.t }
+
+let create ~p ~dag =
+  let n = Suu_dag.Dag.n dag in
+  let m = Array.length p in
+  if m = 0 then invalid_arg "Instance.create: no machines";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then
+        invalid_arg "Instance.create: probability row length mismatch";
+      Array.iter
+        (fun pij ->
+          if not (Float.is_finite pij) || pij < 0. || pij > 1. then
+            invalid_arg "Instance.create: probability outside [0,1]")
+        row)
+    p;
+  for j = 0 to n - 1 do
+    let capable = ref false in
+    for i = 0 to m - 1 do
+      if p.(i).(j) > 0. then capable := true
+    done;
+    if not !capable then
+      invalid_arg
+        (Printf.sprintf "Instance.create: job %d has no capable machine" j)
+  done;
+  { nm = m; p = Array.map Array.copy p; dag }
+
+let independent ~p =
+  let n = if Array.length p = 0 then 0 else Array.length p.(0) in
+  create ~p ~dag:(Suu_dag.Dag.empty n)
+
+let n t = Suu_dag.Dag.n t.dag
+let m t = t.nm
+let dag t = t.dag
+let prob t ~machine ~job = t.p.(machine).(job)
+
+let probs_for_job t j = Array.init t.nm (fun i -> t.p.(i).(j))
+
+let capable_machines t j =
+  let rec collect i acc =
+    if i < 0 then acc
+    else collect (i - 1) (if t.p.(i).(j) > 0. then i :: acc else acc)
+  in
+  collect (t.nm - 1) []
+
+let total_rate t j =
+  let acc = ref 0. in
+  for i = 0 to t.nm - 1 do
+    acc := !acc +. t.p.(i).(j)
+  done;
+  !acc
+
+let best_prob t j =
+  let acc = ref 0. in
+  for i = 0 to t.nm - 1 do
+    if t.p.(i).(j) > !acc then acc := t.p.(i).(j)
+  done;
+  !acc
+
+let best_machine t j =
+  let best = ref 0 in
+  for i = 1 to t.nm - 1 do
+    if t.p.(i).(j) > t.p.(!best).(j) then best := i
+  done;
+  !best
+
+let p_min t =
+  let acc = ref 1. in
+  Array.iter
+    (Array.iter (fun pij -> if pij > 0. && pij < !acc then acc := pij))
+    t.p;
+  !acc
+
+let machine_max_prob t i = Array.fold_left Float.max 0. t.p.(i)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>instance n=%d m=%d dag=%a" (n t) t.nm
+    Suu_dag.Classify.pp
+    (Suu_dag.Classify.classify t.dag);
+  for i = 0 to t.nm - 1 do
+    Format.fprintf fmt "@,machine %d:" i;
+    Array.iter (fun pij -> Format.fprintf fmt " %.3f" pij) t.p.(i)
+  done;
+  Format.fprintf fmt "@]"
+
+let transpose_probs q =
+  let nj = Array.length q in
+  if nj = 0 then [||]
+  else
+    let nm = Array.length q.(0) in
+    Array.init nm (fun i -> Array.init nj (fun j -> q.(j).(i)))

@@ -1,0 +1,59 @@
+(** SUU problem instances (paper §2.1).
+
+    An instance bundles [n] unit-step jobs, [m] machines, the success
+    probabilities [p_ij] (probability that one step of machine [i] on job
+    [j] completes it), and a precedence DAG. Construction validates that
+    probabilities lie in [\[0,1\]] and that every job has at least one
+    machine with positive success probability — the paper's standing
+    assumption, without which the expected makespan is infinite. *)
+
+type t
+
+val create : p:float array array -> dag:Suu_dag.Dag.t -> t
+(** [create ~p ~dag] with [p.(i).(j)] the success probability of machine
+    [i] on job [j]; the number of jobs is [Dag.n dag] and the number of
+    machines is [Array.length p].
+    @raise Invalid_argument on dimension mismatch, probabilities outside
+    [\[0,1\]], or a job with no capable machine. *)
+
+val independent : p:float array array -> t
+(** [create] with an edgeless DAG. *)
+
+val n : t -> int
+(** Number of jobs. *)
+
+val m : t -> int
+(** Number of machines. *)
+
+val dag : t -> Suu_dag.Dag.t
+
+val prob : t -> machine:int -> job:int -> float
+(** [p_ij]. *)
+
+val probs_for_job : t -> int -> float array
+(** Column of [p] for a job: index by machine. *)
+
+val capable_machines : t -> int -> int list
+(** Machines [i] with [p_ij > 0], ascending. *)
+
+val total_rate : t -> int -> float
+(** [Σ_i p_ij] for a job — the highest mass it can accumulate per step. *)
+
+val best_prob : t -> int -> float
+(** [max_i p_ij] for a job. *)
+
+val best_machine : t -> int -> int
+(** A machine attaining [best_prob] (smallest index among ties). *)
+
+val p_min : t -> float
+(** Minimum positive [p_ij] over the whole instance (the paper's [p_min],
+    used to bound TOPT). *)
+
+val machine_max_prob : t -> int -> float
+(** [max_j p_ij] for a machine — its best per-step contribution. *)
+
+val pp : Format.formatter -> t -> unit
+
+val transpose_probs : float array array -> float array array
+(** Convenience for building instances from job-major matrices:
+    [transpose_probs q] with [q.(j).(i)] gives [p.(i).(j)]. *)

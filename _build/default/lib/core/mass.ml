@@ -1,0 +1,89 @@
+let combined_success ps =
+  1. -. List.fold_left (fun acc p -> acc *. (1. -. p)) 1. ps
+
+let proposition_2_1_bounds ps =
+  let total = List.fold_left ( +. ) 0. ps in
+  let capped_total = Float.min total 1. in
+  (capped_total /. Float.exp 1., Float.min total 1.)
+
+let capped mass = Float.min mass 1.
+
+let of_oblivious inst sched ~steps =
+  let mass = Array.make (Instance.n inst) 0. in
+  for t = 0 to steps - 1 do
+    let a = Oblivious.step sched t in
+    Array.iteri
+      (fun i j ->
+        if j <> Assignment.idle_job then
+          mass.(j) <- mass.(j) +. Instance.prob inst ~machine:i ~job:j)
+      a
+  done;
+  mass
+
+let of_oblivious_capped inst sched ~steps =
+  Array.map capped (of_oblivious inst sched ~steps)
+
+let first_step_reaching inst sched ~target ~horizon =
+  let n = Instance.n inst in
+  let mass = Array.make n 0. in
+  let first = Array.make n None in
+  let remaining = ref n in
+  let t = ref 0 in
+  while !remaining > 0 && !t < horizon do
+    let a = Oblivious.step sched !t in
+    Array.iteri
+      (fun i j ->
+        if j <> Assignment.idle_job then begin
+          mass.(j) <- mass.(j) +. Instance.prob inst ~machine:i ~job:j;
+          if first.(j) = None && mass.(j) >= target -. 1e-12 then begin
+            first.(j) <- Some (!t + 1);
+            decr remaining
+          end
+        end)
+      a;
+    incr t
+  done;
+  first
+
+let precedence_respecting inst sched ~target ~horizon =
+  let n = Instance.n inst in
+  let dag = Instance.dag inst in
+  let reached = first_step_reaching inst sched ~target ~horizon in
+  let unreached =
+    List.filter (fun j -> reached.(j) = None) (List.init n (fun j -> j))
+  in
+  match unreached with
+  | j :: _ ->
+      Error
+        (Printf.sprintf "job %d never accumulates mass %g within %d steps" j
+           target horizon)
+  | [] ->
+      (* Find the first step each job receives any machine. *)
+      let first_touch = Array.make n None in
+      let touched = ref 0 in
+      let t = ref 0 in
+      while !touched < n && !t < horizon do
+        let a = Oblivious.step sched !t in
+        Array.iteri
+          (fun _ j ->
+            if j <> Assignment.idle_job && first_touch.(j) = None then begin
+              first_touch.(j) <- Some (!t + 1);
+              incr touched
+            end)
+          a;
+        incr t
+      done;
+      let bad = ref None in
+      List.iter
+        (fun (j1, j2) ->
+          match (reached.(j1), first_touch.(j2)) with
+          | Some r1, Some s2 when s2 <= r1 ->
+              bad :=
+                Some
+                  (Printf.sprintf
+                     "machine assigned to job %d at step %d before \
+                      predecessor %d reached mass %g (step %d)"
+                     j2 s2 j1 target r1)
+          | _ -> ())
+        (Suu_dag.Dag.edges dag);
+      (match !bad with Some e -> Error e | None -> Ok ())

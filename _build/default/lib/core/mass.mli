@@ -1,0 +1,40 @@
+(** Mass bookkeeping (paper Definition 2.4 and Proposition 2.1).
+
+    The mass of a job under an oblivious schedule at the end of step [t] is
+    [min(Σ_{τ ≤ t} Σ_{i : f_τ(i) = j} p_ij, 1)]. Proposition 2.1 sandwiches
+    the per-step success probability between [mass/e] and [mass] (for mass
+    ≤ 1), which is why all the paper's algorithms optimise mass instead of
+    probability. *)
+
+val combined_success : float list -> float
+(** [1 − Π (1 − p_k)]: success probability of a set of independent
+    attempts. *)
+
+val proposition_2_1_bounds : float list -> float * float
+(** For per-machine probabilities [ps] with [Σ ps ≤ 1], returns
+    [(lower, upper)] = [(Σ/e, Σ)] such that
+    [lower ≤ combined_success ps ≤ upper] — the two assertions of
+    Proposition 2.1. (For [Σ > 1] the upper bound is clamped to 1 and the
+    lower bound is [1 − e⁻¹ ≥ Σ'/e] with [Σ' = 1].) *)
+
+val capped : float -> float
+(** [min mass 1.] *)
+
+val of_oblivious : Instance.t -> Oblivious.t -> steps:int -> float array
+(** Uncapped mass accumulated by every job over the first [steps] steps
+    (cycle included). *)
+
+val of_oblivious_capped : Instance.t -> Oblivious.t -> steps:int -> float array
+(** [of_oblivious] capped at 1 per job, as in Definition 2.4. *)
+
+val first_step_reaching :
+  Instance.t -> Oblivious.t -> target:float -> horizon:int -> int option array
+(** For each job, the earliest 1-based step by which its accumulated mass
+    reaches [target], or [None] if this does not happen within [horizon]
+    steps. *)
+
+val precedence_respecting :
+  Instance.t -> Oblivious.t -> target:float -> horizon:int -> (unit, string) result
+(** Checks condition (ii) of AccuMass-C (§4.1): whenever [j1 ≺ j2], no
+    machine is assigned to [j2] before [j1] has accumulated mass [target].
+    Also checks every job reaches [target] within [horizon]. *)

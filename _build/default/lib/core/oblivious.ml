@@ -1,0 +1,126 @@
+type t = { m : int; prefix : Assignment.t array; cycle : Assignment.t array }
+
+let check_lengths m steps =
+  Array.iter
+    (fun a ->
+      if Array.length a <> m then
+        invalid_arg "Oblivious: assignment length mismatch")
+    steps
+
+let create ~m ?(cycle = [||]) prefix =
+  check_lengths m prefix;
+  check_lengths m cycle;
+  { m; prefix; cycle }
+
+let finite ~m prefix = create ~m prefix
+
+let prefix_length t = Array.length t.prefix
+let cycle_length t = Array.length t.cycle
+
+let step t k =
+  let plen = Array.length t.prefix in
+  if k < plen then t.prefix.(k)
+  else begin
+    let clen = Array.length t.cycle in
+    (* A fresh idle array per call: the allocation only happens past the
+       end of a cycle-less schedule (a cold path), and sharing a cached
+       array across OCaml 5 domains would race. *)
+    if clen = 0 then Assignment.idle t.m else t.cycle.((k - plen) mod clen)
+  end
+
+let append a b =
+  if a.m <> b.m then invalid_arg "Oblivious.append: machine count mismatch";
+  { m = a.m; prefix = Array.append a.prefix b.prefix; cycle = b.cycle }
+
+let replicate_steps t k =
+  if k < 1 then invalid_arg "Oblivious.replicate_steps: factor must be >= 1";
+  let rep steps =
+    Array.concat
+      (Array.to_list (Array.map (fun a -> Array.make k a) steps))
+  in
+  { m = t.m; prefix = rep t.prefix; cycle = rep t.cycle }
+
+let repeat_prefix t k =
+  if k < 1 then invalid_arg "Oblivious.repeat_prefix: factor must be >= 1";
+  {
+    m = t.m;
+    prefix = Array.concat (List.init k (fun _ -> t.prefix));
+    cycle = t.cycle;
+  }
+
+let cycle_all_jobs inst =
+  let n = Instance.n inst and m = Instance.m inst in
+  let topo = Suu_dag.Dag.topo_order (Instance.dag inst) in
+  let cycle = Array.map (fun j -> Array.make m j) topo in
+  if n = 0 then { m; prefix = [||]; cycle = [||] }
+  else { m; prefix = [||]; cycle }
+
+let with_fallback inst t =
+  let fb = cycle_all_jobs inst in
+  if t.m <> Instance.m inst then
+    invalid_arg "Oblivious.with_fallback: machine count mismatch";
+  { m = t.m; prefix = t.prefix; cycle = fb.cycle }
+
+let of_matrix ~m ~n x =
+  if Array.length x <> m then invalid_arg "Oblivious.of_matrix: bad row count";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then
+        invalid_arg "Oblivious.of_matrix: bad column count";
+      Array.iter
+        (fun v -> if v < 0 then invalid_arg "Oblivious.of_matrix: negative")
+        row)
+    x;
+  let load i = Array.fold_left ( + ) 0 x.(i) in
+  let length = ref 0 in
+  for i = 0 to m - 1 do
+    length := max !length (load i)
+  done;
+  let prefix = Array.init !length (fun _ -> Assignment.idle m) in
+  for i = 0 to m - 1 do
+    let t = ref 0 in
+    for j = 0 to n - 1 do
+      for _ = 1 to x.(i).(j) do
+        prefix.(!t).(i) <- j;
+        incr t
+      done
+    done
+  done;
+  { m; prefix; cycle = [||] }
+
+let load t =
+  let loads = Array.make t.m 0 in
+  Array.iter
+    (fun a ->
+      Array.iteri
+        (fun i j -> if j <> Assignment.idle_job then loads.(i) <- loads.(i) + 1)
+        a)
+    t.prefix;
+  loads
+
+let validate inst t =
+  if t.m <> Instance.m inst then Error "machine count mismatch"
+  else begin
+    let n = Instance.n inst in
+    let check steps =
+      Array.to_list steps
+      |> List.filter_map (fun a ->
+             match Assignment.validate a ~n ~m:t.m with
+             | Ok () -> None
+             | Error e -> Some e)
+    in
+    match check t.prefix @ check t.cycle with
+    | [] -> Ok ()
+    | e :: _ -> Error e
+  end
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>oblivious m=%d prefix=%d cycle=%d" t.m
+    (Array.length t.prefix) (Array.length t.cycle);
+  Array.iteri
+    (fun k a -> Format.fprintf fmt "@,%4d: %a" k Assignment.pp a)
+    t.prefix;
+  Array.iteri
+    (fun k a -> Format.fprintf fmt "@,cyc%d: %a" k Assignment.pp a)
+    t.cycle;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,66 @@
+(** Oblivious schedules (paper Definition 2.3).
+
+    An oblivious schedule fixes, in advance and independently of execution
+    outcomes, the assignment function [f_t] of every step. Because a job
+    may keep failing, schedules must conceptually be infinite; we represent
+    them as a finite [prefix] followed by a [cycle] repeated forever. A
+    machine assigned to a finished or not-yet-eligible job simply idles for
+    that step (the execution semantics of Definition 2.1). *)
+
+type t = private {
+  m : int;  (** number of machines *)
+  prefix : Assignment.t array;
+  cycle : Assignment.t array;  (** repeated after the prefix; may be empty *)
+}
+
+val create : m:int -> ?cycle:Assignment.t array -> Assignment.t array -> t
+(** [create ~m ?cycle prefix].
+    @raise Invalid_argument if any assignment has length ≠ [m]. *)
+
+val finite : m:int -> Assignment.t array -> t
+(** A schedule with an empty cycle: machines idle after the prefix. *)
+
+val prefix_length : t -> int
+val cycle_length : t -> int
+
+val step : t -> int -> Assignment.t
+(** [step sched t] is the assignment of 0-based step [t]; idle forever after
+    the prefix when the cycle is empty. The returned array must not be
+    mutated. *)
+
+val append : t -> t -> t
+(** [append a b]: run [a]'s prefix, then [b] (prefix + cycle). [a]'s cycle
+    is discarded; both must have the same machine count. *)
+
+val replicate_steps : t -> int -> t
+(** [replicate_steps sched k] repeats every step of prefix and cycle [k]
+    times in place — the paper's "schedule replication" (§4.1) that turns a
+    constant per-window success probability into a high-probability one. *)
+
+val repeat_prefix : t -> int -> t
+(** [repeat_prefix sched k] is the prefix concatenated [k] times, keeping
+    the original cycle afterwards. *)
+
+val cycle_all_jobs : Instance.t -> t
+(** The paper's fallback schedule [Σ_{o,3}]: step [k] assigns every machine
+    to the [k]-th job in topological order, cycling forever with period
+    [n]. Guarantees termination of any execution with probability 1. *)
+
+val with_fallback : Instance.t -> t -> t
+(** Replace the schedule's tail by [cycle_all_jobs]: the paper's final
+    composition [Σ_o = Σ_{o,2} ∘ Σ_{o,3}^∞]. *)
+
+val of_matrix : m:int -> n:int -> int array array -> t
+(** [of_matrix ~m ~n x] with [x.(i).(j)] the number of steps machine [i]
+    spends on job [j]: machine [i]'s row of the schedule is job [0]
+    repeated [x.(i).(0)] times, then job 1, etc. — the packing used by
+    MSM-E-ALG (§3.2). The schedule length is the maximum machine load;
+    machines idle once their own work is exhausted. The cycle is empty. *)
+
+val load : t -> int array
+(** Per-machine number of non-idle prefix steps. *)
+
+val validate : Instance.t -> t -> (unit, string) result
+(** Machine count matches and every assignment is well-formed. *)
+
+val pp : Format.formatter -> t -> unit

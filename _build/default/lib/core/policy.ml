@@ -1,0 +1,15 @@
+type state = {
+  step : int;
+  unfinished : bool array;
+  eligible : bool array;
+}
+
+type t = { name : string; fresh : unit -> state -> Assignment.t }
+
+let of_oblivious name sched =
+  { name; fresh = (fun () state -> Oblivious.step sched state.step) }
+
+let of_regimen name f =
+  { name; fresh = (fun () state -> f state.unfinished) }
+
+let stateless name f = { name; fresh = (fun () -> f) }

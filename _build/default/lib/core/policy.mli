@@ -1,0 +1,33 @@
+(** Adaptive scheduling policies.
+
+    A policy chooses an assignment given the execution state — the general
+    notion of schedule from Definition 2.1, restricted (as the paper argues
+    is sufficient) to deciders that see the unfinished-job set and the step
+    number. Regimens (Definition 2.2) are policies ignoring [step];
+    oblivious schedules are policies ignoring [unfinished]. *)
+
+type state = {
+  step : int;  (** 0-based index of the step being decided *)
+  unfinished : bool array;  (** per job *)
+  eligible : bool array;  (** unfinished with all predecessors finished *)
+}
+
+type t = {
+  name : string;
+  fresh : unit -> state -> Assignment.t;
+      (** [fresh ()] creates a decision function for one execution; any
+          internal state (e.g. a cursor into an oblivious schedule) is
+          re-created per execution so runs are independent. *)
+}
+
+val of_oblivious : string -> Oblivious.t -> t
+(** The policy that plays an oblivious schedule: machines assigned to
+    finished or ineligible jobs idle (Definition 2.1 semantics, enforced by
+    the engine anyway). *)
+
+val of_regimen : string -> (bool array -> Assignment.t) -> t
+(** A regimen (Definition 2.2): the assignment depends only on the
+    unfinished-job set, which is what the function receives. *)
+
+val stateless : string -> (state -> Assignment.t) -> t
+(** A policy computed fresh from the state each step. *)

@@ -1,0 +1,127 @@
+type t = { m : int; steps : int list array array }
+
+let create ~m steps =
+  Array.iter
+    (fun step ->
+      if Array.length step <> m then
+        invalid_arg "Pseudo.create: machine count mismatch")
+    steps;
+  { m; steps }
+
+let length t = Array.length t.steps
+
+let machine_loads t =
+  let loads = Array.make t.m 0 in
+  Array.iter
+    (fun step ->
+      Array.iteri (fun i jobs -> loads.(i) <- loads.(i) + List.length jobs) step)
+    t.steps;
+  loads
+
+let load t = Array.fold_left max 0 (machine_loads t)
+
+let max_congestion t =
+  let worst = ref 0 in
+  Array.iter
+    (fun step ->
+      Array.iter
+        (fun jobs -> worst := max !worst (List.length jobs))
+        step)
+    t.steps;
+  !worst
+
+let of_windows ~m ~length units =
+  let steps = Array.init length (fun _ -> Array.make m []) in
+  List.iter
+    (fun (i, j, start, count) ->
+      if i < 0 || i >= m then invalid_arg "Pseudo.of_windows: bad machine";
+      if start < 0 || start + count > length then
+        invalid_arg "Pseudo.of_windows: window exceeds schedule length";
+      for k = start to start + count - 1 do
+        steps.(k).(i) <- j :: steps.(k).(i)
+      done)
+    units;
+  Array.iter
+    (fun step -> Array.iteri (fun i jobs -> step.(i) <- List.rev jobs) step)
+    steps;
+  { m; steps }
+
+let shift t d =
+  if d < 0 then invalid_arg "Pseudo.shift: negative delay";
+  let empty () = Array.make t.m [] in
+  let steps =
+    Array.init
+      (Array.length t.steps + d)
+      (fun k -> if k < d then empty () else Array.copy t.steps.(k - d))
+  in
+  { m = t.m; steps }
+
+let overlay = function
+  | [] -> invalid_arg "Pseudo.overlay: empty list"
+  | first :: _ as all ->
+      let m = first.m in
+      List.iter
+        (fun p ->
+          if p.m <> m then invalid_arg "Pseudo.overlay: machine count mismatch")
+        all;
+      let len = List.fold_left (fun acc p -> max acc (length p)) 0 all in
+      let steps = Array.init len (fun _ -> Array.make m []) in
+      List.iter
+        (fun p ->
+          Array.iteri
+            (fun k step ->
+              Array.iteri
+                (fun i jobs -> steps.(k).(i) <- steps.(k).(i) @ jobs)
+                step)
+            p.steps)
+        all;
+      { m; steps }
+
+let append a b =
+  if a.m <> b.m then invalid_arg "Pseudo.append: machine count mismatch";
+  { m = a.m; steps = Array.append a.steps b.steps }
+
+let flatten t =
+  let out = ref [] in
+  Array.iter
+    (fun step ->
+      let congestion =
+        Array.fold_left (fun acc jobs -> max acc (List.length jobs)) 0 step
+      in
+      let expansion = max congestion 1 in
+      let block = Array.init expansion (fun _ -> Assignment.idle t.m) in
+      Array.iteri
+        (fun i jobs ->
+          List.iteri (fun k j -> block.(k).(i) <- j) jobs)
+        step;
+      Array.iter (fun a -> out := a :: !out) block)
+    t.steps;
+  Oblivious.finite ~m:t.m (Array.of_list (List.rev !out))
+
+let jobs_mass inst t =
+  let mass = Array.make (Instance.n inst) 0. in
+  Array.iter
+    (fun step ->
+      Array.iteri
+        (fun i jobs ->
+          List.iter
+            (fun j ->
+              mass.(j) <- mass.(j) +. Instance.prob inst ~machine:i ~job:j)
+            jobs)
+        step)
+    t.steps;
+  mass
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>pseudo m=%d len=%d load=%d congestion=%d" t.m
+    (length t) (load t) (max_congestion t);
+  Array.iteri
+    (fun k step ->
+      Format.fprintf fmt "@,%4d:" k;
+      Array.iteri
+        (fun i jobs ->
+          Format.fprintf fmt " m%d{%s}" i
+            (String.concat "," (List.map string_of_int jobs)))
+        step)
+    t.steps;
+  Format.fprintf fmt "@]"

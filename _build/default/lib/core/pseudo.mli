@@ -1,0 +1,60 @@
+(** Pseudo-schedules (paper Definition 4.1).
+
+    A pseudo-schedule may assign a machine to a *set* of jobs in one step —
+    the intermediate object produced by rounding (LP1) before random delays
+    and flattening make it feasible. [steps.(t).(i)] is the set of jobs
+    machine [i] is asked to work on at step [t]. *)
+
+type t = private {
+  m : int;
+  steps : int list array array;  (** steps.(t).(i) = jobs on machine i at t *)
+}
+
+val create : m:int -> int list array array -> t
+(** @raise Invalid_argument if a step's machine count differs from [m]. *)
+
+val length : t -> int
+(** Number of steps [T]. *)
+
+val load : t -> int
+(** The load (Definition 4.2): max over machines of the total number of
+    (job, step) units assigned to it. May exceed [length]. *)
+
+val machine_loads : t -> int array
+
+val max_congestion : t -> int
+(** Max over steps and machines of [|steps.(t).(i)|] — the quantity the
+    random-delay step minimises. *)
+
+val of_windows :
+  m:int -> length:int -> (int * int * int * int) list -> t
+(** [of_windows ~m ~length units] builds a pseudo-schedule from a list of
+    [(machine, job, start, count)] quadruples: machine works on job for
+    [count] consecutive steps beginning at 0-based [start]. Steps beyond
+    [length] are an error. *)
+
+val shift : t -> int -> t
+(** [shift p d] delays every assignment by [d ≥ 0] steps (the per-chain
+    random delay). *)
+
+val overlay : t list -> t
+(** Superimpose pseudo-schedules on the same machine set: the union of the
+    job sets at every step. Result length is the max of the lengths. *)
+
+val append : t -> t -> t
+(** Sequential composition (block after block). *)
+
+val flatten : t -> Oblivious.t
+(** Make the pseudo-schedule feasible: step [t] with congestion [c_t] (max
+    jobs on one machine) expands into [max c_t 1] real steps in which each
+    machine works through its job set one job at a time. Length of the
+    result is [Σ_t max(c_t, 1)] ≤ [max_congestion × length]. Relative
+    order of a machine's units is preserved, so precedence-safety of the
+    pseudo-schedule carries over. *)
+
+val jobs_mass : Instance.t -> t -> float array
+(** Total (uncapped) mass each job accumulates over the whole
+    pseudo-schedule, ignoring collisions — the quantity the rounding
+    guarantees are stated in. *)
+
+val pp : Format.formatter -> t -> unit

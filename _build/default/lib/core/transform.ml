@@ -1,0 +1,66 @@
+module Dag = Suu_dag.Dag
+
+let sub_instance inst ~jobs =
+  let n = Instance.n inst and m = Instance.m inst in
+  let jobs = List.sort_uniq compare jobs in
+  List.iter
+    (fun j ->
+      if j < 0 || j >= n then
+        invalid_arg "Transform.sub_instance: job out of range")
+    jobs;
+  let mapping = Array.of_list jobs in
+  let n' = Array.length mapping in
+  let new_id = Hashtbl.create n' in
+  Array.iteri (fun k j -> Hashtbl.add new_id j k) mapping;
+  let edges =
+    List.filter_map
+      (fun (u, v) ->
+        match (Hashtbl.find_opt new_id u, Hashtbl.find_opt new_id v) with
+        | Some u', Some v' -> Some (u', v')
+        | _ -> None)
+      (Dag.edges (Instance.dag inst))
+  in
+  let p =
+    Array.init m (fun i ->
+        Array.init n' (fun k ->
+            Instance.prob inst ~machine:i ~job:mapping.(k)))
+  in
+  (Instance.create ~p ~dag:(Dag.create ~n:n' edges), mapping)
+
+let probs_of inst =
+  Array.init (Instance.m inst) (fun i ->
+      Array.init (Instance.n inst) (fun j ->
+          Instance.prob inst ~machine:i ~job:j))
+
+let reverse inst =
+  let dag = Instance.dag inst in
+  let flipped = List.map (fun (u, v) -> (v, u)) (Dag.edges dag) in
+  Instance.create ~p:(probs_of inst)
+    ~dag:(Dag.create ~n:(Instance.n inst) flipped)
+
+let scale_probs inst ~factor =
+  if factor < 0. || not (Float.is_finite factor) then
+    invalid_arg "Transform.scale_probs: bad factor";
+  let p =
+    Array.map
+      (Array.map (fun pij -> Float.min 1. (Float.max 0. (pij *. factor))))
+      (probs_of inst)
+  in
+  Instance.create ~p ~dag:(Instance.dag inst)
+
+let disjoint_union a b =
+  let m = Instance.m a in
+  if Instance.m b <> m then
+    invalid_arg "Transform.disjoint_union: machine count mismatch";
+  let na = Instance.n a and nb = Instance.n b in
+  let p =
+    Array.init m (fun i ->
+        Array.init (na + nb) (fun j ->
+            if j < na then Instance.prob a ~machine:i ~job:j
+            else Instance.prob b ~machine:i ~job:(j - na)))
+  in
+  let edges =
+    Dag.edges (Instance.dag a)
+    @ List.map (fun (u, v) -> (u + na, v + na)) (Dag.edges (Instance.dag b))
+  in
+  Instance.create ~p ~dag:(Dag.create ~n:(na + nb) edges)

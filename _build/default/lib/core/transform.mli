@@ -1,0 +1,28 @@
+(** Instance transformations.
+
+    Utilities for deriving instances from instances: sub-instances on a
+    job subset (used by the per-block pipeline analysis and the test
+    suite), reversal of the precedence DAG, probability scaling, and
+    disjoint unions. All return fresh, validated instances. *)
+
+val sub_instance : Instance.t -> jobs:int list -> Instance.t * int array
+(** [sub_instance inst ~jobs] keeps only [jobs] (ascending, deduplicated)
+    and the precedence edges among them, renumbering jobs densely.
+    Returns the new instance and [mapping] with [mapping.(new_id) =
+    old_id].
+    @raise Invalid_argument on out-of-range jobs. *)
+
+val reverse : Instance.t -> Instance.t
+(** Same jobs and probabilities, every precedence edge flipped (an
+    out-tree instance becomes an in-tree instance). *)
+
+val scale_probs : Instance.t -> factor:float -> Instance.t
+(** Multiply every [p_ij] by [factor], clamping into [\[0, 1\]]. A factor
+    below 1 slows every machine down uniformly; TOPT can only grow.
+    @raise Invalid_argument if the scaling leaves some job incapable. *)
+
+val disjoint_union : Instance.t -> Instance.t -> Instance.t
+(** Jobs of both instances side by side (second instance's jobs renumbered
+    after the first's), no cross edges; both must have the same machine
+    count. Machines are shared, so scheduling the union is genuinely
+    harder than either part. *)

@@ -1,0 +1,1 @@
+lib/dag/chain_decomp.ml: Array Classify Dag Format Hashtbl List Result

@@ -1,0 +1,1 @@
+lib/dag/chain_decomp.mli: Dag

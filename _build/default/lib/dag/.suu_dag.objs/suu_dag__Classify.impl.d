@@ -1,0 +1,1 @@
+lib/dag/classify.ml: Array Dag Format List

@@ -1,0 +1,1 @@
+lib/dag/classify.mli: Dag Format

@@ -1,0 +1,1 @@
+lib/dag/gen.ml: Array Dag Suu_prob

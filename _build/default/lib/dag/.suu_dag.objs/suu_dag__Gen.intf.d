@@ -1,0 +1,1 @@
+lib/dag/gen.mli: Dag Suu_prob

@@ -1,0 +1,181 @@
+type chain = int list
+
+type t = { blocks : chain list array; mode : mode }
+and mode = Out_mode | In_mode | Poly_mode
+
+let ilog2 x =
+  if x <= 0 then invalid_arg "Chain_decomp.ilog2: non-positive";
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) (v / 2) in
+  go 0 x
+
+let default_mode g =
+  match Classify.classify g with
+  | Classify.Independent | Classify.Chains | Classify.Out_trees -> Out_mode
+  | Classify.In_trees -> In_mode
+  | Classify.Forest -> Poly_mode
+  | Classify.General ->
+      invalid_arg "Chain_decomp.decompose: dag is not a directed forest"
+
+let mode_applies g = function
+  | Out_mode -> Classify.matches g Classify.Out_trees
+  | In_mode -> Classify.matches g Classify.In_trees
+  | Poly_mode -> Classify.matches g Classify.Forest
+
+let keys g mode =
+  let nv = Dag.n g in
+  let logn = if nv = 0 then 0 else ilog2 nv in
+  let ds = Dag.descendant_counts g in
+  let asc = Dag.ancestor_counts g in
+  Array.init nv (fun v ->
+      match mode with
+      | Out_mode -> logn - ilog2 ds.(v)
+      | In_mode -> ilog2 asc.(v)
+      | Poly_mode -> logn - ilog2 ds.(v) + ilog2 asc.(v))
+
+let decompose ?mode g =
+  if not (Dag.underlying_forest g) then
+    invalid_arg "Chain_decomp.decompose: dag is not a directed forest";
+  let mode = match mode with None -> default_mode g | Some m -> m in
+  if not (mode_applies g mode) then
+    invalid_arg "Chain_decomp.decompose: mode does not apply to this dag";
+  let nv = Dag.n g in
+  if nv = 0 then { blocks = [||]; mode }
+  else begin
+    let key = keys g mode in
+    (* Compact the key range to consecutive block indices. *)
+    let distinct = List.sort_uniq compare (Array.to_list key) in
+    let index_of = Hashtbl.create 16 in
+    List.iteri (fun i k -> Hashtbl.add index_of k i) distinct;
+    let nblocks = List.length distinct in
+    let block_of = Array.map (fun k -> Hashtbl.find index_of k) key in
+    (* Within a block each vertex has at most one same-block successor and
+       predecessor; walk each chain from its same-block-source head. *)
+    let same_block_succ = Array.make nv (-1) in
+    let same_block_pred = Array.make nv (-1) in
+    for v = 0 to nv - 1 do
+      List.iter
+        (fun w ->
+          if block_of.(w) = block_of.(v) then begin
+            if same_block_succ.(v) >= 0 then
+              invalid_arg
+                "Chain_decomp.decompose: internal error (two same-key \
+                 successors)";
+            same_block_succ.(v) <- w;
+            same_block_pred.(w) <- v
+          end)
+        (Dag.succs g v)
+    done;
+    let blocks = Array.make nblocks [] in
+    (* Deterministic chain order: iterate heads in increasing index. *)
+    for v = nv - 1 downto 0 do
+      if same_block_pred.(v) < 0 then begin
+        let rec walk u acc =
+          let acc = u :: acc in
+          if same_block_succ.(u) < 0 then List.rev acc
+          else walk same_block_succ.(u) acc
+        in
+        let chain = walk v [] in
+        blocks.(block_of.(v)) <- chain :: blocks.(block_of.(v))
+      end
+    done;
+    { blocks; mode }
+  end
+
+let width t = Array.length t.blocks
+
+let chain_count t =
+  Array.fold_left (fun acc chains -> acc + List.length chains) 0 t.blocks
+
+let jobs t =
+  List.concat_map (fun chains -> List.concat chains) (Array.to_list t.blocks)
+
+let validate g t =
+  let nv = Dag.n g in
+  let ( let* ) r f = Result.bind r f in
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  (* Partition check. *)
+  let block_of = Array.make nv (-1) in
+  let chain_of = Array.make nv (-1) in
+  let check_partition () =
+    let cid = ref 0 in
+    let bad = ref None in
+    Array.iteri
+      (fun b chains ->
+        List.iter
+          (fun chain ->
+            List.iter
+              (fun v ->
+                if v < 0 || v >= nv then bad := Some (err "vertex %d out of range" v)
+                else if block_of.(v) >= 0 then
+                  bad := Some (err "vertex %d appears twice" v)
+                else begin
+                  block_of.(v) <- b;
+                  chain_of.(v) <- !cid
+                end)
+              chain;
+            incr cid)
+          chains)
+      t.blocks;
+    match !bad with
+    | Some e -> e
+    | None ->
+        if Array.exists (fun b -> b < 0) block_of then
+          err "some vertex missing from the decomposition"
+        else Ok ()
+  in
+  let check_chain_edges () =
+    let bad = ref None in
+    Array.iter
+      (fun chains ->
+        List.iter
+          (fun chain ->
+            let rec pairs = function
+              | u :: (v :: _ as rest) ->
+                  if not (Dag.has_edge g u v) then
+                    bad := Some (err "chain step %d -> %d is not a dag edge" u v)
+                  else pairs rest
+              | _ -> ()
+            in
+            pairs chain)
+          chains)
+      t.blocks;
+    match !bad with Some e -> e | None -> Ok ()
+  in
+  let check_ancestry () =
+    let r = Dag.reachable g in
+    let bad = ref None in
+    for u = 0 to nv - 1 do
+      for v = 0 to nv - 1 do
+        if r.(u).(v) then
+          if block_of.(u) > block_of.(v) then
+            bad := Some (err "ancestor %d in later block than %d" u v)
+          else if block_of.(u) = block_of.(v) && chain_of.(u) <> chain_of.(v)
+          then
+            bad :=
+              Some (err "ancestor %d and %d share a block but not a chain" u v)
+      done
+    done;
+    match !bad with Some e -> e | None -> Ok ()
+  in
+  let check_disjoint_chains () =
+    (* Within a block, no dag edge may join two different chains. *)
+    let bad = ref None in
+    List.iter
+      (fun (u, v) ->
+        if block_of.(u) = block_of.(v) && chain_of.(u) <> chain_of.(v) then
+          bad := Some (err "intra-block edge %d -> %d crosses chains" u v))
+      (Dag.edges g);
+    match !bad with Some e -> e | None -> Ok ()
+  in
+  let* () = check_partition () in
+  let* () = check_chain_edges () in
+  let* () = check_disjoint_chains () in
+  check_ancestry ()
+
+let width_bound g mode =
+  let nv = Dag.n g in
+  if nv = 0 then 0
+  else
+    match mode with
+    | Out_mode | In_mode -> ilog2 nv + 1
+    | Poly_mode -> (2 * ilog2 nv) + 1

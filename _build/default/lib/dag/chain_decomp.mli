@@ -1,0 +1,66 @@
+(** Chain decompositions of directed forests (paper §4.2, Lemma 4.6).
+
+    A chain decomposition partitions the vertices into blocks [B_1, ..., B_λ]
+    such that (i) each block induces vertex-disjoint directed chains, and
+    (ii) whenever [u] is an ancestor of [v], either [u]'s block strictly
+    precedes [v]'s, or they lie on the same chain of the same block. The
+    paper cites Kumar–Marathe–Parthasarathy–Srinivasan for a decomposition
+    of width ≤ 2(⌈log₂ n⌉ + 1) for any DAG whose underlying undirected
+    graph is a forest.
+
+    Our construction (documented in DESIGN.md): in a polytree the set of
+    descendants (resp. ancestors) of a vertex forms an out-tree (resp.
+    in-tree), so the counts [ds(v)] and [as(v)] are computed exactly by a
+    linear sweep, and distinct out-neighbours (resp. in-neighbours) of a
+    vertex have disjoint descendant (resp. ancestor) sets. Assigning vertex
+    [v] the key [(⌊log₂ n⌋ − ⌊log₂ ds(v)⌋) + ⌊log₂ as(v)⌋] makes the key
+    strictly monotone-compatible with ancestry and gives each vertex at most
+    one same-key in-neighbour and one same-key out-neighbour, hence blocks
+    of vertex-disjoint chains and width ≤ 2⌊log₂ n⌋ + 1. For pure out-tree
+    (resp. in-tree) collections only the first (resp. second) summand is
+    used, giving width ≤ ⌊log₂ n⌋ + 1 as needed by Theorem 4.8. *)
+
+type chain = int list
+(** Jobs of one chain, in precedence order; consecutive elements are joined
+    by DAG edges. *)
+
+type t = {
+  blocks : chain list array;
+      (** [blocks.(b)] are the vertex-disjoint chains of block [b]; blocks
+          are in ancestor-compatible order. *)
+  mode : mode;
+}
+
+and mode =
+  | Out_mode  (** descendant-count keys: for out-tree collections *)
+  | In_mode  (** ancestor-count keys: for in-tree collections *)
+  | Poly_mode  (** combined keys: for arbitrary directed forests *)
+
+val decompose : ?mode:mode -> Dag.t -> t
+(** Decompose a directed forest. The default mode is chosen from
+    [Classify.classify]: [Out_mode]/[In_mode] when the DAG is a collection
+    of out-/in-trees (narrower decomposition), [Poly_mode] otherwise.
+    @raise Invalid_argument if the underlying undirected graph is not a
+    forest, or if the requested mode does not apply to the DAG. *)
+
+val width : t -> int
+(** Number of blocks λ. *)
+
+val chain_count : t -> int
+(** Total number of chains across all blocks. *)
+
+val jobs : t -> int list
+(** All jobs in block order then chain order — a valid topological order of
+    the original DAG. *)
+
+val validate : Dag.t -> t -> (unit, string) result
+(** Checks, against the original DAG, that the decomposition is a partition,
+    that chain-consecutive vertices are DAG edges, that each block induces
+    vertex-disjoint chains, and that ancestry never crosses blocks backwards
+    (condition (ii) of the paper's Definition). Used by the test suite and
+    available to callers handling untrusted decompositions. *)
+
+val width_bound : Dag.t -> mode -> int
+(** The proven upper bound on [width] for the given DAG size and mode:
+    ⌊log₂ n⌋ + 1 for [Out_mode]/[In_mode], 2⌊log₂ n⌋ + 1 for [Poly_mode]
+    (n ≥ 1). *)

@@ -1,0 +1,72 @@
+type shape = Independent | Chains | Out_trees | In_trees | Forest | General
+
+let all_degrees_le g bound ~out ~in_ =
+  let ok = ref true in
+  for v = 0 to Dag.n g - 1 do
+    if out && Dag.out_degree g v > bound then ok := false;
+    if in_ && Dag.in_degree g v > bound then ok := false
+  done;
+  !ok
+
+let matches g = function
+  | Independent -> Dag.edge_count g = 0
+  | Chains -> all_degrees_le g 1 ~out:true ~in_:true
+  | Out_trees -> all_degrees_le g 1 ~out:false ~in_:true
+  | In_trees -> all_degrees_le g 1 ~out:true ~in_:false
+  | Forest -> Dag.underlying_forest g
+  | General -> true
+
+let classify g =
+  if matches g Independent then Independent
+  else if matches g Chains then Chains
+  else if matches g Out_trees then Out_trees
+  else if matches g In_trees then In_trees
+  else if matches g Forest then Forest
+  else General
+
+let chain_partition g =
+  if not (matches g Chains) then
+    invalid_arg "Classify.chain_partition: dag is not a chain collection";
+  let n = Dag.n g in
+  let chains = ref [] in
+  for v = n - 1 downto 0 do
+    if Dag.preds g v = [] then begin
+      let rec walk u acc =
+        match Dag.succs g u with
+        | [] -> List.rev (u :: acc)
+        | [ w ] -> walk w (u :: acc)
+        | _ :: _ :: _ -> assert false
+      in
+      chains := walk v [] :: !chains
+    end
+  done;
+  !chains
+
+let greedy_path_cover g =
+  let n = Dag.n g in
+  let visited = Array.make n false in
+  let paths = ref [] in
+  let topo = Dag.topo_order g in
+  Array.iter
+    (fun v ->
+      if not visited.(v) then begin
+        let rec walk u acc =
+          visited.(u) <- true;
+          match List.find_opt (fun w -> not visited.(w)) (Dag.succs g u) with
+          | Some w -> walk w (u :: acc)
+          | None -> List.rev (u :: acc)
+        in
+        paths := walk v [] :: !paths
+      end)
+    topo;
+  List.rev !paths
+
+let to_string = function
+  | Independent -> "independent"
+  | Chains -> "chains"
+  | Out_trees -> "out-trees"
+  | In_trees -> "in-trees"
+  | Forest -> "forest"
+  | General -> "general"
+
+let pp fmt s = Format.pp_print_string fmt (to_string s)

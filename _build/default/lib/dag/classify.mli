@@ -1,0 +1,37 @@
+(** Classification of precedence DAGs into the classes the paper treats.
+
+    The paper gives separate algorithms for independent jobs (§3), disjoint
+    chains (§4.1), collections of in-/out-trees, and directed forests
+    (§4.2). [classify] returns the most specific class, which [Suu_algo.
+    Solver] uses to dispatch. The classes are nested:
+    independent ⊂ chains ⊂ (out-trees ∩ in-trees) ⊂ forest ⊂ general. *)
+
+type shape =
+  | Independent  (** no precedence edges *)
+  | Chains  (** vertex-disjoint directed chains: all degrees ≤ 1 *)
+  | Out_trees  (** every vertex has in-degree ≤ 1 (forest of out-trees) *)
+  | In_trees  (** every vertex has out-degree ≤ 1 (forest of in-trees) *)
+  | Forest  (** underlying undirected graph is acyclic (polytree forest) *)
+  | General  (** arbitrary DAG *)
+
+val classify : Dag.t -> shape
+(** The most specific shape that applies ([Out_trees] preferred over
+    [In_trees] when both apply and the DAG is not a chain collection). *)
+
+val matches : Dag.t -> shape -> bool
+(** [matches g s] holds when [g] belongs to class [s] (not necessarily the
+    most specific one). *)
+
+val chain_partition : Dag.t -> int list list
+(** For a DAG of class [Chains] (or [Independent]), the partition into
+    maximal chains, each in precedence order, ordered by head vertex.
+    @raise Invalid_argument for other classes. *)
+
+val greedy_path_cover : Dag.t -> int list list
+(** A partition of any DAG's vertices into vertex-disjoint directed paths
+    (greedy along a topological order). Used to instantiate the chain
+    constraints of the (LP1) makespan lower bound on arbitrary DAGs: jobs
+    on a directed path are necessarily worked in disjoint time steps. *)
+
+val to_string : shape -> string
+val pp : Format.formatter -> shape -> unit

@@ -1,0 +1,74 @@
+(** Directed acyclic graphs of precedence constraints.
+
+    Jobs are the integers [0..n-1]. An edge [(u, v)] means job [u] must
+    complete before job [v] becomes eligible ([u ≺ v] in the paper's
+    notation). Construction validates acyclicity, so every value of type [t]
+    is a genuine DAG. *)
+
+type t
+
+val create : n:int -> (int * int) list -> t
+(** [create ~n edges] builds the DAG on vertices [0..n-1] with the given
+    edges. Duplicate edges are collapsed.
+    @raise Invalid_argument on self-loops, out-of-range vertices, or cycles. *)
+
+val empty : int -> t
+(** [empty n] is the edgeless DAG on [n] vertices (independent jobs). *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val edge_count : t -> int
+
+val edges : t -> (int * int) list
+(** All edges, each exactly once, in no particular order. *)
+
+val succs : t -> int -> int list
+(** Direct successors (out-neighbours). *)
+
+val preds : t -> int -> int list
+(** Direct predecessors (in-neighbours). *)
+
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+val has_edge : t -> int -> int -> bool
+
+val topo_order : t -> int array
+(** A topological order of the vertices (Kahn's algorithm; deterministic:
+    smallest-index-first among ready vertices). *)
+
+val sources : t -> int list
+(** Vertices with no predecessors. *)
+
+val sinks : t -> int list
+(** Vertices with no successors. *)
+
+val longest_path : t -> int
+(** Number of vertices on a longest directed path (the critical-path length
+    in unit steps; 1 for an edgeless non-empty DAG, 0 for the empty DAG). *)
+
+val reachable : t -> bool array array
+(** [reachable g] is the full reachability matrix: [(reachable g).(u).(v)]
+    iff there is a directed path from [u] to [v] (with [u ≠ v]); quadratic
+    memory, intended for small-to-moderate [n]. *)
+
+val width : t -> int
+(** Size of a maximum antichain — the paper's "width of the dependency
+    graph" — computed via Dilworth's theorem and bipartite matching on the
+    reachability relation. *)
+
+val descendant_counts : t -> int array
+(** [descendant_counts g] gives, for each vertex, the number of vertices
+    reachable from it including itself. Exact only when the underlying
+    undirected graph is a forest (descendant sets of distinct children are
+    then disjoint); used by the chain decomposition. *)
+
+val ancestor_counts : t -> int array
+(** Mirror of [descendant_counts] for ancestors. Exact on forests. *)
+
+val underlying_forest : t -> bool
+(** Whether the underlying undirected multigraph is acyclic (i.e. the DAG is
+    a "directed forest" / polytree forest in the paper's sense). *)
+
+val pp : Format.formatter -> t -> unit

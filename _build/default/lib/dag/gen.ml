@@ -1,0 +1,132 @@
+module Rng = Suu_prob.Rng
+
+let independent n = Dag.empty n
+
+(* Split 0..n-1 into [parts] non-empty contiguous groups by choosing
+   parts-1 distinct cut points uniformly at random. *)
+let random_group_sizes rng n parts =
+  if parts < 1 || parts > n then
+    invalid_arg "Gen: group count must be within [1, n]";
+  let cuts = Array.make (parts - 1) 0 in
+  (* Sample distinct cut positions from 1..n-1 by shuffling. *)
+  let positions = Array.init (n - 1) (fun i -> i + 1) in
+  Rng.shuffle rng positions;
+  Array.blit positions 0 cuts 0 (parts - 1);
+  Array.sort compare cuts;
+  let sizes = Array.make parts 0 in
+  let prev = ref 0 in
+  Array.iteri
+    (fun k c ->
+      sizes.(k) <- c - !prev;
+      prev := c)
+    cuts;
+  sizes.(parts - 1) <- n - !prev;
+  sizes
+
+let chains_of_sizes sizes =
+  let edges = ref [] in
+  let v = ref 0 in
+  Array.iter
+    (fun size ->
+      for k = 1 to size - 1 do
+        edges := (!v + k - 1, !v + k) :: !edges
+      done;
+      v := !v + size)
+    sizes;
+  !edges
+
+let chains rng ~n ~chains =
+  let sizes = random_group_sizes rng n chains in
+  Dag.create ~n (chains_of_sizes sizes)
+
+let uniform_chains ~n ~chains =
+  if chains < 1 || chains > n then
+    invalid_arg "Gen.uniform_chains: chain count must be within [1, n]";
+  let base = n / chains and extra = n mod chains in
+  let sizes = Array.init chains (fun k -> base + if k < extra then 1 else 0) in
+  Dag.create ~n (chains_of_sizes sizes)
+
+let forest_edges rng n trees ~toward_root =
+  let sizes = random_group_sizes rng n trees in
+  let edges = ref [] in
+  let base = ref 0 in
+  Array.iter
+    (fun size ->
+      for k = 1 to size - 1 do
+        let child = !base + k in
+        let parent = !base + Rng.int rng k in
+        let e = if toward_root then (child, parent) else (parent, child) in
+        edges := e :: !edges
+      done;
+      base := !base + size)
+    sizes;
+  !edges
+
+let out_forest rng ~n ~trees =
+  Dag.create ~n (forest_edges rng n trees ~toward_root:false)
+
+let in_forest rng ~n ~trees =
+  Dag.create ~n (forest_edges rng n trees ~toward_root:true)
+
+let polytree_forest rng ~n ~trees =
+  let sizes = random_group_sizes rng n trees in
+  let edges = ref [] in
+  let base = ref 0 in
+  Array.iter
+    (fun size ->
+      for k = 1 to size - 1 do
+        let a = !base + k in
+        let b = !base + Rng.int rng k in
+        let e = if Rng.bool rng then (a, b) else (b, a) in
+        edges := e :: !edges
+      done;
+      base := !base + size)
+    sizes;
+  Dag.create ~n !edges
+
+let binary_out_tree ~n =
+  let edges = ref [] in
+  for v = 0 to n - 1 do
+    if (2 * v) + 1 < n then edges := (v, (2 * v) + 1) :: !edges;
+    if (2 * v) + 2 < n then edges := (v, (2 * v) + 2) :: !edges
+  done;
+  Dag.create ~n !edges
+
+let layered rng ~n ~layers ~edge_prob =
+  if layers < 1 || layers > n then
+    invalid_arg "Gen.layered: layer count must be within [1, n]";
+  let sizes = random_group_sizes rng n layers in
+  let starts = Array.make layers 0 in
+  let acc = ref 0 in
+  Array.iteri
+    (fun k size ->
+      starts.(k) <- !acc;
+      acc := !acc + size)
+    sizes;
+  let edges = ref [] in
+  for k = 0 to layers - 2 do
+    for u = starts.(k) to starts.(k) + sizes.(k) - 1 do
+      for v = starts.(k + 1) to starts.(k + 1) + sizes.(k + 1) - 1 do
+        if Rng.bernoulli rng edge_prob then edges := (u, v) :: !edges
+      done
+    done
+  done;
+  Dag.create ~n !edges
+
+let random_dag rng ~n ~edge_prob =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Rng.bernoulli rng edge_prob then edges := (u, v) :: !edges
+    done
+  done;
+  Dag.create ~n !edges
+
+let diamond ~width =
+  if width < 1 then invalid_arg "Gen.diamond: width must be positive";
+  let n = width + 2 in
+  let edges = ref [] in
+  for k = 1 to width do
+    edges := (0, k) :: (k, n - 1) :: !edges
+  done;
+  Dag.create ~n !edges

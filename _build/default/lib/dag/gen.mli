@@ -1,0 +1,47 @@
+(** Random precedence-DAG generators for tests, examples and experiments.
+
+    All generators are deterministic given the supplied RNG, and each
+    produces DAGs of exactly the class its name announces (validated in the
+    test suite via {!Classify}). *)
+
+val independent : int -> Dag.t
+(** The edgeless DAG on [n] vertices. *)
+
+val chains : Suu_prob.Rng.t -> n:int -> chains:int -> Dag.t
+(** [n] jobs split into [chains] vertex-disjoint chains with random sizes
+    (each chain non-empty; requires [1 ≤ chains ≤ n]). *)
+
+val uniform_chains : n:int -> chains:int -> Dag.t
+(** Deterministic variant: chain sizes as equal as possible. *)
+
+val out_forest : Suu_prob.Rng.t -> n:int -> trees:int -> Dag.t
+(** Forest of [trees] out-trees (edges away from roots): each non-root
+    attaches to a uniformly random earlier vertex of its tree. Requires
+    [1 ≤ trees ≤ n]. *)
+
+val in_forest : Suu_prob.Rng.t -> n:int -> trees:int -> Dag.t
+(** Mirror image of [out_forest]: edges point towards the roots. *)
+
+val polytree_forest : Suu_prob.Rng.t -> n:int -> trees:int -> Dag.t
+(** Forest of polytrees: random undirected trees with each edge oriented by
+    a fair coin. Any orientation of a forest is acyclic, so this is a valid
+    "directed forest" in the paper's sense, generally neither an in- nor an
+    out-tree collection. *)
+
+val binary_out_tree : n:int -> Dag.t
+(** Deterministic complete-ish binary out-tree on [n] vertices (vertex [v]
+    has children [2v+1], [2v+2] when in range): worst case for chain
+    decomposition width. *)
+
+val layered : Suu_prob.Rng.t -> n:int -> layers:int -> edge_prob:float -> Dag.t
+(** General DAG: vertices spread over [layers] layers, each possible edge
+    from layer [k] to layer [k+1] present independently with probability
+    [edge_prob]. Requires [1 ≤ layers ≤ n]. *)
+
+val random_dag : Suu_prob.Rng.t -> n:int -> edge_prob:float -> Dag.t
+(** General DAG: each pair [(u, v)] with [u < v] is an edge independently
+    with probability [edge_prob]. *)
+
+val diamond : width:int -> Dag.t
+(** The classic fork–join diamond: one source, [width] parallel middle jobs,
+    one sink ([width + 2] vertices). General-DAG shape for [width ≥ 2]. *)

@@ -1,0 +1,1 @@
+lib/flow/maxflow.mli:

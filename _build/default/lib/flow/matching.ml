@@ -1,0 +1,75 @@
+(* Hopcroft–Karp: repeatedly find a maximal set of vertex-disjoint shortest
+   augmenting paths via BFS layering + DFS, until no augmenting path
+   remains. *)
+
+let infinity_dist = max_int
+
+let max_matching ~left ~right ~adj =
+  if Array.length adj <> left then
+    invalid_arg "Matching.max_matching: adj length mismatch";
+  Array.iter
+    (List.iter (fun v ->
+         if v < 0 || v >= right then
+           invalid_arg "Matching.max_matching: right vertex out of range"))
+    adj;
+  let mate_l = Array.make left (-1) in
+  let mate_r = Array.make right (-1) in
+  let dist = Array.make left infinity_dist in
+  let queue = Queue.create () in
+  (* BFS from all free left vertices; returns true if a free right vertex is
+     reachable (i.e. an augmenting path exists). *)
+  let bfs () =
+    Queue.clear queue;
+    for u = 0 to left - 1 do
+      if mate_l.(u) < 0 then begin
+        dist.(u) <- 0;
+        Queue.add u queue
+      end
+      else dist.(u) <- infinity_dist
+    done;
+    let found = ref false in
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      List.iter
+        (fun v ->
+          match mate_r.(v) with
+          | -1 -> found := true
+          | u' ->
+              if dist.(u') = infinity_dist then begin
+                dist.(u') <- dist.(u) + 1;
+                Queue.add u' queue
+              end)
+        adj.(u)
+    done;
+    !found
+  in
+  let rec dfs u =
+    let rec try_edges = function
+      | [] ->
+          dist.(u) <- infinity_dist;
+          false
+      | v :: rest -> (
+          match mate_r.(v) with
+          | -1 ->
+              mate_l.(u) <- v;
+              mate_r.(v) <- u;
+              true
+          | u' ->
+              if dist.(u') = dist.(u) + 1 && dfs u' then begin
+                mate_l.(u) <- v;
+                mate_r.(v) <- u;
+                true
+              end
+              else try_edges rest)
+    in
+    try_edges adj.(u)
+  in
+  while bfs () do
+    for u = 0 to left - 1 do
+      if mate_l.(u) < 0 then ignore (dfs u : bool)
+    done
+  done;
+  mate_l
+
+let size mate =
+  Array.fold_left (fun acc v -> if v >= 0 then acc + 1 else acc) 0 mate

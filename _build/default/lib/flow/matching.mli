@@ -1,0 +1,16 @@
+(** Maximum bipartite matching (Hopcroft–Karp).
+
+    Used to compute the width of a precedence DAG: by Dilworth's theorem the
+    maximum antichain (the paper's "width", which gates Malewicz's exact
+    dynamic program) equals [n] minus a maximum matching in the bipartite
+    reachability graph. Runs in O(E √V). *)
+
+val max_matching : left:int -> right:int -> adj:int list array -> int array
+(** [max_matching ~left ~right ~adj] computes a maximum matching of the
+    bipartite graph with [left] left vertices, [right] right vertices and
+    [adj.(u)] listing the right neighbours of left vertex [u]. Returns
+    [mate] with [mate.(u)] the right vertex matched to left vertex [u], or
+    [-1] if [u] is unmatched. *)
+
+val size : int array -> int
+(** Number of matched left vertices in a [max_matching] result. *)

@@ -1,0 +1,1 @@
+lib/harness/csv.ml: Buffer Fun List String

@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Array Float Hashtbl List Printf Suu_core Suu_prob Suu_sim

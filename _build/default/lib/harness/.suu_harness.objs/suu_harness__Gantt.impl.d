@@ -1,0 +1,1 @@
+lib/harness/gantt.ml: Array Buffer Char List Printf Suu_core

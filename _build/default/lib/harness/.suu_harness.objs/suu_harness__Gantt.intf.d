@@ -1,0 +1,1 @@
+lib/harness/gantt.mli: Suu_core

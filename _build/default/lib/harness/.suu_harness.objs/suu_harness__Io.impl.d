@@ -1,0 +1,1 @@
+lib/harness/io.ml: Array Buffer Fun List Printf String Suu_core Suu_dag

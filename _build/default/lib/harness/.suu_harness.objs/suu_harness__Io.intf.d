@@ -1,0 +1,1 @@
+lib/harness/io.mli: Suu_core

@@ -1,0 +1,1 @@
+lib/harness/table.ml: Array Buffer List Printf String

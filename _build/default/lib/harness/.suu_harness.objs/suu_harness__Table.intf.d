@@ -1,0 +1,1 @@
+lib/harness/table.mli:

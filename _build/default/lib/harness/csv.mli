@@ -1,0 +1,10 @@
+(** Minimal CSV output for experiment artifacts. *)
+
+val escape : string -> string
+(** Quote a field if it contains commas, quotes or newlines. *)
+
+val write : path:string -> header:string list -> string list list -> unit
+(** Write a header + rows to [path]. *)
+
+val append_rows : path:string -> string list list -> unit
+(** Append rows to an existing file. *)

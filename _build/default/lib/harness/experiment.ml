@@ -1,0 +1,43 @@
+type measurement = {
+  policy_name : string;
+  mean : float;
+  ci95 : float;
+  p95 : float;
+  incomplete : int;
+  trials : int;
+  ratio : float;
+}
+
+let seed_for ~seed name = seed lxor Hashtbl.hash name
+
+let measure ?max_steps ~trials ~seed ~lower_bound inst policy =
+  let rng = Suu_prob.Rng.create (seed_for ~seed policy.Suu_core.Policy.name) in
+  let e = Suu_sim.Engine.estimate_makespan ?max_steps ~trials rng inst policy in
+  let mean = e.Suu_sim.Engine.stats.Suu_prob.Stats.mean in
+  let p95 =
+    if Array.length e.Suu_sim.Engine.samples = 0 then Float.nan
+    else Suu_prob.Stats.quantile e.Suu_sim.Engine.samples 0.95
+  in
+  {
+    policy_name = policy.Suu_core.Policy.name;
+    mean;
+    ci95 = e.Suu_sim.Engine.stats.Suu_prob.Stats.ci95;
+    p95;
+    incomplete = e.Suu_sim.Engine.incomplete;
+    trials;
+    ratio = (if lower_bound > 0. then mean /. lower_bound else Float.nan);
+  }
+
+let row m =
+  [
+    m.policy_name;
+    Printf.sprintf "%.2f ±%.2f" m.mean m.ci95;
+    Printf.sprintf "%.0f" m.p95;
+    Printf.sprintf "%.2f" m.ratio;
+    string_of_int m.incomplete;
+  ]
+
+let row_header = [ "policy"; "E[makespan]"; "p95"; "ratio"; "timeouts" ]
+
+let compare_policies ?max_steps ~trials ~seed inst ~lower_bound policies =
+  List.map (measure ?max_steps ~trials ~seed ~lower_bound inst) policies

@@ -1,0 +1,39 @@
+(** Shared experiment plumbing: seeded measurement of policies against
+    lower bounds, with consistent reporting. *)
+
+type measurement = {
+  policy_name : string;
+  mean : float;
+  ci95 : float;
+  p95 : float;  (** 95th-percentile makespan of the completed trials *)
+  incomplete : int;
+  trials : int;
+  ratio : float;  (** mean / lower bound *)
+}
+
+val measure :
+  ?max_steps:int ->
+  trials:int ->
+  seed:int ->
+  lower_bound:float ->
+  Suu_core.Instance.t ->
+  Suu_core.Policy.t ->
+  measurement
+(** Estimate a policy's expected makespan over [trials] executions with a
+    generator seeded from [seed] (and the policy name, so different
+    policies see different but reproducible randomness). *)
+
+val row : measurement -> string list
+(** [policy; mean ± ci; p95; ratio; incomplete] cells for {!Table}. *)
+
+val row_header : string list
+
+val compare_policies :
+  ?max_steps:int ->
+  trials:int ->
+  seed:int ->
+  Suu_core.Instance.t ->
+  lower_bound:float ->
+  Suu_core.Policy.t list ->
+  measurement list
+(** Measure several policies on one instance, same seed discipline. *)

@@ -1,0 +1,45 @@
+let job_char j =
+  if j < 0 then '.'
+  else if j < 10 then Char.chr (Char.code '0' + j)
+  else if j < 36 then Char.chr (Char.code 'a' + j - 10)
+  else '#'
+
+let render ~m ~columns ~completed_at ~max_width =
+  let total = Array.length columns in
+  let shown = min total max_width in
+  let buf = Buffer.create ((m + 1) * (shown + 16)) in
+  for i = 0 to m - 1 do
+    Buffer.add_string buf (Printf.sprintf "m%-2d |" i);
+    for t = 0 to shown - 1 do
+      Buffer.add_char buf (job_char columns.(t).(i))
+    done;
+    if shown < total then Buffer.add_string buf "...";
+    Buffer.add_char buf '\n'
+  done;
+  (* Completion markers. *)
+  Buffer.add_string buf "done|";
+  for t = 0 to shown - 1 do
+    Buffer.add_char buf (if completed_at.(t) then '*' else ' ')
+  done;
+  if shown < total then Buffer.add_string buf "...";
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let of_trace ~m ?(max_width = 120) trace =
+  let total = List.length trace in
+  let columns = Array.make total (Array.make m (-1)) in
+  let completed_at = Array.make total false in
+  List.iteri
+    (fun k (_, a, completed) ->
+      columns.(k) <- a;
+      completed_at.(k) <- completed <> [])
+    trace;
+  render ~m ~columns ~completed_at ~max_width
+
+let of_oblivious sched ?steps ?(max_width = 120) () =
+  let module O = Suu_core.Oblivious in
+  let default = O.prefix_length sched + O.cycle_length sched in
+  let steps = match steps with Some s -> s | None -> max 1 default in
+  let columns = Array.init steps (fun t -> O.step sched t) in
+  let completed_at = Array.make steps false in
+  render ~m:sched.O.m ~columns ~completed_at ~max_width

@@ -1,0 +1,22 @@
+(** ASCII Gantt charts of schedule executions.
+
+    Renders one row per machine, one column per step; each cell shows the
+    job the machine worked on (or [.] for idle), with the step a job
+    completed marked by [*]. Used by the CLI's [simulate] command and the
+    examples to make executions legible. *)
+
+val of_trace :
+  m:int ->
+  ?max_width:int ->
+  (int * Suu_core.Assignment.t * int list) list ->
+  string
+(** [of_trace ~m trace] renders an execution trace (as produced by
+    [Suu_sim.Engine.trace]). Jobs are printed in base-36 ([0-9a-z], then
+    [#] beyond 35) so charts stay aligned for up to 36 jobs; wider
+    instances still render, just with [#]. [max_width] (default 120)
+    truncates long executions with an ellipsis. *)
+
+val of_oblivious :
+  Suu_core.Oblivious.t -> ?steps:int -> ?max_width:int -> unit -> string
+(** Render the plan itself (no execution): the first [steps] steps of the
+    schedule (default: prefix plus one cycle pass). *)

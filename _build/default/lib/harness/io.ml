@@ -1,0 +1,170 @@
+module Instance = Suu_core.Instance
+module Dag = Suu_dag.Dag
+
+let emit put inst =
+  let n = Instance.n inst and m = Instance.m inst in
+  let edges = Dag.edges (Instance.dag inst) in
+  put "suu 1\n";
+  put (Printf.sprintf "n %d m %d\n" n m);
+  put (Printf.sprintf "edges %d\n" (List.length edges));
+  List.iter (fun (u, v) -> put (Printf.sprintf "%d %d\n" u v)) edges;
+  put "probs\n";
+  for i = 0 to m - 1 do
+    let row =
+      String.concat " "
+        (List.init n (fun j ->
+             Printf.sprintf "%.17g" (Instance.prob inst ~machine:i ~job:j)))
+    in
+    put row;
+    put "\n"
+  done
+
+let write oc inst = emit (output_string oc) inst
+
+let to_string inst =
+  let buf = Buffer.create 1024 in
+  emit (Buffer.add_string buf) inst;
+  Buffer.contents buf
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some k -> String.sub line 0 k
+  | None -> line
+
+let tokens_of_lines lines =
+  List.concat_map
+    (fun line ->
+      strip_comment line |> String.split_on_char ' '
+      |> List.concat_map (String.split_on_char '\t')
+      |> List.filter (fun s -> s <> ""))
+    lines
+
+let parse tokens =
+  let fail msg = failwith ("Io.read: " ^ msg) in
+  let int_of s =
+    match int_of_string_opt s with Some v -> v | None -> fail ("bad int " ^ s)
+  in
+  let float_of s =
+    match float_of_string_opt s with
+    | Some v -> v
+    | None -> fail ("bad float " ^ s)
+  in
+  match tokens with
+  | "suu" :: "1" :: "n" :: n :: "m" :: m :: "edges" :: ecount :: rest ->
+      let n = int_of n and m = int_of m and ecount = int_of ecount in
+      let rec take_edges k acc rest =
+        if k = 0 then (List.rev acc, rest)
+        else
+          match rest with
+          | u :: v :: rest -> take_edges (k - 1) ((int_of u, int_of v) :: acc) rest
+          | _ -> fail "truncated edge list"
+      in
+      let edges, rest = take_edges ecount [] rest in
+      let rest =
+        match rest with
+        | "probs" :: rest -> rest
+        | _ -> fail "expected 'probs'"
+      in
+      let floats = Array.of_list (List.map float_of rest) in
+      if Array.length floats <> n * m then fail "wrong probability count";
+      let p = Array.init m (fun i -> Array.init n (fun j -> floats.((i * n) + j))) in
+      (try Instance.create ~p ~dag:(Dag.create ~n edges)
+       with Invalid_argument msg -> fail msg)
+  | _ -> fail "bad header"
+
+let of_string s = parse (tokens_of_lines (String.split_on_char '\n' s))
+
+let read ic =
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  parse (tokens_of_lines (List.rev !lines))
+
+let save path inst =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc inst)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read ic)
+
+module Oblivious = Suu_core.Oblivious
+
+let schedule_to_string sched =
+  let buf = Buffer.create 1024 in
+  let add_steps steps =
+    Array.iter
+      (fun a ->
+        Buffer.add_string buf
+          (String.concat " " (Array.to_list (Array.map string_of_int a)));
+        Buffer.add_char buf '\n')
+      steps
+  in
+  Buffer.add_string buf "suu-plan 1\n";
+  Buffer.add_string buf (Printf.sprintf "m %d\n" sched.Oblivious.m);
+  Buffer.add_string buf
+    (Printf.sprintf "prefix %d\n" (Array.length sched.Oblivious.prefix));
+  add_steps sched.Oblivious.prefix;
+  Buffer.add_string buf
+    (Printf.sprintf "cycle %d\n" (Array.length sched.Oblivious.cycle));
+  add_steps sched.Oblivious.cycle;
+  Buffer.contents buf
+
+let schedule_of_string s =
+  let fail msg = failwith ("Io.schedule: " ^ msg) in
+  let int_of tok =
+    match int_of_string_opt tok with
+    | Some v -> v
+    | None -> fail ("bad int " ^ tok)
+  in
+  let tokens = tokens_of_lines (String.split_on_char '\n' s) in
+  match tokens with
+  | "suu-plan" :: "1" :: "m" :: m :: "prefix" :: plen :: rest ->
+      let m = int_of m and plen = int_of plen in
+      if m < 1 then fail "bad machine count";
+      let take_steps count rest =
+        let steps = Array.init count (fun _ -> Array.make m (-1)) in
+        let rest = ref rest in
+        for k = 0 to count - 1 do
+          for i = 0 to m - 1 do
+            match !rest with
+            | tok :: more ->
+                steps.(k).(i) <- int_of tok;
+                rest := more
+            | [] -> fail "truncated step list"
+          done
+        done;
+        (steps, !rest)
+      in
+      let prefix, rest = take_steps plen rest in
+      let cycle, rest =
+        match rest with
+        | "cycle" :: clen :: rest -> take_steps (int_of clen) rest
+        | _ -> fail "expected 'cycle'"
+      in
+      if rest <> [] then fail "trailing tokens";
+      (try Oblivious.create ~m ~cycle prefix
+       with Invalid_argument msg -> fail msg)
+  | _ -> fail "bad header"
+
+let save_schedule path sched =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (schedule_to_string sched))
+
+let load_schedule path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let buf = Buffer.create 1024 in
+      (try
+         while true do
+           Buffer.add_channel buf ic 4096
+         done
+       with End_of_file -> ());
+      schedule_of_string (Buffer.contents buf))

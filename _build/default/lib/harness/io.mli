@@ -1,0 +1,43 @@
+(** Plain-text serialisation of SUU instances.
+
+    Format (line oriented, [#] starts a comment):
+    {v
+    suu 1            # magic + version
+    n <jobs> m <machines>
+    edges <count>
+    <u> <v>          # one per edge
+    probs            # then m rows of n floats, machine-major
+    <p_00> ... <p_0,n-1>
+    v} *)
+
+val write : out_channel -> Suu_core.Instance.t -> unit
+val read : in_channel -> Suu_core.Instance.t
+
+val save : string -> Suu_core.Instance.t -> unit
+(** Write to a file path. *)
+
+val load : string -> Suu_core.Instance.t
+(** Read from a file path.
+    @raise Failure on malformed input. *)
+
+val to_string : Suu_core.Instance.t -> string
+val of_string : string -> Suu_core.Instance.t
+
+(** {1 Oblivious schedule files}
+
+    Computed plans can be exported and replayed later (the whole point of
+    oblivious schedules is that they are decided in advance). Format:
+    {v
+    suu-plan 1
+    m <machines>
+    prefix <steps>
+    <one line per step: m job ids, -1 for idle>
+    cycle <steps>
+    <one line per step>
+    v} *)
+
+val schedule_to_string : Suu_core.Oblivious.t -> string
+val schedule_of_string : string -> Suu_core.Oblivious.t
+val save_schedule : string -> Suu_core.Oblivious.t -> unit
+val load_schedule : string -> Suu_core.Oblivious.t
+(** @raise Failure on malformed input. *)

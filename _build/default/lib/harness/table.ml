@@ -1,0 +1,48 @@
+type cell = string
+
+let cell_f ?(digits = 2) v = Printf.sprintf "%.*f" digits v
+let cell_i = string_of_int
+
+let looks_numeric s =
+  s <> ""
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '+' || c = 'e')
+       s
+
+let render ~title ~header rows =
+  let all = header :: rows in
+  let cols =
+    List.fold_left (fun acc row -> max acc (List.length row)) 0 all
+  in
+  let width = Array.make cols 0 in
+  List.iter
+    (List.iteri (fun c s -> width.(c) <- max width.(c) (String.length s)))
+    all;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("== " ^ title ^ " ==\n");
+  let render_row row =
+    List.iteri
+      (fun c s ->
+        let pad = width.(c) - String.length s in
+        if c > 0 then Buffer.add_string buf "  ";
+        if looks_numeric s then begin
+          Buffer.add_string buf (String.make pad ' ');
+          Buffer.add_string buf s
+        end
+        else begin
+          Buffer.add_string buf s;
+          Buffer.add_string buf (String.make pad ' ')
+        end)
+      row;
+    Buffer.add_char buf '\n'
+  in
+  render_row header;
+  let total = Array.fold_left ( + ) 0 width + (2 * (cols - 1)) in
+  Buffer.add_string buf (String.make (max 1 total) '-');
+  Buffer.add_char buf '\n';
+  List.iter render_row rows;
+  Buffer.contents buf
+
+let print ?(out = stdout) ~title ~header rows =
+  output_string out (render ~title ~header rows);
+  flush out

@@ -1,0 +1,16 @@
+(** Aligned plain-text tables for experiment output. *)
+
+type cell = string
+
+val cell_f : ?digits:int -> float -> cell
+(** Format a float ([digits] defaults to 2). *)
+
+val cell_i : int -> cell
+
+val print :
+  ?out:out_channel -> title:string -> header:cell list -> cell list list -> unit
+(** Print a titled table with column-aligned rows to [out] (default
+    [stdout]). Numeric-looking cells are right-aligned. *)
+
+val render : title:string -> header:cell list -> cell list list -> string
+(** The same table as a string. *)

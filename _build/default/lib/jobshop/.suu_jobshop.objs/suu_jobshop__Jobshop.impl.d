@@ -1,0 +1,1 @@
+lib/jobshop/jobshop.ml: Array Format Hashtbl List Suu_prob

@@ -1,0 +1,1 @@
+lib/jobshop/jobshop.mli: Format Suu_prob

@@ -1,0 +1,211 @@
+type op = { machine : int; duration : int }
+
+type t = {
+  machines : int;
+  jobs : op list array;
+  units : int array array; (* units.(j).(u) = machine of unit u of job j *)
+}
+
+let create ~machines jobs =
+  if machines < 1 then invalid_arg "Jobshop.create: need at least one machine";
+  Array.iter
+    (List.iter (fun o ->
+         if o.machine < 0 || o.machine >= machines then
+           invalid_arg "Jobshop.create: machine out of range";
+         if o.duration < 1 then
+           invalid_arg "Jobshop.create: duration must be positive"))
+    jobs;
+  let units =
+    Array.map
+      (fun ops ->
+        Array.of_list
+          (List.concat_map (fun o -> List.init o.duration (fun _ -> o.machine)) ops))
+      jobs
+  in
+  { machines; jobs = Array.map (fun l -> l) jobs; units }
+
+let machines t = t.machines
+let job_count t = Array.length t.jobs
+let operations t j = t.jobs.(j)
+
+let congestion t =
+  let load = Array.make t.machines 0 in
+  Array.iter (Array.iter (fun i -> load.(i) <- load.(i) + 1)) t.units;
+  Array.fold_left max 0 load
+
+let dilation t =
+  Array.fold_left (fun acc u -> max acc (Array.length u)) 0 t.units
+
+let lower_bound t = max (congestion t) (dilation t)
+
+type schedule = { start : int array array }
+
+let makespan s =
+  Array.fold_left
+    (fun acc starts -> Array.fold_left (fun a v -> max a (v + 1)) acc starts)
+    0 s.start
+
+let validate t s =
+  let err fmt = Format.kasprintf (fun msg -> Error msg) fmt in
+  if Array.length s.start <> job_count t then err "job count mismatch"
+  else begin
+    let bad = ref None in
+    let note fmt = Format.kasprintf (fun msg -> bad := Some msg) fmt in
+    (* Order within each job. *)
+    Array.iteri
+      (fun j starts ->
+        if Array.length starts <> Array.length t.units.(j) then
+          note "job %d unit count mismatch" j
+        else
+          Array.iteri
+            (fun u st ->
+              if st < 0 then note "job %d unit %d negative start" j u;
+              if u > 0 && st <= starts.(u - 1) then
+                note "job %d units %d,%d out of order" j (u - 1) u)
+            starts)
+      s.start;
+    (* Machine conflicts. *)
+    let busy = Hashtbl.create 256 in
+    Array.iteri
+      (fun j starts ->
+        Array.iteri
+          (fun u st ->
+            let key = (t.units.(j).(u), st) in
+            (match Hashtbl.find_opt busy key with
+            | Some (j', u') ->
+                note "machine %d double-booked at %d by %d.%d and %d.%d"
+                  (fst key) st j' u' j u
+            | None -> ());
+            Hashtbl.replace busy key (j, u))
+          starts)
+      s.start;
+    match !bad with Some msg -> Error msg | None -> Ok ()
+  end
+
+let greedy t =
+  let nj = job_count t in
+  let start = Array.map (fun u -> Array.make (Array.length u) 0) t.units in
+  let next = Array.make nj 0 in
+  let remaining = Array.map Array.length t.units in
+  let total = Array.fold_left ( + ) 0 remaining in
+  let done_units = ref 0 in
+  let step = ref 0 in
+  while !done_units < total do
+    (* Per machine, the ready job with the most remaining work. *)
+    let pick = Array.make t.machines (-1) in
+    for j = 0 to nj - 1 do
+      if remaining.(j) > 0 then begin
+        let i = t.units.(j).(next.(j)) in
+        if pick.(i) < 0 || remaining.(j) > remaining.(pick.(i)) then pick.(i) <- j
+      end
+    done;
+    Array.iter
+      (fun j ->
+        if j >= 0 then begin
+          start.(j).(next.(j)) <- !step;
+          next.(j) <- next.(j) + 1;
+          remaining.(j) <- remaining.(j) - 1;
+          incr done_units
+        end)
+      pick;
+    incr step
+  done;
+  { start }
+
+let with_delays t ~delays =
+  let nj = job_count t in
+  if Array.length delays <> nj then
+    invalid_arg "Jobshop.with_delays: delays length mismatch";
+  Array.iter
+    (fun d -> if d < 0 then invalid_arg "Jobshop.with_delays: negative delay")
+    delays;
+  let horizon =
+    Array.fold_left max 0
+      (Array.mapi (fun j u -> delays.(j) + Array.length u) t.units)
+  in
+  (* Pretend-time collision counts per (step, machine) and per-unit slot
+     index within its (step, machine) queue. *)
+  let count = Array.make_matrix (max 1 horizon) t.machines 0 in
+  let slot = Array.map (fun u -> Array.make (Array.length u) 0) t.units in
+  for j = 0 to nj - 1 do
+    Array.iteri
+      (fun u i ->
+        let pt = delays.(j) + u in
+        slot.(j).(u) <- count.(pt).(i);
+        count.(pt).(i) <- count.(pt).(i) + 1)
+      t.units.(j)
+  done;
+  (* Expansion of each pretend step and real base offsets. *)
+  let base = Array.make (max 1 horizon) 0 in
+  let acc = ref 0 in
+  for pt = 0 to horizon - 1 do
+    base.(pt) <- !acc;
+    let worst = Array.fold_left max 0 count.(pt) in
+    acc := !acc + max 1 worst
+  done;
+  let start =
+    Array.mapi
+      (fun j u ->
+        Array.mapi (fun k _ -> base.(delays.(j) + k) + slot.(j).(k)) u)
+      t.units
+  in
+  { start }
+
+let random_delay rng ?(tries = 8) t =
+  let nj = job_count t in
+  let c = congestion t in
+  let evaluate delays = (with_delays t ~delays, delays) in
+  let best = ref (evaluate (Array.make nj 0)) in
+  for _ = 1 to tries do
+    let delays = Array.init nj (fun _ -> Suu_prob.Rng.int rng (c + 1)) in
+    let candidate = evaluate delays in
+    if makespan (fst candidate) < makespan (fst !best) then best := candidate
+  done;
+  !best
+
+let derandomized_delay t =
+  let nj = job_count t in
+  let c = congestion t in
+  let horizon =
+    Array.fold_left max 1 (Array.map Array.length t.units) + c
+  in
+  let load = Array.make_matrix horizon t.machines 0 in
+  let order =
+    List.init nj (fun j -> j)
+    |> List.sort (fun a b ->
+           compare
+             (Array.length t.units.(b), a)
+             (Array.length t.units.(a), b))
+  in
+  let delays = Array.make nj 0 in
+  List.iter
+    (fun j ->
+      let cost d =
+        let acc = ref 0 in
+        Array.iteri (fun u i -> acc := !acc + load.(d + u).(i)) t.units.(j);
+        !acc
+      in
+      let best_d = ref 0 and best_cost = ref (cost 0) in
+      for d = 1 to c do
+        let v = cost d in
+        if v < !best_cost then begin
+          best_cost := v;
+          best_d := d
+        end
+      done;
+      delays.(j) <- !best_d;
+      Array.iteri
+        (fun u i -> load.(!best_d + u).(i) <- load.(!best_d + u).(i) + 1)
+        t.units.(j))
+    order;
+  (with_delays t ~delays, delays)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>jobshop machines=%d jobs=%d C=%d D=%d" t.machines
+    (job_count t) (congestion t) (dilation t);
+  Array.iteri
+    (fun j ops ->
+      Format.fprintf fmt "@,job %d:" j;
+      List.iter (fun o -> Format.fprintf fmt " m%d x%d" o.machine o.duration) ops)
+    t.jobs;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,72 @@
+(** Deterministic job-shop scheduling — the substrate behind the paper's
+    §4.1 delay-and-flatten step.
+
+    The paper's random-delay technique is imported from job-shop
+    scheduling (Leighton–Maggs–Rao 1994; Shmoys–Stein–Wein 1994, whose
+    Lemma 2.1 is invoked verbatim in §4.1): jobs are sequences of
+    operations, each bound to a specific machine; delaying each job by a
+    uniformly random amount in [\[0, congestion\]] and then expanding
+    collided steps yields schedules of length O((C + D)·log/log log)
+    where [C] is the congestion (max machine load) and [D] the dilation
+    (max job length) — and [max(C, D)] lower-bounds any schedule. This
+    module implements that machinery in its original deterministic
+    setting, so the shared ideas are tested independently of the
+    stochastic SUU layer. Operations have unit granularity internally
+    (longer operations are unit-expanded). *)
+
+type op = { machine : int; duration : int }
+
+type t
+(** A job-shop instance. *)
+
+val create : machines:int -> op list array -> t
+(** [create ~machines jobs] with [jobs.(j)] the operation sequence of job
+    [j].
+    @raise Invalid_argument on empty machine range, out-of-range machine
+    ids, or non-positive durations. *)
+
+val machines : t -> int
+val job_count : t -> int
+val operations : t -> int -> op list
+
+val congestion : t -> int
+(** [C]: the maximum total work assigned to one machine. *)
+
+val dilation : t -> int
+(** [D]: the maximum total duration of one job. *)
+
+val lower_bound : t -> int
+(** [max(C, D)] — valid for every feasible schedule. *)
+
+type schedule
+(** Start times for every unit of every operation. *)
+
+val makespan : schedule -> int
+
+val validate : t -> schedule -> (unit, string) result
+(** Feasibility: units of a job run in order, one at a time; no machine
+    runs two units in one step; every unit scheduled exactly once. *)
+
+val greedy : t -> schedule
+(** List scheduling: step by step, each machine serves the ready job with
+    the most remaining work (LRPT; ties to the lowest job id).
+    Deterministic; makespan ≤ C + D on any instance where some machine or
+    job is always busy — in general a good practical baseline. *)
+
+val with_delays : t -> delays:int array -> schedule
+(** The §4.1 construction: job [j] idles for [delays.(j)] steps, then its
+    units run back-to-back {e pretending} machines have unbounded
+    capacity; each pretend step is then expanded by its worst per-machine
+    collision count and units run in sequence within the expansion
+    ("flattening"). Always feasible. *)
+
+val random_delay : Suu_prob.Rng.t -> ?tries:int -> t -> schedule * int array
+(** Best of [tries] (default 8) draws of delays uniform in
+    [\[0, congestion\]] (zero delays always included), by makespan.
+    Returns the schedule and the winning delays. *)
+
+val derandomized_delay : t -> schedule * int array
+(** Deterministic delays by conditional expectations on the pairwise
+    collision estimator, as in [Suu_algo.Delay.derandomized]. *)
+
+val pp : Format.formatter -> t -> unit

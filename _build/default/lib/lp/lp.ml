@@ -1,0 +1,100 @@
+type relation = Le | Ge | Eq
+
+type problem = {
+  nvars : int;
+  direction : [ `Minimize | `Maximize ];
+  objective : (int * float) list;
+  rows : row list;
+  names : string array;
+}
+
+and row = { coeffs : (int * float) list; rel : relation; rhs : float }
+
+type builder = {
+  mutable count : int;
+  mutable objs : (int * float) list;
+  mutable brows : row list; (* reverse order *)
+  mutable bnames : string list; (* reverse order *)
+}
+
+let builder () = { count = 0; objs = []; brows = []; bnames = [] }
+
+let add_var b ?(obj = 0.) name =
+  let v = b.count in
+  b.count <- v + 1;
+  if obj <> 0. then b.objs <- (v, obj) :: b.objs;
+  b.bnames <- name :: b.bnames;
+  v
+
+let var_count b = b.count
+
+let check_row b coeffs =
+  List.iter
+    (fun (v, _) ->
+      if v < 0 || v >= b.count then invalid_arg "Lp: variable out of range")
+    coeffs
+
+let add_row b coeffs rel rhs =
+  check_row b coeffs;
+  b.brows <- { coeffs; rel; rhs } :: b.brows
+
+let add_le b coeffs rhs = add_row b coeffs Le rhs
+let add_ge b coeffs rhs = add_row b coeffs Ge rhs
+let add_eq b coeffs rhs = add_row b coeffs Eq rhs
+
+let build b direction =
+  {
+    nvars = b.count;
+    direction;
+    objective = List.rev b.objs;
+    rows = List.rev b.brows;
+    names = Array.of_list (List.rev b.bnames);
+  }
+
+let eval_row row x =
+  List.fold_left (fun acc (v, c) -> acc +. (c *. x.(v))) 0. row.coeffs
+
+let feasible ?(eps = 1e-6) problem x =
+  if Array.length x <> problem.nvars then false
+  else
+    Array.for_all (fun xi -> xi >= -.eps) x
+    && List.for_all
+         (fun row ->
+           let lhs = eval_row row x in
+           let scale =
+             List.fold_left
+               (fun acc (_, c) -> Float.max acc (Float.abs c))
+               (Float.max 1. (Float.abs row.rhs))
+               row.coeffs
+           in
+           let tol = eps *. scale in
+           match row.rel with
+           | Le -> lhs <= row.rhs +. tol
+           | Ge -> lhs >= row.rhs -. tol
+           | Eq -> Float.abs (lhs -. row.rhs) <= tol)
+         problem.rows
+
+let pp fmt p =
+  let dir =
+    match p.direction with `Minimize -> "minimize" | `Maximize -> "maximize"
+  in
+  Format.fprintf fmt "@[<v>%s" dir;
+  let pp_terms coeffs =
+    List.iter
+      (fun (v, c) ->
+        let name = if v < Array.length p.names then p.names.(v) else "?" in
+        Format.fprintf fmt " %+g*%s" c name)
+      coeffs
+  in
+  Format.fprintf fmt "@,  obj:";
+  pp_terms p.objective;
+  List.iter
+    (fun row ->
+      Format.fprintf fmt "@,  ";
+      pp_terms row.coeffs;
+      let rel =
+        match row.rel with Le -> "<=" | Ge -> ">=" | Eq -> "="
+      in
+      Format.fprintf fmt " %s %g" rel row.rhs)
+    p.rows;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,43 @@
+(** Linear-program models.
+
+    A tiny modelling layer over {!Simplex}: variables are created one at a
+    time (all implicitly non-negative, as in the paper's (LP1)/(LP2)),
+    constraints are sparse rows. The SUU relaxations are built with this
+    API in [Suu_algo.Lp_relax]. *)
+
+type relation = Le | Ge | Eq
+
+type problem = {
+  nvars : int;
+  direction : [ `Minimize | `Maximize ];
+  objective : (int * float) list;  (** sparse; absent variables have cost 0 *)
+  rows : row list;
+  names : string array;  (** one per variable, for diagnostics *)
+}
+
+and row = { coeffs : (int * float) list; rel : relation; rhs : float }
+
+type builder
+
+val builder : unit -> builder
+
+val add_var : builder -> ?obj:float -> string -> int
+(** [add_var b name] declares a fresh non-negative variable and returns its
+    index. [obj] is its objective coefficient (default 0). *)
+
+val var_count : builder -> int
+
+val add_le : builder -> (int * float) list -> float -> unit
+val add_ge : builder -> (int * float) list -> float -> unit
+val add_eq : builder -> (int * float) list -> float -> unit
+
+val build : builder -> [ `Minimize | `Maximize ] -> problem
+
+val eval_row : row -> float array -> float
+(** Value of the row's left-hand side at a point. *)
+
+val feasible : ?eps:float -> problem -> float array -> bool
+(** Whether a point satisfies every constraint (and non-negativity) within
+    tolerance [eps] (default [1e-6]) scaled by row magnitude. *)
+
+val pp : Format.formatter -> problem -> unit

@@ -1,0 +1,23 @@
+(** Two-phase primal simplex for dense linear programs.
+
+    The paper's chain algorithm needs an exact optimum of the relaxation
+    (LP1) (and (LP2) for independent jobs); no LP tooling is available in
+    this environment, so this is a from-scratch solver. All variables are
+    non-negative; rows may be ≤, ≥ or =. Phase 1 minimises the sum of
+    artificial variables to find a basic feasible solution; phase 2
+    optimises the true objective. Entering variables are chosen by
+    Dantzig's rule and the solver switches to Bland's rule after a stall is
+    detected, which guarantees termination. *)
+
+type outcome =
+  | Optimal of { objective : float; solution : float array }
+      (** optimum value and a primal solution (length [nvars]) *)
+  | Infeasible
+  | Unbounded
+
+exception Iteration_limit
+(** Raised if the iteration budget is exhausted (pathological inputs). *)
+
+val solve : ?max_iters:int -> ?eps:float -> Lp.problem -> outcome
+(** Solve the problem. [max_iters] (default [200_000]) bounds total pivots
+    across both phases; [eps] (default [1e-9]) is the pivot tolerance. *)

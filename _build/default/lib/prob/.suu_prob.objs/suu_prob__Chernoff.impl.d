@@ -1,0 +1,1 @@
+lib/prob/chernoff.ml: Float

@@ -1,0 +1,1 @@
+lib/prob/stats.ml: Array Float

@@ -1,0 +1,44 @@
+let multiplicative_upper ~mu ~delta =
+  if delta <= 0. || mu < 0. then
+    invalid_arg "Chernoff.multiplicative_upper: need delta > 0, mu >= 0";
+  let log_bound =
+    mu *. (delta -. ((1. +. delta) *. Float.log (1. +. delta)))
+  in
+  Float.min 1. (Float.exp log_bound)
+
+let multiplicative_lower ~mu ~delta =
+  if delta <= 0. || delta >= 1. || mu < 0. then
+    invalid_arg "Chernoff.multiplicative_lower: need 0 < delta < 1, mu >= 0";
+  Float.min 1. (Float.exp (-.(mu *. delta *. delta /. 2.)))
+
+let hoeffding_two_sided ~n ~epsilon =
+  if n < 1 || epsilon <= 0. then
+    invalid_arg "Chernoff.hoeffding_two_sided: need n >= 1, epsilon > 0";
+  Float.min 1. (2. *. Float.exp (-2. *. Float.of_int n *. epsilon *. epsilon))
+
+let sample_size ~epsilon ~confidence =
+  if epsilon <= 0. || confidence <= 0. || confidence >= 1. then
+    invalid_arg "Chernoff.sample_size: need epsilon > 0, confidence in (0,1)";
+  let failure = 1. -. confidence in
+  let n = Float.log (2. /. failure) /. (2. *. epsilon *. epsilon) in
+  Float.to_int (Float.ceil n)
+
+let congestion_tail ~tau =
+  if tau <= Float.exp 1. then 1.
+  else Float.exp (tau *. (1. -. Float.log tau))
+
+let congestion_threshold ~n ~m ~alpha =
+  let x = Float.of_int (n + m) in
+  if x < 3. then alpha
+  else alpha *. Float.log x /. Float.log (Float.log x)
+
+let geometric_drain_steps ~n ~rate ~confidence =
+  if rate <= 0. || rate >= 1. then
+    invalid_arg "Chernoff.geometric_drain_steps: need rate in (0,1)";
+  if n < 1 then 0.
+  else begin
+    let failure = 1. -. confidence in
+    (* n (1-rate)^t <= failure  <=>  t >= log(n/failure) / -log(1-rate) *)
+    Float.ceil
+      (Float.log (Float.of_int n /. failure) /. -.Float.log1p (-.rate))
+  end

@@ -1,0 +1,40 @@
+(** Concentration bounds (Chernoff–Hoeffding), as used throughout the
+    paper's analyses.
+
+    The paper's Theorem 3.3 drains the unfinished-job count by "standard
+    Chernoff bound arguments" [3, 15], and the delay analysis of §4.1
+    bounds per-step congestion via the ((e/τ)^τ) tail. This module makes
+    those bounds computable so the harness can size trial counts and the
+    test-suite can assert tail behaviour numerically. *)
+
+val multiplicative_upper : mu:float -> delta:float -> float
+(** [multiplicative_upper ~mu ~delta] is the classic Chernoff bound
+    [P(X >= (1+δ)μ) <= (e^δ / (1+δ)^{1+δ})^μ] for a sum of independent
+    [\[0,1\]] variables with mean [μ]. Requires [δ > 0], [μ >= 0]. *)
+
+val multiplicative_lower : mu:float -> delta:float -> float
+(** [P(X <= (1-δ)μ) <= e^{-μδ²/2}] for [0 < δ < 1]. *)
+
+val hoeffding_two_sided : n:int -> epsilon:float -> float
+(** [P(|X̄ - E[X̄]| >= ε) <= 2·e^{-2nε²}] for [n] i.i.d. samples in
+    [\[0,1\]]. *)
+
+val sample_size : epsilon:float -> confidence:float -> int
+(** Smallest [n] such that [hoeffding_two_sided ~n ~epsilon <= 1 -
+    confidence] — the trials needed to estimate a [\[0,1\]]-bounded mean
+    within [ε] at the given confidence. *)
+
+val congestion_tail : tau:float -> float
+(** The §4.1 congestion tail: [(e/τ)^τ], the probability bound that a
+    machine-step receives at least [τ] units under uniform random delays
+    (for [τ > e]; returns 1 otherwise, where the bound is vacuous). *)
+
+val congestion_threshold : n:int -> m:int -> alpha:float -> float
+(** The paper's [τ = α·log(n+m)/log log(n+m)] threshold. *)
+
+val geometric_drain_steps : n:int -> rate:float -> confidence:float -> float
+(** If the unfinished count shrinks in expectation by factor [(1 - rate)]
+    per step (the Theorem 3.3 recurrence), the number of steps after
+    which it is below 1 with the given confidence, by Markov on the
+    product supermartingale: smallest [t] with [n·(1-rate)^t <= 1 -
+    confidence]. *)

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Domain Float Hashtbl List Suu_core Suu_dag Suu_prob

@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Suu_core Suu_prob

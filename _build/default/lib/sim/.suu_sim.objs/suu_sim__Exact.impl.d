@@ -1,0 +1,1 @@
+lib/sim/exact.ml: Array Hashtbl List Option Suu_core Suu_dag Sys

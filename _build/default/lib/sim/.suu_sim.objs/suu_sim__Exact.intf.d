@@ -1,0 +1,1 @@
+lib/sim/exact.mli: Suu_core

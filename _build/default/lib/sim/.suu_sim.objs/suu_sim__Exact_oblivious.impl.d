@@ -1,0 +1,1 @@
+lib/sim/exact_oblivious.ml: Array Exact Float Hashtbl List Option Suu_core

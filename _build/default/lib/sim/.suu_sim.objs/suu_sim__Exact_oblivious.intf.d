@@ -1,0 +1,1 @@
+lib/sim/exact_oblivious.mli: Suu_core

@@ -1,0 +1,205 @@
+module Instance = Suu_core.Instance
+module Assignment = Suu_core.Assignment
+module Policy = Suu_core.Policy
+
+type outcome = { makespan : int; completed : bool }
+
+let default_horizon inst =
+  let n = Instance.n inst in
+  if n = 0 then 1
+  else begin
+    let pmin = Instance.p_min inst in
+    let logn = 1. +. Float.log (Float.of_int (max 2 n)) in
+    let bound = 64. *. (Float.of_int n /. pmin) *. logn in
+    (* Keep the cap sane even for tiny pmin. *)
+    Float.to_int (Float.min bound 5e7) + 64
+  end
+
+(* Mutable execution state shared by [run] and [trace]. *)
+type exec = {
+  inst : Instance.t;
+  unfinished : bool array;
+  eligible : bool array;
+  pending_preds : int array;
+  releases : int array option;
+  mutable remaining : int;
+}
+
+let exec_create ?releases inst =
+  let n = Instance.n inst in
+  (match releases with
+  | Some r ->
+      if Array.length r <> n then invalid_arg "Engine: releases length mismatch";
+      Array.iter
+        (fun v -> if v < 0 then invalid_arg "Engine: negative release date")
+        r
+  | None -> ());
+  let dag = Instance.dag inst in
+  let pending_preds = Array.init n (Suu_dag.Dag.in_degree dag) in
+  let released j = match releases with Some r -> r.(j) <= 0 | None -> true in
+  {
+    inst;
+    unfinished = Array.make n true;
+    eligible = Array.init n (fun j -> pending_preds.(j) = 0 && released j);
+    pending_preds;
+    releases;
+    remaining = n;
+  }
+
+let exec_released_by ex t j =
+  match ex.releases with None -> true | Some r -> r.(j) <= t
+
+(* Mark jobs whose release date has arrived; no-op in the offline case. *)
+let exec_release_due ex t =
+  match ex.releases with
+  | None -> ()
+  | Some r ->
+      Array.iteri
+        (fun j rel ->
+          if
+            rel <= t && ex.unfinished.(j)
+            && ex.pending_preds.(j) = 0
+            && not ex.eligible.(j)
+          then ex.eligible.(j) <- true)
+        r
+
+let exec_finish ex t j =
+  ex.unfinished.(j) <- false;
+  ex.eligible.(j) <- false;
+  ex.remaining <- ex.remaining - 1;
+  List.iter
+    (fun v ->
+      ex.pending_preds.(v) <- ex.pending_preds.(v) - 1;
+      if ex.pending_preds.(v) = 0 && ex.unfinished.(v) && exec_released_by ex t v
+      then ex.eligible.(v) <- true)
+    (Suu_dag.Dag.succs (Instance.dag ex.inst) j)
+
+(* One step: returns the list of jobs completed. *)
+let exec_step rng ex t assignment =
+  let completed = ref [] in
+  let newly = Hashtbl.create 4 in
+  Array.iteri
+    (fun i j ->
+      if
+        j <> Assignment.idle_job
+        && ex.unfinished.(j)
+        && ex.eligible.(j)
+        && not (Hashtbl.mem newly j)
+      then
+        if Suu_prob.Rng.bernoulli rng (Instance.prob ex.inst ~machine:i ~job:j)
+        then begin
+          Hashtbl.add newly j ();
+          completed := j :: !completed
+        end)
+    assignment;
+  (* Completions take effect at the end of the step. *)
+  List.iter (exec_finish ex t) !completed;
+  !completed
+
+let run ?max_steps ?releases rng inst policy =
+  let max_steps =
+    match max_steps with Some v -> v | None -> default_horizon inst
+  in
+  let ex = exec_create ?releases inst in
+  let decide = policy.Policy.fresh () in
+  let t = ref 0 in
+  while ex.remaining > 0 && !t < max_steps do
+    exec_release_due ex !t;
+    let state =
+      { Policy.step = !t; unfinished = ex.unfinished; eligible = ex.eligible }
+    in
+    let a = decide state in
+    ignore (exec_step rng ex !t a : int list);
+    incr t
+  done;
+  { makespan = !t; completed = ex.remaining = 0 }
+
+let trace ?max_steps ?releases rng inst policy =
+  let max_steps =
+    match max_steps with Some v -> v | None -> default_horizon inst
+  in
+  let ex = exec_create ?releases inst in
+  let decide = policy.Policy.fresh () in
+  let history = ref [] in
+  let t = ref 0 in
+  while ex.remaining > 0 && !t < max_steps do
+    exec_release_due ex !t;
+    let state =
+      { Policy.step = !t; unfinished = ex.unfinished; eligible = ex.eligible }
+    in
+    let a = decide state in
+    let done_now = exec_step rng ex !t a in
+    history := (!t, Array.copy a, done_now) :: !history;
+    incr t
+  done;
+  List.rev !history
+
+type estimate = {
+  stats : Suu_prob.Stats.summary;
+  trials : int;
+  incomplete : int;
+  samples : float array;
+}
+
+let finish_estimate ?max_steps inst ~trials ~incomplete samples =
+  let stats =
+    if Array.length samples = 0 then
+      (* All runs truncated: report the cap itself so callers see a huge
+         value rather than crashing. *)
+      Suu_prob.Stats.summarize
+        [|
+          Float.of_int
+            (match max_steps with
+            | Some v -> v
+            | None -> default_horizon inst);
+        |]
+    else Suu_prob.Stats.summarize samples
+  in
+  { stats; trials; incomplete; samples }
+
+let estimate_makespan ?max_steps ?releases ~trials rng inst policy =
+  if trials < 1 then invalid_arg "Engine.estimate_makespan: trials < 1";
+  let samples = ref [] in
+  let incomplete = ref 0 in
+  for _ = 1 to trials do
+    let o = run ?max_steps ?releases rng inst policy in
+    if o.completed then samples := Float.of_int o.makespan :: !samples
+    else incr incomplete
+  done;
+  finish_estimate ?max_steps inst ~trials ~incomplete:!incomplete
+    (Array.of_list !samples)
+
+let estimate_makespan_parallel ?max_steps ?releases ?domains ~trials ~seed inst
+    policy =
+  if trials < 1 then invalid_arg "Engine.estimate_makespan_parallel: trials < 1";
+  let domains =
+    match domains with
+    | Some d ->
+        if d < 1 then
+          invalid_arg "Engine.estimate_makespan_parallel: domains < 1";
+        d
+    | None -> min 8 (Domain.recommended_domain_count ())
+  in
+  let domains = min domains trials in
+  (* Deterministic per-worker trial counts and seeds. *)
+  let per_worker = trials / domains and extra = trials mod domains in
+  let worker k =
+    let my_trials = per_worker + if k < extra then 1 else 0 in
+    let rng = Suu_prob.Rng.create (seed lxor ((k + 1) * 0x9E3779B1)) in
+    let samples = ref [] in
+    let incomplete = ref 0 in
+    for _ = 1 to my_trials do
+      let o = run ?max_steps ?releases rng inst policy in
+      if o.completed then samples := Float.of_int o.makespan :: !samples
+      else incr incomplete
+    done;
+    (Array.of_list (List.rev !samples), !incomplete)
+  in
+  let handles =
+    List.init (domains - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1)))
+  in
+  let first = worker 0 in
+  let results = first :: List.map Domain.join handles in
+  let samples = Array.concat (List.map fst results) in
+  let incomplete = List.fold_left (fun acc (_, i) -> acc + i) 0 results in
+  finish_estimate ?max_steps inst ~trials ~incomplete samples

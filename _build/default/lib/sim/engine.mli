@@ -1,0 +1,78 @@
+(** Monte-Carlo execution of schedules (the stochastic environment).
+
+    Plays the role of the paper's probabilistic machine model: at every
+    step, each machine assigned to an eligible unfinished job completes it
+    with probability [p_ij], independently of everything else; a job
+    finishes when at least one of its machines succeeds; eligibility
+    updates at step boundaries. *)
+
+type outcome = {
+  makespan : int;  (** steps until the last job completed *)
+  completed : bool;  (** [false] iff the [max_steps] cap was hit *)
+}
+
+val default_horizon : Suu_core.Instance.t -> int
+(** A safe step cap: generous multiple of [n / p_min · (1 + ln n)], the
+    paper's crude TOPT upper bound (§3.2). Executions that exceed it are
+    reported as incomplete rather than looping forever. *)
+
+val run :
+  ?max_steps:int ->
+  ?releases:int array ->
+  Suu_prob.Rng.t ->
+  Suu_core.Instance.t ->
+  Suu_core.Policy.t ->
+  outcome
+(** Execute one realisation. [max_steps] defaults to [default_horizon].
+
+    [releases] (one 0-based step per job, default all zero) makes the
+    execution an {e online} one, in the spirit of the paper's §5 open
+    problem: job [j] only becomes eligible once step [releases.(j)] has
+    been reached (in addition to its predecessors being done). Policies
+    see release state only through the [eligible] flags, so an adaptive
+    policy is automatically an online algorithm. *)
+
+val trace :
+  ?max_steps:int ->
+  ?releases:int array ->
+  Suu_prob.Rng.t ->
+  Suu_core.Instance.t ->
+  Suu_core.Policy.t ->
+  (int * Suu_core.Assignment.t * int list) list
+(** Like [run] but returns the executed history:
+    [(step, assignment, jobs completed that step)]. For tests/examples. *)
+
+type estimate = {
+  stats : Suu_prob.Stats.summary;  (** over completed trials *)
+  trials : int;
+  incomplete : int;  (** trials that hit the cap (excluded from stats) *)
+  samples : float array;  (** makespans of the completed trials *)
+}
+
+val estimate_makespan :
+  ?max_steps:int ->
+  ?releases:int array ->
+  trials:int ->
+  Suu_prob.Rng.t ->
+  Suu_core.Instance.t ->
+  Suu_core.Policy.t ->
+  estimate
+(** Expected-makespan estimate over [trials] independent executions. *)
+
+val estimate_makespan_parallel :
+  ?max_steps:int ->
+  ?releases:int array ->
+  ?domains:int ->
+  trials:int ->
+  seed:int ->
+  Suu_core.Instance.t ->
+  Suu_core.Policy.t ->
+  estimate
+(** Multicore [estimate_makespan]: trials are split across [domains]
+    OCaml 5 domains (default: [Domain.recommended_domain_count], capped at
+    8), each with an independent generator derived deterministically from
+    [seed] — so results are reproducible for a fixed [(seed, domains)]
+    pair, and statistically equivalent to the sequential version. The
+    policy's [fresh] function is called once per trial inside the worker
+    domain; policies must not share hidden mutable state across trials
+    (all policies in this library satisfy this). *)

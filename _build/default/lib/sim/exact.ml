@@ -1,0 +1,137 @@
+module Instance = Suu_core.Instance
+module Assignment = Suu_core.Assignment
+
+exception Too_large of int
+exception Nonterminating
+
+let max_jobs = Sys.int_size - 2
+
+let check_size inst =
+  let n = Instance.n inst in
+  if n > max_jobs then raise (Too_large n)
+
+let full_mask inst =
+  check_size inst;
+  let n = Instance.n inst in
+  if n = 0 then 0 else (1 lsl n) - 1
+
+let eligible_mask inst mask =
+  let dag = Instance.dag inst in
+  let n = Instance.n inst in
+  let e = ref 0 in
+  for j = 0 to n - 1 do
+    if mask land (1 lsl j) <> 0 then begin
+      let blocked =
+        List.exists (fun p -> mask land (1 lsl p) <> 0) (Suu_dag.Dag.preds dag j)
+      in
+      if not blocked then e := !e lor (1 lsl j)
+    end
+  done;
+  !e
+
+(* Per-job completion probabilities under an assignment, restricted to
+   eligible unfinished jobs; returns the list of (job, q_j) with q_j > 0. *)
+let active_jobs inst ~mask assignment =
+  let elig = eligible_mask inst mask in
+  let fail = Hashtbl.create 8 in
+  Array.iteri
+    (fun i j ->
+      if j <> Assignment.idle_job && elig land (1 lsl j) <> 0 then begin
+        let f = Option.value (Hashtbl.find_opt fail j) ~default:1. in
+        Hashtbl.replace fail j (f *. (1. -. Instance.prob inst ~machine:i ~job:j))
+      end)
+    assignment;
+  Hashtbl.fold
+    (fun j f acc -> if 1. -. f > 0. then (j, 1. -. f) :: acc else acc)
+    fail []
+  |> List.sort compare
+
+let step_distribution inst ~mask assignment =
+  let active = active_jobs inst ~mask assignment in
+  (* Enumerate completion patterns over the active jobs. *)
+  let rec expand acc = function
+    | [] -> acc
+    | (j, q) :: rest ->
+        let acc' =
+          List.concat_map
+            (fun (mask', prob) ->
+              [ (mask' land lnot (1 lsl j), prob *. q); (mask', prob *. (1. -. q)) ])
+            acc
+        in
+        expand
+          (List.filter (fun (_, prob) -> prob > 0.) acc')
+          rest
+  in
+  let outcomes = expand [ (mask, 1.) ] active in
+  (* Merge duplicates (impossible here since patterns are distinct masks,
+     but cheap and defensive). *)
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (mask', prob) ->
+      let v = Option.value (Hashtbl.find_opt tbl mask') ~default:0. in
+      Hashtbl.replace tbl mask' (v +. prob))
+    outcomes;
+  Hashtbl.fold (fun mask' prob acc -> (mask', prob) :: acc) tbl []
+  |> List.sort compare
+
+let bool_array_of_mask n mask =
+  Array.init n (fun j -> mask land (1 lsl j) <> 0)
+
+let expected_makespan_regimen inst f =
+  check_size inst;
+  let n = Instance.n inst in
+  let memo : (int, float) Hashtbl.t = Hashtbl.create 256 in
+  let rec value mask =
+    if mask = 0 then 0.
+    else
+      match Hashtbl.find_opt memo mask with
+      | Some v -> v
+      | None ->
+          let assignment = f (bool_array_of_mask n mask) in
+          let active = active_jobs inst ~mask assignment in
+          if active = [] then raise Nonterminating;
+          let stay = ref 1. in
+          List.iter (fun (_, q) -> stay := !stay *. (1. -. q)) active;
+          if 1. -. !stay <= 0. then raise Nonterminating;
+          let rest = ref 0. in
+          List.iter
+            (fun (mask', prob) ->
+              if mask' <> mask then rest := !rest +. (prob *. value mask'))
+            (step_distribution inst ~mask assignment);
+          let v = (1. +. !rest) /. (1. -. !stay) in
+          Hashtbl.add memo mask v;
+          v
+  in
+  value (full_mask inst)
+
+let makespan_distribution_regimen inst f ~horizon =
+  check_size inst;
+  let n = Instance.n inst in
+  let dist : (int, float) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.replace dist (full_mask inst) 1.;
+  let cdf = Array.make (horizon + 1) 0. in
+  let absorbed mask = mask = 0 in
+  cdf.(0) <- Option.value (Hashtbl.find_opt dist 0) ~default:0.;
+  if full_mask inst = 0 then Array.fill cdf 0 (horizon + 1) 1.
+  else
+    for t = 1 to horizon do
+      let next = Hashtbl.create 64 in
+      let add mask prob =
+        let v = Option.value (Hashtbl.find_opt next mask) ~default:0. in
+        Hashtbl.replace next mask (v +. prob)
+      in
+      Hashtbl.iter
+        (fun mask prob ->
+          if absorbed mask then add mask prob
+          else begin
+            let assignment = f (bool_array_of_mask n mask) in
+            List.iter
+              (fun (mask', p) -> add mask' (prob *. p))
+              (step_distribution inst ~mask assignment)
+          end)
+        dist;
+      Hashtbl.reset dist;
+      Hashtbl.iter (Hashtbl.replace dist) next;
+      cdf.(t) <- Option.value (Hashtbl.find_opt dist 0) ~default:0.
+    done;
+  cdf

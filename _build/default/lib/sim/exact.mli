@@ -1,0 +1,49 @@
+(** Exact expected makespans by absorbing-Markov-chain analysis.
+
+    The execution of a regimen (Definition 2.2) is a Markov chain on
+    unfinished-job sets (the left diagram of the paper's Figure 1). For
+    instances with at most [word_size - 2] jobs we evaluate the expected
+    absorption time exactly: the chain only moves to strict subsets, so the
+    expectation satisfies a triangular system solved by memoised recursion:
+
+    [E[T(S)] = (1 + Σ_{∅ ≠ F ⊆ A(S)} P(F) · E[T(S \ F)]) / (1 − P(∅))]
+
+    where [A(S)] are the jobs being worked on and [P(F)] the probability
+    that exactly the jobs in [F] finish this step.
+
+    This module is the ground truth the Monte-Carlo engine and the
+    approximation algorithms are tested against, and the substrate for
+    Malewicz's optimal dynamic program ([Suu_algo.Malewicz]). *)
+
+exception Too_large of int
+(** Raised when the instance has more jobs than fit in a bitmask. *)
+
+exception Nonterminating
+(** Raised when some reachable state makes no progress (every assigned job
+    has success probability 0), so the expected makespan is infinite. *)
+
+val full_mask : Suu_core.Instance.t -> int
+(** The bitmask with all jobs unfinished. *)
+
+val eligible_mask : Suu_core.Instance.t -> int -> int
+(** Jobs of [mask] whose predecessors are all outside [mask]. *)
+
+val step_distribution :
+  Suu_core.Instance.t -> mask:int -> Suu_core.Assignment.t -> (int * float) list
+(** Distribution of the next state: [(mask', prob)] pairs with positive
+    probability, [mask'] ⊆ [mask], summing to 1. Machines on ineligible or
+    finished jobs are ignored, mirroring the engine semantics. *)
+
+val expected_makespan_regimen :
+  Suu_core.Instance.t -> (bool array -> Suu_core.Assignment.t) -> float
+(** Exact expected makespan of the regimen [f] (a function of the
+    unfinished-job set, as in [Policy.of_regimen]).
+    @raise Too_large, Nonterminating. *)
+
+val makespan_distribution_regimen :
+  Suu_core.Instance.t ->
+  (bool array -> Suu_core.Assignment.t) ->
+  horizon:int ->
+  float array
+(** [P(makespan ≤ t)] for [t = 0..horizon]: exact CDF by forward evolution
+    of the state distribution. For Figure-1-style exhibits. *)

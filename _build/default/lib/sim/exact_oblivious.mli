@@ -1,0 +1,30 @@
+(** Exact analysis of oblivious schedules.
+
+    An oblivious schedule's execution is a time-inhomogeneous Markov chain
+    on unfinished-job sets (the assignment changes every step), so unlike
+    regimens there is no triangular recursion; instead we evolve the full
+    state distribution forward. Exponential in [n] — intended for the
+    small instances where it replaces Monte-Carlo noise with exact values
+    in tests and experiments. *)
+
+exception Horizon_too_short of { horizon : int; mass_left : float }
+(** Raised by [expected_makespan] when the survival probability has not
+    vanished within the step budget and no rigorous tail bound is
+    available (e.g. an idle-tail schedule that cannot finish). *)
+
+val distribution_after :
+  Suu_core.Instance.t -> Suu_core.Oblivious.t -> steps:int -> (int * float) list
+(** Distribution over unfinished-set bitmasks after executing the first
+    [steps] steps, as sorted [(mask, probability)] pairs summing to 1. *)
+
+val cdf : Suu_core.Instance.t -> Suu_core.Oblivious.t -> horizon:int -> float array
+(** [P(makespan <= t)] for [t = 0..horizon]. *)
+
+val expected_makespan :
+  ?eps:float -> ?max_horizon:int -> Suu_core.Instance.t -> Suu_core.Oblivious.t -> float
+(** Exact expected makespan up to an [eps] truncation error (default
+    [1e-9]): the survival series [Σ_t P(T > t)] is summed until the
+    survival probability drops below [eps], and the remainder is bounded
+    rigorously through the cycle's per-pass completion probability.
+    @raise Horizon_too_short if the schedule cannot be certified to
+    terminate (e.g. empty cycle with unfinished mass remaining). *)

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Array Float Printf Suu_core Suu_dag Suu_prob

@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Suu_core Suu_dag Suu_prob

@@ -1,0 +1,178 @@
+module Rng = Suu_prob.Rng
+module Instance = Suu_core.Instance
+module Dag = Suu_dag.Dag
+module Gen = Suu_dag.Gen
+
+type t = {
+  name : string;
+  description : string;
+  instance : Instance.t;
+}
+
+(* Heterogeneous grid machines: reliable / flaky / specialised thirds. *)
+let grid_probs rng ~n ~m =
+  let p = Array.make_matrix m n 0. in
+  for i = 0 to m - 1 do
+    match i mod 3 with
+    | 0 ->
+        for j = 0 to n - 1 do
+          p.(i).(j) <- Rng.uniform rng 0.6 0.95
+        done
+    | 1 ->
+        for j = 0 to n - 1 do
+          p.(i).(j) <- Rng.uniform rng 0.05 0.35
+        done
+    | _ ->
+        for j = 0 to n - 1 do
+          p.(i).(j) <-
+            (if Rng.float rng < 0.25 then Rng.uniform rng 0.7 0.95
+             else Rng.uniform rng 0.01 0.05)
+        done
+  done;
+  (* Guarantee capability: give each job a floor on its best machine. *)
+  for j = 0 to n - 1 do
+    let best = ref 0. in
+    for i = 0 to m - 1 do
+      best := Float.max !best p.(i).(j)
+    done;
+    if !best < 0.05 then p.(Rng.int rng m).(j) <- Rng.uniform rng 0.5 0.9
+  done;
+  p
+
+let grid_batch rng ~n ~m =
+  let p = grid_probs rng ~n ~m in
+  {
+    name = "grid-batch";
+    description =
+      Printf.sprintf
+        "%d independent jobs on a heterogeneous %d-machine grid" n m;
+    instance = Instance.independent ~p;
+  }
+
+let grid_workflow rng ~n ~m ~stages =
+  let p = grid_probs rng ~n ~m in
+  let dag = Gen.uniform_chains ~n ~chains:(max 1 (n / max 1 stages)) in
+  {
+    name = "grid-workflow";
+    description =
+      Printf.sprintf
+        "%d-stage pipelined workflows (%d jobs) on a %d-machine grid" stages n
+        m;
+    instance = Instance.create ~p ~dag;
+  }
+
+let grid_divide rng ~n ~m =
+  let p = grid_probs rng ~n ~m in
+  let dag = Gen.out_forest rng ~n ~trees:(max 1 (n / 16)) in
+  {
+    name = "grid-divide";
+    description =
+      Printf.sprintf
+        "divide-and-conquer out-trees (%d jobs) on a %d-machine grid" n m;
+    instance = Instance.create ~p ~dag;
+  }
+
+let grid_aggregate rng ~n ~m =
+  let p = grid_probs rng ~n ~m in
+  let dag = Gen.in_forest rng ~n ~trees:(max 1 (n / 16)) in
+  {
+    name = "grid-aggregate";
+    description =
+      Printf.sprintf "aggregation in-trees (%d jobs) on a %d-machine grid" n m;
+    instance = Instance.create ~p ~dag;
+  }
+
+let job_types = [| "design"; "implement"; "test"; "document"; "coordinate" |]
+
+let project rng ~n ~m =
+  let ntypes = Array.length job_types in
+  let job_type = Array.init n (fun _ -> Rng.int rng ntypes) in
+  (* Worker skill per type: a few strong skills each, mediocre otherwise. *)
+  let skill =
+    Array.init m (fun _ ->
+        Array.init ntypes (fun _ ->
+            if Rng.float rng < 0.4 then Rng.uniform rng 0.5 0.9
+            else Rng.uniform rng 0.05 0.3))
+  in
+  let p =
+    Array.init m (fun i ->
+        Array.init n (fun j ->
+            let base = skill.(i).(job_type.(j)) in
+            Float.max 0.01 (Float.min 0.99 (base +. Rng.uniform rng (-0.05) 0.05))))
+  in
+  let dag = Gen.polytree_forest rng ~n ~trees:(max 1 (n / 12)) in
+  {
+    name = "project";
+    description =
+      Printf.sprintf
+        "project of %d typed tasks, %d workers with per-type skills, \
+         work-breakdown forest"
+        n m;
+    instance = Instance.create ~p ~dag;
+  }
+
+let uniform rng ~n ~m ~lo ~hi ~dag =
+  if Dag.n dag <> n then invalid_arg "Workload.uniform: dag size mismatch";
+  let p = Array.init m (fun _ -> Array.init n (fun _ -> Rng.uniform rng lo hi)) in
+  {
+    name = "uniform";
+    description =
+      Printf.sprintf "uniform p in [%.2f, %.2f], n=%d m=%d" lo hi n m;
+    instance = Instance.create ~p ~dag;
+  }
+
+let specialists rng ~n ~m ~capable ~lo ~hi ~dag =
+  if Dag.n dag <> n then invalid_arg "Workload.specialists: dag size mismatch";
+  if capable < 1 || capable > m then
+    invalid_arg "Workload.specialists: capable must be in [1, m]";
+  let p = Array.make_matrix m n 0. in
+  for j = 0 to n - 1 do
+    let machines = Rng.permutation rng m in
+    for k = 0 to capable - 1 do
+      p.(machines.(k)).(j) <- Rng.uniform rng lo hi
+    done
+  done;
+  {
+    name = "specialists";
+    description =
+      Printf.sprintf "each job runnable by %d of %d machines, n=%d" capable m n;
+    instance = Instance.create ~p ~dag;
+  }
+
+let adversarial_spread ~n ~m =
+  let buckets =
+    max 2
+      (Float.to_int
+         (Float.ceil (Float.log (8. *. Float.of_int m) /. Float.log 2.)))
+  in
+  let p =
+    Array.init m (fun i ->
+        Array.init n (fun j -> Float.pow 2. (-.Float.of_int (1 + ((i + j) mod buckets)))))
+  in
+  {
+    name = "adversarial-spread";
+    description =
+      Printf.sprintf
+        "probabilities spread over %d powers of two (bucketing stress), n=%d \
+         m=%d"
+        buckets n m;
+    instance = Instance.independent ~p;
+  }
+
+let arrivals rng ~n ~mean_gap =
+  if mean_gap <= 0. then invalid_arg "Workload.arrivals: mean_gap must be > 0";
+  let p = Float.min 1. (1. /. mean_gap) in
+  let releases = Array.make n 0 in
+  for j = 1 to n - 1 do
+    releases.(j) <- releases.(j - 1) + Rng.geometric rng p
+  done;
+  releases
+
+let figure1 () =
+  let p = [| [| 0.3; 0.1; 0.1 |]; [| 0.1; 0.3; 0.2 |] |] in
+  {
+    name = "figure1";
+    description =
+      "3 independent jobs, 2 machines - the paper's Figure 1 illustration";
+    instance = Instance.independent ~p;
+  }

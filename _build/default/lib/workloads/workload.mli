@@ -1,0 +1,76 @@
+(** Workload generators modelled on the paper's motivating applications
+    (§1): grid computing (unreliable, geographically distributed machines
+    executing a dag of sub-tasks) and project management (workers of
+    varying skill assigned to dependent jobs).
+
+    Every generator is deterministic in the supplied RNG. *)
+
+type t = {
+  name : string;
+  description : string;
+  instance : Suu_core.Instance.t;
+}
+
+(** {1 Grid computing} *)
+
+val grid_batch : Suu_prob.Rng.t -> n:int -> m:int -> t
+(** Independent jobs on a heterogeneous grid: one third of the machines are
+    reliable ([p ∈ \[0.6, 0.95\]]), one third flaky ([\[0.05, 0.35\]]), one
+    third specialised (reliable on a random ~25% of the jobs, near-useless
+    elsewhere). *)
+
+val grid_workflow : Suu_prob.Rng.t -> n:int -> m:int -> stages:int -> t
+(** Pipelined grid computation: [stages] disjoint chains of roughly equal
+    length (a batch of independent multi-stage workflows), heterogeneous
+    machines as in [grid_batch]. *)
+
+val grid_divide : Suu_prob.Rng.t -> n:int -> m:int -> t
+(** Divide-and-conquer task spawning: a random out-tree — a task must
+    finish before the sub-tasks it spawns can run. *)
+
+val grid_aggregate : Suu_prob.Rng.t -> n:int -> m:int -> t
+(** Distributed aggregation: a random in-tree — partial results must all
+    arrive before their combiner runs. *)
+
+(** {1 Project management} *)
+
+val project : Suu_prob.Rng.t -> n:int -> m:int -> t
+(** Workers × dependent tasks: each job has a type (design, implement,
+    test, document, coordinate), each worker a skill level per type
+    ([p_ij] = skill of worker [i] for the type of job [j], jittered); the
+    dependency graph is a random polytree forest (work-breakdown structures
+    with both fan-out and join dependencies). *)
+
+(** {1 Synthetic families for controlled sweeps} *)
+
+val uniform :
+  Suu_prob.Rng.t -> n:int -> m:int -> lo:float -> hi:float ->
+  dag:Suu_dag.Dag.t -> t
+(** All [p_ij] i.i.d. uniform in [\[lo, hi\]]. *)
+
+val specialists :
+  Suu_prob.Rng.t -> n:int -> m:int -> capable:int -> lo:float -> hi:float ->
+  dag:Suu_dag.Dag.t -> t
+(** Each job is runnable by exactly [capable] random machines (with
+    [p ∈ \[lo, hi\]]); everyone else has [p = 0]. Exercises the sparse /
+    bucketed paths of the rounding. *)
+
+val adversarial_spread : n:int -> m:int -> t
+(** Deterministic stress case for the bucketing: job [j]'s probabilities
+    span many powers of two across machines ([p_ij = 2^{-(1 + (i+j) mod
+    ⌊log₂ 8m⌋)}]), independent jobs. *)
+
+val arrivals : Suu_prob.Rng.t -> n:int -> mean_gap:float -> int array
+(** Release dates for online executions (Engine's [?releases]): job 0
+    arrives at step 0 and consecutive jobs are separated by independent
+    geometric gaps with the given mean ([mean_gap > 0]; a mean gap below
+    1 still yields integer gaps ≥ 1 with high probability mass at 1).
+    Jobs arrive in index order, so pair with DAGs whose edges point from
+    lower to higher indices (all our generators) to keep releases
+    consistent with precedence. *)
+
+val figure1 : unit -> t
+(** A 3-job, 2-machine instance in the spirit of the paper's Figure 1
+    illustration (3 independent jobs, transition probabilities of the
+    regimen Markov chain in the 0.1–0.3 range). Used by EXP-H to print the
+    Markov chain / execution tree exhibits. *)

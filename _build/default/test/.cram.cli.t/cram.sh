@@ -1,0 +1,8 @@
+  $ suu gen -w figure1 -o fig1.inst --seed 1
+  $ suu info -f fig1.inst
+  $ suu exact -f fig1.inst
+  $ suu gen -w grid-workflow -n 12 -m 3 --seed 2 -o flow.inst
+  $ suu decompose -f flow.inst
+  $ suu plan -f flow.inst -o flow.plan
+  $ suu solve -f fig1.inst --trials 50 --seed 3
+  $ suu simulate -f flow.inst --plan flow.plan --gantt --trials 10 --seed 4 | head -4

@@ -1,0 +1,1 @@
+test/test_bounds.ml: Alcotest Array QCheck QCheck_alcotest Suu_algo Suu_core Suu_dag Suu_prob

@@ -1,0 +1,1 @@
+test/test_chain_decomp.ml: Alcotest Array Format List QCheck QCheck_alcotest Suu_dag Suu_prob

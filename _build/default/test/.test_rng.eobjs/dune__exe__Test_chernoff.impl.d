@@ -1,0 +1,1 @@
+test/test_chernoff.ml: Alcotest Float QCheck QCheck_alcotest Suu_prob

@@ -1,0 +1,1 @@
+test/test_classify.ml: Alcotest Array List QCheck QCheck_alcotest Suu_dag Suu_prob

@@ -1,0 +1,1 @@
+test/test_dag.ml: Alcotest Array Format List QCheck QCheck_alcotest String Suu_dag Suu_prob

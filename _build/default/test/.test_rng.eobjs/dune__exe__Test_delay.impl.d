@@ -1,0 +1,1 @@
+test/test_delay.ml: Alcotest Array Float List QCheck QCheck_alcotest Suu_algo Suu_core Suu_prob

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Float Hashtbl List Printf QCheck QCheck_alcotest Suu_algo Suu_core Suu_dag Suu_prob Suu_sim Suu_workloads

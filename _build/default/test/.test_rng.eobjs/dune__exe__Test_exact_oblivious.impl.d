@@ -1,0 +1,1 @@
+test/test_exact_oblivious.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Suu_algo Suu_core Suu_dag Suu_prob Suu_sim

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array List QCheck QCheck_alcotest Suu_flow Suu_prob

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Filename Float List QCheck QCheck_alcotest String Suu_algo Suu_core Suu_dag Suu_harness Suu_prob Sys

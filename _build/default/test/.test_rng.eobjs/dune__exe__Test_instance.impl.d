@@ -1,0 +1,1 @@
+test/test_instance.ml: Alcotest Array Float Suu_core Suu_dag

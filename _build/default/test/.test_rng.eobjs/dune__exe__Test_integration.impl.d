@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Filename Float Printf QCheck QCheck_alcotest Suu_algo Suu_core Suu_dag Suu_harness Suu_prob Suu_sim Suu_workloads Sys

@@ -1,0 +1,1 @@
+test/test_jobshop.ml: Alcotest Array Float List QCheck QCheck_alcotest Suu_jobshop Suu_prob

@@ -1,0 +1,1 @@
+test/test_lp_relax.ml: Alcotest Array List QCheck QCheck_alcotest Suu_algo Suu_core Suu_dag Suu_prob

@@ -1,0 +1,1 @@
+test/test_mass.ml: Alcotest Array Gen List QCheck QCheck_alcotest Suu_core Suu_dag Suu_prob

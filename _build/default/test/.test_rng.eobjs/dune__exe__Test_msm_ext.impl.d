@@ -1,0 +1,1 @@
+test/test_msm_ext.ml: Alcotest Array Float QCheck QCheck_alcotest Suu_algo Suu_core Suu_prob

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Float List QCheck QCheck_alcotest Suu_prob

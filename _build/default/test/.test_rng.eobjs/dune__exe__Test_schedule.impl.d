@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Array Float List QCheck QCheck_alcotest Suu_core Suu_dag Suu_prob

@@ -1,0 +1,1 @@
+test/test_simplex.ml: Alcotest Array Format List Printf QCheck QCheck_alcotest String Suu_lp Suu_prob

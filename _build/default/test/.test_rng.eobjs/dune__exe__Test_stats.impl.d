@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float Gen QCheck QCheck_alcotest Suu_prob

@@ -1,0 +1,1 @@
+test/test_suu_i_obl.ml: Alcotest Array QCheck QCheck_alcotest Suu_algo Suu_core Suu_prob Suu_sim

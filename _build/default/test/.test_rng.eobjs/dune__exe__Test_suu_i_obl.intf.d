@@ -1,0 +1,1 @@
+test/test_suu_i_obl.mli:

@@ -1,0 +1,1 @@
+test/test_weighted_msm.ml: Alcotest Array List QCheck QCheck_alcotest Suu_algo Suu_core Suu_dag Suu_prob Suu_sim

@@ -1,0 +1,1 @@
+test/test_weighted_msm.mli:

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Float List QCheck QCheck_alcotest String Suu_core Suu_dag Suu_prob Suu_workloads

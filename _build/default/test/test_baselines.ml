@@ -1,0 +1,118 @@
+module Instance = Suu_core.Instance
+module Baselines = Suu_algo.Baselines
+module Engine = Suu_sim.Engine
+module Rng = Suu_prob.Rng
+
+let random_inst seed ~n ~m ~dag =
+  let rng = Rng.create seed in
+  Instance.create
+    ~p:(Array.init m (fun _ -> Array.init n (fun _ -> Rng.uniform rng 0.2 0.9)))
+    ~dag
+
+let test_greedy_picks_best () =
+  let inst = Instance.independent ~p:[| [| 0.2; 0.9 |] |] in
+  let policy = Baselines.greedy_rate inst in
+  let decide = policy.Suu_core.Policy.fresh () in
+  let a =
+    decide
+      {
+        Suu_core.Policy.step = 0;
+        unfinished = [| true; true |];
+        eligible = [| true; true |];
+      }
+  in
+  Alcotest.(check (array int)) "best job" [| 1 |] a
+
+let test_greedy_respects_eligibility () =
+  let inst = Instance.independent ~p:[| [| 0.2; 0.9 |] |] in
+  let policy = Baselines.greedy_rate inst in
+  let decide = policy.Suu_core.Policy.fresh () in
+  let a =
+    decide
+      {
+        Suu_core.Policy.step = 0;
+        unfinished = [| true; true |];
+        eligible = [| true; false |];
+      }
+  in
+  Alcotest.(check (array int)) "only eligible" [| 0 |] a
+
+let test_serial_follows_topo () =
+  let dag = Suu_dag.Dag.create ~n:3 [ (2, 0) ] in
+  let inst = random_inst 1 ~n:3 ~m:2 ~dag in
+  let policy = Baselines.serial_all_machines inst in
+  let decide = policy.Suu_core.Policy.fresh () in
+  let a =
+    decide
+      {
+        Suu_core.Policy.step = 0;
+        unfinished = [| true; true; true |];
+        eligible = [| false; true; true |];
+      }
+  in
+  (* Topological order is 1, 2, 0: the first eligible is job 1. *)
+  Alcotest.(check (array int)) "gang on first topo" [| 1; 1 |] a
+
+let test_round_robin_rotates () =
+  let inst = Instance.independent ~p:[| [| 0.5; 0.5; 0.5 |] |] in
+  let policy = Baselines.round_robin inst in
+  let decide = policy.Suu_core.Policy.fresh () in
+  let state step =
+    {
+      Suu_core.Policy.step;
+      unfinished = [| true; true; true |];
+      eligible = [| true; true; true |];
+    }
+  in
+  Alcotest.(check (array int)) "t=0" [| 0 |] (decide (state 0));
+  Alcotest.(check (array int)) "t=1" [| 1 |] (decide (state 1));
+  Alcotest.(check (array int)) "t=3 wraps" [| 0 |] (decide (state 3))
+
+let test_static_best_machine_completes () =
+  let inst = random_inst 2 ~n:6 ~m:3 ~dag:(Suu_dag.Dag.empty 6) in
+  let o = Engine.run (Rng.create 5) inst (Baselines.static_best_machine inst) in
+  Alcotest.(check bool) "completed" true o.Engine.completed
+
+let test_random_assignment_deterministic_per_seed () =
+  let inst = random_inst 3 ~n:4 ~m:2 ~dag:(Suu_dag.Dag.empty 4) in
+  let p1 = Baselines.random_assignment ~seed:9 inst in
+  let p2 = Baselines.random_assignment ~seed:9 inst in
+  let a = Engine.run (Rng.create 1) inst p1 in
+  let b = Engine.run (Rng.create 1) inst p2 in
+  Alcotest.(check int) "same makespan" a.Engine.makespan b.Engine.makespan
+
+let prop_all_baselines_complete =
+  QCheck.Test.make ~name:"every baseline completes every dag class" ~count:30
+    QCheck.(pair small_int (int_range 1 8))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let dag =
+        match abs seed mod 4 with
+        | 0 -> Suu_dag.Dag.empty n
+        | 1 -> Suu_dag.Gen.chains (Rng.split rng) ~n ~chains:(1 + (n / 3))
+        | 2 -> Suu_dag.Gen.out_forest (Rng.split rng) ~n ~trees:(min 2 n)
+        | _ -> Suu_dag.Gen.random_dag (Rng.split rng) ~n ~edge_prob:0.3
+      in
+      let inst = random_inst (seed + 1) ~n ~m:3 ~dag in
+      List.for_all
+        (fun policy ->
+          (Engine.run (Rng.split rng) inst policy).Engine.completed)
+        (Baselines.all ~seed inst))
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "policies",
+        [
+          Alcotest.test_case "greedy best" `Quick test_greedy_picks_best;
+          Alcotest.test_case "greedy eligibility" `Quick
+            test_greedy_respects_eligibility;
+          Alcotest.test_case "serial topo" `Quick test_serial_follows_topo;
+          Alcotest.test_case "round robin" `Quick test_round_robin_rotates;
+          Alcotest.test_case "static best completes" `Quick
+            test_static_best_machine_completes;
+          Alcotest.test_case "random deterministic" `Quick
+            test_random_assignment_deterministic_per_seed;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_all_baselines_complete ]);
+    ]

@@ -1,0 +1,119 @@
+module Instance = Suu_core.Instance
+module Bounds = Suu_algo.Bounds
+module Rng = Suu_prob.Rng
+
+let test_rate_bound () =
+  (* Job 1 has total rate 0.2 -> needs >= 5 expected steps. *)
+  let inst = Instance.independent ~p:[| [| 0.9; 0.2 |] |] in
+  let b = Bounds.compute ~with_lp:false inst in
+  Alcotest.(check (float 1e-9)) "rate" 5. b.Bounds.rate
+
+let test_rate_capped_at_one () =
+  (* Total rate above 1 is capped: bound is 1. *)
+  let inst = Instance.independent ~p:[| [| 0.9 |]; [| 0.9 |] |] in
+  let b = Bounds.compute ~with_lp:false inst in
+  Alcotest.(check (float 1e-9)) "rate" 1. b.Bounds.rate
+
+let test_capacity_deterministic () =
+  (* 6 jobs, 2 machines: at least 3 steps. *)
+  let inst = Instance.independent ~p:[| Array.make 6 1.0; Array.make 6 1.0 |] in
+  let b = Bounds.compute ~with_lp:false inst in
+  Alcotest.(check bool) "n/m" true (b.Bounds.capacity >= 3.)
+
+let test_capacity_probabilistic () =
+  (* 8 jobs, one machine with max p = 0.1: mu = 0.1, n/(4 mu) = 20. *)
+  let inst = Instance.independent ~p:[| Array.make 8 0.1 |] in
+  let b = Bounds.compute ~with_lp:false inst in
+  Alcotest.(check (float 1e-9)) "n/4mu" 20. b.Bounds.capacity
+
+let test_critical_path () =
+  let dag = Suu_dag.Dag.create ~n:3 [ (0, 1); (1, 2) ] in
+  let inst = Instance.create ~p:[| [| 0.5; 0.5; 0.5 |] |] ~dag in
+  let b = Bounds.compute ~with_lp:false inst in
+  (* Each job on the path: 1/0.5 = 2; path of 3 jobs -> 6. *)
+  Alcotest.(check (float 1e-9)) "weighted path" 6. b.Bounds.critical_path
+
+let test_lp_bound_present () =
+  let inst = Instance.independent ~p:[| [| 0.5; 0.5 |] |] in
+  let b = Bounds.compute inst in
+  match b.Bounds.lp with
+  | Some v -> Alcotest.(check bool) "positive" true (v > 0.)
+  | None -> Alcotest.fail "lp bound missing"
+
+let test_exact_dominates () =
+  let inst = Instance.independent ~p:[| [| 0.3; 0.4 |] |] in
+  let b = Bounds.compute ~with_exact:true inst in
+  match b.Bounds.exact with
+  | None -> Alcotest.fail "exact missing"
+  | Some topt ->
+      Alcotest.(check (float 1e-9)) "best = exact" topt (Bounds.best b);
+      Alcotest.(check bool) "exact >= others" true
+        (topt >= b.Bounds.rate && topt >= b.Bounds.capacity)
+
+let test_best_without_exact () =
+  let inst = Instance.independent ~p:[| [| 0.5 |] |] in
+  let b = Bounds.compute ~with_lp:false inst in
+  Alcotest.(check (float 1e-9)) "max of basics" 2. (Bounds.best b)
+
+(* Soundness: every bound must be <= true TOPT (exact DP) on random tiny
+   instances — the critical property for all reported ratios. *)
+let prop_bounds_sound =
+  QCheck.Test.make ~name:"all bounds <= exact TOPT" ~count:40
+    QCheck.(triple small_int (int_range 1 3) (int_range 1 5))
+    (fun (seed, m, n) ->
+      let rng = Rng.create seed in
+      let dag =
+        match abs seed mod 3 with
+        | 0 -> Suu_dag.Dag.empty n
+        | 1 -> Suu_dag.Gen.chains (Rng.split rng) ~n ~chains:(1 + (n / 2))
+        | _ -> Suu_dag.Gen.out_forest (Rng.split rng) ~n ~trees:(min 2 n)
+      in
+      let inst =
+        Instance.create
+          ~p:(Array.init m (fun _ -> Array.init n (fun _ -> Rng.uniform rng 0.2 0.9)))
+          ~dag
+      in
+      match Suu_algo.Malewicz.optimal_value inst with
+      | exception Suu_algo.Malewicz.Too_expensive _ -> true
+      | topt ->
+          let b = Bounds.compute inst in
+          let tol = (1e-6 *. topt) +. 1e-6 in
+          b.Bounds.rate <= topt +. tol
+          && b.Bounds.capacity <= topt +. tol
+          && b.Bounds.critical_path <= topt +. tol
+          && match b.Bounds.lp with None -> true | Some v -> v <= topt +. tol)
+
+let prop_best_is_max =
+  QCheck.Test.make ~name:"best >= each component" ~count:50
+    QCheck.(pair small_int (int_range 1 6))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let inst =
+        Instance.independent
+          ~p:(Array.init 2 (fun _ -> Array.init n (fun _ -> Rng.uniform rng 0.1 0.9)))
+      in
+      let b = Bounds.compute inst in
+      let best = Bounds.best b in
+      best >= b.Bounds.rate && best >= b.Bounds.capacity
+      && best >= b.Bounds.critical_path)
+
+let () =
+  Alcotest.run "bounds"
+    [
+      ( "components",
+        [
+          Alcotest.test_case "rate" `Quick test_rate_bound;
+          Alcotest.test_case "rate capped" `Quick test_rate_capped_at_one;
+          Alcotest.test_case "capacity n/m" `Quick test_capacity_deterministic;
+          Alcotest.test_case "capacity n/4mu" `Quick test_capacity_probabilistic;
+          Alcotest.test_case "critical path" `Quick test_critical_path;
+          Alcotest.test_case "lp present" `Quick test_lp_bound_present;
+          Alcotest.test_case "exact dominates" `Quick test_exact_dominates;
+          Alcotest.test_case "best without exact" `Quick test_best_without_exact;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_bounds_sound;
+          QCheck_alcotest.to_alcotest prop_best_is_max;
+        ] );
+    ]

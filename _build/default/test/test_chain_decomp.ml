@@ -1,0 +1,148 @@
+module Dag = Suu_dag.Dag
+module CD = Suu_dag.Chain_decomp
+module Gen = Suu_dag.Gen
+module Rng = Suu_prob.Rng
+
+let check_valid g d =
+  match CD.validate g d with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid decomposition: %s" e
+
+let test_empty () =
+  let d = CD.decompose (Dag.empty 0) in
+  Alcotest.(check int) "zero blocks" 0 (CD.width d)
+
+let test_independent () =
+  let g = Dag.empty 6 in
+  let d = CD.decompose g in
+  check_valid g d;
+  Alcotest.(check int) "one block" 1 (CD.width d);
+  Alcotest.(check int) "six chains" 6 (CD.chain_count d)
+
+let test_single_chain () =
+  let g = Gen.uniform_chains ~n:8 ~chains:1 in
+  let d = CD.decompose g in
+  check_valid g d;
+  (* A chain decomposes into ≤ log n + 1 blocks, each a sub-chain. *)
+  Alcotest.(check bool) "within bound" true
+    (CD.width d <= CD.width_bound g d.CD.mode)
+
+let test_binary_tree_width () =
+  let g = Gen.binary_out_tree ~n:31 in
+  let d = CD.decompose g in
+  check_valid g d;
+  Alcotest.(check bool) "within log bound" true
+    (CD.width d <= CD.width_bound g CD.Out_mode);
+  (* A complete binary tree genuinely needs ~log n blocks. *)
+  Alcotest.(check bool) "at least 3 blocks" true (CD.width d >= 3)
+
+let test_jobs_topological () =
+  let g = Gen.out_forest (Rng.create 5) ~n:20 ~trees:2 in
+  let d = CD.decompose g in
+  let order = CD.jobs d in
+  Alcotest.(check int) "all jobs" 20 (List.length order);
+  let pos = Array.make 20 0 in
+  List.iteri (fun k v -> pos.(v) <- k) order;
+  List.iter
+    (fun (u, v) ->
+      Alcotest.(check bool) "topological" true (pos.(u) < pos.(v)))
+    (Dag.edges g)
+
+let test_rejects_general () =
+  Alcotest.check_raises "diamond rejected"
+    (Invalid_argument "Chain_decomp.decompose: dag is not a directed forest")
+    (fun () -> ignore (CD.decompose (Gen.diamond ~width:2) : CD.t))
+
+let test_mode_mismatch () =
+  (* An in-tree is not decomposable in Out_mode unless it is also an
+     out-tree. *)
+  let g = Dag.create ~n:3 [ (1, 0); (2, 0) ] in
+  Alcotest.check_raises "mode mismatch"
+    (Invalid_argument "Chain_decomp.decompose: mode does not apply to this dag")
+    (fun () -> ignore (CD.decompose ~mode:CD.Out_mode g : CD.t))
+
+let test_default_modes () =
+  let out = CD.decompose (Gen.binary_out_tree ~n:15) in
+  Alcotest.(check bool) "out mode" true (out.CD.mode = CD.Out_mode);
+  let intree = CD.decompose (Dag.create ~n:3 [ (1, 0); (2, 0) ]) in
+  Alcotest.(check bool) "in mode" true (intree.CD.mode = CD.In_mode);
+  (* Needs a vertex of in-degree 2 and one of out-degree 2 so that the dag
+     is neither an in- nor an out-tree collection. *)
+  let poly =
+    CD.decompose (Dag.create ~n:5 [ (0, 1); (2, 1); (1, 3); (1, 4) ])
+  in
+  Alcotest.(check bool) "poly mode" true (poly.CD.mode = CD.Poly_mode)
+
+let test_validate_catches_bad () =
+  let g = Dag.create ~n:3 [ (0, 1); (1, 2) ] in
+  (* Hand-build a wrong decomposition: ancestor in a later block. *)
+  let bad = { CD.blocks = [| [ [ 1; 2 ] ]; [ [ 0 ] ] |]; mode = CD.Out_mode } in
+  (match CD.validate g bad with
+  | Ok () -> Alcotest.fail "should reject backwards block order"
+  | Error _ -> ());
+  (* Missing vertex. *)
+  let missing = { CD.blocks = [| [ [ 0; 1 ] ] |]; mode = CD.Out_mode } in
+  (match CD.validate g missing with
+  | Ok () -> Alcotest.fail "should reject missing vertex"
+  | Error _ -> ());
+  (* Chain step that is not an edge. *)
+  let nonedge = { CD.blocks = [| [ [ 0; 2 ]; [ 1 ] ] |]; mode = CD.Out_mode } in
+  match CD.validate g nonedge with
+  | Ok () -> Alcotest.fail "should reject non-edge chain step"
+  | Error _ -> ()
+
+let forest_gen =
+  QCheck.Gen.(
+    pair (int_range 1 60) (pair int (int_range 1 4))
+    |> map (fun (n, (seed, trees)) ->
+           let trees = min trees n in
+           let rng = Rng.create seed in
+           match abs seed mod 3 with
+           | 0 -> Gen.out_forest rng ~n ~trees
+           | 1 -> Gen.in_forest rng ~n ~trees
+           | _ -> Gen.polytree_forest rng ~n ~trees))
+
+let arbitrary_forest =
+  QCheck.make ~print:(Format.asprintf "%a" Dag.pp) forest_gen
+
+let prop_decomposition_valid =
+  QCheck.Test.make ~name:"decomposition validates" ~count:300 arbitrary_forest
+    (fun g ->
+      let d = CD.decompose g in
+      match CD.validate g d with Ok () -> true | Error _ -> false)
+
+let prop_width_bound =
+  QCheck.Test.make ~name:"width within Lemma 4.6 bound" ~count:300
+    arbitrary_forest (fun g ->
+      let d = CD.decompose g in
+      CD.width d <= CD.width_bound g d.CD.mode)
+
+let prop_chain_count_conserves_jobs =
+  QCheck.Test.make ~name:"blocks partition the jobs" ~count:300
+    arbitrary_forest (fun g ->
+      let d = CD.decompose g in
+      List.length (CD.jobs d) = Dag.n g)
+
+let () =
+  Alcotest.run "chain_decomp"
+    [
+      ( "cases",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "independent" `Quick test_independent;
+          Alcotest.test_case "single chain" `Quick test_single_chain;
+          Alcotest.test_case "binary tree" `Quick test_binary_tree_width;
+          Alcotest.test_case "jobs topological" `Quick test_jobs_topological;
+          Alcotest.test_case "rejects general dag" `Quick test_rejects_general;
+          Alcotest.test_case "mode mismatch" `Quick test_mode_mismatch;
+          Alcotest.test_case "default modes" `Quick test_default_modes;
+          Alcotest.test_case "validate catches bad" `Quick
+            test_validate_catches_bad;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_decomposition_valid;
+          QCheck_alcotest.to_alcotest prop_width_bound;
+          QCheck_alcotest.to_alcotest prop_chain_count_conserves_jobs;
+        ] );
+    ]

@@ -1,0 +1,127 @@
+module C = Suu_prob.Chernoff
+module Rng = Suu_prob.Rng
+
+let test_multiplicative_upper_known () =
+  (* mu = 10, delta = 1: bound (e/4)^10 ~ 0.0213. *)
+  let b = C.multiplicative_upper ~mu:10. ~delta:1. in
+  Alcotest.(check bool) "near (e/4)^10" true
+    (Float.abs (b -. ((Float.exp 1. /. 4.) ** 10.)) < 1e-9)
+
+let test_multiplicative_upper_monotone_mu () =
+  let a = C.multiplicative_upper ~mu:5. ~delta:0.5 in
+  let b = C.multiplicative_upper ~mu:50. ~delta:0.5 in
+  Alcotest.(check bool) "tighter with larger mu" true (b < a)
+
+let test_multiplicative_lower () =
+  let b = C.multiplicative_lower ~mu:8. ~delta:0.5 in
+  Alcotest.(check (float 1e-12)) "e^{-1}" (Float.exp (-1.)) b
+
+let test_bad_args () =
+  Alcotest.check_raises "delta 0"
+    (Invalid_argument "Chernoff.multiplicative_upper: need delta > 0, mu >= 0")
+    (fun () -> ignore (C.multiplicative_upper ~mu:1. ~delta:0. : float));
+  Alcotest.check_raises "delta 1"
+    (Invalid_argument "Chernoff.multiplicative_lower: need 0 < delta < 1, mu >= 0")
+    (fun () -> ignore (C.multiplicative_lower ~mu:1. ~delta:1. : float))
+
+let test_hoeffding () =
+  let b = C.hoeffding_two_sided ~n:200 ~epsilon:0.1 in
+  Alcotest.(check bool) "2e^{-4}" true
+    (Float.abs (b -. (2. *. Float.exp (-4.))) < 1e-12)
+
+let test_sample_size_consistency () =
+  let n = C.sample_size ~epsilon:0.05 ~confidence:0.95 in
+  Alcotest.(check bool) "bound holds at n" true
+    (C.hoeffding_two_sided ~n ~epsilon:0.05 <= 0.05 +. 1e-12);
+  Alcotest.(check bool) "n minimal-ish" true
+    (n = 1 || C.hoeffding_two_sided ~n:(n - 1) ~epsilon:0.05 > 0.05 -. 1e-9)
+
+let test_congestion_tail () =
+  Alcotest.(check (float 0.)) "vacuous below e" 1. (C.congestion_tail ~tau:2.);
+  let t8 = C.congestion_tail ~tau:8. in
+  Alcotest.(check bool) "decreasing" true (t8 < C.congestion_tail ~tau:4.);
+  Alcotest.(check bool) "(e/8)^8" true
+    (Float.abs (t8 -. ((Float.exp 1. /. 8.) ** 8.)) < 1e-12)
+
+let test_congestion_threshold () =
+  let t = C.congestion_threshold ~n:100 ~m:10 ~alpha:2. in
+  let x = Float.log 110. in
+  Alcotest.(check (float 1e-9)) "formula" (2. *. x /. Float.log x) t
+
+let test_geometric_drain () =
+  (* n = 1024, rate 1/2: after 10 steps the expectation is 1; with 99%
+     confidence we need log2(1024/0.01) ~ 16.6 -> 17 steps. *)
+  let t = C.geometric_drain_steps ~n:1024 ~rate:0.5 ~confidence:0.99 in
+  Alcotest.(check (float 0.)) "17 steps" 17. t
+
+(* Empirical soundness: the bounds really do bound empirical tails. *)
+let prop_upper_tail_sound =
+  QCheck.Test.make ~name:"Chernoff upper bound >= empirical tail" ~count:10
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create seed in
+      let n = 60 in
+      let p = 0.3 in
+      let mu = Float.of_int n *. p in
+      let delta = 0.5 in
+      let threshold = (1. +. delta) *. mu in
+      let trials = 3000 in
+      let hits = ref 0 in
+      for _ = 1 to trials do
+        let sum = ref 0 in
+        for _ = 1 to n do
+          if Rng.bernoulli rng p then incr sum
+        done;
+        if Float.of_int !sum >= threshold then incr hits
+      done;
+      let empirical = Float.of_int !hits /. Float.of_int trials in
+      (* Allow sampling noise on top of the bound. *)
+      empirical <= C.multiplicative_upper ~mu ~delta +. 0.02)
+
+let prop_drain_steps_sound =
+  QCheck.Test.make ~name:"geometric drain estimate covers simulation" ~count:10
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create seed in
+      let n = 128 and rate = 0.3 in
+      let budget =
+        Float.to_int (C.geometric_drain_steps ~n ~rate ~confidence:0.9)
+      in
+      (* Simulate: each of n items independently dies with prob rate per
+         step (a strictly faster drain than the supermartingale bound). *)
+      let failures = ref 0 in
+      let trials = 300 in
+      for _ = 1 to trials do
+        let alive = ref n in
+        for _ = 1 to budget do
+          let survivors = ref 0 in
+          for _ = 1 to !alive do
+            if not (Rng.bernoulli rng rate) then incr survivors
+          done;
+          alive := !survivors
+        done;
+        if !alive > 0 then incr failures
+      done;
+      Float.of_int !failures /. Float.of_int trials <= 0.1 +. 0.05)
+
+let () =
+  Alcotest.run "chernoff"
+    [
+      ( "formulas",
+        [
+          Alcotest.test_case "upper known" `Quick test_multiplicative_upper_known;
+          Alcotest.test_case "upper monotone" `Quick
+            test_multiplicative_upper_monotone_mu;
+          Alcotest.test_case "lower" `Quick test_multiplicative_lower;
+          Alcotest.test_case "bad args" `Quick test_bad_args;
+          Alcotest.test_case "hoeffding" `Quick test_hoeffding;
+          Alcotest.test_case "sample size" `Quick test_sample_size_consistency;
+          Alcotest.test_case "congestion tail" `Quick test_congestion_tail;
+          Alcotest.test_case "congestion threshold" `Quick
+            test_congestion_threshold;
+          Alcotest.test_case "geometric drain" `Quick test_geometric_drain;
+        ] );
+      ( "empirical",
+        [
+          QCheck_alcotest.to_alcotest prop_upper_tail_sound;
+          QCheck_alcotest.to_alcotest prop_drain_steps_sound;
+        ] );
+    ]

@@ -1,0 +1,139 @@
+module Dag = Suu_dag.Dag
+module Classify = Suu_dag.Classify
+module Gen = Suu_dag.Gen
+module Rng = Suu_prob.Rng
+
+let shape = Alcotest.testable Classify.pp ( = )
+
+let test_independent () =
+  Alcotest.check shape "empty" Classify.Independent (Classify.classify (Dag.empty 5))
+
+let test_chain () =
+  let g = Gen.uniform_chains ~n:6 ~chains:2 in
+  Alcotest.check shape "chains" Classify.Chains (Classify.classify g)
+
+let test_out_tree () =
+  let g = Gen.binary_out_tree ~n:7 in
+  Alcotest.check shape "out-tree" Classify.Out_trees (Classify.classify g)
+
+let test_in_tree () =
+  let g = Dag.create ~n:3 [ (1, 0); (2, 0) ] in
+  Alcotest.check shape "in-tree" Classify.In_trees (Classify.classify g)
+
+let test_forest () =
+  (* A polytree that is neither in- nor out-tree: 0 -> 1 <- 2, 1 -> 3, 1 -> 4. *)
+  let g = Dag.create ~n:5 [ (0, 1); (2, 1); (1, 3); (1, 4) ] in
+  Alcotest.check shape "polytree" Classify.Forest (Classify.classify g)
+
+let test_general () =
+  Alcotest.check shape "diamond" Classify.General
+    (Classify.classify (Gen.diamond ~width:2))
+
+let test_nesting () =
+  (* A chain is also an out-tree, an in-tree and a forest. *)
+  let g = Gen.uniform_chains ~n:4 ~chains:1 in
+  List.iter
+    (fun s -> Alcotest.(check bool) "matches" true (Classify.matches g s))
+    [ Classify.Chains; Classify.Out_trees; Classify.In_trees; Classify.Forest;
+      Classify.General ]
+
+let test_chain_partition_known () =
+  let g = Dag.create ~n:5 [ (0, 1); (1, 2); (3, 4) ] in
+  Alcotest.(check (list (list int)))
+    "partition" [ [ 0; 1; 2 ]; [ 3; 4 ] ]
+    (Classify.chain_partition g)
+
+let test_chain_partition_rejects_tree () =
+  Alcotest.check_raises "not chains"
+    (Invalid_argument "Classify.chain_partition: dag is not a chain collection")
+    (fun () ->
+      ignore (Classify.chain_partition (Gen.binary_out_tree ~n:5) : int list list))
+
+let test_chain_partition_independent () =
+  Alcotest.(check (list (list int)))
+    "singletons" [ [ 0 ]; [ 1 ]; [ 2 ] ]
+    (Classify.chain_partition (Dag.empty 3))
+
+let check_path_cover g cover =
+  let n = Dag.n g in
+  let seen = Array.make n false in
+  List.iter
+    (fun path ->
+      List.iter
+        (fun v ->
+          if seen.(v) then Alcotest.failf "vertex %d twice" v;
+          seen.(v) <- true)
+        path;
+      let rec pairs = function
+        | u :: (v :: _ as rest) ->
+            if not (Dag.has_edge g u v) then
+              Alcotest.failf "non-edge %d->%d in path" u v;
+            pairs rest
+        | _ -> ()
+      in
+      pairs path)
+    cover;
+  Array.iteri
+    (fun v s -> if not s then Alcotest.failf "vertex %d missing" v)
+    seen
+
+let test_greedy_path_cover_diamond () =
+  let g = Gen.diamond ~width:3 in
+  check_path_cover g (Classify.greedy_path_cover g)
+
+let prop_path_cover =
+  QCheck.Test.make ~name:"greedy_path_cover covers with disjoint paths"
+    ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         pair (int_range 1 30) (pair int (float_bound_inclusive 0.4))
+         |> map (fun (n, (seed, prob)) ->
+                Gen.random_dag (Rng.create seed) ~n ~edge_prob:prob)))
+    (fun g ->
+      check_path_cover g (Classify.greedy_path_cover g);
+      true)
+
+let prop_generators_match_class =
+  QCheck.Test.make ~name:"generators produce the announced class" ~count:100
+    QCheck.(pair small_int (int_range 1 40))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let trees = 1 + (seed mod 3 |> abs) in
+      let trees = min trees n in
+      let chains = min (1 + (abs seed mod 4)) n in
+      Classify.matches (Gen.chains (Rng.split rng) ~n ~chains) Classify.Chains
+      && Classify.matches (Gen.out_forest (Rng.split rng) ~n ~trees) Classify.Out_trees
+      && Classify.matches (Gen.in_forest (Rng.split rng) ~n ~trees) Classify.In_trees
+      && Classify.matches
+           (Gen.polytree_forest (Rng.split rng) ~n ~trees)
+           Classify.Forest)
+
+let () =
+  Alcotest.run "classify"
+    [
+      ( "shapes",
+        [
+          Alcotest.test_case "independent" `Quick test_independent;
+          Alcotest.test_case "chains" `Quick test_chain;
+          Alcotest.test_case "out-tree" `Quick test_out_tree;
+          Alcotest.test_case "in-tree" `Quick test_in_tree;
+          Alcotest.test_case "polytree forest" `Quick test_forest;
+          Alcotest.test_case "general" `Quick test_general;
+          Alcotest.test_case "class nesting" `Quick test_nesting;
+        ] );
+      ( "partitions",
+        [
+          Alcotest.test_case "chain partition" `Quick test_chain_partition_known;
+          Alcotest.test_case "chain partition rejects trees" `Quick
+            test_chain_partition_rejects_tree;
+          Alcotest.test_case "independent singletons" `Quick
+            test_chain_partition_independent;
+          Alcotest.test_case "path cover diamond" `Quick
+            test_greedy_path_cover_diamond;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_path_cover;
+          QCheck_alcotest.to_alcotest prop_generators_match_class;
+        ] );
+    ]

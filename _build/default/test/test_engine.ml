@@ -1,0 +1,327 @@
+module Instance = Suu_core.Instance
+module Policy = Suu_core.Policy
+module Engine = Suu_sim.Engine
+module Rng = Suu_prob.Rng
+
+let single_job p = Instance.independent ~p:[| [| p |] |]
+
+let always_assign inst =
+  Policy.stateless "always" (fun _ -> Array.make (Instance.m inst) 0)
+
+let test_empty_instance () =
+  let inst = Instance.independent ~p:[| [||] |] in
+  let o = Engine.run (Rng.create 1) inst (always_assign inst) in
+  Alcotest.(check int) "makespan 0" 0 o.Engine.makespan;
+  Alcotest.(check bool) "completed" true o.Engine.completed
+
+let test_certain_job () =
+  let inst = single_job 1.0 in
+  let o = Engine.run (Rng.create 1) inst (always_assign inst) in
+  Alcotest.(check int) "one step" 1 o.Engine.makespan
+
+let test_geometric_mean () =
+  (* Single job, p = 0.25: E[makespan] = 4. *)
+  let inst = single_job 0.25 in
+  let e =
+    Engine.estimate_makespan ~trials:20_000 (Rng.create 5) inst
+      (always_assign inst)
+  in
+  let mean = e.Engine.stats.Suu_prob.Stats.mean in
+  Alcotest.(check bool) "mean near 4" true (Float.abs (mean -. 4.) < 0.1)
+
+let test_two_machines_combined () =
+  (* Two machines p=0.5 each on one job: success 0.75, E = 4/3. *)
+  let inst = Instance.independent ~p:[| [| 0.5 |]; [| 0.5 |] |] in
+  let policy = Policy.stateless "both" (fun _ -> [| 0; 0 |]) in
+  let e = Engine.estimate_makespan ~trials:20_000 (Rng.create 7) inst policy in
+  let mean = e.Engine.stats.Suu_prob.Stats.mean in
+  Alcotest.(check bool) "mean near 4/3" true (Float.abs (mean -. (4. /. 3.)) < 0.05)
+
+let test_max_steps_cap () =
+  let inst = single_job 0.5 in
+  let never = Policy.stateless "idle" (fun _ -> [| -1 |]) in
+  let o = Engine.run ~max_steps:50 (Rng.create 1) inst never in
+  Alcotest.(check bool) "not completed" false o.Engine.completed;
+  Alcotest.(check int) "hit cap" 50 o.Engine.makespan
+
+let test_ineligible_jobs_not_run () =
+  (* Chain 0 -> 1; a policy that always points machines at job 1 makes no
+     progress on it until job 0 is done — and the engine must not let job 1
+     complete first. *)
+  let inst =
+    Instance.create
+      ~p:[| [| 0.6; 0.6 |] |]
+      ~dag:(Suu_dag.Dag.create ~n:2 [ (0, 1) ])
+  in
+  let sneaky =
+    Policy.stateless "sneaky" (fun state ->
+        if state.Policy.unfinished.(1) then [| 1 |] else [| 0 |])
+  in
+  let o = Engine.run ~max_steps:100 (Rng.create 3) inst sneaky in
+  (* Job 1 is never eligible while 0 is unfinished and the policy never
+     works on 0 while 1 is unfinished: deadlock until the cap. *)
+  Alcotest.(check bool) "deadlock detected" false o.Engine.completed
+
+let test_precedence_order_respected () =
+  let dag = Suu_dag.Dag.create ~n:3 [ (0, 1); (1, 2) ] in
+  let inst = Instance.create ~p:[| [| 0.7; 0.7; 0.7 |] |] ~dag in
+  let policy =
+    Policy.stateless "first-eligible" (fun state ->
+        let target = ref (-1) in
+        Array.iteri
+          (fun j e -> if e && !target < 0 then target := j)
+          state.Policy.eligible;
+        [| !target |])
+  in
+  let history = Engine.trace (Rng.create 11) inst policy in
+  let completion = Hashtbl.create 3 in
+  List.iter
+    (fun (t, _, completed) ->
+      List.iter (fun j -> Hashtbl.replace completion j t) completed)
+    history;
+  let time j = Hashtbl.find completion j in
+  Alcotest.(check bool) "0 before 1" true (time 0 < time 1);
+  Alcotest.(check bool) "1 before 2" true (time 1 < time 2)
+
+let test_trace_matches_assignments () =
+  let inst = single_job 1.0 in
+  let history = Engine.trace (Rng.create 1) inst (always_assign inst) in
+  match history with
+  | [ (0, a, [ 0 ]) ] -> Alcotest.(check (array int)) "assignment" [| 0 |] a
+  | _ -> Alcotest.fail "unexpected trace shape"
+
+let test_estimate_counts () =
+  let inst = single_job 0.9 in
+  let e =
+    Engine.estimate_makespan ~trials:50 (Rng.create 2) inst (always_assign inst)
+  in
+  Alcotest.(check int) "trials" 50 e.Engine.trials;
+  Alcotest.(check int) "complete" 0 e.Engine.incomplete;
+  Alcotest.(check int) "count" 50 e.Engine.stats.Suu_prob.Stats.count
+
+let test_default_horizon_positive () =
+  let inst = single_job 0.01 in
+  Alcotest.(check bool) "positive" true (Engine.default_horizon inst > 100)
+
+let test_determinism () =
+  let inst = Instance.independent ~p:[| [| 0.3; 0.6 |]; [| 0.7; 0.2 |] |] in
+  let policy = Suu_algo.Suu_i.policy inst in
+  let a = Engine.run (Rng.create 99) inst policy in
+  let b = Engine.run (Rng.create 99) inst policy in
+  Alcotest.(check int) "same seed same makespan" a.Engine.makespan b.Engine.makespan
+
+(* --- multicore estimation --- *)
+
+let test_parallel_matches_sequential_stats () =
+  let inst = Instance.independent ~p:[| [| 0.3; 0.6; 0.5 |]; [| 0.7; 0.2; 0.4 |] |] in
+  let policy = Suu_algo.Suu_i.policy inst in
+  let seq =
+    Engine.estimate_makespan ~trials:3000 (Rng.create 9) inst policy
+  in
+  let par =
+    Engine.estimate_makespan_parallel ~domains:4 ~trials:3000 ~seed:9 inst
+      policy
+  in
+  let diff =
+    Float.abs
+      (seq.Engine.stats.Suu_prob.Stats.mean
+      -. par.Engine.stats.Suu_prob.Stats.mean)
+  in
+  let tol =
+    Float.max 0.1
+      (4.
+      *. (seq.Engine.stats.Suu_prob.Stats.sem
+         +. par.Engine.stats.Suu_prob.Stats.sem))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "means agree (diff %.3f, tol %.3f)" diff tol)
+    true (diff < tol);
+  Alcotest.(check int) "all samples" 3000
+    (Array.length par.Engine.samples + par.Engine.incomplete)
+
+let test_parallel_deterministic () =
+  let inst = Instance.independent ~p:[| [| 0.4; 0.6 |] |] in
+  let policy = Suu_algo.Suu_i.policy inst in
+  let a =
+    Engine.estimate_makespan_parallel ~domains:3 ~trials:100 ~seed:5 inst policy
+  in
+  let b =
+    Engine.estimate_makespan_parallel ~domains:3 ~trials:100 ~seed:5 inst policy
+  in
+  Alcotest.(check (float 0.)) "same mean" a.Engine.stats.Suu_prob.Stats.mean
+    b.Engine.stats.Suu_prob.Stats.mean
+
+let test_parallel_single_domain () =
+  let inst = Instance.independent ~p:[| [| 0.8 |] |] in
+  let policy = Suu_algo.Suu_i.policy inst in
+  let e =
+    Engine.estimate_makespan_parallel ~domains:1 ~trials:50 ~seed:1 inst policy
+  in
+  Alcotest.(check int) "trials" 50 e.Engine.trials
+
+let test_parallel_more_domains_than_trials () =
+  let inst = Instance.independent ~p:[| [| 0.9 |] |] in
+  let policy = Suu_algo.Suu_i.policy inst in
+  let e =
+    Engine.estimate_makespan_parallel ~domains:8 ~trials:3 ~seed:2 inst policy
+  in
+  Alcotest.(check int) "all trials done" 3
+    (Array.length e.Engine.samples + e.Engine.incomplete)
+
+(* --- release dates (online executions) --- *)
+
+let test_release_blocks_until_due () =
+  (* One certain job released at step 3: makespan exactly 4. *)
+  let inst = single_job 1.0 in
+  let o =
+    Engine.run ~releases:[| 3 |] (Rng.create 1) inst (always_assign inst)
+  in
+  Alcotest.(check int) "waits for release" 4 o.Engine.makespan
+
+let test_release_zero_is_offline () =
+  let inst = single_job 1.0 in
+  let a = Engine.run ~releases:[| 0 |] (Rng.create 1) inst (always_assign inst) in
+  let b = Engine.run (Rng.create 1) inst (always_assign inst) in
+  Alcotest.(check int) "same" b.Engine.makespan a.Engine.makespan
+
+let test_release_with_precedence () =
+  (* Chain 0 -> 1; job 1 released early, job 0 late: both constraints
+     must hold, so completion takes release(0) + 2 steps. *)
+  let inst =
+    Instance.create
+      ~p:[| [| 1.0; 1.0 |] |]
+      ~dag:(Suu_dag.Dag.create ~n:2 [ (0, 1) ])
+  in
+  let policy =
+    Policy.stateless "first-eligible" (fun state ->
+        let target = ref (-1) in
+        Array.iteri
+          (fun j e -> if e && !target < 0 then target := j)
+          state.Policy.eligible;
+        [| !target |])
+  in
+  let o = Engine.run ~releases:[| 5; 0 |] (Rng.create 1) inst policy in
+  Alcotest.(check int) "release then chain" 7 o.Engine.makespan
+
+let test_release_length_mismatch () =
+  let inst = single_job 0.5 in
+  Alcotest.check_raises "length" (Invalid_argument "Engine: releases length mismatch")
+    (fun () ->
+      ignore
+        (Engine.run ~releases:[| 0; 1 |] (Rng.create 1) inst (always_assign inst)
+          : Engine.outcome))
+
+let test_release_negative () =
+  let inst = single_job 0.5 in
+  Alcotest.check_raises "negative" (Invalid_argument "Engine: negative release date")
+    (fun () ->
+      ignore
+        (Engine.run ~releases:[| -1 |] (Rng.create 1) inst (always_assign inst)
+          : Engine.outcome))
+
+let prop_releases_only_delay =
+  QCheck.Test.make ~name:"release dates never speed things up (mean)" ~count:10
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create seed in
+      let n = 6 in
+      let inst =
+        Instance.independent
+          ~p:
+            (Array.init 2 (fun _ ->
+                 Array.init n (fun _ -> Rng.uniform rng 0.3 0.9)))
+      in
+      let policy = Suu_algo.Suu_i.policy inst in
+      let releases =
+        Suu_workloads.Workload.arrivals (Rng.split rng) ~n ~mean_gap:2.
+      in
+      let mean r =
+        (Engine.estimate_makespan ?releases:r ~trials:400 (Rng.create 5) inst
+           policy)
+          .Engine.stats.Suu_prob.Stats.mean
+      in
+      mean (Some releases) >= mean None -. 0.5)
+
+let prop_makespan_at_least_critical_path =
+  QCheck.Test.make ~name:"makespan >= longest path length" ~count:100
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create seed in
+      let n = 6 in
+      let dag = Suu_dag.Gen.out_forest (Rng.split rng) ~n ~trees:2 in
+      let inst =
+        Instance.create
+          ~p:
+            (Array.init 2 (fun _ ->
+                 Array.init n (fun _ -> Suu_prob.Rng.uniform rng 0.3 1.)))
+          ~dag
+      in
+      let policy = Suu_algo.Suu_i.policy inst in
+      let o = Engine.run (Rng.split rng) inst policy in
+      (not o.Engine.completed)
+      || o.Engine.makespan >= Suu_dag.Dag.longest_path dag)
+
+let prop_all_jobs_complete =
+  QCheck.Test.make ~name:"adaptive policy completes all instances" ~count:100
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + Rng.int rng 10 and m = 1 + Rng.int rng 4 in
+      let dag = Suu_dag.Gen.random_dag (Rng.split rng) ~n ~edge_prob:0.2 in
+      let inst =
+        Instance.create
+          ~p:
+            (Array.init m (fun _ ->
+                 Array.init n (fun _ -> Suu_prob.Rng.uniform rng 0.1 0.9)))
+          ~dag
+      in
+      let o = Engine.run (Rng.split rng) inst (Suu_algo.Suu_i.policy inst) in
+      o.Engine.completed)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "empty instance" `Quick test_empty_instance;
+          Alcotest.test_case "certain job" `Quick test_certain_job;
+          Alcotest.test_case "ineligible jobs blocked" `Quick
+            test_ineligible_jobs_not_run;
+          Alcotest.test_case "precedence respected" `Quick
+            test_precedence_order_respected;
+          Alcotest.test_case "trace shape" `Quick test_trace_matches_assignments;
+          Alcotest.test_case "max steps cap" `Quick test_max_steps_cap;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "default horizon" `Quick
+            test_default_horizon_positive;
+        ] );
+      ( "distributions",
+        [
+          Alcotest.test_case "geometric mean" `Slow test_geometric_mean;
+          Alcotest.test_case "combined machines" `Slow
+            test_two_machines_combined;
+          Alcotest.test_case "estimate counts" `Quick test_estimate_counts;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "matches sequential" `Slow
+            test_parallel_matches_sequential_stats;
+          Alcotest.test_case "deterministic" `Quick test_parallel_deterministic;
+          Alcotest.test_case "single domain" `Quick test_parallel_single_domain;
+          Alcotest.test_case "domains > trials" `Quick
+            test_parallel_more_domains_than_trials;
+        ] );
+      ( "releases",
+        [
+          Alcotest.test_case "blocks until due" `Quick
+            test_release_blocks_until_due;
+          Alcotest.test_case "zero = offline" `Quick test_release_zero_is_offline;
+          Alcotest.test_case "with precedence" `Quick
+            test_release_with_precedence;
+          Alcotest.test_case "length checked" `Quick test_release_length_mismatch;
+          Alcotest.test_case "sign checked" `Quick test_release_negative;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_makespan_at_least_critical_path;
+          QCheck_alcotest.to_alcotest prop_all_jobs_complete;
+          QCheck_alcotest.to_alcotest prop_releases_only_delay;
+        ] );
+    ]

@@ -1,0 +1,184 @@
+module Instance = Suu_core.Instance
+module Exact = Suu_sim.Exact
+module Rng = Suu_prob.Rng
+
+let feq ?(eps = 1e-9) = Alcotest.(check (float eps)) "value"
+
+let all_machines_regimen inst unfinished =
+  (* All machines on the lowest unfinished job. *)
+  let target = ref (-1) in
+  Array.iteri (fun j u -> if u && !target < 0 then target := j) unfinished;
+  Array.make (Instance.m inst) !target
+
+let test_single_job_geometric () =
+  let inst = Instance.independent ~p:[| [| 0.25 |] |] in
+  feq 4. (Exact.expected_makespan_regimen inst (all_machines_regimen inst))
+
+let test_two_machines_one_job () =
+  let inst = Instance.independent ~p:[| [| 0.5 |]; [| 0.5 |] |] in
+  feq (4. /. 3.)
+    (Exact.expected_makespan_regimen inst (all_machines_regimen inst))
+
+let test_serial_two_jobs () =
+  (* One machine, jobs p=1/2 each, served one at a time: E = 2 + 2 = 4. *)
+  let inst = Instance.independent ~p:[| [| 0.5; 0.5 |] |] in
+  feq 4. (Exact.expected_makespan_regimen inst (all_machines_regimen inst))
+
+(* Two independent jobs worked in parallel by their own machines: makespan
+   is max of two geometrics. For p=q=1/2:
+   E[max] = E[A] + E[B] - E[min] = 2 + 2 - 1/(1-(1/2)(1/2))... careful:
+   min of two independent geometrics(1/2) is geometric(1 - 1/4 = 3/4).
+   E[max] = 2 + 2 - 4/3 = 8/3. *)
+let test_parallel_max_geometric () =
+  let inst = Instance.independent ~p:[| [| 0.5; 0. |]; [| 0.; 0.5 |] |] in
+  let regimen unfinished =
+    [| (if unfinished.(0) then 0 else -1); (if unfinished.(1) then 1 else -1) |]
+  in
+  feq (8. /. 3.) (Exact.expected_makespan_regimen inst regimen)
+
+let test_chain_sum () =
+  (* Chain 0 -> 1, each job geometric(1/3) with all machines: E = 3 + 3. *)
+  let inst =
+    Instance.create
+      ~p:[| [| 1. /. 3.; 1. /. 3. |] |]
+      ~dag:(Suu_dag.Dag.create ~n:2 [ (0, 1) ])
+  in
+  feq 6. (Exact.expected_makespan_regimen inst (all_machines_regimen inst))
+
+let test_eligible_mask () =
+  let inst =
+    Instance.create
+      ~p:[| [| 0.5; 0.5; 0.5 |] |]
+      ~dag:(Suu_dag.Dag.create ~n:3 [ (0, 1) ])
+  in
+  let full = Exact.full_mask inst in
+  Alcotest.(check int) "full" 0b111 full;
+  Alcotest.(check int) "0 and 2 eligible" 0b101 (Exact.eligible_mask inst full);
+  Alcotest.(check int) "after 0 done" 0b110 (Exact.eligible_mask inst 0b110)
+
+let test_step_distribution_sums_to_one () =
+  let inst = Instance.independent ~p:[| [| 0.3; 0.6 |]; [| 0.5; 0.2 |] |] in
+  let dist = Exact.step_distribution inst ~mask:0b11 [| 0; 1 |] in
+  let total = List.fold_left (fun acc (_, p) -> acc +. p) 0. dist in
+  feq 1. total;
+  (* Individual probabilities: job0 completes wp 0.3, job1 wp 0.2. *)
+  let find mask = List.assoc mask dist in
+  feq (0.3 *. 0.2) (find 0b00);
+  feq (0.3 *. 0.8) (find 0b10);
+  feq (0.7 *. 0.2) (find 0b01);
+  feq (0.7 *. 0.8) (find 0b11)
+
+let test_step_distribution_ignores_ineligible () =
+  let inst =
+    Instance.create
+      ~p:[| [| 0.5; 0.5 |] |]
+      ~dag:(Suu_dag.Dag.create ~n:2 [ (0, 1) ])
+  in
+  (* Machine points at job 1 which is not eligible: nothing can change. *)
+  let dist = Exact.step_distribution inst ~mask:0b11 [| 1 |] in
+  Alcotest.(check int) "single outcome" 1 (List.length dist);
+  feq 1. (List.assoc 0b11 dist)
+
+let test_nonterminating_detected () =
+  let inst = Instance.independent ~p:[| [| 0.5 |] |] in
+  let idle _ = [| -1 |] in
+  Alcotest.check_raises "raises" Exact.Nonterminating (fun () ->
+      ignore (Exact.expected_makespan_regimen inst idle : float))
+
+let test_cdf_single_job () =
+  let inst = Instance.independent ~p:[| [| 0.5 |] |] in
+  let cdf =
+    Exact.makespan_distribution_regimen inst (all_machines_regimen inst)
+      ~horizon:4
+  in
+  feq 0. cdf.(0);
+  feq 0.5 cdf.(1);
+  feq 0.75 cdf.(2);
+  feq 0.875 cdf.(3);
+  feq 0.9375 cdf.(4)
+
+let test_cdf_monotone_random () =
+  let rng = Rng.create 5 in
+  let inst =
+    Instance.independent
+      ~p:(Array.init 2 (fun _ -> Array.init 3 (fun _ -> Rng.uniform rng 0.2 0.9)))
+  in
+  let cdf =
+    Exact.makespan_distribution_regimen inst (all_machines_regimen inst)
+      ~horizon:30
+  in
+  for t = 1 to 30 do
+    Alcotest.(check bool) "monotone" true (cdf.(t) >= cdf.(t - 1) -. 1e-12)
+  done;
+  Alcotest.(check bool) "approaches 1" true (cdf.(30) > 0.9)
+
+(* Cross-validation: exact expectation within the Monte-Carlo CI. *)
+let prop_exact_matches_monte_carlo =
+  QCheck.Test.make ~name:"exact = monte carlo (within 4 sigma)" ~count:20
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + Rng.int rng 4 and m = 1 + Rng.int rng 3 in
+      let inst =
+        Instance.independent
+          ~p:(Array.init m (fun _ -> Array.init n (fun _ -> Rng.uniform rng 0.2 0.9)))
+      in
+      let exact =
+        Exact.expected_makespan_regimen inst (all_machines_regimen inst)
+      in
+      let policy =
+        Suu_core.Policy.of_regimen "all-machines" (all_machines_regimen inst)
+      in
+      let e =
+        Suu_sim.Engine.estimate_makespan ~trials:3000 (Rng.split rng) inst
+          policy
+      in
+      let mean = e.Suu_sim.Engine.stats.Suu_prob.Stats.mean in
+      let sem = e.Suu_sim.Engine.stats.Suu_prob.Stats.sem in
+      Float.abs (mean -. exact) < Float.max 0.05 (4. *. sem))
+
+let prop_step_distribution_total =
+  QCheck.Test.make ~name:"step distribution sums to 1" ~count:200
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + Rng.int rng 5 and m = 1 + Rng.int rng 3 in
+      let inst =
+        Instance.independent
+          ~p:
+            (Array.init m (fun _ ->
+                 Array.init n (fun _ -> Rng.uniform rng 0.05 0.95)))
+      in
+      let a = Array.init m (fun _ -> Rng.int rng (n + 1) - 1) in
+      let mask = Exact.full_mask inst in
+      let dist = Exact.step_distribution inst ~mask a in
+      Float.abs (List.fold_left (fun acc (_, p) -> acc +. p) 0. dist -. 1.)
+      < 1e-9)
+
+let () =
+  Alcotest.run "exact"
+    [
+      ( "closed forms",
+        [
+          Alcotest.test_case "geometric" `Quick test_single_job_geometric;
+          Alcotest.test_case "combined machines" `Quick
+            test_two_machines_one_job;
+          Alcotest.test_case "serial jobs" `Quick test_serial_two_jobs;
+          Alcotest.test_case "parallel max" `Quick test_parallel_max_geometric;
+          Alcotest.test_case "chain sum" `Quick test_chain_sum;
+        ] );
+      ( "mechanics",
+        [
+          Alcotest.test_case "eligible mask" `Quick test_eligible_mask;
+          Alcotest.test_case "step distribution" `Quick
+            test_step_distribution_sums_to_one;
+          Alcotest.test_case "ineligible ignored" `Quick
+            test_step_distribution_ignores_ineligible;
+          Alcotest.test_case "nontermination" `Quick test_nonterminating_detected;
+          Alcotest.test_case "cdf single job" `Quick test_cdf_single_job;
+          Alcotest.test_case "cdf monotone" `Quick test_cdf_monotone_random;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_exact_matches_monte_carlo;
+          QCheck_alcotest.to_alcotest prop_step_distribution_total;
+        ] );
+    ]

@@ -1,0 +1,154 @@
+module Instance = Suu_core.Instance
+module Oblivious = Suu_core.Oblivious
+module EO = Suu_sim.Exact_oblivious
+module Rng = Suu_prob.Rng
+
+let feq ?(eps = 1e-6) = Alcotest.(check (float eps)) "value"
+
+let single p = Instance.independent ~p:[| [| p |] |]
+
+let always_cycle m n =
+  (* Cycle through jobs 0..n-1, all machines on one job per step. *)
+  Oblivious.create ~m ~cycle:(Array.init n (fun j -> Array.make m j)) [||]
+
+let test_single_job_geometric () =
+  let inst = single 0.25 in
+  feq 4. (EO.expected_makespan inst (always_cycle 1 1))
+
+let test_matches_regimen_exact () =
+  (* A cyclic all-machines-on-first-job schedule equals the corresponding
+     regimen for a single job. *)
+  let inst = Instance.independent ~p:[| [| 0.5 |]; [| 0.5 |] |] in
+  feq (4. /. 3.) (EO.expected_makespan inst (always_cycle 2 1))
+
+let test_serial_cycle_two_jobs () =
+  (* Cycle [job0; job1], one machine p = 1: makespan exactly 2. *)
+  let inst = Instance.independent ~p:[| [| 1.0; 1.0 |] |] in
+  feq 2. (EO.expected_makespan inst (always_cycle 1 2))
+
+let test_alternating_low_prob () =
+  (* Cycle [0; 1] with p = 1/2 each: cross-check against Monte-Carlo. *)
+  let inst = Instance.independent ~p:[| [| 0.5; 0.5 |] |] in
+  let sched = always_cycle 1 2 in
+  let exact = EO.expected_makespan inst sched in
+  let e =
+    Suu_sim.Engine.estimate_makespan ~trials:30_000 (Rng.create 3) inst
+      (Suu_core.Policy.of_oblivious "alt" sched)
+  in
+  let mean = e.Suu_sim.Engine.stats.Suu_prob.Stats.mean in
+  let sem = e.Suu_sim.Engine.stats.Suu_prob.Stats.sem in
+  Alcotest.(check bool)
+    (Printf.sprintf "exact %.4f vs MC %.4f" exact mean)
+    true
+    (Float.abs (exact -. mean) < Float.max 0.05 (4. *. sem))
+
+let test_cdf_prefix_then_cycle () =
+  let inst = single 0.5 in
+  let sched =
+    Oblivious.create ~m:1 ~cycle:[| [| 0 |] |] [| [| -1 |]; [| 0 |] |]
+  in
+  (* Step 1 idles, then works every step: P(T<=1) = 0, P(T<=2) = 1/2... *)
+  let cdf = EO.cdf inst sched ~horizon:3 in
+  feq 0. cdf.(0);
+  feq 0. cdf.(1);
+  feq 0.5 cdf.(2);
+  feq 0.75 cdf.(3)
+
+let test_distribution_after () =
+  let inst = Instance.independent ~p:[| [| 0.5; 0.5 |] |] in
+  let sched = always_cycle 1 2 in
+  let dist = EO.distribution_after inst sched ~steps:1 in
+  (* After one step on job 0: {0,1} unfinished w.p. 1/2, {1} w.p. 1/2. *)
+  Alcotest.(check int) "two states" 2 (List.length dist);
+  feq 0.5 (List.assoc 0b11 dist);
+  feq 0.5 (List.assoc 0b10 dist)
+
+let test_precedence_respected () =
+  (* Chain 0 -> 1; schedule works on 1 first (wasted), then cycles. *)
+  let inst =
+    Instance.create
+      ~p:[| [| 1.0; 1.0 |] |]
+      ~dag:(Suu_dag.Dag.create ~n:2 [ (0, 1) ])
+  in
+  let sched =
+    Oblivious.create ~m:1
+      ~cycle:[| [| 0 |]; [| 1 |] |]
+      [| [| 1 |] |]
+  in
+  (* Step 1 targets ineligible job 1: nothing. Step 2 completes 0, step 3
+     completes 1: makespan exactly 3. *)
+  feq 3. (EO.expected_makespan inst sched)
+
+let test_nonterminating_detected () =
+  let inst = single 0.5 in
+  let idle_forever = Oblivious.finite ~m:1 [| [| -1 |] |] in
+  match EO.expected_makespan ~max_horizon:100 inst idle_forever with
+  | exception EO.Horizon_too_short _ -> ()
+  | v -> Alcotest.failf "expected Horizon_too_short, got %f" v
+
+let test_empty_instance () =
+  let inst = Instance.independent ~p:[| [||] |] in
+  feq 0. (EO.expected_makespan inst (Oblivious.finite ~m:1 [||]))
+
+let prop_exact_matches_mc =
+  QCheck.Test.make ~name:"exact oblivious = monte carlo" ~count:10
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + Rng.int rng 3 and m = 1 + Rng.int rng 2 in
+      let inst =
+        Instance.independent
+          ~p:(Array.init m (fun _ -> Array.init n (fun _ -> Rng.uniform rng 0.3 0.9)))
+      in
+      let r = Suu_algo.Suu_i_obl.build inst in
+      let sched = Suu_algo.Suu_i_obl.schedule inst in
+      ignore r;
+      let exact = EO.expected_makespan inst sched in
+      let e =
+        Suu_sim.Engine.estimate_makespan ~trials:4000 (Rng.split rng) inst
+          (Suu_core.Policy.of_oblivious "s" sched)
+      in
+      let mean = e.Suu_sim.Engine.stats.Suu_prob.Stats.mean in
+      let sem = e.Suu_sim.Engine.stats.Suu_prob.Stats.sem in
+      Float.abs (exact -. mean) < Float.max 0.1 (4.5 *. sem))
+
+let prop_cdf_monotone =
+  QCheck.Test.make ~name:"oblivious cdf monotone" ~count:30 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + Rng.int rng 4 in
+      let inst =
+        Instance.independent
+          ~p:[| Array.init n (fun _ -> Rng.uniform rng 0.2 0.9) |]
+      in
+      let sched = always_cycle 1 n in
+      let cdf = EO.cdf inst sched ~horizon:20 in
+      let ok = ref true in
+      for t = 1 to 20 do
+        if cdf.(t) < cdf.(t - 1) -. 1e-12 then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "exact_oblivious"
+    [
+      ( "closed forms",
+        [
+          Alcotest.test_case "geometric" `Quick test_single_job_geometric;
+          Alcotest.test_case "two machines" `Quick test_matches_regimen_exact;
+          Alcotest.test_case "serial certain" `Quick test_serial_cycle_two_jobs;
+          Alcotest.test_case "alternating vs MC" `Slow test_alternating_low_prob;
+          Alcotest.test_case "precedence" `Quick test_precedence_respected;
+        ] );
+      ( "mechanics",
+        [
+          Alcotest.test_case "cdf prefix+cycle" `Quick test_cdf_prefix_then_cycle;
+          Alcotest.test_case "distribution_after" `Quick test_distribution_after;
+          Alcotest.test_case "nontermination" `Quick test_nonterminating_detected;
+          Alcotest.test_case "empty" `Quick test_empty_instance;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_exact_matches_mc;
+          QCheck_alcotest.to_alcotest prop_cdf_monotone;
+        ] );
+    ]

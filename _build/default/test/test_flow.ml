@@ -1,0 +1,189 @@
+module Maxflow = Suu_flow.Maxflow
+module Matching = Suu_flow.Matching
+module Rng = Suu_prob.Rng
+
+let test_single_edge () =
+  let g = Maxflow.create 2 in
+  let e = Maxflow.add_edge g ~src:0 ~dst:1 ~cap:5 in
+  Alcotest.(check int) "flow value" 5 (Maxflow.max_flow g ~source:0 ~sink:1);
+  Alcotest.(check int) "edge flow" 5 (Maxflow.flow g e);
+  Alcotest.(check int) "capacity" 5 (Maxflow.capacity g e)
+
+let test_series () =
+  let g = Maxflow.create 3 in
+  ignore (Maxflow.add_edge g ~src:0 ~dst:1 ~cap:7 : Maxflow.edge);
+  ignore (Maxflow.add_edge g ~src:1 ~dst:2 ~cap:3 : Maxflow.edge);
+  Alcotest.(check int) "bottleneck" 3 (Maxflow.max_flow g ~source:0 ~sink:2)
+
+let test_parallel () =
+  let g = Maxflow.create 2 in
+  ignore (Maxflow.add_edge g ~src:0 ~dst:1 ~cap:2 : Maxflow.edge);
+  ignore (Maxflow.add_edge g ~src:0 ~dst:1 ~cap:3 : Maxflow.edge);
+  Alcotest.(check int) "sum" 5 (Maxflow.max_flow g ~source:0 ~sink:1)
+
+let test_disconnected () =
+  let g = Maxflow.create 4 in
+  ignore (Maxflow.add_edge g ~src:0 ~dst:1 ~cap:1 : Maxflow.edge);
+  ignore (Maxflow.add_edge g ~src:2 ~dst:3 ~cap:1 : Maxflow.edge);
+  Alcotest.(check int) "zero" 0 (Maxflow.max_flow g ~source:0 ~sink:3)
+
+(* The classic CLRS example network, max flow 23. *)
+let test_clrs () =
+  let g = Maxflow.create 6 in
+  let s = 0 and t = 5 in
+  let add (u, v, c) = ignore (Maxflow.add_edge g ~src:u ~dst:v ~cap:c : Maxflow.edge) in
+  List.iter add
+    [ (s, 1, 16); (s, 2, 13); (1, 2, 10); (2, 1, 4); (1, 3, 12); (3, 2, 9);
+      (2, 4, 14); (4, 3, 7); (3, t, 20); (4, t, 4) ];
+  Alcotest.(check int) "CLRS max flow" 23 (Maxflow.max_flow g ~source:s ~sink:t)
+
+let test_min_cut () =
+  let g = Maxflow.create 4 in
+  ignore (Maxflow.add_edge g ~src:0 ~dst:1 ~cap:10 : Maxflow.edge);
+  ignore (Maxflow.add_edge g ~src:1 ~dst:2 ~cap:1 : Maxflow.edge);
+  ignore (Maxflow.add_edge g ~src:2 ~dst:3 ~cap:10 : Maxflow.edge);
+  ignore (Maxflow.max_flow g ~source:0 ~sink:3 : int);
+  let side = Maxflow.min_cut_side g ~source:0 in
+  Alcotest.(check bool) "source side" true side.(0);
+  Alcotest.(check bool) "1 on source side" true side.(1);
+  Alcotest.(check bool) "2 on sink side" false side.(2);
+  Alcotest.(check bool) "sink side" false side.(3)
+
+let test_zero_capacity () =
+  let g = Maxflow.create 2 in
+  ignore (Maxflow.add_edge g ~src:0 ~dst:1 ~cap:0 : Maxflow.edge);
+  Alcotest.(check int) "zero cap" 0 (Maxflow.max_flow g ~source:0 ~sink:1)
+
+let test_rejects_negative_cap () =
+  let g = Maxflow.create 2 in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Maxflow.add_edge: negative capacity") (fun () ->
+      ignore (Maxflow.add_edge g ~src:0 ~dst:1 ~cap:(-1) : Maxflow.edge))
+
+let test_rejects_same_source_sink () =
+  let g = Maxflow.create 2 in
+  Alcotest.check_raises "source=sink"
+    (Invalid_argument "Maxflow.max_flow: source equals sink") (fun () ->
+      ignore (Maxflow.max_flow g ~source:0 ~sink:0 : int))
+
+let test_matching_known () =
+  (* Left 0,1,2; right 0,1. Perfect matching impossible. *)
+  let adj = [| [ 0 ]; [ 0; 1 ]; [ 1 ] |] in
+  let mate = Matching.max_matching ~left:3 ~right:2 ~adj in
+  Alcotest.(check int) "matching size" 2 (Matching.size mate)
+
+let test_matching_perfect () =
+  let adj = [| [ 1 ]; [ 0 ] |] in
+  let mate = Matching.max_matching ~left:2 ~right:2 ~adj in
+  Alcotest.(check int) "perfect" 2 (Matching.size mate);
+  Alcotest.(check int) "0-1" 1 mate.(0);
+  Alcotest.(check int) "1-0" 0 mate.(1)
+
+let test_matching_empty () =
+  let mate = Matching.max_matching ~left:3 ~right:3 ~adj:[| []; []; [] |] in
+  Alcotest.(check int) "empty" 0 (Matching.size mate)
+
+(* Random bipartite graph: matching via Hopcroft–Karp must equal matching
+   via max-flow reduction. *)
+let random_bipartite seed ln rn prob =
+  let rng = Rng.create seed in
+  Array.init ln (fun _ ->
+      List.filter (fun _ -> Rng.float rng < prob) (List.init rn (fun v -> v)))
+
+let matching_via_flow ~left ~right ~adj =
+  let g = Maxflow.create (left + right + 2) in
+  let source = left + right and sink = left + right + 1 in
+  for u = 0 to left - 1 do
+    ignore (Maxflow.add_edge g ~src:source ~dst:u ~cap:1 : Maxflow.edge)
+  done;
+  for v = 0 to right - 1 do
+    ignore (Maxflow.add_edge g ~src:(left + v) ~dst:sink ~cap:1 : Maxflow.edge)
+  done;
+  Array.iteri
+    (fun u vs ->
+      List.iter
+        (fun v -> ignore (Maxflow.add_edge g ~src:u ~dst:(left + v) ~cap:1 : Maxflow.edge))
+        vs)
+    adj;
+  Maxflow.max_flow g ~source ~sink
+
+let prop_matching_equals_flow =
+  QCheck.Test.make ~name:"hopcroft-karp = max-flow reduction" ~count:200
+    QCheck.(triple small_int (int_range 1 15) (int_range 1 15))
+    (fun (seed, ln, rn) ->
+      let adj = random_bipartite seed ln rn 0.3 in
+      let hk = Matching.size (Matching.max_matching ~left:ln ~right:rn ~adj) in
+      hk = matching_via_flow ~left:ln ~right:rn ~adj)
+
+let prop_matching_valid =
+  QCheck.Test.make ~name:"matching is a valid matching" ~count:200
+    QCheck.(triple small_int (int_range 1 20) (int_range 1 20))
+    (fun (seed, ln, rn) ->
+      let adj = random_bipartite seed ln rn 0.4 in
+      let mate = Matching.max_matching ~left:ln ~right:rn ~adj in
+      let used = Array.make rn false in
+      Array.for_all (fun v -> v = -1 || v >= 0) mate
+      && Array.to_list mate
+         |> List.mapi (fun u v -> (u, v))
+         |> List.for_all (fun (u, v) ->
+                v = -1
+                || (List.mem v adj.(u)
+                   &&
+                   if used.(v) then false
+                   else begin
+                     used.(v) <- true;
+                     true
+                   end)))
+
+let prop_flow_conservation =
+  QCheck.Test.make ~name:"flow within capacity" ~count:100
+    QCheck.(pair small_int (int_range 2 12))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let g = Maxflow.create n in
+      let edges = ref [] in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if u <> v && Rng.float rng < 0.3 then begin
+            let cap = Rng.int rng 10 in
+            edges := (Maxflow.add_edge g ~src:u ~dst:v ~cap, cap) :: !edges
+          end
+        done
+      done;
+      let value = Maxflow.max_flow g ~source:0 ~sink:(n - 1) in
+      value >= 0
+      && List.for_all
+           (fun (e, cap) ->
+             let f = Maxflow.flow g e in
+             f >= 0 && f <= cap)
+           !edges)
+
+let () =
+  Alcotest.run "flow"
+    [
+      ( "maxflow",
+        [
+          Alcotest.test_case "single edge" `Quick test_single_edge;
+          Alcotest.test_case "series" `Quick test_series;
+          Alcotest.test_case "parallel" `Quick test_parallel;
+          Alcotest.test_case "disconnected" `Quick test_disconnected;
+          Alcotest.test_case "CLRS network" `Quick test_clrs;
+          Alcotest.test_case "min cut" `Quick test_min_cut;
+          Alcotest.test_case "zero capacity" `Quick test_zero_capacity;
+          Alcotest.test_case "negative rejected" `Quick test_rejects_negative_cap;
+          Alcotest.test_case "source=sink rejected" `Quick
+            test_rejects_same_source_sink;
+        ] );
+      ( "matching",
+        [
+          Alcotest.test_case "known" `Quick test_matching_known;
+          Alcotest.test_case "perfect" `Quick test_matching_perfect;
+          Alcotest.test_case "empty" `Quick test_matching_empty;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_matching_equals_flow;
+          QCheck_alcotest.to_alcotest prop_matching_valid;
+          QCheck_alcotest.to_alcotest prop_flow_conservation;
+        ] );
+    ]

@@ -1,0 +1,269 @@
+module Table = Suu_harness.Table
+module Csv = Suu_harness.Csv
+module Io = Suu_harness.Io
+module Experiment = Suu_harness.Experiment
+module Instance = Suu_core.Instance
+module Rng = Suu_prob.Rng
+
+let test_table_render () =
+  let s =
+    Table.render ~title:"demo" ~header:[ "name"; "value" ]
+      [ [ "a"; "1.00" ]; [ "bb"; "10.50" ] ]
+  in
+  Alcotest.(check bool) "has title" true
+    (String.length s > 0 && String.sub s 0 7 = "== demo");
+  (* Right-aligned numbers: the 1.00 row pads on the left. *)
+  Alcotest.(check bool) "aligned" true
+    (String.split_on_char '\n' s
+    |> List.exists (fun line -> line = "a      1.00"))
+
+let test_table_cells () =
+  Alcotest.(check string) "float" "3.14" (Table.cell_f 3.14159);
+  Alcotest.(check string) "digits" "3.1416" (Table.cell_f ~digits:4 3.14159);
+  Alcotest.(check string) "int" "42" (Table.cell_i 42)
+
+let test_csv_escape () =
+  Alcotest.(check string) "plain" "abc" (Csv.escape "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Csv.escape "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Csv.escape "a\"b");
+  Alcotest.(check string) "newline" "\"a\nb\"" (Csv.escape "a\nb")
+
+let test_csv_write_and_append () =
+  let path = Filename.temp_file "suu_test" ".csv" in
+  Csv.write ~path ~header:[ "x"; "y" ] [ [ "1"; "2" ] ];
+  Csv.append_rows ~path [ [ "3"; "4" ] ];
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check (list string)) "contents" [ "x,y"; "1,2"; "3,4" ]
+    (List.rev !lines)
+
+let sample_instance seed =
+  let rng = Rng.create seed in
+  let n = 5 and m = 3 in
+  let dag = Suu_dag.Gen.chains (Rng.split rng) ~n ~chains:2 in
+  Instance.create
+    ~p:(Array.init m (fun _ -> Array.init n (fun _ -> Rng.uniform rng 0.1 0.9)))
+    ~dag
+
+let instances_equal a b =
+  Instance.n a = Instance.n b
+  && Instance.m a = Instance.m b
+  && Suu_dag.Dag.edges (Instance.dag a) = Suu_dag.Dag.edges (Instance.dag b)
+  && List.for_all
+       (fun i ->
+         List.for_all
+           (fun j ->
+             Instance.prob a ~machine:i ~job:j = Instance.prob b ~machine:i ~job:j)
+           (List.init (Instance.n a) (fun j -> j)))
+       (List.init (Instance.m a) (fun i -> i))
+
+let test_io_roundtrip_string () =
+  let inst = sample_instance 1 in
+  let again = Io.of_string (Io.to_string inst) in
+  Alcotest.(check bool) "roundtrip" true (instances_equal inst again)
+
+let test_io_roundtrip_file () =
+  let inst = sample_instance 2 in
+  let path = Filename.temp_file "suu_test" ".inst" in
+  Io.save path inst;
+  let again = Io.load path in
+  Sys.remove path;
+  Alcotest.(check bool) "roundtrip" true (instances_equal inst again)
+
+let test_io_comments_ignored () =
+  let inst = sample_instance 3 in
+  let s = "# a comment\n" ^ Io.to_string inst ^ "# trailing\n" in
+  Alcotest.(check bool) "roundtrip with comments" true
+    (instances_equal inst (Io.of_string s))
+
+let test_io_rejects_garbage () =
+  Alcotest.check_raises "garbage" (Failure "Io.read: bad header") (fun () ->
+      ignore (Io.of_string "hello world" : Instance.t))
+
+let test_io_rejects_truncated () =
+  let inst = sample_instance 4 in
+  let s = Io.to_string inst in
+  let truncated = String.sub s 0 (String.length s / 2) in
+  match Io.of_string truncated with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "accepted truncated input"
+
+let test_experiment_measure () =
+  let inst = sample_instance 5 in
+  let m =
+    Experiment.measure ~trials:50 ~seed:1 ~lower_bound:2. inst
+      (Suu_algo.Suu_i.policy inst)
+  in
+  Alcotest.(check string) "name" "suu-i-alg" m.Experiment.policy_name;
+  Alcotest.(check int) "trials" 50 m.Experiment.trials;
+  Alcotest.(check bool) "ratio consistent" true
+    (Float.abs (m.Experiment.ratio -. (m.Experiment.mean /. 2.)) < 1e-9)
+
+let test_experiment_rows () =
+  let inst = sample_instance 6 in
+  let ms =
+    Experiment.compare_policies ~trials:20 ~seed:2 inst ~lower_bound:1.
+      [ Suu_algo.Suu_i.policy inst; Suu_algo.Baselines.greedy_rate inst ]
+  in
+  Alcotest.(check int) "two rows" 2 (List.length ms);
+  List.iter
+    (fun m ->
+      Alcotest.(check int) "row width"
+        (List.length Experiment.row_header)
+        (List.length (Experiment.row m)))
+    ms
+
+let schedules_equal a b =
+  a.Suu_core.Oblivious.m = b.Suu_core.Oblivious.m
+  && a.Suu_core.Oblivious.prefix = b.Suu_core.Oblivious.prefix
+  && a.Suu_core.Oblivious.cycle = b.Suu_core.Oblivious.cycle
+
+let test_schedule_roundtrip () =
+  let sched =
+    Suu_core.Oblivious.create ~m:2
+      ~cycle:[| [| 1; 0 |] |]
+      [| [| 0; -1 |]; [| 1; 1 |] |]
+  in
+  let again = Io.schedule_of_string (Io.schedule_to_string sched) in
+  Alcotest.(check bool) "roundtrip" true (schedules_equal sched again)
+
+let test_schedule_file_roundtrip () =
+  let inst = sample_instance 7 in
+  let sched = Suu_algo.Suu_i_obl.schedule inst in
+  let path = Filename.temp_file "suu_plan" ".plan" in
+  Io.save_schedule path sched;
+  let again = Io.load_schedule path in
+  Sys.remove path;
+  Alcotest.(check bool) "roundtrip" true (schedules_equal sched again)
+
+let test_schedule_rejects_garbage () =
+  Alcotest.check_raises "garbage" (Failure "Io.schedule: bad header")
+    (fun () -> ignore (Io.schedule_of_string "nope" : Suu_core.Oblivious.t))
+
+let test_schedule_rejects_truncated () =
+  let sched = Suu_core.Oblivious.finite ~m:3 [| [| 0; 1; 2 |]; [| 2; 1; 0 |] |] in
+  let s = Io.schedule_to_string sched in
+  match Io.schedule_of_string (String.sub s 0 (String.length s - 8)) with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "accepted truncated plan"
+
+let test_gantt_of_trace () =
+  let trace =
+    [ (0, [| 0; -1 |], []); (1, [| 0; 1 |], [ 0 ]); (2, [| -1; 1 |], [ 1 ]) ]
+  in
+  let s = Suu_harness.Gantt.of_trace ~m:2 trace in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check bool) "machine 0 row" true (List.mem "m0  |00." lines);
+  Alcotest.(check bool) "machine 1 row" true (List.mem "m1  |.11" lines);
+  Alcotest.(check bool) "completion row" true (List.mem "done| **" lines)
+
+let test_gantt_base36 () =
+  let trace = [ (0, [| 10; 35; 36 |], []) ] in
+  let s = Suu_harness.Gantt.of_trace ~m:3 trace in
+  Alcotest.(check bool) "a" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> l = "m0  |a"));
+  Alcotest.(check bool) "z" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> l = "m1  |z"));
+  Alcotest.(check bool) "# overflow" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> l = "m2  |#"))
+
+let test_gantt_truncation () =
+  let trace = List.init 50 (fun t -> (t, [| 0 |], [])) in
+  let s = Suu_harness.Gantt.of_trace ~m:1 ~max_width:10 trace in
+  Alcotest.(check bool) "ellipsis" true
+    (String.split_on_char '\n' s
+    |> List.exists (fun l -> l = "m0  |0000000000..."))
+
+let test_gantt_of_oblivious () =
+  let sched =
+    Suu_core.Oblivious.create ~m:1 ~cycle:[| [| 1 |] |] [| [| 0 |] |]
+  in
+  let s = Suu_harness.Gantt.of_oblivious sched () in
+  Alcotest.(check bool) "prefix+cycle" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> l = "m0  |01"))
+
+let prop_schedule_roundtrip =
+  QCheck.Test.make ~name:"plan roundtrip on random schedules" ~count:50
+    QCheck.(triple small_int (int_range 1 4) (int_range 0 6))
+    (fun (seed, m, plen) ->
+      let rng = Rng.create seed in
+      let random_steps len =
+        Array.init len (fun _ ->
+            Array.init m (fun _ -> Rng.int rng 5 - 1))
+      in
+      let sched =
+        Suu_core.Oblivious.create ~m
+          ~cycle:(random_steps (Rng.int rng 4))
+          (random_steps plen)
+      in
+      schedules_equal sched (Io.schedule_of_string (Io.schedule_to_string sched)))
+
+let prop_io_roundtrip =
+  QCheck.Test.make ~name:"io roundtrip on random instances" ~count:50
+    QCheck.(triple small_int (int_range 1 15) (int_range 1 5))
+    (fun (seed, n, m) ->
+      let rng = Rng.create seed in
+      let dag = Suu_dag.Gen.random_dag (Rng.split rng) ~n ~edge_prob:0.3 in
+      let inst =
+        Instance.create
+          ~p:(Array.init m (fun _ -> Array.init n (fun _ -> Rng.uniform rng 0.01 1.)))
+          ~dag
+      in
+      instances_equal inst (Io.of_string (Io.to_string inst)))
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "cells" `Quick test_table_cells;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "escape" `Quick test_csv_escape;
+          Alcotest.test_case "write/append" `Quick test_csv_write_and_append;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "string roundtrip" `Quick test_io_roundtrip_string;
+          Alcotest.test_case "file roundtrip" `Quick test_io_roundtrip_file;
+          Alcotest.test_case "comments" `Quick test_io_comments_ignored;
+          Alcotest.test_case "garbage rejected" `Quick test_io_rejects_garbage;
+          Alcotest.test_case "truncated rejected" `Quick test_io_rejects_truncated;
+        ] );
+      ( "plans",
+        [
+          Alcotest.test_case "string roundtrip" `Quick test_schedule_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick
+            test_schedule_file_roundtrip;
+          Alcotest.test_case "garbage rejected" `Quick
+            test_schedule_rejects_garbage;
+          Alcotest.test_case "truncated rejected" `Quick
+            test_schedule_rejects_truncated;
+        ] );
+      ( "gantt",
+        [
+          Alcotest.test_case "of_trace" `Quick test_gantt_of_trace;
+          Alcotest.test_case "base36" `Quick test_gantt_base36;
+          Alcotest.test_case "truncation" `Quick test_gantt_truncation;
+          Alcotest.test_case "of_oblivious" `Quick test_gantt_of_oblivious;
+        ] );
+      ( "experiment",
+        [
+          Alcotest.test_case "measure" `Quick test_experiment_measure;
+          Alcotest.test_case "rows" `Quick test_experiment_rows;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_io_roundtrip;
+          QCheck_alcotest.to_alcotest prop_schedule_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,84 @@
+module Instance = Suu_core.Instance
+module Dag = Suu_dag.Dag
+
+let sample () =
+  Instance.create
+    ~p:[| [| 0.5; 0.2; 0.0 |]; [| 0.1; 0.8; 0.4 |] |]
+    ~dag:(Dag.create ~n:3 [ (0, 1) ])
+
+let test_accessors () =
+  let inst = sample () in
+  Alcotest.(check int) "n" 3 (Instance.n inst);
+  Alcotest.(check int) "m" 2 (Instance.m inst);
+  Alcotest.(check (float 0.)) "p01" 0.2 (Instance.prob inst ~machine:0 ~job:1);
+  Alcotest.(check (float 1e-12)) "total rate job 1" 1.0 (Instance.total_rate inst 1);
+  Alcotest.(check (float 0.)) "best prob job 2" 0.4 (Instance.best_prob inst 2);
+  Alcotest.(check int) "best machine job 0" 0 (Instance.best_machine inst 0);
+  Alcotest.(check (float 0.)) "p_min" 0.1 (Instance.p_min inst);
+  Alcotest.(check (list int)) "capable of job 2" [ 1 ] (Instance.capable_machines inst 2);
+  Alcotest.(check (float 0.)) "machine 0 max" 0.5 (Instance.machine_max_prob inst 0)
+
+let test_probs_for_job () =
+  let inst = sample () in
+  Alcotest.(check (array (float 0.))) "column" [| 0.2; 0.8 |]
+    (Instance.probs_for_job inst 1)
+
+let test_rejects_bad_prob () =
+  Alcotest.check_raises "prob > 1"
+    (Invalid_argument "Instance.create: probability outside [0,1]") (fun () ->
+      ignore (Instance.independent ~p:[| [| 1.5 |] |] : Instance.t))
+
+let test_rejects_nan () =
+  Alcotest.check_raises "nan"
+    (Invalid_argument "Instance.create: probability outside [0,1]") (fun () ->
+      ignore (Instance.independent ~p:[| [| Float.nan |] |] : Instance.t))
+
+let test_rejects_incapable_job () =
+  Alcotest.check_raises "no capable machine"
+    (Invalid_argument "Instance.create: job 1 has no capable machine")
+    (fun () -> ignore (Instance.independent ~p:[| [| 0.5; 0.0 |] |] : Instance.t))
+
+let test_rejects_dimension_mismatch () =
+  Alcotest.check_raises "row length"
+    (Invalid_argument "Instance.create: probability row length mismatch")
+    (fun () ->
+      ignore
+        (Instance.create ~p:[| [| 0.5 |] |] ~dag:(Dag.empty 2) : Instance.t))
+
+let test_rejects_no_machines () =
+  Alcotest.check_raises "no machines"
+    (Invalid_argument "Instance.create: no machines") (fun () ->
+      ignore (Instance.create ~p:[||] ~dag:(Dag.empty 0) : Instance.t))
+
+let test_defensive_copy () =
+  let p = [| [| 0.5 |] |] in
+  let inst = Instance.independent ~p in
+  p.(0).(0) <- 0.9;
+  Alcotest.(check (float 0.)) "copied" 0.5 (Instance.prob inst ~machine:0 ~job:0)
+
+let test_transpose () =
+  let q = [| [| 0.1; 0.2 |]; [| 0.3; 0.4 |]; [| 0.5; 0.6 |] |] in
+  let p = Instance.transpose_probs q in
+  Alcotest.(check int) "machines" 2 (Array.length p);
+  Alcotest.(check (array (float 0.))) "machine 0 row" [| 0.1; 0.3; 0.5 |] p.(0);
+  Alcotest.(check (array (float 0.))) "machine 1 row" [| 0.2; 0.4; 0.6 |] p.(1)
+
+let () =
+  Alcotest.run "instance"
+    [
+      ( "instance",
+        [
+          Alcotest.test_case "accessors" `Quick test_accessors;
+          Alcotest.test_case "probs_for_job" `Quick test_probs_for_job;
+          Alcotest.test_case "rejects p>1" `Quick test_rejects_bad_prob;
+          Alcotest.test_case "rejects nan" `Quick test_rejects_nan;
+          Alcotest.test_case "rejects incapable job" `Quick
+            test_rejects_incapable_job;
+          Alcotest.test_case "rejects dim mismatch" `Quick
+            test_rejects_dimension_mismatch;
+          Alcotest.test_case "rejects zero machines" `Quick
+            test_rejects_no_machines;
+          Alcotest.test_case "defensive copy" `Quick test_defensive_copy;
+          Alcotest.test_case "transpose" `Quick test_transpose;
+        ] );
+    ]

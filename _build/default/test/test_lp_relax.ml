@@ -1,0 +1,152 @@
+module Instance = Suu_core.Instance
+module Lp_relax = Suu_algo.Lp_relax
+module Rng = Suu_prob.Rng
+
+let random_chain_instance seed ~n ~m ~chains =
+  let rng = Rng.create seed in
+  let dag = Suu_dag.Gen.chains (Rng.split rng) ~n ~chains in
+  let p =
+    Array.init m (fun _ -> Array.init n (fun _ -> Rng.uniform rng 0.1 0.9))
+  in
+  Instance.create ~p ~dag
+
+let chains_of inst =
+  Suu_dag.Classify.chain_partition (Instance.dag inst)
+
+let test_solution_verifies () =
+  let inst = random_chain_instance 1 ~n:8 ~m:3 ~chains:2 in
+  let frac = Lp_relax.solve_chains inst ~chains:(chains_of inst) in
+  match Lp_relax.verify inst frac with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_single_job_t_star () =
+  (* One job, one machine p = 0.5: mass 1/2 needs exactly one step, but
+     d >= 1 also forces t >= 1: t* = 1. *)
+  let inst = Instance.independent ~p:[| [| 0.5 |] |] in
+  let frac = Lp_relax.solve_chains inst ~chains:[ [ 0 ] ] in
+  Alcotest.(check (float 1e-6)) "t*" 1. frac.Lp_relax.t_star
+
+let test_high_prob_still_t_one () =
+  (* p = 1: x = 1/2 satisfies the mass constraint; chain constraint forces
+     d_0 >= 1 so t* = 1. *)
+  let inst = Instance.independent ~p:[| [| 1.0 |] |] in
+  let frac = Lp_relax.solve_chains inst ~chains:[ [ 0 ] ] in
+  Alcotest.(check (float 1e-6)) "t*" 1. frac.Lp_relax.t_star
+
+let test_load_drives_t () =
+  (* 4 identical jobs, single machine p = 0.5 each: each job needs 1 step
+     of fractional mass, load = 4 -> t* = 4. *)
+  let inst = Instance.independent ~p:[| [| 0.5; 0.5; 0.5; 0.5 |] |] in
+  let frac =
+    Lp_relax.solve_chains inst ~chains:[ [ 0 ]; [ 1 ]; [ 2 ]; [ 3 ] ]
+  in
+  Alcotest.(check (float 1e-6)) "t*" 4. frac.Lp_relax.t_star
+
+let test_chain_drives_t () =
+  (* One chain of 4 jobs, many machines: d_j >= 1 forces t >= 4. *)
+  let dag = Suu_dag.Gen.uniform_chains ~n:4 ~chains:1 in
+  let p = Array.init 8 (fun _ -> Array.make 4 0.9) in
+  let inst = Instance.create ~p ~dag in
+  let frac = Lp_relax.solve_chains inst ~chains:(chains_of inst) in
+  Alcotest.(check (float 1e-6)) "t* = chain length" 4. frac.Lp_relax.t_star
+
+let test_lp2_no_window_constraints () =
+  (* (LP2) for p = 1: half a step of load, t* = 1/2 (no d >= 1 rows). *)
+  let inst = Instance.independent ~p:[| [| 1.0 |] |] in
+  let frac = Lp_relax.solve_independent inst ~jobs:[ 0 ] in
+  Alcotest.(check (float 1e-6)) "t*" 0.5 frac.Lp_relax.t_star;
+  Alcotest.(check (list (list int))) "no chains" [] frac.Lp_relax.chains
+
+let test_lp2_le_lp1 () =
+  let inst = random_chain_instance 7 ~n:6 ~m:2 ~chains:3 in
+  let jobs = List.init 6 (fun j -> j) in
+  let lp1 = Lp_relax.solve_chains inst ~chains:(chains_of inst) in
+  let lp2 = Lp_relax.solve_independent inst ~jobs in
+  Alcotest.(check bool) "relaxing constraints helps" true
+    (lp2.Lp_relax.t_star <= lp1.Lp_relax.t_star +. 1e-6)
+
+let test_subset_solving () =
+  (* Solving over a subset only allocates to that subset. *)
+  let inst = random_chain_instance 9 ~n:6 ~m:2 ~chains:6 in
+  let frac = Lp_relax.solve_chains inst ~chains:[ [ 0 ]; [ 2 ] ] in
+  Alcotest.(check (list int)) "jobs" [ 0; 2 ] frac.Lp_relax.jobs;
+  for i = 0 to 1 do
+    Alcotest.(check (float 0.)) "job 1 untouched" 0. frac.Lp_relax.x.(i).(1)
+  done
+
+let test_rejects_duplicate_jobs () =
+  let inst = random_chain_instance 11 ~n:4 ~m:2 ~chains:4 in
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Lp_relax: job in two chains") (fun () ->
+      ignore
+        (Lp_relax.solve_chains inst ~chains:[ [ 0; 1 ]; [ 1 ] ]
+          : Lp_relax.fractional))
+
+(* Lemma 4.2: t* <= 16 TOPT — checked with exact TOPT on tiny instances. *)
+let prop_lemma_4_2 =
+  QCheck.Test.make ~name:"Lemma 4.2: t* <= 16 TOPT" ~count:30
+    QCheck.(triple small_int (int_range 1 3) (int_range 1 5))
+    (fun (seed, m, n) ->
+      let rng = Rng.create seed in
+      let chains_count = 1 + Rng.int rng n in
+      let dag = Suu_dag.Gen.chains (Rng.split rng) ~n ~chains:chains_count in
+      let p =
+        Array.init m (fun _ -> Array.init n (fun _ -> Rng.uniform rng 0.2 0.9))
+      in
+      let inst = Instance.create ~p ~dag in
+      let frac = Lp_relax.solve_chains inst ~chains:(chains_of inst) in
+      match Suu_algo.Malewicz.optimal_value inst with
+      | topt -> frac.Lp_relax.t_star <= (16. *. topt) +. 1e-6
+      | exception Suu_algo.Malewicz.Too_expensive _ -> true)
+
+let prop_solutions_verify =
+  QCheck.Test.make ~name:"all LP solutions verify" ~count:50
+    QCheck.(triple small_int (int_range 1 4) (int_range 1 10))
+    (fun (seed, m, n) ->
+      let inst =
+        random_chain_instance seed ~n ~m ~chains:(1 + (abs seed mod n))
+      in
+      let frac = Lp_relax.solve_chains inst ~chains:(chains_of inst) in
+      match Lp_relax.verify inst frac with Ok () -> true | Error _ -> false)
+
+let prop_t_star_monotone_in_machines =
+  QCheck.Test.make ~name:"more machines never hurt the LP" ~count:30
+    QCheck.(pair small_int (int_range 2 8))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let dag = Suu_dag.Gen.chains (Rng.split rng) ~n ~chains:2 in
+      let row () = Array.init n (fun _ -> Rng.uniform rng 0.1 0.9) in
+      let p1 = [| row () |] in
+      let p2 = Array.append p1 [| row () |] in
+      let i1 = Instance.create ~p:p1 ~dag in
+      let i2 = Instance.create ~p:p2 ~dag in
+      let chains = chains_of i1 in
+      let t1 = (Lp_relax.solve_chains i1 ~chains).Lp_relax.t_star in
+      let t2 = (Lp_relax.solve_chains i2 ~chains).Lp_relax.t_star in
+      t2 <= t1 +. 1e-6)
+
+let () =
+  Alcotest.run "lp_relax"
+    [
+      ( "cases",
+        [
+          Alcotest.test_case "verifies" `Quick test_solution_verifies;
+          Alcotest.test_case "single job" `Quick test_single_job_t_star;
+          Alcotest.test_case "certain job" `Quick test_high_prob_still_t_one;
+          Alcotest.test_case "load bound" `Quick test_load_drives_t;
+          Alcotest.test_case "chain bound" `Quick test_chain_drives_t;
+          Alcotest.test_case "(LP2) drops windows" `Quick
+            test_lp2_no_window_constraints;
+          Alcotest.test_case "(LP2) <= (LP1)" `Quick test_lp2_le_lp1;
+          Alcotest.test_case "subset" `Quick test_subset_solving;
+          Alcotest.test_case "duplicate jobs rejected" `Quick
+            test_rejects_duplicate_jobs;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_lemma_4_2;
+          QCheck_alcotest.to_alcotest prop_solutions_verify;
+          QCheck_alcotest.to_alcotest prop_t_star_monotone_in_machines;
+        ] );
+    ]

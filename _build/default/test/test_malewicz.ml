@@ -1,0 +1,200 @@
+module Instance = Suu_core.Instance
+module Malewicz = Suu_algo.Malewicz
+module Exact = Suu_sim.Exact
+module Rng = Suu_prob.Rng
+
+let feq ?(eps = 1e-9) = Alcotest.(check (float eps)) "value"
+
+let test_single_job () =
+  let inst = Instance.independent ~p:[| [| 0.25 |] |] in
+  feq 4. (Malewicz.optimal_value inst)
+
+let test_single_job_two_machines () =
+  (* Optimal uses both machines: success 3/4, E = 4/3. *)
+  let inst = Instance.independent ~p:[| [| 0.5 |]; [| 0.5 |] |] in
+  feq (4. /. 3.) (Malewicz.optimal_value inst)
+
+let test_two_jobs_one_machine () =
+  (* Serve either first: E = 2 + 2 = 4 regardless of order. *)
+  let inst = Instance.independent ~p:[| [| 0.5; 0.5 |] |] in
+  feq 4. (Malewicz.optimal_value inst)
+
+let test_specialists_parallel () =
+  (* Each machine capable of exactly one job: optimal is the parallel
+     regimen, E[max Geom(1/2), Geom(1/2)] = 8/3. *)
+  let inst = Instance.independent ~p:[| [| 0.5; 0. |]; [| 0.; 0.5 |] |] in
+  feq (8. /. 3.) (Malewicz.optimal_value inst)
+
+let test_optimal_beats_any_regimen () =
+  let rng = Rng.create 5 in
+  let inst =
+    Instance.independent
+      ~p:(Array.init 2 (fun _ -> Array.init 3 (fun _ -> Rng.uniform rng 0.2 0.9)))
+  in
+  let opt = Malewicz.optimal_value inst in
+  (* Compare against several handcrafted regimens. *)
+  let msm unfinished = Suu_algo.Msm.assign inst ~jobs:unfinished in
+  let serial unfinished =
+    let target = ref (-1) in
+    Array.iteri (fun j u -> if u && !target < 0 then target := j) unfinished;
+    Array.make 2 !target
+  in
+  List.iter
+    (fun regimen ->
+      let v = Exact.expected_makespan_regimen inst regimen in
+      Alcotest.(check bool) "opt <= regimen" true (opt <= v +. 1e-9))
+    [ msm; serial ]
+
+let test_policy_achieves_value () =
+  let rng = Rng.create 6 in
+  let inst =
+    Instance.independent
+      ~p:(Array.init 2 (fun _ -> Array.init 3 (fun _ -> Rng.uniform rng 0.3 0.9)))
+  in
+  let r = Malewicz.optimal inst in
+  let e =
+    Suu_sim.Engine.estimate_makespan ~trials:4000 (Rng.create 17) inst
+      r.Malewicz.policy
+  in
+  let mean = e.Suu_sim.Engine.stats.Suu_prob.Stats.mean in
+  let sem = e.Suu_sim.Engine.stats.Suu_prob.Stats.sem in
+  Alcotest.(check bool) "MC matches DP value" true
+    (Float.abs (mean -. r.Malewicz.value) < Float.max 0.05 (4. *. sem))
+
+let test_precedence_chain () =
+  (* Chain of two jobs, one machine p = 1/2: E = 4 (forced serial). *)
+  let inst =
+    Instance.create
+      ~p:[| [| 0.5; 0.5 |] |]
+      ~dag:(Suu_dag.Dag.create ~n:2 [ (0, 1) ])
+  in
+  feq 4. (Malewicz.optimal_value inst)
+
+let test_precedence_helps_parallelism () =
+  (* Fork: 0 -> 1, 0 -> 2 with two machines. While 0 runs both machines
+     gang on it; optimal value is strictly better than serial-everything. *)
+  let inst =
+    Instance.create
+      ~p:[| [| 0.5; 0.5; 0.5 |]; [| 0.5; 0.5; 0.5 |] |]
+      ~dag:(Suu_dag.Dag.create ~n:3 [ (0, 1); (0, 2) ])
+  in
+  let opt = Malewicz.optimal_value inst in
+  let serial unfinished =
+    let target = ref (-1) in
+    Array.iteri (fun j u -> if u && !target < 0 then target := j) unfinished;
+    Array.make 2 !target
+  in
+  (* Serial is a valid regimen for this dag, so opt <= serial; and with
+     independent branches the optimal splits machines, so strictly less. *)
+  let serial_v = Exact.expected_makespan_regimen inst serial in
+  Alcotest.(check bool) "opt < serial" true (opt < serial_v)
+
+let test_states_gate () =
+  let inst = Instance.independent ~p:[| Array.make 10 0.5 |] in
+  Alcotest.check_raises "too many states"
+    (Malewicz.Too_expensive "more than 5 states") (fun () ->
+      ignore (Malewicz.optimal ~max_states:5 inst : Malewicz.result))
+
+let test_assignment_gate () =
+  let inst =
+    Instance.independent
+      ~p:(Array.init 6 (fun _ -> Array.make 6 0.5))
+  in
+  match Malewicz.optimal ~max_assignments_per_state:10 inst with
+  | exception Malewicz.Too_expensive _ -> ()
+  | _ -> Alcotest.fail "expected gate to trip"
+
+let test_estimate () =
+  let inst = Instance.independent ~p:[| [| 0.5; 0.5 |]; [| 0.5; 0. |] |] in
+  (* Two distinct machine classes of size 1: C(2,1) * C(1,1) = 2. *)
+  Alcotest.(check (float 1e-9)) "estimate" 2.
+    (Malewicz.assignments_per_state_estimate inst);
+  (* Four identical machines, 3 jobs: multisets C(3+4-1, 4) = 15. *)
+  let identical =
+    Instance.independent ~p:(Array.make 4 [| 0.5; 0.4; 0.3 |])
+  in
+  Alcotest.(check (float 1e-9)) "multisets" 15.
+    (Malewicz.assignments_per_state_estimate identical)
+
+let test_symmetry_preserves_optimum () =
+  (* With identical machines the multiset enumeration must still find the
+     true optimum: the returned policy's exact value equals the DP value,
+     and both match the hand-computable two-machine single-job case. *)
+  let inst = Instance.independent ~p:[| [| 0.5 |]; [| 0.5 |] |] in
+  let r = Malewicz.optimal inst in
+  feq (4. /. 3.) r.Malewicz.value;
+  let rng = Rng.create 4 in
+  let inst2 =
+    Instance.independent
+      ~p:
+        (let row = Array.init 3 (fun _ -> Rng.uniform rng 0.2 0.8) in
+         [| row; Array.copy row; Array.copy row |])
+  in
+  let r2 = Malewicz.optimal inst2 in
+  let achieved =
+    Exact.expected_makespan_regimen inst2 (fun unfinished ->
+        let decide = r2.Malewicz.policy.Suu_core.Policy.fresh () in
+        decide { Suu_core.Policy.step = 0; unfinished; eligible = unfinished })
+  in
+  feq ~eps:1e-9 r2.Malewicz.value achieved
+
+let prop_optimal_le_msm_regimen =
+  QCheck.Test.make ~name:"DP optimum <= MSM regimen (exact)" ~count:25
+    QCheck.(triple small_int (int_range 1 2) (int_range 1 4))
+    (fun (seed, m, n) ->
+      let rng = Rng.create seed in
+      let inst =
+        Instance.independent
+          ~p:(Array.init m (fun _ -> Array.init n (fun _ -> Rng.uniform rng 0.2 0.9)))
+      in
+      let opt = Malewicz.optimal_value inst in
+      let msm unfinished = Suu_algo.Msm.assign inst ~jobs:unfinished in
+      opt <= Exact.expected_makespan_regimen inst msm +. 1e-9)
+
+let prop_optimal_at_least_rate_bound =
+  QCheck.Test.make ~name:"DP optimum >= rate lower bound" ~count:25
+    QCheck.(triple small_int (int_range 1 3) (int_range 1 4))
+    (fun (seed, m, n) ->
+      let rng = Rng.create seed in
+      let inst =
+        Instance.independent
+          ~p:(Array.init m (fun _ -> Array.init n (fun _ -> Rng.uniform rng 0.1 0.9)))
+      in
+      let opt = Malewicz.optimal_value inst in
+      let bounds = Suu_algo.Bounds.compute ~with_lp:false inst in
+      opt >= bounds.Suu_algo.Bounds.rate -. 1e-9)
+
+let () =
+  Alcotest.run "malewicz"
+    [
+      ( "closed forms",
+        [
+          Alcotest.test_case "single job" `Quick test_single_job;
+          Alcotest.test_case "two machines" `Quick test_single_job_two_machines;
+          Alcotest.test_case "two jobs serial" `Quick test_two_jobs_one_machine;
+          Alcotest.test_case "specialists" `Quick test_specialists_parallel;
+          Alcotest.test_case "chain" `Quick test_precedence_chain;
+        ] );
+      ( "optimality",
+        [
+          Alcotest.test_case "beats regimens" `Quick
+            test_optimal_beats_any_regimen;
+          Alcotest.test_case "policy achieves value" `Slow
+            test_policy_achieves_value;
+          Alcotest.test_case "fork parallelism" `Quick
+            test_precedence_helps_parallelism;
+        ] );
+      ( "gates",
+        [
+          Alcotest.test_case "state gate" `Quick test_states_gate;
+          Alcotest.test_case "assignment gate" `Quick test_assignment_gate;
+          Alcotest.test_case "estimate" `Quick test_estimate;
+          Alcotest.test_case "symmetry optimum" `Quick
+            test_symmetry_preserves_optimum;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_optimal_le_msm_regimen;
+          QCheck_alcotest.to_alcotest prop_optimal_at_least_rate_bound;
+        ] );
+    ]

@@ -1,0 +1,150 @@
+module Instance = Suu_core.Instance
+module Oblivious = Suu_core.Oblivious
+module Mass = Suu_core.Mass
+
+let inst () =
+  Instance.independent ~p:[| [| 0.5; 0.2 |]; [| 0.1; 0.3 |] |]
+
+let test_combined_success () =
+  Alcotest.(check (float 1e-12)) "two attempts" (1. -. (0.5 *. 0.7))
+    (Mass.combined_success [ 0.5; 0.3 ]);
+  Alcotest.(check (float 1e-12)) "none" 0. (Mass.combined_success []);
+  Alcotest.(check (float 1e-12)) "certain" 1. (Mass.combined_success [ 1.; 0.2 ])
+
+let test_proposition_2_1 () =
+  (* For Σp <= 1: p_sum/e <= 1 - Π(1-p) <= p_sum (Proposition 2.1). *)
+  let cases =
+    [ [ 0.3; 0.2 ]; [ 0.5 ]; [ 0.1; 0.1; 0.1; 0.1 ]; [ 0.9 ]; [ 0.25; 0.75 ] ]
+  in
+  List.iter
+    (fun ps ->
+      let lower, upper = Mass.proposition_2_1_bounds ps in
+      let actual = Mass.combined_success ps in
+      Alcotest.(check bool) "lower" true (actual >= lower -. 1e-12);
+      Alcotest.(check bool) "upper" true (actual <= upper +. 1e-12))
+    cases
+
+let test_capped () =
+  Alcotest.(check (float 0.)) "capped" 1. (Mass.capped 1.7);
+  Alcotest.(check (float 0.)) "uncapped" 0.3 (Mass.capped 0.3)
+
+let test_of_oblivious () =
+  let i = inst () in
+  (* Two steps: both machines on job 0, then both on job 1. *)
+  let s = Oblivious.finite ~m:2 [| [| 0; 0 |]; [| 1; 1 |] |] in
+  let mass1 = Mass.of_oblivious i s ~steps:1 in
+  Alcotest.(check (float 1e-12)) "job0 after 1" 0.6 mass1.(0);
+  Alcotest.(check (float 1e-12)) "job1 after 1" 0. mass1.(1);
+  let mass2 = Mass.of_oblivious i s ~steps:2 in
+  Alcotest.(check (float 1e-12)) "job0 after 2" 0.6 mass2.(0);
+  Alcotest.(check (float 1e-12)) "job1 after 2" 0.5 mass2.(1)
+
+let test_of_oblivious_cycle () =
+  let i = inst () in
+  let s = Oblivious.create ~m:2 ~cycle:[| [| 0; 0 |] |] [||] in
+  let mass = Mass.of_oblivious i s ~steps:3 in
+  Alcotest.(check (float 1e-12)) "3 cycle steps" 1.8 mass.(0);
+  let capped = Mass.of_oblivious_capped i s ~steps:3 in
+  Alcotest.(check (float 1e-12)) "capped at 1" 1. capped.(0)
+
+let test_first_step_reaching () =
+  let i = inst () in
+  let s = Oblivious.create ~m:2 ~cycle:[| [| 0; 1 |] |] [||] in
+  (* Per step: job 0 gets 0.5, job 1 gets 0.3. *)
+  let first = Mass.first_step_reaching i s ~target:1.0 ~horizon:10 in
+  Alcotest.(check (option int)) "job0 at step 2" (Some 2) first.(0);
+  Alcotest.(check (option int)) "job1 at step 4" (Some 4) first.(1);
+  let missed = Mass.first_step_reaching i s ~target:1.0 ~horizon:1 in
+  Alcotest.(check (option int)) "horizon short" None missed.(0)
+
+let chain_inst () =
+  Instance.create
+    ~p:[| [| 0.5; 0.5 |] |]
+    ~dag:(Suu_dag.Dag.create ~n:2 [ (0, 1) ])
+
+let test_precedence_respecting_ok () =
+  let i = chain_inst () in
+  (* Job 0 for 2 steps (mass 1.0 >= 1/2 at step 1), then job 1. *)
+  let s = Oblivious.finite ~m:1 [| [| 0 |]; [| 0 |]; [| 1 |]; [| 1 |] |] in
+  match Mass.precedence_respecting i s ~target:0.5 ~horizon:10 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_precedence_respecting_violation () =
+  let i = chain_inst () in
+  (* Job 1 touched at step 1, before job 0 has any mass. *)
+  let s = Oblivious.finite ~m:1 [| [| 1 |]; [| 0 |]; [| 0 |]; [| 1 |] |] in
+  match Mass.precedence_respecting i s ~target:0.5 ~horizon:10 with
+  | Ok () -> Alcotest.fail "violation not caught"
+  | Error _ -> ()
+
+let test_precedence_respecting_unreached () =
+  let i = chain_inst () in
+  let s = Oblivious.finite ~m:1 [| [| 0 |] |] in
+  (* Job 1 never accumulates the target. *)
+  match Mass.precedence_respecting i s ~target:0.5 ~horizon:10 with
+  | Ok () -> Alcotest.fail "missing mass not caught"
+  | Error _ -> ()
+
+let prop_mass_monotone_in_steps =
+  QCheck.Test.make ~name:"mass monotone in steps" ~count:100
+    QCheck.(pair small_int (int_range 1 20))
+    (fun (seed, steps) ->
+      let rng = Suu_prob.Rng.create seed in
+      let n = 4 and m = 3 in
+      let i =
+        Instance.independent
+          ~p:
+            (Array.init m (fun _ ->
+                 Array.init n (fun _ -> Suu_prob.Rng.uniform rng 0.05 0.95)))
+      in
+      let prefix =
+        Array.init 10 (fun _ ->
+            Array.init m (fun _ -> Suu_prob.Rng.int rng (n + 1) - 1))
+      in
+      let s = Oblivious.finite ~m prefix in
+      let a = Mass.of_oblivious i s ~steps in
+      let b = Mass.of_oblivious i s ~steps:(steps + 3) in
+      Array.for_all2 (fun x y -> y >= x -. 1e-12) a b)
+
+let prop_proposition_2_1_random =
+  QCheck.Test.make ~name:"Proposition 2.1 on random probabilities" ~count:500
+    QCheck.(list_of_size Gen.(1 -- 8) (float_bound_inclusive 1.))
+    (fun ps ->
+      let total = List.fold_left ( +. ) 0. ps in
+      QCheck.assume (total <= 1.);
+      let lower, upper = Mass.proposition_2_1_bounds ps in
+      let actual = Mass.combined_success ps in
+      actual >= lower -. 1e-12 && actual <= upper +. 1e-12)
+
+let () =
+  Alcotest.run "mass"
+    [
+      ( "proposition 2.1",
+        [
+          Alcotest.test_case "combined success" `Quick test_combined_success;
+          Alcotest.test_case "sandwich bounds" `Quick test_proposition_2_1;
+          Alcotest.test_case "capping" `Quick test_capped;
+        ] );
+      ( "accumulation",
+        [
+          Alcotest.test_case "of_oblivious" `Quick test_of_oblivious;
+          Alcotest.test_case "with cycle" `Quick test_of_oblivious_cycle;
+          Alcotest.test_case "first step reaching" `Quick
+            test_first_step_reaching;
+        ] );
+      ( "accumass conditions",
+        [
+          Alcotest.test_case "respects precedence" `Quick
+            test_precedence_respecting_ok;
+          Alcotest.test_case "catches violations" `Quick
+            test_precedence_respecting_violation;
+          Alcotest.test_case "catches unreached mass" `Quick
+            test_precedence_respecting_unreached;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_mass_monotone_in_steps;
+          QCheck_alcotest.to_alcotest prop_proposition_2_1_random;
+        ] );
+    ]

@@ -1,0 +1,183 @@
+module Instance = Suu_core.Instance
+module Oblivious = Suu_core.Oblivious
+module Msm_ext = Suu_algo.Msm_ext
+module Rng = Suu_prob.Rng
+
+let all_jobs n = Array.make n true
+
+let random_inst seed m n =
+  let rng = Rng.create seed in
+  Instance.independent
+    ~p:(Array.init m (fun _ -> Array.init n (fun _ -> Rng.uniform rng 0.05 0.95)))
+
+let test_capacity_respected () =
+  let inst = random_inst 1 3 5 in
+  let r = Msm_ext.allocate inst ~jobs:(all_jobs 5) ~t:4 in
+  for i = 0 to 2 do
+    let load = Array.fold_left ( + ) 0 r.Msm_ext.x.(i) in
+    Alcotest.(check bool) "load <= t" true (load <= 4)
+  done
+
+let test_mass_field_consistent () =
+  let inst = random_inst 2 2 4 in
+  let r = Msm_ext.allocate inst ~jobs:(all_jobs 4) ~t:6 in
+  for j = 0 to 3 do
+    let expected = ref 0. in
+    for i = 0 to 1 do
+      expected :=
+        !expected
+        +. (Float.of_int r.Msm_ext.x.(i).(j)
+           *. Instance.prob inst ~machine:i ~job:j)
+    done;
+    Alcotest.(check (float 1e-9)) "mass matches x" !expected r.Msm_ext.mass.(j)
+  done
+
+let test_mass_capped_near_one () =
+  let inst = random_inst 3 4 3 in
+  let r = Msm_ext.allocate inst ~jobs:(all_jobs 3) ~t:100 in
+  Array.iteri
+    (fun j mj ->
+      ignore j;
+      (* Greedy stops adding once mass would exceed 1, so mass < 1 + max p. *)
+      Alcotest.(check bool) "mass < 2" true (mj < 2.))
+    r.Msm_ext.mass
+
+let test_t_zero () =
+  let inst = random_inst 4 2 3 in
+  let r = Msm_ext.allocate inst ~jobs:(all_jobs 3) ~t:0 in
+  Alcotest.(check (float 0.)) "no mass" 0. (Msm_ext.total_mass r)
+
+let test_t_one_matches_msm_shape () =
+  (* With t = 1 the allocation is a single-step assignment; its total mass
+     can differ from MSM-ALG's by tie-breaking but must also be a valid
+     1/3 approximation; here we only check the structural part. *)
+  let inst = random_inst 5 3 4 in
+  let r = Msm_ext.allocate inst ~jobs:(all_jobs 4) ~t:1 in
+  for i = 0 to 2 do
+    Alcotest.(check bool) "at most one step" true
+      (Array.fold_left ( + ) 0 r.Msm_ext.x.(i) <= 1)
+  done
+
+let test_restricted_jobs_untouched () =
+  let inst = random_inst 6 2 4 in
+  let jobs = [| true; false; true; false |] in
+  let r = Msm_ext.allocate inst ~jobs ~t:5 in
+  for i = 0 to 1 do
+    Alcotest.(check int) "job1 untouched" 0 r.Msm_ext.x.(i).(1);
+    Alcotest.(check int) "job3 untouched" 0 r.Msm_ext.x.(i).(3)
+  done
+
+let test_schedule_packs_allocation () =
+  let inst = random_inst 7 2 3 in
+  let r = Msm_ext.allocate inst ~jobs:(all_jobs 3) ~t:5 in
+  let sched = Msm_ext.to_schedule inst r in
+  (* Count (machine, job) occurrences in the schedule. *)
+  let counts = Array.make_matrix 2 3 0 in
+  for t = 0 to Oblivious.prefix_length sched - 1 do
+    Array.iteri
+      (fun i j -> if j >= 0 then counts.(i).(j) <- counts.(i).(j) + 1)
+      (Oblivious.step sched t)
+  done;
+  Alcotest.(check bool) "counts match x" true (counts = r.Msm_ext.x)
+
+let test_negative_t_rejected () =
+  let inst = random_inst 8 1 1 in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Msm_ext.allocate: negative length") (fun () ->
+      ignore (Msm_ext.allocate inst ~jobs:(all_jobs 1) ~t:(-1) : Msm_ext.result))
+
+let test_runtime_independent_of_t () =
+  (* The allocation must be computable for astronomically large t (the
+     paper notes the running time is independent of t). *)
+  let inst = random_inst 9 3 5 in
+  let r = Msm_ext.allocate inst ~jobs:(all_jobs 5) ~t:1_000_000_000 in
+  Alcotest.(check bool) "total mass near n" true (Msm_ext.total_mass r > 4.)
+
+(* Greedy total mass is NOT monotone in t (larger capacity lets early
+   high-probability pairs crowd out better combinations — confirmed by
+   counterexample search). What Lemma 3.4 does give: greedy(t') for
+   t' >= t is within 1/3 of the optimum at t', which is >= optimum at t
+   >= greedy(t). So greedy can lose at most the 1/3 factor by growing t. *)
+let prop_total_mass_near_monotone_in_t =
+  QCheck.Test.make ~name:"greedy(t+k) >= greedy(t)/3" ~count:150
+    QCheck.(triple small_int (int_range 1 4) (int_range 0 10))
+    (fun (seed, m, t) ->
+      let inst = random_inst seed m 5 in
+      let jobs = all_jobs 5 in
+      let a = Msm_ext.total_mass (Msm_ext.allocate inst ~jobs ~t) in
+      let b = Msm_ext.total_mass (Msm_ext.allocate inst ~jobs ~t:(t + 2)) in
+      b >= (a /. 3.) -. 1e-9)
+
+let prop_capacity_invariant =
+  QCheck.Test.make ~name:"machine capacity invariant" ~count:200
+    QCheck.(triple small_int (int_range 1 5) (int_range 0 12))
+    (fun (seed, m, t) ->
+      let inst = random_inst seed m 6 in
+      let r = Msm_ext.allocate inst ~jobs:(all_jobs 6) ~t in
+      Array.for_all (fun row -> Array.fold_left ( + ) 0 row <= t) r.Msm_ext.x)
+
+(* Lemma 3.4's guarantee against a genuine brute force: enumerate every
+   integral allocation with row sums <= t (tiny m, n, t only). *)
+let brute_force_opt inst ~n ~m ~t =
+  let x = Array.make_matrix m n 0 in
+  let best = ref 0. in
+  let value () =
+    let total = ref 0. in
+    for j = 0 to n - 1 do
+      let mass = ref 0. in
+      for i = 0 to m - 1 do
+        mass :=
+          !mass
+          +. (Float.of_int x.(i).(j) *. Instance.prob inst ~machine:i ~job:j)
+      done;
+      total := !total +. Float.min 1. !mass
+    done;
+    !total
+  in
+  let rec fill i j remaining =
+    if i = m then best := Float.max !best (value ())
+    else if j = n then fill (i + 1) 0 t
+    else
+      for steps = 0 to remaining do
+        x.(i).(j) <- steps;
+        fill i (j + 1) (remaining - steps);
+        x.(i).(j) <- 0
+      done
+  in
+  fill 0 0 t;
+  !best
+
+let prop_one_third_of_brute_force =
+  QCheck.Test.make ~name:"MSM-E-ALG within 1/3 of brute force" ~count:100
+    QCheck.(
+      quad small_int (int_range 1 2) (int_range 1 3) (int_range 0 3))
+    (fun (seed, m, n, t) ->
+      let inst = random_inst seed m n in
+      let greedy = Msm_ext.total_mass (Msm_ext.allocate inst ~jobs:(all_jobs n) ~t) in
+      let opt = brute_force_opt inst ~n ~m ~t in
+      greedy >= (opt /. 3.) -. 1e-9)
+
+let () =
+  Alcotest.run "msm_ext"
+    [
+      ( "cases",
+        [
+          Alcotest.test_case "capacity" `Quick test_capacity_respected;
+          Alcotest.test_case "mass consistent" `Quick test_mass_field_consistent;
+          Alcotest.test_case "mass capped" `Quick test_mass_capped_near_one;
+          Alcotest.test_case "t = 0" `Quick test_t_zero;
+          Alcotest.test_case "t = 1 shape" `Quick test_t_one_matches_msm_shape;
+          Alcotest.test_case "restricted jobs" `Quick
+            test_restricted_jobs_untouched;
+          Alcotest.test_case "schedule packing" `Quick
+            test_schedule_packs_allocation;
+          Alcotest.test_case "negative t" `Quick test_negative_t_rejected;
+          Alcotest.test_case "huge t" `Quick test_runtime_independent_of_t;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_total_mass_near_monotone_in_t;
+          QCheck_alcotest.to_alcotest prop_capacity_invariant;
+          QCheck_alcotest.to_alcotest prop_one_third_of_brute_force;
+        ] );
+    ]

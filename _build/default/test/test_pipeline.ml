@@ -1,0 +1,206 @@
+module Instance = Suu_core.Instance
+module Oblivious = Suu_core.Oblivious
+module Mass = Suu_core.Mass
+module Pipeline = Suu_algo.Pipeline
+module Rng = Suu_prob.Rng
+
+let uniform_p rng m n = Array.init m (fun _ -> Array.init n (fun _ -> Rng.uniform rng 0.1 0.9))
+
+let chain_instance seed ~n ~m ~chains =
+  let rng = Rng.create seed in
+  let dag = Suu_dag.Gen.chains (Rng.split rng) ~n ~chains in
+  Instance.create ~p:(uniform_p rng m n) ~dag
+
+let forest_instance seed ~n ~m =
+  let rng = Rng.create seed in
+  let dag = Suu_dag.Gen.polytree_forest (Rng.split rng) ~n ~trees:2 in
+  Instance.create ~p:(uniform_p rng m n) ~dag
+
+(* The pipeline's central invariant: the accumass schedule gives every job
+   mass >= 1/2 and never touches a job before its predecessors reached
+   mass 1/2 (AccuMass-C conditions). *)
+let check_accumass inst (b : Pipeline.build) =
+  let horizon = Oblivious.prefix_length b.Pipeline.accumass in
+  match
+    Mass.precedence_respecting inst b.Pipeline.accumass ~target:0.5
+      ~horizon:(horizon + 1)
+  with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_chains_accumass () =
+  let inst = chain_instance 1 ~n:10 ~m:3 ~chains:3 in
+  check_accumass inst (Suu_algo.Chains.build inst)
+
+let test_trees_accumass () =
+  let rng = Rng.create 2 in
+  let dag = Suu_dag.Gen.out_forest (Rng.split rng) ~n:12 ~trees:2 in
+  let inst = Instance.create ~p:(uniform_p rng 3 12) ~dag in
+  check_accumass inst (Suu_algo.Trees.build inst)
+
+let test_forest_accumass () =
+  let inst = forest_instance 3 ~n:12 ~m:3 in
+  check_accumass inst (Suu_algo.Forest.build inst)
+
+let test_schedule_validates () =
+  let inst = chain_instance 4 ~n:8 ~m:2 ~chains:2 in
+  let b = Suu_algo.Chains.build inst in
+  match Oblivious.validate inst b.Pipeline.schedule with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_schedule_has_fallback_cycle () =
+  let inst = chain_instance 5 ~n:6 ~m:2 ~chains:2 in
+  let b = Suu_algo.Chains.build inst in
+  Alcotest.(check int) "cycle = n" 6 (Oblivious.cycle_length b.Pipeline.schedule)
+
+let test_execution_completes () =
+  let inst = chain_instance 6 ~n:10 ~m:4 ~chains:2 in
+  let b = Suu_algo.Chains.build inst in
+  let policy = Suu_core.Policy.of_oblivious "suu-c" b.Pipeline.schedule in
+  let o = Suu_sim.Engine.run (Rng.create 9) inst policy in
+  Alcotest.(check bool) "completed" true o.Suu_sim.Engine.completed
+
+let test_diagnostics_sanity () =
+  let inst = chain_instance 7 ~n:9 ~m:3 ~chains:3 in
+  let b = Suu_algo.Chains.build inst in
+  let d = b.Pipeline.diagnostics in
+  Alcotest.(check int) "one block" 1 d.Pipeline.blocks;
+  Alcotest.(check bool) "sigma >= 1" true (d.Pipeline.sigma >= 1);
+  Alcotest.(check bool) "core >= pseudo length" true
+    (d.Pipeline.core_length >= d.Pipeline.pseudo_length);
+  Alcotest.(check bool) "t* positive" true
+    (List.for_all (fun t -> t > 0.) d.Pipeline.lp_t_star);
+  Alcotest.(check bool) "replicated length" true
+    (Oblivious.prefix_length b.Pipeline.schedule
+    = d.Pipeline.core_length * d.Pipeline.sigma)
+
+let test_rejects_incomplete_blocks () =
+  let inst = chain_instance 8 ~n:4 ~m:2 ~chains:2 in
+  Alcotest.check_raises "missing jobs"
+    (Invalid_argument "Pipeline: blocks do not cover all jobs") (fun () ->
+      ignore (Pipeline.build inst ~blocks:[ [ [ 0 ] ] ] : Pipeline.build))
+
+let test_rejects_backwards_blocks () =
+  let dag = Suu_dag.Dag.create ~n:2 [ (0, 1) ] in
+  let inst = Instance.create ~p:[| [| 0.5; 0.5 |] |] ~dag in
+  Alcotest.check_raises "backwards"
+    (Invalid_argument "Pipeline: precedence edge crosses blocks backwards")
+    (fun () ->
+      ignore
+        (Pipeline.build inst ~blocks:[ [ [ 1 ] ]; [ [ 0 ] ] ] : Pipeline.build))
+
+let test_rejects_non_edge_chain () =
+  let dag = Suu_dag.Dag.create ~n:3 [ (0, 1) ] in
+  let inst = Instance.create ~p:[| [| 0.5; 0.5; 0.5 |] |] ~dag in
+  Alcotest.check_raises "non-edge"
+    (Invalid_argument "Pipeline: chain step is not a dag edge") (fun () ->
+      ignore
+        (Pipeline.build inst ~blocks:[ [ [ 0; 2 ]; [ 1 ] ] ] : Pipeline.build))
+
+let test_chains_requires_chain_dag () =
+  let inst =
+    Instance.create
+      ~p:[| Array.make 4 0.5 |]
+      ~dag:(Suu_dag.Gen.binary_out_tree ~n:4)
+  in
+  Alcotest.check_raises "tree rejected"
+    (Invalid_argument "Classify.chain_partition: dag is not a chain collection")
+    (fun () -> ignore (Suu_algo.Chains.build inst : Pipeline.build))
+
+let test_trees_requires_tree_dag () =
+  let inst = forest_instance 10 ~n:8 ~m:2 in
+  (* polytree_forest with both orientations is usually neither in nor out
+     trees; if it happens to be, skip. *)
+  let dag = Instance.dag inst in
+  if
+    (not (Suu_dag.Classify.matches dag Suu_dag.Classify.Out_trees))
+    && not (Suu_dag.Classify.matches dag Suu_dag.Classify.In_trees)
+  then
+    Alcotest.check_raises "forest rejected by Trees"
+      (Invalid_argument "Trees.build: dag is not a collection of out- or in-trees")
+      (fun () -> ignore (Suu_algo.Trees.build inst : Pipeline.build))
+
+let test_lp_lower_bound_positive () =
+  let inst = chain_instance 11 ~n:6 ~m:2 ~chains:2 in
+  let b = Suu_algo.Chains.build inst in
+  Alcotest.(check bool) "positive" true (Pipeline.lp_lower_bound b > 0.)
+
+let test_paper_params_work () =
+  let inst = chain_instance 12 ~n:6 ~m:2 ~chains:2 in
+  let b = Suu_algo.Chains.build ~params:Pipeline.paper_params inst in
+  check_accumass inst b
+
+let prop_accumass_invariant =
+  QCheck.Test.make ~name:"pipeline accumass invariant (all dag classes)"
+    ~count:25
+    QCheck.(triple small_int (int_range 1 4) (int_range 2 12))
+    (fun (seed, m, n) ->
+      let rng = Rng.create seed in
+      let dag =
+        match abs seed mod 3 with
+        | 0 -> Suu_dag.Gen.chains (Rng.split rng) ~n ~chains:(1 + (n / 3))
+        | 1 -> Suu_dag.Gen.out_forest (Rng.split rng) ~n ~trees:(min 2 n)
+        | _ -> Suu_dag.Gen.polytree_forest (Rng.split rng) ~n ~trees:(min 2 n)
+      in
+      let inst = Instance.create ~p:(uniform_p rng m n) ~dag in
+      let b =
+        match Suu_dag.Classify.classify dag with
+        | Suu_dag.Classify.Independent | Suu_dag.Classify.Chains ->
+            Suu_algo.Chains.build inst
+        | Suu_dag.Classify.Out_trees | Suu_dag.Classify.In_trees ->
+            Suu_algo.Trees.build inst
+        | _ -> Suu_algo.Forest.build inst
+      in
+      let horizon = Oblivious.prefix_length b.Pipeline.accumass in
+      match
+        Mass.precedence_respecting inst b.Pipeline.accumass ~target:0.5
+          ~horizon:(horizon + 1)
+      with
+      | Ok () -> true
+      | Error _ -> false)
+
+let prop_executions_complete =
+  QCheck.Test.make ~name:"pipeline schedules complete" ~count:15
+    QCheck.(pair small_int (int_range 2 10))
+    (fun (seed, n) ->
+      let inst = chain_instance seed ~n ~m:3 ~chains:(1 + (n / 4)) in
+      let b = Suu_algo.Chains.build inst in
+      let policy = Suu_core.Policy.of_oblivious "p" b.Pipeline.schedule in
+      (Suu_sim.Engine.run (Rng.create (seed * 7)) inst policy)
+        .Suu_sim.Engine.completed)
+
+let () =
+  Alcotest.run "pipeline"
+    [
+      ( "invariants",
+        [
+          Alcotest.test_case "chains accumass" `Quick test_chains_accumass;
+          Alcotest.test_case "trees accumass" `Quick test_trees_accumass;
+          Alcotest.test_case "forest accumass" `Quick test_forest_accumass;
+          Alcotest.test_case "schedule validates" `Quick test_schedule_validates;
+          Alcotest.test_case "fallback cycle" `Quick
+            test_schedule_has_fallback_cycle;
+          Alcotest.test_case "executions complete" `Quick test_execution_completes;
+          Alcotest.test_case "diagnostics" `Quick test_diagnostics_sanity;
+          Alcotest.test_case "paper params" `Quick test_paper_params_work;
+          Alcotest.test_case "lp lower bound" `Quick test_lp_lower_bound_positive;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "incomplete blocks" `Quick
+            test_rejects_incomplete_blocks;
+          Alcotest.test_case "backwards blocks" `Quick
+            test_rejects_backwards_blocks;
+          Alcotest.test_case "non-edge chain" `Quick test_rejects_non_edge_chain;
+          Alcotest.test_case "chains needs chains" `Quick
+            test_chains_requires_chain_dag;
+          Alcotest.test_case "trees needs trees" `Quick
+            test_trees_requires_tree_dag;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_accumass_invariant;
+          QCheck_alcotest.to_alcotest prop_executions_complete;
+        ] );
+    ]

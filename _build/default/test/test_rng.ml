@@ -1,0 +1,189 @@
+module Rng = Suu_prob.Rng
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let distinct = ref false in
+  for _ = 1 to 10 do
+    if Rng.int64 a <> Rng.int64 b then distinct := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !distinct
+
+let test_copy_independent () =
+  let a = Rng.create 7 in
+  ignore (Rng.int64 a : int64);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.int64 a) (Rng.int64 b)
+
+let test_int_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_int_bad_bound () =
+  let rng = Rng.create 3 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0 : int))
+
+let test_int_uniformity () =
+  let rng = Rng.create 5 in
+  let buckets = Array.make 10 0 in
+  let samples = 100_000 in
+  for _ = 1 to samples do
+    let v = Rng.int rng 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun k c ->
+      let expected = samples / 10 in
+      if abs (c - expected) > expected / 10 then
+        Alcotest.failf "bucket %d count %d too far from %d" k c expected)
+    buckets
+
+let test_float_range () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (v >= 0. && v < 1.)
+  done
+
+let test_float_mean () =
+  let rng = Rng.create 13 in
+  let total = ref 0. in
+  let samples = 100_000 in
+  for _ = 1 to samples do
+    total := !total +. Rng.float rng
+  done;
+  let mean = !total /. Float.of_int samples in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.01)
+
+let test_uniform_range () =
+  let rng = Rng.create 17 in
+  for _ = 1 to 1000 do
+    let v = Rng.uniform rng 2.5 3.5 in
+    Alcotest.(check bool) "in [2.5,3.5)" true (v >= 2.5 && v < 3.5)
+  done
+
+let test_bernoulli_extremes () =
+  let rng = Rng.create 19 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never" false (Rng.bernoulli rng 0.);
+    Alcotest.(check bool) "p=1 always" true (Rng.bernoulli rng 1.);
+    Alcotest.(check bool) "p<0 never" false (Rng.bernoulli rng (-0.5));
+    Alcotest.(check bool) "p>1 always" true (Rng.bernoulli rng 1.5)
+  done
+
+let test_bernoulli_mean () =
+  let rng = Rng.create 23 in
+  let hits = ref 0 in
+  let samples = 100_000 in
+  for _ = 1 to samples do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let mean = Float.of_int !hits /. Float.of_int samples in
+  Alcotest.(check bool) "mean near 0.3" true (Float.abs (mean -. 0.3) < 0.01)
+
+let test_geometric_mean () =
+  let rng = Rng.create 29 in
+  let total = ref 0 in
+  let samples = 50_000 in
+  for _ = 1 to samples do
+    total := !total + Rng.geometric rng 0.25
+  done;
+  let mean = Float.of_int !total /. Float.of_int samples in
+  (* E[Geom(1/4)] = 4. *)
+  Alcotest.(check bool) "mean near 4" true (Float.abs (mean -. 4.) < 0.1)
+
+let test_geometric_support () =
+  let rng = Rng.create 31 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "at least 1" true (Rng.geometric rng 0.9 >= 1)
+  done;
+  Alcotest.(check int) "p=1 deterministic" 1 (Rng.geometric rng 1.)
+
+let test_exponential_mean () =
+  let rng = Rng.create 37 in
+  let total = ref 0. in
+  let samples = 50_000 in
+  for _ = 1 to samples do
+    total := !total +. Rng.exponential rng 2.
+  done;
+  let mean = !total /. Float.of_int samples in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.02)
+
+let test_pick () =
+  let rng = Rng.create 41 in
+  let arr = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "member" true (Array.mem (Rng.pick rng arr) arr)
+  done
+
+let test_split_streams_differ () =
+  let a = Rng.create 43 in
+  let b = Rng.split a in
+  let same = ref 0 in
+  for _ = 1 to 20 do
+    if Rng.int64 a = Rng.int64 b then incr same
+  done;
+  Alcotest.(check int) "split streams differ" 0 !same
+
+let prop_permutation =
+  QCheck.Test.make ~name:"permutation is a permutation" ~count:200
+    QCheck.(pair small_int small_int)
+    (fun (seed, k) ->
+      let n = 1 + (k mod 50) in
+      let p = Rng.permutation (Rng.create seed) n in
+      let seen = Array.make n false in
+      Array.iter (fun v -> seen.(v) <- true) p;
+      Array.length p = n && Array.for_all (fun b -> b) seen)
+
+let prop_shuffle_preserves_multiset =
+  QCheck.Test.make ~name:"shuffle preserves multiset" ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, l) ->
+      let a = Array.of_list l in
+      let b = Array.copy a in
+      Rng.shuffle (Rng.create seed) b;
+      List.sort compare (Array.to_list a) = List.sort compare (Array.to_list b))
+
+let () =
+  ignore check_float;
+  Alcotest.run "rng"
+    [
+      ( "splitmix64",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_copy_independent;
+          Alcotest.test_case "split" `Quick test_split_streams_differ;
+        ] );
+      ( "distributions",
+        [
+          Alcotest.test_case "int range" `Quick test_int_range;
+          Alcotest.test_case "int bad bound" `Quick test_int_bad_bound;
+          Alcotest.test_case "int uniformity" `Slow test_int_uniformity;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "float mean" `Slow test_float_mean;
+          Alcotest.test_case "uniform range" `Quick test_uniform_range;
+          Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+          Alcotest.test_case "bernoulli mean" `Slow test_bernoulli_mean;
+          Alcotest.test_case "geometric mean" `Slow test_geometric_mean;
+          Alcotest.test_case "geometric support" `Quick test_geometric_support;
+          Alcotest.test_case "exponential mean" `Slow test_exponential_mean;
+          Alcotest.test_case "pick" `Quick test_pick;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_permutation;
+          QCheck_alcotest.to_alcotest prop_shuffle_preserves_multiset;
+        ] );
+    ]

@@ -1,0 +1,206 @@
+module Instance = Suu_core.Instance
+module Pseudo = Suu_core.Pseudo
+module Lp_relax = Suu_algo.Lp_relax
+module Rounding = Suu_algo.Rounding
+module Rng = Suu_prob.Rng
+
+let chain_instance seed ~n ~m ~chains ~lo ~hi =
+  let rng = Rng.create seed in
+  let dag = Suu_dag.Gen.chains (Rng.split rng) ~n ~chains in
+  let p = Array.init m (fun _ -> Array.init n (fun _ -> Rng.uniform rng lo hi)) in
+  Instance.create ~p ~dag
+
+let solve_and_round ?(constants = `Tuned) inst =
+  let chains = Suu_dag.Classify.chain_partition (Instance.dag inst) in
+  let frac = Lp_relax.solve_chains inst ~chains in
+  (frac, Rounding.round ~constants inst frac)
+
+let test_mass_target_reached () =
+  let inst = chain_instance 1 ~n:8 ~m:3 ~chains:2 ~lo:0.1 ~hi:0.9 in
+  let _, integral = solve_and_round inst in
+  match Rounding.verify inst integral with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_windows_dominate () =
+  let inst = chain_instance 2 ~n:6 ~m:2 ~chains:3 ~lo:0.2 ~hi:0.8 in
+  let _, integral = solve_and_round inst in
+  List.iter
+    (fun j ->
+      Alcotest.(check bool) "window >= 1" true (integral.Rounding.window.(j) >= 1);
+      for i = 0 to 1 do
+        Alcotest.(check bool) "x <= window" true
+          (integral.Rounding.x.(i).(j) <= integral.Rounding.window.(j))
+      done)
+    integral.Rounding.jobs
+
+let test_case_a_round_up () =
+  (* A long chain with one machine forces t* >= n, exercising case A. *)
+  let dag = Suu_dag.Gen.uniform_chains ~n:5 ~chains:1 in
+  let inst = Instance.create ~p:[| Array.make 5 0.5 |] ~dag in
+  let frac, integral = solve_and_round inst in
+  Alcotest.(check bool) "case A applies" true
+    (frac.Lp_relax.t_star >= 5. -. 1e-6);
+  (* Rounding up x = 1 per job: every job keeps exactly one step. *)
+  List.iter
+    (fun j ->
+      Alcotest.(check bool) "mass >= 1/2" true
+        (integral.Rounding.mass.(j) >= 0.5 -. 1e-9))
+    integral.Rounding.jobs
+
+let test_flow_path_exercised () =
+  (* Many machines with spread-out probabilities and few jobs per chain
+     push t* below n and the small parts through the flow network. *)
+  let w = Suu_workloads.Workload.adversarial_spread ~n:12 ~m:8 in
+  let inst = w.Suu_workloads.Workload.instance in
+  let chains = List.init 12 (fun j -> [ j ]) in
+  let frac = Lp_relax.solve_chains inst ~chains in
+  let integral = Rounding.round inst frac in
+  (match Rounding.verify inst integral with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "flow used" true (integral.Rounding.flow_jobs >= 0)
+
+let test_paper_constants_also_valid () =
+  let inst = chain_instance 3 ~n:10 ~m:4 ~chains:2 ~lo:0.05 ~hi:0.6 in
+  let _, integral = solve_and_round ~constants:`Paper inst in
+  match Rounding.verify inst integral with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_chain_pseudo_layout () =
+  let inst = chain_instance 4 ~n:6 ~m:2 ~chains:2 ~lo:0.3 ~hi:0.9 in
+  let _, integral = solve_and_round inst in
+  let pseudos = Rounding.chain_pseudos inst integral in
+  Alcotest.(check int) "one pseudo per chain" 2 (List.length pseudos);
+  List.iter2
+    (fun pseudo chain ->
+      let expected =
+        List.fold_left (fun acc j -> acc + integral.Rounding.window.(j)) 0 chain
+      in
+      Alcotest.(check int) "length = sum of windows" expected (Pseudo.length pseudo))
+    pseudos integral.Rounding.chains
+
+let test_chain_pseudo_precedence () =
+  (* Within a chain pseudo-schedule, a job's machines appear only after all
+     its predecessors' windows. *)
+  let inst = chain_instance 5 ~n:5 ~m:3 ~chains:1 ~lo:0.2 ~hi:0.9 in
+  let _, integral = solve_and_round inst in
+  let pseudo = List.hd (Rounding.chain_pseudos inst integral) in
+  let chain = List.hd integral.Rounding.chains in
+  let first_seen = Hashtbl.create 5 and last_seen = Hashtbl.create 5 in
+  Array.iteri
+    (fun t step ->
+      Array.iter
+        (List.iter (fun j ->
+             if not (Hashtbl.mem first_seen j) then Hashtbl.add first_seen j t;
+             Hashtbl.replace last_seen j t))
+        step)
+    pseudo.Pseudo.steps;
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        (match (Hashtbl.find_opt last_seen a, Hashtbl.find_opt first_seen b) with
+        | Some la, Some fb ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%d's window before %d's" a b)
+              true (la < fb)
+        | _ -> Alcotest.fail "job missing from pseudo-schedule");
+        check rest
+    | _ -> ()
+  in
+  check chain
+
+let load_of integral m =
+  let loads = Array.make m 0 in
+  List.iter
+    (fun j ->
+      for i = 0 to m - 1 do
+        loads.(i) <- loads.(i) + integral.Rounding.x.(i).(j)
+      done)
+    integral.Rounding.jobs;
+  Array.fold_left max 0 loads
+
+let test_randomized_reaches_target () =
+  let inst = chain_instance 6 ~n:8 ~m:3 ~chains:2 ~lo:0.1 ~hi:0.9 in
+  let chains = Suu_dag.Classify.chain_partition (Instance.dag inst) in
+  let frac = Lp_relax.solve_chains inst ~chains in
+  let integral = Rounding.randomized (Rng.create 42) inst frac in
+  match Rounding.verify inst integral with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_randomized_deterministic_per_seed () =
+  let inst = chain_instance 7 ~n:6 ~m:2 ~chains:2 ~lo:0.2 ~hi:0.8 in
+  let chains = Suu_dag.Classify.chain_partition (Instance.dag inst) in
+  let frac = Lp_relax.solve_chains inst ~chains in
+  let a = Rounding.randomized (Rng.create 9) inst frac in
+  let b = Rounding.randomized (Rng.create 9) inst frac in
+  Alcotest.(check bool) "same allocation" true (a.Rounding.x = b.Rounding.x)
+
+let prop_randomized_sound =
+  QCheck.Test.make ~name:"randomized rounding reaches mass 1/2" ~count:40
+    QCheck.(triple small_int (int_range 1 4) (int_range 1 10))
+    (fun (seed, m, n) ->
+      let inst =
+        chain_instance seed ~n ~m ~chains:(1 + (abs seed mod n)) ~lo:0.05
+          ~hi:0.95
+      in
+      let chains = Suu_dag.Classify.chain_partition (Instance.dag inst) in
+      let frac = Lp_relax.solve_chains inst ~chains in
+      let integral = Rounding.randomized (Rng.create (seed + 1)) inst frac in
+      match Rounding.verify inst integral with Ok () -> true | Error _ -> false)
+
+let prop_rounding_sound =
+  QCheck.Test.make ~name:"rounding always reaches mass 1/2" ~count:40
+    QCheck.(triple small_int (int_range 1 5) (int_range 1 12))
+    (fun (seed, m, n) ->
+      let inst =
+        chain_instance seed ~n ~m
+          ~chains:(1 + (abs seed mod n))
+          ~lo:0.05 ~hi:0.95
+      in
+      let _, integral = solve_and_round inst in
+      match Rounding.verify inst integral with Ok () -> true | Error _ -> false)
+
+let prop_load_polylog_blowup =
+  (* Engineering regression guard: the max machine load of the integral
+     solution stays within a generous polylog factor of t*. *)
+  QCheck.Test.make ~name:"load <= C log(m) t* (generous C)" ~count:40
+    QCheck.(triple small_int (int_range 1 6) (int_range 2 12))
+    (fun (seed, m, n) ->
+      let inst = chain_instance seed ~n ~m ~chains:2 ~lo:0.1 ~hi:0.9 in
+      let frac, integral = solve_and_round inst in
+      let load = load_of integral m in
+      let logm = Float.log (Float.of_int (8 * m)) /. Float.log 2. in
+      Float.of_int load
+      <= 64. *. (logm +. 1.) *. (frac.Lp_relax.t_star +. 1.))
+
+let () =
+  Alcotest.run "rounding"
+    [
+      ( "cases",
+        [
+          Alcotest.test_case "mass target" `Quick test_mass_target_reached;
+          Alcotest.test_case "windows dominate" `Quick test_windows_dominate;
+          Alcotest.test_case "case A (t >= n)" `Quick test_case_a_round_up;
+          Alcotest.test_case "flow path" `Quick test_flow_path_exercised;
+          Alcotest.test_case "paper constants" `Quick
+            test_paper_constants_also_valid;
+          Alcotest.test_case "pseudo layout" `Quick test_chain_pseudo_layout;
+          Alcotest.test_case "pseudo precedence" `Quick
+            test_chain_pseudo_precedence;
+        ] );
+      ( "randomized",
+        [
+          Alcotest.test_case "reaches target" `Quick
+            test_randomized_reaches_target;
+          Alcotest.test_case "seed-deterministic" `Quick
+            test_randomized_deterministic_per_seed;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_rounding_sound;
+          QCheck_alcotest.to_alcotest prop_load_polylog_blowup;
+          QCheck_alcotest.to_alcotest prop_randomized_sound;
+        ] );
+    ]

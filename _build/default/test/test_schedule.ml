@@ -1,0 +1,258 @@
+(* Assignment, Oblivious and Pseudo schedule semantics. *)
+
+module Instance = Suu_core.Instance
+module Assignment = Suu_core.Assignment
+module Oblivious = Suu_core.Oblivious
+module Pseudo = Suu_core.Pseudo
+
+let inst2x3 () =
+  Instance.independent ~p:[| [| 0.5; 0.2; 0.3 |]; [| 0.1; 0.8; 0.4 |] |]
+
+(* --- Assignment --- *)
+
+let test_assignment_of_pairs () =
+  let a = Assignment.of_pairs ~m:3 [ (0, 2); (2, 1) ] in
+  Alcotest.(check (array int)) "assignment" [| 2; -1; 1 |] a
+
+let test_assignment_double_booking () =
+  Alcotest.check_raises "double"
+    (Invalid_argument "Assignment.of_pairs: machine assigned twice") (fun () ->
+      ignore (Assignment.of_pairs ~m:2 [ (0, 1); (0, 2) ] : Assignment.t))
+
+let test_assignment_validate () =
+  (match Assignment.validate [| 0; -1 |] ~n:2 ~m:2 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Assignment.validate [| 5 |] ~n:2 ~m:1 with
+  | Ok () -> Alcotest.fail "bad job accepted"
+  | Error _ -> ());
+  match Assignment.validate [| 0 |] ~n:2 ~m:2 with
+  | Ok () -> Alcotest.fail "bad length accepted"
+  | Error _ -> ()
+
+let test_assignment_jobs_machines () =
+  let a = [| 1; 1; -1; 0 |] in
+  Alcotest.(check (list int)) "jobs" [ 0; 1 ] (Assignment.jobs_assigned a);
+  Alcotest.(check (list int)) "machines on 1" [ 0; 1 ] (Assignment.machines_on a ~job:1)
+
+let test_assignment_mass () =
+  let inst = inst2x3 () in
+  let a = [| 1; 1 |] in
+  let mass = Assignment.mass_added inst a in
+  Alcotest.(check (float 1e-12)) "job1 mass" 1.0 mass.(1);
+  Alcotest.(check (float 1e-12)) "job0 mass" 0. mass.(0);
+  Alcotest.(check (float 1e-12)) "success" (1. -. (0.8 *. 0.2))
+    (Assignment.success_prob inst a ~job:1)
+
+(* --- Oblivious --- *)
+
+let test_oblivious_step_and_cycle () =
+  let s =
+    Oblivious.create ~m:1 ~cycle:[| [| 2 |]; [| 3 |] |] [| [| 0 |]; [| 1 |] |]
+  in
+  let job t = (Oblivious.step s t).(0) in
+  Alcotest.(check int) "t0" 0 (job 0);
+  Alcotest.(check int) "t1" 1 (job 1);
+  Alcotest.(check int) "t2" 2 (job 2);
+  Alcotest.(check int) "t3" 3 (job 3);
+  Alcotest.(check int) "t4 wraps" 2 (job 4)
+
+let test_oblivious_idle_after_prefix () =
+  let s = Oblivious.finite ~m:2 [| [| 0; 1 |] |] in
+  Alcotest.(check (array int)) "idle" [| -1; -1 |] (Oblivious.step s 5)
+
+let test_oblivious_append () =
+  let a = Oblivious.finite ~m:1 [| [| 0 |] |] in
+  let b = Oblivious.create ~m:1 ~cycle:[| [| 9 |] |] [| [| 1 |] |] in
+  let c = Oblivious.append a b in
+  Alcotest.(check int) "prefix len" 2 (Oblivious.prefix_length c);
+  Alcotest.(check int) "first" 0 (Oblivious.step c 0).(0);
+  Alcotest.(check int) "second" 1 (Oblivious.step c 1).(0);
+  Alcotest.(check int) "cycle" 9 (Oblivious.step c 7).(0)
+
+let test_oblivious_replicate_steps () =
+  let s = Oblivious.finite ~m:1 [| [| 0 |]; [| 1 |] |] in
+  let r = Oblivious.replicate_steps s 3 in
+  Alcotest.(check int) "length" 6 (Oblivious.prefix_length r);
+  let jobs = List.init 6 (fun t -> (Oblivious.step r t).(0)) in
+  Alcotest.(check (list int)) "pattern" [ 0; 0; 0; 1; 1; 1 ] jobs
+
+let test_oblivious_repeat_prefix () =
+  let s = Oblivious.finite ~m:1 [| [| 0 |]; [| 1 |] |] in
+  let r = Oblivious.repeat_prefix s 2 in
+  let jobs = List.init 4 (fun t -> (Oblivious.step r t).(0)) in
+  Alcotest.(check (list int)) "pattern" [ 0; 1; 0; 1 ] jobs
+
+let test_oblivious_of_matrix () =
+  (* machine 0: 2 steps on job 0, 1 on job 1; machine 1: 1 step on job 2. *)
+  let s = Oblivious.of_matrix ~m:2 ~n:3 [| [| 2; 1; 0 |]; [| 0; 0; 1 |] |] in
+  Alcotest.(check int) "length" 3 (Oblivious.prefix_length s);
+  Alcotest.(check (array int)) "t0" [| 0; 2 |] (Oblivious.step s 0);
+  Alcotest.(check (array int)) "t1" [| 0; -1 |] (Oblivious.step s 1);
+  Alcotest.(check (array int)) "t2" [| 1; -1 |] (Oblivious.step s 2);
+  Alcotest.(check (array int)) "loads" [| 3; 1 |] (Oblivious.load s)
+
+let test_oblivious_cycle_all_jobs () =
+  let inst =
+    Instance.create
+      ~p:[| [| 0.5; 0.5; 0.5 |] |]
+      ~dag:(Suu_dag.Dag.create ~n:3 [ (2, 0) ])
+  in
+  let s = Oblivious.cycle_all_jobs inst in
+  Alcotest.(check int) "cycle length" 3 (Oblivious.cycle_length s);
+  (* Topological: job 2 before job 0. *)
+  let first = (Oblivious.step s 0).(0) in
+  let second = (Oblivious.step s 1).(0) in
+  let third = (Oblivious.step s 2).(0) in
+  Alcotest.(check (list int)) "topo cycle" [ 1; 2; 0 ]
+    [ first; second; third ]
+
+let test_oblivious_validate () =
+  let inst = inst2x3 () in
+  let good = Oblivious.finite ~m:2 [| [| 0; 1 |] |] in
+  (match Oblivious.validate inst good with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let bad = Oblivious.finite ~m:2 [| [| 7; 1 |] |] in
+  match Oblivious.validate inst bad with
+  | Ok () -> Alcotest.fail "accepted bad job"
+  | Error _ -> ()
+
+(* --- Pseudo --- *)
+
+let test_pseudo_of_windows () =
+  let p =
+    Pseudo.of_windows ~m:2 ~length:4
+      [ (0, 0, 0, 2); (1, 0, 0, 1); (0, 1, 2, 2) ]
+  in
+  Alcotest.(check int) "length" 4 (Pseudo.length p);
+  Alcotest.(check int) "load" 4 (Pseudo.load p);
+  Alcotest.(check int) "congestion" 1 (Pseudo.max_congestion p);
+  Alcotest.(check (array int)) "machine loads" [| 4; 1 |] (Pseudo.machine_loads p)
+
+let test_pseudo_window_bounds () =
+  Alcotest.check_raises "overflow"
+    (Invalid_argument "Pseudo.of_windows: window exceeds schedule length")
+    (fun () ->
+      ignore (Pseudo.of_windows ~m:1 ~length:2 [ (0, 0, 1, 2) ] : Pseudo.t))
+
+let test_pseudo_shift_overlay () =
+  let a = Pseudo.of_windows ~m:1 ~length:1 [ (0, 0, 0, 1) ] in
+  let b = Pseudo.of_windows ~m:1 ~length:1 [ (0, 1, 0, 1) ] in
+  let overlaid = Pseudo.overlay [ a; b ] in
+  Alcotest.(check int) "congestion 2" 2 (Pseudo.max_congestion overlaid);
+  let shifted = Pseudo.overlay [ a; Pseudo.shift b 1 ] in
+  Alcotest.(check int) "congestion 1 after shift" 1 (Pseudo.max_congestion shifted);
+  Alcotest.(check int) "length grows" 2 (Pseudo.length shifted)
+
+let test_pseudo_flatten () =
+  let a = Pseudo.of_windows ~m:1 ~length:2 [ (0, 0, 0, 2) ] in
+  let b = Pseudo.of_windows ~m:1 ~length:1 [ (0, 1, 0, 1) ] in
+  let overlaid = Pseudo.overlay [ a; b ] in
+  let flat = Pseudo.flatten overlaid in
+  (* Step 0 has two jobs on machine 0 -> expands to 2 steps; step 1 has
+     one -> total 3 steps, each machine one job per step. *)
+  Alcotest.(check int) "flattened length" 3 (Oblivious.prefix_length flat);
+  let inst = inst2x3 () in
+  (* Mass is preserved by flattening. *)
+  let before = Pseudo.jobs_mass inst overlaid in
+  let after =
+    Suu_core.Mass.of_oblivious inst flat ~steps:(Oblivious.prefix_length flat)
+  in
+  Alcotest.(check (float 1e-12)) "job0 mass" before.(0) after.(0);
+  Alcotest.(check (float 1e-12)) "job1 mass" before.(1) after.(1)
+
+let test_pseudo_append () =
+  let a = Pseudo.of_windows ~m:1 ~length:1 [ (0, 0, 0, 1) ] in
+  let b = Pseudo.of_windows ~m:1 ~length:2 [ (0, 1, 0, 2) ] in
+  Alcotest.(check int) "appended" 3 (Pseudo.length (Pseudo.append a b))
+
+let prop_flatten_preserves_mass =
+  QCheck.Test.make ~name:"flatten preserves every job's mass" ~count:100
+    QCheck.(pair small_int (int_range 1 6))
+    (fun (seed, m) ->
+      let rng = Suu_prob.Rng.create seed in
+      let n = 5 in
+      let inst =
+        Instance.independent
+          ~p:(Array.init m (fun _ -> Array.init n (fun _ -> Suu_prob.Rng.uniform rng 0.05 0.95)))
+      in
+      let len = 6 in
+      let units = ref [] in
+      for i = 0 to m - 1 do
+        for _ = 1 to 3 do
+          let j = Suu_prob.Rng.int rng n in
+          let start = Suu_prob.Rng.int rng len in
+          let count = 1 + Suu_prob.Rng.int rng (len - start) in
+          units := (i, j, start, count) :: !units
+        done
+      done;
+      let p = Pseudo.of_windows ~m ~length:len !units in
+      let flat = Pseudo.flatten p in
+      let before = Pseudo.jobs_mass inst p in
+      let after =
+        Suu_core.Mass.of_oblivious inst flat
+          ~steps:(Oblivious.prefix_length flat)
+      in
+      Array.for_all2 (fun x y -> Float.abs (x -. y) < 1e-9) before after)
+
+let prop_flatten_length_bound =
+  QCheck.Test.make ~name:"flatten length <= congestion x length (and >= length)"
+    ~count:100
+    QCheck.(pair small_int (int_range 1 5))
+    (fun (seed, m) ->
+      let rng = Suu_prob.Rng.create seed in
+      let len = 1 + Suu_prob.Rng.int rng 8 in
+      let units = ref [] in
+      for i = 0 to m - 1 do
+        for _ = 1 to 4 do
+          let start = Suu_prob.Rng.int rng len in
+          let count = 1 + Suu_prob.Rng.int rng (len - start) in
+          units := (i, Suu_prob.Rng.int rng 4, start, count) :: !units
+        done
+      done;
+      let p = Pseudo.of_windows ~m ~length:len !units in
+      let flat_len = Oblivious.prefix_length (Pseudo.flatten p) in
+      flat_len >= Pseudo.length p
+      && flat_len <= max 1 (Pseudo.max_congestion p) * Pseudo.length p)
+
+let () =
+  Alcotest.run "schedule"
+    [
+      ( "assignment",
+        [
+          Alcotest.test_case "of_pairs" `Quick test_assignment_of_pairs;
+          Alcotest.test_case "double booking" `Quick
+            test_assignment_double_booking;
+          Alcotest.test_case "validate" `Quick test_assignment_validate;
+          Alcotest.test_case "jobs/machines" `Quick test_assignment_jobs_machines;
+          Alcotest.test_case "mass & success" `Quick test_assignment_mass;
+        ] );
+      ( "oblivious",
+        [
+          Alcotest.test_case "step & cycle" `Quick test_oblivious_step_and_cycle;
+          Alcotest.test_case "idle after prefix" `Quick
+            test_oblivious_idle_after_prefix;
+          Alcotest.test_case "append" `Quick test_oblivious_append;
+          Alcotest.test_case "replicate steps" `Quick
+            test_oblivious_replicate_steps;
+          Alcotest.test_case "repeat prefix" `Quick test_oblivious_repeat_prefix;
+          Alcotest.test_case "of_matrix packing" `Quick test_oblivious_of_matrix;
+          Alcotest.test_case "cycle_all_jobs topo" `Quick
+            test_oblivious_cycle_all_jobs;
+          Alcotest.test_case "validate" `Quick test_oblivious_validate;
+        ] );
+      ( "pseudo",
+        [
+          Alcotest.test_case "of_windows" `Quick test_pseudo_of_windows;
+          Alcotest.test_case "window bounds" `Quick test_pseudo_window_bounds;
+          Alcotest.test_case "shift & overlay" `Quick test_pseudo_shift_overlay;
+          Alcotest.test_case "flatten" `Quick test_pseudo_flatten;
+          Alcotest.test_case "append" `Quick test_pseudo_append;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_flatten_preserves_mass;
+          QCheck_alcotest.to_alcotest prop_flatten_length_bound;
+        ] );
+    ]

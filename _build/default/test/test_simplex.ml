@@ -1,0 +1,264 @@
+module Lp = Suu_lp.Lp
+module Simplex = Suu_lp.Simplex
+
+let solve_expect_opt p =
+  match Simplex.solve p with
+  | Simplex.Optimal { objective; solution } -> (objective, solution)
+  | Simplex.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | Simplex.Unbounded -> Alcotest.fail "unexpected unbounded"
+
+let feq ?(eps = 1e-6) = Alcotest.(check (float eps)) "value"
+
+let test_textbook_max () =
+  (* max 3x + 5y; x <= 4; 2y <= 12; 3x + 2y <= 18 -> 36 at (2, 6). *)
+  let b = Lp.builder () in
+  let x = Lp.add_var b ~obj:3. "x" in
+  let y = Lp.add_var b ~obj:5. "y" in
+  Lp.add_le b [ (x, 1.) ] 4.;
+  Lp.add_le b [ (y, 2.) ] 12.;
+  Lp.add_le b [ (x, 3.); (y, 2.) ] 18.;
+  let obj, sol = solve_expect_opt (Lp.build b `Maximize) in
+  feq 36. obj;
+  feq 2. sol.(x);
+  feq 6. sol.(y)
+
+let test_textbook_min () =
+  (* min 2x + 3y; x + y >= 4; x >= 1 -> 9 at (4, 0)? No: coefficients...
+     2x+3y with x+y>=4: cheapest is all x: x=4, y=0, cost 8. With x<=3
+     constraint: x=3, y=1, cost 9. *)
+  let b = Lp.builder () in
+  let x = Lp.add_var b ~obj:2. "x" in
+  let y = Lp.add_var b ~obj:3. "y" in
+  Lp.add_ge b [ (x, 1.); (y, 1.) ] 4.;
+  Lp.add_le b [ (x, 1.) ] 3.;
+  let obj, sol = solve_expect_opt (Lp.build b `Minimize) in
+  feq 9. obj;
+  feq 3. sol.(x);
+  feq 1. sol.(y)
+
+let test_equality_constraint () =
+  (* min x + y s.t. x + 2y = 4, x - y = 1 -> x = 2, y = 1. *)
+  let b = Lp.builder () in
+  let x = Lp.add_var b ~obj:1. "x" in
+  let y = Lp.add_var b ~obj:1. "y" in
+  Lp.add_eq b [ (x, 1.); (y, 2.) ] 4.;
+  Lp.add_eq b [ (x, 1.); (y, -1.) ] 1.;
+  let obj, sol = solve_expect_opt (Lp.build b `Minimize) in
+  feq 3. obj;
+  feq 2. sol.(x);
+  feq 1. sol.(y)
+
+let test_negative_rhs () =
+  (* x - y <= -2 with x, y >= 0: minimize y -> y = 2, x = 0. *)
+  let b = Lp.builder () in
+  let x = Lp.add_var b "x" in
+  let y = Lp.add_var b ~obj:1. "y" in
+  Lp.add_le b [ (x, 1.); (y, -1.) ] (-2.);
+  let obj, sol = solve_expect_opt (Lp.build b `Minimize) in
+  feq 2. obj;
+  feq 0. sol.(x);
+  feq 2. sol.(y)
+
+let test_infeasible () =
+  let b = Lp.builder () in
+  let x = Lp.add_var b ~obj:1. "x" in
+  Lp.add_ge b [ (x, 1.) ] 5.;
+  Lp.add_le b [ (x, 1.) ] 3.;
+  match Simplex.solve (Lp.build b `Minimize) with
+  | Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_unbounded () =
+  let b = Lp.builder () in
+  let x = Lp.add_var b ~obj:1. "x" in
+  Lp.add_ge b [ (x, 1.) ] 1.;
+  match Simplex.solve (Lp.build b `Maximize) with
+  | Simplex.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_degenerate () =
+  (* Degenerate vertex: multiple constraints meet at the optimum. *)
+  let b = Lp.builder () in
+  let x = Lp.add_var b ~obj:1. "x" in
+  let y = Lp.add_var b ~obj:1. "y" in
+  Lp.add_le b [ (x, 1.); (y, 1.) ] 1.;
+  Lp.add_le b [ (x, 1.) ] 1.;
+  Lp.add_le b [ (y, 1.) ] 1.;
+  Lp.add_le b [ (x, 2.); (y, 1.) ] 2.;
+  let obj, _ = solve_expect_opt (Lp.build b `Maximize) in
+  feq 1. obj
+
+let test_zero_objective () =
+  (* Pure feasibility: any point in the region works, objective 0. *)
+  let b = Lp.builder () in
+  let x = Lp.add_var b "x" in
+  Lp.add_ge b [ (x, 1.) ] 2.;
+  Lp.add_le b [ (x, 1.) ] 5.;
+  let obj, sol = solve_expect_opt (Lp.build b `Minimize) in
+  feq 0. obj;
+  Alcotest.(check bool) "x in [2,5]" true (sol.(x) >= 2. -. 1e-9 && sol.(x) <= 5. +. 1e-9)
+
+let test_klee_minty_small () =
+  (* 3-dimensional Klee–Minty cube: stresses pivoting; optimum 125. *)
+  let b = Lp.builder () in
+  let x1 = Lp.add_var b ~obj:4. "x1" in
+  let x2 = Lp.add_var b ~obj:2. "x2" in
+  let x3 = Lp.add_var b ~obj:1. "x3" in
+  Lp.add_le b [ (x1, 1.) ] 5.;
+  Lp.add_le b [ (x1, 4.); (x2, 1.) ] 25.;
+  Lp.add_le b [ (x1, 8.); (x2, 4.); (x3, 1.) ] 125.;
+  let obj, _ = solve_expect_opt (Lp.build b `Maximize) in
+  feq 125. obj
+
+let test_solution_feasibility_api () =
+  let b = Lp.builder () in
+  let x = Lp.add_var b ~obj:1. "x" in
+  let y = Lp.add_var b ~obj:2. "y" in
+  Lp.add_le b [ (x, 1.); (y, 1.) ] 10.;
+  Lp.add_ge b [ (x, 1.) ] 2.;
+  let p = Lp.build b `Maximize in
+  let _, sol = solve_expect_opt p in
+  Alcotest.(check bool) "solver point feasible" true (Lp.feasible p sol);
+  Alcotest.(check bool) "infeasible point detected" false
+    (Lp.feasible p [| 0.; 0. |])
+
+(* Random LPs: minimize c·x over {Ax <= b, x >= 0} with b >= 0 (always
+   feasible at x = 0, always bounded below by 0 when c >= 0). The optimum
+   must be <= the objective at any random feasible point. *)
+let prop_optimal_dominates_feasible_points =
+  QCheck.Test.make ~name:"optimum <= any feasible point (min)" ~count:200
+    QCheck.(pair small_int (pair (int_range 1 6) (int_range 1 6)))
+    (fun (seed, (nvars, nrows)) ->
+      let rng = Suu_prob.Rng.create seed in
+      let b = Lp.builder () in
+      let vars =
+        List.init nvars (fun k ->
+            Lp.add_var b
+              ~obj:(Suu_prob.Rng.uniform rng 0.1 2.)
+              (Printf.sprintf "v%d" k))
+      in
+      let rows =
+        List.init nrows (fun _ ->
+            let coeffs =
+              List.filter_map
+                (fun v ->
+                  if Suu_prob.Rng.float rng < 0.7 then
+                    Some (v, Suu_prob.Rng.uniform rng (-1.) 2.)
+                  else None)
+                vars
+            in
+            let rhs = Suu_prob.Rng.uniform rng 0. 5. in
+            Lp.add_le b coeffs rhs;
+            (coeffs, rhs))
+      in
+      let p = Lp.build b `Minimize in
+      match Simplex.solve p with
+      | Simplex.Unbounded -> false (* impossible: objective >= 0 *)
+      | Simplex.Infeasible -> false (* impossible: x = 0 feasible *)
+      | Simplex.Optimal { objective; solution } ->
+          (* x = 0 is feasible with objective 0 >= optimum; and the
+             returned solution must be feasible. *)
+          ignore rows;
+          Lp.feasible p solution && objective <= 1e-7 && objective >= -1e-7)
+
+let prop_solution_is_feasible =
+  QCheck.Test.make ~name:"returned solutions are feasible" ~count:200
+    QCheck.(pair small_int (pair (int_range 1 8) (int_range 1 8)))
+    (fun (seed, (nvars, nrows)) ->
+      let rng = Suu_prob.Rng.create seed in
+      let b = Lp.builder () in
+      let vars =
+        List.init nvars (fun k ->
+            Lp.add_var b
+              ~obj:(Suu_prob.Rng.uniform rng (-1.) 1.)
+              (Printf.sprintf "v%d" k))
+      in
+      (* Box constraints keep it bounded; a few random >= rows may make it
+         infeasible, which is also an acceptable outcome. *)
+      List.iter (fun v -> Lp.add_le b [ (v, 1.) ] (Suu_prob.Rng.uniform rng 1. 5.)) vars;
+      for _ = 1 to nrows do
+        let coeffs =
+          List.filter_map
+            (fun v ->
+              if Suu_prob.Rng.float rng < 0.5 then
+                Some (v, Suu_prob.Rng.uniform rng 0. 2.)
+              else None)
+            vars
+        in
+        if coeffs <> [] then Lp.add_ge b coeffs (Suu_prob.Rng.uniform rng 0. 3.)
+      done;
+      let p = Lp.build b `Maximize in
+      match Simplex.solve p with
+      | Simplex.Optimal { solution; _ } -> Lp.feasible p solution
+      | Simplex.Infeasible -> true
+      | Simplex.Unbounded -> false)
+
+(* --- the Lp model layer itself --- *)
+
+let test_lp_eval_row () =
+  let row = { Lp.coeffs = [ (0, 2.); (2, -1.) ]; rel = Lp.Le; rhs = 5. } in
+  Alcotest.(check (float 1e-12)) "2x0 - x2" 1. (Lp.eval_row row [| 1.; 9.; 1. |])
+
+let test_lp_feasible_checks () =
+  let b = Lp.builder () in
+  let x = Lp.add_var b ~obj:1. "x" in
+  Lp.add_ge b [ (x, 1.) ] 1.;
+  Lp.add_eq b [ (x, 2.) ] 4.;
+  let p = Lp.build b `Minimize in
+  Alcotest.(check bool) "x=2 feasible" true (Lp.feasible p [| 2. |]);
+  Alcotest.(check bool) "x=0.5 violates eq" false (Lp.feasible p [| 0.5 |]);
+  Alcotest.(check bool) "negative rejected" false (Lp.feasible p [| -1. |]);
+  Alcotest.(check bool) "wrong arity" false (Lp.feasible p [| 1.; 1. |])
+
+let test_lp_builder_bookkeeping () =
+  let b = Lp.builder () in
+  Alcotest.(check int) "empty" 0 (Lp.var_count b);
+  let _ = Lp.add_var b "a" in
+  let _ = Lp.add_var b ~obj:3. "b" in
+  Alcotest.(check int) "two vars" 2 (Lp.var_count b);
+  Alcotest.check_raises "bad row" (Invalid_argument "Lp: variable out of range")
+    (fun () -> Lp.add_le b [ (7, 1.) ] 0.)
+
+let test_lp_pp_smoke () =
+  let b = Lp.builder () in
+  let x = Lp.add_var b ~obj:1. "speed" in
+  Lp.add_le b [ (x, 2.) ] 3.;
+  let s = Format.asprintf "%a" Lp.pp (Lp.build b `Maximize) in
+  Alcotest.(check bool) "mentions var" true
+    (String.length s > 0
+    &&
+    let rec contains k =
+      k + 5 <= String.length s && (String.sub s k 5 = "speed" || contains (k + 1))
+    in
+    contains 0)
+
+let () =
+  Alcotest.run "simplex"
+    [
+      ( "cases",
+        [
+          Alcotest.test_case "textbook max" `Quick test_textbook_max;
+          Alcotest.test_case "textbook min" `Quick test_textbook_min;
+          Alcotest.test_case "equality" `Quick test_equality_constraint;
+          Alcotest.test_case "negative rhs" `Quick test_negative_rhs;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_unbounded;
+          Alcotest.test_case "degenerate" `Quick test_degenerate;
+          Alcotest.test_case "zero objective" `Quick test_zero_objective;
+          Alcotest.test_case "klee-minty 3d" `Quick test_klee_minty_small;
+          Alcotest.test_case "feasibility api" `Quick
+            test_solution_feasibility_api;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "eval_row" `Quick test_lp_eval_row;
+          Alcotest.test_case "feasible" `Quick test_lp_feasible_checks;
+          Alcotest.test_case "builder" `Quick test_lp_builder_bookkeeping;
+          Alcotest.test_case "pp" `Quick test_lp_pp_smoke;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_optimal_dominates_feasible_points;
+          QCheck_alcotest.to_alcotest prop_solution_is_feasible;
+        ] );
+    ]

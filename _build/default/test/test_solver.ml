@@ -1,0 +1,73 @@
+module Instance = Suu_core.Instance
+module Solver = Suu_algo.Solver
+module Rng = Suu_prob.Rng
+
+let inst_with_dag seed dag =
+  let rng = Rng.create seed in
+  let n = Suu_dag.Dag.n dag in
+  Instance.create
+    ~p:(Array.init 3 (fun _ -> Array.init n (fun _ -> Rng.uniform rng 0.2 0.9)))
+    ~dag
+
+let test_names () =
+  let check dag expected =
+    let inst = inst_with_dag 1 dag in
+    Alcotest.(check string) "algorithm" expected (Solver.algorithm_name inst)
+  in
+  check (Suu_dag.Dag.empty 4) "lp-indep";
+  check (Suu_dag.Gen.uniform_chains ~n:4 ~chains:2) "suu-c";
+  check (Suu_dag.Gen.binary_out_tree ~n:5) "suu-trees";
+  check
+    (Suu_dag.Dag.create ~n:5 [ (0, 1); (2, 1); (1, 3); (1, 4) ])
+    "suu-forest";
+  check (Suu_dag.Gen.diamond ~width:2) "unsupported"
+
+let test_adaptive_name () =
+  let inst = inst_with_dag 2 (Suu_dag.Gen.diamond ~width:2) in
+  Alcotest.(check string) "adaptive" "suu-i-alg"
+    (Solver.algorithm_name ~kind:`Adaptive inst)
+
+let test_oblivious_general_unsupported () =
+  let inst = inst_with_dag 3 (Suu_dag.Gen.diamond ~width:2) in
+  match Solver.solve ~kind:`Oblivious inst with
+  | exception Solver.Unsupported _ -> ()
+  | _ -> Alcotest.fail "expected Unsupported"
+
+let test_adaptive_general_works () =
+  let inst = inst_with_dag 4 (Suu_dag.Gen.diamond ~width:3) in
+  let policy = Solver.solve ~kind:`Adaptive inst in
+  let o = Suu_sim.Engine.run (Rng.create 5) inst policy in
+  Alcotest.(check bool) "completed" true o.Suu_sim.Engine.completed
+
+let prop_dispatch_completes =
+  QCheck.Test.make ~name:"dispatched policies complete" ~count:20
+    QCheck.(pair small_int (int_range 2 10))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let dag =
+        match abs seed mod 4 with
+        | 0 -> Suu_dag.Dag.empty n
+        | 1 -> Suu_dag.Gen.chains (Rng.split rng) ~n ~chains:(1 + (n / 3))
+        | 2 -> Suu_dag.Gen.out_forest (Rng.split rng) ~n ~trees:(min 2 n)
+        | _ -> Suu_dag.Gen.polytree_forest (Rng.split rng) ~n ~trees:(min 2 n)
+      in
+      let inst = inst_with_dag (seed + 1) dag in
+      let adaptive = Solver.solve ~kind:`Adaptive inst in
+      let oblivious = Solver.solve ~kind:`Oblivious inst in
+      (Suu_sim.Engine.run (Rng.split rng) inst adaptive).Suu_sim.Engine.completed
+      && (Suu_sim.Engine.run (Rng.split rng) inst oblivious)
+           .Suu_sim.Engine.completed)
+
+let () =
+  Alcotest.run "solver"
+    [
+      ( "dispatch",
+        [
+          Alcotest.test_case "names" `Quick test_names;
+          Alcotest.test_case "adaptive name" `Quick test_adaptive_name;
+          Alcotest.test_case "general unsupported" `Quick
+            test_oblivious_general_unsupported;
+          Alcotest.test_case "adaptive general" `Quick test_adaptive_general_works;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_dispatch_completes ]);
+    ]

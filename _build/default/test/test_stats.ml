@@ -1,0 +1,131 @@
+module Stats = Suu_prob.Stats
+
+let feq ?(eps = 1e-9) a b =
+  Alcotest.(check (float eps)) "float" a b
+
+let test_summarize_known () =
+  let s = Stats.summarize [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  feq 5. s.Stats.mean;
+  feq ~eps:1e-6 4.571428571 s.Stats.variance;
+  feq 2. s.Stats.min;
+  feq 9. s.Stats.max;
+  Alcotest.(check int) "count" 8 s.Stats.count
+
+let test_summarize_single () =
+  let s = Stats.summarize [| 3.5 |] in
+  feq 3.5 s.Stats.mean;
+  feq 0. s.Stats.variance;
+  feq 0. s.Stats.sem;
+  feq 0. s.Stats.ci95
+
+let test_summarize_empty () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Stats.summarize: empty sample") (fun () ->
+      ignore (Stats.summarize [||] : Stats.summary))
+
+let test_mean_constant () = feq 7. (Stats.mean [| 7.; 7.; 7. |])
+
+let test_quantile () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  feq 1. (Stats.quantile xs 0.);
+  feq 3. (Stats.quantile xs 0.5);
+  feq 5. (Stats.quantile xs 1.);
+  feq 2. (Stats.quantile xs 0.25);
+  feq 3. (Stats.median xs)
+
+let test_quantile_interpolation () =
+  let xs = [| 0.; 10. |] in
+  feq 2.5 (Stats.quantile xs 0.25)
+
+let test_quantile_unsorted_input () =
+  let xs = [| 5.; 1.; 3.; 2.; 4. |] in
+  feq 3. (Stats.median xs);
+  (* input not mutated *)
+  Alcotest.(check (float 0.)) "unchanged" 5. xs.(0)
+
+let test_quantile_bad_q () =
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Stats.quantile: q outside [0,1]") (fun () ->
+      ignore (Stats.quantile [| 1. |] 1.5 : float))
+
+let test_linear_fit_exact () =
+  let pts = [| (0., 1.); (1., 3.); (2., 5.) |] in
+  let slope, intercept = Stats.linear_fit pts in
+  feq 2. slope;
+  feq 1. intercept;
+  feq 1. (Stats.r_squared pts (slope, intercept))
+
+let test_linear_fit_vertical () =
+  Alcotest.check_raises "all x equal"
+    (Invalid_argument "Stats.linear_fit: all x values equal") (fun () ->
+      ignore (Stats.linear_fit [| (1., 1.); (1., 2.) |] : float * float))
+
+let test_r_squared_poor_fit () =
+  let pts = [| (0., 0.); (1., 1.); (2., 0.); (3., 1.) |] in
+  let fit = Stats.linear_fit pts in
+  let r2 = Stats.r_squared pts fit in
+  Alcotest.(check bool) "r2 in [0,1]" true (r2 >= 0. && r2 <= 1.)
+
+let naive_variance xs =
+  let n = Array.length xs in
+  let mean = Array.fold_left ( +. ) 0. xs /. Float.of_int n in
+  Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs
+  /. Float.of_int (n - 1)
+
+let prop_welford_matches_naive =
+  QCheck.Test.make ~name:"welford variance = naive variance" ~count:300
+    QCheck.(list_of_size Gen.(2 -- 40) (float_bound_exclusive 1000.))
+    (fun l ->
+      let xs = Array.of_list l in
+      let s = Stats.summarize xs in
+      Float.abs (s.Stats.variance -. naive_variance xs)
+      <= 1e-6 *. Float.max 1. (Float.abs s.Stats.variance))
+
+let prop_minmax =
+  QCheck.Test.make ~name:"min <= mean <= max" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 40) (float_bound_exclusive 100.))
+    (fun l ->
+      let s = Stats.summarize (Array.of_list l) in
+      s.Stats.min <= s.Stats.mean +. 1e-9 && s.Stats.mean <= s.Stats.max +. 1e-9)
+
+let prop_quantile_monotone =
+  QCheck.Test.make ~name:"quantile monotone in q" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 30) (float_bound_exclusive 100.))
+        (pair (float_bound_inclusive 1.) (float_bound_inclusive 1.)))
+    (fun (l, (q1, q2)) ->
+      let xs = Array.of_list l in
+      let lo = Float.min q1 q2 and hi = Float.max q1 q2 in
+      Stats.quantile xs lo <= Stats.quantile xs hi +. 1e-9)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "summaries",
+        [
+          Alcotest.test_case "known sample" `Quick test_summarize_known;
+          Alcotest.test_case "single value" `Quick test_summarize_single;
+          Alcotest.test_case "empty rejected" `Quick test_summarize_empty;
+          Alcotest.test_case "constant mean" `Quick test_mean_constant;
+        ] );
+      ( "quantiles",
+        [
+          Alcotest.test_case "known quantiles" `Quick test_quantile;
+          Alcotest.test_case "interpolation" `Quick test_quantile_interpolation;
+          Alcotest.test_case "unsorted input" `Quick test_quantile_unsorted_input;
+          Alcotest.test_case "bad q" `Quick test_quantile_bad_q;
+        ] );
+      ( "fits",
+        [
+          Alcotest.test_case "exact line" `Quick test_linear_fit_exact;
+          Alcotest.test_case "vertical rejected" `Quick test_linear_fit_vertical;
+          Alcotest.test_case "r-squared range" `Quick test_r_squared_poor_fit;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_welford_matches_naive;
+          QCheck_alcotest.to_alcotest prop_minmax;
+          QCheck_alcotest.to_alcotest prop_quantile_monotone;
+        ] );
+    ]

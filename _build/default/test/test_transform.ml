@@ -1,0 +1,175 @@
+module Instance = Suu_core.Instance
+module Transform = Suu_core.Transform
+module Dag = Suu_dag.Dag
+module Rng = Suu_prob.Rng
+
+let sample () =
+  Instance.create
+    ~p:[| [| 0.5; 0.2; 0.3; 0.9 |]; [| 0.1; 0.8; 0.4; 0.2 |] |]
+    ~dag:(Dag.create ~n:4 [ (0, 1); (1, 2); (0, 3) ])
+
+let test_sub_instance_basic () =
+  let inst = sample () in
+  let sub, mapping = Transform.sub_instance inst ~jobs:[ 0; 1; 3 ] in
+  Alcotest.(check int) "jobs" 3 (Instance.n sub);
+  Alcotest.(check (array int)) "mapping" [| 0; 1; 3 |] mapping;
+  (* Edge 0->1 survives (as 0->1), 0->3 survives (as 0->2), 1->2 dropped. *)
+  Alcotest.(check int) "edges" 2 (Dag.edge_count (Instance.dag sub));
+  Alcotest.(check bool) "0->1" true (Dag.has_edge (Instance.dag sub) 0 1);
+  Alcotest.(check bool) "0->2" true (Dag.has_edge (Instance.dag sub) 0 2);
+  Alcotest.(check (float 0.)) "probs carried" 0.9
+    (Instance.prob sub ~machine:0 ~job:2)
+
+let test_sub_instance_dedup_and_sort () =
+  let inst = sample () in
+  let _, mapping = Transform.sub_instance inst ~jobs:[ 3; 1; 3; 1 ] in
+  Alcotest.(check (array int)) "sorted unique" [| 1; 3 |] mapping
+
+let test_sub_instance_range () =
+  let inst = sample () in
+  Alcotest.check_raises "range"
+    (Invalid_argument "Transform.sub_instance: job out of range") (fun () ->
+      ignore (Transform.sub_instance inst ~jobs:[ 9 ] : Instance.t * int array))
+
+let test_reverse () =
+  let inst = sample () in
+  let rev = Transform.reverse inst in
+  Alcotest.(check bool) "1->0" true (Dag.has_edge (Instance.dag rev) 1 0);
+  Alcotest.(check bool) "not 0->1" false (Dag.has_edge (Instance.dag rev) 0 1);
+  Alcotest.(check (float 0.)) "probs unchanged" 0.8
+    (Instance.prob rev ~machine:1 ~job:1);
+  (* Reversing an out-tree-ish dag yields in-trees. *)
+  let out = Suu_dag.Gen.binary_out_tree ~n:7 in
+  let inst2 = Instance.create ~p:[| Array.make 7 0.5 |] ~dag:out in
+  let rev2 = Transform.reverse inst2 in
+  Alcotest.(check bool) "in-trees" true
+    (Suu_dag.Classify.matches (Instance.dag rev2) Suu_dag.Classify.In_trees)
+
+let test_reverse_involution () =
+  let inst = sample () in
+  let back = Transform.reverse (Transform.reverse inst) in
+  Alcotest.(check bool) "same edges" true
+    (Dag.edges (Instance.dag back) = Dag.edges (Instance.dag inst))
+
+let test_scale_probs () =
+  let inst = sample () in
+  let slow = Transform.scale_probs inst ~factor:0.5 in
+  Alcotest.(check (float 1e-12)) "halved" 0.25
+    (Instance.prob slow ~machine:0 ~job:0);
+  let fast = Transform.scale_probs inst ~factor:10. in
+  Alcotest.(check (float 0.)) "clamped at 1" 1.
+    (Instance.prob fast ~machine:0 ~job:3)
+
+let test_scale_probs_incapable () =
+  let inst = Instance.independent ~p:[| [| 0.5 |] |] in
+  Alcotest.check_raises "zeroed"
+    (Invalid_argument "Instance.create: job 0 has no capable machine")
+    (fun () -> ignore (Transform.scale_probs inst ~factor:0. : Instance.t))
+
+let test_disjoint_union () =
+  let a = Instance.create ~p:[| [| 0.5; 0.6 |] |] ~dag:(Dag.create ~n:2 [ (0, 1) ]) in
+  let b = Instance.create ~p:[| [| 0.7 |] |] ~dag:(Dag.empty 1) in
+  let u = Transform.disjoint_union a b in
+  Alcotest.(check int) "jobs" 3 (Instance.n u);
+  Alcotest.(check bool) "edge kept" true (Dag.has_edge (Instance.dag u) 0 1);
+  Alcotest.(check (float 0.)) "b's prob shifted" 0.7
+    (Instance.prob u ~machine:0 ~job:2)
+
+let test_disjoint_union_mismatch () =
+  let a = Instance.independent ~p:[| [| 0.5 |] |] in
+  let b = Instance.independent ~p:[| [| 0.5 |]; [| 0.5 |] |] in
+  Alcotest.check_raises "machines"
+    (Invalid_argument "Transform.disjoint_union: machine count mismatch")
+    (fun () -> ignore (Transform.disjoint_union a b : Instance.t))
+
+(* Scaling probabilities down can only increase the exact optimum. *)
+let prop_scaling_monotone =
+  QCheck.Test.make ~name:"TOPT monotone under slowdown" ~count:20
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + Rng.int rng 4 in
+      let inst =
+        Instance.independent
+          ~p:
+            (Array.init 2 (fun _ ->
+                 Array.init n (fun _ -> Rng.uniform rng 0.3 0.9)))
+      in
+      let slow = Transform.scale_probs inst ~factor:0.5 in
+      Suu_algo.Malewicz.optimal_value slow
+      >= Suu_algo.Malewicz.optimal_value inst -. 1e-9)
+
+(* TOPT of a union with shared machines is at least the max of the parts. *)
+let prop_union_harder_than_parts =
+  QCheck.Test.make ~name:"TOPT(union) >= max TOPT(parts)" ~count:15
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create seed in
+      let mk () =
+        let n = 1 + Rng.int rng 2 in
+        Instance.independent
+          ~p:
+            (Array.init 2 (fun _ ->
+                 Array.init n (fun _ -> Rng.uniform rng 0.3 0.9)))
+      in
+      let a = mk () and b = mk () in
+      let u = Transform.disjoint_union a b in
+      let v x = Suu_algo.Malewicz.optimal_value x in
+      v u >= Float.max (v a) (v b) -. 1e-9)
+
+let prop_sub_instance_probs_consistent =
+  QCheck.Test.make ~name:"sub-instance probabilities match mapping" ~count:100
+    QCheck.(pair small_int (int_range 2 12))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let inst =
+        Instance.create
+          ~p:(Array.init 3 (fun _ -> Array.init n (fun _ -> Rng.uniform rng 0.1 0.9)))
+          ~dag:(Suu_dag.Gen.random_dag (Rng.split rng) ~n ~edge_prob:0.3)
+      in
+      let subset =
+        List.filter (fun _ -> Rng.bool rng) (List.init n (fun j -> j))
+      in
+      match subset with
+      | [] -> true
+      | _ ->
+          let sub, mapping = Transform.sub_instance inst ~jobs:subset in
+          let ok = ref true in
+          for i = 0 to 2 do
+            Array.iteri
+              (fun k old ->
+                if
+                  Instance.prob sub ~machine:i ~job:k
+                  <> Instance.prob inst ~machine:i ~job:old
+                then ok := false)
+              mapping
+          done;
+          !ok)
+
+let () =
+  Alcotest.run "transform"
+    [
+      ( "sub-instance",
+        [
+          Alcotest.test_case "basic" `Quick test_sub_instance_basic;
+          Alcotest.test_case "dedup" `Quick test_sub_instance_dedup_and_sort;
+          Alcotest.test_case "range" `Quick test_sub_instance_range;
+        ] );
+      ( "reverse & scale",
+        [
+          Alcotest.test_case "reverse" `Quick test_reverse;
+          Alcotest.test_case "involution" `Quick test_reverse_involution;
+          Alcotest.test_case "scale" `Quick test_scale_probs;
+          Alcotest.test_case "scale to incapable" `Quick
+            test_scale_probs_incapable;
+        ] );
+      ( "union",
+        [
+          Alcotest.test_case "union" `Quick test_disjoint_union;
+          Alcotest.test_case "mismatch" `Quick test_disjoint_union_mismatch;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_scaling_monotone;
+          QCheck_alcotest.to_alcotest prop_union_harder_than_parts;
+          QCheck_alcotest.to_alcotest prop_sub_instance_probs_consistent;
+        ] );
+    ]

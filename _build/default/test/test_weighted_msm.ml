@@ -1,0 +1,130 @@
+module Instance = Suu_core.Instance
+module WM = Suu_algo.Weighted_msm
+module Rng = Suu_prob.Rng
+
+let all_jobs n = Array.make n true
+
+let test_uniform_matches_msm () =
+  let rng = Rng.create 3 in
+  let inst =
+    Instance.independent
+      ~p:(Array.init 4 (fun _ -> Array.init 6 (fun _ -> Rng.uniform rng 0.1 0.9)))
+  in
+  let w = WM.weights inst WM.Uniform in
+  let a = WM.assign inst ~weights:w ~jobs:(all_jobs 6) in
+  let b = Suu_algo.Msm.assign inst ~jobs:(all_jobs 6) in
+  Alcotest.(check (array int)) "identical to MSM-ALG" b a
+
+let test_weights_uniform () =
+  let inst = Instance.independent ~p:[| [| 0.5; 0.5 |] |] in
+  Alcotest.(check (array (float 0.))) "ones" [| 1.; 1. |]
+    (WM.weights inst WM.Uniform)
+
+let test_weights_descendants () =
+  (* 0 -> 1 -> 2, plus isolated 3. *)
+  let dag = Suu_dag.Dag.create ~n:4 [ (0, 1); (1, 2) ] in
+  let inst = Instance.create ~p:[| Array.make 4 0.5 |] ~dag in
+  Alcotest.(check (array (float 0.))) "descendant counts" [| 3.; 2.; 1.; 1. |]
+    (WM.weights inst WM.Descendants)
+
+let test_weights_critical_path () =
+  let dag = Suu_dag.Dag.create ~n:4 [ (0, 1); (0, 2); (2, 3) ] in
+  let inst = Instance.create ~p:[| Array.make 4 0.5 |] ~dag in
+  Alcotest.(check (array (float 0.))) "remaining depth" [| 3.; 1.; 2.; 1. |]
+    (WM.weights inst WM.Critical_path)
+
+let test_bias_changes_choice () =
+  (* One machine; job 0 heads a long chain with slightly lower p; job 3 is
+     isolated with higher p. Critical-path weighting must pick job 0. *)
+  let dag = Suu_dag.Dag.create ~n:4 [ (0, 1); (1, 2) ] in
+  let inst = Instance.create ~p:[| [| 0.5; 0.5; 0.5; 0.6 |] |] ~dag in
+  let jobs = [| true; false; false; true |] in
+  let uniform = WM.assign inst ~weights:(WM.weights inst WM.Uniform) ~jobs in
+  let critical =
+    WM.assign inst ~weights:(WM.weights inst WM.Critical_path) ~jobs
+  in
+  Alcotest.(check (array int)) "uniform takes highest p" [| 3 |] uniform;
+  Alcotest.(check (array int)) "critical path takes the chain head" [| 0 |]
+    critical
+
+let test_policy_completes () =
+  let rng = Rng.create 7 in
+  let dag = Suu_dag.Gen.out_forest (Rng.split rng) ~n:12 ~trees:2 in
+  let inst =
+    Instance.create
+      ~p:(Array.init 3 (fun _ -> Array.init 12 (fun _ -> Rng.uniform rng 0.2 0.9)))
+      ~dag
+  in
+  List.iter
+    (fun weighting ->
+      let o =
+        Suu_sim.Engine.run (Rng.split rng) inst (WM.policy ~weighting inst)
+      in
+      Alcotest.(check bool) "completed" true o.Suu_sim.Engine.completed)
+    [ WM.Uniform; WM.Descendants; WM.Critical_path ]
+
+let test_policy_names () =
+  let inst = Instance.independent ~p:[| [| 0.5 |] |] in
+  Alcotest.(check string) "cp name" "msm-critical-path"
+    (WM.policy inst).Suu_core.Policy.name;
+  Alcotest.(check string) "desc name" "msm-descendants"
+    (WM.policy ~weighting:WM.Descendants inst).Suu_core.Policy.name
+
+let prop_mass_cap_respected =
+  QCheck.Test.make ~name:"weighted greedy respects the mass cap" ~count:150
+    QCheck.(triple small_int (int_range 1 5) (int_range 1 8))
+    (fun (seed, m, n) ->
+      let rng = Rng.create seed in
+      let dag = Suu_dag.Gen.random_dag (Rng.split rng) ~n ~edge_prob:0.2 in
+      let inst =
+        Instance.create
+          ~p:(Array.init m (fun _ -> Array.init n (fun _ -> Rng.uniform rng 0.05 1.)))
+          ~dag
+      in
+      let w = WM.weights inst WM.Critical_path in
+      let a = WM.assign inst ~weights:w ~jobs:(Array.make n true) in
+      let mass = Suu_core.Assignment.mass_added inst a in
+      Array.for_all (fun mj -> mj <= 1. +. 1e-9) mass)
+
+let prop_critical_path_no_worse_on_deep_dags =
+  (* Statistical check: on chain-heavy dags the critical-path weighting
+     should beat uniform on average (over seeds); allow slack per case. *)
+  QCheck.Test.make ~name:"critical-path weighting sane on chains" ~count:10
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create seed in
+      let n = 12 in
+      let dag = Suu_dag.Gen.chains (Rng.split rng) ~n ~chains:3 in
+      let inst =
+        Instance.create
+          ~p:(Array.init 3 (fun _ -> Array.init n (fun _ -> Rng.uniform rng 0.2 0.9)))
+          ~dag
+      in
+      let mean policy =
+        (Suu_sim.Engine.estimate_makespan ~trials:150 (Rng.create 11) inst
+           policy)
+          .Suu_sim.Engine.stats.Suu_prob.Stats.mean
+      in
+      mean (WM.policy inst) <= 1.5 *. mean (WM.policy ~weighting:WM.Uniform inst))
+
+let () =
+  Alcotest.run "weighted_msm"
+    [
+      ( "weights",
+        [
+          Alcotest.test_case "uniform = MSM" `Quick test_uniform_matches_msm;
+          Alcotest.test_case "uniform weights" `Quick test_weights_uniform;
+          Alcotest.test_case "descendants" `Quick test_weights_descendants;
+          Alcotest.test_case "critical path" `Quick test_weights_critical_path;
+          Alcotest.test_case "bias changes choice" `Quick test_bias_changes_choice;
+        ] );
+      ( "policies",
+        [
+          Alcotest.test_case "completes" `Quick test_policy_completes;
+          Alcotest.test_case "names" `Quick test_policy_names;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_mass_cap_respected;
+          QCheck_alcotest.to_alcotest prop_critical_path_no_worse_on_deep_dags;
+        ] );
+    ]

@@ -1,0 +1,137 @@
+module W = Suu_workloads.Workload
+module Instance = Suu_core.Instance
+module Classify = Suu_dag.Classify
+module Rng = Suu_prob.Rng
+
+let shape inst = Classify.classify (Instance.dag inst)
+
+let test_grid_batch_shape () =
+  let w = W.grid_batch (Rng.create 1) ~n:20 ~m:6 in
+  Alcotest.(check int) "n" 20 (Instance.n w.W.instance);
+  Alcotest.(check int) "m" 6 (Instance.m w.W.instance);
+  Alcotest.(check bool) "independent" true
+    (shape w.W.instance = Classify.Independent)
+
+let test_grid_workflow_chains () =
+  let w = W.grid_workflow (Rng.create 2) ~n:24 ~m:4 ~stages:4 in
+  Alcotest.(check bool) "chains" true
+    (Classify.matches (Instance.dag w.W.instance) Classify.Chains)
+
+let test_grid_divide_out_trees () =
+  let w = W.grid_divide (Rng.create 3) ~n:32 ~m:4 in
+  Alcotest.(check bool) "out trees" true
+    (Classify.matches (Instance.dag w.W.instance) Classify.Out_trees)
+
+let test_grid_aggregate_in_trees () =
+  let w = W.grid_aggregate (Rng.create 4) ~n:32 ~m:4 in
+  Alcotest.(check bool) "in trees" true
+    (Classify.matches (Instance.dag w.W.instance) Classify.In_trees)
+
+let test_project_forest () =
+  let w = W.project (Rng.create 5) ~n:24 ~m:5 in
+  Alcotest.(check bool) "forest" true
+    (Classify.matches (Instance.dag w.W.instance) Classify.Forest)
+
+let test_uniform_range () =
+  let w =
+    W.uniform (Rng.create 6) ~n:10 ~m:3 ~lo:0.4 ~hi:0.6
+      ~dag:(Suu_dag.Dag.empty 10)
+  in
+  for i = 0 to 2 do
+    for j = 0 to 9 do
+      let p = Instance.prob w.W.instance ~machine:i ~job:j in
+      Alcotest.(check bool) "in range" true (p >= 0.4 && p < 0.6)
+    done
+  done
+
+let test_specialists_capability () =
+  let w =
+    W.specialists (Rng.create 7) ~n:12 ~m:6 ~capable:2 ~lo:0.3 ~hi:0.9
+      ~dag:(Suu_dag.Dag.empty 12)
+  in
+  for j = 0 to 11 do
+    Alcotest.(check int) "exactly 2 capable" 2
+      (List.length (Instance.capable_machines w.W.instance j))
+  done
+
+let test_specialists_bad_capable () =
+  Alcotest.check_raises "capable > m"
+    (Invalid_argument "Workload.specialists: capable must be in [1, m]")
+    (fun () ->
+      ignore
+        (W.specialists (Rng.create 8) ~n:4 ~m:2 ~capable:3 ~lo:0.2 ~hi:0.8
+           ~dag:(Suu_dag.Dag.empty 4)
+          : W.t))
+
+let test_adversarial_spread () =
+  let w = W.adversarial_spread ~n:8 ~m:8 in
+  (* All probabilities are powers of two in (0, 1/2]. *)
+  for i = 0 to 7 do
+    for j = 0 to 7 do
+      let p = Instance.prob w.W.instance ~machine:i ~job:j in
+      let log2 = Float.log p /. Float.log 2. in
+      Alcotest.(check bool) "power of two" true
+        (Float.abs (log2 -. Float.round log2) < 1e-12);
+      Alcotest.(check bool) "at most 1/2" true (p <= 0.5)
+    done
+  done
+
+let test_figure1 () =
+  let w = W.figure1 () in
+  Alcotest.(check int) "3 jobs" 3 (Instance.n w.W.instance);
+  Alcotest.(check int) "2 machines" 2 (Instance.m w.W.instance);
+  Alcotest.(check bool) "independent" true
+    (shape w.W.instance = Classify.Independent)
+
+let test_determinism () =
+  let a = W.project (Rng.create 42) ~n:16 ~m:4 in
+  let b = W.project (Rng.create 42) ~n:16 ~m:4 in
+  let equal = ref true in
+  for i = 0 to 3 do
+    for j = 0 to 15 do
+      if
+        Instance.prob a.W.instance ~machine:i ~job:j
+        <> Instance.prob b.W.instance ~machine:i ~job:j
+      then equal := false
+    done
+  done;
+  Alcotest.(check bool) "same instance" true !equal
+
+let prop_all_generators_valid =
+  QCheck.Test.make ~name:"generators always produce valid instances" ~count:60
+    QCheck.(triple small_int (int_range 4 40) (int_range 2 8))
+    (fun (seed, n, m) ->
+      let rng = Rng.create seed in
+      let all =
+        [
+          W.grid_batch (Rng.split rng) ~n ~m;
+          W.grid_workflow (Rng.split rng) ~n ~m ~stages:3;
+          W.grid_divide (Rng.split rng) ~n ~m;
+          W.grid_aggregate (Rng.split rng) ~n ~m;
+          W.project (Rng.split rng) ~n ~m;
+          W.adversarial_spread ~n ~m;
+        ]
+      in
+      (* Instance.create already validates; reaching here means each job
+         has a capable machine and p in [0,1]. Check names non-empty. *)
+      List.for_all (fun w -> String.length w.W.name > 0) all)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "scenarios",
+        [
+          Alcotest.test_case "grid batch" `Quick test_grid_batch_shape;
+          Alcotest.test_case "grid workflow" `Quick test_grid_workflow_chains;
+          Alcotest.test_case "grid divide" `Quick test_grid_divide_out_trees;
+          Alcotest.test_case "grid aggregate" `Quick test_grid_aggregate_in_trees;
+          Alcotest.test_case "project" `Quick test_project_forest;
+          Alcotest.test_case "uniform range" `Quick test_uniform_range;
+          Alcotest.test_case "specialists" `Quick test_specialists_capability;
+          Alcotest.test_case "specialists gate" `Quick test_specialists_bad_capable;
+          Alcotest.test_case "adversarial spread" `Quick test_adversarial_spread;
+          Alcotest.test_case "figure 1" `Quick test_figure1;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_all_generators_valid ]);
+    ]
