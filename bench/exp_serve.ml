@@ -1,0 +1,125 @@
+(* EXP-SERVE: throughput and cache behaviour of the batch scheduling
+   service (lib/service).
+
+   Two questions: (1) how does request throughput scale with the worker
+   pool at 1, 2 and 4 domains on a mixed workload (solve + info +
+   estimate requests over several DAG families), and (2) what does the
+   LRU result cache buy on a repeat-heavy workload? Results are printed
+   as the usual table plus a one-line JSON summary (the service's own
+   codec), machine-readable like the CSV mirrors of the other
+   experiments. *)
+
+module Rng = Suu_prob.Rng
+module Io = Suu_harness.Io
+module Json = Suu_service.Json
+module Service = Suu_service.Service
+module W = Suu_workloads.Workload
+
+let escaped text = String.concat "\\n" (String.split_on_char '\n' text)
+
+let mixed_requests ~count ~trials =
+  let rng = Rng.create (Bench_common.master_seed lxor 0x5e7e) in
+  List.init count (fun k ->
+      let w =
+        match k mod 4 with
+        | 0 -> W.grid_batch (Rng.split rng) ~n:16 ~m:4
+        | 1 -> W.grid_workflow (Rng.split rng) ~n:16 ~m:4 ~stages:4
+        | 2 -> W.project (Rng.split rng) ~n:12 ~m:4
+        | _ -> W.grid_divide (Rng.split rng) ~n:15 ~m:4
+      in
+      let text = escaped (Io.to_string w.W.instance) in
+      match k mod 5 with
+      | 4 ->
+          Printf.sprintf {|{"op":"info","id":"r%d","instance":"%s"}|} k text
+      | _ ->
+          Printf.sprintf
+            {|{"op":"solve","id":"r%d","trials":%d,"seed":%d,"instance":"%s"}|}
+            k trials (k + 1) text)
+
+let config ~workers ~cache =
+  {
+    Service.workers;
+    queue_capacity = 4096;
+    cache_capacity = cache;
+    default_trials = 100;
+    default_seed = 1;
+    default_deadline_ms = None;
+  }
+
+let timed_run cfg lines =
+  let start = Unix.gettimeofday () in
+  let responses, report = Service.run_lines cfg lines in
+  let elapsed = Unix.gettimeofday () -. start in
+  assert (List.length responses = List.length lines);
+  (elapsed, report)
+
+let run () =
+  Bench_common.section "EXP-SERVE: batch scheduling service";
+  let trials = Bench_common.trials in
+  let count = 64 in
+  Bench_common.note
+    "recommended_domain_count: %d (worker counts beyond it oversubscribe; \
+     on a single hardware thread the pool cannot show scaling)"
+    (Domain.recommended_domain_count ());
+  let lines = mixed_requests ~count ~trials in
+  (* Throughput scaling: distinct requests, cache off, so every request
+     pays for its own solve. *)
+  let scaling =
+    List.map
+      (fun workers ->
+        let elapsed, _ = timed_run (config ~workers ~cache:0) lines in
+        (workers, elapsed, Float.of_int count /. elapsed))
+      [ 1; 2; 4 ]
+  in
+  Bench_common.table ~title:"service throughput (mixed workload)"
+    ~header:[ "workers"; "requests"; "elapsed s"; "req/s" ]
+    (List.map
+       (fun (w, elapsed, rps) ->
+         [
+           string_of_int w;
+           string_of_int count;
+           Printf.sprintf "%.3f" elapsed;
+           Printf.sprintf "%.0f" rps;
+         ])
+       scaling);
+  (* Cache effect: the same workload submitted twice in one session. A
+     warm second pass answers every cacheable request from memory. *)
+  let doubled = lines @ lines in
+  let cold, _ = timed_run (config ~workers:1 ~cache:0) doubled in
+  let warm, report = timed_run (config ~workers:1 ~cache:256) doubled in
+  let speedup = cold /. warm in
+  Bench_common.table ~title:"cache effect (workload submitted twice, 1 worker)"
+    ~header:[ "cache"; "elapsed s"; "hits"; "misses"; "speedup" ]
+    [
+      [ "off"; Printf.sprintf "%.3f" cold; "0"; "0"; "1.00" ];
+      [
+        "256";
+        Printf.sprintf "%.3f" warm;
+        string_of_int report.Service.cache_hits;
+        string_of_int report.Service.cache_misses;
+        Printf.sprintf "%.2f" speedup;
+      ];
+    ];
+  Bench_common.note
+    "JSON summary: %s"
+    (Json.to_string
+       (Json.Obj
+          [
+            ("bench", Json.Str "exp_serve");
+            ("requests", Json.int count);
+            ("trials", Json.int trials);
+            ( "throughput",
+              Json.List
+                (List.map
+                   (fun (w, elapsed, rps) ->
+                     Json.Obj
+                       [
+                         ("workers", Json.int w);
+                         ("elapsed_s", Json.Num elapsed);
+                         ("rps", Json.Num rps);
+                       ])
+                   scaling) );
+            ("cache_hits", Json.int report.Service.cache_hits);
+            ("cache_misses", Json.int report.Service.cache_misses);
+            ("cache_speedup", Json.Num speedup);
+          ]))

@@ -21,6 +21,7 @@ let experiments =
     ("exp-j", Exp_j.run);
     ("exp-k", Exp_k.run);
     ("exp-l", Exp_l.run);
+    ("exp-serve", Exp_serve.run);
     ("perf", Perf.run);
   ]
 

@@ -5,7 +5,8 @@
      info      classify an instance and print its lower bounds
      solve     build a schedule for an instance and estimate its makespan
      exact     optimal expected makespan via Malewicz's DP (small instances)
-     simulate  trace one execution of a policy step by step *)
+     simulate  trace one execution of a policy step by step
+     serve     long-lived batch scheduling service over stdin/stdout *)
 
 open Cmdliner
 
@@ -253,6 +254,63 @@ let simulate_cmd =
        ~doc:"Trace one execution step by step (adaptive, or a saved plan)")
     Term.(const run $ instance_arg $ plan_arg $ gantt_arg $ trials_arg $ seed_arg)
 
+let serve_cmd =
+  let workers_arg =
+    let doc =
+      "Worker domains (0 = one fewer than the recommended domain count)."
+    in
+    Arg.(value & opt int 0 & info [ "workers" ] ~docv:"W" ~doc)
+  in
+  let queue_arg =
+    let doc = "Request queue capacity; further requests are rejected." in
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"Q" ~doc)
+  in
+  let cache_arg =
+    let doc = "Result cache capacity (LRU entries; 0 disables caching)." in
+    Arg.(value & opt int 128 & info [ "cache" ] ~docv:"C" ~doc)
+  in
+  let deadline_arg =
+    let doc =
+      "Default per-request deadline in milliseconds (requests may override \
+       with deadline_ms; unset = no deadline)."
+    in
+    Arg.(
+      value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let quiet_arg =
+    Arg.(
+      value & flag
+      & info [ "q"; "quiet" ] ~doc:"Suppress the shutdown metrics dump.")
+  in
+  let run workers queue cache trials seed deadline quiet =
+    let module Service = Suu_service.Service in
+    let config =
+      {
+        Service.workers =
+          (if workers > 0 then workers
+           else Service.default_config.Service.workers);
+        queue_capacity = max 1 queue;
+        cache_capacity = max 0 cache;
+        default_trials = trials;
+        default_seed = seed;
+        default_deadline_ms = deadline;
+      }
+    in
+    let report = Service.serve config (Service.stdio ()) in
+    if not quiet then prerr_string (Service.report_to_string report)
+  in
+  let term =
+    Term.(
+      const run $ workers_arg $ queue_arg $ cache_arg $ trials_arg $ seed_arg
+      $ deadline_arg $ quiet_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve scheduling requests over stdin/stdout (one JSON request per \
+          line; see the suu.service library documentation for the protocol)")
+    term
+
 let () =
   let doc = "multiprocessor scheduling under uncertainty (Lin-Rajaraman SPAA'07)" in
   let info = Cmd.info "suu" ~version:"1.0.0" ~doc in
@@ -267,4 +325,5 @@ let () =
             simulate_cmd;
             decompose_cmd;
             plan_cmd;
+            serve_cmd;
           ]))

@@ -26,6 +26,8 @@ let to_string inst =
   emit (Buffer.add_string buf) inst;
   Buffer.contents buf
 
+let digest inst = Digest.to_hex (Digest.string (to_string inst))
+
 let strip_comment line =
   match String.index_opt line '#' with
   | Some k -> String.sub line 0 k

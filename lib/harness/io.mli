@@ -23,6 +23,12 @@ val load : string -> Suu_core.Instance.t
 val to_string : Suu_core.Instance.t -> string
 val of_string : string -> Suu_core.Instance.t
 
+val digest : Suu_core.Instance.t -> string
+(** Hex content digest of the canonical serialisation ([to_string]) —
+    equal instances give equal digests regardless of how they were built.
+    Used by the serving layer ({!Suu_service}) as the instance part of
+    result-cache keys. *)
+
 (** {1 Oblivious schedule files}
 
     Computed plans can be exported and replayed later (the whole point of

@@ -1,0 +1,67 @@
+type t = {
+  lock : Mutex.t;
+  mutable ok : int;
+  mutable errors : int;
+  mutable timeouts : int;
+  mutable rejected : int;
+  mutable stats_requests : int;
+  mutable latencies : float list;  (* ms, most recent first *)
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    ok = 0;
+    errors = 0;
+    timeouts = 0;
+    rejected = 0;
+    stats_requests = 0;
+    latencies = [];
+  }
+
+let with_lock m f =
+  Mutex.lock m.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m.lock) f
+
+let record_ok m ~latency_ms =
+  with_lock m (fun () ->
+      m.ok <- m.ok + 1;
+      m.latencies <- latency_ms :: m.latencies)
+
+let record_error m = with_lock m (fun () -> m.errors <- m.errors + 1)
+let record_timeout m = with_lock m (fun () -> m.timeouts <- m.timeouts + 1)
+let record_rejected m = with_lock m (fun () -> m.rejected <- m.rejected + 1)
+
+let record_stats_request m =
+  with_lock m (fun () -> m.stats_requests <- m.stats_requests + 1)
+
+type snapshot = {
+  requests : int;
+  ok : int;
+  errors : int;
+  timeouts : int;
+  rejected : int;
+  stats_requests : int;
+  latency : Suu_prob.Stats.summary option;
+  latency_p95_ms : float;
+}
+
+let snapshot m =
+  with_lock m (fun () ->
+      let latencies = Array.of_list m.latencies in
+      let latency, p95 =
+        if Array.length latencies = 0 then (None, 0.)
+        else
+          ( Some (Suu_prob.Stats.summarize latencies),
+            Suu_prob.Stats.quantile latencies 0.95 )
+      in
+      {
+        requests = m.ok + m.errors + m.timeouts + m.rejected;
+        ok = m.ok;
+        errors = m.errors;
+        timeouts = m.timeouts;
+        rejected = m.rejected;
+        stats_requests = m.stats_requests;
+        latency;
+        latency_p95_ms = p95;
+      })

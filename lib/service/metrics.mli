@@ -1,0 +1,41 @@
+(** Service counters and latency tracking.
+
+    One [t] is shared by the reader and all worker domains; recording is
+    mutex-protected and cheap (a few counter bumps, one list cons). A
+    {!snapshot} is taken on demand (the [stats] request) and on shutdown;
+    latency quantiles are computed at snapshot time from the recorded
+    per-request latencies via {!Suu_prob.Stats}.
+
+    Counting conventions (documented in DESIGN.md §"Serving"): [ok],
+    [errors], [timeouts] and [rejected] partition the completed requests;
+    [requests] is their sum. [stats] requests are counted separately in
+    [stats_requests] so a stats response can report the workload without
+    counting itself. Latencies are recorded for [ok] responses only and
+    measured from admission (enqueue) to response emission, so queueing
+    delay is included. *)
+
+type t
+
+val create : unit -> t
+
+val record_ok : t -> latency_ms:float -> unit
+val record_error : t -> unit
+val record_timeout : t -> unit
+
+val record_rejected : t -> unit
+(** A request refused at admission because the queue was full. *)
+
+val record_stats_request : t -> unit
+
+type snapshot = {
+  requests : int;  (** ok + errors + timeouts + rejected *)
+  ok : int;
+  errors : int;
+  timeouts : int;
+  rejected : int;
+  stats_requests : int;
+  latency : Suu_prob.Stats.summary option;  (** [None] until the first ok *)
+  latency_p95_ms : float;  (** 0 until the first ok *)
+}
+
+val snapshot : t -> snapshot

@@ -1,0 +1,171 @@
+module Instance = Suu_core.Instance
+module Io = Suu_harness.Io
+
+type algo = [ `Auto | `Adaptive | `Oblivious ]
+
+let algo_name = function
+  | `Auto -> "auto"
+  | `Adaptive -> "adaptive"
+  | `Oblivious -> "oblivious"
+
+type op =
+  | Solve of { algo : algo; trials : int; seed : int; instance : Instance.t }
+  | Estimate of {
+      plan : Suu_core.Oblivious.t;
+      plan_digest : string;
+      trials : int;
+      seed : int;
+      instance : Instance.t;
+    }
+  | Info of Instance.t
+  | Exact of Instance.t
+  | Stats
+
+type t = { id : string option; deadline_ms : float option; op : op }
+
+(* --- decoding --- *)
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Bad msg)) fmt
+
+let id_of json =
+  match Json.member "id" json with
+  | Some (Json.Str s) -> Some s
+  | Some (Json.Num _ as v) -> Some (Json.to_string v)
+  | _ -> None
+
+let int_field json name ~default =
+  match Json.member name json with
+  | None -> default
+  | Some v -> (
+      match Json.to_int v with
+      | Some k -> k
+      | None -> fail "%s: expected an integer" name)
+
+let instance_field json =
+  match Json.member "instance" json with
+  | Some (Json.Str text) -> (
+      try Io.of_string text with Failure msg -> fail "instance: %s" msg)
+  | Some _ -> fail "instance: expected a string"
+  | None -> fail "instance: missing"
+
+let trials_field json ~default =
+  let trials = int_field json "trials" ~default in
+  if trials < 1 then fail "trials: must be >= 1";
+  trials
+
+let of_line ~default_trials ~default_seed line =
+  match Json.of_string line with
+  | Error msg -> Error ("parse: " ^ msg, None)
+  | Ok json -> (
+      let id = id_of json in
+      match
+        let op_name =
+          match Json.member "op" json with
+          | Some (Json.Str s) -> s
+          | Some _ -> fail "op: expected a string"
+          | None -> fail "op: missing"
+        in
+        let op =
+          match op_name with
+          | "solve" ->
+              let algo =
+                match Json.member "algo" json with
+                | None | Some (Json.Str "auto") -> `Auto
+                | Some (Json.Str "adaptive") -> `Adaptive
+                | Some (Json.Str "oblivious") -> `Oblivious
+                | Some (Json.Str other) ->
+                    fail "algo: unknown algorithm %S" other
+                | Some _ -> fail "algo: expected a string"
+              in
+              Solve
+                {
+                  algo;
+                  trials = trials_field json ~default:default_trials;
+                  seed = int_field json "seed" ~default:default_seed;
+                  instance = instance_field json;
+                }
+          | "estimate" ->
+              let plan_text =
+                match Json.member "plan" json with
+                | Some (Json.Str s) -> s
+                | Some _ -> fail "plan: expected a string"
+                | None -> fail "plan: missing"
+              in
+              let plan =
+                try Io.schedule_of_string plan_text
+                with Failure msg -> fail "plan: %s" msg
+              in
+              let instance = instance_field json in
+              if plan.Suu_core.Oblivious.m <> Instance.m instance then
+                fail "plan: %d machines but instance has %d"
+                  plan.Suu_core.Oblivious.m (Instance.m instance);
+              Estimate
+                {
+                  plan;
+                  plan_digest = Digest.to_hex (Digest.string plan_text);
+                  trials = trials_field json ~default:default_trials;
+                  seed = int_field json "seed" ~default:default_seed;
+                  instance;
+                }
+          | "info" -> Info (instance_field json)
+          | "exact" -> Exact (instance_field json)
+          | "stats" -> Stats
+          | other -> fail "op: unknown operation %S" other
+        in
+        let deadline_ms =
+          match Json.member "deadline_ms" json with
+          | None -> None
+          | Some v -> (
+              match Json.to_num v with
+              | Some d when d >= 0. -> Some d
+              | Some _ -> fail "deadline_ms: must be >= 0"
+              | None -> fail "deadline_ms: expected a number")
+        in
+        { id; deadline_ms; op }
+      with
+      | req -> Ok req
+      | exception Bad msg -> Error (msg, id))
+
+(* --- cache keys --- *)
+
+let cache_key req =
+  match req.op with
+  | Solve { algo; trials; seed; instance } ->
+      Some
+        (Printf.sprintf "solve:%s:%s:%d:%d" (Io.digest instance)
+           (algo_name algo) trials seed)
+  | Estimate { plan_digest; trials; seed; instance; _ } ->
+      Some
+        (Printf.sprintf "estimate:%s:%s:%d:%d" (Io.digest instance)
+           plan_digest trials seed)
+  | Exact instance -> Some (Printf.sprintf "exact:%s" (Io.digest instance))
+  | Info _ | Stats -> None
+
+(* --- responses --- *)
+
+let id_json = function Some s -> Json.Str s | None -> Json.Null
+
+let ok ~id fields =
+  Json.to_string
+    (Json.Obj (("id", id_json id) :: ("status", Json.Str "ok") :: fields))
+
+let error ~id msg =
+  Json.to_string
+    (Json.Obj
+       [
+         ("id", id_json id);
+         ("status", Json.Str "error");
+         ("error", Json.Str msg);
+       ])
+
+let timeout ~id ~deadline_ms =
+  Json.to_string
+    (Json.Obj
+       [
+         ("id", id_json id);
+         ("status", Json.Str "timeout");
+         ("error", Json.Str "deadline exceeded");
+         ("deadline_ms", Json.Num deadline_ms);
+       ])

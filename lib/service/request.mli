@@ -1,0 +1,79 @@
+(** Typed requests and responses, and their line-oriented wire codec.
+
+    One request per line, one response per line, each a JSON object
+    ({!Json}). Instances and plans travel inside the JSON as strings in
+    the existing {!Suu_harness.Io} formats (newlines escaped), so the
+    wire format is a thin envelope over serialisations the rest of the
+    system already speaks.
+
+    Request envelope fields: ["op"] (required), ["id"] (optional, echoed
+    back), ["deadline_ms"] (optional per-request budget), plus per-op
+    fields:
+    {v
+    {"op":"solve","instance":S,"algo":"auto|adaptive|oblivious",
+     "trials":K,"seed":N,...}
+    {"op":"estimate","instance":S,"plan":P,"trials":K,"seed":N,...}
+    {"op":"info","instance":S}
+    {"op":"exact","instance":S}
+    {"op":"stats"}
+    v}
+    Responses carry ["id"], ["status"] (["ok"|"error"|"timeout"]) and
+    status-specific fields. *)
+
+type algo = [ `Auto | `Adaptive | `Oblivious ]
+
+val algo_name : algo -> string
+
+type op =
+  | Solve of {
+      algo : algo;
+      trials : int;
+      seed : int;
+      instance : Suu_core.Instance.t;
+    }
+      (** Build a schedule ({!Suu_algo.Solver}) and estimate its expected
+          makespan. *)
+  | Estimate of {
+      plan : Suu_core.Oblivious.t;
+      plan_digest : string;  (** content digest of the plan text *)
+      trials : int;
+      seed : int;
+      instance : Suu_core.Instance.t;
+    }  (** Estimate the expected makespan of a client-supplied plan. *)
+  | Info of Suu_core.Instance.t
+      (** Classification, DAG statistics and (LP-free) lower bounds. *)
+  | Exact of Suu_core.Instance.t
+      (** Optimal expected makespan by Malewicz's DP (small instances). *)
+  | Stats  (** Service metrics snapshot. *)
+
+type t = { id : string option; deadline_ms : float option; op : op }
+
+val of_line :
+  default_trials:int ->
+  default_seed:int ->
+  string ->
+  (t, string * string option) result
+(** Decode one request line. [Error (message, id)] carries the request id
+    when the envelope was intact enough to recover it, so the error
+    response can still be correlated. Missing ["trials"]/["seed"] take
+    the supplied defaults. *)
+
+val cache_key : t -> string option
+(** Result-cache key: a content digest of the request's semantics —
+    [(instance digest, op, algorithm, trials, seed)] — for [solve],
+    [estimate] and [exact]; [None] for the uncacheable ops ([info] is
+    cheap, [stats] is time-varying). Requests with equal keys are
+    guaranteed identical answers by the per-trial seeding discipline
+    ({!Suu_sim.Engine.estimate_makespan_seeded}). *)
+
+(** {1 Response encoding} *)
+
+val ok : id:string option -> (string * Json.t) list -> string
+(** [{"id":…,"status":"ok",…fields}] — fields keep their order. *)
+
+val error : id:string option -> string -> string
+(** [{"id":…,"status":"error","error":msg}] *)
+
+val timeout : id:string option -> deadline_ms:float -> string
+(** [{"id":…,"status":"timeout","error":"deadline exceeded",
+    "deadline_ms":…}] *)

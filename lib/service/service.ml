@@ -1,0 +1,345 @@
+module Engine = Suu_sim.Engine
+module Instance = Suu_core.Instance
+module Policy = Suu_core.Policy
+module Stats = Suu_prob.Stats
+
+type config = {
+  workers : int;
+  queue_capacity : int;
+  cache_capacity : int;
+  default_trials : int;
+  default_seed : int;
+  default_deadline_ms : float option;
+}
+
+let default_config =
+  {
+    workers = max 1 (min 8 (Domain.recommended_domain_count () - 1));
+    queue_capacity = 64;
+    cache_capacity = 128;
+    default_trials = 200;
+    default_seed = 1;
+    default_deadline_ms = None;
+  }
+
+type report = {
+  metrics : Metrics.snapshot;
+  cache_hits : int;
+  cache_misses : int;
+  cache_size : int;
+  queue_hwm : int;
+}
+
+let report_to_string r =
+  let m = r.metrics in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "served %d requests (ok %d, errors %d, timeouts %d, rejected %d)\n"
+       m.Metrics.requests m.Metrics.ok m.Metrics.errors m.Metrics.timeouts
+       m.Metrics.rejected);
+  Buffer.add_string buf
+    (Printf.sprintf "cache: %d hits, %d misses, %d entries\n" r.cache_hits
+       r.cache_misses r.cache_size);
+  Buffer.add_string buf
+    (Printf.sprintf "queue depth high-water mark: %d\n" r.queue_hwm);
+  (match m.Metrics.latency with
+  | None -> ()
+  | Some s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "latency ms: min %.2f mean %.2f p95 %.2f max %.2f\n"
+           s.Stats.min s.Stats.mean m.Metrics.latency_p95_ms s.Stats.max));
+  Buffer.contents buf
+
+module type TRANSPORT = sig
+  val recv : unit -> string option
+  val send : string -> unit
+end
+
+let stdio () : (module TRANSPORT) =
+  (module struct
+    let recv () = In_channel.input_line In_channel.stdin
+
+    let send line =
+      print_string line;
+      print_newline ();
+      flush stdout
+  end)
+
+(* --- ordered response emission ---
+
+   Workers finish out of order; responses must not. Each admitted line
+   gets a sequence number and finished responses park in [pending] until
+   every earlier response has been sent. *)
+
+type emitter = {
+  elock : Mutex.t;
+  pending : (int, string) Hashtbl.t;
+  mutable next_seq : int;
+  send_line : string -> unit;
+}
+
+let emitter_create send_line =
+  {
+    elock = Mutex.create ();
+    pending = Hashtbl.create 16;
+    next_seq = 0;
+    send_line;
+  }
+
+let emit em seq line =
+  Mutex.lock em.elock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock em.elock)
+    (fun () ->
+      Hashtbl.replace em.pending seq line;
+      let rec flush () =
+        match Hashtbl.find_opt em.pending em.next_seq with
+        | Some l ->
+            Hashtbl.remove em.pending em.next_seq;
+            em.send_line l;
+            em.next_seq <- em.next_seq + 1;
+            flush ()
+        | None -> ()
+      in
+      flush ())
+
+(* --- request execution --- *)
+
+exception Failed of string
+
+let failed fmt = Printf.ksprintf (fun msg -> raise (Failed msg)) fmt
+let now_ms () = Unix.gettimeofday () *. 1000.
+
+let estimate_fields ~policy ~trials ~seed ~stop instance =
+  let e = Engine.estimate_makespan_seeded ~stop ~trials ~seed instance policy in
+  let p95 =
+    if Array.length e.Engine.samples = 0 then 0.
+    else Stats.quantile e.Engine.samples 0.95
+  in
+  [
+    ("algo", Json.Str policy.Policy.name);
+    ("trials", Json.int e.Engine.trials);
+    ("mean", Json.Num e.Engine.stats.Stats.mean);
+    ("ci95", Json.Num e.Engine.stats.Stats.ci95);
+    ("p95", Json.Num p95);
+    ("incomplete", Json.int e.Engine.incomplete);
+  ]
+
+let info_fields instance =
+  let dag = Instance.dag instance in
+  (* LP-free bounds keep [info] cheap enough for the serving path. *)
+  let bounds = Suu_algo.Bounds.compute ~with_lp:false instance in
+  [
+    ( "class",
+      Json.Str (Suu_dag.Classify.to_string (Suu_dag.Classify.classify dag)) );
+    ("jobs", Json.int (Instance.n instance));
+    ("machines", Json.int (Instance.m instance));
+    ("edges", Json.int (Suu_dag.Dag.edge_count dag));
+    ("width", Json.int (Suu_dag.Dag.width dag));
+    ("critical_path", Json.int (Suu_dag.Dag.longest_path dag));
+    ( "bounds",
+      Json.Obj
+        [
+          ("rate", Json.Num bounds.Suu_algo.Bounds.rate);
+          ("capacity", Json.Num bounds.Suu_algo.Bounds.capacity);
+          ("critical_path", Json.Num bounds.Suu_algo.Bounds.critical_path);
+          ("best", Json.Num (Suu_algo.Bounds.best bounds));
+        ] );
+  ]
+
+let execute op ~stop =
+  match op with
+  | Request.Solve { algo; trials; seed; instance } ->
+      (* [auto] is the practical default (the adaptive greedy policy);
+         the paper's guaranteed oblivious column is an explicit opt-in. *)
+      let kind =
+        match algo with
+        | `Oblivious -> `Oblivious
+        | `Adaptive | `Auto -> `Adaptive
+      in
+      let policy =
+        try Suu_algo.Solver.solve ~kind instance
+        with Suu_algo.Solver.Unsupported msg -> failed "unsupported: %s" msg
+      in
+      estimate_fields ~policy ~trials ~seed ~stop instance
+  | Request.Estimate { plan; trials; seed; instance; _ } ->
+      estimate_fields
+        ~policy:(Policy.of_oblivious "plan" plan)
+        ~trials ~seed ~stop instance
+  | Request.Info instance -> info_fields instance
+  | Request.Exact instance -> (
+      match Suu_algo.Malewicz.optimal instance with
+      | r ->
+          [
+            ("topt", Json.Num r.Suu_algo.Malewicz.value);
+            ("states", Json.int r.Suu_algo.Malewicz.states);
+          ]
+      | exception Suu_algo.Malewicz.Too_expensive msg ->
+          failed "exact: too expensive: %s" msg)
+  | Request.Stats -> assert false (* handled without execution *)
+
+(* --- the service --- *)
+
+type job = { seq : int; admitted_at : float; req : Request.t }
+
+let report_of ~metrics ~cache ~queue =
+  {
+    metrics = Metrics.snapshot metrics;
+    cache_hits = Cache.hits cache;
+    cache_misses = Cache.misses cache;
+    cache_size = Cache.length cache;
+    queue_hwm = Work_queue.high_water_mark queue;
+  }
+
+let stats_fields r =
+  let m = r.metrics in
+  let base =
+    [
+      ("requests", Json.int m.Metrics.requests);
+      ("ok", Json.int m.Metrics.ok);
+      ("errors", Json.int m.Metrics.errors);
+      ("timeouts", Json.int m.Metrics.timeouts);
+      ("rejected", Json.int m.Metrics.rejected);
+      ("cache_hits", Json.int r.cache_hits);
+      ("cache_misses", Json.int r.cache_misses);
+      ("cache_size", Json.int r.cache_size);
+      ("queue_hwm", Json.int r.queue_hwm);
+    ]
+  in
+  match m.Metrics.latency with
+  | None -> base
+  | Some s ->
+      base
+      @ [
+          ( "latency_ms",
+            Json.Obj
+              [
+                ("min", Json.Num s.Stats.min);
+                ("mean", Json.Num s.Stats.mean);
+                ("p95", Json.Num m.Metrics.latency_p95_ms);
+                ("max", Json.Num s.Stats.max);
+              ] );
+        ]
+
+let handle_job cfg ~metrics ~cache ~queue ~em job =
+  let { seq; admitted_at; req } = job in
+  let id = req.Request.id in
+  let deadline_ms =
+    match req.Request.deadline_ms with
+    | Some _ as d -> d
+    | None -> cfg.default_deadline_ms
+  in
+  let expired () =
+    match deadline_ms with
+    | None -> false
+    | Some d -> now_ms () -. admitted_at >= d
+  in
+  let finish_ok fields =
+    Metrics.record_ok metrics ~latency_ms:(now_ms () -. admitted_at);
+    emit em seq (Request.ok ~id fields)
+  in
+  let finish_error msg =
+    Metrics.record_error metrics;
+    emit em seq (Request.error ~id msg)
+  in
+  let finish_timeout () =
+    Metrics.record_timeout metrics;
+    emit em seq
+      (Request.timeout ~id
+         ~deadline_ms:(Option.value deadline_ms ~default:0.))
+  in
+  match req.Request.op with
+  | Request.Stats ->
+      (* Counted apart so a stats response describes the workload without
+         counting itself; never subject to deadlines. *)
+      Metrics.record_stats_request metrics;
+      emit em seq (Request.ok ~id (stats_fields (report_of ~metrics ~cache ~queue)))
+  | op ->
+      if expired () then finish_timeout ()
+      else begin
+        let key = Request.cache_key req in
+        match Option.bind key (Cache.find cache) with
+        | Some fields -> finish_ok (("cached", Json.Bool true) :: fields)
+        | None -> (
+            match execute op ~stop:expired with
+            | fields ->
+                Option.iter (fun k -> Cache.add cache k fields) key;
+                let fields =
+                  if key <> None then ("cached", Json.Bool false) :: fields
+                  else fields
+                in
+                finish_ok fields
+            | exception Engine.Interrupted -> finish_timeout ()
+            | exception Failed msg -> finish_error msg
+            | exception e ->
+                finish_error ("internal: " ^ Printexc.to_string e))
+      end
+
+let serve cfg (module T : TRANSPORT) =
+  if cfg.workers < 1 then invalid_arg "Service.serve: workers < 1";
+  let metrics = Metrics.create () in
+  let cache = Cache.create ~capacity:cfg.cache_capacity in
+  let queue = Work_queue.create ~capacity:cfg.queue_capacity in
+  let em = emitter_create T.send in
+  let worker () =
+    let rec loop () =
+      match Work_queue.pop queue with
+      | None -> ()
+      | Some job ->
+          handle_job cfg ~metrics ~cache ~queue ~em job;
+          loop ()
+    in
+    loop ()
+  in
+  let domains = List.init cfg.workers (fun _ -> Domain.spawn worker) in
+  let seq = ref 0 in
+  let rec read_loop () =
+    match T.recv () with
+    | None -> ()
+    | Some line ->
+        (* Blank lines are ignored rather than answered — convenient for
+           hand-written request files. *)
+        (if String.trim line <> "" then begin
+           let s = !seq in
+           incr seq;
+           match
+             Request.of_line ~default_trials:cfg.default_trials
+               ~default_seed:cfg.default_seed line
+           with
+           | Error (msg, id) ->
+               Metrics.record_error metrics;
+               emit em s (Request.error ~id msg)
+           | Ok req ->
+               let job = { seq = s; admitted_at = now_ms (); req } in
+               if not (Work_queue.push queue job) then begin
+                 Metrics.record_rejected metrics;
+                 emit em s
+                   (Request.error ~id:req.Request.id
+                      (Printf.sprintf "queue full (capacity %d)"
+                         cfg.queue_capacity))
+               end
+         end);
+        read_loop ()
+  in
+  read_loop ();
+  Work_queue.close queue;
+  List.iter Domain.join domains;
+  report_of ~metrics ~cache ~queue
+
+let run_lines cfg lines =
+  let input = ref lines in
+  let out = ref [] in
+  let module T = struct
+    let recv () =
+      match !input with
+      | [] -> None
+      | l :: tl ->
+          input := tl;
+          Some l
+
+    let send line = out := line :: !out
+  end in
+  let report = serve cfg (module T : TRANSPORT) in
+  (List.rev !out, report)

@@ -1,0 +1,83 @@
+(** The batch scheduling service: a request queue, a worker pool over
+    OCaml 5 domains, an LRU result cache, and per-request deadlines.
+
+    {2 Request lifecycle}
+
+    The calling domain runs the {e reader}: it pulls one line at a time
+    from the transport, decodes it ({!Request.of_line}) and admits it to
+    a bounded {!Work_queue}. Admission failures — malformed requests,
+    full queue — are answered immediately with structured error
+    responses; they never kill the service and never block the reader.
+    Worker domains pull requests, enforce deadlines, consult the result
+    cache, execute, and emit responses. Responses are re-sequenced so
+    they leave the transport {e in request order} regardless of which
+    worker finishes first — clients can correlate by position as well as
+    by id, and the output is deterministic for a deterministic workload.
+
+    {2 Reproducibility}
+
+    Workers estimate makespans with
+    {!Suu_sim.Engine.estimate_makespan_seeded}, whose per-trial RNG
+    derivation makes an answer a pure function of the request — not of
+    worker count, scheduling, or cache state. A cache hit therefore
+    returns byte-identical result fields to a recomputation.
+
+    {2 Deadlines}
+
+    A request's budget ([deadline_ms], or the configured default) is
+    measured from admission. It is checked when a worker picks the
+    request up and between Monte-Carlo trials, so a pathological
+    instance cannot wedge a worker beyond one trial (itself bounded by
+    the engine's horizon). Expired requests answer
+    [{"status":"timeout",…}]. *)
+
+type config = {
+  workers : int;  (** worker domains (>= 1) *)
+  queue_capacity : int;  (** pending requests before load shedding *)
+  cache_capacity : int;  (** LRU entries; 0 disables caching *)
+  default_trials : int;  (** when a request omits ["trials"] *)
+  default_seed : int;  (** when a request omits ["seed"] *)
+  default_deadline_ms : float option;
+      (** when a request omits ["deadline_ms"]; [None] = no deadline *)
+}
+
+val default_config : config
+(** [Domain.recommended_domain_count () - 1] workers (at least 1, at
+    most 8), queue 64, cache 128, 200 trials, seed 1, no deadline. *)
+
+(** What a service run reports on shutdown (and, live, via the [stats]
+    request). *)
+type report = {
+  metrics : Metrics.snapshot;
+  cache_hits : int;
+  cache_misses : int;
+  cache_size : int;
+  queue_hwm : int;  (** queue depth high-water mark *)
+}
+
+val report_to_string : report -> string
+(** Human-readable multi-line rendering, for the CLI's shutdown dump. *)
+
+(** The transport seam: the service core only ever sees a line source
+    and a line sink, so a socket transport can be added without touching
+    the service. [recv] is called from the reader domain only; [send] is
+    internally serialised, one call per response line. *)
+module type TRANSPORT = sig
+  val recv : unit -> string option
+  (** Next request line, [None] at end of input. *)
+
+  val send : string -> unit
+  (** Emit one response line. *)
+end
+
+val stdio : unit -> (module TRANSPORT)
+(** Lines from stdin, responses to stdout (flushed per line) — the
+    [suu serve] transport. *)
+
+val serve : config -> (module TRANSPORT) -> report
+(** Run the service until the transport's input is exhausted, then drain
+    the queue, join the workers and return the final report. *)
+
+val run_lines : config -> string list -> string list * report
+(** [serve] over an in-memory transport: feed request lines, collect
+    response lines (in request order). For tests and benchmarks. *)

@@ -1,0 +1,53 @@
+type 'a t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  buf : 'a Queue.t;
+  capacity : int;
+  mutable closed : bool;
+  mutable hwm : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Work_queue.create: capacity < 1";
+  {
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    buf = Queue.create ();
+    capacity;
+    closed = false;
+    hwm = 0;
+  }
+
+let with_lock q f =
+  Mutex.lock q.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock q.lock) f
+
+let push q x =
+  with_lock q (fun () ->
+      if q.closed || Queue.length q.buf >= q.capacity then false
+      else begin
+        Queue.push x q.buf;
+        if Queue.length q.buf > q.hwm then q.hwm <- Queue.length q.buf;
+        Condition.signal q.nonempty;
+        true
+      end)
+
+let pop q =
+  with_lock q (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty q.buf) then Some (Queue.pop q.buf)
+        else if q.closed then None
+        else begin
+          Condition.wait q.nonempty q.lock;
+          wait ()
+        end
+      in
+      wait ())
+
+let close q =
+  with_lock q (fun () ->
+      q.closed <- true;
+      Condition.broadcast q.nonempty)
+
+let length q = with_lock q (fun () -> Queue.length q.buf)
+let high_water_mark q = with_lock q (fun () -> q.hwm)

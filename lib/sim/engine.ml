@@ -169,6 +169,26 @@ let estimate_makespan ?max_steps ?releases ~trials rng inst policy =
   finish_estimate ?max_steps inst ~trials ~incomplete:!incomplete
     (Array.of_list !samples)
 
+exception Interrupted
+
+let estimate_makespan_seeded ?max_steps ?releases ?(stop = fun () -> false)
+    ~trials ~seed inst policy =
+  if trials < 1 then invalid_arg "Engine.estimate_makespan_seeded: trials < 1";
+  let samples = ref [] in
+  let incomplete = ref 0 in
+  for k = 0 to trials - 1 do
+    if stop () then raise Interrupted;
+    (* Same mixing family as the parallel estimator's per-worker seeds,
+       applied per trial: the stream of trial [k] is a pure function of
+       [(seed, k)]. *)
+    let rng = Suu_prob.Rng.create (seed lxor ((k + 1) * 0x9E3779B1)) in
+    let o = run ?max_steps ?releases rng inst policy in
+    if o.completed then samples := Float.of_int o.makespan :: !samples
+    else incr incomplete
+  done;
+  finish_estimate ?max_steps inst ~trials ~incomplete:!incomplete
+    (Array.of_list (List.rev !samples))
+
 let estimate_makespan_parallel ?max_steps ?releases ?domains ~trials ~seed inst
     policy =
   if trials < 1 then invalid_arg "Engine.estimate_makespan_parallel: trials < 1";

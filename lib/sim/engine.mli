@@ -59,6 +59,32 @@ val estimate_makespan :
   estimate
 (** Expected-makespan estimate over [trials] independent executions. *)
 
+exception Interrupted
+(** Raised by {!estimate_makespan_seeded} when its [stop] callback fires. *)
+
+val estimate_makespan_seeded :
+  ?max_steps:int ->
+  ?releases:int array ->
+  ?stop:(unit -> bool) ->
+  trials:int ->
+  seed:int ->
+  Suu_core.Instance.t ->
+  Suu_core.Policy.t ->
+  estimate
+(** Like {!estimate_makespan} but with {e per-trial} RNG splitting: trial
+    [k] draws from a generator derived deterministically from [(seed, k)],
+    so the estimate depends only on [(seed, trials)] — not on chunking,
+    scheduling, or how many concurrent callers share the process. This is
+    the reproducibility discipline of {!estimate_makespan_parallel} pushed
+    down to trial granularity; the serving layer uses it so a request's
+    answer is identical no matter which worker domain runs it.
+
+    [stop] is polled between trials (default: never stops); when it
+    returns [true] the estimate is abandoned and {!Interrupted} is raised
+    — the hook for per-request deadline enforcement. A single trial is
+    bounded by [max_steps] (default {!default_horizon}), so the poll
+    interval is bounded too. *)
+
 val estimate_makespan_parallel :
   ?max_steps:int ->
   ?releases:int array ->

@@ -1,0 +1,54 @@
+The batch scheduling service: one JSON request per line on stdin, one
+response per line on stdout, in request order. The workload below
+exercises the whole lifecycle: an info request, a solve, the same solve
+repeated (a result-cache hit), a malformed line (structured error, the
+service keeps going), a solve whose deadline is already exhausted
+(timeout error), an exact solve, and a final stats request.
+
+  $ cat > requests <<'EOF'
+  > {"op":"info","id":"i","instance":"suu 1\nn 2 m 2\nedges 1\n0 1\nprobs\n0.9 0.5\n0.4 0.8"}
+  > {"op":"solve","id":"s1","algo":"adaptive","trials":64,"seed":3,"instance":"suu 1\nn 2 m 2\nedges 0\nprobs\n0.9 0.5\n0.4 0.8"}
+  > {"op":"solve","id":"s2","algo":"adaptive","trials":64,"seed":3,"instance":"suu 1\nn 2 m 2\nedges 0\nprobs\n0.9 0.5\n0.4 0.8"}
+  > this is not json
+  > {"op":"solve","id":"late","deadline_ms":0,"trials":64,"instance":"suu 1\nn 2 m 2\nedges 0\nprobs\n0.9 0.5\n0.4 0.8"}
+  > {"op":"exact","id":"x","instance":"suu 1\nn 2 m 2\nedges 0\nprobs\n0.9 0.5\n0.4 0.8"}
+  > {"op":"stats","id":"z"}
+  > EOF
+
+One worker keeps the run fully deterministic (answers are reproducible at
+any worker count — per-trial seeding — but stats/latency timing is not).
+The repeated solve s2 comes back "cached":true with result fields
+byte-identical to s1.
+
+  $ suu serve --workers 1 --quiet < requests > responses
+  $ head -6 responses
+  {"id":"i","status":"ok","class":"chains","jobs":2,"machines":2,"edges":1,"width":1,"critical_path":2,"bounds":{"rate":1,"capacity":1,"critical_path":2,"best":2}}
+  {"id":"s1","status":"ok","cached":false,"algo":"suu-i-alg","trials":64,"mean":1.296875,"ci95":0.120971365126,"p95":2,"incomplete":0}
+  {"id":"s2","status":"ok","cached":true,"algo":"suu-i-alg","trials":64,"mean":1.296875,"ci95":0.120971365126,"p95":2,"incomplete":0}
+  {"id":null,"status":"error","error":"parse: expected true at offset 0"}
+  {"id":"late","status":"timeout","error":"deadline exceeded","deadline_ms":0}
+  {"id":"x","status":"ok","cached":false,"topt":1.31133304386,"states":3}
+
+The final stats response accounts for every request above: 6 completed
+(4 ok, 1 error, 1 timeout — the stats request itself is not counted),
+with one cache hit (s2) and two misses (s1, x). Queue and latency fields
+are timing-dependent, so only the counters are pinned here.
+
+  $ sed -n '7p' responses | grep -o '"requests":[0-9]*\|"ok":[0-9]*\|"errors":[0-9]*\|"timeouts":[0-9]*\|"rejected":[0-9]*\|"cache_hits":[0-9]*\|"cache_misses":[0-9]*'
+  "requests":6
+  "ok":4
+  "errors":1
+  "timeouts":1
+  "rejected":0
+  "cache_hits":1
+  "cache_misses":2
+
+Without --quiet the service dumps its metrics on shutdown (stderr). A
+session that never completes a request has no latency line, so the dump
+is deterministic:
+
+  $ echo '{"op":"nope","id":"e"}' | suu serve --workers 1
+  {"id":"e","status":"error","error":"op: unknown operation \"nope\""}
+  served 1 requests (ok 0, errors 1, timeouts 0, rejected 0)
+  cache: 0 hits, 0 misses, 0 entries
+  queue depth high-water mark: 0

@@ -151,6 +151,62 @@ let test_parallel_deterministic () =
   Alcotest.(check (float 0.)) "same mean" a.Engine.stats.Suu_prob.Stats.mean
     b.Engine.stats.Suu_prob.Stats.mean
 
+let test_parallel_identical_samples () =
+  (* Regression: fixed (seed, domains) must reproduce the exact sample
+     vector run over run, not merely the same mean. *)
+  let inst =
+    Instance.independent ~p:[| [| 0.3; 0.6; 0.5 |]; [| 0.7; 0.2; 0.4 |] |]
+  in
+  let policy = Suu_algo.Suu_i.policy inst in
+  let run () =
+    (Engine.estimate_makespan_parallel ~domains:3 ~trials:200 ~seed:42 inst
+       policy)
+      .Engine.samples
+  in
+  Alcotest.(check (array (float 0.))) "identical samples" (run ()) (run ())
+
+let test_seeded_deterministic () =
+  let inst = Instance.independent ~p:[| [| 0.4; 0.6 |]; [| 0.5; 0.3 |] |] in
+  let policy = Suu_algo.Suu_i.policy inst in
+  let run () =
+    (Engine.estimate_makespan_seeded ~trials:150 ~seed:11 inst policy)
+      .Engine.samples
+  in
+  Alcotest.(check (array (float 0.))) "identical samples" (run ()) (run ())
+
+let test_seeded_matches_sequential_stats () =
+  let inst = Instance.independent ~p:[| [| 0.3; 0.6 |]; [| 0.7; 0.2 |] |] in
+  let policy = Suu_algo.Suu_i.policy inst in
+  let seq = Engine.estimate_makespan ~trials:3000 (Rng.create 4) inst policy in
+  let seeded = Engine.estimate_makespan_seeded ~trials:3000 ~seed:4 inst policy in
+  let diff =
+    Float.abs
+      (seq.Engine.stats.Suu_prob.Stats.mean
+      -. seeded.Engine.stats.Suu_prob.Stats.mean)
+  in
+  let tol =
+    Float.max 0.1
+      (4.
+      *. (seq.Engine.stats.Suu_prob.Stats.sem
+         +. seeded.Engine.stats.Suu_prob.Stats.sem))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "means agree (diff %.3f, tol %.3f)" diff tol)
+    true (diff < tol)
+
+let test_seeded_stop_interrupts () =
+  let inst = single_job 0.5 in
+  let calls = ref 0 in
+  let stop () =
+    incr calls;
+    !calls > 3
+  in
+  Alcotest.check_raises "interrupted" Engine.Interrupted (fun () ->
+      ignore
+        (Engine.estimate_makespan_seeded ~stop ~trials:1000 ~seed:1 inst
+           (always_assign inst)
+          : Engine.estimate))
+
 let test_parallel_single_domain () =
   let inst = Instance.independent ~p:[| [| 0.8 |] |] in
   let policy = Suu_algo.Suu_i.policy inst in
@@ -202,6 +258,45 @@ let test_release_with_precedence () =
   in
   let o = Engine.run ~releases:[| 5; 0 |] (Rng.create 1) inst policy in
   Alcotest.(check int) "release then chain" 7 o.Engine.makespan
+
+let test_release_never_run_before_release_step () =
+  (* Chain 0 -> 1 with certain probabilities: job 0 is done at step 0, so
+     job 1's only remaining gate is its release date. The trace must show
+     no work on job 1 before step 4 even though its predecessor finished
+     long before, and completion exactly at the release step. *)
+  let inst =
+    Instance.create
+      ~p:[| [| 1.0; 1.0 |]; [| 1.0; 1.0 |] |]
+      ~dag:(Suu_dag.Dag.create ~n:2 [ (0, 1) ])
+  in
+  let releases = [| 0; 4 |] in
+  let policy =
+    Policy.stateless "first-eligible" (fun state ->
+        let target = ref (-1) in
+        Array.iteri
+          (fun j e -> if e && !target < 0 then target := j)
+          state.Policy.eligible;
+        Array.make (Instance.m inst) !target)
+  in
+  let history = Engine.trace ~releases (Rng.create 1) inst policy in
+  List.iter
+    (fun (t, a, _) ->
+      Array.iter
+        (fun j ->
+          if j = 1 then
+            Alcotest.(check bool)
+              (Printf.sprintf "job 1 worked at step %d before release" t)
+              true (t >= releases.(1)))
+        a)
+    history;
+  let completion = Hashtbl.create 2 in
+  List.iter
+    (fun (t, _, completed) ->
+      List.iter (fun j -> Hashtbl.replace completion j t) completed)
+    history;
+  Alcotest.(check int) "pred done immediately" 0 (Hashtbl.find completion 0);
+  Alcotest.(check int) "job 1 completes at its release step" 4
+    (Hashtbl.find completion 1)
 
 let test_release_length_mismatch () =
   let inst = single_job 0.5 in
@@ -304,9 +399,19 @@ let () =
           Alcotest.test_case "matches sequential" `Slow
             test_parallel_matches_sequential_stats;
           Alcotest.test_case "deterministic" `Quick test_parallel_deterministic;
+          Alcotest.test_case "identical samples" `Quick
+            test_parallel_identical_samples;
           Alcotest.test_case "single domain" `Quick test_parallel_single_domain;
           Alcotest.test_case "domains > trials" `Quick
             test_parallel_more_domains_than_trials;
+        ] );
+      ( "seeded",
+        [
+          Alcotest.test_case "deterministic" `Quick test_seeded_deterministic;
+          Alcotest.test_case "matches sequential" `Slow
+            test_seeded_matches_sequential_stats;
+          Alcotest.test_case "stop interrupts" `Quick
+            test_seeded_stop_interrupts;
         ] );
       ( "releases",
         [
@@ -315,6 +420,8 @@ let () =
           Alcotest.test_case "zero = offline" `Quick test_release_zero_is_offline;
           Alcotest.test_case "with precedence" `Quick
             test_release_with_precedence;
+          Alcotest.test_case "never run before release" `Quick
+            test_release_never_run_before_release_step;
           Alcotest.test_case "length checked" `Quick test_release_length_mismatch;
           Alcotest.test_case "sign checked" `Quick test_release_negative;
         ] );

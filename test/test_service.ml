@@ -1,0 +1,427 @@
+(* The serving subsystem: JSON codec, LRU cache, bounded queue, request
+   decoding, and the end-to-end service loop. *)
+
+module Json = Suu_service.Json
+module Cache = Suu_service.Cache
+module Work_queue = Suu_service.Work_queue
+module Request = Suu_service.Request
+module Service = Suu_service.Service
+module Instance = Suu_core.Instance
+
+let instance_text =
+  "suu 1\nn 2 m 2\nedges 0\nprobs\n0.9 0.5\n0.4 0.8"
+
+let chain_text = "suu 1\nn 2 m 2\nedges 1\n0 1\nprobs\n0.9 0.5\n0.4 0.8"
+
+(* --- Json --- *)
+
+let json_testable =
+  Alcotest.testable
+    (fun ppf v -> Format.pp_print_string ppf (Json.to_string v))
+    ( = )
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("a", Json.Num 1.5);
+        ("b", Json.Str "x\"y\\z\n\t");
+        ("c", Json.List [ Json.Bool true; Json.Null; Json.int (-3) ]);
+        ("d", Json.Obj []);
+      ]
+  in
+  match Json.of_string (Json.to_string v) with
+  | Ok v' -> Alcotest.check json_testable "roundtrip" v v'
+  | Error msg -> Alcotest.fail msg
+
+let test_json_integral_output () =
+  Alcotest.(check string) "int" "42" (Json.to_string (Json.int 42));
+  Alcotest.(check string) "neg" "-7" (Json.to_string (Json.int (-7)));
+  Alcotest.(check string) "frac" "1.25" (Json.to_string (Json.Num 1.25))
+
+let test_json_parse_escapes () =
+  match Json.of_string {|"aA\né"|} with
+  | Ok (Json.Str s) -> Alcotest.(check string) "escapes" "aA\n\xc3\xa9" s
+  | _ -> Alcotest.fail "expected a string"
+
+let test_json_parse_errors () =
+  let bad s =
+    match Json.of_string s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail ("accepted malformed input: " ^ s)
+  in
+  bad "";
+  bad "{";
+  bad "[1,]";
+  bad "{\"a\":}";
+  bad "tru";
+  bad "1 2";
+  bad "\"unterminated"
+
+let test_json_accessors () =
+  let v = Json.Obj [ ("k", Json.Num 3.); ("s", Json.Str "v") ] in
+  Alcotest.(check (option int)) "int" (Some 3) (Json.to_int (Json.Num 3.));
+  Alcotest.(check (option int)) "not int" None (Json.to_int (Json.Num 3.5));
+  Alcotest.(check (option string))
+    "member" (Some "v")
+    (Option.bind (Json.member "s" v) Json.to_str);
+  Alcotest.(check (option string))
+    "missing" None
+    (Option.bind (Json.member "zz" v) Json.to_str)
+
+(* --- Cache --- *)
+
+let test_cache_hit_miss () =
+  let c = Cache.create ~capacity:4 in
+  Alcotest.(check (option int)) "cold" None (Cache.find c "a");
+  Cache.add c "a" 1;
+  Alcotest.(check (option int)) "hit" (Some 1) (Cache.find c "a");
+  Alcotest.(check int) "hits" 1 (Cache.hits c);
+  Alcotest.(check int) "misses" 1 (Cache.misses c)
+
+let test_cache_lru_eviction () =
+  let c = Cache.create ~capacity:2 in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  (* Touch "a" so "b" is the LRU entry when "c" arrives. *)
+  ignore (Cache.find c "a" : int option);
+  Cache.add c "c" 3;
+  Alcotest.(check (option int)) "a kept" (Some 1) (Cache.find c "a");
+  Alcotest.(check (option int)) "b evicted" None (Cache.find c "b");
+  Alcotest.(check (option int)) "c kept" (Some 3) (Cache.find c "c");
+  Alcotest.(check int) "size bounded" 2 (Cache.length c)
+
+let test_cache_overwrite () =
+  let c = Cache.create ~capacity:2 in
+  Cache.add c "a" 1;
+  Cache.add c "a" 9;
+  Alcotest.(check (option int)) "new value" (Some 9) (Cache.find c "a");
+  Alcotest.(check int) "one entry" 1 (Cache.length c)
+
+let test_cache_disabled () =
+  let c = Cache.create ~capacity:0 in
+  Cache.add c "a" 1;
+  Alcotest.(check (option int)) "never stores" None (Cache.find c "a");
+  Alcotest.(check int) "empty" 0 (Cache.length c)
+
+(* --- Work_queue --- *)
+
+let test_queue_backpressure () =
+  let q = Work_queue.create ~capacity:2 in
+  Alcotest.(check bool) "push 1" true (Work_queue.push q 1);
+  Alcotest.(check bool) "push 2" true (Work_queue.push q 2);
+  Alcotest.(check bool) "full" false (Work_queue.push q 3);
+  Alcotest.(check (option int)) "fifo" (Some 1) (Work_queue.pop q);
+  Alcotest.(check bool) "room again" true (Work_queue.push q 3);
+  Alcotest.(check int) "hwm" 2 (Work_queue.high_water_mark q)
+
+let test_queue_close_drains () =
+  let q = Work_queue.create ~capacity:4 in
+  ignore (Work_queue.push q 1 : bool);
+  ignore (Work_queue.push q 2 : bool);
+  Work_queue.close q;
+  Alcotest.(check bool) "closed rejects" false (Work_queue.push q 3);
+  Alcotest.(check (option int)) "drains 1" (Some 1) (Work_queue.pop q);
+  Alcotest.(check (option int)) "drains 2" (Some 2) (Work_queue.pop q);
+  Alcotest.(check (option int)) "then None" None (Work_queue.pop q)
+
+let test_queue_cross_domain () =
+  let q = Work_queue.create ~capacity:8 in
+  let consumer =
+    Domain.spawn (fun () ->
+        let rec loop acc =
+          match Work_queue.pop q with
+          | Some x -> loop (acc + x)
+          | None -> acc
+        in
+        loop 0)
+  in
+  for i = 1 to 100 do
+    while not (Work_queue.push q i) do
+      Domain.cpu_relax ()
+    done
+  done;
+  Work_queue.close q;
+  Alcotest.(check int) "all delivered" 5050 (Domain.join consumer)
+
+(* --- Request decoding --- *)
+
+let decode ?(trials = 50) ?(seed = 1) line =
+  Request.of_line ~default_trials:trials ~default_seed:seed line
+
+let test_request_decode_solve () =
+  match
+    decode
+      (Printf.sprintf
+         {|{"op":"solve","id":"r","algo":"adaptive","trials":7,"seed":9,"instance":"%s"}|}
+         (String.concat "\\n" (String.split_on_char '\n' instance_text)))
+  with
+  | Ok { id; op = Request.Solve { algo; trials; seed; instance }; _ } ->
+      Alcotest.(check (option string)) "id" (Some "r") id;
+      Alcotest.(check string) "algo" "adaptive" (Request.algo_name algo);
+      Alcotest.(check int) "trials" 7 trials;
+      Alcotest.(check int) "seed" 9 seed;
+      Alcotest.(check int) "jobs" 2 (Instance.n instance)
+  | Ok _ -> Alcotest.fail "wrong op"
+  | Error (msg, _) -> Alcotest.fail msg
+
+let test_request_defaults () =
+  match
+    decode ~trials:123 ~seed:77
+      (Printf.sprintf {|{"op":"solve","instance":"%s"}|}
+         (String.concat "\\n" (String.split_on_char '\n' instance_text)))
+  with
+  | Ok { op = Request.Solve { algo; trials; seed; _ }; id; deadline_ms; _ } ->
+      Alcotest.(check string) "auto" "auto" (Request.algo_name algo);
+      Alcotest.(check int) "default trials" 123 trials;
+      Alcotest.(check int) "default seed" 77 seed;
+      Alcotest.(check (option string)) "no id" None id;
+      Alcotest.(check bool) "no deadline" true (deadline_ms = None)
+  | Ok _ -> Alcotest.fail "wrong op"
+  | Error (msg, _) -> Alcotest.fail msg
+
+let test_request_errors_keep_id () =
+  (match decode {|{"op":"solve","id":"k"}|} with
+  | Error (_, Some "k") -> ()
+  | _ -> Alcotest.fail "missing instance should fail but keep the id");
+  (match decode {|{"op":"nope","id":"k"}|} with
+  | Error (msg, Some "k") ->
+      Alcotest.(check bool) "names the op" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "unknown op should fail but keep the id");
+  match decode "not json at all" with
+  | Error (_, None) -> ()
+  | _ -> Alcotest.fail "garbage should fail without an id"
+
+let test_request_bad_instance () =
+  match decode {|{"op":"info","instance":"suu 2\nbogus"}|} with
+  | Error (msg, _) ->
+      Alcotest.(check bool) "mentions instance" true
+        (String.length msg >= 9 && String.sub msg 0 9 = "instance:")
+  | Ok _ -> Alcotest.fail "bad instance accepted"
+
+let test_cache_key_semantics () =
+  let line trials seed text =
+    Printf.sprintf {|{"op":"solve","trials":%d,"seed":%d,"instance":"%s"}|}
+      trials seed
+      (String.concat "\\n" (String.split_on_char '\n' text))
+  in
+  let key l =
+    match decode l with
+    | Ok req -> Request.cache_key req
+    | Error (msg, _) -> Alcotest.fail msg
+  in
+  let k = key (line 50 1 instance_text) in
+  Alcotest.(check bool) "cacheable" true (k <> None);
+  Alcotest.(check (option string)) "same request, same key" k
+    (key (line 50 1 instance_text));
+  Alcotest.(check bool) "trials change the key" true
+    (k <> key (line 51 1 instance_text));
+  Alcotest.(check bool) "seed changes the key" true
+    (k <> key (line 50 2 instance_text));
+  Alcotest.(check bool) "instance changes the key" true
+    (k <> key (line 50 1 chain_text));
+  match decode {|{"op":"stats"}|} with
+  | Ok req ->
+      Alcotest.(check (option string)) "stats uncacheable" None
+        (Request.cache_key req)
+  | Error (msg, _) -> Alcotest.fail msg
+
+(* --- end-to-end service --- *)
+
+let escaped text = String.concat "\\n" (String.split_on_char '\n' text)
+
+let config ~workers =
+  {
+    Service.workers;
+    queue_capacity = 64;
+    cache_capacity = 16;
+    default_trials = 40;
+    default_seed = 5;
+    default_deadline_ms = None;
+  }
+
+let status line =
+  match Json.of_string line with
+  | Ok v -> Option.bind (Json.member "status" v) Json.to_str
+  | Error _ -> None
+
+let field name line =
+  match Json.of_string line with
+  | Ok v -> Json.member name v
+  | Error _ -> None
+
+let test_service_lifecycle () =
+  let solve id =
+    Printf.sprintf
+      {|{"op":"solve","id":"%s","trials":40,"seed":5,"instance":"%s"}|} id
+      (escaped instance_text)
+  in
+  let lines =
+    [
+      solve "a";
+      solve "b";
+      "garbage";
+      Printf.sprintf
+        {|{"op":"solve","id":"t","deadline_ms":0,"instance":"%s"}|}
+        (escaped instance_text);
+      {|{"op":"stats","id":"z"}|};
+    ]
+  in
+  let out, report = Service.run_lines (config ~workers:1) lines in
+  Alcotest.(check int) "one response per request" 5 (List.length out);
+  let nth k = List.nth out k in
+  Alcotest.(check (option string)) "a ok" (Some "ok") (status (nth 0));
+  Alcotest.(check (option string)) "b ok" (Some "ok") (status (nth 1));
+  Alcotest.(check (option string)) "garbage -> error" (Some "error")
+    (status (nth 2));
+  Alcotest.(check (option string)) "deadline -> timeout" (Some "timeout")
+    (status (nth 3));
+  Alcotest.(check (option string)) "stats ok" (Some "ok") (status (nth 4));
+  (* The repeat is a cache hit with identical result fields. *)
+  Alcotest.(check (option bool)) "a computed" (Some false)
+    (Option.bind (field "cached" (nth 0)) Json.to_bool);
+  Alcotest.(check (option bool)) "b cached" (Some true)
+    (Option.bind (field "cached" (nth 1)) Json.to_bool);
+  Alcotest.(check bool) "identical means" true
+    (field "mean" (nth 0) = field "mean" (nth 1));
+  (* Metrics agree with what we just observed. *)
+  Alcotest.(check int) "requests" 4 report.Service.metrics.Suu_service.Metrics.requests;
+  Alcotest.(check int) "ok" 2 report.Service.metrics.Suu_service.Metrics.ok;
+  Alcotest.(check int) "errors" 1 report.Service.metrics.Suu_service.Metrics.errors;
+  Alcotest.(check int) "timeouts" 1
+    report.Service.metrics.Suu_service.Metrics.timeouts;
+  Alcotest.(check int) "cache hits" 1 report.Service.cache_hits;
+  Alcotest.(check int) "cache misses" 1 report.Service.cache_misses;
+  (* And the stats response reports the state before itself. *)
+  Alcotest.(check (option int)) "stats sees 4 requests" (Some 4)
+    (Option.bind (field "requests" (nth 4)) Json.to_int)
+
+let test_service_order_and_determinism_across_workers () =
+  (* Distinct requests (no cache interaction): the response stream must be
+     byte-identical no matter how many workers race on it. *)
+  let lines =
+    List.init 6 (fun k ->
+        Printf.sprintf
+          {|{"op":"solve","id":"r%d","trials":30,"seed":%d,"instance":"%s"}|}
+          k (k + 1) (escaped instance_text))
+    @ [ Printf.sprintf {|{"op":"info","id":"i","instance":"%s"}|}
+          (escaped chain_text) ]
+  in
+  let out1, _ = Service.run_lines (config ~workers:1) lines in
+  let out3, _ = Service.run_lines (config ~workers:3) lines in
+  Alcotest.(check (list string)) "same responses in same order" out1 out3
+
+let test_service_estimate_and_exact () =
+  let inst = Suu_harness.Io.of_string instance_text in
+  let plan =
+    Suu_core.Oblivious.create ~m:2 ~cycle:[| [| 0; 1 |] |] [| [| 0; 1 |] |]
+  in
+  let plan_text = Suu_harness.Io.schedule_to_string plan in
+  let lines =
+    [
+      Printf.sprintf
+        {|{"op":"estimate","id":"e","trials":40,"seed":3,"plan":"%s","instance":"%s"}|}
+        (escaped plan_text) (escaped instance_text);
+      Printf.sprintf {|{"op":"exact","id":"x","instance":"%s"}|}
+        (escaped instance_text);
+    ]
+  in
+  let out, _ = Service.run_lines (config ~workers:1) lines in
+  Alcotest.(check (option string)) "estimate ok" (Some "ok")
+    (status (List.nth out 0));
+  let topt =
+    Option.bind (field "topt" (List.nth out 1)) Json.to_num
+    |> Option.value ~default:Float.nan
+  in
+  let exact = (Suu_algo.Malewicz.optimal inst).Suu_algo.Malewicz.value in
+  Alcotest.(check (float 1e-9)) "exact matches the DP" exact topt
+
+let test_service_plan_mismatch_rejected () =
+  let plan = Suu_core.Oblivious.finite ~m:3 [| [| 0; 1; 0 |] |] in
+  let lines =
+    [
+      Printf.sprintf
+        {|{"op":"estimate","id":"e","plan":"%s","instance":"%s"}|}
+        (escaped (Suu_harness.Io.schedule_to_string plan))
+        (escaped instance_text);
+    ]
+  in
+  let out, _ = Service.run_lines (config ~workers:1) lines in
+  Alcotest.(check (option string)) "machine mismatch -> error" (Some "error")
+    (status (List.nth out 0))
+
+let test_service_queue_full_rejects () =
+  (* Capacity-1 queue, one worker held busy by the first request: with the
+     reader racing far ahead, at least one of the many pending requests
+     must be shed — and every request still gets exactly one response. *)
+  let n = 16 in
+  let lines =
+    List.init n (fun k ->
+        Printf.sprintf
+          {|{"op":"solve","id":"r%d","trials":5000,"seed":%d,"instance":"%s"}|}
+          k (k + 1) (escaped instance_text))
+  in
+  let cfg =
+    { (config ~workers:1) with Service.queue_capacity = 1; cache_capacity = 0 }
+  in
+  let out, report = Service.run_lines cfg lines in
+  Alcotest.(check int) "one response each" n (List.length out);
+  Alcotest.(check int) "accounted" n
+    report.Service.metrics.Suu_service.Metrics.requests;
+  Alcotest.(check bool) "some shed" true
+    (report.Service.metrics.Suu_service.Metrics.rejected > 0);
+  let rejected_lines =
+    List.filter (fun l -> status l = Some "error") out
+  in
+  Alcotest.(check int) "shed = error responses"
+    report.Service.metrics.Suu_service.Metrics.rejected
+    (List.length rejected_lines)
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "integral output" `Quick
+            test_json_integral_output;
+          Alcotest.test_case "escapes" `Quick test_json_parse_escapes;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit/miss" `Quick test_cache_hit_miss;
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "overwrite" `Quick test_cache_overwrite;
+          Alcotest.test_case "capacity 0" `Quick test_cache_disabled;
+        ] );
+      ( "queue",
+        [
+          Alcotest.test_case "backpressure" `Quick test_queue_backpressure;
+          Alcotest.test_case "close drains" `Quick test_queue_close_drains;
+          Alcotest.test_case "cross-domain" `Quick test_queue_cross_domain;
+        ] );
+      ( "request",
+        [
+          Alcotest.test_case "decode solve" `Quick test_request_decode_solve;
+          Alcotest.test_case "defaults" `Quick test_request_defaults;
+          Alcotest.test_case "errors keep id" `Quick
+            test_request_errors_keep_id;
+          Alcotest.test_case "bad instance" `Quick test_request_bad_instance;
+          Alcotest.test_case "cache keys" `Quick test_cache_key_semantics;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_service_lifecycle;
+          Alcotest.test_case "deterministic across workers" `Quick
+            test_service_order_and_determinism_across_workers;
+          Alcotest.test_case "estimate + exact" `Quick
+            test_service_estimate_and_exact;
+          Alcotest.test_case "plan mismatch" `Quick
+            test_service_plan_mismatch_rejected;
+          Alcotest.test_case "queue full rejects" `Quick
+            test_service_queue_full_rejects;
+        ] );
+    ]
