@@ -54,6 +54,11 @@ let parse tokens =
   match tokens with
   | "suu" :: "1" :: "n" :: n :: "m" :: m :: "edges" :: ecount :: rest ->
       let n = int_of n and m = int_of m and ecount = int_of ecount in
+      (* Validate before any [Array.init] so hostile sizes fail with the
+         structured [Failure] every caller already handles. *)
+      if n < 0 then fail "bad job count";
+      if m < 1 then fail "bad machine count";
+      if ecount < 0 then fail "bad edge count";
       let rec take_edges k acc rest =
         if k = 0 then (List.rev acc, rest)
         else
@@ -127,7 +132,9 @@ let schedule_of_string s =
   | "suu-plan" :: "1" :: "m" :: m :: "prefix" :: plen :: rest ->
       let m = int_of m and plen = int_of plen in
       if m < 1 then fail "bad machine count";
+      if plen < 0 then fail "bad prefix length";
       let take_steps count rest =
+        if count < 0 then fail "bad step count";
         let steps = Array.init count (fun _ -> Array.make m (-1)) in
         let rest = ref rest in
         for k = 0 to count - 1 do

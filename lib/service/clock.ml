@@ -1,0 +1,1 @@
+external now_ms : unit -> float = "suu_service_clock_now_ms"

@@ -1,0 +1,11 @@
+(** Monotonic time, for deadlines and latency measurement.
+
+    [Unix.gettimeofday] follows the civil clock, so an NTP step or manual
+    adjustment could spuriously expire in-flight requests or record
+    negative latencies; the service measures durations against
+    [CLOCK_MONOTONIC] instead (via a local C stub — this compiler's
+    [Unix] predates [clock_gettime]). *)
+
+val now_ms : unit -> float
+(** Milliseconds since an arbitrary fixed origin; strictly unaffected by
+    wall-clock adjustments. Only differences are meaningful. *)

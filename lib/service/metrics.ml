@@ -1,3 +1,12 @@
+(* Latency accounting is O(1) per request and bounded in memory: running
+   count/sum/min/max over the whole run plus a fixed-size ring of the
+   most recent samples, from which quantiles are computed at snapshot
+   time. A long-lived service's metrics therefore cannot grow without
+   bound, and a stats request costs O(window log window), not
+   O(requests served). *)
+
+let window_size = 1024
+
 type t = {
   lock : Mutex.t;
   mutable ok : int;
@@ -5,7 +14,10 @@ type t = {
   mutable timeouts : int;
   mutable rejected : int;
   mutable stats_requests : int;
-  mutable latencies : float list;  (* ms, most recent first *)
+  mutable lat_sum : float;
+  mutable lat_min : float;
+  mutable lat_max : float;
+  ring : float array;  (* the last [window_size] ok latencies, ms *)
 }
 
 let create () =
@@ -16,7 +28,10 @@ let create () =
     timeouts = 0;
     rejected = 0;
     stats_requests = 0;
-    latencies = [];
+    lat_sum = 0.;
+    lat_min = infinity;
+    lat_max = neg_infinity;
+    ring = Array.make window_size 0.;
   }
 
 let with_lock m f =
@@ -25,8 +40,11 @@ let with_lock m f =
 
 let record_ok m ~latency_ms =
   with_lock m (fun () ->
+      m.ring.(m.ok mod window_size) <- latency_ms;
       m.ok <- m.ok + 1;
-      m.latencies <- latency_ms :: m.latencies)
+      m.lat_sum <- m.lat_sum +. latency_ms;
+      if latency_ms < m.lat_min then m.lat_min <- latency_ms;
+      if latency_ms > m.lat_max then m.lat_max <- latency_ms)
 
 let record_error m = with_lock m (fun () -> m.errors <- m.errors + 1)
 let record_timeout m = with_lock m (fun () -> m.timeouts <- m.timeouts + 1)
@@ -35,6 +53,15 @@ let record_rejected m = with_lock m (fun () -> m.rejected <- m.rejected + 1)
 let record_stats_request m =
   with_lock m (fun () -> m.stats_requests <- m.stats_requests + 1)
 
+type latency = {
+  count : int;
+  mean_ms : float;
+  min_ms : float;
+  max_ms : float;
+  p95_ms : float;
+  window : int;
+}
+
 type snapshot = {
   requests : int;
   ok : int;
@@ -42,18 +69,28 @@ type snapshot = {
   timeouts : int;
   rejected : int;
   stats_requests : int;
-  latency : Suu_prob.Stats.summary option;
-  latency_p95_ms : float;
+  latency : latency option;
 }
 
 let snapshot m =
   with_lock m (fun () ->
-      let latencies = Array.of_list m.latencies in
-      let latency, p95 =
-        if Array.length latencies = 0 then (None, 0.)
+      let latency =
+        if m.ok = 0 then None
         else
-          ( Some (Suu_prob.Stats.summarize latencies),
-            Suu_prob.Stats.quantile latencies 0.95 )
+          let window = min m.ok window_size in
+          (* With fewer than [window_size] samples only the prefix is
+             live; past that the whole ring is the recent window (sample
+             order is irrelevant to a quantile). *)
+          let recent = Array.sub m.ring 0 window in
+          Some
+            {
+              count = m.ok;
+              mean_ms = m.lat_sum /. float_of_int m.ok;
+              min_ms = m.lat_min;
+              max_ms = m.lat_max;
+              p95_ms = Suu_prob.Stats.quantile recent 0.95;
+              window;
+            }
       in
       {
         requests = m.ok + m.errors + m.timeouts + m.rejected;
@@ -63,5 +100,4 @@ let snapshot m =
         rejected = m.rejected;
         stats_requests = m.stats_requests;
         latency;
-        latency_p95_ms = p95;
       })

@@ -1,18 +1,18 @@
 (** Service counters and latency tracking.
 
     One [t] is shared by the reader and all worker domains; recording is
-    mutex-protected and cheap (a few counter bumps, one list cons). A
-    {!snapshot} is taken on demand (the [stats] request) and on shutdown;
-    latency quantiles are computed at snapshot time from the recorded
-    per-request latencies via {!Suu_prob.Stats}.
+    mutex-protected and O(1) — a few counter bumps and one write into a
+    fixed-size ring of recent latencies, so a long-lived service's
+    metrics stay bounded no matter how many requests it serves. A
+    {!snapshot} is taken on demand (the [stats] request) and on shutdown.
 
     Counting conventions (documented in DESIGN.md §"Serving"): [ok],
     [errors], [timeouts] and [rejected] partition the completed requests;
     [requests] is their sum. [stats] requests are counted separately in
     [stats_requests] so a stats response can report the workload without
     counting itself. Latencies are recorded for [ok] responses only and
-    measured from admission (enqueue) to response emission, so queueing
-    delay is included. *)
+    measured (monotonically, {!Clock}) from admission (enqueue) to
+    response emission, so queueing delay is included. *)
 
 type t
 
@@ -27,6 +27,19 @@ val record_rejected : t -> unit
 
 val record_stats_request : t -> unit
 
+(** Latency figures: [count], [mean_ms], [min_ms] and [max_ms] are
+    running aggregates over every ok response; [p95_ms] is computed over
+    the [window] most recent samples (at most 1024), since exact
+    whole-run quantiles would need unbounded storage. *)
+type latency = {
+  count : int;
+  mean_ms : float;
+  min_ms : float;
+  max_ms : float;
+  p95_ms : float;
+  window : int;  (** samples [p95_ms] is computed over *)
+}
+
 type snapshot = {
   requests : int;  (** ok + errors + timeouts + rejected *)
   ok : int;
@@ -34,8 +47,7 @@ type snapshot = {
   timeouts : int;
   rejected : int;
   stats_requests : int;
-  latency : Suu_prob.Stats.summary option;  (** [None] until the first ok *)
-  latency_p95_ms : float;  (** 0 until the first ok *)
+  latency : latency option;  (** [None] until the first ok *)
 }
 
 val snapshot : t -> snapshot

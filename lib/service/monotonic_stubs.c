@@ -1,0 +1,19 @@
+/* Monotonic wall-clock milliseconds for the service's deadlines and
+   latency measurement. Unix.gettimeofday is a civil clock: an NTP step
+   can spuriously expire in-flight requests or produce negative
+   latencies, and this switch's Unix lacks clock_gettime. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value suu_service_clock_now_ms(value unit)
+{
+  struct timespec ts;
+#if defined(CLOCK_MONOTONIC)
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  return caml_copy_double((double)ts.tv_sec * 1e3 + (double)ts.tv_nsec / 1e6);
+}

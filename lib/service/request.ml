@@ -126,16 +126,25 @@ let of_line ~default_trials ~default_seed line =
         { id; deadline_ms; op }
       with
       | req -> Ok req
-      | exception Bad msg -> Error (msg, id))
+      | exception Bad msg -> Error (msg, id)
+      (* Last line of defence: a decoder bug (or a field validation gap)
+         must yield a structured error, never kill the reader loop. *)
+      | exception e -> Error ("parse: unexpected: " ^ Printexc.to_string e, id))
 
 (* --- cache keys --- *)
+
+let canonical_algo = function
+  | `Auto -> `Adaptive
+  | (`Adaptive | `Oblivious) as a -> a
 
 let cache_key req =
   match req.op with
   | Solve { algo; trials; seed; instance } ->
+      (* Key on the algorithm actually executed, so "auto" and "adaptive"
+         requests share one cache entry. *)
       Some
         (Printf.sprintf "solve:%s:%s:%d:%d" (Io.digest instance)
-           (algo_name algo) trials seed)
+           (algo_name (canonical_algo algo)) trials seed)
   | Estimate { plan_digest; trials; seed; instance; _ } ->
       Some
         (Printf.sprintf "estimate:%s:%s:%d:%d" (Io.digest instance)

@@ -24,6 +24,11 @@ type algo = [ `Auto | `Adaptive | `Oblivious ]
 
 val algo_name : algo -> string
 
+val canonical_algo : algo -> [ `Adaptive | `Oblivious ]
+(** The algorithm actually executed: [`Auto] is the practical default and
+    resolves to [`Adaptive]. Cache keys use the canonical form so "auto"
+    and "adaptive" requests for the same instance share one entry. *)
+
 type op =
   | Solve of {
       algo : algo;

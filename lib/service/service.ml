@@ -45,11 +45,12 @@ let report_to_string r =
     (Printf.sprintf "queue depth high-water mark: %d\n" r.queue_hwm);
   (match m.Metrics.latency with
   | None -> ()
-  | Some s ->
+  | Some l ->
       Buffer.add_string buf
         (Printf.sprintf
            "latency ms: min %.2f mean %.2f p95 %.2f max %.2f\n"
-           s.Stats.min s.Stats.mean m.Metrics.latency_p95_ms s.Stats.max));
+           l.Metrics.min_ms l.Metrics.mean_ms l.Metrics.p95_ms
+           l.Metrics.max_ms));
   Buffer.contents buf
 
 module type TRANSPORT = sig
@@ -71,11 +72,14 @@ let stdio () : (module TRANSPORT) =
 
    Workers finish out of order; responses must not. Each admitted line
    gets a sequence number and finished responses park in [pending] until
-   every earlier response has been sent. *)
+   every earlier response has been sent. Parked responses are thunks so
+   a response can be rendered at the moment it is next in line — the
+   stats request uses this to snapshot counters consistent with the
+   emitted stream. *)
 
 type emitter = {
   elock : Mutex.t;
-  pending : (int, string) Hashtbl.t;
+  pending : (int, unit -> string) Hashtbl.t;
   mutable next_seq : int;
   send_line : string -> unit;
 }
@@ -88,29 +92,34 @@ let emitter_create send_line =
     send_line;
   }
 
-let emit em seq line =
+let emit_lazy em seq make_line =
   Mutex.lock em.elock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock em.elock)
     (fun () ->
-      Hashtbl.replace em.pending seq line;
+      Hashtbl.replace em.pending seq make_line;
       let rec flush () =
         match Hashtbl.find_opt em.pending em.next_seq with
-        | Some l ->
+        | Some make ->
             Hashtbl.remove em.pending em.next_seq;
-            em.send_line l;
+            em.send_line (make ());
             em.next_seq <- em.next_seq + 1;
             flush ()
         | None -> ()
       in
       flush ())
 
+let emit em seq line = emit_lazy em seq (fun () -> line)
+
 (* --- request execution --- *)
 
 exception Failed of string
 
 let failed fmt = Printf.ksprintf (fun msg -> raise (Failed msg)) fmt
-let now_ms () = Unix.gettimeofday () *. 1000.
+
+(* Monotonic: deadlines and latencies must not move with the civil
+   clock (NTP steps, manual adjustment). *)
+let now_ms = Clock.now_ms
 
 let estimate_fields ~policy ~trials ~seed ~stop instance =
   let e = Engine.estimate_makespan_seeded ~stop ~trials ~seed instance policy in
@@ -153,12 +162,10 @@ let execute op ~stop =
   match op with
   | Request.Solve { algo; trials; seed; instance } ->
       (* [auto] is the practical default (the adaptive greedy policy);
-         the paper's guaranteed oblivious column is an explicit opt-in. *)
-      let kind =
-        match algo with
-        | `Oblivious -> `Oblivious
-        | `Adaptive | `Auto -> `Adaptive
-      in
+         the paper's guaranteed oblivious column is an explicit opt-in.
+         [canonical_algo] is also what the cache key is built from, so a
+         key can never alias two different computations. *)
+      let kind = Request.canonical_algo algo in
       let policy =
         try Suu_algo.Solver.solve ~kind instance
         with Suu_algo.Solver.Unsupported msg -> failed "unsupported: %s" msg
@@ -210,16 +217,16 @@ let stats_fields r =
   in
   match m.Metrics.latency with
   | None -> base
-  | Some s ->
+  | Some l ->
       base
       @ [
           ( "latency_ms",
             Json.Obj
               [
-                ("min", Json.Num s.Stats.min);
-                ("mean", Json.Num s.Stats.mean);
-                ("p95", Json.Num m.Metrics.latency_p95_ms);
-                ("max", Json.Num s.Stats.max);
+                ("min", Json.Num l.Metrics.min_ms);
+                ("mean", Json.Num l.Metrics.mean_ms);
+                ("p95", Json.Num l.Metrics.p95_ms);
+                ("max", Json.Num l.Metrics.max_ms);
               ] );
         ]
 
@@ -253,9 +260,13 @@ let handle_job cfg ~metrics ~cache ~queue ~em job =
   match req.Request.op with
   | Request.Stats ->
       (* Counted apart so a stats response describes the workload without
-         counting itself; never subject to deadlines. *)
+         counting itself; never subject to deadlines. The snapshot is
+         deferred until this response is next in line to be emitted, so
+         its counts include every response that appears above it in the
+         stream (responses record their metrics before they emit). *)
       Metrics.record_stats_request metrics;
-      emit em seq (Request.ok ~id (stats_fields (report_of ~metrics ~cache ~queue)))
+      emit_lazy em seq (fun () ->
+          Request.ok ~id (stats_fields (report_of ~metrics ~cache ~queue)))
   | op ->
       if expired () then finish_timeout ()
       else begin

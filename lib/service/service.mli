@@ -14,6 +14,11 @@
     worker finishes first — clients can correlate by position as well as
     by id, and the output is deterministic for a deterministic workload.
 
+    A [stats] response snapshots the counters at the moment it is next in
+    line to be emitted, so its counts include every response that appears
+    above it in the stream; responses still in flight below it may or may
+    not be counted yet.
+
     {2 Reproducibility}
 
     Workers estimate makespans with

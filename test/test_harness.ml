@@ -95,6 +95,22 @@ let test_io_rejects_truncated () =
   | exception Failure _ -> ()
   | _ -> Alcotest.fail "accepted truncated input"
 
+let test_io_rejects_hostile_sizes () =
+  (* Negative sizes must fail with [Failure] like any other parse error —
+     not escape as [Invalid_argument] from [Array.init] (a live service
+     reader treats only [Failure] as a malformed request). *)
+  let bad s =
+    match Io.of_string s with
+    | exception Failure _ -> ()
+    | exception e ->
+        Alcotest.fail ("wrong exception: " ^ Printexc.to_string e)
+    | _ -> Alcotest.fail ("accepted hostile input: " ^ s)
+  in
+  bad "suu 1\nn 0 m -1\nedges 0\nprobs";
+  bad "suu 1\nn -1 m 1\nedges 0\nprobs";
+  bad "suu 1\nn 0 m 0\nedges 0\nprobs";
+  bad "suu 1\nn 1 m 1\nedges -1\nprobs\n0.5"
+
 let test_experiment_measure () =
   let inst = sample_instance 5 in
   let m =
@@ -153,6 +169,18 @@ let test_schedule_rejects_truncated () =
   match Io.schedule_of_string (String.sub s 0 (String.length s - 8)) with
   | exception Failure _ -> ()
   | _ -> Alcotest.fail "accepted truncated plan"
+
+let test_schedule_rejects_hostile_sizes () =
+  let bad s =
+    match Io.schedule_of_string s with
+    | exception Failure _ -> ()
+    | exception e ->
+        Alcotest.fail ("wrong exception: " ^ Printexc.to_string e)
+    | _ -> Alcotest.fail ("accepted hostile plan: " ^ s)
+  in
+  bad "suu-plan 1\nm 1\nprefix -1\ncycle 0";
+  bad "suu-plan 1\nm 1\nprefix 0\ncycle -1";
+  bad "suu-plan 1\nm 0\nprefix 0\ncycle 0"
 
 let test_gantt_of_trace () =
   let trace =
@@ -238,6 +266,8 @@ let () =
           Alcotest.test_case "comments" `Quick test_io_comments_ignored;
           Alcotest.test_case "garbage rejected" `Quick test_io_rejects_garbage;
           Alcotest.test_case "truncated rejected" `Quick test_io_rejects_truncated;
+          Alcotest.test_case "hostile sizes rejected" `Quick
+            test_io_rejects_hostile_sizes;
         ] );
       ( "plans",
         [
@@ -248,6 +278,8 @@ let () =
             test_schedule_rejects_garbage;
           Alcotest.test_case "truncated rejected" `Quick
             test_schedule_rejects_truncated;
+          Alcotest.test_case "hostile sizes rejected" `Quick
+            test_schedule_rejects_hostile_sizes;
         ] );
       ( "gantt",
         [

@@ -200,6 +200,20 @@ let test_request_bad_instance () =
         (String.length msg >= 9 && String.sub msg 0 9 = "instance:")
   | Ok _ -> Alcotest.fail "bad instance accepted"
 
+let test_request_hostile_instance () =
+  (* Negative sizes in an embedded instance/plan must decode to [Error] —
+     before the Io size validation they escaped as Invalid_argument and
+     killed the service's reader loop. *)
+  let bad line =
+    match decode line with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail ("accepted hostile request: " ^ line)
+  in
+  bad {|{"op":"info","id":"e","instance":"suu 1\nn 0 m -1\nedges 0\nprobs"}|};
+  bad {|{"op":"solve","id":"e","instance":"suu 1\nn -1 m 1\nedges 0\nprobs"}|};
+  bad
+    {|{"op":"estimate","id":"e","plan":"suu-plan 1\nm 1\nprefix -1\ncycle 0","instance":"suu 1\nn 1 m 1\nedges 0\nprobs\n0.5"}|}
+
 let test_cache_key_semantics () =
   let line trials seed text =
     Printf.sprintf {|{"op":"solve","trials":%d,"seed":%d,"instance":"%s"}|}
@@ -221,6 +235,18 @@ let test_cache_key_semantics () =
     (k <> key (line 50 2 instance_text));
   Alcotest.(check bool) "instance changes the key" true
     (k <> key (line 50 1 chain_text));
+  (* "auto" executes as "adaptive", so the two must share a cache entry;
+     "oblivious" is a different computation and must not. *)
+  let algo_line a =
+    Printf.sprintf {|{"op":"solve","algo":"%s","trials":50,"seed":1,"instance":"%s"}|}
+      a
+      (String.concat "\\n" (String.split_on_char '\n' instance_text))
+  in
+  Alcotest.(check (option string)) "auto aliases adaptive"
+    (key (algo_line "adaptive"))
+    (key (algo_line "auto"));
+  Alcotest.(check bool) "oblivious is distinct" true
+    (key (algo_line "oblivious") <> key (algo_line "auto"));
   match decode {|{"op":"stats"}|} with
   | Ok req ->
       Alcotest.(check (option string)) "stats uncacheable" None
@@ -378,6 +404,46 @@ let test_service_queue_full_rejects () =
     report.Service.metrics.Suu_service.Metrics.rejected
     (List.length rejected_lines)
 
+let test_service_survives_hostile_instance () =
+  let lines =
+    [
+      {|{"op":"info","id":"evil","instance":"suu 1\nn 0 m -1\nedges 0\nprobs"}|};
+      Printf.sprintf {|{"op":"info","id":"fine","instance":"%s"}|}
+        (escaped instance_text);
+    ]
+  in
+  let out, report = Service.run_lines (config ~workers:1) lines in
+  Alcotest.(check int) "both answered" 2 (List.length out);
+  Alcotest.(check (option string)) "hostile -> error" (Some "error")
+    (status (List.nth out 0));
+  Alcotest.(check (option string)) "service still serving" (Some "ok")
+    (status (List.nth out 1));
+  Alcotest.(check int) "error counted" 1
+    report.Service.metrics.Suu_service.Metrics.errors
+
+let test_metrics_latency_bounded () =
+  let module Metrics = Suu_service.Metrics in
+  let m = Metrics.create () in
+  let n = 3000 in
+  for i = 1 to n do
+    Metrics.record_ok m ~latency_ms:(float_of_int i)
+  done;
+  match (Metrics.snapshot m).Metrics.latency with
+  | None -> Alcotest.fail "expected latency figures"
+  | Some l ->
+      Alcotest.(check int) "counts every ok" n l.Metrics.count;
+      Alcotest.(check int) "window stays bounded" 1024 l.Metrics.window;
+      Alcotest.(check (float 1e-9)) "running mean over all samples"
+        (float_of_int (n + 1) /. 2.)
+        l.Metrics.mean_ms;
+      Alcotest.(check (float 1e-9)) "running min" 1. l.Metrics.min_ms;
+      Alcotest.(check (float 1e-9)) "running max" (float_of_int n)
+        l.Metrics.max_ms;
+      (* p95 is over the last 1024 samples: n-1023 .. n. *)
+      Alcotest.(check bool) "p95 within the recent window" true
+        (l.Metrics.p95_ms >= float_of_int (n - 1023)
+        && l.Metrics.p95_ms <= float_of_int n)
+
 let () =
   Alcotest.run "service"
     [
@@ -410,6 +476,8 @@ let () =
           Alcotest.test_case "errors keep id" `Quick
             test_request_errors_keep_id;
           Alcotest.test_case "bad instance" `Quick test_request_bad_instance;
+          Alcotest.test_case "hostile instance" `Quick
+            test_request_hostile_instance;
           Alcotest.test_case "cache keys" `Quick test_cache_key_semantics;
         ] );
       ( "service",
@@ -423,5 +491,9 @@ let () =
             test_service_plan_mismatch_rejected;
           Alcotest.test_case "queue full rejects" `Quick
             test_service_queue_full_rejects;
+          Alcotest.test_case "survives hostile instance" `Quick
+            test_service_survives_hostile_instance;
+          Alcotest.test_case "bounded latency metrics" `Quick
+            test_metrics_latency_bounded;
         ] );
     ]
