@@ -38,6 +38,7 @@ let mixed_requests ~count ~trials =
 
 let config ~workers ~cache =
   {
+    Service.default_config with
     Service.workers;
     queue_capacity = 4096;
     cache_capacity = cache;

@@ -22,6 +22,7 @@ let experiments =
     ("exp-k", Exp_k.run);
     ("exp-l", Exp_l.run);
     ("exp-serve", Exp_serve.run);
+    ("exp-fault", Exp_fault.run);
     ("perf", Perf.run);
   ]
 

@@ -254,6 +254,57 @@ let simulate_cmd =
        ~doc:"Trace one execution step by step (adaptive, or a saved plan)")
     Term.(const run $ instance_arg $ plan_arg $ gantt_arg $ trials_arg $ seed_arg)
 
+(* Graceful shutdown for `suu serve`: the first SIGINT/SIGTERM stops the
+   reader (the service then drains the queue, joins the workers and
+   emits its shutdown report); a second signal restores the default
+   disposition, so a wedged drain can still be killed.
+
+   OCaml may run the handler on any domain at a safe point. Only the
+   main domain — and only while it is blocked in [input_line] — may
+   raise to interrupt the read; everywhere else the handler just sets
+   the flag, which the transport checks before the next read. *)
+exception Shutdown_signal
+
+let serve_stopping = Atomic.make false
+let serve_in_recv = Atomic.make false
+
+let install_serve_signals () =
+  let main = Domain.self () in
+  let restore_default () =
+    List.iter
+      (fun s -> Sys.set_signal s Sys.Signal_default)
+      [ Sys.sigint; Sys.sigterm ]
+  in
+  let handler _ =
+    Atomic.set serve_stopping true;
+    restore_default ();
+    if Domain.self () = main && Atomic.get serve_in_recv then
+      raise Shutdown_signal
+  in
+  List.iter
+    (fun s -> Sys.set_signal s (Sys.Signal_handle handler))
+    [ Sys.sigint; Sys.sigterm ]
+
+let signal_aware_stdio () : (module Suu_service.Service.TRANSPORT) =
+  (module struct
+    let recv () =
+      if Atomic.get serve_stopping then None
+      else begin
+        Atomic.set serve_in_recv true;
+        let line =
+          try In_channel.input_line In_channel.stdin
+          with Shutdown_signal -> None
+        in
+        Atomic.set serve_in_recv false;
+        if Atomic.get serve_stopping then None else line
+      end
+
+    let send line =
+      print_string line;
+      print_newline ();
+      flush stdout
+  end)
+
 let serve_cmd =
   let workers_arg =
     let doc =
@@ -277,13 +328,56 @@ let serve_cmd =
     Arg.(
       value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
   in
+  let max_restarts_arg =
+    let doc =
+      "Replacement worker domains the supervisor may spawn after crashes."
+    in
+    Arg.(value & opt int 8 & info [ "max-restarts" ] ~docv:"N" ~doc)
+  in
+  let retries_arg =
+    let doc =
+      "Retries (capped exponential backoff) for transiently-failed requests."
+    in
+    Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let degrade_arg =
+    let doc =
+      "Queue depth at which new requests run with a degraded trial count \
+       (responses carry \"degraded\":true); unset disables degradation."
+    in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "degrade-watermark" ] ~docv:"DEPTH" ~doc)
+  in
+  let fault_arg =
+    let doc =
+      "Deterministic fault injection for demos/chaos testing, e.g. \
+       'seed=7,crash=0.01,transient=0.1,stall=0.05,stall_ms=20'. The seed \
+       defaults to \\$SUU_FAULT_SEED when set."
+    in
+    Arg.(value & opt string "" & info [ "fault-spec" ] ~docv:"SPEC" ~doc)
+  in
   let quiet_arg =
     Arg.(
       value & flag
       & info [ "q"; "quiet" ] ~doc:"Suppress the shutdown metrics dump.")
   in
-  let run workers queue cache trials seed deadline quiet =
+  let run workers queue cache trials seed deadline max_restarts retries
+      degrade fault_spec quiet =
     let module Service = Suu_service.Service in
+    let module Fault = Suu_service.Fault in
+    let default_seed =
+      Option.bind (Sys.getenv_opt "SUU_FAULT_SEED") int_of_string_opt
+      |> Option.value ~default:1
+    in
+    let fault =
+      match Fault.of_string ~default_seed fault_spec with
+      | Ok f -> f
+      | Error msg ->
+          Printf.eprintf "suu serve: %s\n" msg;
+          exit 2
+    in
     let config =
       {
         Service.workers =
@@ -294,15 +388,23 @@ let serve_cmd =
         default_trials = trials;
         default_seed = seed;
         default_deadline_ms = deadline;
+        max_restarts = max 0 max_restarts;
+        retries = max 0 retries;
+        retry_backoff_ms = Service.default_config.Service.retry_backoff_ms;
+        degrade_watermark = Option.map (max 0) degrade;
+        degrade_trials = Service.default_config.Service.degrade_trials;
+        fault;
       }
     in
-    let report = Service.serve config (Service.stdio ()) in
+    install_serve_signals ();
+    let report = Service.serve config (signal_aware_stdio ()) in
     if not quiet then prerr_string (Service.report_to_string report)
   in
   let term =
     Term.(
       const run $ workers_arg $ queue_arg $ cache_arg $ trials_arg $ seed_arg
-      $ deadline_arg $ quiet_arg)
+      $ deadline_arg $ max_restarts_arg $ retries_arg $ degrade_arg
+      $ fault_arg $ quiet_arg)
   in
   Cmd.v
     (Cmd.info "serve"

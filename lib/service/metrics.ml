@@ -14,6 +14,10 @@ type t = {
   mutable timeouts : int;
   mutable rejected : int;
   mutable stats_requests : int;
+  mutable worker_crashes : int;
+  mutable restarts : int;
+  mutable retries : int;
+  mutable degraded : int;
   mutable lat_sum : float;
   mutable lat_min : float;
   mutable lat_max : float;
@@ -28,6 +32,10 @@ let create () =
     timeouts = 0;
     rejected = 0;
     stats_requests = 0;
+    worker_crashes = 0;
+    restarts = 0;
+    retries = 0;
+    degraded = 0;
     lat_sum = 0.;
     lat_min = infinity;
     lat_max = neg_infinity;
@@ -53,6 +61,13 @@ let record_rejected m = with_lock m (fun () -> m.rejected <- m.rejected + 1)
 let record_stats_request m =
   with_lock m (fun () -> m.stats_requests <- m.stats_requests + 1)
 
+let record_worker_crash m =
+  with_lock m (fun () -> m.worker_crashes <- m.worker_crashes + 1)
+
+let record_restart m = with_lock m (fun () -> m.restarts <- m.restarts + 1)
+let record_retry m = with_lock m (fun () -> m.retries <- m.retries + 1)
+let record_degraded m = with_lock m (fun () -> m.degraded <- m.degraded + 1)
+
 type latency = {
   count : int;
   mean_ms : float;
@@ -69,6 +84,10 @@ type snapshot = {
   timeouts : int;
   rejected : int;
   stats_requests : int;
+  worker_crashes : int;
+  restarts : int;
+  retries : int;
+  degraded : int;
   latency : latency option;
 }
 
@@ -99,5 +118,9 @@ let snapshot m =
         timeouts = m.timeouts;
         rejected = m.rejected;
         stats_requests = m.stats_requests;
+        worker_crashes = m.worker_crashes;
+        restarts = m.restarts;
+        retries = m.retries;
+        degraded = m.degraded;
         latency;
       })

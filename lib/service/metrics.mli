@@ -27,6 +27,21 @@ val record_rejected : t -> unit
 
 val record_stats_request : t -> unit
 
+val record_worker_crash : t -> unit
+(** A worker domain died on an uncaught exception; its in-flight request
+    (if any) was answered with a [worker_crash] error. *)
+
+val record_restart : t -> unit
+(** The supervisor spawned a replacement worker domain. *)
+
+val record_retry : t -> unit
+(** One retry of a transiently-failed request (a request retried [k]
+    times bumps this [k] times). *)
+
+val record_degraded : t -> unit
+(** A request admitted with a degraded trial count because the queue
+    depth had crossed the overload watermark. *)
+
 (** Latency figures: [count], [mean_ms], [min_ms] and [max_ms] are
     running aggregates over every ok response; [p95_ms] is computed over
     the [window] most recent samples (at most 1024), since exact
@@ -47,6 +62,10 @@ type snapshot = {
   timeouts : int;
   rejected : int;
   stats_requests : int;
+  worker_crashes : int;  (** crashed workers (each answers as an error) *)
+  restarts : int;  (** replacement domains spawned by the supervisor *)
+  retries : int;  (** total transient-failure retries across requests *)
+  degraded : int;  (** requests admitted with a degraded trial count *)
   latency : latency option;  (** [None] until the first ok *)
 }
 

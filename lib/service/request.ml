@@ -128,7 +128,10 @@ let of_line ~default_trials ~default_seed line =
       | req -> Ok req
       | exception Bad msg -> Error (msg, id)
       (* Last line of defence: a decoder bug (or a field validation gap)
-         must yield a structured error, never kill the reader loop. *)
+         must yield a structured error, never kill the reader loop —
+         but resource-exhaustion exceptions are not decoder bugs and
+         swallowing them would hide a dying process. *)
+      | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
       | exception e -> Error ("parse: unexpected: " ^ Printexc.to_string e, id))
 
 (* --- cache keys --- *)
@@ -160,14 +163,18 @@ let ok ~id fields =
   Json.to_string
     (Json.Obj (("id", id_json id) :: ("status", Json.Str "ok") :: fields))
 
-let error ~id msg =
+let error ~id ?reason msg =
   Json.to_string
     (Json.Obj
-       [
-         ("id", id_json id);
-         ("status", Json.Str "error");
-         ("error", Json.Str msg);
-       ])
+       ([
+          ("id", id_json id);
+          ("status", Json.Str "error");
+          ("error", Json.Str msg);
+        ]
+       @
+       match reason with
+       | None -> []
+       | Some r -> [ ("reason", Json.Str r) ]))
 
 let timeout ~id ~deadline_ms =
   Json.to_string

@@ -76,8 +76,14 @@ val cache_key : t -> string option
 val ok : id:string option -> (string * Json.t) list -> string
 (** [{"id":…,"status":"ok",…fields}] — fields keep their order. *)
 
-val error : id:string option -> string -> string
-(** [{"id":…,"status":"error","error":msg}] *)
+val error : id:string option -> ?reason:string -> string -> string
+(** [{"id":…,"status":"error","error":msg}], plus a machine-readable
+    ["reason"] field when one is given. The service uses
+    ["worker_crash"] (the worker died mid-request), ["transient"] (a
+    retryable failure outlived its retry budget), ["queue_full"] (load
+    shed at admission) and ["unavailable"] (drained at shutdown after
+    the worker pool's restart budget was exhausted); plain request
+    errors carry no reason. *)
 
 val timeout : id:string option -> deadline_ms:float -> string
 (** [{"id":…,"status":"timeout","error":"deadline exceeded",

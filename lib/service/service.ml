@@ -10,6 +10,12 @@ type config = {
   default_trials : int;
   default_seed : int;
   default_deadline_ms : float option;
+  max_restarts : int;
+  retries : int;
+  retry_backoff_ms : float;
+  degrade_watermark : int option;
+  degrade_trials : int;
+  fault : Fault.spec;
 }
 
 let default_config =
@@ -20,7 +26,17 @@ let default_config =
     default_trials = 200;
     default_seed = 1;
     default_deadline_ms = None;
+    max_restarts = 8;
+    retries = 2;
+    retry_backoff_ms = 1.;
+    degrade_watermark = None;
+    degrade_trials = 25;
+    fault = Fault.none;
   }
+
+(* Backoff for attempt [k] is [retry_backoff_ms * 2^k], capped here so a
+   deep retry chain cannot hold a worker for seconds. *)
+let backoff_cap_ms = 50.
 
 type report = {
   metrics : Metrics.snapshot;
@@ -43,6 +59,19 @@ let report_to_string r =
        r.cache_misses r.cache_size);
   Buffer.add_string buf
     (Printf.sprintf "queue depth high-water mark: %d\n" r.queue_hwm);
+  (* The fault line only appears once something went wrong (or chaos was
+     injected), so healthy shutdown dumps stay three lines. *)
+  if
+    m.Metrics.worker_crashes > 0
+    || m.Metrics.restarts > 0
+    || m.Metrics.retries > 0
+    || m.Metrics.degraded > 0
+  then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "faults: %d worker crashes, %d restarts, %d retries, %d degraded\n"
+         m.Metrics.worker_crashes m.Metrics.restarts m.Metrics.retries
+         m.Metrics.degraded);
   (match m.Metrics.latency with
   | None -> ()
   | Some l ->
@@ -67,6 +96,33 @@ let stdio () : (module TRANSPORT) =
       print_newline ();
       flush stdout
   end)
+
+(* Chaos at the transport seam: slow delivery and torn (truncated)
+   lines, keyed by line number so a given workload is corrupted the
+   same way on every run. [recv] is reader-domain-only, so the line
+   counter needs no lock. *)
+let wrap_transport fault (module T : TRANSPORT) : (module TRANSPORT) =
+  if fault.Fault.slow = 0. && fault.Fault.truncate = 0. then (module T)
+  else
+    (module struct
+      let lines = ref 0
+
+      let recv () =
+        match T.recv () with
+        | None -> None
+        | Some line ->
+            let k = !lines in
+            incr lines;
+            if Fault.fires fault Fault.Slow ~key:k then
+              Unix.sleepf (fault.Fault.slow_ms /. 1000.);
+            if
+              Fault.fires fault Fault.Truncate ~key:k
+              && String.length line > 1
+            then Some (String.sub line 0 (String.length line / 2))
+            else Some line
+
+      let send = T.send
+    end)
 
 (* --- ordered response emission ---
 
@@ -97,17 +153,22 @@ let emit_lazy em seq make_line =
   Fun.protect
     ~finally:(fun () -> Mutex.unlock em.elock)
     (fun () ->
-      Hashtbl.replace em.pending seq make_line;
-      let rec flush () =
-        match Hashtbl.find_opt em.pending em.next_seq with
-        | Some make ->
-            Hashtbl.remove em.pending em.next_seq;
-            em.send_line (make ());
-            em.next_seq <- em.next_seq + 1;
-            flush ()
-        | None -> ()
-      in
-      flush ())
+      (* A sequence number already emitted is a stale duplicate (a
+         worker crashed after its response left): drop it rather than
+         park it forever. *)
+      if seq >= em.next_seq then begin
+        Hashtbl.replace em.pending seq make_line;
+        let rec flush () =
+          match Hashtbl.find_opt em.pending em.next_seq with
+          | Some make ->
+              Hashtbl.remove em.pending em.next_seq;
+              em.send_line (make ());
+              em.next_seq <- em.next_seq + 1;
+              flush ()
+          | None -> ()
+        in
+        flush ()
+      end)
 
 let emit em seq line = emit_lazy em seq (fun () -> line)
 
@@ -121,8 +182,11 @@ let failed fmt = Printf.ksprintf (fun msg -> raise (Failed msg)) fmt
    clock (NTP steps, manual adjustment). *)
 let now_ms = Clock.now_ms
 
-let estimate_fields ~policy ~trials ~seed ~stop instance =
-  let e = Engine.estimate_makespan_seeded ~stop ~trials ~seed instance policy in
+let estimate_fields ~policy ~trials ~seed ~stop ~on_trial instance =
+  let e =
+    Engine.estimate_makespan_seeded ~stop ~on_trial ~trials ~seed instance
+      policy
+  in
   let p95 =
     if Array.length e.Engine.samples = 0 then 0.
     else Stats.quantile e.Engine.samples 0.95
@@ -158,7 +222,7 @@ let info_fields instance =
         ] );
   ]
 
-let execute op ~stop =
+let execute op ~stop ~on_trial =
   match op with
   | Request.Solve { algo; trials; seed; instance } ->
       (* [auto] is the practical default (the adaptive greedy policy);
@@ -170,11 +234,11 @@ let execute op ~stop =
         try Suu_algo.Solver.solve ~kind instance
         with Suu_algo.Solver.Unsupported msg -> failed "unsupported: %s" msg
       in
-      estimate_fields ~policy ~trials ~seed ~stop instance
+      estimate_fields ~policy ~trials ~seed ~stop ~on_trial instance
   | Request.Estimate { plan; trials; seed; instance; _ } ->
       estimate_fields
         ~policy:(Policy.of_oblivious "plan" plan)
-        ~trials ~seed ~stop instance
+        ~trials ~seed ~stop ~on_trial instance
   | Request.Info instance -> info_fields instance
   | Request.Exact instance -> (
       match Suu_algo.Malewicz.optimal instance with
@@ -189,7 +253,12 @@ let execute op ~stop =
 
 (* --- the service --- *)
 
-type job = { seq : int; admitted_at : float; req : Request.t }
+type job = {
+  seq : int;
+  admitted_at : float;
+  degraded : bool;
+  req : Request.t;
+}
 
 let report_of ~metrics ~cache ~queue =
   {
@@ -209,6 +278,10 @@ let stats_fields r =
       ("errors", Json.int m.Metrics.errors);
       ("timeouts", Json.int m.Metrics.timeouts);
       ("rejected", Json.int m.Metrics.rejected);
+      ("worker_crashes", Json.int m.Metrics.worker_crashes);
+      ("restarts", Json.int m.Metrics.restarts);
+      ("retries", Json.int m.Metrics.retries);
+      ("degraded", Json.int m.Metrics.degraded);
       ("cache_hits", Json.int r.cache_hits);
       ("cache_misses", Json.int r.cache_misses);
       ("cache_size", Json.int r.cache_size);
@@ -230,8 +303,27 @@ let stats_fields r =
               ] );
         ]
 
+(* Degraded admission runs Monte-Carlo ops at a reduced trial count. The
+   op is rewritten *before* the cache key is computed, so a degraded
+   result is cached under the trial count actually executed and can
+   never alias a full-fidelity entry. *)
+let degrade_op cfg op =
+  match op with
+  | Request.Solve r when r.trials > cfg.degrade_trials ->
+      Request.Solve { r with trials = cfg.degrade_trials }
+  | Request.Estimate r when r.trials > cfg.degrade_trials ->
+      Request.Estimate { r with trials = cfg.degrade_trials }
+  | op -> op
+
+(* Capped exponential backoff with deterministic jitter (from the fault
+   spec's seed, so chaos runs are reproducible end to end). *)
+let backoff_s cfg ~seq ~attempt =
+  let raw = cfg.retry_backoff_ms *. (2. ** float_of_int attempt) in
+  let jitter = Fault.jitter cfg.fault ~key:(Fault.attempt_key ~seq ~attempt) in
+  Float.min raw backoff_cap_ms *. (0.5 +. (0.5 *. jitter)) /. 1000.
+
 let handle_job cfg ~metrics ~cache ~queue ~em job =
-  let { seq; admitted_at; req } = job in
+  let { seq; admitted_at; degraded; req } = job in
   let id = req.Request.id in
   let deadline_ms =
     match req.Request.deadline_ms with
@@ -243,13 +335,19 @@ let handle_job cfg ~metrics ~cache ~queue ~em job =
     | None -> false
     | Some d -> now_ms () -. admitted_at >= d
   in
-  let finish_ok fields =
+  let finish_ok ~retries fields =
+    let fields =
+      if retries > 0 then ("retries", Json.int retries) :: fields else fields
+    in
+    let fields =
+      if degraded then ("degraded", Json.Bool true) :: fields else fields
+    in
     Metrics.record_ok metrics ~latency_ms:(now_ms () -. admitted_at);
     emit em seq (Request.ok ~id fields)
   in
-  let finish_error msg =
+  let finish_error ?reason msg =
     Metrics.record_error metrics;
-    emit em seq (Request.error ~id msg)
+    emit em seq (Request.error ~id ?reason msg)
   in
   let finish_timeout () =
     Metrics.record_timeout metrics;
@@ -267,44 +365,148 @@ let handle_job cfg ~metrics ~cache ~queue ~em job =
       Metrics.record_stats_request metrics;
       emit_lazy em seq (fun () ->
           Request.ok ~id (stats_fields (report_of ~metrics ~cache ~queue)))
-  | op ->
+  | _ ->
       if expired () then finish_timeout ()
       else begin
+        let req =
+          if degraded then { req with Request.op = degrade_op cfg req.op }
+          else req
+        in
+        let op = req.Request.op in
         let key = Request.cache_key req in
         match Option.bind key (Cache.find cache) with
-        | Some fields -> finish_ok (("cached", Json.Bool true) :: fields)
-        | None -> (
-            match execute op ~stop:expired with
-            | fields ->
-                Option.iter (fun k -> Cache.add cache k fields) key;
-                let fields =
-                  if key <> None then ("cached", Json.Bool false) :: fields
-                  else fields
-                in
-                finish_ok fields
-            | exception Engine.Interrupted -> finish_timeout ()
-            | exception Failed msg -> finish_error msg
-            | exception e ->
-                finish_error ("internal: " ^ Printexc.to_string e))
+        | Some fields ->
+            finish_ok ~retries:0 (("cached", Json.Bool true) :: fields)
+        | None ->
+            let on_trial k =
+              if k = 0 && Fault.fires cfg.fault Fault.Stall ~key:seq then
+                Unix.sleepf (cfg.fault.Fault.stall_ms /. 1000.)
+            in
+            let rec attempt k =
+              match
+                if
+                  Fault.fires cfg.fault Fault.Transient
+                    ~key:(Fault.attempt_key ~seq ~attempt:k)
+                then raise (Fault.Transient_failure "injected");
+                execute op ~stop:expired ~on_trial
+              with
+              | fields ->
+                  Option.iter (fun cache_k -> Cache.add cache cache_k fields) key;
+                  let fields =
+                    if key <> None then ("cached", Json.Bool false) :: fields
+                    else fields
+                  in
+                  finish_ok ~retries:k fields
+              | exception Engine.Interrupted -> finish_timeout ()
+              | exception Failed msg -> finish_error msg
+              | exception Fault.Transient_failure why ->
+                  if k < cfg.retries && not (expired ()) then begin
+                    Metrics.record_retry metrics;
+                    Unix.sleepf (backoff_s cfg ~seq ~attempt:k);
+                    attempt (k + 1)
+                  end
+                  else
+                    finish_error ~reason:"transient"
+                      (Printf.sprintf
+                         "transient failure (%s) after %d attempts" why (k + 1))
+              (* Resource exhaustion must escape to the supervisor (a
+                 worker-crash answer + restart), not masquerade as a
+                 request-level internal error. *)
+              | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+              | exception e ->
+                  finish_error ("internal: " ^ Printexc.to_string e)
+            in
+            attempt 0
       end
 
-let serve cfg (module T : TRANSPORT) =
+(* --- supervision ---
+
+   Worker domains are expendable: an exception escaping the request
+   handler (injected or real) kills only the domain it happened on. The
+   dying worker answers its in-flight request with a structured
+   [worker_crash] error first — ordered emission never sees a sequence
+   hole — and then, under the supervisor lock, spawns its own
+   replacement while the restart budget lasts. Spawning happens-before
+   the domain terminates, so the joiner below can never miss a
+   replacement: when [Domain.join] returns for a crashed worker, its
+   replacement is already on the handle list. *)
+
+type supervisor = {
+  slock : Mutex.t;
+  mutable handles : unit Domain.t list;
+  mutable restarts_left : int;
+}
+
+let serve cfg (module T0 : TRANSPORT) =
   if cfg.workers < 1 then invalid_arg "Service.serve: workers < 1";
+  if cfg.max_restarts < 0 then invalid_arg "Service.serve: max_restarts < 0";
+  if cfg.retries < 0 then invalid_arg "Service.serve: retries < 0";
+  if cfg.degrade_trials < 1 then
+    invalid_arg "Service.serve: degrade_trials < 1";
+  let fault = cfg.fault in
+  let module T = (val wrap_transport fault (module T0)) in
   let metrics = Metrics.create () in
   let cache = Cache.create ~capacity:cfg.cache_capacity in
-  let queue = Work_queue.create ~capacity:cfg.queue_capacity in
-  let em = emitter_create T.send in
-  let worker () =
-    let rec loop () =
-      match Work_queue.pop queue with
-      | None -> ()
-      | Some job ->
-          handle_job cfg ~metrics ~cache ~queue ~em job;
-          loop ()
-    in
-    loop ()
+  let on_pop =
+    if fault.Fault.queue_delay = 0. then fun () -> ()
+    else begin
+      let pops = Atomic.make 0 in
+      fun () ->
+        let k = Atomic.fetch_and_add pops 1 in
+        if Fault.fires fault Fault.Queue_delay ~key:k then
+          Unix.sleepf (fault.Fault.queue_ms /. 1000.)
+    end
   in
-  let domains = List.init cfg.workers (fun _ -> Domain.spawn worker) in
+  let queue = Work_queue.create ~on_pop ~capacity:cfg.queue_capacity () in
+  let em = emitter_create T.send in
+  let sup =
+    {
+      slock = Mutex.create ();
+      handles = [];
+      restarts_left = cfg.max_restarts;
+    }
+  in
+  let crash_answer job e =
+    Metrics.record_worker_crash metrics;
+    Metrics.record_error metrics;
+    (* Nothing may stop the dying worker from reaching the supervisor:
+       if even the crash answer fails to emit, supervision (and the
+       shutdown drain's no-hole guarantee) still proceed. *)
+    try
+      emit em job.seq
+        (Request.error ~id:job.req.Request.id ~reason:"worker_crash"
+           ("worker crashed: " ^ Printexc.to_string e))
+    with _ -> ()
+  in
+  let rec worker_main () =
+    match worker_loop () with
+    | () -> ()
+    | exception _ ->
+        Mutex.lock sup.slock;
+        if sup.restarts_left > 0 then begin
+          sup.restarts_left <- sup.restarts_left - 1;
+          Metrics.record_restart metrics;
+          sup.handles <- Domain.spawn worker_main :: sup.handles
+        end;
+        Mutex.unlock sup.slock
+  and worker_loop () =
+    match Work_queue.pop queue with
+    | None -> ()
+    | Some job ->
+        (match
+           if Fault.fires fault Fault.Crash ~key:job.seq then
+             raise Fault.Injected_crash
+           else handle_job cfg ~metrics ~cache ~queue ~em job
+         with
+        | () -> ()
+        | exception e ->
+            crash_answer job e;
+            raise e);
+        worker_loop ()
+  in
+  Mutex.lock sup.slock;
+  sup.handles <- List.init cfg.workers (fun _ -> Domain.spawn worker_main);
+  Mutex.unlock sup.slock;
   let seq = ref 0 in
   let rec read_loop () =
     match T.recv () with
@@ -323,11 +525,20 @@ let serve cfg (module T : TRANSPORT) =
                Metrics.record_error metrics;
                emit em s (Request.error ~id msg)
            | Ok req ->
-               let job = { seq = s; admitted_at = now_ms (); req } in
-               if not (Work_queue.push queue job) then begin
+               let degraded =
+                 match (cfg.degrade_watermark, req.Request.op) with
+                 | Some w, (Request.Solve _ | Request.Estimate _) ->
+                     Work_queue.length queue >= w
+                 | _ -> false
+               in
+               let job = { seq = s; admitted_at = now_ms (); degraded; req } in
+               if Work_queue.push queue job then begin
+                 if degraded then Metrics.record_degraded metrics
+               end
+               else begin
                  Metrics.record_rejected metrics;
                  emit em s
-                   (Request.error ~id:req.Request.id
+                   (Request.error ~id:req.Request.id ~reason:"queue_full"
                       (Printf.sprintf "queue full (capacity %d)"
                          cfg.queue_capacity))
                end
@@ -336,7 +547,34 @@ let serve cfg (module T : TRANSPORT) =
   in
   read_loop ();
   Work_queue.close queue;
-  List.iter Domain.join domains;
+  (* Join every worker, including replacements spawned while we were
+     joining (each crash spawns before its domain terminates, so a
+     re-scan that finds nothing new has seen everything). *)
+  let rec join_all joined =
+    Mutex.lock sup.slock;
+    let current = sup.handles in
+    Mutex.unlock sup.slock;
+    let fresh = List.filter (fun h -> not (List.memq h joined)) current in
+    if fresh <> [] then begin
+      List.iter Domain.join fresh;
+      join_all current
+    end
+  in
+  join_all [];
+  (* If the pool died with its restart budget exhausted, undelivered
+     jobs remain: answer each so no admitted request is ever dropped
+     and the ordered stream has no holes. *)
+  let rec drain_unserved () =
+    match Work_queue.pop queue with
+    | None -> ()
+    | Some job ->
+        Metrics.record_error metrics;
+        emit em job.seq
+          (Request.error ~id:job.req.Request.id ~reason:"unavailable"
+             "service unavailable (worker pool exhausted)");
+        drain_unserved ()
+  in
+  drain_unserved ();
   report_of ~metrics ~cache ~queue
 
 let run_lines cfg lines =

@@ -34,7 +34,35 @@
     request up and between Monte-Carlo trials, so a pathological
     instance cannot wedge a worker beyond one trial (itself bounded by
     the engine's horizon). Expired requests answer
-    [{"status":"timeout",…}]. *)
+    [{"status":"timeout",…}].
+
+    {2 Fault tolerance}
+
+    The worker pool is {e supervised}: an exception escaping the request
+    handler kills only that worker domain, which answers its in-flight
+    request with [{"status":"error","reason":"worker_crash",…}] (ordered
+    emission never sees a sequence hole) and is replaced by a fresh
+    domain while the [max_restarts] budget lasts. Once the budget is
+    spent, remaining admitted requests are answered
+    [reason:"unavailable"] at shutdown — every admitted request gets
+    exactly one response, no matter how the pool dies.
+
+    Failures raised as {!Fault.Transient_failure} are {e retried} up to
+    [retries] times with capped exponential backoff and deterministic
+    jitter; responses that needed retries carry ["retries":k], and the
+    exhausted case answers [reason:"transient"].
+
+    Under overload — queue depth at or above [degrade_watermark] — new
+    Monte-Carlo requests are admitted {e degraded}: their trial count is
+    capped at [degrade_trials] and the response carries
+    ["degraded":true]. Degradation sheds work before the queue fills;
+    hard reject-on-full ([reason:"queue_full"]) remains the last resort.
+
+    All of it is exercisable deterministically through [fault]
+    ({!Fault.spec}): injected worker crashes, transient failures,
+    stalled trials, slow consumers, and slow or truncated transport
+    lines, each keyed so the same spec corrupts the same requests at
+    any worker count. *)
 
 type config = {
   workers : int;  (** worker domains (>= 1) *)
@@ -44,11 +72,25 @@ type config = {
   default_seed : int;  (** when a request omits ["seed"] *)
   default_deadline_ms : float option;
       (** when a request omits ["deadline_ms"]; [None] = no deadline *)
+  max_restarts : int;
+      (** replacement worker domains over the service's lifetime; 0
+          means a crashed worker is gone for good *)
+  retries : int;  (** transient-failure retries per request *)
+  retry_backoff_ms : float;
+      (** backoff before retry [k] is [retry_backoff_ms * 2^k] (capped
+          at 50 ms), times a deterministic jitter factor in [0.5, 1] *)
+  degrade_watermark : int option;
+      (** queue depth at which new Monte-Carlo requests are admitted
+          degraded; [None] disables degradation *)
+  degrade_trials : int;  (** trial cap for degraded admissions (>= 1) *)
+  fault : Fault.spec;  (** fault injection; {!Fault.none} in production *)
 }
 
 val default_config : config
 (** [Domain.recommended_domain_count () - 1] workers (at least 1, at
-    most 8), queue 64, cache 128, 200 trials, seed 1, no deadline. *)
+    most 8), queue 64, cache 128, 200 trials, seed 1, no deadline;
+    8 restarts, 2 retries with 1 ms base backoff, degradation off, no
+    fault injection. *)
 
 (** What a service run reports on shutdown (and, live, via the [stats]
     request). *)
@@ -81,7 +123,9 @@ val stdio : unit -> (module TRANSPORT)
 
 val serve : config -> (module TRANSPORT) -> report
 (** Run the service until the transport's input is exhausted, then drain
-    the queue, join the workers and return the final report. *)
+    the queue, join the workers (and any supervisor-spawned
+    replacements) and return the final report. Every admitted request is
+    answered exactly once, even if the whole worker pool crashed. *)
 
 val run_lines : config -> string list -> string list * report
 (** [serve] over an in-memory transport: feed request lines, collect

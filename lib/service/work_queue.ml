@@ -5,9 +5,10 @@ type 'a t = {
   capacity : int;
   mutable closed : bool;
   mutable hwm : int;
+  on_pop : unit -> unit;
 }
 
-let create ~capacity =
+let create ?(on_pop = fun () -> ()) ~capacity () =
   if capacity < 1 then invalid_arg "Work_queue.create: capacity < 1";
   {
     lock = Mutex.create ();
@@ -16,6 +17,7 @@ let create ~capacity =
     capacity;
     closed = false;
     hwm = 0;
+    on_pop;
   }
 
 let with_lock q f =
@@ -33,6 +35,9 @@ let push q x =
       end)
 
 let pop q =
+  (* Outside the lock: a chaos hook that sleeps (a slow consumer) must
+     not stall the producers or the other consumers. *)
+  q.on_pop ();
   with_lock q (fun () ->
       let rec wait () =
         if not (Queue.is_empty q.buf) then Some (Queue.pop q.buf)

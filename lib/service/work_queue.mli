@@ -13,8 +13,12 @@
 
 type 'a t
 
-val create : capacity:int -> 'a t
-(** @raise Invalid_argument if [capacity < 1]. *)
+val create : ?on_pop:(unit -> unit) -> capacity:int -> unit -> 'a t
+(** [on_pop] (default: nothing) runs at every {!pop} entry, outside the
+    queue lock — the fault-injection seam for simulating slow consumers
+    and widening race windows in stress tests. It must not raise.
+
+    @raise Invalid_argument if [capacity < 1]. *)
 
 val push : 'a t -> 'a -> bool
 (** Enqueue; [false] (and no effect) when the queue is full or closed. *)

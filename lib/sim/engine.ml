@@ -172,12 +172,13 @@ let estimate_makespan ?max_steps ?releases ~trials rng inst policy =
 exception Interrupted
 
 let estimate_makespan_seeded ?max_steps ?releases ?(stop = fun () -> false)
-    ~trials ~seed inst policy =
+    ?(on_trial = fun (_ : int) -> ()) ~trials ~seed inst policy =
   if trials < 1 then invalid_arg "Engine.estimate_makespan_seeded: trials < 1";
   let samples = ref [] in
   let incomplete = ref 0 in
   for k = 0 to trials - 1 do
     if stop () then raise Interrupted;
+    on_trial k;
     (* Same mixing family as the parallel estimator's per-worker seeds,
        applied per trial: the stream of trial [k] is a pure function of
        [(seed, k)]. *)

@@ -66,6 +66,7 @@ val estimate_makespan_seeded :
   ?max_steps:int ->
   ?releases:int array ->
   ?stop:(unit -> bool) ->
+  ?on_trial:(int -> unit) ->
   trials:int ->
   seed:int ->
   Suu_core.Instance.t ->
@@ -83,7 +84,16 @@ val estimate_makespan_seeded :
     returns [true] the estimate is abandoned and {!Interrupted} is raised
     — the hook for per-request deadline enforcement. A single trial is
     bounded by [max_steps] (default {!default_horizon}), so the poll
-    interval is bounded too. *)
+    interval is bounded too.
+
+    [on_trial k] (default: nothing) runs just before trial [k], after
+    the [stop] poll. It is an observability and fault-injection seam:
+    the serving layer's chaos harness uses it to stall a trial (a sleep,
+    exercising mid-request deadline enforcement — the next trial's
+    [stop] poll sees the expired deadline) or to fail transiently (an
+    exception, which propagates to the caller and exercises the retry
+    policy). It cannot perturb the estimate itself: trial [k]'s RNG
+    stream is derived from [(seed, k)] after the hook returns. *)
 
 val estimate_makespan_parallel :
   ?max_steps:int ->

@@ -59,3 +59,69 @@ is deterministic:
   served 1 requests (ok 0, errors 1, timeouts 0, rejected 0)
   cache: 0 hits, 0 misses, 0 entries
   queue depth high-water mark: 0
+
+A deadline can also expire mid-execution: the inter-trial poll catches a
+request whose trial budget is far larger than its time budget, so one
+worker cannot be wedged by a pathological request.
+
+  $ suu serve --workers 1 --quiet <<'EOF'
+  > {"op":"solve","id":"slow","deadline_ms":20,"trials":10000000,"instance":"suu 1\nn 2 m 2\nedges 0\nprobs\n0.9 0.5\n0.4 0.8"}
+  > EOF
+  {"id":"slow","status":"timeout","error":"deadline exceeded","deadline_ms":20}
+
+Load shedding, end to end: a capacity-1 queue behind one worker that is
+busy with a long first request. Every request is still answered exactly
+once — the shed ones with a structured "queue_full" error.
+
+  $ for k in 0 1 2 3 4 5 6 7; do
+  >   printf '{"op":"solve","id":"f%d","trials":200000,"seed":%d,"instance":"suu 1\\nn 2 m 2\\nedges 0\\nprobs\\n0.9 0.5\\n0.4 0.8"}\n' $k $k
+  > done | suu serve --workers 1 --queue 1 --cache 0 --quiet > flood.out
+  $ wc -l < flood.out
+  8
+  $ test $(grep -c '"reason":"queue_full"' flood.out) -ge 1 && echo shed
+  shed
+
+Fault injection is deterministic: the same spec crashes the same
+requests. With crash=1 every request kills its worker mid-flight; the
+supervisor answers each with a structured "worker_crash" error (the
+ordered stream has no holes) and replaces the worker while the restart
+budget lasts. The shutdown dump accounts for the chaos; its queue/cache
+lines are timing-dependent, so only the fault counters are pinned.
+
+  $ cat > crashy <<'EOF'
+  > {"op":"solve","id":"a","trials":64,"seed":3,"instance":"suu 1\nn 2 m 2\nedges 0\nprobs\n0.9 0.5\n0.4 0.8"}
+  > {"op":"solve","id":"b","trials":64,"seed":4,"instance":"suu 1\nn 2 m 2\nedges 0\nprobs\n0.9 0.5\n0.4 0.8"}
+  > EOF
+  $ suu serve --workers 1 --fault-spec 'crash=1' --max-restarts 2 < crashy 2> dump
+  {"id":"a","status":"error","error":"worker crashed: injected crash","reason":"worker_crash"}
+  {"id":"b","status":"error","error":"worker crashed: injected crash","reason":"worker_crash"}
+  $ grep -E '^(served|faults)' dump
+  served 2 requests (ok 0, errors 2, timeouts 0, rejected 0)
+  faults: 2 worker crashes, 2 restarts, 0 retries, 0 degraded
+
+With the restart budget exhausted the pool dies for good; requests still
+in the queue are answered "unavailable" rather than dropped.
+
+  $ suu serve --workers 1 --fault-spec 'crash=1' --max-restarts 0 --quiet < crashy
+  {"id":"a","status":"error","error":"worker crashed: injected crash","reason":"worker_crash"}
+  {"id":"b","status":"error","error":"service unavailable (worker pool exhausted)","reason":"unavailable"}
+
+Transient failures are retried with capped exponential backoff; at
+rate 1 every attempt fails and the request exhausts its budget.
+
+  $ head -1 crashy | suu serve --workers 1 --fault-spec 'transient=1' --retries 1 --quiet
+  {"id":"a","status":"error","error":"transient failure (injected) after 2 attempts","reason":"transient"}
+
+Overload degradation: watermark 0 makes every Monte-Carlo request run
+degraded — its trial count capped (default 25), the response marked
+"degraded":true. Answers remain reproducible: the mean is exactly what a
+direct 25-trial request would compute.
+
+  $ head -1 crashy | suu serve --workers 1 --degrade-watermark 0 --quiet
+  {"id":"a","status":"ok","degraded":true,"cached":false,"algo":"suu-i-alg","trials":25,"mean":1.28,"ci95":0.179636967242,"p95":2,"incomplete":0}
+
+A malformed fault spec is rejected up front, not at the first injection.
+
+  $ suu serve --fault-spec 'crash=2' < /dev/null
+  suu serve: fault-spec: crash: rate 2 not in [0,1]
+  [2]

@@ -207,6 +207,31 @@ let test_seeded_stop_interrupts () =
            (always_assign inst)
           : Engine.estimate))
 
+let test_seeded_on_trial_hook () =
+  let inst = single_job 0.5 in
+  let seen = ref [] in
+  let e =
+    Engine.estimate_makespan_seeded
+      ~on_trial:(fun k -> seen := k :: !seen)
+      ~trials:7 ~seed:3 inst (always_assign inst)
+  in
+  Alcotest.(check (list int)) "once per trial, in order" [ 0; 1; 2; 3; 4; 5; 6 ]
+    (List.rev !seen);
+  (* The hook is pure observation: the estimate matches a hook-free run. *)
+  let plain =
+    Engine.estimate_makespan_seeded ~trials:7 ~seed:3 inst (always_assign inst)
+  in
+  Alcotest.(check (float 1e-12)) "estimate unperturbed"
+    plain.Engine.stats.Suu_prob.Stats.mean e.Engine.stats.Suu_prob.Stats.mean;
+  (* Exceptions raised by the hook propagate to the caller — the seam the
+     serving layer's fault harness relies on. *)
+  Alcotest.check_raises "hook exceptions escape" Exit (fun () ->
+      ignore
+        (Engine.estimate_makespan_seeded
+           ~on_trial:(fun k -> if k = 2 then raise Exit)
+           ~trials:10 ~seed:3 inst (always_assign inst)
+          : Engine.estimate))
+
 let test_parallel_single_domain () =
   let inst = Instance.independent ~p:[| [| 0.8 |] |] in
   let policy = Suu_algo.Suu_i.policy inst in
@@ -412,6 +437,7 @@ let () =
             test_seeded_matches_sequential_stats;
           Alcotest.test_case "stop interrupts" `Quick
             test_seeded_stop_interrupts;
+          Alcotest.test_case "on_trial hook" `Quick test_seeded_on_trial_hook;
         ] );
       ( "releases",
         [

@@ -6,7 +6,15 @@ module Cache = Suu_service.Cache
 module Work_queue = Suu_service.Work_queue
 module Request = Suu_service.Request
 module Service = Suu_service.Service
+module Fault = Suu_service.Fault
 module Instance = Suu_core.Instance
+
+(* The chaos tests' structural assertions (every request answered
+   exactly once, in order, with consistent accounting) must hold for
+   every fault placement; CI sweeps this seed to prove it. *)
+let chaos_seed =
+  Option.bind (Sys.getenv_opt "SUU_FAULT_SEED") int_of_string_opt
+  |> Option.value ~default:1
 
 let instance_text =
   "suu 1\nn 2 m 2\nedges 0\nprobs\n0.9 0.5\n0.4 0.8"
@@ -107,7 +115,7 @@ let test_cache_disabled () =
 (* --- Work_queue --- *)
 
 let test_queue_backpressure () =
-  let q = Work_queue.create ~capacity:2 in
+  let q = Work_queue.create ~capacity:2 () in
   Alcotest.(check bool) "push 1" true (Work_queue.push q 1);
   Alcotest.(check bool) "push 2" true (Work_queue.push q 2);
   Alcotest.(check bool) "full" false (Work_queue.push q 3);
@@ -116,7 +124,7 @@ let test_queue_backpressure () =
   Alcotest.(check int) "hwm" 2 (Work_queue.high_water_mark q)
 
 let test_queue_close_drains () =
-  let q = Work_queue.create ~capacity:4 in
+  let q = Work_queue.create ~capacity:4 () in
   ignore (Work_queue.push q 1 : bool);
   ignore (Work_queue.push q 2 : bool);
   Work_queue.close q;
@@ -126,7 +134,7 @@ let test_queue_close_drains () =
   Alcotest.(check (option int)) "then None" None (Work_queue.pop q)
 
 let test_queue_cross_domain () =
-  let q = Work_queue.create ~capacity:8 in
+  let q = Work_queue.create ~capacity:8 () in
   let consumer =
     Domain.spawn (fun () ->
         let rec loop acc =
@@ -259,12 +267,19 @@ let escaped text = String.concat "\\n" (String.split_on_char '\n' text)
 
 let config ~workers =
   {
+    Service.default_config with
     Service.workers;
     queue_capacity = 64;
     cache_capacity = 16;
     default_trials = 40;
     default_seed = 5;
     default_deadline_ms = None;
+    (* Chaos is opt-in per test; keep the base config injection-free and
+       the backoff cheap enough for retry tests. *)
+    max_restarts = 8;
+    retries = 2;
+    retry_backoff_ms = 0.1;
+    fault = Fault.none;
   }
 
 let status line =
@@ -444,6 +459,453 @@ let test_metrics_latency_bounded () =
         (l.Metrics.p95_ms >= float_of_int (n - 1023)
         && l.Metrics.p95_ms <= float_of_int n)
 
+(* --- fault injection --- *)
+
+let test_fault_determinism () =
+  let spec = { Fault.none with Fault.seed = 9; crash = 0.3 } in
+  (* Decisions are pure functions of (seed, site, key). *)
+  for key = 0 to 199 do
+    Alcotest.(check bool) "pure"
+      (Fault.fires spec Fault.Crash ~key)
+      (Fault.fires spec Fault.Crash ~key)
+  done;
+  (* Rate extremes. *)
+  let never = { Fault.none with Fault.seed = 9 } in
+  let always = { Fault.none with Fault.seed = 9; crash = 1.0 } in
+  for key = 0 to 199 do
+    Alcotest.(check bool) "rate 0 never fires" false
+      (Fault.fires never Fault.Crash ~key);
+    Alcotest.(check bool) "rate 1 always fires" true
+      (Fault.fires always Fault.Crash ~key)
+  done;
+  (* The empirical rate tracks the configured one. *)
+  let n = 10_000 in
+  let hits = ref 0 in
+  for key = 0 to n - 1 do
+    if Fault.fires spec Fault.Crash ~key then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "empirical rate %.3f near 0.3" rate)
+    true
+    (rate > 0.25 && rate < 0.35);
+  (* Seeds and sites decorrelate the pattern. *)
+  let differs pred =
+    let rec scan key = key < 500 && (pred key || scan (key + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "seed changes the pattern" true
+    (differs (fun key ->
+         Fault.fires spec Fault.Crash ~key
+         <> Fault.fires { spec with Fault.seed = 10 } Fault.Crash ~key));
+  let both = { spec with Fault.transient = 0.3 } in
+  Alcotest.(check bool) "sites draw independently" true
+    (differs (fun key ->
+         Fault.fires both Fault.Crash ~key
+         <> Fault.fires both Fault.Transient ~key));
+  (* Jitter factors land in [0,1) and depend on the key. *)
+  for key = 0 to 99 do
+    let j = Fault.jitter spec ~key in
+    Alcotest.(check bool) "jitter in range" true (j >= 0. && j < 1.)
+  done;
+  Alcotest.(check bool) "jitter varies" true
+    (differs (fun key -> Fault.jitter spec ~key <> Fault.jitter spec ~key:(key + 1)))
+
+let test_fault_spec_parse () =
+  (match Fault.of_string ~default_seed:4 "" with
+  | Ok s ->
+      Alcotest.(check bool) "empty spec is none" true (Fault.is_none s);
+      Alcotest.(check int) "default seed" 4 s.Fault.seed
+  | Error e -> Alcotest.fail e);
+  (match
+     Fault.of_string "crash=0.25, transient=1, stall=0.5, stall_ms=3, seed=11"
+   with
+  | Ok s ->
+      Alcotest.(check int) "seed" 11 s.Fault.seed;
+      Alcotest.(check (float 0.)) "crash" 0.25 s.Fault.crash;
+      Alcotest.(check (float 0.)) "transient" 1. s.Fault.transient;
+      Alcotest.(check (float 0.)) "stall" 0.5 s.Fault.stall;
+      Alcotest.(check (float 0.)) "stall_ms" 3. s.Fault.stall_ms;
+      Alcotest.(check bool) "not none" false (Fault.is_none s);
+      (* to_string/of_string roundtrip. *)
+      (match Fault.of_string (Fault.to_string s) with
+      | Ok s' -> Alcotest.(check bool) "roundtrip" true (s = s')
+      | Error e -> Alcotest.fail e)
+  | Error e -> Alcotest.fail e);
+  let rejects text =
+    match Fault.of_string text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail ("accepted bad spec: " ^ text)
+  in
+  rejects "nope=1";
+  rejects "crash";
+  rejects "crash=2";
+  rejects "crash=-0.1";
+  rejects "crash=zero";
+  rejects "stall_ms=-5";
+  rejects "seed=1.5"
+
+(* --- Work_queue under concurrency (producers x consumers, racing close) --- *)
+
+let test_queue_concurrent_stress () =
+  let stress ~close_after_ms =
+    let q = Work_queue.create ~on_pop:Domain.cpu_relax ~capacity:8 () in
+    let closing = Atomic.make false in
+    let producers = 4 and consumers = 4 and per_producer = 300 in
+    let prods =
+      List.init producers (fun p ->
+          Domain.spawn (fun () ->
+              let pushed = ref [] in
+              (try
+                 for j = 0 to per_producer - 1 do
+                   let x = (p * per_producer) + j in
+                   let rec attempt () =
+                     if Work_queue.push q x then pushed := x :: !pushed
+                     else if Atomic.get closing then raise Exit
+                     else begin
+                       Domain.cpu_relax ();
+                       attempt ()
+                     end
+                   in
+                   attempt ()
+                 done
+               with Exit -> ());
+              !pushed))
+    in
+    let cons =
+      List.init consumers (fun _ ->
+          Domain.spawn (fun () ->
+              let rec loop acc =
+                match Work_queue.pop q with
+                | Some x -> loop (x :: acc)
+                | None -> acc
+              in
+              loop []))
+    in
+    Unix.sleepf (close_after_ms /. 1000.);
+    Atomic.set closing true;
+    Work_queue.close q;
+    let pushed = List.concat_map Domain.join prods in
+    let consumed = List.concat_map Domain.join cons in
+    (* Exactly the successfully-pushed items come out: nothing lost,
+       nothing delivered twice, regardless of when close lands. *)
+    Alcotest.(check int)
+      (Printf.sprintf "close after %gms: counts match" close_after_ms)
+      (List.length pushed) (List.length consumed);
+    Alcotest.(check (list int))
+      (Printf.sprintf "close after %gms: same multiset" close_after_ms)
+      (List.sort compare pushed)
+      (List.sort compare consumed)
+  in
+  List.iter (fun ms -> stress ~close_after_ms:ms) [ 0.; 1.; 5. ]
+
+(* --- supervised worker pool --- *)
+
+let solve_line k =
+  Printf.sprintf {|{"op":"solve","id":"r%d","trials":30,"seed":%d,"instance":"%s"}|}
+    k (k + 1) (escaped instance_text)
+
+let response_id line =
+  match field "id" line with Some (Json.Str s) -> Some s | _ -> None
+
+let check_ordered out n =
+  Alcotest.(check int) "one response per request" n (List.length out);
+  List.iteri
+    (fun k line ->
+      Alcotest.(check (option string))
+        (Printf.sprintf "response %d in request order" k)
+        (Some (Printf.sprintf "r%d" k))
+        (response_id line))
+    out
+
+let test_service_worker_crash_supervision () =
+  (* Injected crashes kill real worker domains; the supervisor's job is
+     to keep the stream whole. Faults are keyed by request sequence, so
+     the failure set is predictable from the spec alone. *)
+  let spec = { Fault.none with Fault.seed = 11; crash = 0.4 } in
+  let n = 12 in
+  let crashed k = Fault.fires spec Fault.Crash ~key:k in
+  let predicted = List.length (List.filter crashed (List.init n Fun.id)) in
+  Alcotest.(check bool) "spec exercises both outcomes" true
+    (predicted > 0 && predicted < n);
+  let cfg =
+    {
+      (config ~workers:2) with
+      Service.cache_capacity = 0;
+      max_restarts = 100;
+      retries = 0;
+      fault = spec;
+    }
+  in
+  let out, report = Service.run_lines cfg (List.init n solve_line) in
+  check_ordered out n;
+  List.iteri
+    (fun k line ->
+      if crashed k then begin
+        Alcotest.(check (option string))
+          (Printf.sprintf "request %d answered as crash" k)
+          (Some "error") (status line);
+        Alcotest.(check (option string))
+          (Printf.sprintf "request %d names the reason" k)
+          (Some "worker_crash")
+          (Option.bind (field "reason" line) Json.to_str)
+      end
+      else
+        Alcotest.(check (option string))
+          (Printf.sprintf "request %d unaffected" k)
+          (Some "ok") (status line))
+    out;
+  let m = report.Service.metrics in
+  Alcotest.(check int) "crashes counted" predicted
+    m.Suu_service.Metrics.worker_crashes;
+  Alcotest.(check int) "each crash replaced" predicted
+    m.Suu_service.Metrics.restarts;
+  Alcotest.(check int) "survivors ok" (n - predicted) m.Suu_service.Metrics.ok;
+  Alcotest.(check int) "crashes are errors" predicted
+    m.Suu_service.Metrics.errors
+
+let test_service_restart_budget_and_drain () =
+  (* Every request crashes its worker; with one worker and two allowed
+     restarts the pool dies after three crashes, and the remaining
+     admitted requests must still be answered (unavailable), in order. *)
+  let n = 6 in
+  let cfg =
+    {
+      (config ~workers:1) with
+      Service.cache_capacity = 0;
+      max_restarts = 2;
+      retries = 0;
+      fault = { Fault.none with Fault.seed = 3; crash = 1.0 };
+    }
+  in
+  let out, report = Service.run_lines cfg (List.init n solve_line) in
+  check_ordered out n;
+  List.iteri
+    (fun k line ->
+      let want = if k < 3 then "worker_crash" else "unavailable" in
+      Alcotest.(check (option string))
+        (Printf.sprintf "request %d reason" k)
+        (Some want)
+        (Option.bind (field "reason" line) Json.to_str))
+    out;
+  let m = report.Service.metrics in
+  Alcotest.(check int) "three crashes" 3 m.Suu_service.Metrics.worker_crashes;
+  Alcotest.(check int) "budget spent" 2 m.Suu_service.Metrics.restarts;
+  Alcotest.(check int) "all errors" n m.Suu_service.Metrics.errors;
+  Alcotest.(check int) "none ok" 0 m.Suu_service.Metrics.ok
+
+(* --- retry policy --- *)
+
+let test_service_transient_retry () =
+  (* At rate 0.5 with 2 retries, each request succeeds on its first
+     non-firing attempt f (carrying "retries":f) or exhausts after 3.
+     The placement is a pure function of the spec, so predict it. *)
+  let spec = { Fault.none with Fault.seed = 21; transient = 0.5 } in
+  let retries = 2 in
+  let n = 12 in
+  let first_success seq =
+    let rec scan k =
+      if k > retries then None
+      else if
+        Fault.fires spec Fault.Transient ~key:(Fault.attempt_key ~seq ~attempt:k)
+      then scan (k + 1)
+      else Some k
+    in
+    scan 0
+  in
+  Alcotest.(check bool) "spec exercises retries and exhaustion" true
+    (List.exists (fun s -> first_success s = None) (List.init n Fun.id)
+    && List.exists
+         (fun s -> match first_success s with Some k -> k > 0 | None -> false)
+         (List.init n Fun.id));
+  let cfg =
+    {
+      (config ~workers:2) with
+      Service.cache_capacity = 0;
+      retries;
+      fault = spec;
+    }
+  in
+  let out, report = Service.run_lines cfg (List.init n solve_line) in
+  check_ordered out n;
+  let expected_retries = ref 0 in
+  List.iteri
+    (fun k line ->
+      match first_success k with
+      | Some f ->
+          expected_retries := !expected_retries + f;
+          Alcotest.(check (option string))
+            (Printf.sprintf "request %d recovers" k)
+            (Some "ok") (status line);
+          Alcotest.(check (option int))
+            (Printf.sprintf "request %d retry count" k)
+            (if f > 0 then Some f else None)
+            (Option.bind (field "retries" line) Json.to_int)
+      | None ->
+          expected_retries := !expected_retries + retries;
+          Alcotest.(check (option string))
+            (Printf.sprintf "request %d exhausted" k)
+            (Some "error") (status line);
+          Alcotest.(check (option string))
+            (Printf.sprintf "request %d reason" k)
+            (Some "transient")
+            (Option.bind (field "reason" line) Json.to_str))
+    out;
+  Alcotest.(check int) "retries accounted" !expected_retries
+    report.Service.metrics.Suu_service.Metrics.retries
+
+let test_service_retry_exhaustion () =
+  let n = 4 in
+  let cfg =
+    {
+      (config ~workers:1) with
+      Service.cache_capacity = 0;
+      retries = 2;
+      fault = { Fault.none with Fault.seed = 2; transient = 1.0 };
+    }
+  in
+  let out, report = Service.run_lines cfg (List.init n solve_line) in
+  check_ordered out n;
+  List.iter
+    (fun line ->
+      Alcotest.(check (option string)) "exhausted" (Some "transient")
+        (Option.bind (field "reason" line) Json.to_str);
+      let msg =
+        Option.bind (field "error" line) Json.to_str
+        |> Option.value ~default:""
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "message names the attempts: %s" msg)
+        true
+        (String.length msg >= 16
+        && String.sub msg (String.length msg - 16) 16 = "after 3 attempts"))
+    out;
+  Alcotest.(check int) "2 retries per request" (2 * n)
+    report.Service.metrics.Suu_service.Metrics.retries;
+  Alcotest.(check int) "all errors" n
+    report.Service.metrics.Suu_service.Metrics.errors
+
+(* --- graceful degradation --- *)
+
+let test_service_degraded_admission () =
+  (* Watermark 0: every Monte-Carlo request is admitted degraded. The
+     response must say so, and its result must equal a full-fidelity run
+     at the capped trial count — degradation changes the budget, never
+     the reproducibility contract. *)
+  let cfg =
+    {
+      (config ~workers:1) with
+      Service.cache_capacity = 0;
+      degrade_watermark = Some 0;
+      degrade_trials = 10;
+    }
+  in
+  let out, report = Service.run_lines cfg [ solve_line 0 ] in
+  let line = List.nth out 0 in
+  Alcotest.(check (option string)) "still ok" (Some "ok") (status line);
+  Alcotest.(check (option bool)) "marked degraded" (Some true)
+    (Option.bind (field "degraded" line) Json.to_bool);
+  Alcotest.(check (option int)) "trials capped" (Some 10)
+    (Option.bind (field "trials" line) Json.to_int);
+  Alcotest.(check int) "counted" 1
+    report.Service.metrics.Suu_service.Metrics.degraded;
+  (* Same answer as an undegraded request for 10 trials. *)
+  let direct =
+    Printf.sprintf
+      {|{"op":"solve","id":"r0","trials":10,"seed":1,"instance":"%s"}|}
+      (escaped instance_text)
+  in
+  let out', _ =
+    Service.run_lines { (config ~workers:1) with Service.cache_capacity = 0 }
+      [ direct ]
+  in
+  Alcotest.(check bool) "mean matches a direct 10-trial run" true
+    (field "mean" line = field "mean" (List.nth out' 0));
+  (* Info requests are never degraded. *)
+  let out'', _ =
+    Service.run_lines cfg
+      [
+        Printf.sprintf {|{"op":"info","id":"r0","instance":"%s"}|}
+          (escaped instance_text);
+      ]
+  in
+  Alcotest.(check (option bool)) "info undegraded" None
+    (Option.bind (field "degraded" (List.nth out'' 0)) Json.to_bool)
+
+let test_service_stall_timeout () =
+  (* A stalled trial burns the request's deadline; the next inter-trial
+     poll must catch it and answer "timeout" rather than hang. *)
+  let cfg =
+    {
+      (config ~workers:1) with
+      Service.cache_capacity = 0;
+      fault = { Fault.none with Fault.seed = 5; stall = 1.0; stall_ms = 30. };
+    }
+  in
+  let line =
+    Printf.sprintf
+      {|{"op":"solve","id":"r0","trials":30,"seed":1,"deadline_ms":5,"instance":"%s"}|}
+      (escaped instance_text)
+  in
+  let out, report = Service.run_lines cfg [ line ] in
+  Alcotest.(check (option string)) "stalled past deadline" (Some "timeout")
+    (status (List.nth out 0));
+  Alcotest.(check int) "counted as timeout" 1
+    report.Service.metrics.Suu_service.Metrics.timeouts
+
+(* --- chaos: any seed, every guarantee --- *)
+
+let test_service_chaos_any_seed () =
+  (* The CI matrix sweeps SUU_FAULT_SEED; whatever the placement, the
+     structural guarantees hold: every request answered exactly once, in
+     order, with coherent accounting and no hangs. *)
+  let spec =
+    {
+      Fault.none with
+      Fault.seed = chaos_seed;
+      crash = 0.15;
+      transient = 0.2;
+      stall = 0.05;
+      stall_ms = 2.;
+      slow = 0.02;
+      slow_ms = 1.;
+      queue_delay = 0.1;
+      queue_ms = 1.;
+    }
+  in
+  let n = 30 in
+  let cfg =
+    {
+      (config ~workers:3) with
+      Service.cache_capacity = 8;
+      max_restarts = 100;
+      retries = 1;
+      fault = spec;
+    }
+  in
+  let out, report = Service.run_lines cfg (List.init n solve_line) in
+  check_ordered out n;
+  let m = report.Service.metrics in
+  Alcotest.(check int) "all accounted" n m.Suu_service.Metrics.requests;
+  Alcotest.(check int) "outcomes partition the workload" n
+    (m.Suu_service.Metrics.ok + m.Suu_service.Metrics.errors
+    + m.Suu_service.Metrics.timeouts + m.Suu_service.Metrics.rejected);
+  Alcotest.(check bool) "restarts within budget" true
+    (m.Suu_service.Metrics.restarts <= 100);
+  Alcotest.(check bool) "crashes imply error responses" true
+    (m.Suu_service.Metrics.worker_crashes <= m.Suu_service.Metrics.errors);
+  (* Each response is valid JSON with a recognised status. *)
+  List.iter
+    (fun line ->
+      match status line with
+      | Some ("ok" | "error" | "timeout") -> ()
+      | other ->
+          Alcotest.fail
+            (Printf.sprintf "unexpected status %s in %s"
+               (Option.value ~default:"<none>" other)
+               line))
+    out
+
 let () =
   Alcotest.run "service"
     [
@@ -468,6 +930,14 @@ let () =
           Alcotest.test_case "backpressure" `Quick test_queue_backpressure;
           Alcotest.test_case "close drains" `Quick test_queue_close_drains;
           Alcotest.test_case "cross-domain" `Quick test_queue_cross_domain;
+          Alcotest.test_case "concurrent stress" `Slow
+            test_queue_concurrent_stress;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "deterministic decisions" `Quick
+            test_fault_determinism;
+          Alcotest.test_case "spec parsing" `Quick test_fault_spec_parse;
         ] );
       ( "request",
         [
@@ -495,5 +965,22 @@ let () =
             test_service_survives_hostile_instance;
           Alcotest.test_case "bounded latency metrics" `Quick
             test_metrics_latency_bounded;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "worker crash supervision" `Quick
+            test_service_worker_crash_supervision;
+          Alcotest.test_case "restart budget + drain" `Quick
+            test_service_restart_budget_and_drain;
+          Alcotest.test_case "transient retry" `Quick
+            test_service_transient_retry;
+          Alcotest.test_case "retry exhaustion" `Quick
+            test_service_retry_exhaustion;
+          Alcotest.test_case "degraded admission" `Quick
+            test_service_degraded_admission;
+          Alcotest.test_case "stall -> timeout" `Quick
+            test_service_stall_timeout;
+          Alcotest.test_case "any-seed invariants" `Quick
+            test_service_chaos_any_seed;
         ] );
     ]
