@@ -25,6 +25,10 @@ let tests () =
   let pseudos = Suu_algo.Rounding.chain_pseudos chain_inst integral in
   let big_tree = Suu_dag.Gen.binary_out_tree ~n:1023 in
   let policy = Suu_algo.Suu_i.policy inst64 in
+  (* Oblivious regimen on the same instance: exercises the engine's
+     geometric-leapfrog fast path (the adaptive policy above exercises
+     the naive stepper). *)
+  let obl_policy = Suu_algo.Suu_i_obl.policy inst64 in
   let tiny = indep_instance 8 2 in
   [
     Test.make ~name:"msm_alg n=64 m=16"
@@ -49,6 +53,10 @@ let tests () =
     Test.make ~name:"malewicz dp n=8 m=2"
       (Staged.stage (fun () -> Suu_algo.Malewicz.optimal_value tiny));
     Test.make ~name:"200 MC trials sequential (n=64 m=16)"
+      (Staged.stage (fun () ->
+           Suu_sim.Engine.estimate_makespan ~trials:200 (Rng.create 3) inst64
+             obl_policy));
+    Test.make ~name:"200 MC trials sequential adaptive (n=64 m=16)"
       (Staged.stage (fun () ->
            Suu_sim.Engine.estimate_makespan ~trials:200 (Rng.create 3) inst64
              policy));
@@ -89,14 +97,60 @@ let human_ns ns =
   else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
   else Printf.sprintf "%.0f ns" ns
 
+(* Machine-readable mirror of the PERF table: one JSON object per
+   benchmark (name, ns/run, r^2, samples) plus enough run metadata to
+   compare artifacts across machines and commits. Written next to the
+   human table so CI can upload it as an artifact; path overridable via
+   SUU_BENCH_PERF_JSON. *)
+let json_path () =
+  match Sys.getenv_opt "SUU_BENCH_PERF_JSON" with
+  | Some p when p <> "" -> p
+  | _ -> "BENCH_PERF.json"
+
+let write_json ~limit ~quota_s results =
+  let module Json = Suu_service.Json in
+  let num v = if Float.is_finite v then Json.Num v else Json.Null in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Str "suu-bench-perf/1");
+        ("unit", Json.Str "ns/run");
+        ("ocaml", Json.Str Sys.ocaml_version);
+        ("word_size", Json.int Sys.word_size);
+        ( "recommended_domains",
+          Json.int (Domain.recommended_domain_count ()) );
+        ("bechamel_limit", Json.int limit);
+        ("bechamel_quota_s", Json.Num quota_s);
+        ("unix_time", Json.Num (Unix.time ()));
+        ( "results",
+          Json.List
+            (List.map
+               (fun (name, ns, r2, samples) ->
+                 Json.Obj
+                   [
+                     ("name", Json.Str name);
+                     ("ns_per_run", num ns);
+                     ("r_square", num r2);
+                     ("samples", Json.int samples);
+                   ])
+               results) );
+      ]
+  in
+  let path = json_path () in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Json.to_string doc);
+      Out_channel.output_char oc '\n');
+  Printf.printf "wrote %s (%d benchmarks)\n" path (List.length results)
+
 let run () =
   section "PERF: Bechamel micro-benchmarks (ns per run, OLS estimate)";
+  let limit = 2000 and quota_s = 0.5 in
   let cfg =
-    Bechamel.Benchmark.cfg ~limit:2000
-      ~quota:(Bechamel.Time.second 0.5)
+    Bechamel.Benchmark.cfg ~limit
+      ~quota:(Bechamel.Time.second quota_s)
       ~kde:None ()
   in
-  let rows = ref [] in
+  let results = ref [] in
   List.iter
     (fun test ->
       List.iter
@@ -118,16 +172,17 @@ let run () =
             | Some r -> r
             | None -> Float.nan
           in
-          rows :=
-            [
-              Test.Elt.name elt;
-              human_ns estimate;
-              Printf.sprintf "%.4f" r2;
-              string_of_int raw.Bechamel.Benchmark.stats.Bechamel.Benchmark.samples;
-            ]
-            :: !rows)
+          let samples =
+            raw.Bechamel.Benchmark.stats.Bechamel.Benchmark.samples
+          in
+          results := (Test.Elt.name elt, estimate, r2, samples) :: !results)
         (Test.elements test))
     (tests ());
+  let results = List.rev !results in
   table ~title:"PERF component timings"
     ~header:[ "component"; "time/run"; "r^2"; "samples" ]
-    (List.rev !rows)
+    (List.map
+       (fun (name, ns, r2, samples) ->
+         [ name; human_ns ns; Printf.sprintf "%.4f" r2; string_of_int samples ])
+       results);
+  write_json ~limit ~quota_s results

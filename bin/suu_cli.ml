@@ -350,6 +350,13 @@ let serve_cmd =
       & opt (some int) None
       & info [ "degrade-watermark" ] ~docv:"DEPTH" ~doc)
   in
+  let estimate_domains_arg =
+    let doc =
+      "Domains per Monte-Carlo estimate (1 = run a request's trials inline \
+       in its worker; results are identical either way)."
+    in
+    Arg.(value & opt int 1 & info [ "estimate-domains" ] ~docv:"D" ~doc)
+  in
   let fault_arg =
     let doc =
       "Deterministic fault injection for demos/chaos testing, e.g. \
@@ -364,7 +371,7 @@ let serve_cmd =
       & info [ "q"; "quiet" ] ~doc:"Suppress the shutdown metrics dump.")
   in
   let run workers queue cache trials seed deadline max_restarts retries
-      degrade fault_spec quiet =
+      degrade estimate_domains fault_spec quiet =
     let module Service = Suu_service.Service in
     let module Fault = Suu_service.Fault in
     let default_seed =
@@ -393,6 +400,7 @@ let serve_cmd =
         retry_backoff_ms = Service.default_config.Service.retry_backoff_ms;
         degrade_watermark = Option.map (max 0) degrade;
         degrade_trials = Service.default_config.Service.degrade_trials;
+        estimate_domains = max 1 estimate_domains;
         fault;
       }
     in
@@ -404,7 +412,7 @@ let serve_cmd =
     Term.(
       const run $ workers_arg $ queue_arg $ cache_arg $ trials_arg $ seed_arg
       $ deadline_arg $ max_restarts_arg $ retries_arg $ degrade_arg
-      $ fault_arg $ quiet_arg)
+      $ estimate_domains_arg $ fault_arg $ quiet_arg)
   in
   Cmd.v
     (Cmd.info "serve"

@@ -57,21 +57,17 @@ let serial_all_machines inst =
       | Some j -> Array.make m j)
 
 let random_assignment ~seed inst =
-  {
-    Policy.name = "random";
-    fresh =
-      (fun () ->
-        let rng = Suu_prob.Rng.create seed in
-        fun state ->
-          let m = Instance.m inst in
-          let a = Assignment.idle m in
-          let eligible = Array.of_list (eligible_list state) in
-          if Array.length eligible > 0 then
-            for i = 0 to m - 1 do
-              a.(i) <- Suu_prob.Rng.pick rng eligible
-            done;
-          a);
-  }
+  Policy.make "random" (fun () ->
+      let rng = Suu_prob.Rng.create seed in
+      fun state ->
+        let m = Instance.m inst in
+        let a = Assignment.idle m in
+        let eligible = Array.of_list (eligible_list state) in
+        if Array.length eligible > 0 then
+          for i = 0 to m - 1 do
+            a.(i) <- Suu_prob.Rng.pick rng eligible
+          done;
+        a)
 
 let static_best_machine inst =
   let n = Instance.n inst and m = Instance.m inst in

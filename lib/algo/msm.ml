@@ -1,38 +1,43 @@
 module Instance = Suu_core.Instance
 module Assignment = Suu_core.Assignment
 
-(* Pairs sorted by non-increasing p_ij, ties by machine then job index so
-   the algorithm is deterministic. *)
+(* The greedy processing order — pairs by non-increasing p_ij, ties by
+   machine then job — is precomputed once per instance and cached there
+   (Instance.sorted_pairs); this wrapper only survives as a list view
+   for tests and callers that want the filtered pair list itself. *)
 let sorted_pairs inst ~jobs =
-  let pairs = ref [] in
-  for i = 0 to Instance.m inst - 1 do
-    for j = 0 to Instance.n inst - 1 do
-      if jobs.(j) then begin
-        let p = Instance.prob inst ~machine:i ~job:j in
-        if p > 0. then pairs := (p, i, j) :: !pairs
-      end
-    done
+  let ps, ms, js = Instance.sorted_pairs inst in
+  let acc = ref [] in
+  for k = Array.length ps - 1 downto 0 do
+    if jobs.(js.(k)) then acc := (ps.(k), ms.(k), js.(k)) :: !acc
   done;
-  List.sort
-    (fun (p1, i1, j1) (p2, i2, j2) ->
-      match Float.compare p2 p1 with
-      | 0 -> compare (i1, j1) (i2, j2)
-      | c -> c)
-    !pairs
+  !acc
 
-let assign inst ~jobs =
+(* Core greedy scan, writing into caller-provided scratch: [a] receives
+   the assignment, [mass] the accumulated per-job mass. O(nm) per call —
+   one pass over the cached sorted pairs, no allocation. *)
+let assign_into inst ~jobs ~mass a =
   if Array.length jobs <> Instance.n inst then
     invalid_arg "Msm.assign: jobs length mismatch";
-  let m = Instance.m inst in
-  let a = Assignment.idle m in
-  let mass = Array.make (Instance.n inst) 0. in
-  List.iter
-    (fun (p, i, j) ->
+  Array.fill a 0 (Array.length a) Assignment.idle_job;
+  Array.fill mass 0 (Array.length mass) 0.;
+  let ps, ms, js = Instance.sorted_pairs inst in
+  for k = 0 to Array.length ps - 1 do
+    let j = js.(k) in
+    if jobs.(j) then begin
+      let i = ms.(k) in
+      let p = ps.(k) in
       if a.(i) = Assignment.idle_job && mass.(j) +. p <= 1. +. 1e-12 then begin
         a.(i) <- j;
         mass.(j) <- mass.(j) +. p
-      end)
-    (sorted_pairs inst ~jobs);
+      end
+    end
+  done
+
+let assign inst ~jobs =
+  let a = Assignment.idle (Instance.m inst) in
+  let mass = Array.make (Instance.n inst) 0. in
+  assign_into inst ~jobs ~mass a;
   a
 
 let total_mass inst a =

@@ -11,13 +11,27 @@ val sorted_pairs :
   Suu_core.Instance.t -> jobs:bool array -> (float * int * int) list
 (** The positive-probability [(p_ij, i, j)] pairs over the flagged jobs in
     the greedy processing order: non-increasing [p_ij], ties by machine
-    then job. Shared with MSM-E-ALG. *)
+    then job. A filtered list view of the order cached in
+    {!Suu_core.Instance.sorted_pairs}; hot paths scan the cached arrays
+    directly instead. *)
 
 val assign :
   Suu_core.Instance.t -> jobs:bool array -> Suu_core.Assignment.t
 (** One-step assignment over the jobs with [jobs.(j) = true] (the
     "unfinished" set the scheduler is targeting); other jobs receive no
-    machines. Deterministic: ties are broken by machine then job index. *)
+    machines. Deterministic: ties are broken by machine then job index.
+    O(nm): a single pass over the instance's cached pair order. *)
+
+val assign_into :
+  Suu_core.Instance.t ->
+  jobs:bool array ->
+  mass:float array ->
+  Suu_core.Assignment.t ->
+  unit
+(** Allocation-free {!assign}: writes the assignment into the given
+    array (length [m]) and the accumulated per-job mass into [mass]
+    (length [n]), resetting both first. The per-step form used by
+    adaptive policies inside the simulation loop. *)
 
 val total_mass : Suu_core.Instance.t -> Suu_core.Assignment.t -> float
 (** Objective value of an assignment: [Σ_j min(mass_j, 1)]. *)

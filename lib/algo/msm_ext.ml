@@ -14,8 +14,14 @@ let allocate inst ~jobs ~t =
   let x = Array.make_matrix m n 0 in
   let mass = Array.make n 0. in
   let capacity = Array.make m t in
-  List.iter
-    (fun (p, i, j) ->
+  (* One pass over the instance's cached greedy pair order (no per-call
+     rebuild-and-sort), skipping pairs whose job is not flagged. *)
+  let ps, ms, js = Instance.sorted_pairs inst in
+  for k = 0 to Array.length ps - 1 do
+    let j = js.(k) in
+    if jobs.(j) then begin
+      let i = ms.(k) in
+      let p = ps.(k) in
       if capacity.(i) > 0 && mass.(j) < 1. then begin
         (* Headroom in steps before job j's mass would exceed 1; guard the
            float→int conversion against tiny p. *)
@@ -29,8 +35,9 @@ let allocate inst ~jobs ~t =
           mass.(j) <- mass.(j) +. (Float.of_int steps *. p);
           capacity.(i) <- capacity.(i) - steps
         end
-      end)
-    (Msm.sorted_pairs inst ~jobs);
+      end
+    end
+  done;
   { x; mass; length = t }
 
 let to_schedule inst r =

@@ -1,3 +1,10 @@
 let policy inst =
-  Suu_core.Policy.stateless "suu-i-alg" (fun state ->
-      Msm.assign inst ~jobs:state.Suu_core.Policy.eligible)
+  let n = Suu_core.Instance.n inst and m = Suu_core.Instance.m inst in
+  (* Scratch is allocated once per execution (fresh), not once per step:
+     the simulation loop then runs MSM-ALG allocation-free. *)
+  Suu_core.Policy.make "suu-i-alg" (fun () ->
+      let a = Suu_core.Assignment.idle m in
+      let mass = Array.make n 0. in
+      fun state ->
+        Msm.assign_into inst ~jobs:state.Suu_core.Policy.eligible ~mass a;
+        a)

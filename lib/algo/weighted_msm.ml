@@ -28,37 +28,50 @@ let weights inst = function
       done;
       Array.map Float.of_int depth
 
-let sorted_pairs inst ~weights ~jobs =
-  let pairs = ref [] in
-  for i = 0 to Instance.m inst - 1 do
-    for j = 0 to Instance.n inst - 1 do
-      if jobs.(j) then begin
-        let p = Instance.prob inst ~machine:i ~job:j in
-        if p > 0. then pairs := (p *. weights.(j), p, i, j) :: !pairs
-      end
-    done
-  done;
-  List.sort
-    (fun (s1, _, i1, j1) (s2, _, i2, j2) ->
-      match Float.compare s2 s1 with
-      | 0 -> compare (i1, j1) (i2, j2)
+(* Ranking of the instance's cached pair order by p_ij · w_j (descending;
+   ties by machine then job): pair indices into Instance.sorted_pairs.
+   Computed once per weight vector — per policy, not per step. *)
+let ranking inst ~weights =
+  if Array.length weights <> Instance.n inst then
+    invalid_arg "Weighted_msm.ranking: weights length mismatch";
+  let ps, ms, js = Instance.sorted_pairs inst in
+  let k = Array.length ps in
+  let order = Array.init k (fun q -> q) in
+  let score q = ps.(q) *. weights.(js.(q)) in
+  Array.sort
+    (fun a b ->
+      match Float.compare (score b) (score a) with
+      | 0 -> compare (ms.(a), js.(a)) (ms.(b), js.(b))
       | c -> c)
-    !pairs
+    order;
+  order
 
-let assign inst ~weights ~jobs =
+(* Greedy scan over a precomputed ranking, writing into caller scratch. *)
+let assign_ranked_into inst ~order ~jobs ~mass a =
   if Array.length jobs <> Instance.n inst then
     invalid_arg "Weighted_msm.assign: jobs length mismatch";
+  Array.fill a 0 (Array.length a) Assignment.idle_job;
+  Array.fill mass 0 (Array.length mass) 0.;
+  let ps, ms, js = Instance.sorted_pairs inst in
+  for q = 0 to Array.length order - 1 do
+    let k = order.(q) in
+    let j = js.(k) in
+    if jobs.(j) then begin
+      let i = ms.(k) in
+      let p = ps.(k) in
+      if a.(i) = Assignment.idle_job && mass.(j) +. p <= 1. +. 1e-12 then begin
+        a.(i) <- j;
+        mass.(j) <- mass.(j) +. p
+      end
+    end
+  done
+
+let assign inst ~weights ~jobs =
   if Array.length weights <> Instance.n inst then
     invalid_arg "Weighted_msm.assign: weights length mismatch";
   let a = Assignment.idle (Instance.m inst) in
   let mass = Array.make (Instance.n inst) 0. in
-  List.iter
-    (fun (_, p, i, j) ->
-      if a.(i) = Assignment.idle_job && mass.(j) +. p <= 1. +. 1e-12 then begin
-        a.(i) <- j;
-        mass.(j) <- mass.(j) +. p
-      end)
-    (sorted_pairs inst ~weights ~jobs);
+  assign_ranked_into inst ~order:(ranking inst ~weights) ~jobs ~mass a;
   a
 
 let name_of = function
@@ -68,5 +81,12 @@ let name_of = function
 
 let policy ?(weighting = Critical_path) inst =
   let w = weights inst weighting in
-  Suu_core.Policy.stateless (name_of weighting) (fun state ->
-      assign inst ~weights:w ~jobs:state.Suu_core.Policy.eligible)
+  let order = ranking inst ~weights:w in
+  let n = Instance.n inst and m = Instance.m inst in
+  Suu_core.Policy.make (name_of weighting) (fun () ->
+      let a = Assignment.idle m in
+      let mass = Array.make n 0. in
+      fun state ->
+        assign_ranked_into inst ~order
+          ~jobs:state.Suu_core.Policy.eligible ~mass a;
+        a)

@@ -1,4 +1,55 @@
-type t = { nm : int; p : float array array; dag : Suu_dag.Dag.t }
+type t = {
+  nm : int;
+  nj : int;
+  p : float array array;
+  (* Row-major copy of [p]: [pflat.(i * nj + j)] = [p.(i).(j)]. The hot
+     paths (simulation stepping, MSM scans) read success probabilities
+     through this single unboxed float array instead of chasing the row
+     pointer of [p]. *)
+  pflat : float array;
+  (* The positive-probability pairs, sorted once at construction by
+     non-increasing [p_ij] with ties broken by (machine, job) — the
+     greedy processing order shared by the whole MSM algorithm family.
+     Stored as parallel arrays so a scan touches flat unboxed memory:
+     [sorted_p.(k)] is the probability of the [k]-th pair,
+     [sorted_machine.(k)] / [sorted_job.(k)] its coordinates. Immutable
+     after construction, hence safe to share across domains. *)
+  sorted_p : float array;
+  sorted_machine : int array;
+  sorted_job : int array;
+  dag : Suu_dag.Dag.t;
+}
+
+let build_sorted_pairs ~m ~n pflat =
+  let count = ref 0 in
+  Array.iter (fun pij -> if pij > 0. then incr count) pflat;
+  let k = !count in
+  (* Sort pair indices (i * n + j); the index order is exactly the
+     (machine, job) lexicographic tie-break. *)
+  let idx = Array.make k 0 in
+  let w = ref 0 in
+  for flat = 0 to (m * n) - 1 do
+    if pflat.(flat) > 0. then begin
+      idx.(!w) <- flat;
+      incr w
+    end
+  done;
+  Array.sort
+    (fun a b ->
+      match Float.compare pflat.(b) pflat.(a) with
+      | 0 -> compare a b
+      | c -> c)
+    idx;
+  let sorted_p = Array.make k 0. in
+  let sorted_machine = Array.make k 0 in
+  let sorted_job = Array.make k 0 in
+  for q = 0 to k - 1 do
+    let flat = idx.(q) in
+    sorted_p.(q) <- pflat.(flat);
+    sorted_machine.(q) <- flat / n;
+    sorted_job.(q) <- flat mod n
+  done;
+  (sorted_p, sorted_machine, sorted_job)
 
 let create ~p ~dag =
   let n = Suu_dag.Dag.n dag in
@@ -23,16 +74,36 @@ let create ~p ~dag =
       invalid_arg
         (Printf.sprintf "Instance.create: job %d has no capable machine" j)
   done;
-  { nm = m; p = Array.map Array.copy p; dag }
+  let pflat = Array.make (m * n) 0. in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      pflat.((i * n) + j) <- p.(i).(j)
+    done
+  done;
+  let sorted_p, sorted_machine, sorted_job =
+    if n = 0 then ([||], [||], [||]) else build_sorted_pairs ~m ~n pflat
+  in
+  {
+    nm = m;
+    nj = n;
+    p = Array.map Array.copy p;
+    pflat;
+    sorted_p;
+    sorted_machine;
+    sorted_job;
+    dag;
+  }
 
 let independent ~p =
   let n = if Array.length p = 0 then 0 else Array.length p.(0) in
   create ~p ~dag:(Suu_dag.Dag.empty n)
 
-let n t = Suu_dag.Dag.n t.dag
+let n t = t.nj
 let m t = t.nm
 let dag t = t.dag
-let prob t ~machine ~job = t.p.(machine).(job)
+let prob t ~machine ~job = t.pflat.((machine * t.nj) + job)
+let sorted_pairs t = (t.sorted_p, t.sorted_machine, t.sorted_job)
+let pair_count t = Array.length t.sorted_p
 
 let probs_for_job t j = Array.init t.nm (fun i -> t.p.(i).(j))
 

@@ -28,7 +28,21 @@ val m : t -> int
 val dag : t -> Suu_dag.Dag.t
 
 val prob : t -> machine:int -> job:int -> float
-(** [p_ij]. *)
+(** [p_ij]. One load from a row-major flat matrix — cheap enough for the
+    simulation inner loop. *)
+
+val sorted_pairs : t -> float array * int array * int array
+(** [(probs, machines, jobs)]: the positive-probability pairs in the MSM
+    greedy processing order — non-increasing [p_ij], ties by machine then
+    job — as parallel arrays ([probs.(k)] is the probability of pair [k],
+    assigned to machine [machines.(k)] and job [jobs.(k)]). Computed once
+    at construction and cached, so per-step MSM decisions scan it in
+    O(nm) instead of rebuilding and re-sorting the pair list. The arrays
+    are shared; callers must not mutate them. *)
+
+val pair_count : t -> int
+(** Number of positive-probability pairs ([Array.length] of each
+    {!sorted_pairs} component). *)
 
 val probs_for_job : t -> int -> float array
 (** Column of [p] for a job: index by machine. *)

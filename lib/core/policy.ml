@@ -4,12 +4,27 @@ type state = {
   eligible : bool array;
 }
 
-type t = { name : string; fresh : unit -> state -> Assignment.t }
+type structure = Oblivious_schedule of Oblivious.t | General
+
+type t = {
+  name : string;
+  structure : structure;
+  fresh : unit -> state -> Assignment.t;
+}
+
+let make name fresh = { name; structure = General; fresh }
 
 let of_oblivious name sched =
-  { name; fresh = (fun () state -> Oblivious.step sched state.step) }
+  {
+    name;
+    structure = Oblivious_schedule sched;
+    fresh = (fun () state -> Oblivious.step sched state.step);
+  }
 
 let of_regimen name f =
-  { name; fresh = (fun () state -> f state.unfinished) }
+  { name; structure = General; fresh = (fun () state -> f state.unfinished) }
 
-let stateless name f = { name; fresh = (fun () -> f) }
+let stateless name f = { name; structure = General; fresh = (fun () -> f) }
+
+let oblivious t =
+  match t.structure with Oblivious_schedule s -> Some s | General -> None

@@ -12,18 +12,33 @@ type state = {
   eligible : bool array;  (** unfinished with all predecessors finished *)
 }
 
+(** Structural knowledge about a policy, used by the simulation engine to
+    pick specialised execution paths. [Oblivious_schedule] tags a policy
+    whose every decision is a fixed function of the step number alone —
+    the engine's estimators then skip unit-step Bernoulli simulation in
+    favour of geometric leapfrogging over the schedule. [General] promises
+    nothing. *)
+type structure = Oblivious_schedule of Oblivious.t | General
+
 type t = {
   name : string;
+  structure : structure;
+      (** What the engine may assume about the decisions; constructors
+          other than {!of_oblivious} always say [General]. *)
   fresh : unit -> state -> Assignment.t;
       (** [fresh ()] creates a decision function for one execution; any
           internal state (e.g. a cursor into an oblivious schedule) is
           re-created per execution so runs are independent. *)
 }
 
+val make : string -> (unit -> state -> Assignment.t) -> t
+(** A general policy from its [fresh] function (structure [General]). *)
+
 val of_oblivious : string -> Oblivious.t -> t
 (** The policy that plays an oblivious schedule: machines assigned to
     finished or ineligible jobs idle (Definition 2.1 semantics, enforced by
-    the engine anyway). *)
+    the engine anyway). The schedule is recorded in [structure], which
+    lets the engine's estimators take the event-driven leapfrog path. *)
 
 val of_regimen : string -> (bool array -> Assignment.t) -> t
 (** A regimen (Definition 2.2): the assignment depends only on the
@@ -31,3 +46,7 @@ val of_regimen : string -> (bool array -> Assignment.t) -> t
 
 val stateless : string -> (state -> Assignment.t) -> t
 (** A policy computed fresh from the state each step. *)
+
+val oblivious : t -> Oblivious.t option
+(** The schedule a policy is known to play obliviously, if any — the
+    engine's licence for the leapfrog fast path. *)

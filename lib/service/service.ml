@@ -15,6 +15,7 @@ type config = {
   retry_backoff_ms : float;
   degrade_watermark : int option;
   degrade_trials : int;
+  estimate_domains : int;
   fault : Fault.spec;
 }
 
@@ -31,6 +32,7 @@ let default_config =
     retry_backoff_ms = 1.;
     degrade_watermark = None;
     degrade_trials = 25;
+    estimate_domains = 1;
     fault = Fault.none;
   }
 
@@ -182,10 +184,19 @@ let failed fmt = Printf.ksprintf (fun msg -> raise (Failed msg)) fmt
    clock (NTP steps, manual adjustment). *)
 let now_ms = Clock.now_ms
 
-let estimate_fields ~policy ~trials ~seed ~stop ~on_trial instance =
+(* [domains = 1] runs the trials inline in the worker; more than one
+   fans each estimate out over nested domains. Either way the per-trial
+   RNG derivation makes the answer — summary and sample order alike — a
+   pure function of the request, so changing [domains] never changes a
+   cached or recomputed response. *)
+let estimate_fields ~domains ~policy ~trials ~seed ~stop ~on_trial instance =
   let e =
-    Engine.estimate_makespan_seeded ~stop ~on_trial ~trials ~seed instance
-      policy
+    if domains <= 1 then
+      Engine.estimate_makespan_seeded ~stop ~on_trial ~trials ~seed instance
+        policy
+    else
+      Engine.estimate_makespan_parallel ~domains ~stop ~on_trial ~trials ~seed
+        instance policy
   in
   let p95 =
     if Array.length e.Engine.samples = 0 then 0.
@@ -222,7 +233,7 @@ let info_fields instance =
         ] );
   ]
 
-let execute op ~stop ~on_trial =
+let execute op ~domains ~stop ~on_trial =
   match op with
   | Request.Solve { algo; trials; seed; instance } ->
       (* [auto] is the practical default (the adaptive greedy policy);
@@ -234,9 +245,9 @@ let execute op ~stop ~on_trial =
         try Suu_algo.Solver.solve ~kind instance
         with Suu_algo.Solver.Unsupported msg -> failed "unsupported: %s" msg
       in
-      estimate_fields ~policy ~trials ~seed ~stop ~on_trial instance
+      estimate_fields ~domains ~policy ~trials ~seed ~stop ~on_trial instance
   | Request.Estimate { plan; trials; seed; instance; _ } ->
-      estimate_fields
+      estimate_fields ~domains
         ~policy:(Policy.of_oblivious "plan" plan)
         ~trials ~seed ~stop ~on_trial instance
   | Request.Info instance -> info_fields instance
@@ -388,7 +399,8 @@ let handle_job cfg ~metrics ~cache ~queue ~em job =
                   Fault.fires cfg.fault Fault.Transient
                     ~key:(Fault.attempt_key ~seq ~attempt:k)
                 then raise (Fault.Transient_failure "injected");
-                execute op ~stop:expired ~on_trial
+                execute op ~domains:cfg.estimate_domains ~stop:expired
+                  ~on_trial
               with
               | fields ->
                   Option.iter (fun cache_k -> Cache.add cache cache_k fields) key;
@@ -441,6 +453,8 @@ let serve cfg (module T0 : TRANSPORT) =
   if cfg.workers < 1 then invalid_arg "Service.serve: workers < 1";
   if cfg.max_restarts < 0 then invalid_arg "Service.serve: max_restarts < 0";
   if cfg.retries < 0 then invalid_arg "Service.serve: retries < 0";
+  if cfg.estimate_domains < 1 then
+    invalid_arg "Service.serve: estimate_domains < 1";
   if cfg.degrade_trials < 1 then
     invalid_arg "Service.serve: degrade_trials < 1";
   let fault = cfg.fault in

@@ -22,10 +22,12 @@
     {2 Reproducibility}
 
     Workers estimate makespans with
-    {!Suu_sim.Engine.estimate_makespan_seeded}, whose per-trial RNG
-    derivation makes an answer a pure function of the request — not of
-    worker count, scheduling, or cache state. A cache hit therefore
-    returns byte-identical result fields to a recomputation.
+    {!Suu_sim.Engine.estimate_makespan_seeded} (or, when
+    [estimate_domains > 1], its bit-identical parallel counterpart),
+    whose per-trial RNG derivation makes an answer a pure function of
+    the request — not of worker count, estimate fan-out, scheduling, or
+    cache state. A cache hit therefore returns byte-identical result
+    fields to a recomputation.
 
     {2 Deadlines}
 
@@ -83,14 +85,20 @@ type config = {
       (** queue depth at which new Monte-Carlo requests are admitted
           degraded; [None] disables degradation *)
   degrade_trials : int;  (** trial cap for degraded admissions (>= 1) *)
+  estimate_domains : int;
+      (** domains {e per estimate} (>= 1): 1 runs a request's trials
+          inline in its worker; more fans each estimate out through
+          {!Suu_sim.Engine.estimate_makespan_parallel}, which is
+          bit-identical to the inline path, so responses (cached or
+          recomputed) never depend on this knob *)
   fault : Fault.spec;  (** fault injection; {!Fault.none} in production *)
 }
 
 val default_config : config
 (** [Domain.recommended_domain_count () - 1] workers (at least 1, at
     most 8), queue 64, cache 128, 200 trials, seed 1, no deadline;
-    8 restarts, 2 retries with 1 ms base backoff, degradation off, no
-    fault injection. *)
+    8 restarts, 2 retries with 1 ms base backoff, degradation off,
+    estimates inline ([estimate_domains = 1]), no fault injection. *)
 
 (** What a service run reports on shutdown (and, live, via the [stats]
     request). *)

@@ -15,15 +15,40 @@ let default_horizon inst =
     Float.to_int (Float.min bound 5e7) + 64
   end
 
-(* Mutable execution state shared by [run] and [trace]. *)
+(* Mutable execution arena shared by [run], [trace] and the estimators.
+   One arena serves every trial of an estimate: [exec_reset] restores it
+   without reallocating, so the steady-state trial loop allocates
+   nothing. *)
 type exec = {
   inst : Instance.t;
   unfinished : bool array;
   eligible : bool array;
   pending_preds : int array;
+  init_preds : int array;  (** in-degrees, the reset image *)
   releases : int array option;
   mutable remaining : int;
+  (* Per-step completion scratch, replacing a per-step Hashtbl: job [j]
+     completed during the current step iff [mark.(j) = epoch]. The epoch
+     increments every step (across trials too), so resetting the arena
+     never needs to clear [mark]. *)
+  mark : int array;
+  mutable epoch : int;
+  completed_buf : int array;
+  mutable completed_count : int;
 }
+
+let exec_released_at ex j =
+  match ex.releases with None -> true | Some r -> r.(j) <= 0
+
+let exec_reset ex =
+  let n = Array.length ex.unfinished in
+  Array.fill ex.unfinished 0 n true;
+  Array.blit ex.init_preds 0 ex.pending_preds 0 n;
+  for j = 0 to n - 1 do
+    ex.eligible.(j) <- ex.pending_preds.(j) = 0 && exec_released_at ex j
+  done;
+  ex.remaining <- n;
+  ex.completed_count <- 0
 
 let exec_create ?releases inst =
   let n = Instance.n inst in
@@ -35,16 +60,23 @@ let exec_create ?releases inst =
         r
   | None -> ());
   let dag = Instance.dag inst in
-  let pending_preds = Array.init n (Suu_dag.Dag.in_degree dag) in
-  let released j = match releases with Some r -> r.(j) <= 0 | None -> true in
-  {
-    inst;
-    unfinished = Array.make n true;
-    eligible = Array.init n (fun j -> pending_preds.(j) = 0 && released j);
-    pending_preds;
-    releases;
-    remaining = n;
-  }
+  let ex =
+    {
+      inst;
+      unfinished = Array.make n true;
+      eligible = Array.make n false;
+      pending_preds = Array.make n 0;
+      init_preds = Array.init n (Suu_dag.Dag.in_degree dag);
+      releases;
+      remaining = n;
+      mark = Array.make n (-1);
+      epoch = 0;
+      completed_buf = Array.make (max n 1) 0;
+      completed_count = 0;
+    }
+  in
+  exec_reset ex;
+  ex
 
 let exec_released_by ex t j =
   match ex.releases with None -> true | Some r -> r.(j) <= t
@@ -74,33 +106,49 @@ let exec_finish ex t j =
       then ex.eligible.(v) <- true)
     (Suu_dag.Dag.succs (Instance.dag ex.inst) j)
 
-(* One step: returns the list of jobs completed. *)
+(* One step: completed jobs land in [ex.completed_buf] (first
+   [ex.completed_count] slots, in marking order). The Bernoulli draw
+   sequence — machines in index order, at most one draw per (machine,
+   step), none once the job is already marked — is identical to the
+   historical Hashtbl-based implementation, which keeps seeded estimates
+   bit-stable. *)
 let exec_step rng ex t assignment =
-  let completed = ref [] in
-  let newly = Hashtbl.create 4 in
+  ex.epoch <- ex.epoch + 1;
+  let epoch = ex.epoch in
+  let count = ref 0 in
   Array.iteri
     (fun i j ->
       if
         j <> Assignment.idle_job
         && ex.unfinished.(j)
         && ex.eligible.(j)
-        && not (Hashtbl.mem newly j)
+        && ex.mark.(j) <> epoch
       then
         if Suu_prob.Rng.bernoulli rng (Instance.prob ex.inst ~machine:i ~job:j)
         then begin
-          Hashtbl.add newly j ();
-          completed := j :: !completed
+          ex.mark.(j) <- epoch;
+          ex.completed_buf.(!count) <- j;
+          incr count
         end)
     assignment;
-  (* Completions take effect at the end of the step. *)
-  List.iter (exec_finish ex t) !completed;
-  !completed
+  ex.completed_count <- !count;
+  (* Completions take effect at the end of the step; finishing in
+     reverse marking order preserves the historical update order. *)
+  for k = !count - 1 downto 0 do
+    exec_finish ex t ex.completed_buf.(k)
+  done
 
-let run ?max_steps ?releases rng inst policy =
-  let max_steps =
-    match max_steps with Some v -> v | None -> default_horizon inst
-  in
-  let ex = exec_create ?releases inst in
+(* The completions of the last step as a list (reverse marking order,
+   matching the historical [trace] output). *)
+let exec_completed_list ex =
+  let acc = ref [] in
+  for k = 0 to ex.completed_count - 1 do
+    acc := ex.completed_buf.(k) :: !acc
+  done;
+  !acc
+
+(* Run one realisation on an already-reset arena. *)
+let run_exec ~max_steps rng ex policy =
   let decide = policy.Policy.fresh () in
   let t = ref 0 in
   while ex.remaining > 0 && !t < max_steps do
@@ -109,10 +157,17 @@ let run ?max_steps ?releases rng inst policy =
       { Policy.step = !t; unfinished = ex.unfinished; eligible = ex.eligible }
     in
     let a = decide state in
-    ignore (exec_step rng ex !t a : int list);
+    exec_step rng ex !t a;
     incr t
   done;
   { makespan = !t; completed = ex.remaining = 0 }
+
+let run ?max_steps ?releases rng inst policy =
+  let max_steps =
+    match max_steps with Some v -> v | None -> default_horizon inst
+  in
+  let ex = exec_create ?releases inst in
+  run_exec ~max_steps rng ex policy
 
 let trace ?max_steps ?releases rng inst policy =
   let max_steps =
@@ -128,8 +183,8 @@ let trace ?max_steps ?releases rng inst policy =
       { Policy.step = !t; unfinished = ex.unfinished; eligible = ex.eligible }
     in
     let a = decide state in
-    let done_now = exec_step rng ex !t a in
-    history := (!t, Array.copy a, done_now) :: !history;
+    exec_step rng ex !t a;
+    history := (!t, Array.copy a, exec_completed_list ex) :: !history;
     incr t
   done;
   List.rev !history
@@ -141,57 +196,98 @@ type estimate = {
   samples : float array;
 }
 
-let finish_estimate ?max_steps inst ~trials ~incomplete samples =
+let finish_estimate ~max_steps ~trials ~incomplete samples =
   let stats =
     if Array.length samples = 0 then
       (* All runs truncated: report the cap itself so callers see a huge
          value rather than crashing. *)
-      Suu_prob.Stats.summarize
-        [|
-          Float.of_int
-            (match max_steps with
-            | Some v -> v
-            | None -> default_horizon inst);
-        |]
+      Suu_prob.Stats.summarize [| Float.of_int max_steps |]
     else Suu_prob.Stats.summarize samples
   in
   { stats; trials; incomplete; samples }
 
+(* --- per-trial machinery shared by the three estimators --- *)
+
+(* One reusable trial runner: the naive stepping arena for general
+   policies, the compiled leapfrog plan for oblivious ones. Either way,
+   all per-trial state is preallocated once per (estimate, domain). *)
+type runner =
+  | Stepper of exec * Policy.t
+  | Leap of Leapfrog.t
+
+let make_runner ?releases inst policy =
+  match Policy.oblivious policy with
+  | Some sched -> Leap (Leapfrog.prepare ?releases inst sched)
+  | None -> Stepper (exec_create ?releases inst, policy)
+
+let run_trial runner rng ~max_steps =
+  match runner with
+  | Stepper (ex, policy) ->
+      exec_reset ex;
+      run_exec ~max_steps rng ex policy
+  | Leap leap ->
+      let makespan, completed = Leapfrog.run leap rng ~max_steps in
+      { makespan; completed }
+
+(* Samples are collected into a preallocated buffer in trial order
+   (slot k of the buffer is the k-th completed trial). *)
+type collector = {
+  buf : float array;
+  mutable filled : int;
+  mutable truncated : int;
+}
+
+let collector trials = { buf = Array.make trials 0.; filled = 0; truncated = 0 }
+
+let collect c (o : outcome) =
+  if o.completed then begin
+    c.buf.(c.filled) <- Float.of_int o.makespan;
+    c.filled <- c.filled + 1
+  end
+  else c.truncated <- c.truncated + 1
+
+let collector_samples c = Array.sub c.buf 0 c.filled
+
+(* Same per-trial seed mixing everywhere: the stream of trial [k] is a
+   pure function of [(seed, k)], so seeded and parallel estimates agree
+   sample-for-sample at any domain count. *)
+let trial_seed seed k = seed lxor ((k + 1) * 0x9E3779B1)
+
 let estimate_makespan ?max_steps ?releases ~trials rng inst policy =
   if trials < 1 then invalid_arg "Engine.estimate_makespan: trials < 1";
-  let samples = ref [] in
-  let incomplete = ref 0 in
+  let max_steps =
+    match max_steps with Some v -> v | None -> default_horizon inst
+  in
+  let runner = make_runner ?releases inst policy in
+  let c = collector trials in
   for _ = 1 to trials do
-    let o = run ?max_steps ?releases rng inst policy in
-    if o.completed then samples := Float.of_int o.makespan :: !samples
-    else incr incomplete
+    collect c (run_trial runner rng ~max_steps)
   done;
-  finish_estimate ?max_steps inst ~trials ~incomplete:!incomplete
-    (Array.of_list !samples)
+  finish_estimate ~max_steps ~trials ~incomplete:c.truncated
+    (collector_samples c)
 
 exception Interrupted
 
 let estimate_makespan_seeded ?max_steps ?releases ?(stop = fun () -> false)
     ?(on_trial = fun (_ : int) -> ()) ~trials ~seed inst policy =
   if trials < 1 then invalid_arg "Engine.estimate_makespan_seeded: trials < 1";
-  let samples = ref [] in
-  let incomplete = ref 0 in
+  let max_steps =
+    match max_steps with Some v -> v | None -> default_horizon inst
+  in
+  let runner = make_runner ?releases inst policy in
+  let c = collector trials in
   for k = 0 to trials - 1 do
     if stop () then raise Interrupted;
     on_trial k;
-    (* Same mixing family as the parallel estimator's per-worker seeds,
-       applied per trial: the stream of trial [k] is a pure function of
-       [(seed, k)]. *)
-    let rng = Suu_prob.Rng.create (seed lxor ((k + 1) * 0x9E3779B1)) in
-    let o = run ?max_steps ?releases rng inst policy in
-    if o.completed then samples := Float.of_int o.makespan :: !samples
-    else incr incomplete
+    let rng = Suu_prob.Rng.create (trial_seed seed k) in
+    collect c (run_trial runner rng ~max_steps)
   done;
-  finish_estimate ?max_steps inst ~trials ~incomplete:!incomplete
-    (Array.of_list (List.rev !samples))
+  finish_estimate ~max_steps ~trials ~incomplete:c.truncated
+    (collector_samples c)
 
-let estimate_makespan_parallel ?max_steps ?releases ?domains ~trials ~seed inst
-    policy =
+let estimate_makespan_parallel ?max_steps ?releases ?domains
+    ?(stop = fun () -> false) ?(on_trial = fun (_ : int) -> ()) ~trials ~seed
+    inst policy =
   if trials < 1 then invalid_arg "Engine.estimate_makespan_parallel: trials < 1";
   let domains =
     match domains with
@@ -202,25 +298,53 @@ let estimate_makespan_parallel ?max_steps ?releases ?domains ~trials ~seed inst
     | None -> min 8 (Domain.recommended_domain_count ())
   in
   let domains = min domains trials in
-  (* Deterministic per-worker trial counts and seeds. *)
-  let per_worker = trials / domains and extra = trials mod domains in
-  let worker k =
-    let my_trials = per_worker + if k < extra then 1 else 0 in
-    let rng = Suu_prob.Rng.create (seed lxor ((k + 1) * 0x9E3779B1)) in
-    let samples = ref [] in
-    let incomplete = ref 0 in
-    for _ = 1 to my_trials do
-      let o = run ?max_steps ?releases rng inst policy in
-      if o.completed then samples := Float.of_int o.makespan :: !samples
-      else incr incomplete
-    done;
-    (Array.of_list (List.rev !samples), !incomplete)
+  let max_steps =
+    match max_steps with Some v -> v | None -> default_horizon inst
+  in
+  (* Chunked self-scheduling: workers claim trial indices from a shared
+     counter, so domains stay balanced even when trial lengths vary
+     wildly (one unlucky long trial no longer idles the other domains of
+     its static share). Per-trial seeding makes the result a pure
+     function of [(seed, trials)] regardless of which domain runs which
+     trial — bit-identical to [estimate_makespan_seeded]. *)
+  let next = Atomic.make 0 in
+  let failure : exn option Atomic.t = Atomic.make None in
+  let not_run = -1. in
+  let slots = Array.make trials not_run in
+  let worker () =
+    let runner = make_runner ?releases inst policy in
+    let continue = ref true in
+    while !continue && Atomic.get failure = None do
+      let k = Atomic.fetch_and_add next 1 in
+      if k >= trials then continue := false
+      else
+        try
+          if stop () then raise Interrupted;
+          on_trial k;
+          let rng = Suu_prob.Rng.create (trial_seed seed k) in
+          let o = run_trial runner rng ~max_steps in
+          (* Truncated trials keep the sentinel; distinct slots, so the
+             concurrent writes never race. *)
+          if o.completed then slots.(k) <- Float.of_int o.makespan
+        with e ->
+          (* First failure wins; the others drain. *)
+          ignore (Atomic.compare_and_set failure None (Some e) : bool)
+    done
   in
   let handles =
-    List.init (domains - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1)))
+    List.init (domains - 1) (fun _ -> Domain.spawn worker)
   in
-  let first = worker 0 in
-  let results = first :: List.map Domain.join handles in
-  let samples = Array.concat (List.map fst results) in
-  let incomplete = List.fold_left (fun acc (_, i) -> acc + i) 0 results in
-  finish_estimate ?max_steps inst ~trials ~incomplete samples
+  worker ();
+  List.iter Domain.join handles;
+  (match Atomic.get failure with Some e -> raise e | None -> ());
+  let c = collector trials in
+  Array.iter
+    (fun s ->
+      if s = not_run then c.truncated <- c.truncated + 1
+      else begin
+        c.buf.(c.filled) <- s;
+        c.filled <- c.filled + 1
+      end)
+    slots;
+  finish_estimate ~max_steps ~trials ~incomplete:c.truncated
+    (collector_samples c)

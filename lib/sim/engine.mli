@@ -4,7 +4,22 @@
     step, each machine assigned to an eligible unfinished job completes it
     with probability [p_ij], independently of everything else; a job
     finishes when at least one of its machines succeeds; eligibility
-    updates at step boundaries. *)
+    updates at step boundaries.
+
+    {2 Hot path}
+
+    The estimators reuse one mutable execution arena across all trials of
+    an estimate (reset, not reallocated), use an epoch-stamped scratch
+    array instead of a per-step hash table, and collect samples into a
+    preallocated buffer — the steady-state trial loop does not allocate.
+    For policies tagged {!Suu_core.Policy.Oblivious_schedule} the
+    estimators skip unit-step simulation entirely and sample completion
+    events geometrically ({!Leapfrog}); the resulting makespans are
+    distribution-equivalent to the naive stepper's but draw a different
+    (much shorter) RNG stream. [run] and [trace] always use the naive
+    stepper, and the naive stepper's Bernoulli draw sequence is stable
+    across versions, so seeded estimates of non-oblivious policies are
+    bit-reproducible. *)
 
 type outcome = {
   makespan : int;  (** steps until the last job completed *)
@@ -46,7 +61,10 @@ type estimate = {
   stats : Suu_prob.Stats.summary;  (** over completed trials *)
   trials : int;
   incomplete : int;  (** trials that hit the cap (excluded from stats) *)
-  samples : float array;  (** makespans of the completed trials *)
+  samples : float array;
+      (** makespans of the completed trials, in trial order — the k-th
+          element is the k-th trial that completed, for every estimator
+          (sequential, seeded and parallel alike) *)
 }
 
 val estimate_makespan :
@@ -57,10 +75,12 @@ val estimate_makespan :
   Suu_core.Instance.t ->
   Suu_core.Policy.t ->
   estimate
-(** Expected-makespan estimate over [trials] independent executions. *)
+(** Expected-makespan estimate over [trials] independent executions drawn
+    sequentially from the given generator. *)
 
 exception Interrupted
-(** Raised by {!estimate_makespan_seeded} when its [stop] callback fires. *)
+(** Raised by {!estimate_makespan_seeded} and
+    {!estimate_makespan_parallel} when their [stop] callback fires. *)
 
 val estimate_makespan_seeded :
   ?max_steps:int ->
@@ -99,16 +119,27 @@ val estimate_makespan_parallel :
   ?max_steps:int ->
   ?releases:int array ->
   ?domains:int ->
+  ?stop:(unit -> bool) ->
+  ?on_trial:(int -> unit) ->
   trials:int ->
   seed:int ->
   Suu_core.Instance.t ->
   Suu_core.Policy.t ->
   estimate
-(** Multicore [estimate_makespan]: trials are split across [domains]
-    OCaml 5 domains (default: [Domain.recommended_domain_count], capped at
-    8), each with an independent generator derived deterministically from
-    [seed] — so results are reproducible for a fixed [(seed, domains)]
-    pair, and statistically equivalent to the sequential version. The
-    policy's [fresh] function is called once per trial inside the worker
-    domain; policies must not share hidden mutable state across trials
-    (all policies in this library satisfy this). *)
+(** Multicore {!estimate_makespan_seeded}: trials are self-scheduled one
+    at a time across [domains] OCaml 5 domains (default:
+    [Domain.recommended_domain_count], capped at 8) from a shared
+    counter, so the domains stay balanced even when trial lengths vary.
+    Trial [k] draws from the same [(seed, k)]-derived generator as the
+    seeded estimator, so the summary {e and} the sample vector are a pure
+    function of [(seed, trials)] — identical at any domain count, and
+    identical to [estimate_makespan_seeded ~seed ~trials].
+
+    [stop] and [on_trial] have the same contract as in
+    {!estimate_makespan_seeded}, but may be invoked concurrently from any
+    worker domain, so they must be domain-safe; the first exception one
+    of them (or a trial) raises aborts the remaining trials and is
+    re-raised in the calling domain. The policy's [fresh] function is
+    called once per trial inside the worker domain; policies must not
+    share hidden mutable state across trials (all policies in this
+    library satisfy this). *)

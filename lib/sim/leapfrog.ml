@@ -1,0 +1,207 @@
+module Instance = Suu_core.Instance
+module Oblivious = Suu_core.Oblivious
+module Dag = Suu_dag.Dag
+
+(* A maximal stretch of consecutive steps on which one machine works one
+   job with constant success probability [p]. [start] is an absolute
+   step for prefix runs, a position within the cycle for cycle runs.
+   [inv_log1mp] caches [1 / log(1 - p)] (0 when p = 1), so the per-trial
+   geometric draw costs one [log1p] instead of two. *)
+type run_ = { p : float; inv_log1mp : float; start : int; len : int }
+
+type plan = {
+  n : int;
+  plen : int;  (** prefix length *)
+  clen : int;  (** cycle length; 0 = machines idle after the prefix *)
+  prefix_runs : run_ array array;  (** per job *)
+  cycle_runs : run_ array array;  (** per job, positions within the cycle *)
+  order : int array;  (** topological order of the jobs *)
+  preds : int array array;  (** per job *)
+  releases : int array option;
+}
+
+type t = {
+  plan : plan;
+  comp : int array;  (** per-job completion step; arena reused per trial *)
+}
+
+let never = max_int
+
+(* Split the steps of [assignments] into per-job constant-machine runs.
+   Zero-probability pairs are dropped: they can never complete the job,
+   and the naive stepper consumes no randomness for them either
+   ([Rng.bernoulli] with p = 0 returns without drawing). *)
+let runs_of_steps inst n assignments =
+  let per_job = Array.make n [] in
+  let m = Instance.m inst in
+  let steps = Array.length assignments in
+  for i = 0 to m - 1 do
+    (* Walk machine i's row, closing a run whenever the job changes. *)
+    let cur_job = ref Suu_core.Assignment.idle_job in
+    let cur_start = ref 0 in
+    let flush upto =
+      let j = !cur_job in
+      if j <> Suu_core.Assignment.idle_job then begin
+        let p = Instance.prob inst ~machine:i ~job:j in
+        if p > 0. then begin
+          let inv_log1mp = if p >= 1. then 0. else 1. /. Float.log1p (-.p) in
+          per_job.(j) <-
+            { p; inv_log1mp; start = !cur_start; len = upto - !cur_start }
+            :: per_job.(j)
+        end
+      end
+    in
+    for t = 0 to steps - 1 do
+      let j = assignments.(t).(i) in
+      let j = if j >= 0 && j < n then j else Suu_core.Assignment.idle_job in
+      if j <> !cur_job then begin
+        flush t;
+        cur_job := j;
+        cur_start := t
+      end
+    done;
+    flush steps
+  done;
+  (* Deterministic sampling order: runs by (start, machine-scan order). *)
+  Array.map
+    (fun runs ->
+      let a = Array.of_list (List.rev runs) in
+      Array.sort (fun r1 r2 -> compare r1.start r2.start) a;
+      a)
+    per_job
+
+let prepare ?releases inst sched =
+  let n = Instance.n inst in
+  (match releases with
+  | Some r ->
+      if Array.length r <> n then invalid_arg "Engine: releases length mismatch";
+      Array.iter
+        (fun v -> if v < 0 then invalid_arg "Engine: negative release date")
+        r
+  | None -> ());
+  if Oblivious.(sched.m) <> Instance.m inst then
+    invalid_arg "Leapfrog.prepare: machine count mismatch";
+  let dag = Instance.dag inst in
+  let plan =
+    {
+      n;
+      plen = Oblivious.prefix_length sched;
+      clen = Oblivious.cycle_length sched;
+      prefix_runs = runs_of_steps inst n Oblivious.(sched.prefix);
+      cycle_runs = runs_of_steps inst n Oblivious.(sched.cycle);
+      order = Dag.topo_order dag;
+      preds = Array.init n (fun j -> Array.of_list (Dag.preds dag j));
+      releases;
+    }
+  in
+  { plan; comp = Array.make n never }
+
+(* Geometric(p) by inversion, with the run's cached 1/log(1-p):
+   ceil(log(1-U) / log(1-p)) has the right distribution (support 1, 2,
+   ...). One uniform, one log1p per draw. *)
+let geometric rng r =
+  if r.p >= 1. then 1
+  else begin
+    let u = Suu_prob.Rng.float rng in
+    let k = Float.to_int (Float.ceil (Float.log1p (-.u) *. r.inv_log1mp)) in
+    if k < 1 then 1 else k
+  end
+
+(* First success of a finite attempt window of [count] iid Bernoulli(p)
+   trials starting at absolute step [first]: the g-th attempt succeeds,
+   g ~ Geometric(p); [never] if g overshoots the window. *)
+let sample_finite rng r ~first ~count =
+  let g = geometric rng r in
+  if g <= count then first + g - 1 else never
+
+(* First success over the infinite attempt set of a cycle run: pass k >= k0
+   contributes attempts at cycle_base + k*clen + start .. +len-1, the
+   first pass clipped to its last [len - off] attempts. The g-th attempt
+   of the concatenated sequence maps back to a step in O(1). *)
+let sample_cycle rng r ~cycle_base ~clen ~start ~len ~k0 ~off =
+  let g = geometric rng r in
+  let first_count = len - off in
+  if g <= first_count then cycle_base + (k0 * clen) + start + off + g - 1
+  else begin
+    let g' = g - first_count - 1 in
+    let pass = k0 + 1 + (g' / len) in
+    cycle_base + (pass * clen) + start + (g' mod len)
+  end
+
+(* Completion step of job [j] given it becomes workable at step [elig]:
+   the earliest success among all of its machine-run attempt sets at
+   steps >= elig. Every (machine, step) attempt is an independent
+   Bernoulli draw in the unit-step semantics, so per-run first-success
+   times are independent and the completion is their minimum. *)
+let sample_completion plan rng j ~elig =
+  let best = ref never in
+  let prefix_runs = plan.prefix_runs.(j) in
+  for r = 0 to Array.length prefix_runs - 1 do
+    let ({ start; len; _ } as run) = prefix_runs.(r) in
+    let last = start + len - 1 in
+    if elig <= last then begin
+      let off = if elig > start then elig - start else 0 in
+      let c = sample_finite rng run ~first:(start + off) ~count:(len - off) in
+      if c < !best then best := c
+    end
+  done;
+  let cycle_runs = plan.cycle_runs.(j) in
+  if Array.length cycle_runs > 0 then begin
+    let cycle_base = plan.plen and clen = plan.clen in
+    (* Position of [elig] relative to the cycling region. *)
+    let e = if elig > cycle_base then elig - cycle_base else 0 in
+    for r = 0 to Array.length cycle_runs - 1 do
+      let ({ start; len; _ } as run) = cycle_runs.(r) in
+      let k0, off =
+        if e <= start then (0, 0)
+        else begin
+          let k0 = (e - start) / clen in
+          let off = e - ((k0 * clen) + start) in
+          if off >= len then (k0 + 1, 0) else (k0, off)
+        end
+      in
+      let c = sample_cycle rng run ~cycle_base ~clen ~start ~len ~k0 ~off in
+      if c < !best then best := c
+    done
+  end;
+  !best
+
+(* One realisation: sample completion steps in topological order and
+   advance straight to each completion event. Returns (makespan,
+   completed) with the same semantics as the naive stepper: completed
+   iff every job's completion step lands before [max_steps]; the
+   makespan is then the last completion step + 1. *)
+let run t rng ~max_steps =
+  let plan = t.plan in
+  let comp = t.comp in
+  let makespan = ref 0 in
+  let completed = ref true in
+  let horizon = max_steps - 1 in
+  (try
+     for q = 0 to plan.n - 1 do
+       let j = plan.order.(q) in
+       (* Workable once all predecessors are done (end-of-step
+          completion: successors start the step after) and the release
+          date has arrived. *)
+       let elig = ref (match plan.releases with Some r -> r.(j) | None -> 0) in
+       let preds = plan.preds.(j) in
+       for k = 0 to Array.length preds - 1 do
+         let cu = comp.(preds.(k)) in
+         if cu + 1 > !elig then elig := cu + 1
+       done;
+       if !elig > horizon then begin
+         (* Even an immediate success would land past the cap; the naive
+            stepper would have been truncated before this job ran. *)
+         completed := false;
+         raise Exit
+       end;
+       let c = sample_completion plan rng j ~elig:!elig in
+       comp.(j) <- c;
+       if c > horizon then begin
+         completed := false;
+         raise Exit
+       end;
+       if c + 1 > !makespan then makespan := c + 1
+     done
+   with Exit -> ());
+  if !completed then (!makespan, true) else (max_steps, false)

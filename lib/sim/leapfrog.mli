@@ -1,0 +1,36 @@
+(** Event-driven execution of oblivious schedules.
+
+    An oblivious schedule fixes every step's assignment in advance, so a
+    job's completion time does not need unit-step Bernoulli simulation:
+    each maximal stretch of steps during which one machine works the job
+    with constant [p_ij] is an iid Bernoulli sequence whose first success
+    index is Geometric(p) — one draw replaces the whole stretch, and the
+    g-th attempt maps back to an absolute step in O(1), including across
+    the infinitely repeated cycle. Completion steps are sampled in
+    topological order (a job becomes workable the step after its last
+    predecessor finishes, and not before its release date), which is
+    exactly the unit-step semantics of {!Engine.run} restricted to
+    oblivious policies; the resulting makespan is {e
+    distribution-equivalent} to the naive stepper's, though the RNG draw
+    sequence differs.
+
+    The engine's estimators take this path automatically for policies
+    tagged {!Suu_core.Policy.Oblivious_schedule}; [run]/[trace] always
+    use the naive stepper, so single-realisation replays stay bit-stable
+    across versions. *)
+
+type t
+(** A compiled schedule plus per-trial scratch. Compilation is O(total
+    schedule steps × m); each trial then costs one geometric draw per
+    (job, machine-stretch). Not domain-safe: build one per domain. *)
+
+val prepare :
+  ?releases:int array -> Suu_core.Instance.t -> Suu_core.Oblivious.t -> t
+(** Compile [sched] for [inst] once per estimate.
+    @raise Invalid_argument on machine-count mismatch or bad releases. *)
+
+val run : t -> Suu_prob.Rng.t -> max_steps:int -> int * bool
+(** One realisation: [(makespan, completed)], with [completed = false]
+    (and makespan [max_steps]) iff some job's sampled completion lands at
+    or beyond [max_steps] — the same truncation semantics as the naive
+    stepper. *)

@@ -249,6 +249,106 @@ let test_parallel_more_domains_than_trials () =
   Alcotest.(check int) "all trials done" 3
     (Array.length e.Engine.samples + e.Engine.incomplete)
 
+(* --- hot-path regressions --- *)
+
+let pinned_instance () =
+  Instance.create
+    ~p:[| [| 0.3; 0.6; 0.5; 0.25 |]; [| 0.7; 0.2; 0.4; 0.55 |] |]
+    ~dag:(Suu_dag.Dag.create ~n:4 [ (0, 2); (1, 3) ])
+
+let test_seeded_pinned_summary () =
+  (* Golden values captured before the zero-allocation rework of the
+     stepping path. The naive stepper's Bernoulli draw sequence is part
+     of the engine's contract (the serving layer's cached answers depend
+     on it), so a seeded estimate of an adaptive policy must stay
+     bit-identical across refactors — not merely statistically close. *)
+  let inst = pinned_instance () in
+  let e =
+    Engine.estimate_makespan_seeded ~trials:100 ~seed:7 inst
+      (Suu_algo.Suu_i.policy inst)
+  in
+  let s = e.Engine.stats in
+  Alcotest.(check (float 1e-9)) "mean" 3.89 s.Suu_prob.Stats.mean;
+  Alcotest.(check (float 1e-9)) "stddev" 1.3699148392 s.Suu_prob.Stats.stddev;
+  Alcotest.(check (float 0.)) "min" 2. s.Suu_prob.Stats.min;
+  Alcotest.(check (float 0.)) "max" 10. s.Suu_prob.Stats.max;
+  Alcotest.(check int) "count" 100 s.Suu_prob.Stats.count;
+  Alcotest.(check int) "incomplete" 0 e.Engine.incomplete;
+  Alcotest.(check (array (float 0.)))
+    "samples head (trial order)"
+    [| 2.; 3.; 6.; 5.; 3.; 3.; 6.; 3.; 4.; 2. |]
+    (Array.sub e.Engine.samples 0 10)
+
+let test_unseeded_samples_trial_order () =
+  (* [estimate_makespan] draws its trials sequentially from the given
+     generator, so the sample vector must equal back-to-back [run]s on an
+     equally-seeded generator, in trial order. (The sample order of the
+     unseeded estimator was historically reversed; this pins the fix.) *)
+  let inst = pinned_instance () in
+  let policy = Suu_algo.Suu_i.policy inst in
+  let trials = 20 in
+  let e = Engine.estimate_makespan ~trials (Rng.create 13) inst policy in
+  let rng = Rng.create 13 in
+  let expected = Array.make trials 0. in
+  for k = 0 to trials - 1 do
+    expected.(k) <- Float.of_int (Engine.run rng inst policy).Engine.makespan
+  done;
+  Alcotest.(check (array (float 0.))) "samples in trial order" expected
+    e.Engine.samples
+
+let test_parallel_equals_seeded_any_domains () =
+  (* The parallel estimator derives trial [k]'s stream from [(seed, k)]
+     exactly like the seeded one, so summary and sample vector must be
+     identical at every domain count — not just run-over-run stable. *)
+  let inst = pinned_instance () in
+  let policy = Suu_algo.Suu_i.policy inst in
+  let trials = 120 and seed = 21 in
+  let seeded = Engine.estimate_makespan_seeded ~trials ~seed inst policy in
+  List.iter
+    (fun domains ->
+      let par =
+        Engine.estimate_makespan_parallel ~domains ~trials ~seed inst policy
+      in
+      Alcotest.(check (array (float 0.)))
+        (Printf.sprintf "samples identical at %d domains" domains)
+        seeded.Engine.samples par.Engine.samples;
+      Alcotest.(check int)
+        (Printf.sprintf "incomplete identical at %d domains" domains)
+        seeded.Engine.incomplete par.Engine.incomplete)
+    [ 1; 2; 4 ]
+
+let test_parallel_stop_interrupts () =
+  let inst = single_job 0.5 in
+  Alcotest.check_raises "interrupted" Engine.Interrupted (fun () ->
+      ignore
+        (Engine.estimate_makespan_parallel ~domains:2
+           ~stop:(fun () -> true)
+           ~trials:100 ~seed:1 inst (always_assign inst)
+          : Engine.estimate))
+
+let test_parallel_on_trial_hook () =
+  let inst = single_job 0.9 in
+  let trials = 40 in
+  (* Distinct slots per trial index, so concurrent hook calls from the
+     worker domains never race. *)
+  let seen = Array.make trials 0 in
+  let e =
+    Engine.estimate_makespan_parallel ~domains:3
+      ~on_trial:(fun k -> seen.(k) <- seen.(k) + 1)
+      ~trials ~seed:5 inst (always_assign inst)
+  in
+  Alcotest.(check int) "trials" trials e.Engine.trials;
+  Array.iteri
+    (fun k c ->
+      Alcotest.(check int) (Printf.sprintf "trial %d hooked once" k) 1 c)
+    seen;
+  Alcotest.check_raises "hook exceptions escape" Exit (fun () ->
+      ignore
+        (Engine.estimate_makespan_parallel ~domains:2
+           ~on_trial:(fun k -> if k = 7 then raise Exit)
+           ~trials ~seed:5 inst (always_assign inst)
+          : Engine.estimate))
+
 (* --- release dates (online executions) --- *)
 
 let test_release_blocks_until_due () =
@@ -438,6 +538,19 @@ let () =
           Alcotest.test_case "stop interrupts" `Quick
             test_seeded_stop_interrupts;
           Alcotest.test_case "on_trial hook" `Quick test_seeded_on_trial_hook;
+        ] );
+      ( "hot path",
+        [
+          Alcotest.test_case "pinned seeded summary" `Quick
+            test_seeded_pinned_summary;
+          Alcotest.test_case "unseeded samples in trial order" `Quick
+            test_unseeded_samples_trial_order;
+          Alcotest.test_case "parallel = seeded at any domain count" `Quick
+            test_parallel_equals_seeded_any_domains;
+          Alcotest.test_case "parallel stop interrupts" `Quick
+            test_parallel_stop_interrupts;
+          Alcotest.test_case "parallel on_trial hook" `Quick
+            test_parallel_on_trial_hook;
         ] );
       ( "releases",
         [

@@ -353,6 +353,24 @@ let test_service_order_and_determinism_across_workers () =
   let out3, _ = Service.run_lines (config ~workers:3) lines in
   Alcotest.(check (list string)) "same responses in same order" out1 out3
 
+let test_service_estimate_domains_bit_identical () =
+  (* [estimate_domains > 1] fans each estimate over nested domains; the
+     engine's per-trial RNG derivation keeps the response stream
+     byte-identical to the inline path, so the knob is pure speed. *)
+  let lines =
+    List.init 4 (fun k ->
+        Printf.sprintf
+          {|{"op":"solve","id":"r%d","trials":30,"seed":%d,"instance":"%s"}|}
+          k (k + 1) (escaped instance_text))
+  in
+  let inline, _ = Service.run_lines (config ~workers:1) lines in
+  let fanned, _ =
+    Service.run_lines
+      { (config ~workers:2) with Service.estimate_domains = 3 }
+      lines
+  in
+  Alcotest.(check (list string)) "same responses" inline fanned
+
 let test_service_estimate_and_exact () =
   let inst = Suu_harness.Io.of_string instance_text in
   let plan =
@@ -957,6 +975,8 @@ let () =
             test_service_order_and_determinism_across_workers;
           Alcotest.test_case "estimate + exact" `Quick
             test_service_estimate_and_exact;
+          Alcotest.test_case "estimate_domains bit-identical" `Quick
+            test_service_estimate_domains_bit_identical;
           Alcotest.test_case "plan mismatch" `Quick
             test_service_plan_mismatch_rejected;
           Alcotest.test_case "queue full rejects" `Quick
