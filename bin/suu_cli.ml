@@ -421,6 +421,139 @@ let serve_cmd =
           line; see the suu.service library documentation for the protocol)")
     term
 
+let check_cmd =
+  let module Check = Suu_check in
+  let seed_arg =
+    let doc = "Master seed; every generated case derives from it." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let count_arg =
+    let doc = "Cases generated per property." in
+    Arg.(value & opt int 30 & info [ "count" ] ~docv:"N" ~doc)
+  in
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Run 10 cases per property (CI smoke mode).")
+  in
+  let props_arg =
+    let doc =
+      "Run only the named property (repeatable). Hidden properties can be \
+       selected this way."
+    in
+    Arg.(value & opt_all string [] & info [ "p"; "property" ] ~docv:"NAME" ~doc)
+  in
+  let list_arg =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"List registered properties and exit.")
+  in
+  let replay_arg =
+    let doc =
+      "Re-run a single failure from its repro line (as printed on failure), \
+       instead of generating cases."
+    in
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"JSON" ~doc)
+  in
+  let out_arg =
+    let doc = "Write failing-case repro lines (one JSON per line) to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let print_failure (f : Check.Runner.failure) =
+    Printf.printf "FAIL %s: %s\n" f.Check.Runner.property f.Check.Runner.message;
+    Printf.printf "  original: %s (case %d, seed %d)\n"
+      (Check.Case.summary f.Check.Runner.original)
+      f.Check.Runner.case_index f.Check.Runner.case_seed;
+    Printf.printf "  shrunk:   %s (%d shrink steps): %s\n"
+      (Check.Case.summary f.Check.Runner.shrunk)
+      f.Check.Runner.shrink_steps f.Check.Runner.shrunk_message;
+    Printf.printf "  repro: %s\n" (Check.Runner.repro_json f)
+  in
+  let run seed count quick names list replay out =
+    if list then begin
+      List.iter
+        (fun (p : Check.Property.t) ->
+          Printf.printf "%-20s %s\n" p.Check.Property.name p.Check.Property.doc)
+        Check.Registry.visible;
+      exit 0
+    end;
+    match replay with
+    | Some line -> (
+        match Check.Runner.replay line with
+        | Error msg ->
+            Printf.eprintf "suu check: %s\n" msg;
+            exit 2
+        | Ok (prop, case) -> (
+            Printf.printf "replay %s on %s\n" prop.Check.Property.name
+              (Check.Case.summary case);
+            match prop.Check.Property.check case with
+            | Check.Property.Pass ->
+                print_endline "ok: property passes on this case";
+                exit 0
+            | Check.Property.Skip reason ->
+                Printf.printf "skip: %s\n" reason;
+                exit 0
+            | Check.Property.Fail msg ->
+                Printf.printf "FAIL %s: %s\n" prop.Check.Property.name msg;
+                exit 1))
+    | None ->
+        let props =
+          match names with
+          | [] -> Check.Registry.visible
+          | names ->
+              List.map
+                (fun name ->
+                  match Check.Registry.find name with
+                  | Some p -> p
+                  | None ->
+                      Printf.eprintf
+                        "suu check: unknown property %S (try --list)\n" name;
+                      exit 2)
+                names
+        in
+        let count = if quick then min count 10 else count in
+        let on_property (r : Check.Runner.prop_report) =
+          (match r.Check.Runner.failure with
+          | None ->
+              let skipped =
+                if r.Check.Runner.skipped > 0 then
+                  Printf.sprintf " (%d skipped)" r.Check.Runner.skipped
+                else ""
+              in
+              Printf.printf "ok   %-20s %d cases%s\n"
+                r.Check.Runner.prop.Check.Property.name r.Check.Runner.cases
+                skipped
+          | Some f -> print_failure f);
+          flush stdout
+        in
+        let report = Check.Runner.run ~on_property ~seed ~count props in
+        Printf.printf "check: %d properties, %d cases, %d failures\n"
+          (List.length report.Check.Runner.props)
+          report.Check.Runner.total_cases
+          (List.length report.Check.Runner.failures);
+        (match out with
+        | Some file when report.Check.Runner.failures <> [] ->
+            Out_channel.with_open_text file (fun oc ->
+                List.iter
+                  (fun f ->
+                    Out_channel.output_string oc (Check.Runner.repro_json f);
+                    Out_channel.output_char oc '\n')
+                  report.Check.Runner.failures)
+        | _ -> ());
+        if not (Check.Runner.ok report) then exit 1
+  in
+  let term =
+    Term.(
+      const run $ seed_arg $ count_arg $ quick_arg $ props_arg $ list_arg
+      $ replay_arg $ out_arg)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run the property-based conformance suite (seeded generators, \
+          brute-force and cross-implementation oracles, shrinking)")
+    term
+
 let () =
   let doc = "multiprocessor scheduling under uncertainty (Lin-Rajaraman SPAA'07)" in
   let info = Cmd.info "suu" ~version:"1.0.0" ~doc in
@@ -436,4 +569,5 @@ let () =
             decompose_cmd;
             plan_cmd;
             serve_cmd;
+            check_cmd;
           ]))

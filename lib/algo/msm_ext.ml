@@ -45,3 +45,55 @@ let to_schedule inst r =
 
 let total_mass r =
   Array.fold_left (fun acc mj -> acc +. Float.min mj 1.) 0. r.mass
+
+let optimal_mass_brute_force inst ~jobs ~t =
+  if Array.length jobs <> Instance.n inst then
+    invalid_arg "Msm_ext.optimal_mass_brute_force: jobs length mismatch";
+  if t < 0 then invalid_arg "Msm_ext.optimal_mass_brute_force: negative length";
+  let m = Instance.m inst and n = Instance.n inst in
+  (* Steps on pairs with p_ij = 0 (or unflagged jobs) add no mass, so the
+     optimum is attained allocating only to each machine's positive-
+     probability flagged jobs. *)
+  let targets =
+    Array.init m (fun i ->
+        List.filter
+          (fun j -> jobs.(j) && Instance.prob inst ~machine:i ~job:j > 0.)
+          (List.init n (fun j -> j)))
+  in
+  (* Allocations of at most [t] steps over [k] jobs number C(t+k, k); gate
+     the product before searching. *)
+  let compositions k =
+    let acc = ref 1. in
+    for q = 1 to k do
+      acc := !acc *. Float.of_int (t + q) /. Float.of_int q
+    done;
+    !acc
+  in
+  let space =
+    Array.fold_left
+      (fun acc ts -> acc *. compositions (List.length ts))
+      1. targets
+  in
+  if space > 1e7 then
+    invalid_arg "Msm_ext.optimal_mass_brute_force: search space too large";
+  let mass = Array.make n 0. in
+  let best = ref 0. in
+  let rec machine i =
+    if i = m then
+      best :=
+        Float.max !best
+          (Array.fold_left (fun acc mj -> acc +. Float.min mj 1.) 0. mass)
+    else distribute i targets.(i) t
+  and distribute i ts cap =
+    match ts with
+    | [] -> machine (i + 1)
+    | j :: rest ->
+        let p = Instance.prob inst ~machine:i ~job:j in
+        for steps = 0 to cap do
+          mass.(j) <- mass.(j) +. (Float.of_int steps *. p);
+          distribute i rest (cap - steps);
+          mass.(j) <- mass.(j) -. (Float.of_int steps *. p)
+        done
+  in
+  machine 0;
+  !best

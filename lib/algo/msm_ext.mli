@@ -27,3 +27,10 @@ val to_schedule : Suu_core.Instance.t -> result -> Suu_core.Oblivious.t
 
 val total_mass : result -> float
 (** Objective value [Σ_j min(mass_j, 1)]. *)
+
+val optimal_mass_brute_force :
+  Suu_core.Instance.t -> jobs:bool array -> t:int -> float
+(** Exact MaxSumMass-Ext optimum by exhaustive search over all integer
+    allocations [x] with [Σ_j x_ij ≤ t] — the test oracle for Lemma 3.4's
+    1/3 guarantee, only for tiny instances and lengths.
+    @raise Invalid_argument when the search space exceeds ~10⁷. *)

@@ -1,0 +1,146 @@
+module Json = Suu_service.Json
+
+type t = {
+  p : float array array;
+  edges : (int * int) list;
+  aux_seed : int;
+}
+
+let make ~p ~edges ~aux_seed =
+  { p; edges = List.sort_uniq compare edges; aux_seed }
+
+let m t = Array.length t.p
+let n t = if m t = 0 then 0 else Array.length t.p.(0)
+
+let is_valid t =
+  let mm = m t and nn = n t in
+  mm >= 1 && nn >= 1
+  && Array.for_all
+       (fun row ->
+         Array.length row = nn
+         && Array.for_all (fun v -> Float.is_finite v && v >= 0. && v <= 1.) row)
+       t.p
+  && (let capable = Array.make nn false in
+      Array.iter
+        (Array.iteri (fun j v -> if v > 0. then capable.(j) <- true))
+        t.p;
+      Array.for_all Fun.id capable)
+  && List.for_all
+       (fun (u, v) -> u <> v && u >= 0 && u < nn && v >= 0 && v < nn)
+       t.edges
+  && match Suu_dag.Dag.create ~n:nn t.edges with
+     | (_ : Suu_dag.Dag.t) -> true
+     | exception Invalid_argument _ -> false
+
+let instance t =
+  Suu_core.Instance.create ~p:t.p ~dag:(Suu_dag.Dag.create ~n:(n t) t.edges)
+
+let aux_rng t = Suu_prob.Rng.create t.aux_seed
+
+let summary t =
+  Printf.sprintf "n=%d m=%d edges=%d" (n t) (m t) (List.length t.edges)
+
+let equal a b =
+  a.aux_seed = b.aux_seed && a.edges = b.edges
+  && Array.length a.p = Array.length b.p
+  && Array.for_all2
+       (fun ra rb ->
+         Array.length ra = Array.length rb
+         && Array.for_all2
+              (fun x y ->
+                Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+              ra rb)
+       a.p b.p
+
+(* Shortest decimal form that parses back to the same float: shrunk
+   cases print as "0.5", not "0.5000000000000000", while arbitrary
+   generated probabilities still round-trip exactly. *)
+let float_repr x =
+  let exact fmt =
+    let s = Printf.sprintf fmt x in
+    if Float.equal (float_of_string s) x then Some s else None
+  in
+  match exact "%.12g" with
+  | Some s -> s
+  | None -> (
+      match exact "%.15g" with Some s -> s | None -> Printf.sprintf "%.17g" x)
+
+let to_json t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "{\"n\":%d,\"m\":%d,\"p\":[" (n t) (m t));
+  Array.iteri
+    (fun i row ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf '[';
+      Array.iteri
+        (fun j v ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (float_repr v))
+        row;
+      Buffer.add_char buf ']')
+    t.p;
+  Buffer.add_string buf "],\"edges\":[";
+  List.iteri
+    (fun k (u, v) ->
+      if k > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "[%d,%d]" u v))
+    t.edges;
+  Buffer.add_string buf (Printf.sprintf "],\"aux\":%d}" t.aux_seed);
+  Buffer.contents buf
+
+let of_json s =
+  let ( let* ) = Result.bind in
+  let field name conv json =
+    match Option.bind (Json.member name json) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "case: missing or malformed %S" name)
+  in
+  let* json = Json.of_string s in
+  let* nn = field "n" Json.to_int json in
+  let* mm = field "m" Json.to_int json in
+  let* p_rows =
+    field "p" (function Json.List l -> Some l | _ -> None) json
+  in
+  let* aux_seed = field "aux" Json.to_int json in
+  let* edges_json =
+    match Json.member "edges" json with
+    | None | Some Json.Null -> Ok []
+    | Some (Json.List l) -> Ok l
+    | Some _ -> Error "case: malformed \"edges\""
+  in
+  let* p =
+    if List.length p_rows <> mm then Error "case: p has wrong row count"
+    else
+      List.fold_left
+        (fun acc row ->
+          let* acc = acc in
+          match row with
+          | Json.List cells when List.length cells = nn ->
+              let* cells =
+                List.fold_left
+                  (fun acc c ->
+                    let* acc = acc in
+                    match Json.to_num c with
+                    | Some v -> Ok (v :: acc)
+                    | None -> Error "case: non-numeric probability")
+                  (Ok []) cells
+              in
+              Ok (Array.of_list (List.rev cells) :: acc)
+          | _ -> Error "case: p row has wrong length")
+        (Ok []) p_rows
+      |> Result.map (fun rows -> Array.of_list (List.rev rows))
+  in
+  let* edges =
+    List.fold_left
+      (fun acc e ->
+        let* acc = acc in
+        match e with
+        | Json.List [ u; v ] -> (
+            match (Json.to_int u, Json.to_int v) with
+            | Some u, Some v -> Ok ((u, v) :: acc)
+            | _ -> Error "case: non-integer edge endpoint")
+        | _ -> Error "case: edge is not a pair")
+      (Ok []) edges_json
+    |> Result.map List.rev
+  in
+  Ok (make ~p ~edges ~aux_seed)

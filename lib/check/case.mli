@@ -1,0 +1,53 @@
+(** Concrete test cases for the conformance checker.
+
+    A case is the raw material of one property check: a probability
+    matrix, a precedence edge list and an auxiliary seed from which the
+    property derives any extra randomness it needs (schedules, job
+    subsets, hostile mutations, Monte-Carlo seeds). Keeping the case as
+    plain data — rather than a constructed {!Suu_core.Instance.t} — is
+    what makes shrinking and JSON repro lines possible: the shrinker
+    edits the data, and a failure report serialises it losslessly. *)
+
+type t = {
+  p : float array array;  (** machine-major success probabilities *)
+  edges : (int * int) list;  (** precedence edges, sorted and deduplicated *)
+  aux_seed : int;
+      (** seed for the property's auxiliary randomness; determinism of a
+          check given its case hinges on drawing everything from here *)
+}
+
+val make : p:float array array -> edges:(int * int) list -> aux_seed:int -> t
+(** Normalises the edge list (sort + dedup); no validation. *)
+
+val n : t -> int
+(** Number of jobs (row length of [p]; 0 when there are no machines). *)
+
+val m : t -> int
+(** Number of machines. *)
+
+val is_valid : t -> bool
+(** Whether {!instance} would succeed: at least one machine, rectangular
+    [p] with entries in [\[0,1\]], every job capable, edges in range and
+    acyclic. Generators only emit valid cases and the shrinker only
+    proposes valid ones; properties may rely on it. *)
+
+val instance : t -> Suu_core.Instance.t
+(** Build the instance. @raise Suu_core.Instance.Invalid or
+    [Invalid_argument] when the case is not {!is_valid}. *)
+
+val aux_rng : t -> Suu_prob.Rng.t
+(** Fresh generator derived from [aux_seed]; equal cases give equal
+    streams. *)
+
+val summary : t -> string
+(** One-line shape summary, e.g. ["n=3 m=2 edges=1"]. *)
+
+val equal : t -> t -> bool
+
+val to_json : t -> string
+(** One-line JSON encoding
+    [{"n":..,"m":..,"p":[[..],..],"edges":[[u,v],..],"aux":..}].
+    Floats are printed with enough digits to round-trip exactly, so
+    [of_json (to_json c)] reconstructs [c] bit for bit. *)
+
+val of_json : string -> (t, string) result

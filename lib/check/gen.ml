@@ -1,0 +1,178 @@
+module Rng = Suu_prob.Rng
+module Dgen = Suu_dag.Gen
+
+type sizes = {
+  min_jobs : int;
+  max_jobs : int;
+  min_machines : int;
+  max_machines : int;
+  independent_only : bool;
+  min_prob : float;
+}
+
+let default =
+  {
+    min_jobs = 1;
+    max_jobs = 12;
+    min_machines = 1;
+    max_machines = 4;
+    independent_only = false;
+    min_prob = 0.;
+  }
+
+let small = { default with max_jobs = 6; max_machines = 3 }
+let tiny = { default with max_jobs = 4; max_machines = 2 }
+
+let range rng lo hi = lo + Rng.int rng (hi - lo + 1)
+
+(* Probability styles. Every style fills a full m×n matrix; capability
+   repair afterwards guarantees validity. *)
+let fill_probs rng sizes ~m ~n =
+  let clamp v = if v > 0. && v < sizes.min_prob then sizes.min_prob else v in
+  let entry =
+    match Rng.int rng 6 with
+    | 0 -> fun () -> Rng.float rng (* uniform *)
+    | 1 ->
+        (* power-law: concentrated near 0, the hard regime for mass
+           arguments *)
+        fun () ->
+         let u = Rng.float rng in
+         u *. u *. u
+    | 2 -> fun () -> Rng.uniform rng 0.5 1. (* dense high *)
+    | 3 ->
+        (* sparse: most pairs incapable *)
+        fun () -> if Rng.float rng < 0.6 then 0. else Rng.float rng
+    | 4 ->
+        (* degenerate masses: p ∈ {0,1} only *)
+        fun () -> if Rng.bool rng then 1. else 0.
+    | _ ->
+        (* mixed: degenerate entries sprinkled into a uniform matrix *)
+        fun () ->
+         (match Rng.int rng 4 with
+         | 0 -> 0.
+         | 1 -> 1.
+         | _ -> Rng.float rng)
+  in
+  let p = Array.init m (fun _ -> Array.init n (fun _ -> clamp (entry ()))) in
+  (* Capability repair: every job needs a machine with positive
+     probability or the instance (rightly) refuses to build. *)
+  for j = 0 to n - 1 do
+    let capable = ref false in
+    for i = 0 to m - 1 do
+      if p.(i).(j) > 0. then capable := true
+    done;
+    if not !capable then begin
+      let i = Rng.int rng m in
+      p.(i).(j) <-
+        (if Rng.bool rng then 1. else clamp (Rng.uniform rng 0.25 1.))
+    end
+  done;
+  p
+
+let gen_dag rng sizes ~n =
+  if sizes.independent_only || n = 1 then Dgen.independent n
+  else
+    match Rng.int rng 8 with
+    | 0 -> Dgen.independent n
+    | 1 -> Dgen.chains rng ~n ~chains:(range rng 1 n)
+    | 2 -> Dgen.out_forest rng ~n ~trees:(range rng 1 n)
+    | 3 -> Dgen.in_forest rng ~n ~trees:(range rng 1 n)
+    | 4 -> Dgen.polytree_forest rng ~n ~trees:(range rng 1 n)
+    | 5 -> Dgen.layered rng ~n ~layers:(range rng 1 n) ~edge_prob:(Rng.float rng)
+    | 6 -> Dgen.random_dag rng ~n ~edge_prob:0.15
+    | _ -> Dgen.random_dag rng ~n ~edge_prob:0.5
+
+let case rng sizes =
+  let n = range rng sizes.min_jobs sizes.max_jobs in
+  let m = range rng sizes.min_machines sizes.max_machines in
+  let dag = gen_dag rng sizes ~n in
+  let p = fill_probs rng sizes ~m ~n in
+  Case.make ~p ~edges:(Suu_dag.Dag.edges dag) ~aux_seed:(Rng.int rng 1_000_000)
+
+let oblivious rng c =
+  let n = Case.n c and m = Case.m c in
+  let assignment () =
+    Array.init m (fun _ ->
+        if Rng.float rng < 0.15 then Suu_core.Assignment.idle_job
+        else Rng.int rng n)
+  in
+  let prefix = Array.init (Rng.int rng 5) (fun _ -> assignment ()) in
+  let cycle = Array.init (range rng 1 6) (fun _ -> assignment ()) in
+  Suu_core.Oblivious.create ~m ~cycle prefix
+
+(* --- shrinking ---------------------------------------------------- *)
+
+let drop_job c j =
+  let n = Case.n c in
+  let remap v = if v > j then v - 1 else v in
+  let p =
+    Array.map
+      (fun row -> Array.init (n - 1) (fun k -> row.(if k >= j then k + 1 else k)))
+      c.Case.p
+  in
+  let edges =
+    List.filter_map
+      (fun (u, v) ->
+        if u = j || v = j then None else Some (remap u, remap v))
+      c.Case.edges
+  in
+  Case.make ~p ~edges ~aux_seed:c.Case.aux_seed
+
+let drop_machine c i =
+  let p =
+    Array.init
+      (Case.m c - 1)
+      (fun k -> Array.copy c.Case.p.(if k >= i then k + 1 else k))
+  in
+  Case.make ~p ~edges:c.Case.edges ~aux_seed:c.Case.aux_seed
+
+let drop_edge c e =
+  Case.make ~p:(Array.map Array.copy c.Case.p)
+    ~edges:(List.filter (fun e' -> e' <> e) c.Case.edges)
+    ~aux_seed:c.Case.aux_seed
+
+let set_prob c i j v =
+  let p = Array.map Array.copy c.Case.p in
+  p.(i).(j) <- v;
+  Case.make ~p ~edges:c.Case.edges ~aux_seed:c.Case.aux_seed
+
+let round2 v = Float.round (v *. 100.) /. 100.
+
+let shrink c =
+  let n = Case.n c and m = Case.m c in
+  let jobs =
+    if n <= 1 then []
+    else List.init n (fun j () -> drop_job c j)
+  in
+  let machines =
+    if m <= 1 then []
+    else List.init m (fun i () -> drop_machine c i)
+  in
+  let edges = List.map (fun e () -> drop_edge c e) c.Case.edges in
+  let probs = ref [] in
+  for i = m - 1 downto 0 do
+    for j = n - 1 downto 0 do
+      let v = c.Case.p.(i).(j) in
+      if v <> 0. && v <> 1. then begin
+        (* simplest first: snap to an endpoint, then to two decimals *)
+        probs := (fun () -> set_prob c i j 0.) :: !probs;
+        probs := (fun () -> set_prob c i j 1.) :: !probs;
+        let r = round2 v in
+        if r <> v && r <> 0. && r <> 1. then
+          probs := (fun () -> set_prob c i j r) :: !probs
+      end
+    done
+  done;
+  let aux =
+    if c.Case.aux_seed = 0 then []
+    else
+      [
+        (fun () ->
+          Case.make ~p:(Array.map Array.copy c.Case.p) ~edges:c.Case.edges
+            ~aux_seed:0);
+      ]
+  in
+  List.concat [ jobs; machines; edges; !probs; aux ]
+  |> List.to_seq
+  |> Seq.map (fun f -> f ())
+  |> Seq.filter Case.is_valid

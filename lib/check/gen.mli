@@ -1,0 +1,49 @@
+(** Seeded random case generation and shrinking.
+
+    Generators draw everything from the supplied {!Suu_prob.Rng.t}, so a
+    case is a pure function of its seed. Each draw picks a probability
+    style (uniform, power-law near 0, dense-high, sparse, degenerate
+    p ∈ {0,1}, mixed) and a DAG family (independent, chains, in/out
+    forests, polytrees, layered, sparse/dense general), then repairs
+    capability so every case is {!Case.is_valid}.
+
+    Shrinking proposes strictly simpler valid cases (fewer jobs,
+    machines or edges; probabilities snapped to 1, 0 or two decimals;
+    auxiliary seed zeroed), simplest-reduction first; the runner greedily
+    re-checks candidates until a failing case is locally minimal. *)
+
+type sizes = {
+  min_jobs : int;
+  max_jobs : int;
+  min_machines : int;
+  max_machines : int;
+  independent_only : bool;  (** suppress precedence edges *)
+  min_prob : float;
+      (** positive entries are raised to at least this, bounding horizons
+          for properties that simulate or sum survival series *)
+}
+
+val default : sizes
+(** Up to 12 jobs × 4 machines — structural properties with no
+    exponential oracle. *)
+
+val small : sizes
+(** Up to 6 jobs × 3 machines — exact-chain oracles (2^n states). *)
+
+val tiny : sizes
+(** Up to 4 jobs × 2 machines — brute-force enumeration oracles. *)
+
+val case : Suu_prob.Rng.t -> sizes -> Case.t
+
+val oblivious : Suu_prob.Rng.t -> Case.t -> Suu_core.Oblivious.t
+(** A random oblivious schedule for the case's instance: short random
+    prefix, non-empty random cycle, occasional idling, jobs drawn
+    uniformly (including pairs with [p_ij = 0] and not-yet-eligible jobs
+    — the execution semantics must clip them, and properties should
+    exercise that). *)
+
+val shrink : Case.t -> Case.t Seq.t
+(** Valid, strictly simpler candidates. Every accepted candidate
+    decreases the measure (jobs, machines, edges, non-{0,1} entries,
+    long-decimal entries, non-zero aux), so greedy shrinking
+    terminates. *)

@@ -1,0 +1,42 @@
+module Instance = Suu_core.Instance
+module Engine = Suu_sim.Engine
+
+let eligible inst unfinished =
+  let dag = Instance.dag inst in
+  Array.mapi
+    (fun j u ->
+      u
+      && List.for_all
+           (fun pred -> not unfinished.(pred))
+           (Suu_dag.Dag.preds dag j))
+    unfinished
+
+let msm_regimen inst unfinished =
+  Suu_algo.Msm.assign inst ~jobs:(eligible inst unfinished)
+
+let empirical_cdf (e : Engine.estimate) ~horizon =
+  let counts = Array.make (horizon + 1) 0 in
+  Array.iter
+    (fun s ->
+      let t = Float.to_int s in
+      if t <= horizon then counts.(t) <- counts.(t) + 1)
+    e.Engine.samples;
+  let cdf = Array.make (horizon + 1) 0. in
+  let acc = ref 0 in
+  for t = 0 to horizon do
+    acc := !acc + counts.(t);
+    cdf.(t) <- Float.of_int !acc /. Float.of_int e.Engine.trials
+  done;
+  cdf
+
+let sup_distance a b =
+  let len = min (Array.length a) (Array.length b) in
+  let sup = ref 0. in
+  for t = 0 to len - 1 do
+    let d = Float.abs (a.(t) -. b.(t)) in
+    if d > !sup then sup := d
+  done;
+  !sup
+
+let dkw_epsilon ~trials ~delta =
+  sqrt (Float.log (2. /. delta) /. (2. *. Float.of_int trials))

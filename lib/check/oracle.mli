@@ -1,0 +1,38 @@
+(** Cross-cutting oracle helpers shared by the property registry.
+
+    The exhaustive optima themselves live next to the algorithms they
+    certify ({!Suu_algo.Msm.optimal_mass_brute_force},
+    {!Suu_algo.Msm_ext.optimal_mass_brute_force},
+    {!Suu_algo.Malewicz.optimal_value}, {!Suu_sim.Exact}); this module
+    supplies the glue: eligibility computation matching the engine's
+    semantics, the canonical MSM regimen both the exact chain and the
+    Monte-Carlo engine can execute, and empirical-CDF machinery with the
+    Dvoretzky–Kiefer–Wolfowitz tolerance used to certify distribution
+    equivalence. *)
+
+val eligible : Suu_core.Instance.t -> bool array -> bool array
+(** Jobs of the unfinished set whose predecessors are all finished — the
+    engine's per-step eligibility rule as a pure function. *)
+
+val msm_regimen :
+  Suu_core.Instance.t -> bool array -> Suu_core.Assignment.t
+(** The SUU-I regimen: MSM-ALG on the eligible subset of the given
+    unfinished set. Suitable both for
+    {!Suu_sim.Exact.expected_makespan_regimen} and (wrapped with
+    {!Suu_core.Policy.of_regimen}) for the Monte-Carlo estimators, which
+    is what makes exact-vs-MC agreement a well-posed oracle. *)
+
+val empirical_cdf : Suu_sim.Engine.estimate -> horizon:int -> float array
+(** [P̂(T ≤ t)] for [t = 0..horizon] from an estimate run with
+    [max_steps = horizon]: truncated trials count as [T > horizon], so
+    the empirical CDF is comparable to an exact CDF even when the
+    schedule cannot finish. *)
+
+val sup_distance : float array -> float array -> float
+(** Kolmogorov–Smirnov statistic [sup_t |a.(t) − b.(t)|] over the common
+    prefix of the two arrays. *)
+
+val dkw_epsilon : trials:int -> delta:float -> float
+(** The DKW bound: with probability at least [1 − delta] the empirical
+    CDF of [trials] iid samples is uniformly within
+    [sqrt (ln (2/delta) / (2 · trials))] of the true CDF. *)

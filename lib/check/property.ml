@@ -1,0 +1,15 @@
+type outcome = Pass | Fail of string | Skip of string
+
+type t = {
+  name : string;
+  doc : string;
+  sizes : Gen.sizes;
+  hidden : bool;
+  check : Case.t -> outcome;
+}
+
+let make ?(hidden = false) ?(sizes = Gen.default) ~name ~doc check =
+  { name; doc; sizes; hidden; check }
+
+let failf fmt = Printf.ksprintf (fun s -> Fail s) fmt
+let all cond label = if cond () then Pass else Fail label

@@ -1,0 +1,40 @@
+(** Conformance properties.
+
+    A property is a named predicate over generated cases. [check] must be
+    deterministic given the case (all auxiliary randomness drawn from
+    {!Case.aux_rng}) — the shrinker and the replay workflow depend on a
+    failing case failing again. *)
+
+type outcome =
+  | Pass
+  | Fail of string
+      (** counterexample explanation, shown verbatim in reports *)
+  | Skip of string
+      (** the case is outside the oracle's budget (e.g. brute force too
+          large); counted separately, never a failure *)
+
+type t = {
+  name : string;  (** stable identifier, used by [-p] selection and repro *)
+  doc : string;  (** one-line statement of the certified property *)
+  sizes : Gen.sizes;  (** instance budget its oracles can afford *)
+  hidden : bool;
+      (** excluded from default runs; only runs when named explicitly
+          (the deliberately-broken demo property) *)
+  check : Case.t -> outcome;
+}
+
+val make :
+  ?hidden:bool ->
+  ?sizes:Gen.sizes ->
+  name:string ->
+  doc:string ->
+  (Case.t -> outcome) ->
+  t
+(** [sizes] defaults to {!Gen.default}. *)
+
+val failf : ('a, unit, string, outcome) format4 -> 'a
+(** [Fail] with a formatted message. *)
+
+val all : (unit -> bool) -> string -> outcome
+(** First-failure conjunction helper: [Pass] when the thunk returns
+    [true], otherwise [Fail] with the given label. *)

@@ -1,0 +1,515 @@
+module Instance = Suu_core.Instance
+module Assignment = Suu_core.Assignment
+module Policy = Suu_core.Policy
+module Oblivious = Suu_core.Oblivious
+module Mass = Suu_core.Mass
+module Msm = Suu_algo.Msm
+module Msm_ext = Suu_algo.Msm_ext
+module Weighted_msm = Suu_algo.Weighted_msm
+module Suu_i = Suu_algo.Suu_i
+module Suu_i_obl = Suu_algo.Suu_i_obl
+module Malewicz = Suu_algo.Malewicz
+module Engine = Suu_sim.Engine
+module Exact = Suu_sim.Exact
+module Exact_oblivious = Suu_sim.Exact_oblivious
+module Io = Suu_harness.Io
+module Rng = Suu_prob.Rng
+open Property
+
+let hostile_values =
+  [| 1.5; -0.1; Float.nan; Float.infinity; Float.neg_infinity; 2.; -1e300 |]
+
+(* A random "unfinished jobs" subset drawn from the case's auxiliary
+   stream; never empty unless [n = 0]. *)
+let random_jobs rng n =
+  let jobs = Array.init n (fun _ -> Rng.float rng < 0.7) in
+  if n > 0 && not (Array.exists Fun.id jobs) then jobs.(Rng.int rng n) <- true;
+  jobs
+
+let same_assignment (a : Assignment.t) (b : Assignment.t) = a = b
+
+(* --- 1. typed validation ------------------------------------------- *)
+
+let instance_validation =
+  Property.make ~name:"instance-validation" ~sizes:Gen.small
+    ~doc:
+      "hostile probabilities (NaN, infinities, out of [0,1]) are rejected \
+       with a typed error naming the offending coordinates, and never reach \
+       the samplers" (fun case ->
+      let rng = Case.aux_rng case in
+      let dag = Suu_dag.Dag.create ~n:(Case.n case) case.Case.edges in
+      match Instance.create_checked ~p:case.Case.p ~dag with
+      | Error e -> failf "valid case rejected: %s" (Instance.error_to_string e)
+      | Ok _ ->
+          let bad = ref None in
+          for _ = 1 to 3 do
+            let i = Rng.int rng (Case.m case)
+            and j = Rng.int rng (Case.n case) in
+            let v = hostile_values.(Rng.int rng (Array.length hostile_values)) in
+            let p = Array.map Array.copy case.Case.p in
+            p.(i).(j) <- v;
+            (match Instance.create_checked ~p ~dag with
+            | Error (Instance.Bad_probability { machine; job; value })
+              when machine = i && job = j
+                   && Int64.equal (Int64.bits_of_float value)
+                        (Int64.bits_of_float v) ->
+                ()
+            | Error e ->
+                bad :=
+                  Some
+                    (Printf.sprintf
+                       "hostile p[%d][%d]=%h misreported as: %s" i j v
+                       (Instance.error_to_string e))
+            | Ok _ ->
+                bad := Some (Printf.sprintf "hostile p[%d][%d]=%h accepted" i j v));
+            (* The exception path must carry the same typed payload. *)
+            match Instance.create ~p ~dag with
+            | (_ : Instance.t) ->
+                bad := Some (Printf.sprintf "create accepted hostile %h" v)
+            | exception Instance.Invalid (Instance.Bad_probability _) -> ()
+            | exception e ->
+                bad :=
+                  Some
+                    (Printf.sprintf "create raised untyped %s for %h"
+                       (Printexc.to_string e) v)
+          done;
+          (match !bad with
+          | Some msg -> Fail msg
+          | None -> (
+              (* End to end: a NaN in an instance *file* must surface as the
+                 structured parse failure the serving layer handles, not
+                 escape as a raw exception. *)
+              let txt = "suu 1\nn 1 m 1\nedges 0\nprobs\nnan\n" in
+              match Io.of_string txt with
+              | (_ : Instance.t) -> Fail "Io accepted a NaN probability"
+              | exception Failure _ -> Pass
+              | exception e ->
+                  failf "Io raised %s instead of Failure" (Printexc.to_string e)
+              )))
+
+(* --- 2. MSM-ALG 1/3 ratio (Theorem 3.2) ---------------------------- *)
+
+let msm_ratio =
+  Property.make ~name:"msm-ratio"
+    ~sizes:{ Gen.tiny with max_machines = 3 }
+    ~doc:
+      "greedy MSM-ALG mass is within 1/3 of the brute-force MaxSumMass \
+       optimum, never exceeds it, caps per-job mass at 1 and only uses \
+       flagged jobs" (fun case ->
+      let inst = Case.instance case in
+      let rng = Case.aux_rng case in
+      let jobs = random_jobs rng (Instance.n inst) in
+      let a = Msm.assign inst ~jobs in
+      match Assignment.validate a ~n:(Instance.n inst) ~m:(Instance.m inst) with
+      | Error msg -> failf "invalid assignment: %s" msg
+      | Ok () -> (
+          let off_target =
+            Array.exists (fun j -> j <> Assignment.idle_job && not jobs.(j)) a
+          in
+          if off_target then Fail "machine assigned to an unflagged job"
+          else
+            let mass = Assignment.mass_added inst a in
+            let overfull = Array.exists (fun mj -> mj > 1. +. 1e-9) mass in
+            if overfull then Fail "per-job mass exceeds 1"
+            else
+              let greedy = Msm.total_mass inst a in
+              match Msm.optimal_mass_brute_force inst ~jobs with
+              | exception Invalid_argument _ -> Skip "search space too large"
+              | opt ->
+                  if greedy > opt +. 1e-9 then
+                    failf "greedy %.6f exceeds optimum %.6f" greedy opt
+                  else if greedy < (opt /. 3.) -. 1e-9 then
+                    failf "greedy %.6f < OPT/3 = %.6f (Thm 3.2 violated)"
+                      greedy (opt /. 3.)
+                  else Pass))
+
+(* --- 3. MSM-E-ALG 1/3 ratio (Lemma 3.4) ---------------------------- *)
+
+let msm_ext_ratio =
+  Property.make ~name:"msm-ext-ratio"
+    ~sizes:{ Gen.tiny with max_jobs = 3 }
+    ~doc:
+      "MSM-E-ALG's length-t allocation respects machine capacities, keeps \
+       its mass ledger consistent, packs into a valid schedule, and is \
+       within 1/3 of the brute-force MaxSumMass-Ext optimum" (fun case ->
+      let inst = Case.instance case in
+      let rng = Case.aux_rng case in
+      let t = Rng.int rng 5 in
+      let jobs = random_jobs rng (Instance.n inst) in
+      let r = Msm_ext.allocate inst ~jobs ~t in
+      let cap_ok =
+        Array.for_all
+          (fun row -> Array.fold_left ( + ) 0 row <= t)
+          r.Msm_ext.x
+      in
+      if not cap_ok then Fail "machine allocated more than t steps"
+      else
+        let ledger_ok =
+          Array.for_all Fun.id
+            (Array.init (Instance.n inst) (fun j ->
+                 let s = ref 0. in
+                 Array.iteri
+                   (fun i row ->
+                     s :=
+                       !s
+                       +. Float.of_int row.(j)
+                          *. Instance.prob inst ~machine:i ~job:j)
+                   r.Msm_ext.x;
+                 Float.abs (!s -. r.Msm_ext.mass.(j)) <= 1e-9))
+        in
+        if not ledger_ok then Fail "mass ledger disagrees with x"
+        else
+          match Oblivious.validate inst (Msm_ext.to_schedule inst r) with
+          | Error msg -> failf "packed schedule invalid: %s" msg
+          | Ok () -> (
+              let greedy = Msm_ext.total_mass r in
+              match Msm_ext.optimal_mass_brute_force inst ~jobs ~t with
+              | exception Invalid_argument _ -> Skip "search space too large"
+              | opt ->
+                  if greedy > opt +. 1e-9 then
+                    failf "greedy %.6f exceeds optimum %.6f" greedy opt
+                  else if greedy < (opt /. 3.) -. 1e-9 then
+                    failf "greedy %.6f < OPT/3 = %.6f (Lemma 3.4 violated)"
+                      greedy (opt /. 3.)
+                  else Pass))
+
+(* --- 4. tie-break determinism -------------------------------------- *)
+
+let msm_determinism =
+  Property.make ~name:"msm-determinism"
+    ~doc:
+      "the greedy assignment is a pure function of the instance: repeated \
+       calls, a rebuilt instance (fresh sorted_pairs), and the \
+       weight-scaled greedy with uniform weights all agree exactly"
+    (fun case ->
+      let inst = Case.instance case in
+      let rng = Case.aux_rng case in
+      let n = Instance.n inst in
+      let jobs = random_jobs rng n in
+      let a1 = Msm.assign inst ~jobs in
+      let a2 = Msm.assign inst ~jobs in
+      if not (same_assignment a1 a2) then Fail "two calls disagree"
+      else
+        let rebuilt = Case.instance case in
+        let a3 = Msm.assign rebuilt ~jobs in
+        if not (same_assignment a1 a3) then
+          Fail "rebuilt instance (fresh sorted_pairs) disagrees"
+        else
+          let ones = Array.make n 1. in
+          let w1 = Weighted_msm.assign inst ~weights:ones ~jobs in
+          if not (same_assignment a1 w1) then
+            Fail "uniform-weight greedy diverges from MSM-ALG"
+          else
+            let scaled = Array.make n 2.5 in
+            let w2 = Weighted_msm.assign inst ~weights:scaled ~jobs in
+            let w2' = Weighted_msm.assign rebuilt ~weights:scaled ~jobs in
+            if not (same_assignment w2 w2') then
+              Fail "equal-weight assignment unstable across rebuilds"
+            else if not (same_assignment w1 w2) then
+              Fail "uniform weight scaling changed the assignment"
+            else Pass)
+
+(* --- 5. mass accumulation (Lemma 3.5 / Proposition 2.1) ------------ *)
+
+let mass_accumulation =
+  Property.make ~name:"mass-accumulation" ~sizes:Gen.small
+    ~doc:
+      "Algorithm 2's core schedule accumulates at least the target mass \
+       for every job, mass grows monotonically in steps, and combined \
+       success probability obeys Proposition 2.1's [Σ/e, Σ] sandwich"
+    (fun case ->
+      let inst = Case.instance case in
+      let rng = Case.aux_rng case in
+      let params = Suu_i_obl.tuned_params in
+      let r = Suu_i_obl.build ~params inst in
+      let core = r.Suu_i_obl.core in
+      let steps = Oblivious.prefix_length core in
+      let mass = Mass.of_oblivious_capped inst core ~steps in
+      let target = params.Suu_i_obl.mass_target in
+      let deficient = ref None in
+      Array.iteri
+        (fun j mj -> if mj < target -. 1e-9 then deficient := Some (j, mj))
+        mass;
+      match !deficient with
+      | Some (j, mj) ->
+          failf "job %d accumulates %.4f < target %.4f over the core" j mj
+            target
+      | None ->
+          let half = Mass.of_oblivious inst core ~steps:(steps / 2) in
+          let full = Mass.of_oblivious inst core ~steps in
+          let shrunkk = ref None in
+          Array.iteri
+            (fun j v -> if v > full.(j) +. 1e-9 then shrunkk := Some j)
+            half;
+          (match !shrunkk with
+          | Some j -> failf "job %d loses mass as steps grow" j
+          | None ->
+              let k = 1 + Rng.int rng 4 in
+              let ps =
+                List.init k (fun _ -> Rng.uniform rng 0. (1. /. Float.of_int k))
+              in
+              let lo, hi = Mass.proposition_2_1_bounds ps in
+              let c = Mass.combined_success ps in
+              if c < lo -. 1e-12 then
+                failf "combined success %.6f below Σ/e = %.6f" c lo
+              else if c > hi +. 1e-12 then
+                failf "combined success %.6f above Σ = %.6f" c hi
+              else Pass))
+
+(* --- 6. relabeling invariance -------------------------------------- *)
+
+let permuted_case rng case =
+  let n = Case.n case and m = Case.m case in
+  let sigma = Rng.permutation rng m in
+  let pi = Rng.permutation rng n in
+  let inv = Array.make n 0 in
+  Array.iteri (fun j old -> inv.(old) <- j) pi;
+  let p =
+    Array.init m (fun i -> Array.init n (fun j -> case.Case.p.(sigma.(i)).(pi.(j))))
+  in
+  let edges = List.map (fun (u, v) -> (inv.(u), inv.(v))) case.Case.edges in
+  Case.make ~p ~edges ~aux_seed:case.Case.aux_seed
+
+let relabel_invariance =
+  Property.make ~name:"relabel-invariance" ~sizes:Gen.tiny
+    ~doc:
+      "optimal values are label-free: brute-force MaxSumMass and the \
+       Malewicz optimum are invariant under permuting machines and jobs"
+    (fun case ->
+      let rng = Case.aux_rng case in
+      let inst = Case.instance case in
+      let perm = permuted_case rng case in
+      let inst' = Case.instance perm in
+      let all_jobs = Array.make (Instance.n inst) true in
+      match
+        ( Msm.optimal_mass_brute_force inst ~jobs:all_jobs,
+          Msm.optimal_mass_brute_force inst' ~jobs:all_jobs )
+      with
+      | exception Invalid_argument _ -> Skip "search space too large"
+      | opt, opt' ->
+          if Float.abs (opt -. opt') > 1e-9 then
+            failf "MaxSumMass optimum moved under relabeling: %.9f vs %.9f"
+              opt opt'
+          else (
+            match (Malewicz.optimal_value inst, Malewicz.optimal_value inst')
+            with
+            | exception Malewicz.Too_expensive _ -> Skip "Malewicz too expensive"
+            | exception Exact.Too_large _ -> Skip "too many jobs for a bitmask"
+            | v, v' ->
+                let tol = 1e-6 *. (1. +. Float.abs v) in
+                if Float.abs (v -. v') > tol then
+                  failf "TOPT moved under relabeling: %.9f vs %.9f" v v'
+                else Pass))
+
+(* --- 7. monotonicity in p ------------------------------------------ *)
+
+let monotone_in_p =
+  Property.make ~name:"monotone-in-p" ~sizes:Gen.tiny
+    ~doc:
+      "raising success probabilities can only help: TOPT (Malewicz \
+       optimum) weakly decreases when any subset of the p_ij grows"
+    (fun case ->
+      let rng = Case.aux_rng case in
+      let inst = Case.instance case in
+      let boosted =
+        Array.map
+          (Array.map (fun v ->
+               if Rng.bool rng then v +. ((1. -. v) *. Rng.float rng) else v))
+          case.Case.p
+      in
+      let inst' =
+        Instance.create ~p:boosted
+          ~dag:(Suu_dag.Dag.create ~n:(Case.n case) case.Case.edges)
+      in
+      match (Malewicz.optimal_value inst, Malewicz.optimal_value inst') with
+      | exception Malewicz.Too_expensive _ -> Skip "Malewicz too expensive"
+      | exception Exact.Too_large _ -> Skip "too many jobs for a bitmask"
+      | v, v' ->
+          let tol = 1e-6 *. (1. +. Float.abs v) in
+          if v' > v +. tol then
+            failf "TOPT grew from %.9f to %.9f after boosting p" v v'
+          else Pass)
+
+(* --- 8. exact chain vs Monte-Carlo --------------------------------- *)
+
+let exact_vs_mc =
+  Property.make ~name:"exact-vs-mc"
+    ~sizes:{ Gen.small with min_prob = 0.1 }
+    ~doc:
+      "the Monte-Carlo engine agrees with the absorbing-Markov-chain \
+       expectation of the MSM regimen within 5 standard errors"
+    (fun case ->
+      let inst = Case.instance case in
+      let rng = Case.aux_rng case in
+      match Exact.expected_makespan_regimen inst (Oracle.msm_regimen inst) with
+      | exception Exact.Too_large _ -> Skip "too many jobs for a bitmask"
+      | exact ->
+          let trials = 400 in
+          let policy = Policy.of_regimen "msm-regimen" (Oracle.msm_regimen inst) in
+          let e =
+            Engine.estimate_makespan_seeded ~trials ~seed:(Rng.int rng 1_000_000)
+              inst policy
+          in
+          if e.Engine.incomplete > 0 then
+            failf "%d of %d trials hit the step cap" e.Engine.incomplete trials
+          else
+            let mean = e.Engine.stats.Suu_prob.Stats.mean in
+            let sem = e.Engine.stats.Suu_prob.Stats.sem in
+            let tol = (5. *. sem) +. 0.05 in
+            if Float.abs (mean -. exact) > tol then
+              failf "MC mean %.4f vs exact %.4f (tol %.4f over %d trials)"
+                mean exact tol trials
+            else Pass)
+
+(* --- 9. leapfrog vs naive stepper ---------------------------------- *)
+
+let leapfrog_vs_naive =
+  Property.make ~name:"leapfrog-vs-naive"
+    ~sizes:{ Gen.small with max_jobs = 5; min_prob = 0.15 }
+    ~doc:
+      "on a random oblivious schedule, both the geometric leapfrog sampler \
+       and the naive unit stepper match the exact makespan CDF uniformly \
+       (DKW at confidence 1 − 1e-9)"
+    (fun case ->
+      let inst = Case.instance case in
+      let rng = Case.aux_rng case in
+      let sched = Gen.oblivious rng case in
+      let horizon = min (Engine.default_horizon inst) 300 in
+      let exact = Exact_oblivious.cdf inst sched ~horizon in
+      let sampler name policy trials =
+        let e =
+          Engine.estimate_makespan_seeded ~max_steps:horizon ~trials
+            ~seed:(Rng.int rng 1_000_000) inst policy
+        in
+        let emp = Oracle.empirical_cdf e ~horizon in
+        let sup = Oracle.sup_distance emp exact in
+        let eps = Oracle.dkw_epsilon ~trials ~delta:1e-9 in
+        if sup > eps then
+          Some
+            (Printf.sprintf "%s sampler: sup|emp − exact| = %.4f > %.4f" name
+               sup eps)
+        else None
+      in
+      let leap = Policy.of_oblivious "leap" sched in
+      let naive =
+        Policy.stateless "naive" (fun state ->
+            Oblivious.step sched state.Policy.step)
+      in
+      match sampler "leapfrog" leap 3000 with
+      | Some msg -> Fail msg
+      | None -> (
+          match sampler "naive" naive 1200 with
+          | Some msg -> Fail msg
+          | None -> Pass))
+
+(* --- 10. parallel estimator identity ------------------------------- *)
+
+let parallel_vs_seeded =
+  Property.make ~name:"parallel-vs-seeded"
+    ~sizes:{ Gen.default with min_prob = 0.05 }
+    ~doc:
+      "the multicore estimator is bit-identical to the sequential seeded \
+       one (and the seeded one to itself) for adaptive and oblivious \
+       policies alike" (fun case ->
+      let inst = Case.instance case in
+      let rng = Case.aux_rng case in
+      let policy =
+        if case.Case.aux_seed mod 2 = 0 then Suu_i.policy inst
+        else Policy.of_oblivious "suu-i-obl" (Suu_i_obl.schedule inst)
+      in
+      let seed = Rng.int rng 1_000_000 in
+      let trials = 48 in
+      let a = Engine.estimate_makespan_seeded ~trials ~seed inst policy in
+      let b =
+        Engine.estimate_makespan_parallel ~domains:3 ~trials ~seed inst policy
+      in
+      let c = Engine.estimate_makespan_seeded ~trials ~seed inst policy in
+      let bits e = Array.map Int64.bits_of_float e.Engine.samples in
+      if bits a <> bits b then Fail "parallel samples differ from seeded"
+      else if a.Engine.incomplete <> b.Engine.incomplete then
+        Fail "parallel incomplete count differs from seeded"
+      else if bits a <> bits c then Fail "seeded estimator is not reproducible"
+      else Pass)
+
+(* --- 11. serialisation round-trips --------------------------------- *)
+
+let serialize_roundtrip =
+  Property.make ~name:"serialize-roundtrip"
+    ~doc:
+      "instance files, plan files and case repro JSON all round-trip \
+       losslessly (equal digests, bit-equal probabilities, identical \
+       schedules)" (fun case ->
+      let inst = Case.instance case in
+      let rng = Case.aux_rng case in
+      let s = Io.to_string inst in
+      match Io.of_string s with
+      | exception Failure msg -> failf "reparse failed: %s" msg
+      | inst2 ->
+          if not (String.equal (Io.digest inst) (Io.digest inst2)) then
+            Fail "digest changed across a round-trip"
+          else if not (String.equal (Io.to_string inst2) s) then
+            Fail "serialisation is not idempotent"
+          else if
+            not
+              (List.sort compare (Suu_dag.Dag.edges (Instance.dag inst2))
+              = List.sort compare case.Case.edges)
+          then Fail "edges changed across a round-trip"
+          else
+            let probs_ok = ref true in
+            for i = 0 to Instance.m inst - 1 do
+              for j = 0 to Instance.n inst - 1 do
+                let x = Instance.prob inst ~machine:i ~job:j in
+                let y = Instance.prob inst2 ~machine:i ~job:j in
+                if not (Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+                then probs_ok := false
+              done
+            done;
+            if not !probs_ok then Fail "probabilities changed across a round-trip"
+            else
+              let sched = Gen.oblivious rng case in
+              let sched2 =
+                Io.schedule_of_string (Io.schedule_to_string sched)
+              in
+              if
+                not
+                  (sched.Oblivious.prefix = sched2.Oblivious.prefix
+                  && sched.Oblivious.cycle = sched2.Oblivious.cycle
+                  && sched.Oblivious.m = sched2.Oblivious.m)
+              then Fail "plan file changed across a round-trip"
+              else (
+                match Case.of_json (Case.to_json case) with
+                | Error msg -> failf "case JSON reparse failed: %s" msg
+                | Ok case2 ->
+                    if not (Case.equal case case2) then
+                      Fail "case JSON round-trip is lossy"
+                    else Pass))
+
+(* --- hidden: the deliberately broken demo property ----------------- *)
+
+let demo_broken =
+  Property.make ~hidden:true ~name:"demo-broken" ~sizes:Gen.small
+    ~doc:
+      "every instance has at most two jobs — deliberately false, kept to \
+       demonstrate (and test) the failure, shrinking and repro pipeline"
+    (fun case ->
+      let n = Case.n case in
+      if n <= 2 then Pass else failf "instance has %d jobs > 2" n)
+
+let all =
+  [
+    instance_validation;
+    msm_ratio;
+    msm_ext_ratio;
+    msm_determinism;
+    mass_accumulation;
+    relabel_invariance;
+    monotone_in_p;
+    exact_vs_mc;
+    leapfrog_vs_naive;
+    parallel_vs_seeded;
+    serialize_roundtrip;
+    demo_broken;
+  ]
+
+let visible = List.filter (fun p -> not p.Property.hidden) all
+let find name = List.find_opt (fun p -> String.equal p.Property.name name) all

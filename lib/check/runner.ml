@@ -1,0 +1,142 @@
+module Json = Suu_service.Json
+
+type failure = {
+  property : string;
+  case_index : int;
+  case_seed : int;
+  message : string;
+  original : Case.t;
+  shrunk : Case.t;
+  shrunk_message : string;
+  shrink_steps : int;
+}
+
+type prop_report = {
+  prop : Property.t;
+  cases : int;
+  skipped : int;
+  failure : failure option;
+}
+
+type report = {
+  props : prop_report list;
+  total_cases : int;
+  total_skipped : int;
+  failures : failure list;
+}
+
+let ok r = r.failures = []
+
+(* FNV-1a over the property name, then mix in seed and index with odd
+   multipliers. Hand-rolled (rather than Hashtbl.hash) so derived case
+   seeds are stable across OCaml versions — cram output and CI replay
+   lines depend on them. *)
+let fnv1a s =
+  String.fold_left
+    (fun h c -> (h lxor Char.code c) * 0x01000193 land max_int)
+    0x811c9dc5 s
+
+let case_seed ~seed ~name ~index =
+  let h = fnv1a name in
+  (seed * 0x9e3779b1) lxor (h * 0x85ebca6b) lxor (index * 0xc2b2ae35)
+  |> abs
+
+let shrink_failure ?(budget = 500) (prop : Property.t) case message =
+  let budget = ref budget in
+  let rec improve case message steps =
+    let rec first seq =
+      if !budget <= 0 then None
+      else
+        match seq () with
+        | Seq.Nil -> None
+        | Seq.Cons (candidate, rest) -> (
+            decr budget;
+            match prop.Property.check candidate with
+            | Property.Fail msg -> Some (candidate, msg)
+            | Property.Pass | Property.Skip _ -> first rest)
+    in
+    match first (Gen.shrink case) with
+    | Some (candidate, msg) -> improve candidate msg (steps + 1)
+    | None -> (case, message, steps)
+  in
+  improve case message 0
+
+let run_property ~seed ~count (prop : Property.t) =
+  let skipped = ref 0 in
+  let rec go k =
+    if k >= count then { prop; cases = count; skipped = !skipped; failure = None }
+    else
+      let cs = case_seed ~seed ~name:prop.Property.name ~index:k in
+      let case = Gen.case (Suu_prob.Rng.create cs) prop.Property.sizes in
+      match prop.Property.check case with
+      | Property.Pass -> go (k + 1)
+      | Property.Skip _ ->
+          incr skipped;
+          go (k + 1)
+      | Property.Fail message ->
+          let shrunk, shrunk_message, shrink_steps =
+            shrink_failure prop case message
+          in
+          {
+            prop;
+            cases = k + 1;
+            skipped = !skipped;
+            failure =
+              Some
+                {
+                  property = prop.Property.name;
+                  case_index = k;
+                  case_seed = cs;
+                  message;
+                  original = case;
+                  shrunk;
+                  shrunk_message;
+                  shrink_steps;
+                };
+          }
+  in
+  go 0
+
+let run ?(on_property = fun _ -> ()) ~seed ~count props =
+  let reports =
+    List.map
+      (fun p ->
+        let r = run_property ~seed ~count p in
+        on_property r;
+        r)
+      props
+  in
+  {
+    props = reports;
+    total_cases = List.fold_left (fun acc r -> acc + r.cases) 0 reports;
+    total_skipped = List.fold_left (fun acc r -> acc + r.skipped) 0 reports;
+    failures = List.filter_map (fun r -> r.failure) reports;
+  }
+
+let repro_json f =
+  Printf.sprintf "{\"property\":%s,\"seed\":%d,\"case\":%s}"
+    (Json.to_string (Json.Str f.property))
+    f.case_seed
+    (Case.to_json f.shrunk)
+
+let replay line =
+  let ( let* ) = Result.bind in
+  let* json = Json.of_string line in
+  let* name =
+    match Option.bind (Json.member "property" json) Json.to_str with
+    | Some n -> Ok n
+    | None -> Error "repro: missing \"property\""
+  in
+  let* prop =
+    match Registry.find name with
+    | Some p -> Ok p
+    | None -> Error (Printf.sprintf "repro: unknown property %S" name)
+  in
+  let* case_json =
+    match Json.member "case" json with
+    | Some c -> Ok (Json.to_string c)
+    | None -> Error "repro: missing \"case\""
+  in
+  let* case = Case.of_json case_json in
+  if not (Case.is_valid case) then Error "repro: case is not a valid instance"
+  else Ok (prop, case)

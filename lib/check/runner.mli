@@ -1,0 +1,64 @@
+(** Property execution: seeded generation, greedy shrinking, reporting.
+
+    The case for property [P], index [k] under master seed [s] is derived
+    from a hash of [(s, P.name, k)], so runs are reproducible, properties
+    can be re-run in isolation ([-p]) without changing anyone's cases,
+    and a failure report pins everything needed to replay it. *)
+
+type failure = {
+  property : string;
+  case_index : int;  (** which generated case failed first *)
+  case_seed : int;  (** derived seed the case was generated from *)
+  message : string;  (** original counterexample explanation *)
+  original : Case.t;
+  shrunk : Case.t;  (** locally minimal failing case *)
+  shrunk_message : string;
+  shrink_steps : int;  (** accepted shrink steps *)
+}
+
+type prop_report = {
+  prop : Property.t;
+  cases : int;  (** cases executed (including skipped ones) *)
+  skipped : int;
+  failure : failure option;  (** a property stops at its first failure *)
+}
+
+type report = {
+  props : prop_report list;
+  total_cases : int;
+  total_skipped : int;
+  failures : failure list;
+}
+
+val ok : report -> bool
+
+val case_seed : seed:int -> name:string -> index:int -> int
+(** The derived per-case seed (FNV-1a over the property name mixed with
+    the master seed and index). Exposed for tests. *)
+
+val run_property : seed:int -> count:int -> Property.t -> prop_report
+
+val run :
+  ?on_property:(prop_report -> unit) ->
+  seed:int ->
+  count:int ->
+  Property.t list ->
+  report
+(** Run every property for [count] cases each. [on_property] fires as
+    each property finishes (progress reporting). *)
+
+val shrink_failure :
+  ?budget:int -> Property.t -> Case.t -> string -> Case.t * string * int
+(** Greedy minimisation: repeatedly adopt the first shrink candidate that
+    still fails, until none does or [budget] (default 500) candidate
+    evaluations are spent. Returns the minimal case, its failure message
+    and the number of accepted steps. *)
+
+val repro_json : failure -> string
+(** One-line replayable counterexample:
+    [{"property":..,"seed":..,"case":{..}}] — the line printed by the
+    CLI and consumed by [suu check --replay]. *)
+
+val replay : string -> (Property.t * Case.t, string) result
+(** Parse a {!repro_json} line back into the property (looked up in the
+    registry) and the case to run it on. *)

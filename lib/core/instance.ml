@@ -51,29 +51,77 @@ let build_sorted_pairs ~m ~n pflat =
   done;
   (sorted_p, sorted_machine, sorted_job)
 
+type error =
+  | No_machines
+  | Row_length_mismatch of { machine : int; expected : int; got : int }
+  | Bad_probability of { machine : int; job : int; value : float }
+  | Incapable_job of { job : int }
+
+exception Invalid of error
+
+let error_to_string = function
+  | No_machines -> "Instance.create: no machines"
+  | Row_length_mismatch { machine; expected; got } ->
+      Printf.sprintf
+        "Instance.create: machine %d has %d probabilities, expected %d"
+        machine got expected
+  | Bad_probability { machine; job; value } ->
+      Printf.sprintf
+        "Instance.create: probability p[%d][%d] = %g outside [0,1]" machine
+        job value
+  | Incapable_job { job } ->
+      Printf.sprintf "Instance.create: job %d has no capable machine" job
+
+let () =
+  Printexc.register_printer (function
+    | Invalid e -> Some (error_to_string e)
+    | _ -> None)
+
+(* First error in machine-major scan order, or [None] when [p] is a valid
+   probability matrix for [n] jobs. NaN fails the [0 <= pij <= 1] test on
+   its own, but the explicit finiteness check documents that infinities
+   and NaN are hostile inputs, not merely out-of-range ones. *)
+let validate ~n p =
+  let m = Array.length p in
+  if m = 0 then Some No_machines
+  else begin
+    let err = ref None in
+    (try
+       Array.iteri
+         (fun i row ->
+           if Array.length row <> n then begin
+             err :=
+               Some
+                 (Row_length_mismatch
+                    { machine = i; expected = n; got = Array.length row });
+             raise Exit
+           end;
+           Array.iteri
+             (fun j pij ->
+               if not (Float.is_finite pij) || pij < 0. || pij > 1. then begin
+                 err := Some (Bad_probability { machine = i; job = j; value = pij });
+                 raise Exit
+               end)
+             row)
+         p;
+       for j = 0 to n - 1 do
+         let capable = ref false in
+         for i = 0 to m - 1 do
+           if p.(i).(j) > 0. then capable := true
+         done;
+         if not !capable then begin
+           err := Some (Incapable_job { job = j });
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !err
+  end
+
 let create ~p ~dag =
   let n = Suu_dag.Dag.n dag in
   let m = Array.length p in
-  if m = 0 then invalid_arg "Instance.create: no machines";
-  Array.iter
-    (fun row ->
-      if Array.length row <> n then
-        invalid_arg "Instance.create: probability row length mismatch";
-      Array.iter
-        (fun pij ->
-          if not (Float.is_finite pij) || pij < 0. || pij > 1. then
-            invalid_arg "Instance.create: probability outside [0,1]")
-        row)
-    p;
-  for j = 0 to n - 1 do
-    let capable = ref false in
-    for i = 0 to m - 1 do
-      if p.(i).(j) > 0. then capable := true
-    done;
-    if not !capable then
-      invalid_arg
-        (Printf.sprintf "Instance.create: job %d has no capable machine" j)
-  done;
+  (match validate ~n p with Some e -> raise (Invalid e) | None -> ());
   let pflat = Array.make (m * n) 0. in
   for i = 0 to m - 1 do
     for j = 0 to n - 1 do
@@ -93,6 +141,11 @@ let create ~p ~dag =
     sorted_job;
     dag;
   }
+
+let create_checked ~p ~dag =
+  match validate ~n:(Suu_dag.Dag.n dag) p with
+  | Some e -> Error e
+  | None -> Ok (create ~p ~dag)
 
 let independent ~p =
   let n = if Array.length p = 0 then 0 else Array.length p.(0) in

@@ -9,15 +9,44 @@
 
 type t
 
+(** Why construction was rejected. The hostile cases carry the offending
+    coordinates so callers (the serving layer, the conformance checker)
+    can report — or programmatically handle — exactly what was wrong
+    instead of pattern-matching on an exception message. *)
+type error =
+  | No_machines  (** [p] has no rows *)
+  | Row_length_mismatch of { machine : int; expected : int; got : int }
+      (** a row of [p] does not have one entry per job *)
+  | Bad_probability of { machine : int; job : int; value : float }
+      (** [p.(machine).(job)] is NaN, infinite, or outside [\[0,1\]] *)
+  | Incapable_job of { job : int }
+      (** no machine has positive success probability on [job], so every
+          execution would run forever *)
+
+exception Invalid of error
+(** Raised by {!create} and {!independent}. A printer is registered, so an
+    uncaught [Invalid] still renders {!error_to_string}'s message. *)
+
+val error_to_string : error -> string
+(** Human-readable one-line description, e.g.
+    ["Instance.create: probability p[1][2] = nan outside [0,1]"]. *)
+
+val create_checked :
+  p:float array array -> dag:Suu_dag.Dag.t -> (t, error) result
+(** Non-raising {!create}: validation as data. The first error in
+    machine-major scan order is reported. *)
+
 val create : p:float array array -> dag:Suu_dag.Dag.t -> t
 (** [create ~p ~dag] with [p.(i).(j)] the success probability of machine
     [i] on job [j]; the number of jobs is [Dag.n dag] and the number of
     machines is [Array.length p].
-    @raise Invalid_argument on dimension mismatch, probabilities outside
-    [\[0,1\]], or a job with no capable machine. *)
+    @raise Invalid on an empty [p], dimension mismatch, probabilities that
+    are NaN, infinite or outside [\[0,1\]], or a job with no capable
+    machine. *)
 
 val independent : p:float array array -> t
-(** [create] with an edgeless DAG. *)
+(** [create] with an edgeless DAG.
+    @raise Invalid as {!create}. *)
 
 val n : t -> int
 (** Number of jobs. *)

@@ -19,7 +19,7 @@ val reverse : Instance.t -> Instance.t
 val scale_probs : Instance.t -> factor:float -> Instance.t
 (** Multiply every [p_ij] by [factor], clamping into [\[0, 1\]]. A factor
     below 1 slows every machine down uniformly; TOPT can only grow.
-    @raise Invalid_argument if the scaling leaves some job incapable. *)
+    @raise Instance.Invalid if the scaling leaves some job incapable. *)
 
 val disjoint_union : Instance.t -> Instance.t -> Instance.t
 (** Jobs of both instances side by side (second instance's jobs renumbered

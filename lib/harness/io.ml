@@ -76,7 +76,9 @@ let parse tokens =
       if Array.length floats <> n * m then fail "wrong probability count";
       let p = Array.init m (fun i -> Array.init n (fun j -> floats.((i * n) + j))) in
       (try Instance.create ~p ~dag:(Dag.create ~n edges)
-       with Invalid_argument msg -> fail msg)
+       with
+       | Instance.Invalid e -> fail (Instance.error_to_string e)
+       | Invalid_argument msg -> fail msg)
   | _ -> fail "bad header"
 
 let of_string s = parse (tokens_of_lines (String.split_on_char '\n' s))

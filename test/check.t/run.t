@@ -1,0 +1,64 @@
+The conformance suite: quick mode on the pinned CI seed runs every
+visible property with zero failures.
+
+  $ suu check --quick --seed 42
+  ok   instance-validation  10 cases
+  ok   msm-ratio            10 cases
+  ok   msm-ext-ratio        10 cases
+  ok   msm-determinism      10 cases
+  ok   mass-accumulation    10 cases
+  ok   relabel-invariance   10 cases
+  ok   monotone-in-p        10 cases
+  ok   exact-vs-mc          10 cases
+  ok   leapfrog-vs-naive    10 cases
+  ok   parallel-vs-seeded   10 cases
+  ok   serialize-roundtrip  10 cases
+  check: 11 properties, 110 cases, 0 failures
+
+Named selection runs only the requested properties, in the order given.
+
+  $ suu check -p msm-ratio -p serialize-roundtrip --seed 7 --count 5
+  ok   msm-ratio            5 cases
+  ok   serialize-roundtrip  5 cases
+  check: 2 properties, 10 cases, 0 failures
+
+Unknown names are an error, not a silent no-op.
+
+  $ suu check -p no-such-property
+  suu check: unknown property "no-such-property" (try --list)
+  [2]
+
+A failing property (the hidden demo-broken, which rejects any instance
+with more than two jobs) stops at its first counterexample, shrinks it
+to a local minimum and prints a replayable repro line; --out writes the
+same line to a file for CI artifact upload.
+
+  $ suu check -p demo-broken --seed 42 --out failures.jsonl
+  FAIL demo-broken: instance has 3 jobs > 2
+    original: n=3 m=1 edges=2 (case 0, seed 109475271574297718)
+    shrunk:   n=3 m=1 edges=0 (9 shrink steps): instance has 3 jobs > 2
+    repro: {"property":"demo-broken","seed":109475271574297718,"case":{"n":3,"m":1,"p":[[1,1,1]],"edges":[],"aux":0}}
+  check: 1 properties, 1 cases, 1 failures
+  [1]
+
+  $ cat failures.jsonl
+  {"property":"demo-broken","seed":109475271574297718,"case":{"n":3,"m":1,"p":[[1,1,1]],"edges":[],"aux":0}}
+
+The repro line replays the exact shrunk case against its property.
+
+  $ suu check --replay "$(cat failures.jsonl)"
+  replay demo-broken on n=3 m=1 edges=0
+  FAIL demo-broken: instance has 3 jobs > 2
+  [1]
+
+A repro for a healthy property reports that it passes.
+
+  $ suu check --replay '{"property":"msm-ratio","seed":1,"case":{"n":2,"m":2,"p":[[0.5,0.25],[1,0]],"edges":[[0,1]],"aux":7}}'
+  replay msm-ratio on n=2 m=2 edges=1
+  ok: property passes on this case
+
+Malformed repro lines fail loudly.
+
+  $ suu check --replay 'not json'
+  suu check: expected null at offset 0
+  [2]

@@ -23,32 +23,74 @@ let test_probs_for_job () =
   Alcotest.(check (array (float 0.))) "column" [| 0.2; 0.8 |]
     (Instance.probs_for_job inst 1)
 
-let test_rejects_bad_prob () =
-  Alcotest.check_raises "prob > 1"
-    (Invalid_argument "Instance.create: probability outside [0,1]") (fun () ->
-      ignore (Instance.independent ~p:[| [| 1.5 |] |] : Instance.t))
+(* Hostile probability values must be rejected with the typed error —
+   coordinates and offending value included — never passed through to the
+   samplers (where a NaN would silently poison every Bernoulli draw). *)
+let hostile_values =
+  [ 1.5; -0.1; Float.nan; Float.infinity; Float.neg_infinity; -1e300 ]
 
-let test_rejects_nan () =
-  Alcotest.check_raises "nan"
-    (Invalid_argument "Instance.create: probability outside [0,1]") (fun () ->
-      ignore (Instance.independent ~p:[| [| Float.nan |] |] : Instance.t))
+let test_rejects_hostile_probs () =
+  List.iter
+    (fun v ->
+      let p = [| [| 0.5; 0.2 |]; [| 0.1; 0.8 |] |] in
+      p.(1).(0) <- v;
+      match Instance.create_checked ~p ~dag:(Dag.empty 2) with
+      | Error (Instance.Bad_probability { machine = 1; job = 0; value }) ->
+          (* NaN <> NaN, so compare representations. *)
+          Alcotest.(check bool)
+            (Printf.sprintf "offending value %h reported" v)
+            true
+            (Int64.equal (Int64.bits_of_float value) (Int64.bits_of_float v))
+      | Ok _ | Error _ ->
+          Alcotest.failf "hostile probability %h not rejected as such" v)
+    hostile_values
+
+let test_hostile_raise_is_typed () =
+  List.iter
+    (fun v ->
+      match Instance.independent ~p:[| [| 0.3; v |] |] with
+      | (_ : Instance.t) -> Alcotest.failf "hostile %h accepted" v
+      | exception Instance.Invalid (Instance.Bad_probability _) -> ()
+      | exception e ->
+          Alcotest.failf "hostile %h: wrong exception %s" v
+            (Printexc.to_string e))
+    hostile_values
 
 let test_rejects_incapable_job () =
-  Alcotest.check_raises "no capable machine"
-    (Invalid_argument "Instance.create: job 1 has no capable machine")
-    (fun () -> ignore (Instance.independent ~p:[| [| 0.5; 0.0 |] |] : Instance.t))
+  match Instance.create_checked ~p:[| [| 0.5; 0.0 |] |] ~dag:(Dag.empty 2) with
+  | Error (Instance.Incapable_job { job }) ->
+      Alcotest.(check int) "job reported" 1 job
+  | Ok _ | Error _ -> Alcotest.fail "incapable job not rejected as such"
 
 let test_rejects_dimension_mismatch () =
-  Alcotest.check_raises "row length"
-    (Invalid_argument "Instance.create: probability row length mismatch")
-    (fun () ->
-      ignore
-        (Instance.create ~p:[| [| 0.5 |] |] ~dag:(Dag.empty 2) : Instance.t))
+  match Instance.create_checked ~p:[| [| 0.5 |] |] ~dag:(Dag.empty 2) with
+  | Error (Instance.Row_length_mismatch { machine = 0; expected = 2; got = 1 })
+    ->
+      ()
+  | Ok _ | Error _ -> Alcotest.fail "row mismatch not rejected as such"
 
 let test_rejects_no_machines () =
-  Alcotest.check_raises "no machines"
-    (Invalid_argument "Instance.create: no machines") (fun () ->
-      ignore (Instance.create ~p:[||] ~dag:(Dag.empty 0) : Instance.t))
+  Alcotest.check_raises "no machines" (Instance.Invalid Instance.No_machines)
+    (fun () -> ignore (Instance.create ~p:[||] ~dag:(Dag.empty 0) : Instance.t))
+
+let test_error_strings () =
+  Alcotest.(check string)
+    "bad probability message"
+    "Instance.create: probability p[1][2] = nan outside [0,1]"
+    (Instance.error_to_string
+       (Instance.Bad_probability { machine = 1; job = 2; value = Float.nan }));
+  Alcotest.(check string)
+    "incapable message" "Instance.create: job 3 has no capable machine"
+    (Instance.error_to_string (Instance.Incapable_job { job = 3 }))
+
+let test_create_checked_ok () =
+  match
+    Instance.create_checked
+      ~p:[| [| 0.5; 0.2; 0.0 |]; [| 0.1; 0.8; 0.4 |] |]
+      ~dag:(Dag.create ~n:3 [ (0, 1) ])
+  with
+  | Ok inst -> Alcotest.(check int) "n" 3 (Instance.n inst)
+  | Error e -> Alcotest.fail (Instance.error_to_string e)
 
 let test_defensive_copy () =
   let p = [| [| 0.5 |] |] in
@@ -70,14 +112,18 @@ let () =
         [
           Alcotest.test_case "accessors" `Quick test_accessors;
           Alcotest.test_case "probs_for_job" `Quick test_probs_for_job;
-          Alcotest.test_case "rejects p>1" `Quick test_rejects_bad_prob;
-          Alcotest.test_case "rejects nan" `Quick test_rejects_nan;
+          Alcotest.test_case "rejects hostile probs" `Quick
+            test_rejects_hostile_probs;
+          Alcotest.test_case "hostile raise is typed" `Quick
+            test_hostile_raise_is_typed;
           Alcotest.test_case "rejects incapable job" `Quick
             test_rejects_incapable_job;
           Alcotest.test_case "rejects dim mismatch" `Quick
             test_rejects_dimension_mismatch;
           Alcotest.test_case "rejects zero machines" `Quick
             test_rejects_no_machines;
+          Alcotest.test_case "error strings" `Quick test_error_strings;
+          Alcotest.test_case "create_checked ok" `Quick test_create_checked_ok;
           Alcotest.test_case "defensive copy" `Quick test_defensive_copy;
           Alcotest.test_case "transpose" `Quick test_transpose;
         ] );

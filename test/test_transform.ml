@@ -63,7 +63,7 @@ let test_scale_probs () =
 let test_scale_probs_incapable () =
   let inst = Instance.independent ~p:[| [| 0.5 |] |] in
   Alcotest.check_raises "zeroed"
-    (Invalid_argument "Instance.create: job 0 has no capable machine")
+    (Instance.Invalid (Instance.Incapable_job { job = 0 }))
     (fun () -> ignore (Transform.scale_probs inst ~factor:0. : Instance.t))
 
 let test_disjoint_union () =

@@ -47,6 +47,42 @@ let test_bias_changes_choice () =
   Alcotest.(check (array int)) "critical path takes the chain head" [| 0 |]
     critical
 
+let test_tie_break_repeatable () =
+  (* Maximal ties: every probability and every weight equal. The winner
+     must come from the stable scan order, never from anything tied to
+     physical identity — so repeated calls and a rebuilt instance (fresh
+     sorted_pairs) agree exactly. *)
+  let p = Array.make_matrix 3 5 0.5 in
+  let dag = Suu_dag.Dag.create ~n:5 [ (0, 3) ] in
+  let jobs = all_jobs 5 in
+  let w = Array.make 5 1.0 in
+  let inst = Instance.create ~p ~dag in
+  let a = WM.assign inst ~weights:w ~jobs in
+  let b = WM.assign inst ~weights:w ~jobs in
+  Alcotest.(check (array int)) "repeated call" a b;
+  let c = WM.assign (Instance.create ~p ~dag) ~weights:w ~jobs in
+  Alcotest.(check (array int)) "rebuilt instance" a c
+
+let test_tie_break_weight_scaling () =
+  (* Scaling every weight by the same constant preserves the p·w order,
+     ties included. Values are chosen so the products are exact in
+     binary floating point (0.25/0.5/1.0 times 2.5). *)
+  let rng = Rng.create 17 in
+  let vals = [| 0.25; 0.5; 0.5; 1.0 |] in
+  for _ = 1 to 25 do
+    let m = 1 + Rng.int rng 4 and n = 1 + Rng.int rng 8 in
+    let p =
+      Array.init m (fun _ -> Array.init n (fun _ -> vals.(Rng.int rng 4)))
+    in
+    let inst = Instance.independent ~p in
+    let jobs = Array.init n (fun _ -> Rng.int rng 4 > 0) in
+    let a = WM.assign inst ~weights:(Array.make n 1.0) ~jobs in
+    let b = WM.assign inst ~weights:(Array.make n 2.5) ~jobs in
+    Alcotest.(check (array int)) "uniform = scaled uniform" a b;
+    let c = WM.assign (Instance.independent ~p) ~weights:(Array.make n 2.5) ~jobs in
+    Alcotest.(check (array int)) "scaled, rebuilt sorted_pairs" b c
+  done
+
 let test_policy_completes () =
   let rng = Rng.create 7 in
   let dag = Suu_dag.Gen.out_forest (Rng.split rng) ~n:12 ~trees:2 in
@@ -116,6 +152,13 @@ let () =
           Alcotest.test_case "descendants" `Quick test_weights_descendants;
           Alcotest.test_case "critical path" `Quick test_weights_critical_path;
           Alcotest.test_case "bias changes choice" `Quick test_bias_changes_choice;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "tie-break repeatable" `Quick
+            test_tie_break_repeatable;
+          Alcotest.test_case "tie-break under weight scaling" `Quick
+            test_tie_break_weight_scaling;
         ] );
       ( "policies",
         [
