@@ -24,6 +24,7 @@ let experiments =
     ("exp-serve", Exp_serve.run);
     ("exp-fault", Exp_fault.run);
     ("perf", Perf.run);
+    ("perf-gate", Perf.gate);
   ]
 
 let () =

@@ -60,6 +60,14 @@ let tests () =
       (Staged.stage (fun () ->
            Suu_sim.Engine.estimate_makespan ~trials:200 (Rng.create 3) inst64
              policy));
+    (* Matched pair for the observability gate: the seeded estimator
+       carries the ?observer seam and the engine counters; left
+       disabled it must price the same as the bare loop above (PERF-GATE
+       asserts the ratio). *)
+    Test.make ~name:"200 MC trials seeded adaptive, observer off (n=64 m=16)"
+      (Staged.stage (fun () ->
+           Suu_sim.Engine.estimate_makespan_seeded ~trials:200 ~seed:3 inst64
+             policy));
     Test.make ~name:"200 MC trials on 4 domains (n=64 m=16)"
       (Staged.stage (fun () ->
            Suu_sim.Engine.estimate_makespan_parallel ~domains:4 ~trials:200
@@ -142,40 +150,38 @@ let write_json ~limit ~quota_s results =
       Out_channel.output_char oc '\n');
   Printf.printf "wrote %s (%d benchmarks)\n" path (List.length results)
 
+let measure_elt cfg elt =
+  let raw = Bechamel.Benchmark.run cfg [ witness ] elt in
+  let ols =
+    Bechamel.Analyze.OLS.ols ~bootstrap:0 ~r_square:true
+      ~responder:(Bechamel.Measure.label witness)
+      ~predictors:[| Bechamel.Measure.run |]
+      raw.Bechamel.Benchmark.lr
+  in
+  let estimate =
+    match Bechamel.Analyze.OLS.estimates ols with
+    | Some [ e ] -> e
+    | _ -> Float.nan
+  in
+  let r2 =
+    match Bechamel.Analyze.OLS.r_square ols with Some r -> r | None -> Float.nan
+  in
+  let samples = raw.Bechamel.Benchmark.stats.Bechamel.Benchmark.samples in
+  (Test.Elt.name elt, estimate, r2, samples)
+
+let bench_cfg ~limit ~quota_s =
+  Bechamel.Benchmark.cfg ~limit ~quota:(Bechamel.Time.second quota_s) ~kde:None
+    ()
+
 let run () =
   section "PERF: Bechamel micro-benchmarks (ns per run, OLS estimate)";
   let limit = 2000 and quota_s = 0.5 in
-  let cfg =
-    Bechamel.Benchmark.cfg ~limit
-      ~quota:(Bechamel.Time.second quota_s)
-      ~kde:None ()
-  in
+  let cfg = bench_cfg ~limit ~quota_s in
   let results = ref [] in
   List.iter
     (fun test ->
       List.iter
-        (fun elt ->
-          let raw = Bechamel.Benchmark.run cfg [ witness ] elt in
-          let ols =
-            Bechamel.Analyze.OLS.ols ~bootstrap:0 ~r_square:true
-              ~responder:(Bechamel.Measure.label witness)
-              ~predictors:[| Bechamel.Measure.run |]
-              raw.Bechamel.Benchmark.lr
-          in
-          let estimate =
-            match Bechamel.Analyze.OLS.estimates ols with
-            | Some [ e ] -> e
-            | _ -> Float.nan
-          in
-          let r2 =
-            match Bechamel.Analyze.OLS.r_square ols with
-            | Some r -> r
-            | None -> Float.nan
-          in
-          let samples =
-            raw.Bechamel.Benchmark.stats.Bechamel.Benchmark.samples
-          in
-          results := (Test.Elt.name elt, estimate, r2, samples) :: !results)
+        (fun elt -> results := measure_elt cfg elt :: !results)
         (Test.elements test))
     (tests ());
   let results = List.rev !results in
@@ -186,3 +192,104 @@ let run () =
          [ name; human_ns ns; Printf.sprintf "%.4f" r2; string_of_int samples ])
        results);
   write_json ~limit ~quota_s results
+
+(* PERF-GATE — the observability zero-cost-when-disabled assertion.
+
+   The seeded adaptive MC row routes through the ?observer seam and the
+   engine counters; with no observer armed it must price within
+   SUU_PERF_GATE_PCT (default 2%) of the bare estimator loop. The two
+   sides are measured as matched in-process pairs, three rounds, and the
+   gate passes if the *best* round is inside budget — a machine that is
+   merely noisy shows at least one clean round, a real regression shows
+   none. A BENCH_PERF.json left by a prior `perf` run (same process
+   conventions, same machine in CI) contributes its recorded pair as an
+   extra round, so the uploaded artifact is itself gated. Exits nonzero
+   on failure so the CI perf-smoke job turns red. *)
+
+let baseline_row = "200 MC trials sequential adaptive (n=64 m=16)"
+let seeded_row = "200 MC trials seeded adaptive, observer off (n=64 m=16)"
+
+let recorded_ratio () =
+  let module Json = Suu_service.Json in
+  match In_channel.with_open_text (json_path ()) In_channel.input_all with
+  | exception Sys_error _ -> None
+  | text -> (
+      match Json.of_string text with
+      | Error _ -> None
+      | Ok doc ->
+          let rows =
+            match Json.member "results" doc with
+            | Some (Json.List rows) -> rows
+            | _ -> []
+          in
+          let ns_of name =
+            List.find_map
+              (fun row ->
+                match (Json.member "name" row, Json.member "ns_per_run" row)
+                with
+                | Some (Json.Str n), Some v when String.equal n name ->
+                    Json.to_num v
+                | _ -> None)
+              rows
+          in
+          (match (ns_of baseline_row, ns_of seeded_row) with
+          | Some base, Some seeded when base > 0. -> Some (seeded /. base)
+          | _ -> None))
+
+let gate () =
+  section "PERF-GATE: observer seam (disabled) vs bare adaptive MC loop";
+  let pct =
+    match Sys.getenv_opt "SUU_PERF_GATE_PCT" with
+    | Some s -> ( try float_of_string s with Failure _ -> 2.)
+    | _ -> 2.
+  in
+  let inst64 = indep_instance 64 16 in
+  let policy = Suu_algo.Suu_i.policy inst64 in
+  let cfg = bench_cfg ~limit:2000 ~quota_s:0.5 in
+  let time name f =
+    let _, ns, _, _ =
+      measure_elt cfg
+        (List.hd (Test.elements (Test.make ~name (Staged.stage f))))
+    in
+    ns
+  in
+  let fresh_ratio () =
+    let base =
+      time baseline_row (fun () ->
+          Suu_sim.Engine.estimate_makespan ~trials:200 (Rng.create 3) inst64
+            policy)
+    in
+    let seeded =
+      time seeded_row (fun () ->
+          Suu_sim.Engine.estimate_makespan_seeded ~trials:200 ~seed:3 inst64
+            policy)
+    in
+    seeded /. base
+  in
+  let rounds =
+    List.init 3 (fun k -> (Printf.sprintf "round %d" (k + 1), fresh_ratio ()))
+  in
+  let rounds =
+    match recorded_ratio () with
+    | Some r -> (json_path (), r) :: rounds
+    | None -> rounds
+  in
+  List.iter
+    (fun (label, r) ->
+      Printf.printf "  %-16s overhead %+.2f%%\n" label ((r -. 1.) *. 100.))
+    rounds;
+  let best = List.fold_left (fun acc (_, r) -> Float.min acc r) infinity rounds in
+  let budget = 1. +. (pct /. 100.) in
+  if Float.is_nan best || best > budget then begin
+    Printf.printf
+      "perf-gate: FAIL — disabled-observer overhead %+.2f%% exceeds %.1f%% on \
+       %S\n"
+      ((best -. 1.) *. 100.)
+      pct baseline_row;
+    exit 1
+  end
+  else
+    Printf.printf "perf-gate: ok — disabled-observer overhead %+.2f%% (budget \
+                   %.1f%%)\n"
+      ((best -. 1.) *. 100.)
+      pct

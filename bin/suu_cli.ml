@@ -290,13 +290,23 @@ let signal_aware_stdio () : (module Suu_service.Service.TRANSPORT) =
     let recv () =
       if Atomic.get serve_stopping then None
       else begin
-        Atomic.set serve_in_recv true;
-        let line =
-          try In_channel.input_line In_channel.stdin
-          with Shutdown_signal -> None
-        in
-        Atomic.set serve_in_recv false;
-        if Atomic.get serve_stopping then None else line
+        (* The whole window during which [serve_in_recv] is set must be
+           covered by the handler: the signal can land between
+           [input_line] returning and the flag being cleared, and an
+           escaping [Shutdown_signal] would kill the reader loop from
+           outside the service — skipping the drain and the final
+           shutdown report. Catching it here turns that race into a
+           clean end-of-input. *)
+        match
+          Atomic.set serve_in_recv true;
+          let line = In_channel.input_line In_channel.stdin in
+          Atomic.set serve_in_recv false;
+          line
+        with
+        | line -> if Atomic.get serve_stopping then None else line
+        | exception Shutdown_signal ->
+            Atomic.set serve_in_recv false;
+            None
       end
 
     let send line =
@@ -370,8 +380,27 @@ let serve_cmd =
       value & flag
       & info [ "q"; "quiet" ] ~doc:"Suppress the shutdown metrics dump.")
   in
+  let stats_format_arg =
+    let doc =
+      "Shutdown metrics dump format: 'text' (human-readable) or 'prom' \
+       (Prometheus text exposition, including the latency histogram and \
+       engine counters)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("prom", `Prom) ]) `Text
+      & info [ "stats-format" ] ~docv:"FMT" ~doc)
+  in
+  let trace_out_arg =
+    let doc =
+      "Record request/execute spans and write them as Chrome trace-event \
+       JSON (Perfetto-loadable) to $(docv) on shutdown."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
   let run workers queue cache trials seed deadline max_restarts retries
-      degrade estimate_domains fault_spec quiet =
+      degrade estimate_domains fault_spec quiet stats_format trace_out =
     let module Service = Suu_service.Service in
     let module Fault = Suu_service.Fault in
     let default_seed =
@@ -402,23 +431,157 @@ let serve_cmd =
         degrade_trials = Service.default_config.Service.degrade_trials;
         estimate_domains = max 1 estimate_domains;
         fault;
+        tracer =
+          (match trace_out with
+          | None -> Suu_obs.Trace.disabled
+          | Some _ -> Suu_obs.Trace.create ~enabled:true ());
       }
     in
     install_serve_signals ();
     let report = Service.serve config (signal_aware_stdio ()) in
-    if not quiet then prerr_string (Service.report_to_string report)
+    (match trace_out with
+    | None -> ()
+    | Some path ->
+        let events =
+          List.map
+            (Suu_obs.Trace_event.of_span ~pid:0)
+            (Suu_obs.Trace.spans config.Service.tracer)
+        in
+        Out_channel.with_open_text path (fun oc ->
+            Suu_obs.Trace_event.write oc
+              (Suu_obs.Trace_event.process_name ~pid:0 "suu serve" :: events));
+        Printf.eprintf "wrote %s: %d spans\n" path (List.length events));
+    if not quiet then
+      prerr_string
+        (match stats_format with
+        | `Text -> Service.report_to_string report
+        | `Prom ->
+            Service.report_to_prom ~workers:config.Service.workers report)
   in
   let term =
     Term.(
       const run $ workers_arg $ queue_arg $ cache_arg $ trials_arg $ seed_arg
       $ deadline_arg $ max_restarts_arg $ retries_arg $ degrade_arg
-      $ estimate_domains_arg $ fault_arg $ quiet_arg)
+      $ estimate_domains_arg $ fault_arg $ quiet_arg $ stats_format_arg
+      $ trace_out_arg)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Serve scheduling requests over stdin/stdout (one JSON request per \
           line; see the suu.service library documentation for the protocol)")
+    term
+
+let trace_cmd =
+  let module ET = Suu_obs.Exec_trace in
+  let file_arg =
+    let doc =
+      "Instance file; when absent, a grid-batch workload is generated from \
+       --jobs/--machines/--seed."
+    in
+    Arg.(value & opt (some file) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "jobs" ] ~docv:"N" ~doc:"Jobs of the generated instance.")
+  in
+  let machines_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "machines" ] ~docv:"M"
+          ~doc:"Machines of the generated instance.")
+  in
+  let policy_arg =
+    let doc = "Policy to execute: auto|adaptive|oblivious." in
+    Arg.(
+      value
+      & opt (enum [ ("auto", `Auto); ("adaptive", `Adaptive); ("oblivious", `Oblivious) ]) `Auto
+      & info [ "policy" ] ~docv:"POLICY" ~doc)
+  in
+  let trials_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "trials" ] ~docv:"K" ~doc:"Monte-Carlo trials to estimate over.")
+  in
+  let sample_every_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "sample-every" ] ~docv:"S"
+          ~doc:"Capture every $(docv)-th trial (1 = all).")
+  in
+  let limit_arg =
+    Arg.(
+      value & opt int 10_000
+      & info [ "limit" ] ~docv:"STEPS"
+          ~doc:"Cap on recorded steps per captured trial.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Chrome trace-event JSON output (load in ui.perfetto.dev or \
+             chrome://tracing).")
+  in
+  let csv_arg =
+    Arg.(
+      value & opt string "mass.csv"
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:"Per-job mass-vs-time CSV output.")
+  in
+  let run file jobs machines policy trials seed sample_every limit out csv =
+    let inst =
+      match file with
+      | Some f -> Suu_harness.Io.load f
+      | None ->
+          let rng = Suu_prob.Rng.create seed in
+          (Suu_workloads.Workload.grid_batch rng ~n:jobs ~m:machines)
+            .Suu_workloads.Workload.instance
+    in
+    let kind =
+      match policy with `Oblivious -> `Oblivious | `Auto | `Adaptive -> `Adaptive
+    in
+    let pol =
+      match Suu_algo.Solver.solve ~kind inst with
+      | p -> p
+      | exception Suu_algo.Solver.Unsupported msg ->
+          Printf.eprintf "suu trace: unsupported: %s\n" msg;
+          exit 1
+    in
+    let observer, captured =
+      ET.collector ~sample_every:(max 1 sample_every) ~limit:(max 1 limit) ()
+    in
+    let e =
+      Suu_sim.Engine.estimate_makespan_seeded ~observer ~trials ~seed inst pol
+    in
+    let captured = captured () in
+    let n = Suu_core.Instance.n inst and m = Suu_core.Instance.m inst in
+    let prob ~machine ~job = Suu_core.Instance.prob inst ~machine ~job in
+    let events =
+      List.concat_map (ET.to_events ~prob ~machines:m ~jobs:n) captured
+    in
+    Out_channel.with_open_text out (fun oc -> Suu_obs.Trace_event.write oc events);
+    let rows = List.concat_map (ET.mass_csv_rows ~prob ~jobs:n) captured in
+    Suu_harness.Csv.write ~path:csv ~header:ET.csv_header rows;
+    Printf.printf "E[makespan] over %d trials of %s: %.2f ±%.2f\n" trials
+      pol.Suu_core.Policy.name e.Suu_sim.Engine.stats.Suu_prob.Stats.mean
+      e.Suu_sim.Engine.stats.Suu_prob.Stats.ci95;
+    Printf.printf "wrote %s: %d trace events from %d captured trials\n" out
+      (List.length events) (List.length captured);
+    Printf.printf "wrote %s: %d rows\n" csv (List.length rows)
+  in
+  let term =
+    Term.(
+      const run $ file_arg $ jobs_arg $ machines_arg $ policy_arg $ trials_arg
+      $ seed_arg $ sample_every_arg $ limit_arg $ out_arg $ csv_arg)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Capture per-step execution traces of sampled Monte-Carlo trials \
+          and render them as Chrome trace-event JSON plus a per-job \
+          mass-vs-time CSV")
     term
 
 let check_cmd =
@@ -569,5 +732,6 @@ let () =
             decompose_cmd;
             plan_cmd;
             serve_cmd;
+            trace_cmd;
             check_cmd;
           ]))

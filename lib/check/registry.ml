@@ -10,6 +10,7 @@ module Suu_i = Suu_algo.Suu_i
 module Suu_i_obl = Suu_algo.Suu_i_obl
 module Malewicz = Suu_algo.Malewicz
 module Engine = Suu_sim.Engine
+module Exec_trace = Suu_obs.Exec_trace
 module Exact = Suu_sim.Exact
 module Exact_oblivious = Suu_sim.Exact_oblivious
 module Io = Suu_harness.Io
@@ -484,6 +485,150 @@ let serialize_roundtrip =
                       Fail "case JSON round-trip is lossy"
                     else Pass))
 
+(* --- 12. observer faithfulness (Definition 2.4 / Proposition 2.1) -- *)
+
+let obs_mass_trace =
+  Property.make ~name:"obs-mass-trace" ~sizes:Gen.small
+    ~doc:
+      "the engine's execution observer is faithful: observing leaves the \
+       seeded estimate bit-identical, recorded assignments are the \
+       schedule's own columns, the replayed mass trajectory matches \
+       Definition 2.4 exactly, every job reaches Algorithm 2's target \
+       mass within one core length, and per-step success obeys \
+       Proposition 2.1's sandwich" (fun case ->
+      let inst = Case.instance case in
+      let rng = Case.aux_rng case in
+      let n = Instance.n inst in
+      let params = Suu_i_obl.tuned_params in
+      let sched = Suu_i_obl.schedule ~params inst in
+      let policy = Policy.of_oblivious "suu-i-obl" sched in
+      let seed = Rng.int rng 1_000_000 in
+      let trials = 6 in
+      let observer, captured =
+        Exec_trace.collector ~sample_every:2 ~limit:4096 ()
+      in
+      let a =
+        Engine.estimate_makespan_seeded ~observer ~trials ~seed inst policy
+      in
+      let b = Engine.estimate_makespan_seeded ~trials ~seed inst policy in
+      let bits e = Array.map Int64.bits_of_float e.Engine.samples in
+      if bits a <> bits b then Fail "observing perturbed the seeded estimate"
+      else if a.Engine.incomplete <> b.Engine.incomplete then
+        Fail "observing changed the truncation count"
+      else
+        let seen = captured () in
+        let indexes = List.map (fun tr -> tr.Exec_trace.index) seen in
+        if indexes <> [ 0; 2; 4 ] then
+          failf "sample_every:2 over 6 trials captured trials {%s}"
+            (String.concat "," (List.map string_of_int indexes))
+        else
+          let prob = Instance.prob inst in
+          let core_len = Oblivious.cycle_length sched in
+          let check_trial tr =
+            let steps = tr.Exec_trace.steps in
+            let len = List.length steps in
+            (* Steps must be the contiguous 1-based prefix of the trial,
+               and each recorded assignment the schedule's own column. *)
+            List.iteri
+              (fun i (st : Exec_trace.step) ->
+                if st.Exec_trace.t <> i + 1 then
+                  failwith
+                    (Printf.sprintf "trial %d: step %d recorded as t=%d"
+                       tr.Exec_trace.index (i + 1) st.Exec_trace.t);
+                if
+                  not
+                    (same_assignment st.Exec_trace.assignment
+                       (Oblivious.step sched (st.Exec_trace.t - 1)))
+                then
+                  failwith
+                    (Printf.sprintf
+                       "trial %d: recorded assignment at t=%d is not the \
+                        schedule column"
+                       tr.Exec_trace.index st.Exec_trace.t))
+              steps;
+            (if (not tr.Exec_trace.truncated) && len = tr.Exec_trace.makespan
+             then
+               (* A completed, fully recorded trial must complete every
+                  job exactly once. *)
+               let times = Array.make n 0 in
+               List.iter
+                 (fun (st : Exec_trace.step) ->
+                   List.iter
+                     (fun j -> times.(j) <- times.(j) + 1)
+                     st.Exec_trace.completed)
+                 steps;
+               Array.iteri
+                 (fun j k ->
+                   if k <> 1 then
+                     failwith
+                       (Printf.sprintf
+                          "trial %d: job %d completed %d times over a full \
+                           recording"
+                          tr.Exec_trace.index j k))
+                 times);
+            let traj = Exec_trace.mass_trajectory ~prob ~jobs:n tr in
+            (* Cross-check the replayed accumulation against the Mass
+               module (Definition 2.4) at the final recorded step. *)
+            (match List.rev traj with
+            | [] -> ()
+            | (t_last, mass) :: _ ->
+                let expect = Mass.of_oblivious_capped inst sched ~steps:t_last in
+                Array.iteri
+                  (fun j mj ->
+                    if Float.abs (mj -. expect.(j)) > 1e-9 then
+                      failwith
+                        (Printf.sprintf
+                           "trial %d: job %d replayed mass %.9f but \
+                            Definition 2.4 gives %.9f at t=%d"
+                           tr.Exec_trace.index j mj expect.(j) t_last))
+                  mass;
+                (* Lemma 3.5 accumulation bound, read off the capture:
+                   once a core length has been recorded, every job has
+                   accumulated at least the target mass. *)
+                if t_last >= core_len then
+                  List.iter
+                    (fun (t, mass) ->
+                      if t = core_len then
+                        Array.iteri
+                          (fun j mj ->
+                            let want =
+                              Float.min 1. params.Suu_i_obl.mass_target
+                            in
+                            if mj < want -. 1e-9 then
+                              failwith
+                                (Printf.sprintf
+                                   "trial %d: job %d captured mass %.4f < \
+                                    target %.4f after one core"
+                                   tr.Exec_trace.index j mj want))
+                          mass)
+                    traj);
+            (* Proposition 2.1 on the captured per-step attempts: each
+               job's single-step success is sandwiched in [Σ/e, Σ]. *)
+            List.iter
+              (fun (st : Exec_trace.step) ->
+                for j = 0 to n - 1 do
+                  let ps = ref [] in
+                  Array.iteri
+                    (fun i j' ->
+                      if j' = j then ps := prob ~machine:i ~job:j :: !ps)
+                    st.Exec_trace.assignment;
+                  if !ps <> [] then begin
+                    let lo, hi = Mass.proposition_2_1_bounds !ps in
+                    let c = Mass.combined_success !ps in
+                    if c < lo -. 1e-12 || c > hi +. 1e-12 then
+                      failwith
+                        (Printf.sprintf
+                           "trial %d t=%d job %d: success %.6f outside \
+                            [%.6f, %.6f]"
+                           tr.Exec_trace.index st.Exec_trace.t j c lo hi)
+                  end
+                done)
+              steps
+          in
+          match List.iter check_trial seen with
+          | () -> Pass
+          | exception Failure msg -> Fail msg)
+
 (* --- hidden: the deliberately broken demo property ----------------- *)
 
 let demo_broken =
@@ -508,6 +653,7 @@ let all =
     leapfrog_vs_naive;
     parallel_vs_seeded;
     serialize_roundtrip;
+    obs_mass_trace;
     demo_broken;
   ]
 

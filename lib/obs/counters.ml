@@ -1,0 +1,38 @@
+type counter = int Atomic.t
+
+type t = {
+  mutable cells : (string * counter) list;  (* guarded by [reg] *)
+  reg : Mutex.t;
+}
+
+let create () = { cells = []; reg = Mutex.create () }
+
+let make t name =
+  Mutex.lock t.reg;
+  let cell =
+    match List.assoc_opt name t.cells with
+    | Some c -> c
+    | None ->
+        let c = Atomic.make 0 in
+        t.cells <- (name, c) :: t.cells;
+        c
+  in
+  Mutex.unlock t.reg;
+  cell
+
+let incr c = ignore (Atomic.fetch_and_add c 1)
+let add c n = ignore (Atomic.fetch_and_add c n)
+let get c = Atomic.get c
+
+let snapshot t =
+  Mutex.lock t.reg;
+  let cells = t.cells in
+  Mutex.unlock t.reg;
+  List.map (fun (name, c) -> (name, Atomic.get c)) cells
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let find t name =
+  Mutex.lock t.reg;
+  let cell = List.assoc_opt name t.cells in
+  Mutex.unlock t.reg;
+  Option.map Atomic.get cell

@@ -1,0 +1,34 @@
+(** Named monotonic counters, safe to bump from any domain.
+
+    A registry is a set of named [Atomic.t] cells. Creation ([make]) is
+    mutex-guarded and idempotent per name; the hot path ([incr]/[add])
+    is a single [Atomic.fetch_and_add] on a cell the caller holds
+    directly — no lookup, no lock. The engine registers its counters
+    once per estimator call and bumps them per {e trial}, not per step,
+    which is what keeps instrumentation overhead inside the perf-smoke
+    budget. *)
+
+type t
+(** A registry. *)
+
+type counter
+(** A cell within a registry; hold on to it, bumping is O(1). *)
+
+val create : unit -> t
+
+val make : t -> string -> counter
+(** [make t name] returns the counter registered under [name], creating
+    it at zero on first use. Subsequent calls with the same name return
+    the same cell, so independent call sites accumulate together. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val get : counter -> int
+
+val snapshot : t -> (string * int) list
+(** Current values, sorted by name. Each value is an atomic read; the
+    list as a whole is not a consistent cut across cells (fine for
+    telemetry). *)
+
+val find : t -> string -> int option
+(** Value of a named counter, if registered. *)

@@ -1,0 +1,141 @@
+type step = { t : int; assignment : int array; completed : int list }
+
+type trial = {
+  index : int;
+  seed : int;
+  makespan : int;
+  truncated : bool;
+  steps : step list;
+}
+
+type observer = { sample_every : int; limit : int; emit : trial -> unit }
+
+let observer ?(sample_every = 1) ?(limit = 100_000) emit =
+  if sample_every < 1 then invalid_arg "Exec_trace.observer: sample_every < 1";
+  if limit < 1 then invalid_arg "Exec_trace.observer: limit < 1";
+  { sample_every; limit; emit }
+
+let selects o k = k mod o.sample_every = 0
+
+let collector ?sample_every ?limit () =
+  let acc = ref [] in
+  let obs = observer ?sample_every ?limit (fun tr -> acc := tr :: !acc) in
+  (obs, fun () -> List.rev !acc)
+
+(* Fold mass accumulation over the recorded steps. [f] sees each step
+   with the post-step mass snapshot (the live [mass] array — copy if
+   keeping). *)
+let fold_mass ~prob ~jobs trial f init =
+  let mass = Array.make jobs 0. in
+  List.fold_left
+    (fun acc (st : step) ->
+      Array.iteri
+        (fun i j ->
+          if j >= 0 && j < jobs then
+            mass.(j) <- Float.min 1. (mass.(j) +. prob ~machine:i ~job:j))
+        st.assignment;
+      f acc st mass)
+    init trial.steps
+
+let mass_trajectory ~prob ~jobs trial =
+  fold_mass ~prob ~jobs trial
+    (fun acc st mass -> (st.t, Array.copy mass) :: acc)
+    []
+  |> List.rev
+
+let csv_header = [ "trial"; "t"; "job"; "mass"; "completed" ]
+
+let mass_csv_rows ~prob ~jobs trial =
+  let done_ = Array.make jobs false in
+  fold_mass ~prob ~jobs trial
+    (fun acc st mass ->
+      List.iter (fun j -> if j >= 0 && j < jobs then done_.(j) <- true) st.completed;
+      (* Prepend ascending (the final [List.rev] flips both levels), so
+         rows come out (step, job)-ascending. *)
+      let rows = ref acc in
+      for j = 0 to jobs - 1 do
+        rows :=
+          [
+            string_of_int trial.index;
+            string_of_int st.t;
+            string_of_int j;
+            Printf.sprintf "%.6f" mass.(j);
+            (if done_.(j) then "1" else "0");
+          ]
+          :: !rows
+      done;
+      !rows)
+    []
+  |> List.rev
+
+let to_events ?prob ~machines ~jobs trial =
+  let pid = trial.index in
+  let events = ref [] in
+  let push e = events := e :: !events in
+  push
+    (Trace_event.process_name ~pid
+       (Printf.sprintf "trial %d (seed %d)" trial.index trial.seed));
+  for i = 0 to machines - 1 do
+    push (Trace_event.thread_name ~pid ~tid:i (Printf.sprintf "machine %d" i))
+  done;
+  (* Run-length encode each machine's lane: a slice per maximal run of
+     the same job over consecutive recorded steps. *)
+  let run_job = Array.make machines (-1) in
+  let run_start = Array.make machines 0 in
+  let run_p = Array.make machines 0. in
+  let prev_t = Array.make machines 0 in
+  let close i end_t =
+    let j = run_job.(i) in
+    if j >= 0 then begin
+      let args =
+        match prob with
+        | None -> []
+        | Some _ -> [ ("p", Trace_event.Num run_p.(i)) ]
+      in
+      push
+        (Trace_event.complete ~cat:"exec" ~args ~pid ~tid:i
+           ~ts_us:(Float.of_int (run_start.(i) - 1))
+           ~dur_us:(Float.of_int (end_t - run_start.(i) + 1))
+           (Printf.sprintf "job %d" j))
+    end;
+    run_job.(i) <- -1
+  in
+  let unfinished = ref jobs in
+  List.iter
+    (fun (st : step) ->
+      Array.iteri
+        (fun i j ->
+          let contiguous = run_job.(i) = j && prev_t.(i) = st.t - 1 in
+          if not contiguous then begin
+            close i prev_t.(i);
+            if j >= 0 then begin
+              run_job.(i) <- j;
+              run_start.(i) <- st.t;
+              run_p.(i) <-
+                (match prob with
+                | None -> 0.
+                | Some p -> p ~machine:i ~job:j)
+            end
+          end;
+          prev_t.(i) <- st.t)
+        st.assignment;
+      List.iter
+        (fun j ->
+          decr unfinished;
+          (* Completions land on the lane that ran the job, if any. *)
+          let tid = ref 0 in
+          Array.iteri (fun i j' -> if j' = j then tid := i) st.assignment;
+          push
+            (Trace_event.instant ~cat:"exec" ~pid ~tid:!tid
+               ~ts_us:(Float.of_int st.t)
+               (Printf.sprintf "complete job %d" j)))
+        st.completed;
+      push
+        (Trace_event.counter ~cat:"exec" ~pid ~ts_us:(Float.of_int st.t)
+           "unfinished"
+           [ ("jobs", Float.of_int !unfinished) ]))
+    trial.steps;
+  for i = 0 to machines - 1 do
+    close i prev_t.(i)
+  done;
+  List.rev !events

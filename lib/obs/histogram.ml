@@ -1,0 +1,112 @@
+type t = {
+  lo : float;
+  inv_log_growth : float;
+  growth : float;
+  counts : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create ?(lo = 1e-3) ?(growth = 1.15) ?(buckets = 166) () =
+  if not (lo > 0. && Float.is_finite lo) then
+    invalid_arg "Histogram.create: lo must be positive";
+  if not (growth > 1. && Float.is_finite growth) then
+    invalid_arg "Histogram.create: growth must exceed 1";
+  if buckets < 1 then invalid_arg "Histogram.create: buckets < 1";
+  {
+    lo;
+    growth;
+    inv_log_growth = 1. /. Float.log growth;
+    counts = Array.make buckets 0;
+    count = 0;
+    sum = 0.;
+    min_v = infinity;
+    max_v = neg_infinity;
+  }
+
+(* Bucket k covers (lo·growth^k, lo·growth^(k+1)]; ends clamp. *)
+let bucket_of h v =
+  if not (v > h.lo) then 0
+  else
+    let k = Float.to_int (Float.ceil (Float.log (v /. h.lo) *. h.inv_log_growth)) - 1 in
+    if k < 0 then 0
+    else if k >= Array.length h.counts then Array.length h.counts - 1
+    else k
+
+let upper_bound h k = h.lo *. (h.growth ** Float.of_int (k + 1))
+let lower_bound h k = h.lo *. (h.growth ** Float.of_int k)
+
+let add h v =
+  if not (Float.is_nan v) then begin
+    let k = bucket_of h v in
+    h.counts.(k) <- h.counts.(k) + 1;
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    if v < h.min_v then h.min_v <- v;
+    if v > h.max_v then h.max_v <- v
+  end
+
+let count h = h.count
+let sum h = h.sum
+let mean h = if h.count = 0 then 0. else h.sum /. Float.of_int h.count
+let min_value h = h.min_v
+let max_value h = h.max_v
+
+let quantile h q =
+  if not (q >= 0. && q <= 1.) then invalid_arg "Histogram.quantile: q not in [0,1]";
+  if h.count = 0 then 0.
+  else begin
+    let rank = max 1 (Float.to_int (Float.ceil (q *. Float.of_int h.count))) in
+    let k = ref 0 and seen = ref 0 in
+    (try
+       for i = 0 to Array.length h.counts - 1 do
+         seen := !seen + h.counts.(i);
+         if !seen >= rank then begin
+           k := i;
+           raise Exit
+         end
+       done;
+       k := Array.length h.counts - 1
+     with Exit -> ());
+    (* Geometric midpoint of the bucket, clamped to the exact extremes —
+       so q=0/q=1 answer min/max exactly and no estimate can escape the
+       observed range. *)
+    let est = Float.sqrt (lower_bound h !k *. upper_bound h !k) in
+    Float.min h.max_v (Float.max h.min_v est)
+  end
+
+let buckets h =
+  let acc = ref [] in
+  for k = Array.length h.counts - 1 downto 0 do
+    if h.counts.(k) > 0 then acc := (upper_bound h k, h.counts.(k)) :: !acc
+  done;
+  !acc
+
+let relative_error h = h.growth -. 1.
+
+let copy h =
+  {
+    lo = h.lo;
+    growth = h.growth;
+    inv_log_growth = h.inv_log_growth;
+    counts = Array.copy h.counts;
+    count = h.count;
+    sum = h.sum;
+    min_v = h.min_v;
+    max_v = h.max_v;
+  }
+
+let same_layout a b =
+  a.lo = b.lo && a.growth = b.growth
+  && Array.length a.counts = Array.length b.counts
+
+let merge_into src ~into =
+  if not (same_layout src into) then
+    invalid_arg "Histogram.merge_into: layouts differ";
+  Array.iteri (fun k c -> into.counts.(k) <- into.counts.(k) + c) src.counts;
+  into.count <- into.count + src.count;
+  into.sum <- into.sum +. src.sum;
+  if src.min_v < into.min_v then into.min_v <- src.min_v;
+  if src.max_v > into.max_v then into.max_v <- src.max_v

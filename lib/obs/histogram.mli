@@ -1,0 +1,66 @@
+(** Fixed-layout histograms with log-spaced buckets.
+
+    The layout is decided at creation time and never changes: bucket [k]
+    covers the half-open interval [(lo·growth^k, lo·growth^(k+1)]]; the
+    first bucket additionally absorbs everything at or below [lo] and
+    the last everything above the top bound. Memory is therefore O(1)
+    regardless of how many samples are recorded — this is what replaced
+    the serving layer's bounded ring of recent latencies, turning its
+    windowed p95 into whole-run quantiles at the same O(1) cost per
+    sample.
+
+    Quantile estimates carry a bounded {e relative} error: a reported
+    quantile is within a factor of [growth] of some true sample quantile
+    whose rank differs by at most the bucket's tie mass, provided the
+    samples fall inside the covered range (out-of-range samples clamp to
+    the end buckets, where only [min]/[max] stay exact). [count], [sum],
+    [mean], [min] and [max] are exact.
+
+    Not domain-safe: callers serialise access (the service records under
+    its metrics mutex). *)
+
+type t
+
+val create : ?lo:float -> ?growth:float -> ?buckets:int -> unit -> t
+(** Defaults: [lo = 1e-3], [growth = 1.15], [buckets = 166] — for
+    latencies in milliseconds this spans 1 µs to ≈ 2.8 hours with ≤ 15%
+    relative quantile error.
+    @raise Invalid_argument unless [lo > 0], [growth > 1], [buckets >= 1]. *)
+
+val add : t -> float -> unit
+(** Record one sample. NaN is ignored (counted nowhere) — a poisoned
+    measurement must not destroy the whole histogram's [sum]. *)
+
+val count : t -> int
+val sum : t -> float
+val mean : t -> float
+(** [sum / count]; 0 when empty. *)
+
+val min_value : t -> float
+(** Exact smallest recorded sample; [infinity] when empty. *)
+
+val max_value : t -> float
+(** Exact largest recorded sample; [neg_infinity] when empty. *)
+
+val quantile : t -> float -> float
+(** [quantile h q] for [q] in [0,1]: the geometric midpoint of the
+    bucket holding the rank-⌈q·count⌉ sample, clamped to the exact
+    [min]/[max]. 0 when empty.
+    @raise Invalid_argument if [q] is outside [0,1]. *)
+
+val buckets : t -> (float * int) list
+(** Non-cumulative occupancy as [(upper_bound, count)] pairs in
+    increasing bound order, empty buckets skipped — the Prometheus
+    exposition re-accumulates them. The last bucket's bound is the top
+    of the covered range; overflow samples are counted there. *)
+
+val relative_error : t -> float
+(** The layout's worst-case relative quantile error, [growth - 1]. *)
+
+val copy : t -> t
+(** Snapshot: an independent histogram with the same layout and
+    contents. *)
+
+val merge_into : t -> into:t -> unit
+(** Add every bucket of the first histogram into [into].
+    @raise Invalid_argument if the layouts differ. *)

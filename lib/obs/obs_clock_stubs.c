@@ -1,0 +1,19 @@
+/* Monotonic nanoseconds for span timestamps, latency histograms and
+   deadlines. Unix.gettimeofday is a civil clock: an NTP step would tear
+   span durations and spuriously expire in-flight requests; this
+   switch's Unix lacks OCaml bindings for clock_gettime. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value suu_obs_clock_now_ns(value unit)
+{
+  struct timespec ts;
+#if defined(CLOCK_MONOTONIC)
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  return caml_copy_double((double)ts.tv_sec * 1e9 + (double)ts.tv_nsec);
+}

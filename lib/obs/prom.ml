@@ -1,0 +1,70 @@
+type kind = Counter | Gauge | Hist of Histogram.t
+type metric = { name : string; help : string; kind : kind; value : float }
+
+let counter ~name ~help value = { name; help; kind = Counter; value }
+let gauge ~name ~help value = { name; help; kind = Gauge; value }
+let histogram ~name ~help h = { name; help; kind = Hist h; value = 0. }
+
+let sanitise name =
+  String.mapi
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> c
+      | '0' .. '9' when i > 0 -> c
+      | _ -> '_')
+    name
+
+(* HELP text: escape the two characters the format reserves. *)
+let escape_help s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let fmt v =
+  if Float.is_nan v then "NaN"
+  else if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let render metrics =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun m ->
+      let name = sanitise m.name in
+      let header ty =
+        Buffer.add_string buf
+          (Printf.sprintf "# HELP %s %s\n# TYPE %s %s\n" name
+             (escape_help m.help) name ty)
+      in
+      (match m.kind with
+       | Counter ->
+           header "counter";
+           Buffer.add_string buf (Printf.sprintf "%s %s\n" name (fmt m.value))
+       | Gauge ->
+           header "gauge";
+           Buffer.add_string buf (Printf.sprintf "%s %s\n" name (fmt m.value))
+       | Hist h ->
+           header "histogram";
+           let cum = ref 0 in
+           List.iter
+             (fun (ub, c) ->
+               cum := !cum + c;
+               Buffer.add_string buf
+                 (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name (fmt ub) !cum))
+             (Histogram.buckets h);
+           Buffer.add_string buf
+             (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name
+                (Histogram.count h));
+           Buffer.add_string buf
+             (Printf.sprintf "%s_sum %s\n" name (fmt (Histogram.sum h)));
+           Buffer.add_string buf
+             (Printf.sprintf "%s_count %d\n" name (Histogram.count h))))
+    metrics;
+  Buffer.contents buf

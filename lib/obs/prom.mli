@@ -1,0 +1,20 @@
+(** Prometheus text exposition (format version 0.0.4).
+
+    One flat metric family per entry: [# HELP] / [# TYPE] header lines
+    followed by the sample(s). Histograms render the canonical triplet —
+    cumulative [_bucket{le="..."}] series ending in [le="+Inf"], then
+    [_sum] and [_count]. This is what [suu serve --stats-format prom]
+    and the [stats] request's [prom] variant emit, unifying service
+    counters, worker-pool gauges and engine counters in one scrape. *)
+
+type metric
+
+val counter : name:string -> help:string -> float -> metric
+val gauge : name:string -> help:string -> float -> metric
+val histogram : name:string -> help:string -> Histogram.t -> metric
+
+val render : metric list -> string
+(** The exposition body. Metric names are sanitised to
+    [[a-zA-Z_:][a-zA-Z0-9_:]*] (invalid characters become ['_']);
+    non-finite values render as Prometheus' [+Inf]/[-Inf]/[NaN]
+    spellings. *)

@@ -1,0 +1,109 @@
+type span = {
+  name : string;
+  cat : string;
+  tid : int;
+  depth : int;
+  start_ns : float;
+  dur_ns : float;
+  attrs : (string * string) list;
+}
+
+(* One ring per domain. Only its owner writes; [pos]/[depth] are plain
+   mutable fields because the snapshot side tolerates raciness (it reads
+   whole immutable span records out of [buf], so a race costs a span,
+   never a torn one). *)
+type ring = {
+  tid : int;
+  buf : span option array;
+  mutable pos : int;  (* total spans ever written; slot = pos mod cap *)
+  mutable depth : int;
+}
+
+type t = {
+  enabled : bool;
+  capacity : int;
+  mutable rings : ring list;  (* guarded by [reg] *)
+  reg : Mutex.t;
+  key : ring Domain.DLS.key;
+}
+
+let create ?(capacity = 4096) ~enabled () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity < 1";
+  (* The DLS initialiser must not register the ring itself: DLS keys are
+     per-domain but shared across tracers' [rings] lists only via [t],
+     and the initialiser has no access to [t]'s mutex ordering
+     guarantees during [spans]. Registration happens in [ring_of]. *)
+  let key =
+    Domain.DLS.new_key (fun () ->
+        {
+          tid = (Domain.self () :> int);
+          buf = Array.make capacity None;
+          pos = 0;
+          depth = 0;
+        })
+  in
+  { enabled; capacity; rings = []; reg = Mutex.create (); key }
+
+let disabled = create ~capacity:1 ~enabled:false ()
+let enabled t = t.enabled
+
+let ring_of t =
+  let r = Domain.DLS.get t.key in
+  if r.pos = 0 && r.depth = 0 && not (List.memq r t.rings) then begin
+    (* First span on this domain: publish the ring for [spans]. The
+       [memq] pre-check is racy but only against ourselves (no other
+       domain inserts this ring), so the mutex makes it exact. *)
+    Mutex.lock t.reg;
+    if not (List.memq r t.rings) then t.rings <- r :: t.rings;
+    Mutex.unlock t.reg
+  end;
+  r
+
+let record r span =
+  r.buf.(r.pos mod Array.length r.buf) <- Some span;
+  r.pos <- r.pos + 1
+
+let with_span t ?(cat = "suu") ?(attrs = []) name f =
+  if not t.enabled then f ()
+  else begin
+    let r = ring_of t in
+    let depth = r.depth in
+    r.depth <- depth + 1;
+    let start_ns = Clock.now_ns () in
+    let finish () =
+      let dur_ns = Clock.now_ns () -. start_ns in
+      r.depth <- depth;
+      record r { name; cat; tid = r.tid; depth; start_ns; dur_ns; attrs }
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        finish ();
+        Printexc.raise_with_backtrace e bt
+  end
+
+let snapshot_rings t =
+  Mutex.lock t.reg;
+  let rings = t.rings in
+  Mutex.unlock t.reg;
+  rings
+
+let spans t =
+  let collect acc r =
+    Array.fold_left
+      (fun acc slot -> match slot with None -> acc | Some s -> s :: acc)
+      acc r.buf
+  in
+  List.fold_left collect [] (snapshot_rings t)
+  |> List.sort (fun a b ->
+         match Float.compare a.start_ns b.start_ns with
+         | 0 -> Int.compare a.depth b.depth
+         | c -> c)
+
+let dropped t =
+  List.fold_left
+    (fun acc r -> acc + max 0 (r.pos - t.capacity))
+    0 (snapshot_rings t)

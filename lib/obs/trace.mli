@@ -1,0 +1,55 @@
+(** Monotonic-clock spans with parent/child nesting, recorded into
+    per-domain ring buffers.
+
+    A {e span} is a named interval of wall time with key:value
+    attributes and a nesting depth; {!with_span} measures the dynamic
+    extent of a thunk. Each domain writes into its own fixed-capacity
+    ring — the hot path takes no lock and allocates only the span record
+    itself — so tracing from worker domains never serialises them
+    ("lock-free-enough"). The registry of per-domain buffers is guarded
+    by a mutex taken only on a domain's first span and on {!spans}.
+
+    A disabled tracer is free: {!with_span} tests one boolean and calls
+    the thunk directly (no clock read, no allocation).
+
+    {!spans} reads other domains' rings without stopping them; a span
+    racing the snapshot may be missed or doubled, but never torn (ring
+    slots hold immutable records). That is the intended precision for a
+    telemetry ring. *)
+
+type span = {
+  name : string;
+  cat : string;  (** category, for trace-viewer filtering *)
+  tid : int;  (** id of the domain that recorded it *)
+  depth : int;  (** nesting depth at entry; 0 = root *)
+  start_ns : float;  (** {!Clock.now_ns} at entry *)
+  dur_ns : float;
+  attrs : (string * string) list;
+}
+
+type t
+
+val create : ?capacity:int -> enabled:bool -> unit -> t
+(** [capacity] (default 4096) is per domain: each domain keeps its most
+    recent [capacity] spans.
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val disabled : t
+(** A shared always-off tracer, for plumbing defaults. *)
+
+val enabled : t -> bool
+
+val with_span :
+  t -> ?cat:string -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span t name f] runs [f] and records a span covering it (also
+    on exception, which is re-raised). Nested calls on the same domain
+    get increasing [depth]. [cat] defaults to ["suu"]. *)
+
+val spans : t -> span list
+(** Snapshot of every domain's ring, merged and sorted by
+    [(start_ns, depth)] — parents sort before the children they
+    enclose. *)
+
+val dropped : t -> int
+(** Spans overwritten by ring wrap-around since creation, summed over
+    domains (racy, like {!spans}). *)

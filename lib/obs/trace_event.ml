@@ -1,0 +1,124 @@
+type arg = Str of string | Num of float | Int of int
+
+type t = {
+  name : string;
+  cat : string;
+  ph : string;
+  ts_us : float;
+  dur_us : float;
+  pid : int;
+  tid : int;
+  args : (string * arg) list;
+}
+
+let complete ?(cat = "suu") ?(args = []) ~pid ~tid ~ts_us ~dur_us name =
+  { name; cat; ph = "X"; ts_us; dur_us; pid; tid; args }
+
+let instant ?(cat = "suu") ?(args = []) ~pid ~tid ~ts_us name =
+  { name; cat; ph = "i"; ts_us; dur_us = 0.; pid; tid; args }
+
+let counter ?(cat = "suu") ~pid ~ts_us name series =
+  let args = List.map (fun (k, v) -> (k, Num v)) series in
+  { name; cat; ph = "C"; ts_us; dur_us = 0.; pid; tid = 0; args }
+
+let metadata ~pid ~tid name label =
+  {
+    name;
+    cat = "__metadata";
+    ph = "M";
+    ts_us = 0.;
+    dur_us = 0.;
+    pid;
+    tid;
+    args = [ ("name", Str label) ];
+  }
+
+let process_name ~pid label = metadata ~pid ~tid:0 "process_name" label
+let thread_name ~pid ~tid label = metadata ~pid ~tid "thread_name" label
+
+let of_span ?(pid = 0) (s : Trace.span) =
+  complete ~cat:s.cat
+    ~args:(List.map (fun (k, v) -> (k, Str v)) s.attrs)
+    ~pid ~tid:s.tid ~ts_us:(s.start_ns /. 1e3) ~dur_us:(s.dur_ns /. 1e3)
+    s.name
+
+(* RFC 8259 string escaping: the two mandatory escapes plus control
+   characters as \u00XX. Everything else passes through byte-for-byte
+   (we never synthesise non-UTF-8 names). *)
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_num buf v =
+  if not (Float.is_finite v) then Buffer.add_string buf "null"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" v)
+  else Buffer.add_string buf (Printf.sprintf "%.17g" v)
+
+let add_arg buf = function
+  | Str s -> escape buf s
+  | Num v -> add_num buf v
+  | Int i -> Buffer.add_string buf (string_of_int i)
+
+let add_event buf e =
+  Buffer.add_char buf '{';
+  Buffer.add_string buf "\"name\":";
+  escape buf e.name;
+  Buffer.add_string buf ",\"cat\":";
+  escape buf e.cat;
+  Buffer.add_string buf ",\"ph\":";
+  escape buf e.ph;
+  Buffer.add_string buf ",\"ts\":";
+  add_num buf e.ts_us;
+  if e.ph = "X" then begin
+    Buffer.add_string buf ",\"dur\":";
+    add_num buf e.dur_us
+  end;
+  Buffer.add_string buf (Printf.sprintf ",\"pid\":%d,\"tid\":%d" e.pid e.tid);
+  if e.args <> [] then begin
+    Buffer.add_string buf ",\"args\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape buf k;
+        Buffer.add_char buf ':';
+        add_arg buf v)
+      e.args;
+    Buffer.add_char buf '}'
+  end;
+  Buffer.add_char buf '}'
+
+let to_json events =
+  let buf = Buffer.create 4096 in
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_event buf e)
+    events;
+  Buffer.add_char buf ']';
+  Buffer.contents buf
+
+let write oc events =
+  output_char oc '[';
+  let buf = Buffer.create 256 in
+  List.iteri
+    (fun i e ->
+      if i > 0 then output_string oc ",\n" else output_char oc '\n';
+      Buffer.clear buf;
+      add_event buf e;
+      Buffer.output_buffer oc buf)
+    events;
+  output_string oc "\n]\n"

@@ -1,0 +1,67 @@
+(** Chrome [trace_event] JSON export (the JSON-array flavour).
+
+    The output loads directly into Perfetto ({:https://ui.perfetto.dev})
+    or [chrome://tracing]. We emit four phases: ["X"] (complete slice
+    with duration), ["i"] (instant), ["C"] (counter track) and ["M"]
+    (metadata naming processes/threads). Timestamps and durations are in
+    microseconds, per the format.
+
+    The writer here is deliberately standalone — [lib/obs] must not
+    depend on the serving layer, so it cannot reuse
+    [lib/service/json.ml]. The conformance tests close the loop the
+    other way: they parse this module's output with the service JSON
+    parser. *)
+
+type arg = Str of string | Num of float | Int of int
+
+type t = {
+  name : string;
+  cat : string;
+  ph : string;  (** phase: ["X"], ["i"], ["C"] or ["M"] *)
+  ts_us : float;  (** event timestamp, microseconds *)
+  dur_us : float;  (** only emitted for ["X"] *)
+  pid : int;
+  tid : int;
+  args : (string * arg) list;
+}
+
+val complete :
+  ?cat:string ->
+  ?args:(string * arg) list ->
+  pid:int ->
+  tid:int ->
+  ts_us:float ->
+  dur_us:float ->
+  string ->
+  t
+
+val instant :
+  ?cat:string ->
+  ?args:(string * arg) list ->
+  pid:int ->
+  tid:int ->
+  ts_us:float ->
+  string ->
+  t
+
+val counter :
+  ?cat:string -> pid:int -> ts_us:float -> string -> (string * float) list -> t
+(** [counter ~pid ~ts_us name series] — one sample of a counter track;
+    each pair in [series] becomes a stacked sub-series in the viewer. *)
+
+val process_name : pid:int -> string -> t
+val thread_name : pid:int -> tid:int -> string -> t
+(** Metadata events: label a pid / (pid, tid) in the viewer's sidebar. *)
+
+val of_span : ?pid:int -> Trace.span -> t
+(** A recorded span as a complete-slice event ([pid] defaults to 0; tid
+    is the span's recording domain). Span attributes become string
+    [args]. *)
+
+val to_json : t list -> string
+(** The whole trace as one JSON array. Strings are escaped per RFC 8259;
+    non-finite numbers are emitted as [null] (JSON has no [inf]/[nan]). *)
+
+val write : out_channel -> t list -> unit
+(** [to_json] streamed to a channel, one event per line, without
+    building the whole string in memory. *)

@@ -1,1 +1,1 @@
-external now_ms : unit -> float = "suu_service_clock_now_ms"
+let now_ms = Suu_obs.Clock.now_ms

@@ -3,8 +3,9 @@
     [Unix.gettimeofday] follows the civil clock, so an NTP step or manual
     adjustment could spuriously expire in-flight requests or record
     negative latencies; the service measures durations against
-    [CLOCK_MONOTONIC] instead (via a local C stub — this compiler's
-    [Unix] predates [clock_gettime]). *)
+    [CLOCK_MONOTONIC] instead. Since the telemetry core grew its own
+    monotonic clock, this is an alias for {!Suu_obs.Clock.now_ms} — one
+    timestamp source for spans, histograms and deadlines alike. *)
 
 val now_ms : unit -> float
 (** Milliseconds since an arbitrary fixed origin; strictly unaffected by

@@ -1,11 +1,11 @@
-(* Latency accounting is O(1) per request and bounded in memory: running
-   count/sum/min/max over the whole run plus a fixed-size ring of the
-   most recent samples, from which quantiles are computed at snapshot
-   time. A long-lived service's metrics therefore cannot grow without
-   bound, and a stats request costs O(window log window), not
-   O(requests served). *)
+(* Latency accounting is O(1) per request and bounded in memory: ok
+   latencies land in a fixed-layout log-bucketed histogram
+   (Suu_obs.Histogram), from which whole-run quantiles are read at
+   snapshot time with bounded relative error. A long-lived service's
+   metrics therefore cannot grow without bound, and a stats request
+   costs O(buckets), not O(requests served). *)
 
-let window_size = 1024
+module Histogram = Suu_obs.Histogram
 
 type t = {
   lock : Mutex.t;
@@ -18,10 +18,7 @@ type t = {
   mutable restarts : int;
   mutable retries : int;
   mutable degraded : int;
-  mutable lat_sum : float;
-  mutable lat_min : float;
-  mutable lat_max : float;
-  ring : float array;  (* the last [window_size] ok latencies, ms *)
+  lat : Histogram.t;  (* all ok latencies, ms *)
 }
 
 let create () =
@@ -36,10 +33,8 @@ let create () =
     restarts = 0;
     retries = 0;
     degraded = 0;
-    lat_sum = 0.;
-    lat_min = infinity;
-    lat_max = neg_infinity;
-    ring = Array.make window_size 0.;
+    (* Default layout: 1 µs .. ~2.8 h at <= 15% relative error. *)
+    lat = Histogram.create ();
   }
 
 let with_lock m f =
@@ -48,11 +43,8 @@ let with_lock m f =
 
 let record_ok m ~latency_ms =
   with_lock m (fun () ->
-      m.ring.(m.ok mod window_size) <- latency_ms;
       m.ok <- m.ok + 1;
-      m.lat_sum <- m.lat_sum +. latency_ms;
-      if latency_ms < m.lat_min then m.lat_min <- latency_ms;
-      if latency_ms > m.lat_max then m.lat_max <- latency_ms)
+      Histogram.add m.lat latency_ms)
 
 let record_error m = with_lock m (fun () -> m.errors <- m.errors + 1)
 let record_timeout m = with_lock m (fun () -> m.timeouts <- m.timeouts + 1)
@@ -73,8 +65,9 @@ type latency = {
   mean_ms : float;
   min_ms : float;
   max_ms : float;
+  p50_ms : float;
   p95_ms : float;
-  window : int;
+  p99_ms : float;
 }
 
 type snapshot = {
@@ -89,27 +82,25 @@ type snapshot = {
   retries : int;
   degraded : int;
   latency : latency option;
+  latency_hist : Histogram.t option;
 }
 
 let snapshot m =
   with_lock m (fun () ->
-      let latency =
-        if m.ok = 0 then None
+      let latency, latency_hist =
+        if Histogram.count m.lat = 0 then (None, None)
         else
-          let window = min m.ok window_size in
-          (* With fewer than [window_size] samples only the prefix is
-             live; past that the whole ring is the recent window (sample
-             order is irrelevant to a quantile). *)
-          let recent = Array.sub m.ring 0 window in
-          Some
-            {
-              count = m.ok;
-              mean_ms = m.lat_sum /. float_of_int m.ok;
-              min_ms = m.lat_min;
-              max_ms = m.lat_max;
-              p95_ms = Suu_prob.Stats.quantile recent 0.95;
-              window;
-            }
+          ( Some
+              {
+                count = Histogram.count m.lat;
+                mean_ms = Histogram.mean m.lat;
+                min_ms = Histogram.min_value m.lat;
+                max_ms = Histogram.max_value m.lat;
+                p50_ms = Histogram.quantile m.lat 0.50;
+                p95_ms = Histogram.quantile m.lat 0.95;
+                p99_ms = Histogram.quantile m.lat 0.99;
+              },
+            Some (Histogram.copy m.lat) )
       in
       {
         requests = m.ok + m.errors + m.timeouts + m.rejected;
@@ -123,4 +114,5 @@ let snapshot m =
         retries = m.retries;
         degraded = m.degraded;
         latency;
+        latency_hist;
       })

@@ -1,10 +1,13 @@
 (** Service counters and latency tracking.
 
     One [t] is shared by the reader and all worker domains; recording is
-    mutex-protected and O(1) — a few counter bumps and one write into a
-    fixed-size ring of recent latencies, so a long-lived service's
-    metrics stay bounded no matter how many requests it serves. A
-    {!snapshot} is taken on demand (the [stats] request) and on shutdown.
+    mutex-protected and O(1) — a few counter bumps and one histogram
+    increment. Latencies land in a fixed-layout log-bucketed histogram
+    ({!Suu_obs.Histogram}), so a long-lived service's metrics stay
+    bounded no matter how many requests it serves, and quantiles are
+    whole-run figures (not windowed) with bounded relative error
+    (≤ 15% with the default layout). A {!snapshot} is taken on demand
+    (the [stats] request) and on shutdown.
 
     Counting conventions (documented in DESIGN.md §"Serving"): [ok],
     [errors], [timeouts] and [rejected] partition the completed requests;
@@ -42,17 +45,17 @@ val record_degraded : t -> unit
 (** A request admitted with a degraded trial count because the queue
     depth had crossed the overload watermark. *)
 
-(** Latency figures: [count], [mean_ms], [min_ms] and [max_ms] are
-    running aggregates over every ok response; [p95_ms] is computed over
-    the [window] most recent samples (at most 1024), since exact
-    whole-run quantiles would need unbounded storage. *)
+(** Latency figures over {e every} ok response of the run: [count],
+    [mean_ms], [min_ms] and [max_ms] are exact; the quantiles are
+    histogram estimates with bounded relative error. *)
 type latency = {
   count : int;
   mean_ms : float;
   min_ms : float;
   max_ms : float;
+  p50_ms : float;
   p95_ms : float;
-  window : int;  (** samples [p95_ms] is computed over *)
+  p99_ms : float;
 }
 
 type snapshot = {
@@ -67,6 +70,9 @@ type snapshot = {
   retries : int;  (** total transient-failure retries across requests *)
   degraded : int;  (** requests admitted with a degraded trial count *)
   latency : latency option;  (** [None] until the first ok *)
+  latency_hist : Suu_obs.Histogram.t option;
+      (** an independent copy of the full latency histogram, for bucketed
+          exposition (Prometheus); [None] until the first ok *)
 }
 
 val snapshot : t -> snapshot

@@ -19,9 +19,16 @@ type op =
     }
   | Info of Instance.t
   | Exact of Instance.t
-  | Stats
+  | Stats of { format : [ `Json | `Prom ] }
 
 type t = { id : string option; deadline_ms : float option; op : op }
+
+let op_kind = function
+  | Solve _ -> "solve"
+  | Estimate _ -> "estimate"
+  | Info _ -> "info"
+  | Exact _ -> "exact"
+  | Stats _ -> "stats"
 
 (* --- decoding --- *)
 
@@ -111,7 +118,15 @@ let of_line ~default_trials ~default_seed line =
                 }
           | "info" -> Info (instance_field json)
           | "exact" -> Exact (instance_field json)
-          | "stats" -> Stats
+          | "stats" ->
+              let format =
+                match Json.member "format" json with
+                | None | Some (Json.Str "json") -> `Json
+                | Some (Json.Str "prom") -> `Prom
+                | Some (Json.Str other) -> fail "format: unknown format %S" other
+                | Some _ -> fail "format: expected a string"
+              in
+              Stats { format }
           | other -> fail "op: unknown operation %S" other
         in
         let deadline_ms =
@@ -153,7 +168,7 @@ let cache_key req =
         (Printf.sprintf "estimate:%s:%s:%d:%d" (Io.digest instance)
            plan_digest trials seed)
   | Exact instance -> Some (Printf.sprintf "exact:%s" (Io.digest instance))
-  | Info _ | Stats -> None
+  | Info _ | Stats _ -> None
 
 (* --- responses --- *)
 

@@ -15,7 +15,7 @@
     {"op":"estimate","instance":S,"plan":P,"trials":K,"seed":N,...}
     {"op":"info","instance":S}
     {"op":"exact","instance":S}
-    {"op":"stats"}
+    {"op":"stats","format":"json|prom"}
     v}
     Responses carry ["id"], ["status"] (["ok"|"error"|"timeout"]) and
     status-specific fields. *)
@@ -49,9 +49,18 @@ type op =
       (** Classification, DAG statistics and (LP-free) lower bounds. *)
   | Exact of Suu_core.Instance.t
       (** Optimal expected makespan by Malewicz's DP (small instances). *)
-  | Stats  (** Service metrics snapshot. *)
+  | Stats of { format : [ `Json | `Prom ] }
+      (** Service metrics snapshot. [`Json] (the default) answers with
+          structured fields; [`Prom] answers with the whole
+          Prometheus-style text exposition carried as an escaped string
+          in a ["prom"] field (the wire stays one JSON line per
+          response). *)
 
 type t = { id : string option; deadline_ms : float option; op : op }
+
+val op_kind : op -> string
+(** The wire name of the operation (["solve"], ["estimate"], ["info"],
+    ["exact"], ["stats"]) — for span attributes and log lines. *)
 
 val of_line :
   default_trials:int ->

@@ -2,6 +2,8 @@ module Engine = Suu_sim.Engine
 module Instance = Suu_core.Instance
 module Policy = Suu_core.Policy
 module Stats = Suu_prob.Stats
+module Trace = Suu_obs.Trace
+module Prom = Suu_obs.Prom
 
 type config = {
   workers : int;
@@ -17,6 +19,7 @@ type config = {
   degrade_trials : int;
   estimate_domains : int;
   fault : Fault.spec;
+  tracer : Trace.t;
 }
 
 let default_config =
@@ -34,6 +37,7 @@ let default_config =
     degrade_trials = 25;
     estimate_domains = 1;
     fault = Fault.none;
+    tracer = Trace.disabled;
   }
 
 (* Backoff for attempt [k] is [retry_backoff_ms * 2^k], capped here so a
@@ -79,10 +83,62 @@ let report_to_string r =
   | Some l ->
       Buffer.add_string buf
         (Printf.sprintf
-           "latency ms: min %.2f mean %.2f p95 %.2f max %.2f\n"
-           l.Metrics.min_ms l.Metrics.mean_ms l.Metrics.p95_ms
-           l.Metrics.max_ms));
+           "latency ms: min %.2f mean %.2f p50 %.2f p95 %.2f p99 %.2f max \
+            %.2f\n"
+           l.Metrics.min_ms l.Metrics.mean_ms l.Metrics.p50_ms
+           l.Metrics.p95_ms l.Metrics.p99_ms l.Metrics.max_ms));
   Buffer.contents buf
+
+(* Prometheus text exposition of a report: service counters, pool and
+   cache gauges, the full latency histogram, and the engine's
+   process-wide counters — one scrape unifies all three layers. *)
+let report_to_prom ?workers r =
+  let m = r.metrics in
+  let c name help v = Prom.counter ~name ~help (float_of_int v) in
+  let g name help v = Prom.gauge ~name ~help (float_of_int v) in
+  [
+    c "suu_requests_total"
+      "Completed requests (ok + errors + timeouts + rejected)."
+      m.Metrics.requests;
+    c "suu_requests_ok_total" "Requests answered ok." m.Metrics.ok;
+    c "suu_requests_error_total" "Requests answered with an error."
+      m.Metrics.errors;
+    c "suu_requests_timeout_total" "Requests that exceeded their deadline."
+      m.Metrics.timeouts;
+    c "suu_requests_rejected_total" "Requests shed at admission (queue full)."
+      m.Metrics.rejected;
+    c "suu_stats_requests_total" "Stats requests (counted apart)."
+      m.Metrics.stats_requests;
+    c "suu_worker_crashes_total" "Worker domains that died mid-request."
+      m.Metrics.worker_crashes;
+    c "suu_worker_restarts_total" "Replacement worker domains spawned."
+      m.Metrics.restarts;
+    c "suu_retries_total" "Transient-failure retries." m.Metrics.retries;
+    c "suu_degraded_total" "Requests admitted with a degraded trial count."
+      m.Metrics.degraded;
+    c "suu_cache_hits_total" "Result-cache hits." r.cache_hits;
+    c "suu_cache_misses_total" "Result-cache misses." r.cache_misses;
+    g "suu_cache_entries" "Result-cache entries currently held." r.cache_size;
+    g "suu_queue_high_water_mark" "Deepest the request queue has been."
+      r.queue_hwm;
+  ]
+  @ (match workers with
+    | None -> []
+    | Some w -> [ g "suu_workers" "Configured worker domains." w ])
+  @ (match m.Metrics.latency_hist with
+    | None -> []
+    | Some h ->
+        [
+          Prom.histogram ~name:"suu_request_latency_ms"
+            ~help:
+              "Ok-response latency, admission to emission, milliseconds."
+            h;
+        ])
+  @ List.map
+      (fun (name, v) ->
+        c ("suu_" ^ name) "Engine counter (process-wide, all callers)." v)
+      (Suu_obs.Counters.snapshot Engine.counters)
+  |> Prom.render
 
 module type TRANSPORT = sig
   val recv : unit -> string option
@@ -260,7 +316,7 @@ let execute op ~domains ~stop ~on_trial =
           ]
       | exception Suu_algo.Malewicz.Too_expensive msg ->
           failed "exact: too expensive: %s" msg)
-  | Request.Stats -> assert false (* handled without execution *)
+  | Request.Stats _ -> assert false (* handled without execution *)
 
 (* --- the service --- *)
 
@@ -309,7 +365,9 @@ let stats_fields r =
               [
                 ("min", Json.Num l.Metrics.min_ms);
                 ("mean", Json.Num l.Metrics.mean_ms);
+                ("p50", Json.Num l.Metrics.p50_ms);
                 ("p95", Json.Num l.Metrics.p95_ms);
+                ("p99", Json.Num l.Metrics.p99_ms);
                 ("max", Json.Num l.Metrics.max_ms);
               ] );
         ]
@@ -367,7 +425,7 @@ let handle_job cfg ~metrics ~cache ~queue ~em job =
          ~deadline_ms:(Option.value deadline_ms ~default:0.))
   in
   match req.Request.op with
-  | Request.Stats ->
+  | Request.Stats { format } ->
       (* Counted apart so a stats response describes the workload without
          counting itself; never subject to deadlines. The snapshot is
          deferred until this response is next in line to be emitted, so
@@ -375,7 +433,15 @@ let handle_job cfg ~metrics ~cache ~queue ~em job =
          stream (responses record their metrics before they emit). *)
       Metrics.record_stats_request metrics;
       emit_lazy em seq (fun () ->
-          Request.ok ~id (stats_fields (report_of ~metrics ~cache ~queue)))
+          let r = report_of ~metrics ~cache ~queue in
+          match format with
+          | `Json -> Request.ok ~id (stats_fields r)
+          | `Prom ->
+              Request.ok ~id
+                [
+                  ("format", Json.Str "prom");
+                  ("prom", Json.Str (report_to_prom ~workers:cfg.workers r));
+                ])
   | _ ->
       if expired () then finish_timeout ()
       else begin
@@ -384,6 +450,19 @@ let handle_job cfg ~metrics ~cache ~queue ~em job =
           else req
         in
         let op = req.Request.op in
+        let span_attrs =
+          (* Computed only when the tracer is on: attribute rendering
+             must not tax the untraced hot path. *)
+          if Trace.enabled cfg.tracer then
+            [
+              ("seq", string_of_int seq);
+              ("id", Option.value id ~default:"");
+              ("op", Request.op_kind op);
+            ]
+          else []
+        in
+        Trace.with_span cfg.tracer ~cat:"service" ~attrs:span_attrs "request"
+        @@ fun () ->
         let key = Request.cache_key req in
         match Option.bind key (Cache.find cache) with
         | Some fields ->
@@ -399,8 +478,15 @@ let handle_job cfg ~metrics ~cache ~queue ~em job =
                   Fault.fires cfg.fault Fault.Transient
                     ~key:(Fault.attempt_key ~seq ~attempt:k)
                 then raise (Fault.Transient_failure "injected");
-                execute op ~domains:cfg.estimate_domains ~stop:expired
-                  ~on_trial
+                Trace.with_span cfg.tracer ~cat:"service"
+                  ~attrs:
+                    (if Trace.enabled cfg.tracer then
+                       [ ("attempt", string_of_int k) ]
+                     else [])
+                  "execute"
+                  (fun () ->
+                    execute op ~domains:cfg.estimate_domains ~stop:expired
+                      ~on_trial)
               with
               | fields ->
                   Option.iter (fun cache_k -> Cache.add cache cache_k fields) key;

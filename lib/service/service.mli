@@ -92,6 +92,13 @@ type config = {
           bit-identical to the inline path, so responses (cached or
           recomputed) never depend on this knob *)
   fault : Fault.spec;  (** fault injection; {!Fault.none} in production *)
+  tracer : Suu_obs.Trace.t;
+      (** span tracer for the request path; {!Suu_obs.Trace.disabled}
+          (the default) makes every span a single boolean test. When
+          enabled, each request records a ["request"] span (attrs: seq,
+          id, op) with a nested ["execute"] span per attempt, from which
+          [suu serve --trace-out] writes a Chrome trace-event file at
+          shutdown. *)
 }
 
 val default_config : config
@@ -112,6 +119,16 @@ type report = {
 
 val report_to_string : report -> string
 (** Human-readable multi-line rendering, for the CLI's shutdown dump. *)
+
+val report_to_prom : ?workers:int -> report -> string
+(** Prometheus-style text exposition (format 0.0.4): service counters,
+    cache/queue gauges (plus a [suu_workers] gauge when [workers] is
+    given), the full ok-latency histogram with cumulative [le] buckets,
+    and the engine's process-wide counters
+    ({!Suu_sim.Engine.counters} — trials run, steps simulated, leapfrog
+    trials and steps skipped). Served by the [stats] request's
+    [format:"prom"] variant and by [suu serve --stats-format prom]'s
+    shutdown dump. *)
 
 (** The transport seam: the service core only ever sees a line source
     and a line sink, so a socket transport can be added without touching

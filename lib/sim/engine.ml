@@ -1,6 +1,21 @@
 module Instance = Suu_core.Instance
 module Assignment = Suu_core.Assignment
 module Policy = Suu_core.Policy
+module Oblivious = Suu_core.Oblivious
+module Counters = Suu_obs.Counters
+module Exec_trace = Suu_obs.Exec_trace
+
+(* Process-wide engine telemetry. Counters are bumped once or twice per
+   trial (never per step), so they are always on: two atomic adds
+   disappear against the cost of even the shortest trial, which is what
+   keeps the observer-disabled perf-smoke budget honest. *)
+let counters = Counters.create ()
+let c_trials = Counters.make counters "engine_trials_total"
+let c_steps = Counters.make counters "engine_steps_simulated_total"
+let c_leap_trials = Counters.make counters "engine_leapfrog_trials_total"
+
+let c_leap_steps =
+  Counters.make counters "engine_leapfrog_steps_skipped_total"
 
 type outcome = { makespan : int; completed : bool }
 
@@ -213,21 +228,98 @@ let finish_estimate ~max_steps ~trials ~incomplete samples =
    all per-trial state is preallocated once per (estimate, domain). *)
 type runner =
   | Stepper of exec * Policy.t
-  | Leap of Leapfrog.t
+  | Leap of Leapfrog.t * Oblivious.t
+      (** the schedule rides along so observed trials can reconstruct
+          per-step assignments without re-deriving them from the plan *)
 
 let make_runner ?releases inst policy =
   match Policy.oblivious policy with
-  | Some sched -> Leap (Leapfrog.prepare ?releases inst sched)
+  | Some sched -> Leap (Leapfrog.prepare ?releases inst sched, sched)
   | None -> Stepper (exec_create ?releases inst, policy)
 
 let run_trial runner rng ~max_steps =
+  Counters.incr c_trials;
   match runner with
   | Stepper (ex, policy) ->
       exec_reset ex;
-      run_exec ~max_steps rng ex policy
-  | Leap leap ->
+      let o = run_exec ~max_steps rng ex policy in
+      Counters.add c_steps o.makespan;
+      o
+  | Leap (leap, _) ->
       let makespan, completed = Leapfrog.run leap rng ~max_steps in
+      Counters.incr c_leap_trials;
+      Counters.add c_leap_steps makespan;
       { makespan; completed }
+
+(* Run one trial while capturing its step-by-step history (at most
+   [limit] steps). RNG consumption is bit-identical to [run_trial]:
+
+   - Stepper: the loop below performs exactly [run_exec]'s draw sequence
+     and records {e after} each [exec_step], so observation cannot
+     perturb the stream.
+   - Leap: the geometric draws are untouched; [reset_completions] draws
+     nothing, and the per-step history is {e reconstructed} afterwards
+     from the completion arena plus the schedule itself — the recorded
+     assignment at step [t] is [Oblivious.step sched t] verbatim, which
+     is precisely what [trace]'s naive stepper records for an oblivious
+     policy (the decided assignment, completed jobs included). *)
+let run_trial_observed runner rng ~max_steps ~limit =
+  Counters.incr c_trials;
+  match runner with
+  | Stepper (ex, policy) ->
+      exec_reset ex;
+      let decide = policy.Policy.fresh () in
+      let steps = ref [] in
+      let recorded = ref 0 in
+      let t = ref 0 in
+      while ex.remaining > 0 && !t < max_steps do
+        exec_release_due ex !t;
+        let state =
+          {
+            Policy.step = !t;
+            unfinished = ex.unfinished;
+            eligible = ex.eligible;
+          }
+        in
+        let a = decide state in
+        exec_step rng ex !t a;
+        if !recorded < limit then begin
+          steps :=
+            {
+              Exec_trace.t = !t + 1;
+              assignment = Array.copy a;
+              completed = exec_completed_list ex;
+            }
+            :: !steps;
+          incr recorded
+        end;
+        incr t
+      done;
+      Counters.add c_steps !t;
+      ({ makespan = !t; completed = ex.remaining = 0 }, List.rev !steps)
+  | Leap (leap, sched) ->
+      Leapfrog.reset_completions leap;
+      let makespan, completed = Leapfrog.run leap rng ~max_steps in
+      Counters.incr c_leap_trials;
+      Counters.add c_leap_steps makespan;
+      let comp = Leapfrog.completions leap in
+      let upto = min makespan limit in
+      (* Bucket sampled completions by step within the recorded window
+         (completions past [limit] are dropped, like the stepper's). *)
+      let compl = Array.make (max upto 1) [] in
+      Array.iteri
+        (fun j c ->
+          if c <> Leapfrog.never && c < upto then compl.(c) <- j :: compl.(c))
+        comp;
+      let steps =
+        List.init upto (fun t ->
+            {
+              Exec_trace.t = t + 1;
+              assignment = Array.copy (Oblivious.step sched t);
+              completed = compl.(t);
+            })
+      in
+      ({ makespan; completed }, steps)
 
 (* Samples are collected into a preallocated buffer in trial order
    (slot k of the buffer is the k-th completed trial). *)
@@ -269,7 +361,7 @@ let estimate_makespan ?max_steps ?releases ~trials rng inst policy =
 exception Interrupted
 
 let estimate_makespan_seeded ?max_steps ?releases ?(stop = fun () -> false)
-    ?(on_trial = fun (_ : int) -> ()) ~trials ~seed inst policy =
+    ?(on_trial = fun (_ : int) -> ()) ?observer ~trials ~seed inst policy =
   if trials < 1 then invalid_arg "Engine.estimate_makespan_seeded: trials < 1";
   let max_steps =
     match max_steps with Some v -> v | None -> default_horizon inst
@@ -280,7 +372,21 @@ let estimate_makespan_seeded ?max_steps ?releases ?(stop = fun () -> false)
     if stop () then raise Interrupted;
     on_trial k;
     let rng = Suu_prob.Rng.create (trial_seed seed k) in
-    collect c (run_trial runner rng ~max_steps)
+    (match observer with
+    | Some o when Exec_trace.selects o k ->
+        let outcome, steps =
+          run_trial_observed runner rng ~max_steps ~limit:o.Exec_trace.limit
+        in
+        o.Exec_trace.emit
+          {
+            Exec_trace.index = k;
+            seed = trial_seed seed k;
+            makespan = outcome.makespan;
+            truncated = not outcome.completed;
+            steps;
+          };
+        collect c outcome
+    | _ -> collect c (run_trial runner rng ~max_steps))
   done;
   finish_estimate ~max_steps ~trials ~incomplete:c.truncated
     (collector_samples c)

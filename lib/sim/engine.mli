@@ -26,6 +26,15 @@ type outcome = {
   completed : bool;  (** [false] iff the [max_steps] cap was hit *)
 }
 
+val counters : Suu_obs.Counters.t
+(** Process-wide engine telemetry, bumped by every estimator (at trial
+    granularity, from any domain): [engine_trials_total],
+    [engine_steps_simulated_total] (naive-stepper steps),
+    [engine_leapfrog_trials_total] and
+    [engine_leapfrog_steps_skipped_total] (steps the geometric sampler
+    never had to simulate). The serving layer folds these into its
+    Prometheus exposition. *)
+
 val default_horizon : Suu_core.Instance.t -> int
 (** A safe step cap: generous multiple of [n / p_min · (1 + ln n)], the
     paper's crude TOPT upper bound (§3.2). Executions that exceed it are
@@ -87,6 +96,7 @@ val estimate_makespan_seeded :
   ?releases:int array ->
   ?stop:(unit -> bool) ->
   ?on_trial:(int -> unit) ->
+  ?observer:Suu_obs.Exec_trace.observer ->
   trials:int ->
   seed:int ->
   Suu_core.Instance.t ->
@@ -113,7 +123,21 @@ val estimate_makespan_seeded :
     [stop] poll sees the expired deadline) or to fail transiently (an
     exception, which propagates to the caller and exercises the retry
     policy). It cannot perturb the estimate itself: trial [k]'s RNG
-    stream is derived from [(seed, k)] after the hook returns. *)
+    stream is derived from [(seed, k)] after the hook returns.
+
+    [observer] (default: none) captures the step-by-step execution —
+    per-step machine→job assignments and completions — of the trials its
+    [sample_every] selects, emitting one {!Suu_obs.Exec_trace.trial} per
+    sampled trial, in trial order. Like [on_trial] it cannot perturb the
+    estimate: an observed trial consumes {e exactly} the RNG stream of
+    an unobserved one (for the naive stepper the draw loop is identical
+    and recording happens after each step; for the leapfrog path the
+    history is reconstructed after the fact from the completion arena
+    and the schedule, drawing nothing), so seeded estimates are
+    bit-identical with the observer on or off. For an oblivious policy
+    the recorded assignment at step [t] is the schedule column
+    [Oblivious.step sched t] verbatim — the {e decided} assignment,
+    completed jobs included — matching what {!trace} records. *)
 
 val estimate_makespan_parallel :
   ?max_steps:int ->

@@ -171,6 +171,9 @@ let sample_completion plan rng j ~elig =
    completed) with the same semantics as the naive stepper: completed
    iff every job's completion step lands before [max_steps]; the
    makespan is then the last completion step + 1. *)
+let reset_completions t = Array.fill t.comp 0 (Array.length t.comp) never
+let completions t = t.comp
+
 let run t rng ~max_steps =
   let plan = t.plan in
   let comp = t.comp in

@@ -34,3 +34,22 @@ val run : t -> Suu_prob.Rng.t -> max_steps:int -> int * bool
     (and makespan [max_steps]) iff some job's sampled completion lands at
     or beyond [max_steps] — the same truncation semantics as the naive
     stepper. *)
+
+val never : int
+(** The sentinel completion step ([max_int]) meaning "not sampled" or
+    "did not complete within the sampled window". *)
+
+val reset_completions : t -> unit
+(** Reset the per-trial completion arena to {!never}. Draws nothing, so
+    calling it before {!run} leaves the trial's RNG stream — and hence
+    every seeded estimate — bit-identical; it only makes {!completions}
+    trustworthy afterwards (by default the arena is {e not} cleared
+    between trials and may hold a previous trial's entries). *)
+
+val completions : t -> int array
+(** The per-trial completion arena: [completions t].(j) is the 0-based
+    step at which job [j] completed in the last {!run}, or {!never}.
+    After a truncated trial, entries of jobs sampled after the
+    truncation point are stale unless {!reset_completions} preceded the
+    run. The array is the live arena — read, don't mutate, and copy
+    before the next trial. *)

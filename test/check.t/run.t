@@ -13,7 +13,8 @@ visible property with zero failures.
   ok   leapfrog-vs-naive    10 cases
   ok   parallel-vs-seeded   10 cases
   ok   serialize-roundtrip  10 cases
-  check: 11 properties, 110 cases, 0 failures
+  ok   obs-mass-trace       10 cases
+  check: 12 properties, 120 cases, 0 failures
 
 Named selection runs only the requested properties, in the order given.
 

@@ -465,17 +465,29 @@ let test_metrics_latency_bounded () =
   | None -> Alcotest.fail "expected latency figures"
   | Some l ->
       Alcotest.(check int) "counts every ok" n l.Metrics.count;
-      Alcotest.(check int) "window stays bounded" 1024 l.Metrics.window;
       Alcotest.(check (float 1e-9)) "running mean over all samples"
         (float_of_int (n + 1) /. 2.)
         l.Metrics.mean_ms;
-      Alcotest.(check (float 1e-9)) "running min" 1. l.Metrics.min_ms;
-      Alcotest.(check (float 1e-9)) "running max" (float_of_int n)
+      Alcotest.(check (float 1e-9)) "exact min" 1. l.Metrics.min_ms;
+      Alcotest.(check (float 1e-9)) "exact max" (float_of_int n)
         l.Metrics.max_ms;
-      (* p95 is over the last 1024 samples: n-1023 .. n. *)
-      Alcotest.(check bool) "p95 within the recent window" true
-        (l.Metrics.p95_ms >= float_of_int (n - 1023)
-        && l.Metrics.p95_ms <= float_of_int n)
+      (* Quantiles come from the log-bucket histogram: within its
+         per-bucket relative error of the exact order statistic, ordered,
+         and clamped into the observed range. *)
+      let within name q v =
+        let exact = Float.of_int n *. q in
+        if Float.abs (v -. exact) > 0.16 *. exact then
+          Alcotest.failf "%s = %.1f, exact %.1f: outside bucket error" name v
+            exact
+      in
+      within "p50" 0.50 l.Metrics.p50_ms;
+      within "p95" 0.95 l.Metrics.p95_ms;
+      within "p99" 0.99 l.Metrics.p99_ms;
+      Alcotest.(check bool) "quantiles ordered and clamped" true
+        (l.Metrics.min_ms <= l.Metrics.p50_ms
+        && l.Metrics.p50_ms <= l.Metrics.p95_ms
+        && l.Metrics.p95_ms <= l.Metrics.p99_ms
+        && l.Metrics.p99_ms <= l.Metrics.max_ms)
 
 (* --- fault injection --- *)
 
