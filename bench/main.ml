@@ -23,6 +23,7 @@ let experiments =
     ("exp-l", Exp_l.run);
     ("exp-serve", Exp_serve.run);
     ("exp-fault", Exp_fault.run);
+    ("exp-shard", Exp_shard.run);
     ("perf", Perf.run);
     ("perf-gate", Perf.gate);
   ]

@@ -472,6 +472,169 @@ let serve_cmd =
           line; see the suu.service library documentation for the protocol)")
     term
 
+let coordinator_cmd =
+  let shards_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "shards" ] ~docv:"N" ~doc:"Worker shard processes to spawn.")
+  in
+  let replicas_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "replicas" ] ~docv:"R"
+          ~doc:"Consistent-hash ring virtual nodes per shard.")
+  in
+  let split_arg =
+    let doc =
+      "Split Monte-Carlo requests with at least this many trials into \
+       trial-range sub-jobs fanned out across shards (0 disables \
+       splitting; merged answers are bit-identical either way)."
+    in
+    Arg.(value & opt int 64 & info [ "split-threshold" ] ~docv:"T" ~doc)
+  in
+  let chunk_arg =
+    let doc = "Trials per sub-job (0 = about four chunks per shard)." in
+    Arg.(value & opt int 0 & info [ "chunk" ] ~docv:"K" ~doc)
+  in
+  let sub_inflight_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "sub-inflight" ] ~docv:"N"
+          ~doc:"Outstanding sub-jobs per shard.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Re-dispatches (to a surviving shard) per request or sub-job \
+             lost with its shard.")
+  in
+  let heartbeat_arg =
+    let doc = "Shard heartbeat period in milliseconds (0 disables)." in
+    Arg.(value & opt float 100. & info [ "heartbeat-ms" ] ~docv:"MS" ~doc)
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"W" ~doc:"Worker domains per shard.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"Q" ~doc:"Request queue capacity per shard.")
+  in
+  let cache_arg =
+    Arg.(
+      value & opt int 128
+      & info [ "cache" ] ~docv:"C"
+          ~doc:"Result cache capacity per shard (LRU entries).")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Default per-request deadline, enforced by the workers.")
+  in
+  let fault_arg =
+    let doc =
+      "Coordinator-side fault injection, e.g. 'seed=7,kill=0.05': each \
+       dispatch may SIGKILL its target shard first (deterministic in the \
+       seed, which defaults to \\$SUU_FAULT_SEED)."
+    in
+    Arg.(value & opt string "" & info [ "fault-spec" ] ~docv:"SPEC" ~doc)
+  in
+  let worker_fault_arg =
+    let doc = "Fault spec forwarded to every worker shard's --fault-spec." in
+    Arg.(
+      value & opt string "" & info [ "worker-fault-spec" ] ~docv:"SPEC" ~doc)
+  in
+  let quiet_arg =
+    Arg.(
+      value & flag
+      & info [ "q"; "quiet" ] ~doc:"Suppress the shutdown metrics dump.")
+  in
+  let run shards replicas split_threshold chunk sub_inflight retries
+      heartbeat_ms workers queue cache trials seed deadline fault_spec
+      worker_fault_spec quiet =
+    let module Coordinator = Suu_shard.Coordinator in
+    let module Fault = Suu_service.Fault in
+    let default_seed =
+      Option.bind (Sys.getenv_opt "SUU_FAULT_SEED") int_of_string_opt
+      |> Option.value ~default:1
+    in
+    let fault =
+      match Fault.of_string ~default_seed fault_spec with
+      | Ok f -> f
+      | Error msg ->
+          Printf.eprintf "suu coordinator: %s\n" msg;
+          exit 2
+    in
+    (match Fault.of_string ~default_seed worker_fault_spec with
+    | Ok _ -> ()
+    | Error msg ->
+        Printf.eprintf "suu coordinator: %s\n" msg;
+        exit 2);
+    let exe = Sys.executable_name in
+    let spawn i =
+      let argv =
+        [
+          [ exe; "serve"; "--quiet" ];
+          [ "--workers"; string_of_int (max 1 workers) ];
+          [ "--queue"; string_of_int (max 1 queue) ];
+          [ "--cache"; string_of_int (max 0 cache) ];
+          [ "--trials"; string_of_int trials ];
+          [ "--seed"; string_of_int seed ];
+          (match deadline with
+          | None -> []
+          | Some d -> [ "--deadline-ms"; string_of_float d ]);
+          (match worker_fault_spec with
+          | "" -> []
+          | spec -> [ "--fault-spec"; spec ]);
+        ]
+        |> List.concat |> Array.of_list
+      in
+      Suu_shard.Client.process ~id:i ~prog:exe ~argv
+    in
+    let config =
+      {
+        Coordinator.shards = max 1 shards;
+        replicas = max 1 replicas;
+        split_threshold = max 0 split_threshold;
+        chunk_trials = max 0 chunk;
+        sub_inflight = max 1 sub_inflight;
+        retries = max 0 retries;
+        retry_backoff_ms =
+          Coordinator.default_config.Coordinator.retry_backoff_ms;
+        heartbeat_ms = (if heartbeat_ms > 0. then Some heartbeat_ms else None);
+        default_trials = trials;
+        default_seed = seed;
+        fault;
+        tracer = Suu_obs.Trace.disabled;
+      }
+    in
+    install_serve_signals ();
+    let report = Coordinator.serve config ~spawn (signal_aware_stdio ()) in
+    if not quiet then prerr_string (Coordinator.report_to_string report)
+  in
+  let term =
+    Term.(
+      const run $ shards_arg $ replicas_arg $ split_arg $ chunk_arg
+      $ sub_inflight_arg $ retries_arg $ heartbeat_arg $ workers_arg
+      $ queue_arg $ cache_arg $ trials_arg $ seed_arg $ deadline_arg
+      $ fault_arg $ worker_fault_arg $ quiet_arg)
+  in
+  Cmd.v
+    (Cmd.info "coordinator"
+       ~doc:
+         "Serve scheduling requests by sharding them across worker \
+          processes: whole requests route by consistent hashing on the \
+          result-cache key, large Monte-Carlo requests split into \
+          trial-range sub-jobs merged bit-identically, and worker loss is \
+          retried on surviving shards")
+    term
+
 let trace_cmd =
   let module ET = Suu_obs.Exec_trace in
   let file_arg =
@@ -732,6 +895,7 @@ let () =
             decompose_cmd;
             plan_cmd;
             serve_cmd;
+            coordinator_cmd;
             trace_cmd;
             check_cmd;
           ]))

@@ -629,6 +629,54 @@ let obs_mass_trace =
           | () -> Pass
           | exception Failure msg -> Fail msg)
 
+(* --- 13. trial-range splitting (the sharding coordinator's merge) -- *)
+
+let split_merge =
+  Property.make ~name:"split-merge"
+    ~sizes:{ Gen.default with min_prob = 0.05 }
+    ~doc:
+      "a seeded estimate split into trial ranges and merged \
+       (estimate_makespan_range + merge_ranges — the sharding \
+       coordinator's fan-out) is bit-identical to the unsplit run: \
+       samples, incomplete count, mean and ci95 all match for adaptive \
+       and oblivious policies alike, at any split point" (fun case ->
+      let inst = Case.instance case in
+      let rng = Case.aux_rng case in
+      let policy =
+        if case.Case.aux_seed mod 2 = 0 then Suu_i.policy inst
+        else Policy.of_oblivious "suu-i-obl" (Suu_i_obl.schedule inst)
+      in
+      let seed = Rng.int rng 1_000_000 in
+      let trials = 32 in
+      let k = 1 + Rng.int rng (trials - 1) in
+      let full = Engine.estimate_makespan_seeded ~trials ~seed inst policy in
+      let max_steps = Engine.default_horizon inst in
+      let lo_part = Engine.estimate_makespan_range ~seed ~lo:0 ~hi:k inst policy in
+      let hi_part =
+        Engine.estimate_makespan_range ~seed ~lo:k ~hi:trials inst policy
+      in
+      let merged = Engine.merge_ranges ~max_steps [ lo_part; hi_part ] in
+      let bits e = Array.map Int64.bits_of_float e.Engine.samples in
+      if bits merged <> bits full then
+        failf "merged samples differ from the unsplit run (split at %d)" k
+      else if merged.Engine.incomplete <> full.Engine.incomplete then
+        Fail "merged incomplete count differs from the unsplit run"
+      else if merged.Engine.trials <> full.Engine.trials then
+        Fail "merged trial count differs from the unsplit run"
+      else if
+        not
+          (Int64.equal
+             (Int64.bits_of_float merged.Engine.stats.Suu_prob.Stats.mean)
+             (Int64.bits_of_float full.Engine.stats.Suu_prob.Stats.mean))
+      then Fail "merged mean is not bit-identical to the unsplit run"
+      else if
+        not
+          (Int64.equal
+             (Int64.bits_of_float merged.Engine.stats.Suu_prob.Stats.ci95)
+             (Int64.bits_of_float full.Engine.stats.Suu_prob.Stats.ci95))
+      then Fail "merged ci95 is not bit-identical to the unsplit run"
+      else Pass)
+
 (* --- hidden: the deliberately broken demo property ----------------- *)
 
 let demo_broken =
@@ -654,6 +702,7 @@ let all =
     parallel_vs_seeded;
     serialize_roundtrip;
     obs_mass_trace;
+    split_merge;
     demo_broken;
   ]
 

@@ -36,3 +36,15 @@ let find t name =
   let cell = List.assoc_opt name t.cells in
   Mutex.unlock t.reg;
   Option.map Atomic.get cell
+
+(* Multi-process aggregation: sum snapshots by name. Each input list is
+   already sorted ([snapshot] sorts), but sortedness is not assumed. *)
+let merge_snapshots snaps =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (List.iter (fun (name, v) ->
+         let prev = Option.value ~default:0 (Hashtbl.find_opt tbl name) in
+         Hashtbl.replace tbl name (prev + v)))
+    snaps;
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -32,3 +32,8 @@ val snapshot : t -> (string * int) list
 
 val find : t -> string -> int option
 (** Value of a named counter, if registered. *)
+
+val merge_snapshots : (string * int) list list -> (string * int) list
+(** Sum any number of {!snapshot}s by counter name (a name absent from a
+    snapshot contributes 0), sorted by name — how a sharding coordinator
+    folds per-worker-process engine counters into one exposition. *)

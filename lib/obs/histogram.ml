@@ -110,3 +110,59 @@ let merge_into src ~into =
   into.sum <- into.sum +. src.sum;
   if src.min_v < into.min_v then into.min_v <- src.min_v;
   if src.max_v > into.max_v then into.max_v <- src.max_v
+
+let merge = function
+  | [] -> invalid_arg "Histogram.merge: no histograms"
+  | h :: rest ->
+      let acc =
+        create ~lo:h.lo ~growth:h.growth ~buckets:(Array.length h.counts) ()
+      in
+      merge_into h ~into:acc;
+      List.iter (fun src -> merge_into src ~into:acc) rest;
+      acc
+
+(* --- wire form --- *)
+
+type snapshot = {
+  layout_lo : float;
+  layout_growth : float;
+  layout_buckets : int;
+  occupied : (int * int) list;
+  total_sum : float;
+  observed_min : float;
+  observed_max : float;
+}
+
+let export h =
+  let occupied = ref [] in
+  for k = Array.length h.counts - 1 downto 0 do
+    if h.counts.(k) > 0 then occupied := (k, h.counts.(k)) :: !occupied
+  done;
+  {
+    layout_lo = h.lo;
+    layout_growth = h.growth;
+    layout_buckets = Array.length h.counts;
+    occupied = !occupied;
+    total_sum = h.sum;
+    observed_min = h.min_v;
+    observed_max = h.max_v;
+  }
+
+let import s =
+  let h =
+    create ~lo:s.layout_lo ~growth:s.layout_growth ~buckets:s.layout_buckets ()
+  in
+  List.iter
+    (fun (k, c) ->
+      if k < 0 || k >= s.layout_buckets then
+        invalid_arg "Histogram.import: bucket index out of range";
+      if c < 0 then invalid_arg "Histogram.import: negative bucket count";
+      h.counts.(k) <- h.counts.(k) + c;
+      h.count <- h.count + c)
+    s.occupied;
+  h.sum <- s.total_sum;
+  if h.count > 0 then begin
+    h.min_v <- s.observed_min;
+    h.max_v <- s.observed_max
+  end;
+  h

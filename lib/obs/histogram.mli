@@ -64,3 +64,34 @@ val copy : t -> t
 val merge_into : t -> into:t -> unit
 (** Add every bucket of the first histogram into [into].
     @raise Invalid_argument if the layouts differ. *)
+
+val merge : t list -> t
+(** A fresh histogram holding the union of the given histograms'
+    samples: bucket counts, [count] and [sum] add; [min]/[max] combine.
+    The inputs are not modified.
+    @raise Invalid_argument on the empty list or mismatched layouts. *)
+
+(** A serialisable image of a histogram, for crossing a process
+    boundary (the sharding coordinator pulls one per worker and merges
+    them): the layout parameters plus the occupied buckets as
+    [(bucket index, count)] pairs in increasing index order. [count] is
+    recoverable as the sum of the bucket counts; [sum]/[min]/[max] ride
+    along explicitly. *)
+type snapshot = {
+  layout_lo : float;
+  layout_growth : float;
+  layout_buckets : int;
+  occupied : (int * int) list;
+  total_sum : float;
+  observed_min : float;
+  observed_max : float;
+}
+
+val export : t -> snapshot
+
+val import : snapshot -> t
+(** Rebuild a histogram from a snapshot; [export] then [import] is
+    content-identical (up to float formatting applied by any codec in
+    between).
+    @raise Invalid_argument on malformed layouts, out-of-range bucket
+    indices or negative counts. *)

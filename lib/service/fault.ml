@@ -1,4 +1,4 @@
-type site = Crash | Transient | Stall | Slow | Truncate | Queue_delay
+type site = Crash | Transient | Stall | Slow | Truncate | Queue_delay | Kill
 
 type spec = {
   seed : int;
@@ -11,6 +11,7 @@ type spec = {
   truncate : float;
   queue_delay : float;
   queue_ms : float;
+  kill : float;
 }
 
 let none =
@@ -25,11 +26,12 @@ let none =
     truncate = 0.;
     queue_delay = 0.;
     queue_ms = 2.;
+    kill = 0.;
   }
 
 let is_none s =
   s.crash = 0. && s.transient = 0. && s.stall = 0. && s.slow = 0.
-  && s.truncate = 0. && s.queue_delay = 0.
+  && s.truncate = 0. && s.queue_delay = 0. && s.kill = 0.
 
 exception Injected_crash
 exception Transient_failure of string
@@ -61,6 +63,7 @@ let site_salt = function
   | Slow -> 0x4
   | Truncate -> 0x5
   | Queue_delay -> 0x6
+  | Kill -> 0x8
 
 (* Uniform in [0,1): top 53 bits of a double avalanche over
    (seed, site, key). *)
@@ -80,6 +83,7 @@ let rate spec = function
   | Slow -> spec.slow
   | Truncate -> spec.truncate
   | Queue_delay -> spec.queue_delay
+  | Kill -> spec.kill
 
 let fires spec site ~key =
   let r = rate spec site in
@@ -138,6 +142,7 @@ let of_string ?(default_seed = 1) text =
                   (prob ())
             | "queue_ms" ->
                 Result.map (fun queue_ms -> { s with queue_ms }) (dur ())
+            | "kill" -> Result.map (fun kill -> { s with kill }) (prob ())
             | _ -> Error (Printf.sprintf "fault-spec: unknown key %S" k)))
   in
   let fields =
@@ -167,4 +172,5 @@ let to_string s =
   rate "truncate" s.truncate;
   rate "queue_delay" s.queue_delay;
   if s.queue_delay > 0. then dur "queue_ms" s.queue_ms;
+  rate "kill" s.kill;
   Buffer.contents b

@@ -35,8 +35,13 @@
       input line (a torn read), which must surface as a structured
       parse error. Keyed by line number.
     - [Queue_delay]: a consumer sleeps [queue_ms] before popping (a
-      slow worker), widening race windows. Keyed by a pop counter. *)
-type site = Crash | Transient | Stall | Slow | Truncate | Queue_delay
+      slow worker), widening race windows. Keyed by a pop counter.
+    - [Kill]: whole-process loss. The in-process service never fires
+      this site itself; the sharding coordinator draws on it per
+      dispatched job and SIGKILLs (or abruptly disconnects) the target
+      worker process when it fires, exercising shard death, sub-job
+      re-dispatch and degraded service. Keyed by a dispatch counter. *)
+type site = Crash | Transient | Stall | Slow | Truncate | Queue_delay | Kill
 
 type spec = {
   seed : int;
@@ -49,6 +54,7 @@ type spec = {
   truncate : float;  (** per-line probability of a truncated line *)
   queue_delay : float;  (** per-pop probability of a slow consumer *)
   queue_ms : float;  (** slow-consumer delay *)
+  kill : float;  (** per-dispatch probability of killing a worker process *)
 }
 
 val none : spec

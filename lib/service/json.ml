@@ -221,6 +221,12 @@ let of_string s =
           let rec members () =
             skip_ws ();
             let name = parse_string () in
+            (* Accepting duplicates would make the object's meaning
+               depend on which occurrence a reader picks — two parsers
+               (or two processes routing on a cache key) could disagree
+               about the same line. Reject outright. *)
+            if List.mem_assoc name !fields then
+              fail (Printf.sprintf "duplicate key %S" name);
             skip_ws ();
             expect ':';
             let v = parse_value () in

@@ -25,12 +25,16 @@ val to_string : t -> string
 
 val of_string : string -> (t, string) result
 (** Parse one JSON value (surrounding whitespace allowed; trailing
-    garbage is an error). [Error msg] pinpoints the byte offset. *)
+    garbage is an error). Objects with duplicate keys are rejected — a
+    line whose meaning depends on which occurrence a reader picks could
+    make two processes (say, a routing coordinator and the worker it
+    forwards to) disagree about the same request. [Error msg] pinpoints
+    the byte offset. *)
 
 (** {1 Accessors} — shallow, total; [None] on shape mismatch. *)
 
 val member : string -> t -> t option
-(** Field of an [Obj] (first occurrence). *)
+(** Field of an [Obj]. *)
 
 val to_str : t -> string option
 val to_num : t -> float option

@@ -9,17 +9,25 @@ let algo_name = function
   | `Oblivious -> "oblivious"
 
 type op =
-  | Solve of { algo : algo; trials : int; seed : int; instance : Instance.t }
+  | Solve of {
+      algo : algo;
+      trials : int;
+      seed : int;
+      range : (int * int) option;
+      instance : Instance.t;
+    }
   | Estimate of {
       plan : Suu_core.Oblivious.t;
       plan_digest : string;
       trials : int;
       seed : int;
+      range : (int * int) option;
       instance : Instance.t;
     }
   | Info of Instance.t
   | Exact of Instance.t
-  | Stats of { format : [ `Json | `Prom ] }
+  | Ping
+  | Stats of { format : [ `Json | `Prom | `Raw ] }
 
 type t = { id : string option; deadline_ms : float option; op : op }
 
@@ -28,6 +36,7 @@ let op_kind = function
   | Estimate _ -> "estimate"
   | Info _ -> "info"
   | Exact _ -> "exact"
+  | Ping -> "ping"
   | Stats _ -> "stats"
 
 (* --- decoding --- *)
@@ -62,6 +71,22 @@ let trials_field json ~default =
   if trials < 1 then fail "trials: must be >= 1";
   trials
 
+(* ["range":[lo,hi]] marks a trial-range sub-job: run only the trials
+   [lo <= k < hi] of the seeded estimate. The coordinator splits a large
+   request into these; contiguous ranges merge back bit-identically
+   ({!Suu_sim.Engine.merge_ranges}). *)
+let range_field json ~trials =
+  match Json.member "range" json with
+  | None -> None
+  | Some (Json.List [ lo; hi ]) -> (
+      match (Json.to_int lo, Json.to_int hi) with
+      | Some lo, Some hi ->
+          if lo < 0 || hi <= lo || hi > trials then
+            fail "range: need 0 <= lo < hi <= trials"
+          else Some (lo, hi)
+      | _ -> fail "range: expected [lo,hi] integers")
+  | Some _ -> fail "range: expected [lo,hi] integers"
+
 let of_line ~default_trials ~default_seed line =
   match Json.of_string line with
   | Error msg -> Error ("parse: " ^ msg, None)
@@ -86,11 +111,13 @@ let of_line ~default_trials ~default_seed line =
                     fail "algo: unknown algorithm %S" other
                 | Some _ -> fail "algo: expected a string"
               in
+              let trials = trials_field json ~default:default_trials in
               Solve
                 {
                   algo;
-                  trials = trials_field json ~default:default_trials;
+                  trials;
                   seed = int_field json "seed" ~default:default_seed;
+                  range = range_field json ~trials;
                   instance = instance_field json;
                 }
           | "estimate" ->
@@ -108,21 +135,25 @@ let of_line ~default_trials ~default_seed line =
               if plan.Suu_core.Oblivious.m <> Instance.m instance then
                 fail "plan: %d machines but instance has %d"
                   plan.Suu_core.Oblivious.m (Instance.m instance);
+              let trials = trials_field json ~default:default_trials in
               Estimate
                 {
                   plan;
                   plan_digest = Digest.to_hex (Digest.string plan_text);
-                  trials = trials_field json ~default:default_trials;
+                  trials;
                   seed = int_field json "seed" ~default:default_seed;
+                  range = range_field json ~trials;
                   instance;
                 }
           | "info" -> Info (instance_field json)
           | "exact" -> Exact (instance_field json)
+          | "ping" -> Ping
           | "stats" ->
               let format =
                 match Json.member "format" json with
                 | None | Some (Json.Str "json") -> `Json
                 | Some (Json.Str "prom") -> `Prom
+                | Some (Json.Str "raw") -> `Raw
                 | Some (Json.Str other) -> fail "format: unknown format %S" other
                 | Some _ -> fail "format: expected a string"
               in
@@ -155,20 +186,63 @@ let canonical_algo = function
   | `Auto -> `Adaptive
   | (`Adaptive | `Oblivious) as a -> a
 
+let range_suffix = function
+  | None -> ""
+  | Some (lo, hi) -> Printf.sprintf ":r%d-%d" lo hi
+
 let cache_key req =
   match req.op with
-  | Solve { algo; trials; seed; instance } ->
+  | Solve { algo; trials; seed; range; instance } ->
       (* Key on the algorithm actually executed, so "auto" and "adaptive"
-         requests share one cache entry. *)
+         requests share one cache entry. A ranged sub-job keys on its
+         range too: a partial answer must never alias the full one. *)
       Some
-        (Printf.sprintf "solve:%s:%s:%d:%d" (Io.digest instance)
-           (algo_name (canonical_algo algo)) trials seed)
-  | Estimate { plan_digest; trials; seed; instance; _ } ->
+        (Printf.sprintf "solve:%s:%s:%d:%d%s" (Io.digest instance)
+           (algo_name (canonical_algo algo)) trials seed (range_suffix range))
+  | Estimate { plan_digest; trials; seed; range; instance; _ } ->
       Some
-        (Printf.sprintf "estimate:%s:%s:%d:%d" (Io.digest instance)
-           plan_digest trials seed)
+        (Printf.sprintf "estimate:%s:%s:%d:%d%s" (Io.digest instance)
+           plan_digest trials seed (range_suffix range))
   | Exact instance -> Some (Printf.sprintf "exact:%s" (Io.digest instance))
-  | Info _ | Stats _ -> None
+  | Info _ | Ping | Stats _ -> None
+
+(* --- re-encoding (coordinator sub-jobs) --- *)
+
+let sub_line req ~lo ~hi =
+  let envelope fields =
+    let base =
+      match req.id with None -> [] | Some id -> [ ("id", Json.Str id) ]
+    in
+    let deadline =
+      match req.deadline_ms with
+      | None -> []
+      | Some d -> [ ("deadline_ms", Json.Num d) ]
+    in
+    Json.to_string (Json.Obj (base @ fields @ deadline))
+  in
+  match req.op with
+  | Solve { algo; trials; seed; instance; _ } ->
+      envelope
+        [
+          ("op", Json.Str "solve");
+          ("algo", Json.Str (algo_name algo));
+          ("trials", Json.int trials);
+          ("seed", Json.int seed);
+          ("range", Json.List [ Json.int lo; Json.int hi ]);
+          ("instance", Json.Str (Io.to_string instance));
+        ]
+  | Estimate { plan; trials; seed; instance; _ } ->
+      envelope
+        [
+          ("op", Json.Str "estimate");
+          ("plan", Json.Str (Io.schedule_to_string plan));
+          ("trials", Json.int trials);
+          ("seed", Json.int seed);
+          ("range", Json.List [ Json.int lo; Json.int hi ]);
+          ("instance", Json.Str (Io.to_string instance));
+        ]
+  | Info _ | Exact _ | Ping | Stats _ ->
+      invalid_arg "Request.sub_line: not a Monte-Carlo op"
 
 (* --- responses --- *)
 

@@ -11,12 +11,20 @@
     fields:
     {v
     {"op":"solve","instance":S,"algo":"auto|adaptive|oblivious",
-     "trials":K,"seed":N,...}
-    {"op":"estimate","instance":S,"plan":P,"trials":K,"seed":N,...}
+     "trials":K,"seed":N,"range":[lo,hi],...}
+    {"op":"estimate","instance":S,"plan":P,"trials":K,"seed":N,
+     "range":[lo,hi],...}
     {"op":"info","instance":S}
     {"op":"exact","instance":S}
-    {"op":"stats","format":"json|prom"}
+    {"op":"ping"}
+    {"op":"stats","format":"json|prom|raw"}
     v}
+    ["range"] (optional, Monte-Carlo ops only) marks a {e trial-range
+    sub-job}: run only trials [lo <= k < hi] of the seeded estimate and
+    answer a partial result carrying the raw samples — the unit of work
+    the sharding coordinator fans out and merges bit-identically
+    ({!Suu_sim.Engine.merge_ranges}).
+
     Responses carry ["id"], ["status"] (["ok"|"error"|"timeout"]) and
     status-specific fields. *)
 
@@ -34,6 +42,7 @@ type op =
       algo : algo;
       trials : int;
       seed : int;
+      range : (int * int) option;  (** trial-range sub-job, if any *)
       instance : Suu_core.Instance.t;
     }
       (** Build a schedule ({!Suu_algo.Solver}) and estimate its expected
@@ -43,24 +52,35 @@ type op =
       plan_digest : string;  (** content digest of the plan text *)
       trials : int;
       seed : int;
+      range : (int * int) option;  (** trial-range sub-job, if any *)
       instance : Suu_core.Instance.t;
     }  (** Estimate the expected makespan of a client-supplied plan. *)
   | Info of Suu_core.Instance.t
       (** Classification, DAG statistics and (LP-free) lower bounds. *)
   | Exact of Suu_core.Instance.t
       (** Optimal expected makespan by Malewicz's DP (small instances). *)
-  | Stats of { format : [ `Json | `Prom ] }
+  | Ping
+      (** Liveness probe: answers [{"status":"ok","pong":true}]
+          immediately (through the ordinary queue, so a pong also vouches
+          for the worker pool). The coordinator heartbeats shards with
+          these. *)
+  | Stats of { format : [ `Json | `Prom | `Raw ] }
       (** Service metrics snapshot. [`Json] (the default) answers with
           structured fields; [`Prom] answers with the whole
           Prometheus-style text exposition carried as an escaped string
           in a ["prom"] field (the wire stays one JSON line per
-          response). *)
+          response); [`Raw] answers with the [`Json] fields {e plus} the
+          mergeable raw material — the latency histogram snapshot
+          (["latency_hist"]) and the engine counters (["engine"]) — which
+          is what the coordinator pulls from each shard to build one
+          merged exposition. *)
 
 type t = { id : string option; deadline_ms : float option; op : op }
 
 val op_kind : op -> string
 (** The wire name of the operation (["solve"], ["estimate"], ["info"],
-    ["exact"], ["stats"]) — for span attributes and log lines. *)
+    ["exact"], ["ping"], ["stats"]) — for span attributes and log
+    lines. *)
 
 val of_line :
   default_trials:int ->
@@ -70,15 +90,29 @@ val of_line :
 (** Decode one request line. [Error (message, id)] carries the request id
     when the envelope was intact enough to recover it, so the error
     response can still be correlated. Missing ["trials"]/["seed"] take
-    the supplied defaults. *)
+    the supplied defaults; a ["range"] must satisfy
+    [0 <= lo < hi <= trials]. Lines with duplicate JSON keys are
+    rejected at the parser ({!Json.of_string}). *)
 
 val cache_key : t -> string option
 (** Result-cache key: a content digest of the request's semantics —
-    [(instance digest, op, algorithm, trials, seed)] — for [solve],
-    [estimate] and [exact]; [None] for the uncacheable ops ([info] is
-    cheap, [stats] is time-varying). Requests with equal keys are
-    guaranteed identical answers by the per-trial seeding discipline
+    [(instance digest, op, algorithm, trials, seed)] plus the trial
+    range when one is present (a partial answer must never alias the
+    full one) — for [solve], [estimate] and [exact]; [None] for the
+    uncacheable ops ([info] is cheap, [ping] and [stats] are
+    time-varying). Requests with equal keys are guaranteed identical
+    answers by the per-trial seeding discipline
     ({!Suu_sim.Engine.estimate_makespan_seeded}). *)
+
+val sub_line : t -> lo:int -> hi:int -> string
+(** Re-encode a Monte-Carlo request as the sub-job request line for
+    trials [lo <= k < hi]: same id, deadline, algorithm, trials and
+    seed, with ["range":[lo,hi]] and the instance (and plan) serialised
+    canonically via {!Suu_harness.Io} — those round-trip losslessly, so
+    the sub-job computes over bit-identical probabilities. All sub-jobs
+    of one request re-encode the plan identically, so their worker-side
+    cache keys agree with each other no matter which shard runs them.
+    @raise Invalid_argument on non-Monte-Carlo ops. *)
 
 (** {1 Response encoding} *)
 
@@ -91,8 +125,9 @@ val error : id:string option -> ?reason:string -> string -> string
     ["worker_crash"] (the worker died mid-request), ["transient"] (a
     retryable failure outlived its retry budget), ["queue_full"] (load
     shed at admission) and ["unavailable"] (drained at shutdown after
-    the worker pool's restart budget was exhausted); plain request
-    errors carry no reason. *)
+    the worker pool's restart budget was exhausted); the coordinator
+    adds ["shard_lost"] (a sub-job's retry budget died with its
+    shards); plain request errors carry no reason. *)
 
 val timeout : id:string option -> deadline_ms:float -> string
 (** [{"id":…,"status":"timeout","error":"deadline exceeded",

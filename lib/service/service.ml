@@ -245,27 +245,51 @@ let now_ms = Clock.now_ms
    RNG derivation makes the answer — summary and sample order alike — a
    pure function of the request, so changing [domains] never changes a
    cached or recomputed response. *)
-let estimate_fields ~domains ~policy ~trials ~seed ~stop ~on_trial instance =
-  let e =
-    if domains <= 1 then
-      Engine.estimate_makespan_seeded ~stop ~on_trial ~trials ~seed instance
-        policy
-    else
-      Engine.estimate_makespan_parallel ~domains ~stop ~on_trial ~trials ~seed
-        instance policy
-  in
-  let p95 =
-    if Array.length e.Engine.samples = 0 then 0.
-    else Stats.quantile e.Engine.samples 0.95
-  in
-  [
-    ("algo", Json.Str policy.Policy.name);
-    ("trials", Json.int e.Engine.trials);
-    ("mean", Json.Num e.Engine.stats.Stats.mean);
-    ("ci95", Json.Num e.Engine.stats.Stats.ci95);
-    ("p95", Json.Num p95);
-    ("incomplete", Json.int e.Engine.incomplete);
-  ]
+let estimate_fields ~domains ~policy ~trials ~seed ~range ~stop ~on_trial
+    instance =
+  match range with
+  | Some (lo, hi) ->
+      (* A trial-range sub-job answers raw material, not a summary: the
+         coordinator concatenates the per-range samples (integral
+         floats, so they cross the JSON wire bit-exactly) and recomputes
+         the summary over the merged vector — identical to a
+         single-process run of the full request. *)
+      let e =
+        Engine.estimate_makespan_range ~stop ~on_trial ~seed ~lo ~hi instance
+          policy
+      in
+      [
+        ("algo", Json.Str policy.Policy.name);
+        ("partial", Json.Bool true);
+        ("lo", Json.int lo);
+        ("hi", Json.int hi);
+        ("incomplete", Json.int e.Engine.incomplete);
+        ( "samples",
+          Json.List
+            (Array.to_list (Array.map (fun s -> Json.Num s) e.Engine.samples))
+        );
+      ]
+  | None ->
+      let e =
+        if domains <= 1 then
+          Engine.estimate_makespan_seeded ~stop ~on_trial ~trials ~seed instance
+            policy
+        else
+          Engine.estimate_makespan_parallel ~domains ~stop ~on_trial ~trials
+            ~seed instance policy
+      in
+      let p95 =
+        if Array.length e.Engine.samples = 0 then 0.
+        else Stats.quantile e.Engine.samples 0.95
+      in
+      [
+        ("algo", Json.Str policy.Policy.name);
+        ("trials", Json.int e.Engine.trials);
+        ("mean", Json.Num e.Engine.stats.Stats.mean);
+        ("ci95", Json.Num e.Engine.stats.Stats.ci95);
+        ("p95", Json.Num p95);
+        ("incomplete", Json.int e.Engine.incomplete);
+      ]
 
 let info_fields instance =
   let dag = Instance.dag instance in
@@ -291,7 +315,7 @@ let info_fields instance =
 
 let execute op ~domains ~stop ~on_trial =
   match op with
-  | Request.Solve { algo; trials; seed; instance } ->
+  | Request.Solve { algo; trials; seed; range; instance } ->
       (* [auto] is the practical default (the adaptive greedy policy);
          the paper's guaranteed oblivious column is an explicit opt-in.
          [canonical_algo] is also what the cache key is built from, so a
@@ -301,11 +325,13 @@ let execute op ~domains ~stop ~on_trial =
         try Suu_algo.Solver.solve ~kind instance
         with Suu_algo.Solver.Unsupported msg -> failed "unsupported: %s" msg
       in
-      estimate_fields ~domains ~policy ~trials ~seed ~stop ~on_trial instance
-  | Request.Estimate { plan; trials; seed; instance; _ } ->
+      estimate_fields ~domains ~policy ~trials ~seed ~range ~stop ~on_trial
+        instance
+  | Request.Estimate { plan; trials; seed; range; instance; _ } ->
       estimate_fields ~domains
         ~policy:(Policy.of_oblivious "plan" plan)
-        ~trials ~seed ~stop ~on_trial instance
+        ~trials ~seed ~range ~stop ~on_trial instance
+  | Request.Ping -> [ ("pong", Json.Bool true) ]
   | Request.Info instance -> info_fields instance
   | Request.Exact instance -> (
       match Suu_algo.Malewicz.optimal instance with
@@ -372,15 +398,47 @@ let stats_fields r =
               ] );
         ]
 
+(* Wire form of a histogram snapshot, for the coordinator's cross-shard
+   merge: layout parameters plus the occupied buckets as [k, count]
+   pairs. Bucket counts are exact; [sum]/[min]/[max] round-trip through
+   the float codec (12 significant digits — telemetry precision). *)
+let hist_json h =
+  let s = Suu_obs.Histogram.export h in
+  Json.Obj
+    [
+      ("lo", Json.Num s.Suu_obs.Histogram.layout_lo);
+      ("growth", Json.Num s.Suu_obs.Histogram.layout_growth);
+      ("buckets", Json.int s.Suu_obs.Histogram.layout_buckets);
+      ( "counts",
+        Json.List
+          (List.map
+             (fun (k, c) -> Json.List [ Json.int k; Json.int c ])
+             s.Suu_obs.Histogram.occupied) );
+      ("sum", Json.Num s.Suu_obs.Histogram.total_sum);
+      ("min", Json.Num s.Suu_obs.Histogram.observed_min);
+      ("max", Json.Num s.Suu_obs.Histogram.observed_max);
+    ]
+
+let engine_counters_json () =
+  Json.Obj
+    (List.map
+       (fun (name, v) -> (name, Json.int v))
+       (Suu_obs.Counters.snapshot Engine.counters))
+
 (* Degraded admission runs Monte-Carlo ops at a reduced trial count. The
    op is rewritten *before* the cache key is computed, so a degraded
    result is cached under the trial count actually executed and can
    never alias a full-fidelity entry. *)
 let degrade_op cfg op =
+  (* Ranged sub-jobs are never degraded: changing [trials] would move
+     the range's meaning and break the coordinator's bit-exact merge.
+     Overload control belongs to the coordinator for those. *)
   match op with
-  | Request.Solve r when r.trials > cfg.degrade_trials ->
+  | Request.Solve ({ range = None; _ } as r) when r.trials > cfg.degrade_trials
+    ->
       Request.Solve { r with trials = cfg.degrade_trials }
-  | Request.Estimate r when r.trials > cfg.degrade_trials ->
+  | Request.Estimate ({ range = None; _ } as r)
+    when r.trials > cfg.degrade_trials ->
       Request.Estimate { r with trials = cfg.degrade_trials }
   | op -> op
 
@@ -441,7 +499,23 @@ let handle_job cfg ~metrics ~cache ~queue ~em job =
                 [
                   ("format", Json.Str "prom");
                   ("prom", Json.Str (report_to_prom ~workers:cfg.workers r));
-                ])
+                ]
+          | `Raw ->
+              (* The mergeable form: structured counters plus the raw
+                 latency histogram and engine counters, which is what
+                 the coordinator pulls from each shard. *)
+              let hist =
+                match r.metrics.Metrics.latency_hist with
+                | None -> []
+                | Some h -> [ ("latency_hist", hist_json h) ]
+              in
+              Request.ok ~id
+                (stats_fields r
+                @ hist
+                @ [
+                    ("workers", Json.int cfg.workers);
+                    ("engine", engine_counters_json ());
+                  ]))
   | _ ->
       if expired () then finish_timeout ()
       else begin
@@ -627,7 +701,9 @@ let serve cfg (module T0 : TRANSPORT) =
            | Ok req ->
                let degraded =
                  match (cfg.degrade_watermark, req.Request.op) with
-                 | Some w, (Request.Solve _ | Request.Estimate _) ->
+                 | ( Some w,
+                     ( Request.Solve { range = None; _ }
+                     | Request.Estimate { range = None; _ } ) ) ->
                      Work_queue.length queue >= w
                  | _ -> false
                in

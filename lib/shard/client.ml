@@ -1,0 +1,227 @@
+module Service = Suu_service.Service
+
+(* A peer is the raw line pipe to one worker: the client layer above it
+   only ever needs these five operations, so subprocess workers and
+   in-process workers (a Service.serve in a domain, for tests and
+   benchmarks) are interchangeable. *)
+type peer = {
+  send_line : string -> unit;
+  recv_line : unit -> string option;
+  kill_peer : unit -> unit;  (* abrupt loss: SIGKILL / drop the queues *)
+  close_input : unit -> unit;  (* graceful EOF: worker drains and exits *)
+  reap : unit -> unit;  (* after the reader saw EOF: waitpid / join *)
+}
+
+type t = {
+  id : int;
+  peer : peer;
+  wlock : Mutex.t;
+      (* serialises submit's push-callback + write pair, so the
+         callback FIFO order always matches the line order on the
+         pipe — the worker answers in request order, so FIFO popping
+         pairs every response with its request *)
+  qlock : Mutex.t;  (* guards pending / alive / inflight; never held
+                       across a blocking pipe operation *)
+  pending : (string option -> unit) Queue.t;
+  mutable alive : bool;
+  mutable inflight : int;
+  mutable reader : unit Domain.t option;
+}
+
+let id t = t.id
+
+let alive t =
+  Mutex.lock t.qlock;
+  let a = t.alive in
+  Mutex.unlock t.qlock;
+  a
+
+let inflight t =
+  Mutex.lock t.qlock;
+  let n = t.inflight in
+  Mutex.unlock t.qlock;
+  n
+
+(* The reader: pops the oldest callback for each response line; on EOF
+   (worker exit, kill, or torn pipe) marks the client dead and drains
+   every outstanding callback with [None] exactly once. *)
+let reader_loop t =
+  let rec loop () =
+    match (try t.peer.recv_line () with _ -> None) with
+    | Some line ->
+        Mutex.lock t.qlock;
+        let cb =
+          if Queue.is_empty t.pending then None
+          else begin
+            t.inflight <- t.inflight - 1;
+            Some (Queue.pop t.pending)
+          end
+        in
+        Mutex.unlock t.qlock;
+        (match cb with Some f -> f (Some line) | None -> ());
+        loop ()
+    | None ->
+        Mutex.lock t.qlock;
+        t.alive <- false;
+        let orphans = Queue.fold (fun acc f -> f :: acc) [] t.pending in
+        Queue.clear t.pending;
+        t.inflight <- 0;
+        Mutex.unlock t.qlock;
+        List.iter (fun f -> f None) (List.rev orphans)
+  in
+  loop ()
+
+let make ~id peer =
+  let t =
+    {
+      id;
+      peer;
+      wlock = Mutex.create ();
+      qlock = Mutex.create ();
+      pending = Queue.create ();
+      alive = true;
+      inflight = 0;
+      reader = None;
+    }
+  in
+  t.reader <- Some (Domain.spawn (fun () -> reader_loop t));
+  t
+
+let submit t line cb =
+  Mutex.lock t.wlock;
+  Mutex.lock t.qlock;
+  let admitted =
+    if t.alive then begin
+      Queue.push cb t.pending;
+      t.inflight <- t.inflight + 1;
+      true
+    end
+    else false
+  in
+  Mutex.unlock t.qlock;
+  (* A failed write is not reported here: the reader will see EOF and
+     drain this callback (with every other pending one) with [None]. *)
+  if admitted then (try t.peer.send_line line with _ -> ());
+  Mutex.unlock t.wlock;
+  admitted
+
+let kill t = try t.peer.kill_peer () with _ -> ()
+let close_input t = try t.peer.close_input () with _ -> ()
+
+let join t =
+  (match t.reader with
+  | Some d ->
+      t.reader <- None;
+      Domain.join d
+  | None -> ());
+  try t.peer.reap () with _ -> ()
+
+(* -- subprocess workers ------------------------------------------------ *)
+
+let process ~id ~prog ~argv =
+  (* A SIGKILLed worker tears the pipe; without this, the coordinator's
+     next write would die of SIGPIPE instead of raising (and being
+     absorbed) as EPIPE. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let ((ic, oc) as ch) = Unix.open_process_args prog argv in
+  let pid = Unix.process_pid ch in
+  let wrote_eof = ref false in
+  make ~id
+    {
+      send_line =
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n';
+          flush oc);
+      recv_line = (fun () -> In_channel.input_line ic);
+      kill_peer = (fun () -> Unix.kill pid Sys.sigkill);
+      close_input =
+        (fun () ->
+          if not !wrote_eof then begin
+            wrote_eof := true;
+            close_out oc
+          end);
+      reap =
+        (fun () ->
+          if not !wrote_eof then begin
+            wrote_eof := true;
+            close_out_noerr oc
+          end;
+          close_in_noerr ic;
+          ignore (Unix.waitpid [] pid));
+    }
+
+(* -- in-process workers ------------------------------------------------ *)
+
+(* Unbounded blocking string channel; [close] lets readers drain what
+   is queued, [wreck] also drops it (abrupt loss). *)
+type chan = {
+  m : Mutex.t;
+  cv : Condition.t;
+  q : string Queue.t;
+  mutable closed : bool;
+}
+
+let chan () =
+  { m = Mutex.create (); cv = Condition.create (); q = Queue.create (); closed = false }
+
+let chan_push ch l =
+  Mutex.lock ch.m;
+  if not ch.closed then begin
+    Queue.push l ch.q;
+    Condition.signal ch.cv
+  end;
+  Mutex.unlock ch.m
+
+let chan_pop ch =
+  Mutex.lock ch.m;
+  while Queue.is_empty ch.q && not ch.closed do
+    Condition.wait ch.cv ch.m
+  done;
+  let r = if Queue.is_empty ch.q then None else Some (Queue.pop ch.q) in
+  Mutex.unlock ch.m;
+  r
+
+let chan_close ch =
+  Mutex.lock ch.m;
+  ch.closed <- true;
+  Condition.broadcast ch.cv;
+  Mutex.unlock ch.m
+
+let chan_wreck ch =
+  Mutex.lock ch.m;
+  ch.closed <- true;
+  Queue.clear ch.q;
+  Condition.broadcast ch.cv;
+  Mutex.unlock ch.m
+
+let local ~id cfg =
+  let inq = chan () and outq = chan () in
+  let svc =
+    Domain.spawn (fun () ->
+        let transport =
+          (module struct
+            let recv () = chan_pop inq
+            let send l = chan_push outq l
+          end : Service.TRANSPORT)
+        in
+        (try ignore (Service.serve cfg transport) with _ -> ());
+        chan_close outq)
+  in
+  let joined = ref false in
+  make ~id
+    {
+      send_line = (fun l -> chan_push inq l);
+      recv_line = (fun () -> chan_pop outq);
+      kill_peer =
+        (fun () ->
+          chan_wreck inq;
+          chan_wreck outq);
+      close_input = (fun () -> chan_close inq);
+      reap =
+        (fun () ->
+          if not !joined then begin
+            joined := true;
+            Domain.join svc
+          end);
+    }

@@ -1,0 +1,103 @@
+(** The sharding coordinator: one process speaking the service's
+    line-JSON protocol on its transport, fronting a fleet of worker
+    shards (each an ordinary {!Suu_service.Service} over its own pipe).
+
+    {2 Routing}
+
+    Whole requests are routed by consistent hashing on the request's
+    canonical cache key ({!Suu_service.Request.cache_key}): equal keys
+    always reach the same shard, so each shard's LRU cache stays hot on
+    its slice of the keyspace and the fleet's effective cache capacity
+    is the {e sum} of the shards' — the capacity-scaling half of the
+    sharding story. Keyless ops (info) round-robin over the live set.
+
+    {2 Splitting}
+
+    A Monte-Carlo request with at least [split_threshold] trials is
+    split into contiguous trial-range sub-jobs ({!Dispatch.plan}, the
+    wire's ["range":[lo,hi]]) fed through a job queue that keeps at most
+    [sub_inflight] sub-jobs outstanding per shard. Because the engine
+    seeds each trial independently of its neighbours, the concatenated
+    partial samples are the unsplit run's sample vector, and the merged
+    response ({!Merge.merged_fields}) is {e byte-identical} to the
+    single-process answer — certified by the [split-merge] conformance
+    property and the shard test suite.
+
+    {2 Failure model}
+
+    Worker loss surfaces as EOF on the shard's pipe; every request or
+    sub-job in flight there is re-dispatched to a surviving shard, up to
+    [retries] times each with capped deterministic backoff, after which
+    the request answers [reason:"shard_lost"] ([reason:"unavailable"]
+    once no shard remains). Lost shards are not respawned. A heartbeat
+    domain pings live shards every [heartbeat_ms] so quiet deployments
+    also notice deaths. Every admitted request is answered exactly once
+    and responses leave in request order — the same contract as a single
+    service. Worker loss is injectable deterministically through the
+    fault spec's [kill] rate ({!Suu_service.Fault.Kill}), keyed by the
+    coordinator's dispatch counter.
+
+    {2 Telemetry}
+
+    [stats] requests are answered by the coordinator: it pulls raw
+    stats from every live shard and merges them — counters summed
+    ({!Suu_obs.Counters.merge_snapshots}), latency histograms merged
+    bucket-wise ({!Suu_obs.Histogram.merge}) — into one response, or for
+    [format:"prom"] one Prometheus exposition with the coordinator's own
+    counters under [suu_coord_*] and the fleet's under [suu_shard_*].
+    [ping] is answered locally with shard liveness attached. Route,
+    dispatch and merge phases record spans when [tracer] is enabled. *)
+
+type config = {
+  shards : int;  (** worker shards to spawn (>= 1) *)
+  replicas : int;  (** ring virtual nodes per shard *)
+  split_threshold : int;
+      (** split Monte-Carlo requests with at least this many trials;
+          [0] disables splitting (everything forwards whole) *)
+  chunk_trials : int;
+      (** trials per sub-job; [0] picks {!Dispatch.auto_chunk} *)
+  sub_inflight : int;  (** outstanding sub-jobs per shard (>= 1) *)
+  retries : int;  (** re-dispatches per request or sub-job after shard loss *)
+  retry_backoff_ms : float;  (** re-dispatch backoff base (capped at 50 ms) *)
+  heartbeat_ms : float option;  (** ping period; [None] disables *)
+  default_trials : int;  (** when a request omits ["trials"] *)
+  default_seed : int;  (** when a request omits ["seed"] *)
+  fault : Suu_service.Fault.spec;  (** coordinator-side injection ([kill]) *)
+  tracer : Suu_obs.Trace.t;  (** route/dispatch/merge spans *)
+}
+
+val default_config : config
+(** 2 shards, 64 replicas, split at 64 trials with auto chunking, 4
+    sub-jobs in flight per shard, 2 retries at 1 ms base backoff,
+    100 ms heartbeat, 200 trials, seed 1, no faults, tracing off. *)
+
+type report = {
+  metrics : Suu_service.Metrics.snapshot;
+      (** the coordinator's own request accounting; [retries] counts
+          re-dispatches after shard loss *)
+  shards : int;
+  shards_live : int;  (** live when shutdown began *)
+  forwards : int;  (** whole requests routed to a shard *)
+  splits : int;  (** requests split into sub-jobs *)
+  subjobs : int;  (** sub-jobs dispatched (excluding re-dispatches) *)
+  shard_deaths : int;
+  heartbeats : int;  (** pings sent *)
+}
+
+val report_to_string : report -> string
+
+val serve :
+  config ->
+  spawn:(int -> Client.t) ->
+  (module Suu_service.Service.TRANSPORT) ->
+  report
+(** Spawn [shards] clients via [spawn], serve the transport until its
+    input is exhausted, drain every outstanding response, then shut the
+    fleet down gracefully (EOF, drain, join) and report. [spawn] decides
+    the worker flavour: {!Client.process} for real worker processes (the
+    CLI), {!Client.local} for in-process workers (tests, benchmarks). *)
+
+val run_lines :
+  config -> spawn:(int -> Client.t) -> string list -> string list * report
+(** [serve] over an in-memory transport: feed request lines, collect
+    response lines (in request order). For tests and benchmarks. *)

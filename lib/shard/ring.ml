@@ -1,0 +1,54 @@
+(* splitmix64's finalizer: full avalanche, so consecutive virtual-node
+   labels land uniformly on the circle. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+(* FNV-1a over the bytes, then a finalizer pass; clamped non-negative so
+   points order as plain ints. *)
+let hash_string s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  Int64.to_int (mix64 !h) land max_int
+
+type t = { points : (int * int) array }
+
+let create ?(replicas = 64) ids =
+  if ids = [] then invalid_arg "Ring.create: no shards";
+  if replicas < 1 then invalid_arg "Ring.create: replicas < 1";
+  let points =
+    List.concat_map
+      (fun s ->
+        List.init replicas (fun r ->
+            (hash_string (Printf.sprintf "shard:%d:%d" s r), s)))
+      ids
+    |> Array.of_list
+  in
+  Array.sort compare points;
+  { points }
+
+(* Index of the first point at or clockwise-after [h] (wrapping). *)
+let successor t h =
+  let n = Array.length t.points in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst t.points.(mid) < h then lo := mid + 1 else hi := mid
+  done;
+  if !lo = n then 0 else !lo
+
+let route t ~live key =
+  let n = Array.length t.points in
+  let start = successor t (hash_string key) in
+  let rec scan i steps =
+    if steps = n then None
+    else
+      let shard = snd t.points.(i) in
+      if live shard then Some shard else scan ((i + 1) mod n) (steps + 1)
+  in
+  scan start 0

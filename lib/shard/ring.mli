@@ -1,0 +1,27 @@
+(** Consistent-hash ring over shard ids.
+
+    Each shard owns [replicas] virtual nodes — points on a 2^62-point
+    circle derived by hashing ["shard:<id>:<replica>"] — and a key
+    routes to the shard owning the first virtual node at or clockwise
+    after the key's own hash. The properties this buys the coordinator:
+    routing is a pure function of [(key, shard set)], so equal cache
+    keys always land on the same shard (per-shard LRU caches stay hot);
+    and when a shard dies, only the keys it owned move (to each arc's
+    clockwise successor) — the other shards' caches are untouched. *)
+
+type t
+
+val create : ?replicas:int -> int list -> t
+(** A ring over the given shard ids. [replicas] (default 64) virtual
+    nodes per shard keeps the expected load imbalance around
+    [1/sqrt(replicas)].
+    @raise Invalid_argument on an empty id list or [replicas < 1]. *)
+
+val route : t -> live:(int -> bool) -> string -> int option
+(** The shard owning [key], skipping virtual nodes of shards the [live]
+    predicate rejects — dead shards' arcs fall to their clockwise
+    successors. [None] when no live shard remains. *)
+
+val hash_string : string -> int
+(** The ring's key hash (FNV-1a, splitmix-finalised, non-negative) —
+    exposed for tests and for deterministic keyless round-robin. *)

@@ -360,6 +360,34 @@ let estimate_makespan ?max_steps ?releases ~trials rng inst policy =
 
 exception Interrupted
 
+let estimate_makespan_range ?max_steps ?releases ?(stop = fun () -> false)
+    ?(on_trial = fun (_ : int) -> ()) ~seed ~lo ~hi inst policy =
+  if lo < 0 || hi <= lo then
+    invalid_arg "Engine.estimate_makespan_range: need 0 <= lo < hi";
+  let max_steps =
+    match max_steps with Some v -> v | None -> default_horizon inst
+  in
+  let runner = make_runner ?releases inst policy in
+  let c = collector (hi - lo) in
+  (* Absolute trial indices: trial [k] of the range draws from the very
+     generator trial [k] of a full run draws from, so contiguous ranges
+     concatenate into the full run's sample vector bit-for-bit. *)
+  for k = lo to hi - 1 do
+    if stop () then raise Interrupted;
+    on_trial k;
+    let rng = Suu_prob.Rng.create (trial_seed seed k) in
+    collect c (run_trial runner rng ~max_steps)
+  done;
+  finish_estimate ~max_steps ~trials:(hi - lo) ~incomplete:c.truncated
+    (collector_samples c)
+
+let merge_ranges ~max_steps parts =
+  if parts = [] then invalid_arg "Engine.merge_ranges: no parts";
+  let trials = List.fold_left (fun a e -> a + e.trials) 0 parts in
+  let incomplete = List.fold_left (fun a e -> a + e.incomplete) 0 parts in
+  let samples = Array.concat (List.map (fun e -> e.samples) parts) in
+  finish_estimate ~max_steps ~trials ~incomplete samples
+
 let estimate_makespan_seeded ?max_steps ?releases ?(stop = fun () -> false)
     ?(on_trial = fun (_ : int) -> ()) ?observer ~trials ~seed inst policy =
   if trials < 1 then invalid_arg "Engine.estimate_makespan_seeded: trials < 1";

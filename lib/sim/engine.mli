@@ -88,8 +88,40 @@ val estimate_makespan :
     sequentially from the given generator. *)
 
 exception Interrupted
-(** Raised by {!estimate_makespan_seeded} and
+(** Raised by {!estimate_makespan_seeded}, {!estimate_makespan_range} and
     {!estimate_makespan_parallel} when their [stop] callback fires. *)
+
+val estimate_makespan_range :
+  ?max_steps:int ->
+  ?releases:int array ->
+  ?stop:(unit -> bool) ->
+  ?on_trial:(int -> unit) ->
+  seed:int ->
+  lo:int ->
+  hi:int ->
+  Suu_core.Instance.t ->
+  Suu_core.Policy.t ->
+  estimate
+(** The trials [lo <= k < hi] of the seeded estimate with master seed
+    [seed] — the unit of work a sharding coordinator fans out. Trial [k]
+    draws from the same [(seed, k)]-derived generator as trial [k] of
+    {!estimate_makespan_seeded}, so for any partition of [\[0, n)] into
+    contiguous ranges, {!merge_ranges} over the per-range estimates (in
+    range order) reproduces [estimate_makespan_seeded ~trials:n ~seed]
+    bit-for-bit: samples, summary, and incomplete count alike. The
+    returned [trials] field is [hi - lo]; [stop] and [on_trial] have the
+    contract of {!estimate_makespan_seeded} ([on_trial] sees absolute
+    indices).
+    @raise Invalid_argument unless [0 <= lo < hi]. *)
+
+val merge_ranges : max_steps:int -> estimate list -> estimate
+(** Merge per-range estimates of one seeded run, given in range order
+    (increasing [lo], ranges contiguous from 0): samples concatenate,
+    [trials] and [incomplete] add, and the summary is recomputed over
+    the merged sample vector — bit-identical to the single-process
+    seeded estimate when the parts partition its trial range and
+    [max_steps] matches (it only feeds the all-truncated fallback).
+    @raise Invalid_argument on the empty list. *)
 
 val estimate_makespan_seeded :
   ?max_steps:int ->

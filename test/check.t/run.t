@@ -14,7 +14,8 @@ visible property with zero failures.
   ok   parallel-vs-seeded   10 cases
   ok   serialize-roundtrip  10 cases
   ok   obs-mass-trace       10 cases
-  check: 12 properties, 120 cases, 0 failures
+  ok   split-merge          10 cases
+  check: 13 properties, 130 cases, 0 failures
 
 Named selection runs only the requested properties, in the order given.
 

@@ -1,0 +1,104 @@
+The sharding coordinator speaks the same line-JSON protocol as `suu
+serve`, but fronts a fleet of worker shard processes: whole requests
+route by consistent hashing on the result-cache key, and Monte-Carlo
+requests with at least --split-threshold trials split into trial-range
+sub-jobs fanned out across the fleet. Because the engine seeds each
+trial independently, the merged answer is byte-identical to a single
+service's — s1 below reproduces the exact numbers serve.t pins for the
+same request against `suu serve`. The repeat s2 recomputes through the
+shards' own caches (the merge is marked "cached":false either way),
+byte-identical again; the sub-threshold solve and the info request
+forward whole; a malformed line answers a structured error without
+disturbing its neighbours; and responses leave in request order.
+
+  $ cat > requests <<'EOF'
+  > {"op":"ping","id":"p"}
+  > {"op":"solve","id":"s1","algo":"adaptive","trials":64,"seed":3,"instance":"suu 1\nn 2 m 2\nedges 0\nprobs\n0.9 0.5\n0.4 0.8"}
+  > {"op":"solve","id":"s2","algo":"adaptive","trials":64,"seed":3,"instance":"suu 1\nn 2 m 2\nedges 0\nprobs\n0.9 0.5\n0.4 0.8"}
+  > {"op":"solve","id":"small","trials":8,"seed":3,"instance":"suu 1\nn 2 m 2\nedges 0\nprobs\n0.9 0.5\n0.4 0.8"}
+  > this is not json
+  > {"op":"info","id":"i","instance":"suu 1\nn 2 m 2\nedges 1\n0 1\nprobs\n0.9 0.5\n0.4 0.8"}
+  > EOF
+
+  $ suu coordinator --shards 2 --quiet < requests
+  {"id":"p","status":"ok","pong":true,"shards":2,"shards_live":2}
+  {"id":"s1","status":"ok","cached":false,"algo":"suu-i-alg","trials":64,"mean":1.296875,"ci95":0.120971365126,"p95":2,"incomplete":0}
+  {"id":"s2","status":"ok","cached":false,"algo":"suu-i-alg","trials":64,"mean":1.296875,"ci95":0.120971365126,"p95":2,"incomplete":0}
+  {"id":"small","status":"ok","cached":false,"algo":"suu-i-alg","trials":8,"mean":1.25,"ci95":0.320780298647,"p95":2,"incomplete":0}
+  {"id":null,"status":"error","error":"parse: expected true at offset 0"}
+  {"id":"i","status":"ok","class":"chains","jobs":2,"machines":2,"edges":1,"width":1,"critical_path":2,"bounds":{"rate":1,"capacity":1,"critical_path":2,"best":2}}
+
+The coordinator's own accounting: a stats request is answered at the
+coordinator, and because responses leave in request order, its snapshot
+covers every request above it — 6 requests (5 ok, 1 parse error), 2
+forwarded whole, 2 split into 8 sub-jobs each.
+
+  $ echo '{"op":"stats","id":"z"}' | cat requests - | suu coordinator --shards 2 --quiet | tail -1 > stats.out
+  $ grep -o '"shards":[0-9]*\|"shards_live":[0-9]*\|"requests":[0-9]*,\|"ok":[0-9]*,\|"errors":[0-9]*\|"forwards":[0-9]*\|"splits":[0-9]*\|"subjobs":[0-9]*' stats.out | head -8
+  "shards":2
+  "shards_live":2
+  "requests":6,
+  "ok":5,
+  "errors":1
+  "forwards":2
+  "splits":2
+  "subjobs":16
+  $ rm stats.out
+
+The merged shard telemetry: the stats pull reaches each worker on its
+request FIFO, so over a forwards-only workload (no sub-job queue in
+the way) the summed worker counters are exact — each solve got its one
+ok somewhere in the fleet, and the fleet's engine ran all 24 trials.
+
+  $ cat > forwards <<'EOF'
+  > {"op":"solve","id":"a","trials":8,"seed":1,"instance":"suu 1\nn 2 m 2\nedges 0\nprobs\n0.9 0.5\n0.4 0.8"}
+  > {"op":"solve","id":"b","trials":8,"seed":2,"instance":"suu 1\nn 2 m 2\nedges 0\nprobs\n0.9 0.5\n0.4 0.8"}
+  > {"op":"solve","id":"c","trials":8,"seed":3,"instance":"suu 1\nn 2 m 2\nedges 0\nprobs\n0.9 0.5\n0.4 0.8"}
+  > {"op":"stats","id":"z"}
+  > EOF
+  $ suu coordinator --shards 2 --quiet < forwards | tail -1 > stats.out
+  $ grep -o '"shard":{[^}]*}' stats.out | grep -o '"requests":[0-9]*\|"ok":[0-9]*\|"cache_misses":[0-9]*'
+  "cache_misses":3
+  "ok":3
+  "requests":3
+  $ grep -o '"engine_trials_total":[0-9]*' stats.out
+  "engine_trials_total":24
+
+Prometheus format merges the fleet into one exposition: the
+coordinator's own counters under suu_coord_*, the summed worker
+counters under suu_shard_*.
+
+  $ head -3 forwards > promreq
+  $ echo '{"op":"stats","id":"z","format":"prom"}' >> promreq
+  $ suu coordinator --shards 2 --quiet < promreq | tail -1 > prom.out
+  $ grep -o 'suu_shards [0-9][0-9]*\|suu_shards_live [0-9][0-9]*\|suu_coord_requests_total [0-9][0-9]*\|suu_coord_forwards_total [0-9][0-9]*\|suu_shard_requests_total [0-9][0-9]*\|suu_shard_ok_total [0-9][0-9]*' prom.out
+  suu_shards 2
+  suu_shards_live 2
+  suu_coord_requests_total 3
+  suu_coord_forwards_total 3
+  suu_shard_ok_total 3
+  suu_shard_requests_total 3
+
+Worker loss, injected deterministically: with kill=1 every dispatch
+SIGKILLs its target shard first, so the fleet is murdered within the
+first request's retries and every request still gets exactly one
+structured answer — degraded ("shard_lost" once the retry budget is
+spent, "unavailable" once no shard remains), never dropped, never hung.
+The seed is pinned so this session is stable under the CI fault-seed
+matrix; the shutdown dump's shard line shows the carnage.
+
+  $ suu coordinator --shards 2 --retries 1 --fault-spec 'seed=3,kill=1' < requests > chaos.out 2> chaos.dump
+  $ wc -l < chaos.out
+  6
+  $ grep -c '"status":"error"' chaos.out
+  5
+  $ grep -c '"reason":"shard_lost"\|"reason":"unavailable"\|"error":"parse' chaos.out
+  5
+  $ grep '^shards:' chaos.dump
+  shards: 2 spawned, 0 live at shutdown, 2 lost
+
+A malformed fault spec is rejected up front.
+
+  $ suu coordinator --fault-spec 'kill=2' < /dev/null
+  suu coordinator: fault-spec: kill: rate 2 not in [0,1]
+  [2]

@@ -109,6 +109,83 @@ let test_histogram_quantile_bounds () =
     (Histogram.count c);
   Alcotest.(check int) "the original is untouched" n (Histogram.count h)
 
+(* --- histogram merge + snapshot round-trip (the coordinator's path) --- *)
+
+let test_histogram_merge () =
+  let mk vals =
+    let h = Histogram.create () in
+    List.iter (Histogram.add h) vals;
+    h
+  in
+  let a = mk [ 1.; 2.; 1000. ] and b = mk [ 0.5; 2.; 3. ] and c = mk [] in
+  let m = Histogram.merge [ a; b; c ] in
+  Alcotest.(check int) "counts add" 6 (Histogram.count m);
+  Alcotest.(check (float 1e-9)) "sums add" 1008.5 (Histogram.sum m);
+  Alcotest.(check (float 1e-9)) "min combines" 0.5 (Histogram.min_value m);
+  Alcotest.(check (float 1e-9)) "max combines" 1000. (Histogram.max_value m);
+  (* Merging is the same as having observed everything in one histogram:
+     bucket-exact, not approximate. *)
+  let all = mk [ 1.; 2.; 1000.; 0.5; 2.; 3. ] in
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "bucket-identical to single-histogram observation" (Histogram.buckets all)
+    (Histogram.buckets m);
+  Alcotest.(check int) "inputs untouched" 3 (Histogram.count a);
+  (match Histogram.merge [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty merge accepted");
+  let odd = Histogram.create ~lo:1e-3 ~growth:1.3 () in
+  match Histogram.merge [ a; odd ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "layout mismatch accepted"
+
+let test_histogram_snapshot_roundtrip () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 0.2; 5.; 5.; 123456.; 1e-9 ];
+  let s = Histogram.export h in
+  let h2 = Histogram.import s in
+  Alcotest.(check int) "count survives" (Histogram.count h) (Histogram.count h2);
+  Alcotest.(check (float 1e-9)) "sum survives" (Histogram.sum h)
+    (Histogram.sum h2);
+  Alcotest.(check (float 1e-9))
+    "min survives" (Histogram.min_value h) (Histogram.min_value h2);
+  Alcotest.(check (float 1e-9))
+    "max survives" (Histogram.max_value h) (Histogram.max_value h2);
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "buckets survive" (Histogram.buckets h) (Histogram.buckets h2);
+  (* An empty histogram round-trips too (no occupied buckets, no min). *)
+  let e = Histogram.import (Histogram.export (Histogram.create ())) in
+  Alcotest.(check int) "empty round-trip" 0 (Histogram.count e);
+  (* Hostile snapshots are rejected, not silently mis-imported. *)
+  List.iter
+    (fun s ->
+      match Histogram.import s with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "hostile snapshot accepted")
+    [
+      { s with Histogram.occupied = [ (-1, 3) ] };
+      { s with Histogram.occupied = [ (s.Histogram.layout_buckets, 1) ] };
+      { s with Histogram.occupied = [ (0, -2) ] };
+      { s with Histogram.layout_buckets = 0 };
+    ]
+
+let test_counters_merge_snapshots () =
+  let merged =
+    Suu_obs.Counters.merge_snapshots
+      [
+        [ ("a", 1); ("b", 2) ];
+        [ ("b", 40); ("c", 5) ];
+        [];
+        [ ("a", 6) ];
+      ]
+  in
+  Alcotest.(check (list (pair string int)))
+    "summed by name, sorted"
+    [ ("a", 7); ("b", 42); ("c", 5) ]
+    merged;
+  Alcotest.(check (list (pair string int)))
+    "empty fold" []
+    (Suu_obs.Counters.merge_snapshots [])
+
 (* --- trace-event JSON, round-tripped through the service codec --- *)
 
 let sample_events () =
@@ -390,6 +467,14 @@ let () =
         [
           Alcotest.test_case "quantile error bounds" `Quick
             test_histogram_quantile_bounds;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "snapshot round-trip" `Quick
+            test_histogram_snapshot_roundtrip;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "merge snapshots" `Quick
+            test_counters_merge_snapshots;
         ] );
       ( "trace-event",
         [

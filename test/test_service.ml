@@ -66,6 +66,27 @@ let test_json_parse_errors () =
   bad "1 2";
   bad "\"unterminated"
 
+let test_json_duplicate_keys () =
+  (* A line whose meaning depends on which occurrence a reader keeps
+     could make the coordinator and the worker it forwards to disagree
+     about one request — rejected at the parser, at any depth. *)
+  let bad s =
+    match Json.of_string s with
+    | Error msg ->
+        Alcotest.(check bool) "error names the key" true
+          (String.length msg > 0)
+    | Ok _ -> Alcotest.fail ("accepted duplicate keys: " ^ s)
+  in
+  bad {|{"a":1,"a":2}|};
+  bad {|{"a":1,"b":{"c":1,"c":2}}|};
+  bad {|{"op":"solve","seed":1,"seed":2}|};
+  (* Equal values are still duplicates. *)
+  bad {|{"a":1,"a":1}|};
+  match Json.of_string {|{"a":{"b":1},"c":{"b":2}}|} with
+  | Ok _ -> ()
+  | Error msg ->
+      Alcotest.failf "same key in sibling objects wrongly rejected: %s" msg
+
 let test_json_accessors () =
   let v = Json.Obj [ ("k", Json.Num 3.); ("s", Json.Str "v") ] in
   Alcotest.(check (option int)) "int" (Some 3) (Json.to_int (Json.Num 3.));
@@ -164,7 +185,7 @@ let test_request_decode_solve () =
          {|{"op":"solve","id":"r","algo":"adaptive","trials":7,"seed":9,"instance":"%s"}|}
          (String.concat "\\n" (String.split_on_char '\n' instance_text)))
   with
-  | Ok { id; op = Request.Solve { algo; trials; seed; instance }; _ } ->
+  | Ok { id; op = Request.Solve { algo; trials; seed; instance; _ }; _ } ->
       Alcotest.(check (option string)) "id" (Some "r") id;
       Alcotest.(check string) "algo" "adaptive" (Request.algo_name algo);
       Alcotest.(check int) "trials" 7 trials;
@@ -221,6 +242,73 @@ let test_request_hostile_instance () =
   bad {|{"op":"solve","id":"e","instance":"suu 1\nn -1 m 1\nedges 0\nprobs"}|};
   bad
     {|{"op":"estimate","id":"e","plan":"suu-plan 1\nm 1\nprefix -1\ncycle 0","instance":"suu 1\nn 1 m 1\nedges 0\nprobs\n0.5"}|}
+
+let test_request_ping_and_duplicates () =
+  (match decode {|{"op":"ping","id":"p"}|} with
+  | Ok { op = Request.Ping; id = Some "p"; _ } -> ()
+  | _ -> Alcotest.fail "ping did not decode");
+  (match decode {|{"op":"stats","format":"raw"}|} with
+  | Ok { op = Request.Stats { format = `Raw }; _ } -> ()
+  | _ -> Alcotest.fail "raw stats did not decode");
+  (* Duplicate keys surface as a decode error at the request layer. *)
+  match decode {|{"op":"ping","id":"p","id":"q"}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "request with duplicate id accepted"
+
+let test_request_range () =
+  let line range =
+    Printf.sprintf
+      {|{"op":"solve","id":"r","trials":40,"seed":5%s,"instance":"%s"}|}
+      range
+      (String.concat "\\n" (String.split_on_char '\n' instance_text))
+  in
+  (match decode (line {|,"range":[8,24]|}) with
+  | Ok { op = Request.Solve { range = Some (8, 24); _ }; _ } -> ()
+  | Ok _ -> Alcotest.fail "range not decoded"
+  | Error (msg, _) -> Alcotest.fail msg);
+  (* Out-of-range or malformed ranges are rejected with the id kept. *)
+  List.iter
+    (fun r ->
+      match decode (line r) with
+      | Error (_, Some "r") -> ()
+      | _ -> Alcotest.fail ("hostile range accepted: " ^ r))
+    [
+      {|,"range":[24,8]|};
+      {|,"range":[8,8]|};
+      {|,"range":[-1,8]|};
+      {|,"range":[0,41]|};
+      {|,"range":[0]|};
+      {|,"range":"x"|};
+    ];
+  (* A partial answer must never alias the full one in the result
+     cache, and distinct ranges must not alias each other. *)
+  let key r =
+    match decode (line r) with
+    | Ok req -> Request.cache_key req
+    | Error (msg, _) -> Alcotest.fail msg
+  in
+  let full = key "" and a = key {|,"range":[0,8]|} and b = key {|,"range":[8,24]|} in
+  Alcotest.(check bool) "ranged is cacheable" true (a <> None);
+  Alcotest.(check bool) "range changes the key" true (full <> a);
+  Alcotest.(check bool) "distinct ranges, distinct keys" true (a <> b);
+  Alcotest.(check (option string)) "same range, same key" a (key {|,"range":[0,8]|});
+  (* sub_line re-encodes a Monte-Carlo request as its range sub-job:
+     same semantics, just a narrower trial window. *)
+  match decode (line "") with
+  | Error (msg, _) -> Alcotest.fail msg
+  | Ok req -> (
+      let sub = Request.sub_line req ~lo:8 ~hi:24 in
+      match decode sub with
+      | Ok { id; op = Request.Solve { range; trials; seed; _ }; _ } ->
+          Alcotest.(check (option string)) "sub keeps id" (Some "r") id;
+          Alcotest.(check bool) "sub range" true (range = Some (8, 24));
+          Alcotest.(check int) "sub trials" 40 trials;
+          Alcotest.(check int) "sub seed" 5 seed;
+          Alcotest.(check (option string)) "sub key = ranged key" b
+            (Request.cache_key
+               (Result.get_ok (decode sub)))
+      | Ok _ -> Alcotest.fail "sub_line decoded to a different op"
+      | Error (msg, _) -> Alcotest.fail ("sub_line does not re-decode: " ^ msg))
 
 let test_cache_key_semantics () =
   let line trials seed text =
@@ -395,6 +483,57 @@ let test_service_estimate_and_exact () =
   in
   let exact = (Suu_algo.Malewicz.optimal inst).Suu_algo.Malewicz.value in
   Alcotest.(check (float 1e-9)) "exact matches the DP" exact topt
+
+let test_service_ping_and_range_subjobs () =
+  (* Trial-range sub-jobs answer raw partial material whose concatenation
+     is bit-identical to the engine's unsplit seeded run — the worker
+     half of the sharding coordinator's fan-out contract. *)
+  let solve range =
+    Printf.sprintf
+      {|{"op":"solve","id":"s","trials":40,"seed":5%s,"instance":"%s"}|}
+      range (escaped instance_text)
+  in
+  let lines =
+    [
+      {|{"op":"ping","id":"p"}|};
+      solve {|,"range":[0,13]|};
+      solve {|,"range":[13,40]|};
+      solve "";
+    ]
+  in
+  let out, _ = Service.run_lines (config ~workers:1) lines in
+  Alcotest.(check (option bool)) "pong" (Some true)
+    (Option.bind (field "pong" (List.nth out 0)) Json.to_bool);
+  let samples k =
+    match field "samples" (List.nth out k) with
+    | Some (Json.List xs) -> List.filter_map Json.to_num xs
+    | _ -> Alcotest.failf "response %d carries no samples" k
+  in
+  let partial_bits =
+    List.map Int64.bits_of_float (samples 1 @ samples 2)
+  in
+  Alcotest.(check (option bool)) "partial marked" (Some true)
+    (Option.bind (field "partial" (List.nth out 1)) Json.to_bool);
+  Alcotest.(check (option int)) "lo echoed" (Some 13)
+    (Option.bind (field "lo" (List.nth out 2)) Json.to_int);
+  let inst = Suu_harness.Io.of_string instance_text in
+  let policy = Suu_algo.Suu_i.policy inst in
+  let full =
+    Suu_sim.Engine.estimate_makespan_seeded ~trials:40 ~seed:5 inst policy
+  in
+  let full_bits =
+    Array.to_list (Array.map Int64.bits_of_float full.Suu_sim.Engine.samples)
+  in
+  Alcotest.(check (list int64))
+    "concatenated partial samples = unsplit run" full_bits partial_bits;
+  (* The whole request's summary agrees with the engine run too (compared
+     at wire precision: the service prints non-integral floats as %.12g). *)
+  Alcotest.(check (option string)) "mean matches"
+    (Some
+       (Printf.sprintf "%.12g" full.Suu_sim.Engine.stats.Suu_prob.Stats.mean))
+    (Option.map
+       (Printf.sprintf "%.12g")
+       (Option.bind (field "mean" (List.nth out 3)) Json.to_num))
 
 let test_service_plan_mismatch_rejected () =
   let plan = Suu_core.Oblivious.finite ~m:3 [| [| 0; 1; 0 |] |] in
@@ -946,6 +1085,7 @@ let () =
             test_json_integral_output;
           Alcotest.test_case "escapes" `Quick test_json_parse_escapes;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "duplicate keys" `Quick test_json_duplicate_keys;
           Alcotest.test_case "accessors" `Quick test_json_accessors;
         ] );
       ( "cache",
@@ -979,6 +1119,9 @@ let () =
           Alcotest.test_case "hostile instance" `Quick
             test_request_hostile_instance;
           Alcotest.test_case "cache keys" `Quick test_cache_key_semantics;
+          Alcotest.test_case "ping + duplicates" `Quick
+            test_request_ping_and_duplicates;
+          Alcotest.test_case "trial ranges" `Quick test_request_range;
         ] );
       ( "service",
         [
@@ -987,6 +1130,8 @@ let () =
             test_service_order_and_determinism_across_workers;
           Alcotest.test_case "estimate + exact" `Quick
             test_service_estimate_and_exact;
+          Alcotest.test_case "ping + range sub-jobs" `Quick
+            test_service_ping_and_range_subjobs;
           Alcotest.test_case "estimate_domains bit-identical" `Quick
             test_service_estimate_domains_bit_identical;
           Alcotest.test_case "plan mismatch" `Quick

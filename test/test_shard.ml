@@ -1,0 +1,398 @@
+(* The sharding layer: consistent-hash ring, trial-range planning, and
+   the coordinator's end-to-end contract over in-process workers — the
+   merged split response is byte-identical to a single service, every
+   admitted request is answered exactly once in order, and worker loss
+   degrades instead of hanging. *)
+
+module Ring = Suu_shard.Ring
+module Dispatch = Suu_shard.Dispatch
+module Client = Suu_shard.Client
+module Coordinator = Suu_shard.Coordinator
+module Service = Suu_service.Service
+module Json = Suu_service.Json
+module Fault = Suu_service.Fault
+
+(* CI sweeps this seed over the chaos test's structural assertions. *)
+let chaos_seed =
+  Option.bind (Sys.getenv_opt "SUU_FAULT_SEED") int_of_string_opt
+  |> Option.value ~default:1
+
+let instance_text = "suu 1\nn 2 m 2\nedges 0\nprobs\n0.9 0.5\n0.4 0.8"
+let escaped text = String.concat "\\n" (String.split_on_char '\n' text)
+
+let solve ?(trials = 40) ?(seed = 5) id =
+  Printf.sprintf
+    {|{"op":"solve","id":"%s","trials":%d,"seed":%d,"instance":"%s"}|} id
+    trials seed (escaped instance_text)
+
+let status line =
+  match Json.of_string line with
+  | Ok v -> Option.bind (Json.member "status" v) Json.to_str
+  | Error _ -> None
+
+let field name line =
+  match Json.of_string line with
+  | Ok v -> Json.member name v
+  | Error _ -> None
+
+let worker_config =
+  {
+    Service.default_config with
+    Service.workers = 1;
+    queue_capacity = 64;
+    cache_capacity = 16;
+    default_trials = 40;
+    default_seed = 5;
+    default_deadline_ms = None;
+    fault = Fault.none;
+  }
+
+let spawn_local i = Client.local ~id:i worker_config
+
+let coord_config ~shards =
+  {
+    Coordinator.default_config with
+    Coordinator.shards;
+    split_threshold = 16;
+    sub_inflight = 2;
+    retries = 2;
+    retry_backoff_ms = 0.1;
+    (* The heartbeat races run_lines' short lifetimes; tests that want
+       it opt in. *)
+    heartbeat_ms = None;
+    default_trials = 40;
+    default_seed = 5;
+  }
+
+(* --- Ring --- *)
+
+let keys = List.init 200 (fun k -> Printf.sprintf "solve:key-%d" k)
+
+let test_ring_determinism () =
+  let ring = Ring.create [ 0; 1; 2; 3 ] in
+  let live _ = true in
+  List.iter
+    (fun key ->
+      let a = Ring.route ring ~live key in
+      let b = Ring.route ring ~live key in
+      Alcotest.(check bool) "same key, same shard" true (a = b);
+      match a with
+      | Some s -> Alcotest.(check bool) "in range" true (s >= 0 && s < 4)
+      | None -> Alcotest.fail "route lost a key with all shards live")
+    keys;
+  let ring' = Ring.create [ 0; 1; 2; 3 ] in
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) "rebuilt ring routes identically" true
+        (Ring.route ring ~live key = Ring.route ring' ~live key))
+    keys
+
+let test_ring_coverage () =
+  let ring = Ring.create [ 0; 1; 2; 3 ] in
+  let hits = Array.make 4 0 in
+  List.iter
+    (fun key ->
+      match Ring.route ring ~live:(fun _ -> true) key with
+      | Some s -> hits.(s) <- hits.(s) + 1
+      | None -> Alcotest.fail "unroutable key")
+    keys;
+  Array.iteri
+    (fun s n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d owns some keys" s)
+        true (n > 0))
+    hits
+
+let test_ring_death_moves_only_lost_arcs () =
+  let ring = Ring.create [ 0; 1; 2; 3 ] in
+  let all _ = true in
+  let dead = 2 in
+  let survivors s = s <> dead in
+  List.iter
+    (fun key ->
+      let before = Ring.route ring ~live:all key in
+      let after = Ring.route ring ~live:survivors key in
+      match (before, after) with
+      | Some b, Some a when b <> dead ->
+          Alcotest.(check int) "survivor keys do not move" b a
+      | Some b, Some a ->
+          Alcotest.(check bool) "lost arc lands on a survivor" true
+            (b = dead && a <> dead)
+      | _ -> Alcotest.fail "route lost a key with survivors live")
+    keys;
+  Alcotest.(check (option int)) "no live shard -> None" None
+    (Ring.route ring ~live:(fun _ -> false) "solve:key-0")
+
+let test_ring_invalid_args () =
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "accepted invalid ring arguments"
+  in
+  raises (fun () -> Ring.create []);
+  raises (fun () -> Ring.create ~replicas:0 [ 0 ])
+
+(* --- Dispatch --- *)
+
+let test_dispatch_plan_partitions () =
+  List.iter
+    (fun (trials, chunk) ->
+      let ranges = Dispatch.plan ~trials ~chunk in
+      (* Contiguous, increasing, covering [0, trials), widths in
+         [1, chunk]. *)
+      let rec walk at = function
+        | [] -> Alcotest.(check int) "covers all trials" trials at
+        | (lo, hi) :: rest ->
+            Alcotest.(check int) "contiguous" at lo;
+            Alcotest.(check bool) "non-empty, bounded width" true
+              (hi > lo && hi - lo <= chunk);
+            walk hi rest
+      in
+      walk 0 ranges)
+    [ (40, 8); (41, 8); (1, 8); (7, 100); (100, 1) ]
+
+let test_dispatch_auto_chunk () =
+  List.iter
+    (fun (trials, shards) ->
+      let chunk = Dispatch.auto_chunk ~trials ~shards in
+      Alcotest.(check bool) "positive" true (chunk >= 1);
+      let jobs = List.length (Dispatch.plan ~trials ~chunk) in
+      (* About four chunks per shard: enough jobs to rebalance, never
+         more than trials. *)
+      Alcotest.(check bool) "work to steal" true
+        (jobs >= min trials (2 * shards));
+      Alcotest.(check bool) "bounded" true (jobs <= min trials (8 * shards)))
+    [ (400, 2); (400, 4); (40, 2); (3, 8); (1, 1) ]
+
+let test_dispatch_invalid_args () =
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "accepted invalid dispatch arguments"
+  in
+  raises (fun () -> Dispatch.plan ~trials:0 ~chunk:4);
+  raises (fun () -> Dispatch.plan ~trials:4 ~chunk:0);
+  raises (fun () -> Dispatch.auto_chunk ~trials:0 ~shards:2);
+  raises (fun () -> Dispatch.auto_chunk ~trials:4 ~shards:0)
+
+(* --- Coordinator --- *)
+
+let test_coordinator_matches_single_service () =
+  (* Split requests (trials >= threshold), forwarded ones (below), and
+     repeats (cache hits on the owning shard): the coordinator's
+     response stream is byte-identical to one service's. *)
+  let lines =
+    [
+      solve ~trials:40 ~seed:5 "a";
+      solve ~trials:40 ~seed:7 "b";
+      solve ~trials:8 ~seed:5 "small";
+      solve ~trials:40 ~seed:5 "a2";
+      solve ~trials:100 ~seed:11 "c";
+    ]
+  in
+  let single, _ = Service.run_lines worker_config lines in
+  let sharded, report =
+    Coordinator.run_lines (coord_config ~shards:2) ~spawn:spawn_local lines
+  in
+  Alcotest.(check int) "one response per request" (List.length lines)
+    (List.length sharded);
+  List.iteri
+    (fun k (want, got) ->
+      (* A repeat can be a cache hit on its owning shard but a miss in
+         the single service's (shared) cache or vice versa; everything
+         else — including every float — must match to the byte. *)
+      let scrub line =
+        let needle = {|"cached":true|} in
+        let n = String.length needle in
+        let rec find i =
+          if i + n > String.length line then line
+          else if String.sub line i n = needle then
+            String.sub line 0 i ^ {|"cached":false|}
+            ^ String.sub line (i + n) (String.length line - i - n)
+          else find (i + 1)
+        in
+        find 0
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "response %d byte-identical" k)
+        (scrub want) (scrub got))
+    (List.combine single sharded);
+  Alcotest.(check int) "all answered ok" (List.length lines)
+    report.Coordinator.metrics.Suu_service.Metrics.ok;
+  Alcotest.(check bool) "large requests split" true
+    (report.Coordinator.splits >= 3);
+  Alcotest.(check bool) "small request forwarded" true
+    (report.Coordinator.forwards >= 1);
+  Alcotest.(check int) "no shard lost" 2 report.Coordinator.shards_live
+
+let test_coordinator_ping_and_order () =
+  let n = 12 in
+  let lines =
+    {|{"op":"ping","id":"p"}|}
+    :: List.init n (fun k -> solve ~seed:(k + 1) (Printf.sprintf "r%d" k))
+  in
+  let out, _ =
+    Coordinator.run_lines (coord_config ~shards:3) ~spawn:spawn_local lines
+  in
+  Alcotest.(check int) "every request answered" (n + 1) (List.length out);
+  Alcotest.(check (option bool)) "pong" (Some true)
+    (Option.bind (field "pong" (List.nth out 0)) Json.to_bool);
+  Alcotest.(check (option int)) "ping reports shards" (Some 3)
+    (Option.bind (field "shards" (List.nth out 0)) Json.to_int);
+  Alcotest.(check (option int)) "ping reports liveness" (Some 3)
+    (Option.bind (field "shards_live" (List.nth out 0)) Json.to_int);
+  (* Responses leave in request order: the id sequence is the request
+     sequence. *)
+  List.iteri
+    (fun k line ->
+      let want = if k = 0 then "p" else Printf.sprintf "r%d" (k - 1) in
+      Alcotest.(check (option string)) "in request order" (Some want)
+        (Option.bind (field "id" line) Json.to_str))
+    out
+
+let test_coordinator_stats_merge () =
+  let lines =
+    [
+      solve ~trials:8 ~seed:5 "a";
+      solve ~trials:8 ~seed:7 "b";
+      solve ~trials:8 ~seed:9 "c";
+      {|{"op":"stats","id":"st"}|};
+    ]
+  in
+  let out, _ =
+    Coordinator.run_lines (coord_config ~shards:2) ~spawn:spawn_local lines
+  in
+  let stats = List.nth out 3 in
+  Alcotest.(check (option string)) "stats ok" (Some "ok") (status stats);
+  (* The snapshot precedes the stats request's own completion: it
+     covers the three solves, not itself. *)
+  Alcotest.(check (option int)) "coordinator requests" (Some 3)
+    (Option.bind (field "requests" stats) Json.to_int);
+  Alcotest.(check (option int)) "all shards reporting" (Some 2)
+    (Option.bind (field "shards_live" stats) Json.to_int);
+  (* The shard object sums the workers' service counters: three solves
+     were forwarded (below the split threshold), however they were
+     spread over the fleet. *)
+  let shard name =
+    Option.bind (field "shard" stats) (fun o ->
+        Option.bind (Json.member name o) Json.to_int)
+  in
+  Alcotest.(check (option int)) "summed worker oks" (Some 3) (shard "ok");
+  Alcotest.(check (option int)) "summed worker requests" (Some 3)
+    (shard "requests");
+  (* And the engine object sums the workers' engine counters. In-process
+     workers share the process-global Obs registry (unlike subprocess
+     workers, where each shard reports its own process), so only a lower
+     bound is meaningful here: the 3 x 8 trials ran somewhere. *)
+  let engine name =
+    Option.bind (field "engine" stats) (fun o ->
+        Option.bind (Json.member name o) Json.to_int)
+  in
+  Alcotest.(check bool) "summed engine trials" true
+    (match engine "engine_trials_total" with
+    | Some n -> n >= 24
+    | None -> false)
+
+let test_coordinator_survives_worker_loss () =
+  (* Chaos: kill fires per dispatch with the CI-swept seed. Whatever
+     the placement, the structural contract holds — every request is
+     answered exactly once, in order, each ok response is a real
+     estimate and each error names a reason; nothing hangs. *)
+  let n = 16 in
+  let lines =
+    List.init n (fun k ->
+        solve ~trials:40 ~seed:(k + 1) (Printf.sprintf "r%d" k))
+  in
+  let cfg =
+    {
+      (coord_config ~shards:3) with
+      Coordinator.fault = { Fault.none with seed = chaos_seed; kill = 0.15 };
+    }
+  in
+  let out, report = Coordinator.run_lines cfg ~spawn:spawn_local lines in
+  Alcotest.(check int) "every request answered" n (List.length out);
+  List.iteri
+    (fun k line ->
+      Alcotest.(check (option string)) "in request order"
+        (Some (Printf.sprintf "r%d" k))
+        (Option.bind (field "id" line) Json.to_str);
+      match status line with
+      | Some "ok" ->
+          Alcotest.(check bool) "ok carries a mean" true
+            (field "mean" line <> None)
+      | Some "error" ->
+          Alcotest.(check bool) "error names a reason" true
+            (match Option.bind (field "reason" line) Json.to_str with
+            | Some ("shard_lost" | "unavailable") -> true
+            | _ -> false)
+      | s ->
+          Alcotest.failf "response %d has unexpected status %s" k
+            (Option.value ~default:"<none>" s))
+    out;
+  let m = report.Coordinator.metrics in
+  Alcotest.(check int) "accounting covers every request" n
+    m.Suu_service.Metrics.requests;
+  Alcotest.(check int) "ok + errors = requests" n
+    (m.Suu_service.Metrics.ok + m.Suu_service.Metrics.errors);
+  Alcotest.(check bool) "deaths within the fleet" true
+    (report.Coordinator.shard_deaths <= 3)
+
+let test_coordinator_all_shards_lost () =
+  (* kill=1 murders the only shard on the first dispatch; retries are
+     exhausted and every later request finds no live shard. Degraded,
+     answered, not hung. *)
+  let n = 5 in
+  let lines =
+    List.init n (fun k ->
+        solve ~trials:8 ~seed:(k + 1) (Printf.sprintf "r%d" k))
+  in
+  let cfg =
+    {
+      (coord_config ~shards:1) with
+      Coordinator.retries = 1;
+      fault = { Fault.none with seed = 1; kill = 1.0 };
+    }
+  in
+  let out, report = Coordinator.run_lines cfg ~spawn:spawn_local lines in
+  Alcotest.(check int) "every request answered" n (List.length out);
+  List.iter
+    (fun line ->
+      Alcotest.(check (option string)) "all degraded to errors"
+        (Some "error") (status line))
+    out;
+  Alcotest.(check int) "the fleet is gone" 0 report.Coordinator.shards_live;
+  Alcotest.(check int) "death counted once" 1 report.Coordinator.shard_deaths
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "determinism" `Quick test_ring_determinism;
+          Alcotest.test_case "coverage" `Quick test_ring_coverage;
+          Alcotest.test_case "death moves only lost arcs" `Quick
+            test_ring_death_moves_only_lost_arcs;
+          Alcotest.test_case "invalid args" `Quick test_ring_invalid_args;
+        ] );
+      ( "dispatch",
+        [
+          Alcotest.test_case "plan partitions" `Quick
+            test_dispatch_plan_partitions;
+          Alcotest.test_case "auto chunk" `Quick test_dispatch_auto_chunk;
+          Alcotest.test_case "invalid args" `Quick
+            test_dispatch_invalid_args;
+        ] );
+      ( "coordinator",
+        [
+          Alcotest.test_case "byte-identical to single service" `Quick
+            test_coordinator_matches_single_service;
+          Alcotest.test_case "ping + response order" `Quick
+            test_coordinator_ping_and_order;
+          Alcotest.test_case "merged stats" `Quick
+            test_coordinator_stats_merge;
+          Alcotest.test_case "survives worker loss" `Quick
+            test_coordinator_survives_worker_loss;
+          Alcotest.test_case "all shards lost" `Quick
+            test_coordinator_all_shards_lost;
+        ] );
+    ]
