@@ -399,8 +399,26 @@ let serve_cmd =
     Arg.(
       value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
   in
+  let listen_arg =
+    let doc =
+      "Serve over TCP instead of stdin/stdout: listen on $(docv) \
+       ('host:port', ':port' or 'port'; port 0 picks a free port), announce \
+       'listening HOST:PORT' on stdout, then run one service instance per \
+       accepted connection (same line protocol, connections served in \
+       sequence)."
+    in
+    Arg.(value & opt (some string) None & info [ "listen" ] ~docv:"ADDR" ~doc)
+  in
+  let max_conns_arg =
+    let doc =
+      "With --listen: exit after serving this many connections (0 = keep \
+       accepting until signalled)."
+    in
+    Arg.(value & opt int 0 & info [ "max-conns" ] ~docv:"N" ~doc)
+  in
   let run workers queue cache trials seed deadline max_restarts retries
-      degrade estimate_domains fault_spec quiet stats_format trace_out =
+      degrade estimate_domains fault_spec quiet stats_format trace_out listen
+      max_conns =
     let module Service = Suu_service.Service in
     let module Fault = Suu_service.Fault in
     let default_seed =
@@ -438,7 +456,40 @@ let serve_cmd =
       }
     in
     install_serve_signals ();
-    let report = Service.serve config (signal_aware_stdio ()) in
+    let dump r =
+      prerr_string
+        (match stats_format with
+        | `Text -> Service.report_to_string r
+        | `Prom -> Service.report_to_prom ~workers:config.Service.workers r)
+    in
+    (match listen with
+    | None ->
+        let report = Service.serve config (signal_aware_stdio ()) in
+        if not quiet then dump report
+    | Some addr -> (
+        (* TCP worker: a torn client socket must surface as EPIPE,
+           not kill the process. *)
+        Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+        match Suu_service.Tcp.listen addr with
+        | Error msg ->
+            Printf.eprintf "suu serve: %s\n" msg;
+            exit 2
+        | Ok (lsock, bound) ->
+            (* The announce is the handshake a spawning coordinator
+               waits for before dialling. *)
+            print_string ("listening " ^ bound);
+            print_newline ();
+            flush stdout;
+            (* One service instance per connection; each prints its own
+               shutdown report (stats and cache reset per connection). *)
+            Suu_service.Tcp.serve_connections ~max_conns:(max 0 max_conns)
+              ~stopping:(fun () -> Atomic.get serve_stopping)
+              ~on_report:(fun r ->
+                if not quiet then begin
+                  dump r;
+                  prerr_newline ()
+                end)
+              config lsock));
     (match trace_out with
     | None -> ()
     | Some path ->
@@ -450,20 +501,14 @@ let serve_cmd =
         Out_channel.with_open_text path (fun oc ->
             Suu_obs.Trace_event.write oc
               (Suu_obs.Trace_event.process_name ~pid:0 "suu serve" :: events));
-        Printf.eprintf "wrote %s: %d spans\n" path (List.length events));
-    if not quiet then
-      prerr_string
-        (match stats_format with
-        | `Text -> Service.report_to_string report
-        | `Prom ->
-            Service.report_to_prom ~workers:config.Service.workers report)
+        Printf.eprintf "wrote %s: %d spans\n" path (List.length events))
   in
   let term =
     Term.(
       const run $ workers_arg $ queue_arg $ cache_arg $ trials_arg $ seed_arg
       $ deadline_arg $ max_restarts_arg $ retries_arg $ degrade_arg
       $ estimate_domains_arg $ fault_arg $ quiet_arg $ stats_format_arg
-      $ trace_out_arg)
+      $ trace_out_arg $ listen_arg $ max_conns_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -514,6 +559,25 @@ let coordinator_cmd =
     let doc = "Shard heartbeat period in milliseconds (0 disables)." in
     Arg.(value & opt float 100. & info [ "heartbeat-ms" ] ~docv:"MS" ~doc)
   in
+  let transport_arg =
+    let doc =
+      "Worker transport: 'pipe' spawns workers as pipe children; 'tcp' \
+       spawns workers listening on 127.0.0.1 (port picked by the kernel, \
+       announced on their stdout) and dials them — same wire protocol, \
+       plus reconnect with backoff and idempotent re-send on torn sockets."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("pipe", `Pipe); ("tcp", `Tcp) ]) `Pipe
+      & info [ "transport" ] ~docv:"T" ~doc)
+  in
+  let respawn_budget_arg =
+    let doc =
+      "Respawn attempts per lost shard (capped-exponential backoff, \
+       deterministic jitter); 0 = degrade-only, the fleet only shrinks."
+    in
+    Arg.(value & opt int 2 & info [ "respawn-budget" ] ~docv:"N" ~doc)
+  in
   let workers_arg =
     Arg.(
       value & opt int 1
@@ -556,8 +620,8 @@ let coordinator_cmd =
       & info [ "q"; "quiet" ] ~doc:"Suppress the shutdown metrics dump.")
   in
   let run shards replicas split_threshold chunk sub_inflight retries
-      heartbeat_ms workers queue cache trials seed deadline fault_spec
-      worker_fault_spec quiet =
+      heartbeat_ms transport respawn_budget workers queue cache trials seed
+      deadline fault_spec worker_fault_spec quiet =
     let module Coordinator = Suu_shard.Coordinator in
     let module Fault = Suu_service.Fault in
     let default_seed =
@@ -581,6 +645,13 @@ let coordinator_cmd =
       let argv =
         [
           [ exe; "serve"; "--quiet" ];
+          (match transport with
+          | `Pipe -> []
+          | `Tcp ->
+              (* One connection is a spawned worker's whole lifetime:
+                 after its coordinator hangs up it must exit, or the
+                 shutdown waitpid would hang on the accept loop. *)
+              [ "--listen"; "127.0.0.1:0"; "--max-conns"; "1" ]);
           [ "--workers"; string_of_int (max 1 workers) ];
           [ "--queue"; string_of_int (max 1 queue) ];
           [ "--cache"; string_of_int (max 0 cache) ];
@@ -595,7 +666,9 @@ let coordinator_cmd =
         ]
         |> List.concat |> Array.of_list
       in
-      Suu_shard.Client.process ~id:i ~prog:exe ~argv
+      match transport with
+      | `Pipe -> Suu_shard.Client.process ~id:i ~prog:exe ~argv
+      | `Tcp -> Suu_shard.Client.tcp_process ~id:i ~fault ~prog:exe ~argv ()
     in
     let config =
       {
@@ -608,6 +681,12 @@ let coordinator_cmd =
         retry_backoff_ms =
           Coordinator.default_config.Coordinator.retry_backoff_ms;
         heartbeat_ms = (if heartbeat_ms > 0. then Some heartbeat_ms else None);
+        suspect_after =
+          Coordinator.default_config.Coordinator.suspect_after;
+        dead_after = Coordinator.default_config.Coordinator.dead_after;
+        respawn_budget = max 0 respawn_budget;
+        respawn_backoff_ms =
+          Coordinator.default_config.Coordinator.respawn_backoff_ms;
         default_trials = trials;
         default_seed = seed;
         fault;
@@ -621,9 +700,9 @@ let coordinator_cmd =
   let term =
     Term.(
       const run $ shards_arg $ replicas_arg $ split_arg $ chunk_arg
-      $ sub_inflight_arg $ retries_arg $ heartbeat_arg $ workers_arg
-      $ queue_arg $ cache_arg $ trials_arg $ seed_arg $ deadline_arg
-      $ fault_arg $ worker_fault_arg $ quiet_arg)
+      $ sub_inflight_arg $ retries_arg $ heartbeat_arg $ transport_arg
+      $ respawn_budget_arg $ workers_arg $ queue_arg $ cache_arg $ trials_arg
+      $ seed_arg $ deadline_arg $ fault_arg $ worker_fault_arg $ quiet_arg)
   in
   Cmd.v
     (Cmd.info "coordinator"

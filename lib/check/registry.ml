@@ -677,6 +677,144 @@ let split_merge =
       then Fail "merged ci95 is not bit-identical to the unsplit run"
       else Pass)
 
+(* --- 14. shard-heal (self-healing fleet, exactly-once merge) ------- *)
+
+(* A repeat can hit its owning shard's cache where a single service
+   misses (and a respawned worker restarts cold), so the cached flag is
+   the one field byte-identity may scrub; every other byte must match. *)
+let scrub_cached line =
+  let needle = {|"cached":true|} in
+  let n = String.length needle in
+  let buf = Buffer.create (String.length line) in
+  let i = ref 0 in
+  while !i < String.length line do
+    if !i + n <= String.length line && String.equal (String.sub line !i n) needle
+    then begin
+      Buffer.add_string buf {|"cached":false|};
+      i := !i + n
+    end
+    else begin
+      Buffer.add_char buf line.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let shard_heal =
+  Property.make ~name:"shard-heal"
+    ~sizes:{ Gen.small with min_prob = 0.05 }
+    ~doc:
+      "a 2-shard coordinator under deterministic kill chaos (keyed by the \
+       case seed) with a respawn budget answers every request ok, \
+       byte-identical to a single service, and finishes at full strength \
+       with every shard death matched by a respawn" (fun case ->
+      let module Json = Suu_service.Json in
+      let module Service = Suu_service.Service in
+      let module Fault = Suu_service.Fault in
+      let module Client = Suu_shard.Client in
+      let module Coordinator = Suu_shard.Coordinator in
+      let txt = Io.to_string (Case.instance case) in
+      let solve ~trials ~seed id =
+        Json.to_string
+          (Json.Obj
+             [
+               ("op", Json.Str "solve");
+               ("id", Json.Str id);
+               ("algo", Json.Str "adaptive");
+               ("trials", Json.int trials);
+               ("seed", Json.int seed);
+               ("instance", Json.Str txt);
+             ])
+      in
+      let lines =
+        [
+          solve ~trials:24 ~seed:3 "a";
+          (* above the split threshold: exercises sub-job re-dispatch *)
+          solve ~trials:8 ~seed:1 "b";
+          solve ~trials:24 ~seed:3 "a2";
+          (* repeat of a: a shard cache hit, scrubbed below *)
+          solve ~trials:8 ~seed:2 "c";
+          solve ~trials:24 ~seed:9 "d";
+          solve ~trials:8 ~seed:4 "e";
+        ]
+      in
+      let worker_config =
+        {
+          Service.default_config with
+          Service.workers = 1;
+          queue_capacity = 64;
+          cache_capacity = 16;
+          default_trials = 8;
+          default_seed = 1;
+          default_deadline_ms = None;
+          fault = Fault.none;
+        }
+      in
+      let cfg =
+        {
+          Coordinator.default_config with
+          Coordinator.shards = 2;
+          split_threshold = 16;
+          chunk_trials = 12;
+          sub_inflight = 2;
+          retries = 12;
+          retry_backoff_ms = 0.1;
+          heartbeat_ms = None;
+          (* Every dispatch (including re-dispatches) can draw a kill, so
+             total deaths are bounded by work items x (retries + 1) =
+             9 x 13. Keeping the budget above that bound makes budget
+             exhaustion impossible by construction: the property asserts
+             full recovery on every seed, not on lucky ones. *)
+          respawn_budget = 128;
+          respawn_backoff_ms = 0.2;
+          fault =
+            {
+              Fault.none with
+              seed = 1 + (case.Case.aux_seed land 0xffff);
+              (* Mild enough that a single work item exhausting its 12
+                 re-dispatches (13 near-consecutive kill draws) has
+                 negligible probability on any seed. *)
+              kill = 0.1;
+            };
+        }
+      in
+      let spawn i = Client.local ~id:i worker_config in
+      let single, _ = Service.run_lines worker_config lines in
+      let sharded, report = Coordinator.run_lines cfg ~spawn lines in
+      if List.length sharded <> List.length single then
+        failf "answered %d of %d requests" (List.length sharded)
+          (List.length single)
+      else
+        let mismatch =
+          List.find_opt
+            (fun (w, g) -> not (String.equal (scrub_cached w) (scrub_cached g)))
+            (List.combine single sharded)
+        in
+        match mismatch with
+        | Some (w, g) ->
+            failf
+              "healed fleet diverged from single service (%d deaths, %d \
+               respawns, %d live):\n  %s\n  %s"
+              report.Coordinator.shard_deaths report.Coordinator.respawns
+              report.Coordinator.shards_live w g
+        | None ->
+            if
+              report.Coordinator.metrics.Suu_service.Metrics.ok
+              <> List.length lines
+            then
+              failf "%d of %d requests degraded under chaos"
+                (List.length lines
+                - report.Coordinator.metrics.Suu_service.Metrics.ok)
+                (List.length lines)
+            else if report.Coordinator.shards_live <> 2 then
+              failf "fleet not at full strength: %d of 2 live"
+                report.Coordinator.shards_live
+            else if report.Coordinator.respawns <> report.Coordinator.shard_deaths
+            then
+              failf "%d deaths but %d respawns" report.Coordinator.shard_deaths
+                report.Coordinator.respawns
+            else Pass)
+
 (* --- hidden: the deliberately broken demo property ----------------- *)
 
 let demo_broken =
@@ -703,6 +841,7 @@ let all =
     serialize_roundtrip;
     obs_mass_trace;
     split_merge;
+    shard_heal;
     demo_broken;
   ]
 

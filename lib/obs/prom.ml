@@ -1,9 +1,19 @@
-type kind = Counter | Gauge | Hist of Histogram.t
+type kind =
+  | Counter
+  | Gauge
+  | Hist of Histogram.t
+  | Rows of string * ((string * string) list * float) list
+      (* one family, one sample per label set: (TYPE, rows) *)
+
 type metric = { name : string; help : string; kind : kind; value : float }
 
 let counter ~name ~help value = { name; help; kind = Counter; value }
 let gauge ~name ~help value = { name; help; kind = Gauge; value }
 let histogram ~name ~help h = { name; help; kind = Hist h; value = 0. }
+
+let labelled ~name ~help ~ty rows =
+  let ty = match ty with `Counter -> "counter" | `Gauge -> "gauge" in
+  { name; help; kind = Rows (ty, rows); value = 0. }
 
 let sanitise name =
   String.mapi
@@ -25,6 +35,31 @@ let escape_help s =
       | c -> Buffer.add_char buf c)
     s;
   Buffer.contents buf
+
+(* Label values: escape backslash, double-quote and newline per the
+   exposition format. *)
+let escape_label_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_labels = function
+  | [] -> ""
+  | kvs ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s=\"%s\"" (sanitise k) (escape_label_value v))
+             kvs)
+      ^ "}"
 
 let fmt v =
   if Float.is_nan v then "NaN"
@@ -50,6 +85,14 @@ let render metrics =
        | Gauge ->
            header "gauge";
            Buffer.add_string buf (Printf.sprintf "%s %s\n" name (fmt m.value))
+       | Rows (ty, rows) ->
+           header ty;
+           List.iter
+             (fun (labels, v) ->
+               Buffer.add_string buf
+                 (Printf.sprintf "%s%s %s\n" name (render_labels labels)
+                    (fmt v)))
+             rows
        | Hist h ->
            header "histogram";
            let cum = ref 0 in

@@ -13,6 +13,17 @@ val counter : name:string -> help:string -> float -> metric
 val gauge : name:string -> help:string -> float -> metric
 val histogram : name:string -> help:string -> Histogram.t -> metric
 
+val labelled :
+  name:string ->
+  help:string ->
+  ty:[ `Counter | `Gauge ] ->
+  ((string * string) list * float) list ->
+  metric
+(** One family with one sample per label set — a single [# HELP] /
+    [# TYPE] header followed by [name{k="v",...} value] rows (label
+    values escaped per the format). Used for per-shard series such as
+    [suu_shard_epoch{shard="0"}]. *)
+
 val render : metric list -> string
 (** The exposition body. Metric names are sanitised to
     [[a-zA-Z_:][a-zA-Z0-9_:]*] (invalid characters become ['_']);

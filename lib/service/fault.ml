@@ -1,4 +1,14 @@
-type site = Crash | Transient | Stall | Slow | Truncate | Queue_delay | Kill
+type site =
+  | Crash
+  | Transient
+  | Stall
+  | Slow
+  | Truncate
+  | Queue_delay
+  | Kill
+  | Refuse
+  | Tear
+  | Sock_stall
 
 type spec = {
   seed : int;
@@ -12,6 +22,10 @@ type spec = {
   queue_delay : float;
   queue_ms : float;
   kill : float;
+  refuse : float;
+  tear : float;
+  sock_stall : float;
+  sock_stall_ms : float;
 }
 
 let none =
@@ -27,11 +41,16 @@ let none =
     queue_delay = 0.;
     queue_ms = 2.;
     kill = 0.;
+    refuse = 0.;
+    tear = 0.;
+    sock_stall = 0.;
+    sock_stall_ms = 20.;
   }
 
 let is_none s =
   s.crash = 0. && s.transient = 0. && s.stall = 0. && s.slow = 0.
-  && s.truncate = 0. && s.queue_delay = 0. && s.kill = 0.
+  && s.truncate = 0. && s.queue_delay = 0. && s.kill = 0. && s.refuse = 0.
+  && s.tear = 0. && s.sock_stall = 0.
 
 exception Injected_crash
 exception Transient_failure of string
@@ -64,6 +83,9 @@ let site_salt = function
   | Truncate -> 0x5
   | Queue_delay -> 0x6
   | Kill -> 0x8
+  | Refuse -> 0x9
+  | Tear -> 0xA
+  | Sock_stall -> 0xB
 
 (* Uniform in [0,1): top 53 bits of a double avalanche over
    (seed, site, key). *)
@@ -84,6 +106,9 @@ let rate spec = function
   | Truncate -> spec.truncate
   | Queue_delay -> spec.queue_delay
   | Kill -> spec.kill
+  | Refuse -> spec.refuse
+  | Tear -> spec.tear
+  | Sock_stall -> spec.sock_stall
 
 let fires spec site ~key =
   let r = rate spec site in
@@ -143,6 +168,12 @@ let of_string ?(default_seed = 1) text =
             | "queue_ms" ->
                 Result.map (fun queue_ms -> { s with queue_ms }) (dur ())
             | "kill" -> Result.map (fun kill -> { s with kill }) (prob ())
+            | "refuse" -> Result.map (fun refuse -> { s with refuse }) (prob ())
+            | "tear" -> Result.map (fun tear -> { s with tear }) (prob ())
+            | "sock_stall" ->
+                Result.map (fun sock_stall -> { s with sock_stall }) (prob ())
+            | "sock_stall_ms" ->
+                Result.map (fun sock_stall_ms -> { s with sock_stall_ms }) (dur ())
             | _ -> Error (Printf.sprintf "fault-spec: unknown key %S" k)))
   in
   let fields =
@@ -173,4 +204,8 @@ let to_string s =
   rate "queue_delay" s.queue_delay;
   if s.queue_delay > 0. then dur "queue_ms" s.queue_ms;
   rate "kill" s.kill;
+  rate "refuse" s.refuse;
+  rate "tear" s.tear;
+  rate "sock_stall" s.sock_stall;
+  if s.sock_stall > 0. then dur "sock_stall_ms" s.sock_stall_ms;
   Buffer.contents b

@@ -40,8 +40,28 @@
       this site itself; the sharding coordinator draws on it per
       dispatched job and SIGKILLs (or abruptly disconnects) the target
       worker process when it fires, exercising shard death, sub-job
-      re-dispatch and degraded service. Keyed by a dispatch counter. *)
-type site = Crash | Transient | Stall | Slow | Truncate | Queue_delay | Kill
+      re-dispatch and degraded service. Keyed by a dispatch counter.
+    - [Refuse]: a TCP worker rejects an incoming connection right after
+      accepting it (a refused socket), exercising the client's
+      connect-retry/backoff path. Keyed by a connection counter.
+    - [Tear]: a TCP worker tears the connection down abruptly instead of
+      writing a response line (a torn socket mid-stream), exercising the
+      client's reconnect and idempotent re-send. Keyed by the response
+      line counter.
+    - [Sock_stall]: a TCP worker sleeps [sock_stall_ms] before writing a
+      response line (a stalled socket), exercising the client's read
+      timeout. Keyed by the response line counter. *)
+type site =
+  | Crash
+  | Transient
+  | Stall
+  | Slow
+  | Truncate
+  | Queue_delay
+  | Kill
+  | Refuse
+  | Tear
+  | Sock_stall
 
 type spec = {
   seed : int;
@@ -55,6 +75,10 @@ type spec = {
   queue_delay : float;  (** per-pop probability of a slow consumer *)
   queue_ms : float;  (** slow-consumer delay *)
   kill : float;  (** per-dispatch probability of killing a worker process *)
+  refuse : float;  (** per-connection probability of refusing a TCP accept *)
+  tear : float;  (** per-response probability of tearing the TCP socket *)
+  sock_stall : float;  (** per-response probability of a stalled socket *)
+  sock_stall_ms : float;  (** socket stall duration *)
 }
 
 val none : spec

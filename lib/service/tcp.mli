@@ -1,0 +1,96 @@
+(** TCP transport for the serving layer.
+
+    Newline-delimited line framing over a socket — the same wire
+    protocol the stdio transport speaks, so a worker behind
+    [suu serve --listen] answers byte-identically to one behind a pipe.
+    This module owns the {e listener} side (binding, accepting, running
+    one {!Service.serve} instance per connection, injecting the
+    connection-level fault sites); the {e connecting} side, with its
+    reconnect/backoff and idempotent re-send policy, lives in the shard
+    client ({!Suu_shard.Client}). *)
+
+val parse_addr : string -> (Unix.inet_addr * int, string) result
+(** Parse ["host:port"], [":port"] or bare ["port"]. The host defaults
+    to [127.0.0.1]; port [0] asks the kernel for a free port. *)
+
+val addr_to_string : Unix.sockaddr -> string
+(** Render as ["host:port"]. *)
+
+val listen : string -> (Unix.file_descr * string, string) result
+(** Bind + listen on a {!parse_addr} address. Returns the listening
+    socket and the actual bound address (resolving port [0]) — the
+    worker announces this so a coordinator spawning [--listen 127.0.0.1:0]
+    workers learns where to connect. *)
+
+(** {2 Line-framed connections}
+
+    Shared by both ends: a buffered reader that reassembles
+    newline-framed lines from socket reads, and a write that loops over
+    short writes. *)
+
+type conn
+
+val conn_of_fd : Unix.file_descr -> conn
+
+val recv_line : conn -> string option
+(** Next framed line, or [None] on clean EOF (a trailing unterminated
+    fragment is dropped). Read errors — connection reset, or a read
+    timeout when [SO_RCVTIMEO] is armed — raise [Unix.Unix_error] for
+    the caller's reconnect policy to interpret. *)
+
+val send_line : conn -> string -> unit
+(** Write [line ^ "\n"], looping over short writes. Raises
+    [Unix.Unix_error] (e.g. [EPIPE] with SIGPIPE ignored) on a dead
+    peer. *)
+
+val shutdown_send : conn -> unit
+(** Half-close: signal EOF to the peer while still reading responses —
+    the socket equivalent of closing a pipe child's stdin. Errors are
+    swallowed (the peer may already be gone). *)
+
+val shutdown_all : conn -> unit
+(** Shut down both directions without closing the descriptor. Wakes a
+    reader blocked on this connection (it sees EOF/reset) while keeping
+    the fd number reserved until {!close} — so a concurrent writer
+    cannot race a recycled descriptor. Errors are swallowed. *)
+
+val tear : conn -> unit
+(** Destroy the connection abruptly (linger-0 close: RST where the
+    platform supports it). Used by the [Tear] fault site and by
+    kill-style teardown. Idempotent; errors are swallowed. *)
+
+val close : conn -> unit
+(** Close exactly once — {!tear} and [close] after either is a no-op,
+    so a recycled descriptor number is never closed twice. *)
+
+val wake : string -> unit
+(** Dial-and-drop a throwaway connection to the address: pops a
+    {!serve_connections} loop blocked in accept so it re-checks its
+    [stopping] flag. (Closing a listening socket from another thread
+    does not wake a blocked accept on Linux.) Errors are swallowed. *)
+
+(** {2 The worker's accept loop} *)
+
+val serve_connections :
+  ?max_conns:int ->
+  ?stopping:(unit -> bool) ->
+  on_report:(Service.report -> unit) ->
+  Service.config ->
+  Unix.file_descr ->
+  unit
+(** Accept connections sequentially and run one {!Service.serve}
+    instance per connection, calling [on_report] after each. Faults
+    from [cfg.fault]: [Refuse] (keyed by a connection counter) tears a
+    connection down right after accept; [Tear] and [Sock_stall] (keyed
+    by a response-line counter that continues across connections, so a
+    reconnecting client cannot re-draw the schedule that tore its first
+    connection) are applied on the response path. [max_conns = 0]
+    (default) accepts until [stopping] turns true — flip the flag, then
+    {!wake} the listener to pop the blocked accept. Closes the
+    listening socket on exit (unless it was already closed under the
+    loop, which is also detected and treated as a stop).
+
+    Note each connection is a fresh service instance: worker-side stats
+    and cache reset per connection. A respawned or reconnected shard
+    therefore restarts its counters at zero — the coordinator's merge
+    layer must tolerate that (see {!Obs.Counters.merge_snapshots}). *)

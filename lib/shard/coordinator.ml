@@ -19,6 +19,10 @@ type config = {
   retries : int;
   retry_backoff_ms : float;
   heartbeat_ms : float option;
+  suspect_after : int;
+  dead_after : int;
+  respawn_budget : int;
+  respawn_backoff_ms : float;
   default_trials : int;
   default_seed : int;
   fault : Fault.spec;
@@ -35,6 +39,10 @@ let default_config =
     retries = 2;
     retry_backoff_ms = 1.;
     heartbeat_ms = Some 100.;
+    suspect_after = 1;
+    dead_after = 3;
+    respawn_budget = 2;
+    respawn_backoff_ms = 10.;
     default_trials = 200;
     default_seed = 1;
     fault = Fault.none;
@@ -50,6 +58,9 @@ type report = {
   subjobs : int;
   shard_deaths : int;
   heartbeats : int;
+  respawns : int;
+  suspects : int;
+  fenced : int;
 }
 
 (* Ordered emission, same discipline as the service's emitter: park
@@ -125,10 +136,20 @@ type statjob = {
   mutable replies : string list;
 }
 
+(* Everything in flight on a shard is registered under a ticket in that
+   shard's table. A reply only counts if its ticket is still there
+   ("owned"); fencing a shard removes the tickets wholesale and
+   re-dispatches the work, after which the zombie's late answers find
+   no ticket and are discarded. That is the exactly-once half of
+   rejoin-safety: the ring may route to a respawned shard immediately,
+   because nothing the previous incarnation still says can be mistaken
+   for an answer. *)
+type work = W_fwd of fwd | W_sub of sub | W_stat of statjob
+
 type t = {
   cfg : config;
   ring : Ring.t;
-  clients : Client.t array;
+  sup : Supervisor.t;
   em : emitter;
   metrics : Metrics.t;
   lock : Mutex.t;
@@ -136,35 +157,20 @@ type t = {
   mutable outstanding : int;
   mutable dispatches : int;  (* kill-injection key; one per dispatch *)
   mutable rr : int;  (* keyless round-robin cursor *)
+  mutable next_ticket : int;
+  tickets : (int, work) Hashtbl.t array;  (* per shard: in-flight work *)
   jobs : sub Queue.t;  (* sub-jobs awaiting a shard slot *)
   sub_inflight : int array;
-  dead : bool array;  (* deaths observed (counted once per shard) *)
   mutable forwards : int;
   mutable splits : int;
   mutable subjobs : int;
   mutable shard_deaths : int;
   mutable heartbeats : int;
+  mutable fenced : int;  (* zombie answers discarded at the fence *)
 }
 
-(* [dead] is the coordinator's own record, flipped under [t.lock]; the
-   client's [alive] flag is the reader domain's view. Routing consults
-   both so a death is honoured as soon as either side sees it. *)
-let shard_live t i = (not t.dead.(i)) && Client.alive t.clients.(i)
-
-let live_indices t =
-  let acc = ref [] in
-  for i = Array.length t.clients - 1 downto 0 do
-    if shard_live t i then acc := i :: !acc
-  done;
-  !acc
-
-let note_death t i =
-  Mutex.lock t.lock;
-  if not t.dead.(i) then begin
-    t.dead.(i) <- true;
-    t.shard_deaths <- t.shard_deaths + 1
-  end;
-  Mutex.unlock t.lock
+let shard_live t i = Supervisor.routable t.sup i
+let live_indices t = Supervisor.routable_indices t.sup
 
 let request_done_locked t =
   t.outstanding <- t.outstanding - 1;
@@ -174,6 +180,24 @@ let request_done t =
   Mutex.lock t.lock;
   request_done_locked t;
   Mutex.unlock t.lock
+
+(* Register work on a shard; returns the ticket. Caller holds [t.lock]. *)
+let register_locked t i work =
+  let ticket = t.next_ticket in
+  t.next_ticket <- ticket + 1;
+  Hashtbl.replace t.tickets.(i) ticket work;
+  ticket
+
+(* Claim a reply: true iff the ticket was still owned (and is now
+   consumed). A false return means the fence already rescued this work —
+   whatever the shard says now is a zombie's word. *)
+let claim t i ticket ~answered =
+  Mutex.lock t.lock;
+  let owned = Hashtbl.mem t.tickets.(i) ticket in
+  if owned then Hashtbl.remove t.tickets.(i) ticket
+  else if answered then t.fenced <- t.fenced + 1;
+  Mutex.unlock t.lock;
+  owned
 
 (* --- forwards --------------------------------------------------------- *)
 
@@ -189,8 +213,10 @@ let record_forward_outcome t fwd line =
   | Merge.Expired _ -> Metrics.record_timeout t.metrics
   | Merge.Err _ | Merge.Garbled _ -> Metrics.record_error t.metrics
 
+(* Mutual recursion: dispatch / reply / retry / shard-loss handling /
+   fencing all feed each other. *)
 let rec dispatch_forward t fwd =
-  let target, kill =
+  let target =
     Mutex.lock t.lock;
     let target =
       match fwd.fkey with
@@ -205,38 +231,63 @@ let rec dispatch_forward t fwd =
               t.rr <- t.rr + 1;
               Some pick)
     in
-    let kill =
+    let target =
       match target with
-      | None -> false
-      | Some _ ->
-          let k = t.dispatches in
-          t.dispatches <- k + 1;
-          Fault.fires t.cfg.fault Fault.Kill ~key:k
+      | None -> None
+      | Some i -> (
+          match Supervisor.checkout t.sup i with
+          | None -> None (* died between route and checkout; re-route *)
+          | Some (c, epoch) ->
+              let k = t.dispatches in
+              t.dispatches <- k + 1;
+              let kill = Fault.fires t.cfg.fault Fault.Kill ~key:k in
+              let ticket = register_locked t i (W_fwd fwd) in
+              Some (i, c, epoch, ticket, kill))
     in
     Mutex.unlock t.lock;
-    (target, kill)
+    target
   in
   match target with
-  | None -> fwd_fail t fwd ~reason:"unavailable" "no live shards"
-  | Some i ->
-      let c = t.clients.(i) in
+  | None ->
+      (* No shard routable right now. While recovery is possible the
+         request waits for a respawn; once it is not, fail fast. *)
+      if Supervisor.can_recover t.sup then begin
+        Unix.sleepf 0.002;
+        dispatch_forward t fwd
+      end
+      else fwd_fail t fwd ~reason:"unavailable" "no live shards"
+  | Some (i, c, epoch, ticket, kill) ->
       if kill then Client.kill c;
       let submitted =
-        Client.submit c fwd.fline (fun resp -> on_forward_reply t fwd i resp)
+        Client.submit c fwd.fline (fun resp ->
+            on_forward_reply t fwd i epoch ticket resp)
       in
-      if not submitted then begin
-        note_death t i;
+      if not submitted then
+        (* Never sent: take the ticket back ourselves — but only if we
+           win the claim. A concurrent fence may have reclaimed and
+           re-dispatched this work already; retrying on top of that
+           would answer the request twice. *)
+        if claim t i ticket ~answered:false then begin
+          handle_shard_loss t i ~epoch;
+          retry_forward t fwd
+        end
+        else handle_shard_loss t i ~epoch
+
+and on_forward_reply t fwd i epoch ticket = function
+  | Some line ->
+      if claim t i ticket ~answered:true then begin
+        record_forward_outcome t fwd line;
+        emit t.em fwd.fseq line;
+        request_done t
+      end
+      (* else: fenced zombie answer — the work was re-dispatched; this
+         late line must not reach the emitter a second time *)
+  | None ->
+      if claim t i ticket ~answered:false then begin
+        handle_shard_loss t i ~epoch;
         retry_forward t fwd
       end
-
-and on_forward_reply t fwd i = function
-  | Some line ->
-      record_forward_outcome t fwd line;
-      emit t.em fwd.fseq line;
-      request_done t
-  | None ->
-      note_death t i;
-      retry_forward t fwd
+      else handle_shard_loss t i ~epoch
 
 and retry_forward t fwd =
   if fwd.fattempts >= t.cfg.retries then
@@ -253,9 +304,9 @@ and retry_forward t fwd =
 
 (* --- splits ----------------------------------------------------------- *)
 
-let set_failure p f = if p.sfailure = None then p.sfailure <- Some f
+and set_failure p f = if p.sfailure = None then p.sfailure <- Some f
 
-let finalize_split_locked t p =
+and finalize_split_locked t p =
   match p.sfailure with
   | Some (F_timeout d) ->
       Metrics.record_timeout t.metrics;
@@ -278,7 +329,7 @@ let finalize_split_locked t p =
       emit t.em p.sseq (Request.ok ~id:p.sid fields);
       request_done_locked t
 
-let resolve_sub_locked t sub outcome =
+and resolve_sub_locked t sub outcome =
   let p = sub.parent in
   (match outcome with
   | `Part part -> p.sparts <- part :: p.sparts
@@ -287,11 +338,11 @@ let resolve_sub_locked t sub outcome =
   if p.sremaining = 0 then finalize_split_locked t p
 
 (* Pick dispatch work while the lock is held; the (blocking) submits
-   happen after release. When no shard remains, queued sub-jobs can
-   never run again (shards are not respawned), so they resolve as
-   failures here — that is what guarantees [outstanding] always drains
-   and shutdown never hangs. *)
-let pump_locked t =
+   happen after release. When no shard is routable, queued sub-jobs
+   wait as long as a respawn can still bring one back; once recovery is
+   impossible they resolve as failures here — that is what guarantees
+   [outstanding] always drains and shutdown never hangs. *)
+and pump_locked t =
   let least_loaded () =
     List.fold_left
       (fun best i ->
@@ -304,86 +355,162 @@ let pump_locked t =
     if Queue.is_empty t.jobs then List.rev acc
     else
       match least_loaded () with
-      | Some i when t.sub_inflight.(i) < t.cfg.sub_inflight ->
-          let sub = Queue.pop t.jobs in
-          t.sub_inflight.(i) <- t.sub_inflight.(i) + 1;
-          let k = t.dispatches in
-          t.dispatches <- k + 1;
-          let kill = Fault.fires t.cfg.fault Fault.Kill ~key:k in
-          collect ((i, sub, kill) :: acc)
+      | Some i when t.sub_inflight.(i) < t.cfg.sub_inflight -> (
+          match Supervisor.checkout t.sup i with
+          | None -> List.rev acc (* raced a death; next pump retries *)
+          | Some (c, epoch) ->
+              let sub = Queue.pop t.jobs in
+              t.sub_inflight.(i) <- t.sub_inflight.(i) + 1;
+              let k = t.dispatches in
+              t.dispatches <- k + 1;
+              let kill = Fault.fires t.cfg.fault Fault.Kill ~key:k in
+              let ticket = register_locked t i (W_sub sub) in
+              collect ((i, c, epoch, ticket, sub, kill) :: acc))
       | Some _ -> List.rev acc (* every live shard at its cap *)
       | None ->
-          (* no live shards: fail the whole queue *)
-          while not (Queue.is_empty t.jobs) do
-            resolve_sub_locked t (Queue.pop t.jobs)
-              (`Failure (F_error ("no live shards", Some "unavailable")))
-          done;
+          if not (Supervisor.can_recover t.sup) then
+            (* permanently empty fleet: fail the whole queue *)
+            while not (Queue.is_empty t.jobs) do
+              resolve_sub_locked t (Queue.pop t.jobs)
+                (`Failure (F_error ("no live shards", Some "unavailable")))
+            done;
           List.rev acc
   in
   collect []
 
-let rec run_actions t acts =
+and run_actions t acts =
   List.iter
-    (fun (i, sub, kill) ->
-      let c = t.clients.(i) in
+    (fun (i, c, epoch, ticket, sub, kill) ->
       if kill then Client.kill c;
       let submitted =
-        Client.submit c sub.sub_line (fun resp -> on_sub_reply t sub i resp)
+        Client.submit c sub.sub_line (fun resp ->
+            on_sub_reply t sub i epoch ticket resp)
       in
-      if not submitted then begin
-        note_death t i;
+      if not submitted then
+        (* Only requeue if we win the claim: a concurrent fence that
+           beat us here has already requeued this sub-job (and reset
+           the slot's inflight count). *)
+        if claim t i ticket ~answered:false then begin
+          Mutex.lock t.lock;
+          t.sub_inflight.(i) <- max 0 (t.sub_inflight.(i) - 1);
+          Queue.push sub t.jobs;
+          Mutex.unlock t.lock;
+          handle_shard_loss t i ~epoch;
+          pump t
+        end
+        else handle_shard_loss t i ~epoch)
+    acts
+
+and pump t =
+  Mutex.lock t.lock;
+  let acts = pump_locked t in
+  Mutex.unlock t.lock;
+  run_actions t acts
+
+and on_sub_reply t sub i epoch ticket = function
+  | Some line ->
+      if claim t i ticket ~answered:true then begin
+        let outcome =
+          match Merge.classify line with
+          | Merge.Part part -> `Part part
+          | Merge.Whole ->
+              `Failure
+                (F_error ("shard answered a sub-job with a non-partial ok", None))
+          | Merge.Err { msg; reason } -> `Failure (F_error (msg, reason))
+          | Merge.Expired d -> `Failure (F_timeout d)
+          | Merge.Garbled msg -> `Failure (F_error (msg, None))
+        in
         Mutex.lock t.lock;
-        t.sub_inflight.(i) <- t.sub_inflight.(i) - 1;
-        Queue.push sub t.jobs;
+        t.sub_inflight.(i) <- max 0 (t.sub_inflight.(i) - 1);
+        resolve_sub_locked t sub outcome;
         let acts = pump_locked t in
         Mutex.unlock t.lock;
         run_actions t acts
-      end)
-    acts
-
-and on_sub_reply t sub i = function
-  | Some line ->
-      let outcome =
-        match Merge.classify line with
-        | Merge.Part part -> `Part part
-        | Merge.Whole ->
-            `Failure
-              (F_error ("shard answered a sub-job with a non-partial ok", None))
-        | Merge.Err { msg; reason } -> `Failure (F_error (msg, reason))
-        | Merge.Expired d -> `Failure (F_timeout d)
-        | Merge.Garbled msg -> `Failure (F_error (msg, None))
-      in
-      Mutex.lock t.lock;
-      t.sub_inflight.(i) <- t.sub_inflight.(i) - 1;
-      resolve_sub_locked t sub outcome;
-      let acts = pump_locked t in
-      Mutex.unlock t.lock;
-      run_actions t acts
+      end
   | None ->
-      note_death t i;
-      let retrying = sub.attempts < t.cfg.retries in
-      if retrying then begin
-        let attempt = sub.attempts in
-        sub.attempts <- attempt + 1;
-        Metrics.record_retry t.metrics;
-        Unix.sleepf
-          (Dispatch.backoff_s ~base_ms:t.cfg.retry_backoff_ms ~fault:t.cfg.fault
-             ~key:((sub.parent.sseq * 1_000_003) + sub.sub_lo)
-             ~attempt)
-      end;
+      if claim t i ticket ~answered:false then begin
+        handle_shard_loss t i ~epoch;
+        let retrying = sub.attempts < t.cfg.retries in
+        if retrying then begin
+          let attempt = sub.attempts in
+          sub.attempts <- attempt + 1;
+          Metrics.record_retry t.metrics;
+          Unix.sleepf
+            (Dispatch.backoff_s ~base_ms:t.cfg.retry_backoff_ms
+               ~fault:t.cfg.fault
+               ~key:((sub.parent.sseq * 1_000_003) + sub.sub_lo)
+               ~attempt)
+        end;
+        Mutex.lock t.lock;
+        t.sub_inflight.(i) <- max 0 (t.sub_inflight.(i) - 1);
+        if retrying then Queue.push sub t.jobs
+        else
+          resolve_sub_locked t sub
+            (`Failure
+              (F_error ("sub-job lost with its shard", Some "shard_lost")));
+        let acts = pump_locked t in
+        Mutex.unlock t.lock;
+        run_actions t acts
+      end
+      else handle_shard_loss t i ~epoch
+
+(* --- fencing ---------------------------------------------------------- *)
+
+(* A shard at [epoch] was observed dead (EOF, failed submit, or missed
+   heartbeats). The supervisor decides whether this observation is
+   fresh; if so it fences the slot — bumps the epoch, schedules the
+   respawn — and hands back the old client. We then kill it (so its
+   reader drains), reclaim every ticket it still held and re-dispatch
+   that work to survivors, eagerly: jobs re-dispatched here do not wait
+   for the zombie's EOF to trickle in. The zombie's own late callbacks
+   find their tickets gone and are counted, not processed. *)
+and handle_shard_loss t i ~epoch =
+  match Supervisor.note_death t.sup i ~epoch ~now:(Unix.gettimeofday ()) with
+  | `Stale -> () (* someone already fenced this epoch *)
+  | `Fenced old ->
       Mutex.lock t.lock;
-      t.sub_inflight.(i) <- t.sub_inflight.(i) - 1;
-      if retrying then Queue.push sub t.jobs
-      else
-        resolve_sub_locked t sub
-          (`Failure (F_error ("sub-job lost with its shard", Some "shard_lost")));
-      let acts = pump_locked t in
+      t.shard_deaths <- t.shard_deaths + 1;
       Mutex.unlock t.lock;
-      run_actions t acts
+      (* Reclaim the tickets BEFORE killing the client: the kill makes
+         the zombie's reader drain, and any answer it surfaces while
+         dying must already find its ticket gone. (A genuine answer
+         that wins the race instead is claimed and emitted — still
+         exactly once.) *)
+      fence_slot t i;
+      Client.kill old
+
+and fence_slot t i =
+  Mutex.lock t.lock;
+  let orphans = Hashtbl.fold (fun _ w acc -> w :: acc) t.tickets.(i) [] in
+  Hashtbl.reset t.tickets.(i);
+  t.sub_inflight.(i) <- 0;
+  let fwds = ref [] in
+  List.iter
+    (fun w ->
+      match w with
+      | W_fwd fwd -> fwds := fwd :: !fwds
+      | W_sub sub ->
+          if sub.attempts < t.cfg.retries then begin
+            sub.attempts <- sub.attempts + 1;
+            Metrics.record_retry t.metrics;
+            Queue.push sub t.jobs
+          end
+          else
+            resolve_sub_locked t sub
+              (`Failure
+                (F_error ("sub-job lost with its shard", Some "shard_lost")))
+      | W_stat st ->
+          st.waiting <- st.waiting - 1;
+          if st.waiting = 0 then finalize_stats_locked t st)
+    orphans;
+  let acts = pump_locked t in
+  Mutex.unlock t.lock;
+  run_actions t acts;
+  List.iter (fun fwd -> retry_forward t fwd) !fwds
 
 (* --- stats ------------------------------------------------------------ *)
 
-let coord_counter_fields t =
+and coord_counter_fields t =
   (* racy reads of monotone ints: telemetry precision *)
   [
     ("forwards", Json.int t.forwards);
@@ -391,11 +518,18 @@ let coord_counter_fields t =
     ("subjobs", Json.int t.subjobs);
     ("shard_deaths", Json.int t.shard_deaths);
     ("heartbeats", Json.int t.heartbeats);
+    ("respawns", Json.int (Supervisor.respawns_total t.sup));
+    ("suspects", Json.int (Supervisor.suspects_total t.sup));
+    ("fenced", Json.int t.fenced);
   ]
 
-let coord_stats_fields t telemetry =
+and coord_stats_fields t telemetry =
   let m = Metrics.snapshot t.metrics in
   let live = List.length (live_indices t) in
+  let epochs =
+    Supervisor.snapshot t.sup |> Array.to_list
+    |> List.map (fun (_, epoch, _) -> Json.int epoch)
+  in
   [
     ("shards", Json.int t.cfg.shards);
     ("shards_live", Json.int live);
@@ -407,11 +541,12 @@ let coord_stats_fields t telemetry =
   ]
   @ coord_counter_fields t
   @ [
+      ("shard_epochs", Json.List epochs);
       ("shard", Json.Obj (List.map (fun (n, v) -> (n, Json.int v)) telemetry.Merge.service));
       ("engine", Json.Obj (List.map (fun (n, v) -> (n, Json.int v)) telemetry.Merge.engine));
     ]
 
-let hist_snapshot_json h =
+and hist_snapshot_json h =
   let s = Histogram.export h in
   Json.Obj
     [
@@ -431,11 +566,18 @@ let hist_snapshot_json h =
 (* One exposition for the whole deployment: the coordinator's own
    request counters under [suu_coord_*], the summed worker service
    counters under [suu_shard_*], the merged worker latency histogram,
-   and the summed worker engine counters. *)
-let prom_exposition t telemetry =
+   the summed worker engine counters, and the supervision series —
+   respawns, suspicion transitions, fenced zombie answers, and a
+   per-shard epoch gauge. *)
+and prom_exposition t telemetry =
   let m = Metrics.snapshot t.metrics in
   let c name help v = Prom.counter ~name ~help (float_of_int v) in
   let g name help v = Prom.gauge ~name ~help (float_of_int v) in
+  let epoch_rows =
+    Supervisor.snapshot t.sup |> Array.to_list
+    |> List.mapi (fun i (_, epoch, _) ->
+           ([ ("shard", string_of_int i) ], float_of_int epoch))
+  in
   Prom.render
     ([
        g "suu_shards" "Configured worker shards." t.cfg.shards;
@@ -459,6 +601,19 @@ let prom_exposition t telemetry =
          t.subjobs;
        c "suu_coord_shard_deaths_total" "Worker shards lost." t.shard_deaths;
        c "suu_coord_heartbeats_total" "Heartbeat pings sent." t.heartbeats;
+       c "suu_shard_respawns_total" "Worker shards respawned after loss."
+         (Supervisor.respawns_total t.sup);
+       c "suu_coord_suspect_transitions_total"
+         "Shards escalated to suspect after missed heartbeats."
+         (Supervisor.suspects_total t.sup);
+       c "suu_coord_fenced_replies_total"
+         "Late answers from fenced (killed-epoch) shards, discarded."
+         t.fenced;
+       Prom.labelled ~name:"suu_shard_epoch"
+         ~help:
+           "Shard incarnation number (death count); work is fenced to \
+            the epoch it was dispatched under."
+         ~ty:`Gauge epoch_rows;
      ]
     @ (match m.Metrics.latency_hist with
       | None -> []
@@ -491,7 +646,7 @@ let prom_exposition t telemetry =
           c ("suu_shard_" ^ name) "Summed across live worker shards." v)
         telemetry.Merge.engine)
 
-let finalize_stats_locked t st =
+and finalize_stats_locked t st =
   emit_lazy t.em st.tseq (fun () ->
       let telemetry = Merge.telemetry_of_responses st.replies in
       match st.tformat with
@@ -508,18 +663,24 @@ let finalize_stats_locked t st =
           Request.ok ~id:st.tid (coord_stats_fields t telemetry @ hist));
   request_done_locked t
 
-let on_stats_reply t st = function
+let on_stats_reply t st i epoch ticket = function
   | Some line ->
-      Mutex.lock t.lock;
-      st.replies <- line :: st.replies;
-      st.waiting <- st.waiting - 1;
-      if st.waiting = 0 then finalize_stats_locked t st;
-      Mutex.unlock t.lock
+      if claim t i ticket ~answered:true then begin
+        Mutex.lock t.lock;
+        st.replies <- line :: st.replies;
+        st.waiting <- st.waiting - 1;
+        if st.waiting = 0 then finalize_stats_locked t st;
+        Mutex.unlock t.lock
+      end
   | None ->
-      Mutex.lock t.lock;
-      st.waiting <- st.waiting - 1;
-      if st.waiting = 0 then finalize_stats_locked t st;
-      Mutex.unlock t.lock
+      if claim t i ticket ~answered:false then begin
+        Mutex.lock t.lock;
+        st.waiting <- st.waiting - 1;
+        if st.waiting = 0 then finalize_stats_locked t st;
+        Mutex.unlock t.lock;
+        handle_shard_loss t i ~epoch
+      end
+      else handle_shard_loss t i ~epoch
 
 let stats_pull_line =
   Json.to_string (Json.Obj [ ("op", Json.Str "stats"); ("format", Json.Str "raw") ])
@@ -528,28 +689,43 @@ let admit_stats t seq req format =
   Metrics.record_stats_request t.metrics;
   Mutex.lock t.lock;
   t.outstanding <- t.outstanding + 1;
-  let targets = live_indices t in
   let st =
     {
       tseq = seq;
       tid = req.Request.id;
       tformat = format;
-      waiting = List.length targets;
+      waiting = 0;
       replies = [];
     }
+  in
+  let targets =
+    List.filter_map
+      (fun i ->
+        match Supervisor.checkout t.sup i with
+        | None -> None
+        | Some (c, epoch) ->
+            st.waiting <- st.waiting + 1;
+            let ticket = register_locked t i (W_stat st) in
+            Some (i, c, epoch, ticket))
+      (live_indices t)
   in
   if targets = [] then finalize_stats_locked t st;
   Mutex.unlock t.lock;
   List.iter
-    (fun i ->
+    (fun (i, c, epoch, ticket) ->
       if
         not
-          (Client.submit t.clients.(i) stats_pull_line (fun r ->
-               on_stats_reply t st r))
-      then begin
-        note_death t i;
-        on_stats_reply t st None
-      end)
+          (Client.submit c stats_pull_line (fun r ->
+               on_stats_reply t st i epoch ticket r))
+      then
+        if claim t i ticket ~answered:false then begin
+          Mutex.lock t.lock;
+          st.waiting <- st.waiting - 1;
+          if st.waiting = 0 then finalize_stats_locked t st;
+          Mutex.unlock t.lock;
+          handle_shard_loss t i ~epoch
+        end
+        else handle_shard_loss t i ~epoch)
     targets
 
 (* --- admission -------------------------------------------------------- *)
@@ -651,37 +827,71 @@ let admit t seq line =
               admit_split t seq req ~trials ~instance
           | _ -> admit_forward t seq req line))
 
-(* --- heartbeat -------------------------------------------------------- *)
+(* --- supervision ------------------------------------------------------ *)
 
 let heartbeat_line =
   Json.to_string (Json.Obj [ ("op", Json.Str "ping"); ("id", Json.Str "hb") ])
 
-let heartbeat_loop t stop period_ms =
-  let period = period_ms /. 1000. in
-  let slice = Float.min period 0.05 in
-  let rec loop elapsed =
+(* One domain runs the whole control loop: heartbeat escalation on the
+   configured period, respawn of dead shards when their backoff clock
+   expires, and an opportunistic pump so work queued while the fleet
+   was empty starts the moment a shard rejoins (or fails for good the
+   moment recovery becomes impossible). *)
+let do_beats t =
+  let beat, expired = Supervisor.begin_beats t.sup in
+  List.iter (fun (i, epoch) -> handle_shard_loss t i ~epoch) expired;
+  List.iter
+    (fun (i, epoch) ->
+      match Supervisor.checkout t.sup i with
+      | Some (c, e) when e = epoch ->
+          let submitted =
+            Client.submit c heartbeat_line (fun r ->
+                match r with
+                | Some _ -> Supervisor.pong t.sup i ~epoch
+                | None -> handle_shard_loss t i ~epoch)
+          in
+          if submitted then begin
+            Mutex.lock t.lock;
+            t.heartbeats <- t.heartbeats + 1;
+            Mutex.unlock t.lock
+          end
+          else handle_shard_loss t i ~epoch
+      | _ -> () (* fenced since begin_beats; nothing to ping *))
+    beat
+
+let supervision_loop t stop =
+  let period = Option.map (fun ms -> ms /. 1000.) t.cfg.heartbeat_ms in
+  let slice = 0.005 in
+  let rec loop hb_elapsed =
     if not (Atomic.get stop) then begin
       Unix.sleepf slice;
-      let elapsed = elapsed +. slice in
-      if elapsed >= period then begin
-        List.iter
-          (fun i ->
-            let submitted =
-              Client.submit t.clients.(i) heartbeat_line (fun r ->
-                  match r with
-                  | Some _ -> ()
-                  | None -> note_death t i)
-            in
-            if submitted then begin
-              Mutex.lock t.lock;
-              t.heartbeats <- t.heartbeats + 1;
-              Mutex.unlock t.lock
-            end
-            else note_death t i)
-          (live_indices t);
-        loop 0.
-      end
-      else loop elapsed
+      (* Respawns: slots whose backoff expired. The spawn itself runs
+         outside every lock; a rejoined shard is routable at its new
+         epoch immediately, so pump right away. *)
+      let due = Supervisor.due_respawns t.sup ~now:(Unix.gettimeofday ()) in
+      List.iter
+        (fun i ->
+          ignore (Supervisor.respawn t.sup i ~now:(Unix.gettimeofday ()));
+          (* On success queued jobs can start; on a failed attempt the
+             budget may just have run out, in which case the pump fails
+             whatever could only have waited for this shard. *)
+          pump t)
+        due;
+      (* Opportunistic pump: jobs can be parked while the fleet is
+         empty but recoverable. *)
+      (let queued =
+         Mutex.lock t.lock;
+         let q = not (Queue.is_empty t.jobs) in
+         Mutex.unlock t.lock;
+         q
+       in
+       if queued then pump t);
+      let hb_elapsed = hb_elapsed +. slice in
+      match period with
+      | Some p when hb_elapsed >= p ->
+          do_beats t;
+          loop 0.
+      | _ -> loop hb_elapsed
     end
   in
   loop 0.
@@ -693,17 +903,32 @@ let validate (cfg : config) =
   if cfg.replicas < 1 then invalid_arg "Coordinator: replicas < 1";
   if cfg.sub_inflight < 1 then invalid_arg "Coordinator: sub_inflight < 1";
   if cfg.retries < 0 then invalid_arg "Coordinator: retries < 0";
-  if cfg.chunk_trials < 0 then invalid_arg "Coordinator: chunk_trials < 0"
+  if cfg.chunk_trials < 0 then invalid_arg "Coordinator: chunk_trials < 0";
+  if cfg.respawn_budget < 0 then invalid_arg "Coordinator: respawn_budget < 0";
+  if cfg.suspect_after < 1 then invalid_arg "Coordinator: suspect_after < 1";
+  if cfg.dead_after < cfg.suspect_after then
+    invalid_arg "Coordinator: dead_after < suspect_after"
 
 let serve cfg ~spawn transport =
   validate cfg;
   let module T = (val transport : Service.TRANSPORT) in
-  let clients = Array.init cfg.shards spawn in
+  let sup =
+    Supervisor.create
+      {
+        Supervisor.shards = cfg.shards;
+        respawn_budget = cfg.respawn_budget;
+        respawn_backoff_ms = cfg.respawn_backoff_ms;
+        suspect_after = cfg.suspect_after;
+        dead_after = cfg.dead_after;
+        fault = cfg.fault;
+      }
+      ~spawn
+  in
   let t =
     {
       cfg;
       ring = Ring.create ~replicas:cfg.replicas (List.init cfg.shards Fun.id);
-      clients;
+      sup;
       em = emitter_create T.send;
       metrics = Metrics.create ();
       lock = Mutex.create ();
@@ -711,21 +936,23 @@ let serve cfg ~spawn transport =
       outstanding = 0;
       dispatches = 0;
       rr = 0;
+      next_ticket = 0;
+      tickets = Array.init cfg.shards (fun _ -> Hashtbl.create 16);
       jobs = Queue.create ();
       sub_inflight = Array.make cfg.shards 0;
-      dead = Array.make cfg.shards false;
       forwards = 0;
       splits = 0;
       subjobs = 0;
       shard_deaths = 0;
       heartbeats = 0;
+      fenced = 0;
     }
   in
-  let stop_hb = Atomic.make false in
-  let hb =
-    Option.map
-      (fun ms -> Domain.spawn (fun () -> heartbeat_loop t stop_hb ms))
-      cfg.heartbeat_ms
+  let stop_sup = Atomic.make false in
+  let sup_domain =
+    if cfg.heartbeat_ms <> None || cfg.respawn_budget > 0 then
+      Some (Domain.spawn (fun () -> supervision_loop t stop_sup))
+    else None
   in
   let rec read_loop seq =
     match T.recv () with
@@ -740,11 +967,20 @@ let serve cfg ~spawn transport =
     Condition.wait t.done_cv t.lock
   done;
   Mutex.unlock t.lock;
-  Atomic.set stop_hb true;
-  Option.iter Domain.join hb;
-  let shards_live = List.length (live_indices t) in
-  Array.iter Client.close_input clients;
-  Array.iter Client.join clients;
+  (* Let the fleet finish healing before the final report: respawn
+     budgets are finite and backoff is capped, so this terminates. With
+     the supervision domain disabled there is nobody to heal. *)
+  if sup_domain <> None then
+    while Supervisor.healing t.sup do
+      Unix.sleepf 0.005
+    done;
+  Atomic.set stop_sup true;
+  Option.iter Domain.join sup_domain;
+  let shards_live = Supervisor.live_count t.sup in
+  let clients = Supervisor.clients t.sup in
+  List.iter Client.close_input clients;
+  List.iter Client.join clients;
+  List.iter Client.join (Supervisor.drain_zombies t.sup);
   {
     metrics = Metrics.snapshot t.metrics;
     shards = cfg.shards;
@@ -754,6 +990,9 @@ let serve cfg ~spawn transport =
     subjobs = t.subjobs;
     shard_deaths = t.shard_deaths;
     heartbeats = t.heartbeats;
+    respawns = Supervisor.respawns_total t.sup;
+    suspects = Supervisor.suspects_total t.sup;
+    fenced = t.fenced;
   }
 
 let run_lines cfg ~spawn lines =
@@ -785,11 +1024,15 @@ let report_to_string (r : report) =
     "coordinator: %d requests (%d ok, %d errors, %d timeouts), %d retries\n"
     m.Metrics.requests m.Metrics.ok m.Metrics.errors m.Metrics.timeouts
     m.Metrics.retries;
-  Printf.bprintf b "shards: %d spawned, %d live at shutdown, %d lost\n"
-    r.shards r.shards_live r.shard_deaths;
+  Printf.bprintf b
+    "shards: %d spawned, %d live at shutdown, %d lost, %d respawned\n"
+    r.shards r.shards_live r.shard_deaths r.respawns;
   Printf.bprintf b "dispatch: %d forwarded, %d split into %d sub-jobs\n"
     r.forwards r.splits r.subjobs;
   Printf.bprintf b "heartbeats: %d" r.heartbeats;
+  (if r.suspects > 0 || r.fenced > 0 then
+     Printf.bprintf b "\nsupervision: %d suspect transitions, %d fenced replies"
+       r.suspects r.fenced);
   (match m.Metrics.latency with
   | None -> ()
   | Some l ->

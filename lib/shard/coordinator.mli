@@ -1,6 +1,7 @@
 (** The sharding coordinator: one process speaking the service's
     line-JSON protocol on its transport, fronting a fleet of worker
-    shards (each an ordinary {!Suu_service.Service} over its own pipe).
+    shards (each an ordinary {!Suu_service.Service} over its own pipe
+    or socket).
 
     {2 Routing}
 
@@ -20,19 +21,30 @@
     seeds each trial independently of its neighbours, the concatenated
     partial samples are the unsplit run's sample vector, and the merged
     response ({!Merge.merged_fields}) is {e byte-identical} to the
-    single-process answer — certified by the [split-merge] conformance
-    property and the shard test suite.
+    single-process answer — certified by the [split-merge] and
+    [shard-heal] conformance properties and the shard test suite.
 
-    {2 Failure model}
+    {2 Failure model and self-healing}
 
-    Worker loss surfaces as EOF on the shard's pipe; every request or
-    sub-job in flight there is re-dispatched to a surviving shard, up to
-    [retries] times each with capped deterministic backoff, after which
-    the request answers [reason:"shard_lost"] ([reason:"unavailable"]
-    once no shard remains). Lost shards are not respawned. A heartbeat
-    domain pings live shards every [heartbeat_ms] so quiet deployments
-    also notice deaths. Every admitted request is answered exactly once
-    and responses leave in request order — the same contract as a single
+    Worker loss surfaces as EOF on the shard's pipe (or a TCP client
+    whose reconnect budget ran out), as a failed submit, or as
+    [dead_after] consecutive missed heartbeats — whichever is observed
+    first. The loss is routed through the {!Supervisor}: the slot is
+    {e fenced} (its epoch bumped), every request or sub-job in flight
+    there is reclaimed by ticket and re-dispatched to survivors (up to
+    [retries] times each with capped deterministic backoff), and the
+    zombie's late answers — arriving after the fence — find their
+    tickets gone and are discarded (counted as [fenced]). With
+    [respawn_budget > 0] the supervisor then respawns the shard after a
+    capped-exponential deterministically-jittered delay; the rejoined
+    shard re-enters the ring and the least-loaded pool at its new epoch
+    immediately (its cache restarts cold, its counters at zero — the
+    merge layer tolerates both). [respawn_budget = 0] preserves the
+    degrade-only fleet: requests answer [reason:"shard_lost"]
+    ([reason:"unavailable"] once no shard remains and recovery is
+    impossible); while a respawn is still possible, work waits instead
+    of failing. Every admitted request is answered exactly once and
+    responses leave in request order — the same contract as a single
     service. Worker loss is injectable deterministically through the
     fault spec's [kill] rate ({!Suu_service.Fault.Kill}), keyed by the
     coordinator's dispatch counter.
@@ -44,9 +56,13 @@
     ({!Suu_obs.Counters.merge_snapshots}), latency histograms merged
     bucket-wise ({!Suu_obs.Histogram.merge}) — into one response, or for
     [format:"prom"] one Prometheus exposition with the coordinator's own
-    counters under [suu_coord_*] and the fleet's under [suu_shard_*].
-    [ping] is answered locally with shard liveness attached. Route,
-    dispatch and merge phases record spans when [tracer] is enabled. *)
+    counters under [suu_coord_*], the fleet's under [suu_shard_*], and
+    the supervision series: [suu_shard_respawns_total],
+    [suu_coord_suspect_transitions_total],
+    [suu_coord_fenced_replies_total] and the per-shard
+    [suu_shard_epoch{shard="i"}] gauge. [ping] is answered locally with
+    shard liveness attached. Route, dispatch and merge phases record
+    spans when [tracer] is enabled. *)
 
 type config = {
   shards : int;  (** worker shards to spawn (>= 1) *)
@@ -60,6 +76,17 @@ type config = {
   retries : int;  (** re-dispatches per request or sub-job after shard loss *)
   retry_backoff_ms : float;  (** re-dispatch backoff base (capped at 50 ms) *)
   heartbeat_ms : float option;  (** ping period; [None] disables *)
+  suspect_after : int;
+      (** consecutive missed beats before a shard turns suspect *)
+  dead_after : int;
+      (** consecutive missed beats before a shard is declared dead
+          (>= [suspect_after]) *)
+  respawn_budget : int;
+      (** respawn attempts per shard; [0] = degrade-only (PR-6
+          behaviour) *)
+  respawn_backoff_ms : float;
+      (** respawn delay base, capped exponential with deterministic
+          jitter *)
   default_trials : int;  (** when a request omits ["trials"] *)
   default_seed : int;  (** when a request omits ["seed"] *)
   fault : Suu_service.Fault.spec;  (** coordinator-side injection ([kill]) *)
@@ -69,19 +96,24 @@ type config = {
 val default_config : config
 (** 2 shards, 64 replicas, split at 64 trials with auto chunking, 4
     sub-jobs in flight per shard, 2 retries at 1 ms base backoff,
-    100 ms heartbeat, 200 trials, seed 1, no faults, tracing off. *)
+    100 ms heartbeat (suspect after 1 miss, dead after 3), respawn
+    budget 2 at 10 ms base backoff, 200 trials, seed 1, no faults,
+    tracing off. *)
 
 type report = {
   metrics : Suu_service.Metrics.snapshot;
       (** the coordinator's own request accounting; [retries] counts
           re-dispatches after shard loss *)
   shards : int;
-  shards_live : int;  (** live when shutdown began *)
+  shards_live : int;  (** live when shutdown (post-heal) completed *)
   forwards : int;  (** whole requests routed to a shard *)
   splits : int;  (** requests split into sub-jobs *)
   subjobs : int;  (** sub-jobs dispatched (excluding re-dispatches) *)
-  shard_deaths : int;
+  shard_deaths : int;  (** death events (a respawned shard can die again) *)
   heartbeats : int;  (** pings sent *)
+  respawns : int;  (** successful respawns *)
+  suspects : int;  (** healthy-to-suspect transitions *)
+  fenced : int;  (** zombie answers discarded at the fence *)
 }
 
 val report_to_string : report -> string
@@ -91,11 +123,14 @@ val serve :
   spawn:(int -> Client.t) ->
   (module Suu_service.Service.TRANSPORT) ->
   report
-(** Spawn [shards] clients via [spawn], serve the transport until its
-    input is exhausted, drain every outstanding response, then shut the
-    fleet down gracefully (EOF, drain, join) and report. [spawn] decides
-    the worker flavour: {!Client.process} for real worker processes (the
-    CLI), {!Client.local} for in-process workers (tests, benchmarks). *)
+(** Spawn [shards] clients via [spawn] (retained by the supervisor for
+    respawns), serve the transport until its input is exhausted, drain
+    every outstanding response, wait for any in-flight healing to
+    settle, then shut the fleet down gracefully (EOF, drain, join —
+    zombies included) and report. [spawn] decides the worker flavour:
+    {!Client.process} or {!Client.tcp_process} for real worker
+    processes (the CLI), {!Client.local} or {!Client.tcp} for
+    in-process or in-test workers. *)
 
 val run_lines :
   config -> spawn:(int -> Client.t) -> string list -> string list * report

@@ -20,7 +20,15 @@ val create : ?replicas:int -> int list -> t
 val route : t -> live:(int -> bool) -> string -> int option
 (** The shard owning [key], skipping virtual nodes of shards the [live]
     predicate rejects — dead shards' arcs fall to their clockwise
-    successors. [None] when no live shard remains. *)
+    successors. [None] when no live shard remains.
+
+    [live] is consulted at route time, never cached, which is what
+    makes rejoin safe: a respawned shard's virtual nodes were never
+    removed from the ring, so the moment the supervisor reports the
+    slot routable again its arcs fall back to it — keys return to
+    their original owner with no rebuild and no transfer of the keys
+    that never moved. Exactly-once answering across the rejoin is the
+    epoch fence's job ({!Supervisor}), not the ring's. *)
 
 val hash_string : string -> int
 (** The ring's key hash (FNV-1a, splitmix-finalised, non-negative) —

@@ -15,7 +15,8 @@ visible property with zero failures.
   ok   serialize-roundtrip  10 cases
   ok   obs-mass-trace       10 cases
   ok   split-merge          10 cases
-  check: 13 properties, 130 cases, 0 failures
+  ok   shard-heal           10 cases
+  check: 14 properties, 140 cases, 0 failures
 
 Named selection runs only the requested properties, in the order given.
 

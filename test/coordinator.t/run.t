@@ -79,15 +79,30 @@ counters under suu_shard_*.
   suu_shard_ok_total 3
   suu_shard_requests_total 3
 
-Worker loss, injected deterministically: with kill=1 every dispatch
-SIGKILLs its target shard first, so the fleet is murdered within the
-first request's retries and every request still gets exactly one
-structured answer — degraded ("shard_lost" once the retry budget is
-spent, "unavailable" once no shard remains), never dropped, never hung.
-The seed is pinned so this session is stable under the CI fault-seed
-matrix; the shutdown dump's shard line shows the carnage.
+The TCP transport carries the identical protocol: workers are spawned
+with --listen 127.0.0.1:0, announce their bound port, and the
+coordinator dials them. The response stream reproduces the pipe
+transport's pinned bytes exactly.
 
-  $ suu coordinator --shards 2 --retries 1 --fault-spec 'seed=3,kill=1' < requests > chaos.out 2> chaos.dump
+  $ suu coordinator --shards 2 --transport tcp --quiet < requests
+  {"id":"p","status":"ok","pong":true,"shards":2,"shards_live":2}
+  {"id":"s1","status":"ok","cached":false,"algo":"suu-i-alg","trials":64,"mean":1.296875,"ci95":0.120971365126,"p95":2,"incomplete":0}
+  {"id":"s2","status":"ok","cached":false,"algo":"suu-i-alg","trials":64,"mean":1.296875,"ci95":0.120971365126,"p95":2,"incomplete":0}
+  {"id":"small","status":"ok","cached":false,"algo":"suu-i-alg","trials":8,"mean":1.25,"ci95":0.320780298647,"p95":2,"incomplete":0}
+  {"id":null,"status":"error","error":"parse: expected true at offset 0"}
+  {"id":"i","status":"ok","class":"chains","jobs":2,"machines":2,"edges":1,"width":1,"critical_path":2,"bounds":{"rate":1,"capacity":1,"critical_path":2,"best":2}}
+
+Worker loss, injected deterministically, in explicit degrade-only mode
+(--respawn-budget 0 preserves the pre-supervision fleet): with kill=1
+every dispatch SIGKILLs its target shard first, so the fleet is
+murdered within the first request's retries and every request still
+gets exactly one structured answer — degraded ("shard_lost" once the
+retry budget is spent, "unavailable" once no shard remains), never
+dropped, never hung. The seed is pinned so this session is stable
+under the CI fault-seed matrix; the shutdown dump's shard line shows
+the carnage.
+
+  $ suu coordinator --shards 2 --retries 1 --respawn-budget 0 --fault-spec 'seed=3,kill=1' < requests > chaos.out 2> chaos.dump
   $ wc -l < chaos.out
   6
   $ grep -c '"status":"error"' chaos.out
@@ -95,7 +110,51 @@ matrix; the shutdown dump's shard line shows the carnage.
   $ grep -c '"reason":"shard_lost"\|"reason":"unavailable"\|"error":"parse' chaos.out
   5
   $ grep '^shards:' chaos.dump
-  shards: 2 spawned, 0 live at shutdown, 2 lost
+  shards: 2 spawned, 0 live at shutdown, 2 lost, 0 respawned
+
+With a respawn budget, the same chaos heals instead of degrading: a
+killed shard's in-flight work re-dispatches to the survivor at once
+(fenced to the dead epoch, so any late answers are discarded), the
+supervisor respawns the shard after its backoff, and the rejoined
+worker re-enters the ring. Every request answers ok, and at shutdown
+the fleet is back at full strength with every death matched by a
+respawn — the sed below only prints when live = 2 and lost equals
+respawned, at least one of each.
+
+  $ cat > healreq <<'EOF'
+  > {"op":"solve","id":"a","trials":8,"seed":1,"instance":"suu 1\nn 2 m 2\nedges 0\nprobs\n0.9 0.5\n0.4 0.8"}
+  > {"op":"solve","id":"b","trials":8,"seed":2,"instance":"suu 1\nn 2 m 2\nedges 0\nprobs\n0.9 0.5\n0.4 0.8"}
+  > {"op":"solve","id":"c","trials":8,"seed":3,"instance":"suu 1\nn 2 m 2\nedges 0\nprobs\n0.9 0.5\n0.4 0.8"}
+  > {"op":"solve","id":"d","trials":8,"seed":4,"instance":"suu 1\nn 2 m 2\nedges 0\nprobs\n0.9 0.5\n0.4 0.8"}
+  > {"op":"solve","id":"e","trials":8,"seed":5,"instance":"suu 1\nn 2 m 2\nedges 0\nprobs\n0.9 0.5\n0.4 0.8"}
+  > {"op":"solve","id":"f","trials":8,"seed":6,"instance":"suu 1\nn 2 m 2\nedges 0\nprobs\n0.9 0.5\n0.4 0.8"}
+  > EOF
+  $ suu coordinator --shards 2 --retries 8 --respawn-budget 4 --fault-spec 'seed=3,kill=0.35' < healreq > heal.out 2> heal.dump
+  $ grep -c '"status":"ok"' heal.out
+  6
+  $ sed -nE 's/^shards: 2 spawned, 2 live at shutdown, ([1-9][0-9]*) lost, \1 respawned$/healed/p' heal.dump
+  healed
+
+And the healed responses are byte-identical to an undisturbed fleet's:
+exactly-once, in order, with no ghost of the chaos in the payloads.
+
+  $ suu coordinator --shards 2 --quiet < healreq > calm.out
+  $ cmp calm.out heal.out
+
+The supervision telemetry rides the merged Prometheus exposition: the
+respawn and fencing counters and the per-shard epoch gauge (each
+slot's incarnation — its death count) are always exported, zero on an
+undisturbed fleet.
+
+  $ head -3 healreq > promreq2
+  $ echo '{"op":"stats","id":"z","format":"prom"}' >> promreq2
+  $ suu coordinator --shards 2 --quiet < promreq2 | tail -1 > prom2.out
+  $ grep -o 'suu_shard_respawns_total [0-9][0-9]*\|suu_coord_suspect_transitions_total [0-9][0-9]*\|suu_coord_fenced_replies_total [0-9][0-9]*\|suu_shard_epoch{shard=\\"[0-9]*\\"} [0-9][0-9]*' prom2.out
+  suu_shard_respawns_total 0
+  suu_coord_suspect_transitions_total 0
+  suu_coord_fenced_replies_total 0
+  suu_shard_epoch{shard=\"0\"} 0
+  suu_shard_epoch{shard=\"1\"} 0
 
 A malformed fault spec is rejected up front.
 

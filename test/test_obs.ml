@@ -138,6 +138,52 @@ let test_histogram_merge () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "layout mismatch accepted"
 
+(* A respawned worker reports from zero. Folding its reset snapshot
+   into the fleet merge must be a no-op — never a step backwards — and
+   merging disjoint-bucket histograms must be exact, not approximate. *)
+let test_histogram_merge_disjoint_and_reset () =
+  let mk vals =
+    let h = Histogram.create () in
+    List.iter (Histogram.add h) vals;
+    h
+  in
+  (* Samples three decades apart: no shared bucket between a and b. *)
+  let a = mk [ 0.001; 0.002; 0.003 ] and b = mk [ 10.; 20.; 30. ] in
+  let keys h = List.map fst (Histogram.buckets h) in
+  List.iter
+    (fun k ->
+      if List.mem k (keys b) then
+        Alcotest.failf "buckets not disjoint at bound %g" k)
+    (keys a);
+  let m = Histogram.merge [ a; b ] in
+  Alcotest.(check int) "disjoint counts add" 6 (Histogram.count m);
+  Alcotest.(check int)
+    "disjoint occupancy is the union"
+    (List.length (Histogram.buckets a) + List.length (Histogram.buckets b))
+    (List.length (Histogram.buckets m));
+  (* The respawned worker arrives over the wire as an empty snapshot. *)
+  let reset = Histogram.import (Histogram.export (Histogram.create ())) in
+  let m' = Histogram.merge [ a; b; reset ] in
+  Alcotest.(check int)
+    "reset worker leaves count alone" (Histogram.count m) (Histogram.count m');
+  Alcotest.(check (float 1e-9))
+    "reset worker leaves sum alone" (Histogram.sum m) (Histogram.sum m');
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "reset worker leaves buckets alone" (Histogram.buckets m)
+    (Histogram.buckets m');
+  (* Never backwards: every merged aggregate dominates every input's. *)
+  List.iter
+    (fun h ->
+      Alcotest.(check bool) "count never backwards" true
+        (Histogram.count m' >= Histogram.count h);
+      Alcotest.(check bool) "sum never backwards" true
+        (Histogram.sum m' >= Histogram.sum h);
+      Alcotest.(check bool) "min never backwards" true
+        (Histogram.min_value m' <= Histogram.min_value h);
+      Alcotest.(check bool) "max never backwards" true
+        (Histogram.max_value m' >= Histogram.max_value h))
+    [ a; b; reset ]
+
 let test_histogram_snapshot_roundtrip () =
   let h = Histogram.create () in
   List.iter (Histogram.add h) [ 0.2; 5.; 5.; 123456.; 1e-9 ];
@@ -185,6 +231,37 @@ let test_counters_merge_snapshots () =
   Alcotest.(check (list (pair string int)))
     "empty fold" []
     (Suu_obs.Counters.merge_snapshots [])
+
+(* Counter edges of the same fleet-merge path: snapshots with no names
+   in common sum to their concatenation, a respawned worker's
+   zeroed-out snapshot changes nothing, and the merged value of every
+   name dominates its value in every contributing snapshot. *)
+let test_counters_merge_disjoint_and_reset () =
+  let merge = Suu_obs.Counters.merge_snapshots in
+  let s0 = [ ("requests", 9); ("ok", 8) ]
+  and s1 = [ ("errors", 1); ("retries", 4) ] in
+  Alcotest.(check (list (pair string int)))
+    "disjoint names concatenate, sorted"
+    [ ("errors", 1); ("ok", 8); ("requests", 9); ("retries", 4) ]
+    (merge [ s0; s1 ]);
+  (* A worker fresh from respawn: same names, all zero. *)
+  let reset = [ ("errors", 0); ("ok", 0); ("requests", 0); ("retries", 0) ] in
+  Alcotest.(check (list (pair string int)))
+    "reset snapshot is a merge no-op"
+    (merge [ s0; s1 ])
+    (merge [ s0; s1; reset ]);
+  let merged = merge [ s0; s1; reset ] in
+  List.iter
+    (fun snap ->
+      List.iter
+        (fun (name, v) ->
+          match List.assoc_opt name merged with
+          | Some m when m >= v -> ()
+          | Some m ->
+              Alcotest.failf "merged %s went backwards: %d < %d" name m v
+          | None -> Alcotest.failf "merged lost counter %s" name)
+        snap)
+    [ s0; s1; reset ]
 
 (* --- trace-event JSON, round-tripped through the service codec --- *)
 
@@ -468,6 +545,8 @@ let () =
           Alcotest.test_case "quantile error bounds" `Quick
             test_histogram_quantile_bounds;
           Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "merge disjoint + respawn reset" `Quick
+            test_histogram_merge_disjoint_and_reset;
           Alcotest.test_case "snapshot round-trip" `Quick
             test_histogram_snapshot_roundtrip;
         ] );
@@ -475,6 +554,8 @@ let () =
         [
           Alcotest.test_case "merge snapshots" `Quick
             test_counters_merge_snapshots;
+          Alcotest.test_case "merge disjoint + respawn reset" `Quick
+            test_counters_merge_disjoint_and_reset;
         ] );
       ( "trace-event",
         [

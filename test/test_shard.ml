@@ -1,18 +1,23 @@
 (* The sharding layer: consistent-hash ring, trial-range planning, and
-   the coordinator's end-to-end contract over in-process workers — the
-   merged split response is byte-identical to a single service, every
-   admitted request is answered exactly once in order, and worker loss
-   degrades instead of hanging. *)
+   the coordinator's end-to-end contract — the merged split response is
+   byte-identical to a single service, every admitted request is
+   answered exactly once in order, worker loss degrades instead of
+   hanging, and (new in the self-healing fleet) killed shards respawn,
+   rejoin the ring, and their late zombie answers are fenced off by
+   epoch. The coordinator suite runs twice: once over in-process pipe
+   workers and once over in-test TCP workers, so both transports carry
+   the same contract. *)
 
 module Ring = Suu_shard.Ring
 module Dispatch = Suu_shard.Dispatch
 module Client = Suu_shard.Client
 module Coordinator = Suu_shard.Coordinator
 module Service = Suu_service.Service
+module Tcp = Suu_service.Tcp
 module Json = Suu_service.Json
 module Fault = Suu_service.Fault
 
-(* CI sweeps this seed over the chaos test's structural assertions. *)
+(* CI sweeps this seed over the chaos tests' structural assertions. *)
 let chaos_seed =
   Option.bind (Sys.getenv_opt "SUU_FAULT_SEED") int_of_string_opt
   |> Option.value ~default:1
@@ -35,6 +40,33 @@ let field name line =
   | Ok v -> Json.member name v
   | Error _ -> None
 
+(* A repeat can be a cache hit on its owning shard but a miss in a
+   single service's (shared) cache — and a respawned or reconnected
+   worker restarts its cache cold — so the cached flag is the one field
+   byte-identity comparisons may scrub. Everything else, including
+   every float, must match to the byte. *)
+let scrub line =
+  let needle = {|"cached":true|} in
+  let n = String.length needle in
+  let rec find i =
+    if i + n > String.length line then line
+    else if String.sub line i n = needle then
+      String.sub line 0 i ^ {|"cached":false|}
+      ^ String.sub line (i + n) (String.length line - i - n)
+    else find (i + 1)
+  in
+  find 0
+
+let check_byte_identical ~msg want got =
+  Alcotest.(check int) (msg ^ ": one response per request")
+    (List.length want) (List.length got);
+  List.iteri
+    (fun k (w, g) ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s: response %d byte-identical" msg k)
+        (scrub w) (scrub g))
+    (List.combine want got)
+
 let worker_config =
   {
     Service.default_config with
@@ -49,6 +81,31 @@ let worker_config =
 
 let spawn_local i = Client.local ~id:i worker_config
 
+(* An in-test TCP worker: a listener on a kernel-picked port, one
+   serving domain, and the client's connecting side dialled at it. One
+   connection per worker is enough here (faults that force reconnects
+   get their own servers below); the server exits once its connection
+   drains, and reap joins the domain. *)
+let spawn_tcp i =
+  match Tcp.listen "127.0.0.1:0" with
+  | Error e -> failwith e
+  | Ok (lsock, addr) ->
+      let srv =
+        Domain.spawn (fun () ->
+            Tcp.serve_connections ~max_conns:1
+              ~on_report:(fun _ -> ())
+              worker_config lsock)
+      in
+      let p = Client.tcp_peer ~addr () in
+      Client.custom ~id:i
+        {
+          p with
+          Client.reap =
+            (fun () ->
+              p.Client.reap ();
+              Domain.join srv);
+        }
+
 let coord_config ~shards =
   {
     Coordinator.default_config with
@@ -58,8 +115,10 @@ let coord_config ~shards =
     retries = 2;
     retry_backoff_ms = 0.1;
     (* The heartbeat races run_lines' short lifetimes; tests that want
-       it opt in. *)
+       it opt in. Likewise respawning: the base suite pins the PR-6
+       degrade-only fleet, the healing tests opt in. *)
     heartbeat_ms = None;
+    respawn_budget = 0;
     default_trials = 40;
     default_seed = 5;
   }
@@ -123,6 +182,32 @@ let test_ring_death_moves_only_lost_arcs () =
   Alcotest.(check (option int)) "no live shard -> None" None
     (Ring.route ring ~live:(fun _ -> false) "solve:key-0")
 
+let test_ring_rejoin_restores_routes () =
+  (* Routing consults [live] at route time, so a respawned shard
+     re-enters the ring simply by answering [live] again — and because
+     death moved only the dead shard's arcs, rejoining restores exactly
+     the original placement. This is what makes the coordinator's
+     rejoin safe: no rebuild, no resharding storm. *)
+  let ring = Ring.create [ 0; 1; 2 ] in
+  let dead = ref (-1) in
+  let live s = s <> !dead in
+  let before = List.map (fun key -> Ring.route ring ~live key) keys in
+  dead := 1;
+  List.iter2
+    (fun key b ->
+      match (Ring.route ring ~live key, b) with
+      | Some a, Some b ->
+          Alcotest.(check bool) "dead shard unroutable" true (a <> 1);
+          if b <> 1 then Alcotest.(check int) "survivor keys stable" b a
+      | _ -> Alcotest.fail "route lost a key with survivors live")
+    keys before;
+  dead := -1;
+  List.iter2
+    (fun key b ->
+      Alcotest.(check (option int)) "rejoin restores the original route" b
+        (Ring.route ring ~live key))
+    keys before
+
 let test_ring_invalid_args () =
   let raises f =
     match f () with
@@ -175,9 +260,9 @@ let test_dispatch_invalid_args () =
   raises (fun () -> Dispatch.auto_chunk ~trials:0 ~shards:2);
   raises (fun () -> Dispatch.auto_chunk ~trials:4 ~shards:0)
 
-(* --- Coordinator --- *)
+(* --- Coordinator (parameterized over the shard transport) --- *)
 
-let test_coordinator_matches_single_service () =
+let test_coordinator_matches_single_service spawn () =
   (* Split requests (trials >= threshold), forwarded ones (below), and
      repeats (cache hits on the owning shard): the coordinator's
      response stream is byte-identical to one service's. *)
@@ -192,31 +277,9 @@ let test_coordinator_matches_single_service () =
   in
   let single, _ = Service.run_lines worker_config lines in
   let sharded, report =
-    Coordinator.run_lines (coord_config ~shards:2) ~spawn:spawn_local lines
+    Coordinator.run_lines (coord_config ~shards:2) ~spawn lines
   in
-  Alcotest.(check int) "one response per request" (List.length lines)
-    (List.length sharded);
-  List.iteri
-    (fun k (want, got) ->
-      (* A repeat can be a cache hit on its owning shard but a miss in
-         the single service's (shared) cache or vice versa; everything
-         else — including every float — must match to the byte. *)
-      let scrub line =
-        let needle = {|"cached":true|} in
-        let n = String.length needle in
-        let rec find i =
-          if i + n > String.length line then line
-          else if String.sub line i n = needle then
-            String.sub line 0 i ^ {|"cached":false|}
-            ^ String.sub line (i + n) (String.length line - i - n)
-          else find (i + 1)
-        in
-        find 0
-      in
-      Alcotest.(check string)
-        (Printf.sprintf "response %d byte-identical" k)
-        (scrub want) (scrub got))
-    (List.combine single sharded);
+  check_byte_identical ~msg:"vs single service" single sharded;
   Alcotest.(check int) "all answered ok" (List.length lines)
     report.Coordinator.metrics.Suu_service.Metrics.ok;
   Alcotest.(check bool) "large requests split" true
@@ -225,15 +288,13 @@ let test_coordinator_matches_single_service () =
     (report.Coordinator.forwards >= 1);
   Alcotest.(check int) "no shard lost" 2 report.Coordinator.shards_live
 
-let test_coordinator_ping_and_order () =
+let test_coordinator_ping_and_order spawn () =
   let n = 12 in
   let lines =
     {|{"op":"ping","id":"p"}|}
     :: List.init n (fun k -> solve ~seed:(k + 1) (Printf.sprintf "r%d" k))
   in
-  let out, _ =
-    Coordinator.run_lines (coord_config ~shards:3) ~spawn:spawn_local lines
-  in
+  let out, _ = Coordinator.run_lines (coord_config ~shards:3) ~spawn lines in
   Alcotest.(check int) "every request answered" (n + 1) (List.length out);
   Alcotest.(check (option bool)) "pong" (Some true)
     (Option.bind (field "pong" (List.nth out 0)) Json.to_bool);
@@ -250,7 +311,7 @@ let test_coordinator_ping_and_order () =
         (Option.bind (field "id" line) Json.to_str))
     out
 
-let test_coordinator_stats_merge () =
+let test_coordinator_stats_merge spawn () =
   let lines =
     [
       solve ~trials:8 ~seed:5 "a";
@@ -259,9 +320,7 @@ let test_coordinator_stats_merge () =
       {|{"op":"stats","id":"st"}|};
     ]
   in
-  let out, _ =
-    Coordinator.run_lines (coord_config ~shards:2) ~spawn:spawn_local lines
-  in
+  let out, _ = Coordinator.run_lines (coord_config ~shards:2) ~spawn lines in
   let stats = List.nth out 3 in
   Alcotest.(check (option string)) "stats ok" (Some "ok") (status stats);
   (* The snapshot precedes the stats request's own completion: it
@@ -293,7 +352,7 @@ let test_coordinator_stats_merge () =
     | Some n -> n >= 24
     | None -> false)
 
-let test_coordinator_survives_worker_loss () =
+let test_coordinator_survives_worker_loss spawn () =
   (* Chaos: kill fires per dispatch with the CI-swept seed. Whatever
      the placement, the structural contract holds — every request is
      answered exactly once, in order, each ok response is a real
@@ -309,7 +368,7 @@ let test_coordinator_survives_worker_loss () =
       Coordinator.fault = { Fault.none with seed = chaos_seed; kill = 0.15 };
     }
   in
-  let out, report = Coordinator.run_lines cfg ~spawn:spawn_local lines in
+  let out, report = Coordinator.run_lines cfg ~spawn lines in
   Alcotest.(check int) "every request answered" n (List.length out);
   List.iteri
     (fun k line ->
@@ -335,12 +394,14 @@ let test_coordinator_survives_worker_loss () =
   Alcotest.(check int) "ok + errors = requests" n
     (m.Suu_service.Metrics.ok + m.Suu_service.Metrics.errors);
   Alcotest.(check bool) "deaths within the fleet" true
-    (report.Coordinator.shard_deaths <= 3)
+    (report.Coordinator.shard_deaths <= 3);
+  Alcotest.(check int) "no respawns in degrade-only mode" 0
+    report.Coordinator.respawns
 
-let test_coordinator_all_shards_lost () =
-  (* kill=1 murders the only shard on the first dispatch; retries are
-     exhausted and every later request finds no live shard. Degraded,
-     answered, not hung. *)
+let test_coordinator_all_shards_lost spawn () =
+  (* kill=1 murders the only shard on the first dispatch; with respawns
+     disabled, retries are exhausted and every later request finds no
+     live shard. Degraded, answered, not hung. *)
   let n = 5 in
   let lines =
     List.init n (fun k ->
@@ -353,7 +414,7 @@ let test_coordinator_all_shards_lost () =
       fault = { Fault.none with seed = 1; kill = 1.0 };
     }
   in
-  let out, report = Coordinator.run_lines cfg ~spawn:spawn_local lines in
+  let out, report = Coordinator.run_lines cfg ~spawn lines in
   Alcotest.(check int) "every request answered" n (List.length out);
   List.iter
     (fun line ->
@@ -362,6 +423,323 @@ let test_coordinator_all_shards_lost () =
     out;
   Alcotest.(check int) "the fleet is gone" 0 report.Coordinator.shards_live;
   Alcotest.(check int) "death counted once" 1 report.Coordinator.shard_deaths
+
+let test_coordinator_respawn_heals spawn () =
+  (* The headline chaos demonstration: shards are killed mid-stream,
+     the supervisor respawns each one after its backoff, the rejoined
+     shards re-enter the ring — and the answer stream is byte-identical
+     to a single unfaulted service. Forward-sized requests keep the
+     kill exposure well inside the respawn budget. *)
+  let n = 12 in
+  let lines =
+    List.init n (fun k ->
+        solve ~trials:8 ~seed:(k + 1) (Printf.sprintf "r%d" k))
+  in
+  let cfg =
+    {
+      (coord_config ~shards:3) with
+      Coordinator.retries = 8;
+      respawn_budget = 8;
+      respawn_backoff_ms = 0.5;
+      fault = { Fault.none with seed = chaos_seed; kill = 0.2 };
+    }
+  in
+  let single, _ = Service.run_lines worker_config lines in
+  let out, report = Coordinator.run_lines cfg ~spawn lines in
+  check_byte_identical ~msg:"healed fleet vs single service" single out;
+  Alcotest.(check int) "all answered ok" n
+    report.Coordinator.metrics.Suu_service.Metrics.ok;
+  Alcotest.(check bool) "the chaos actually fired" true
+    (report.Coordinator.shard_deaths >= 1);
+  Alcotest.(check int) "every death was healed"
+    report.Coordinator.shard_deaths report.Coordinator.respawns;
+  Alcotest.(check int) "fleet back at full strength" 3
+    report.Coordinator.shards_live
+
+(* --- Epoch fencing --- *)
+
+(* A blocking line channel for hand-built peers. *)
+module Zchan = struct
+  type t = {
+    m : Mutex.t;
+    cv : Condition.t;
+    q : string Queue.t;
+    mutable closed : bool;
+  }
+
+  let create () =
+    {
+      m = Mutex.create ();
+      cv = Condition.create ();
+      q = Queue.create ();
+      closed = false;
+    }
+
+  let push t line =
+    Mutex.lock t.m;
+    if not t.closed then Queue.push line t.q;
+    Condition.broadcast t.cv;
+    Mutex.unlock t.m
+
+  let close t =
+    Mutex.lock t.m;
+    t.closed <- true;
+    Condition.broadcast t.cv;
+    Mutex.unlock t.m
+
+  let pop t =
+    Mutex.lock t.m;
+    while Queue.is_empty t.q && not t.closed do
+      Condition.wait t.cv t.m
+    done;
+    let r = if Queue.is_empty t.q then None else Some (Queue.pop t.q) in
+    Mutex.unlock t.m;
+    r
+end
+
+let zombie_marker = {|"mean":-999|}
+
+let test_coordinator_fences_zombie_answers () =
+  (* Shard 0 is a zombie: it accepts requests, never answers — until it
+     is killed, at which point every answer it owed surfaces at once,
+     fabricated with a poisoned mean (modelling a SIGKILLed worker whose
+     late answers were already in flight). Heartbeat escalation must
+     declare it suspect then dead, fence its epoch, re-dispatch its
+     in-flight work to the survivor — and the zombie flood must be
+     discarded at the fence, never emitted. *)
+  let out_chan = Zchan.create () in
+  let received = Atomic.make 0 in
+  let zombie_peer =
+    {
+      Client.send_line = (fun _ -> Atomic.incr received);
+      recv_line = (fun () -> Zchan.pop out_chan);
+      kill_peer =
+        (fun () ->
+          for _ = 1 to Atomic.get received do
+            Zchan.push out_chan
+              (Printf.sprintf {|{"status":"ok","id":"zombie",%s}|}
+                 zombie_marker)
+          done;
+          Zchan.close out_chan);
+      close_input = (fun () -> Zchan.close out_chan);
+      reap = (fun () -> ());
+    }
+  in
+  let spawn i =
+    if i = 0 then Client.custom ~id:0 zombie_peer else spawn_local i
+  in
+  let n = 8 in
+  let lines =
+    List.init n (fun k ->
+        solve ~trials:8 ~seed:(k + 1) (Printf.sprintf "r%d" k))
+  in
+  let cfg =
+    {
+      (coord_config ~shards:2) with
+      Coordinator.heartbeat_ms = Some 5.;
+      suspect_after = 1;
+      dead_after = 2;
+    }
+  in
+  let single, _ = Service.run_lines worker_config lines in
+  let out, report = Coordinator.run_lines cfg ~spawn lines in
+  (* Every answer is the survivor's real computation... *)
+  check_byte_identical ~msg:"survivor answers, not the zombie" single out;
+  List.iter
+    (fun line ->
+      let rec contains i =
+        i + String.length zombie_marker <= String.length line
+        && (String.sub line i (String.length zombie_marker) = zombie_marker
+           || contains (i + 1))
+      in
+      Alcotest.(check bool) "no poisoned answer leaked" false
+        (String.length line >= String.length zombie_marker && contains 0))
+    out;
+  (* ...and the supervision saw the whole lifecycle: suspect, dead,
+     fence, zombie answers discarded. *)
+  Alcotest.(check bool) "suspect transition recorded" true
+    (report.Coordinator.suspects >= 1);
+  Alcotest.(check int) "the zombie died once" 1
+    report.Coordinator.shard_deaths;
+  Alcotest.(check bool) "late answers were fenced" true
+    (report.Coordinator.fenced >= 1);
+  Alcotest.(check int) "survivor still standing" 1
+    report.Coordinator.shards_live
+
+(* --- TCP transport: reconnect, refuse, stall --- *)
+
+let tcp_server cfg =
+  match Tcp.listen "127.0.0.1:0" with
+  | Error e -> failwith e
+  | Ok (lsock, addr) ->
+      let stop = Atomic.make false in
+      let srv =
+        Domain.spawn (fun () ->
+            Tcp.serve_connections
+              ~stopping:(fun () -> Atomic.get stop)
+              ~on_report:(fun _ -> ())
+              cfg lsock)
+      in
+      (stop, addr, srv)
+
+let stop_tcp_server (stop, addr, srv) =
+  (* Flip the flag, then pop the blocked accept with a wake dial. *)
+  Atomic.set stop true;
+  Tcp.wake addr;
+  Domain.join srv
+
+(* Submit every line and block until each callback has fired. *)
+let collect client lines =
+  let n = List.length lines in
+  let out = Array.make n None in
+  let m = Mutex.create () in
+  let cv = Condition.create () in
+  let fired = ref 0 in
+  let bump () =
+    Mutex.lock m;
+    incr fired;
+    Condition.broadcast cv;
+    Mutex.unlock m
+  in
+  List.iteri
+    (fun k line ->
+      let accepted =
+        Client.submit client line (fun r ->
+            out.(k) <- r;
+            bump ())
+      in
+      if not accepted then bump ())
+    lines;
+  Mutex.lock m;
+  while !fired < n do
+    Condition.wait cv m
+  done;
+  Mutex.unlock m;
+  Array.to_list out
+
+let test_tcp_reconnect_resends () =
+  (* A worker whose responses tear the connection mid-stream: the
+     client must shut the torn socket down, back off, dial again and
+     replay every unanswered line — and because workers recompute
+     deterministically, the final stream is byte-identical to an
+     unfaulted single service. Tear keys continue across connections,
+     so the replay cannot re-draw the schedule that tore it. *)
+  let faulty =
+    {
+      worker_config with
+      Service.fault = { Fault.none with seed = 3; tear = 0.35 };
+    }
+  in
+  let server = tcp_server faulty in
+  let _, addr, _ = server in
+  let client =
+    Client.tcp ~id:0 ~reconnects:10 ~backoff_ms:0.2 ~addr ()
+  in
+  let n = 10 in
+  let lines =
+    List.init n (fun k ->
+        solve ~trials:8 ~seed:(k + 1) (Printf.sprintf "r%d" k))
+  in
+  let single, _ = Service.run_lines worker_config lines in
+  let got = collect client lines in
+  List.iteri
+    (fun k r ->
+      match r with
+      | Some line ->
+          Alcotest.(check string)
+            (Printf.sprintf "replayed response %d byte-identical" k)
+            (scrub (List.nth single k))
+            (scrub line)
+      | None -> Alcotest.failf "response %d lost despite reconnects" k)
+    got;
+  Client.close_input client;
+  Client.join client;
+  stop_tcp_server server
+
+let test_tcp_refuse_exhausts_budget () =
+  (* Every accepted connection is torn immediately: reconnects burn the
+     whole budget, the peer reports EOF and the outstanding callback
+     fires with None — the same uniform loss signal as a killed pipe
+     worker. *)
+  let refusing =
+    {
+      worker_config with
+      Service.fault = { Fault.none with seed = 1; refuse = 1.0 };
+    }
+  in
+  let server = tcp_server refusing in
+  let _, addr, _ = server in
+  (* The RST can race into the initial dial itself; that raises (a
+     failed spawn, charged to the respawn budget, not the reconnect
+     budget) — retry until a dial survives long enough to be a
+     connection. *)
+  let rec dial tries =
+    match Client.tcp ~id:0 ~reconnects:2 ~backoff_ms:0.2 ~addr () with
+    | client -> client
+    | exception (Unix.Unix_error _ | Failure _) when tries > 0 ->
+        dial (tries - 1)
+  in
+  let client = dial 50 in
+  let got = collect client [ solve ~trials:8 ~seed:1 "r0" ] in
+  Alcotest.(check bool) "the lone callback fired with None" true
+    (got = [ None ]);
+  Alcotest.(check bool) "client reports dead" false (Client.alive client);
+  Client.join client;
+  stop_tcp_server server
+
+let test_tcp_stall_does_not_corrupt () =
+  (* Sock_stall delays response writes without killing them: with no
+     read timeout armed the client just waits, and the stream stays
+     byte-identical. (The timeout-driven give-up path is exercised by
+     the refuse test above without depending on wall-clock margins.) *)
+  let stalling =
+    {
+      worker_config with
+      Service.fault =
+        { Fault.none with seed = 7; sock_stall = 0.5; sock_stall_ms = 2. };
+    }
+  in
+  let server = tcp_server stalling in
+  let _, addr, _ = server in
+  let client = Client.tcp ~id:0 ~addr () in
+  let n = 6 in
+  let lines =
+    List.init n (fun k ->
+        solve ~trials:8 ~seed:(k + 1) (Printf.sprintf "r%d" k))
+  in
+  let single, _ = Service.run_lines worker_config lines in
+  let got = collect client lines in
+  List.iteri
+    (fun k r ->
+      match r with
+      | Some line ->
+          Alcotest.(check string)
+            (Printf.sprintf "stalled response %d byte-identical" k)
+            (scrub (List.nth single k))
+            (scrub line)
+      | None -> Alcotest.failf "response %d lost to a stall" k)
+    got;
+  Client.close_input client;
+  Client.join client;
+  stop_tcp_server server
+
+(* --- Suites --- *)
+
+let coordinator_cases spawn =
+  [
+    Alcotest.test_case "byte-identical to single service" `Quick
+      (test_coordinator_matches_single_service spawn);
+    Alcotest.test_case "ping + response order" `Quick
+      (test_coordinator_ping_and_order spawn);
+    Alcotest.test_case "merged stats" `Quick
+      (test_coordinator_stats_merge spawn);
+    Alcotest.test_case "survives worker loss" `Quick
+      (test_coordinator_survives_worker_loss spawn);
+    Alcotest.test_case "all shards lost" `Quick
+      (test_coordinator_all_shards_lost spawn);
+    Alcotest.test_case "respawn heals the fleet" `Quick
+      (test_coordinator_respawn_heals spawn);
+  ]
 
 let () =
   Alcotest.run "shard"
@@ -372,6 +750,8 @@ let () =
           Alcotest.test_case "coverage" `Quick test_ring_coverage;
           Alcotest.test_case "death moves only lost arcs" `Quick
             test_ring_death_moves_only_lost_arcs;
+          Alcotest.test_case "rejoin restores routes" `Quick
+            test_ring_rejoin_restores_routes;
           Alcotest.test_case "invalid args" `Quick test_ring_invalid_args;
         ] );
       ( "dispatch",
@@ -382,17 +762,20 @@ let () =
           Alcotest.test_case "invalid args" `Quick
             test_dispatch_invalid_args;
         ] );
-      ( "coordinator",
+      ("coordinator", coordinator_cases spawn_local);
+      ("coordinator-tcp", coordinator_cases spawn_tcp);
+      ( "fencing",
         [
-          Alcotest.test_case "byte-identical to single service" `Quick
-            test_coordinator_matches_single_service;
-          Alcotest.test_case "ping + response order" `Quick
-            test_coordinator_ping_and_order;
-          Alcotest.test_case "merged stats" `Quick
-            test_coordinator_stats_merge;
-          Alcotest.test_case "survives worker loss" `Quick
-            test_coordinator_survives_worker_loss;
-          Alcotest.test_case "all shards lost" `Quick
-            test_coordinator_all_shards_lost;
+          Alcotest.test_case "zombie answers discarded at the fence" `Quick
+            test_coordinator_fences_zombie_answers;
+        ] );
+      ( "tcp",
+        [
+          Alcotest.test_case "reconnect replays unanswered lines" `Quick
+            test_tcp_reconnect_resends;
+          Alcotest.test_case "refused connections exhaust the budget" `Quick
+            test_tcp_refuse_exhausts_budget;
+          Alcotest.test_case "stalls delay but do not corrupt" `Quick
+            test_tcp_stall_does_not_corrupt;
         ] );
     ]
