@@ -16,7 +16,10 @@
    sub-jobs spread across the fleet. The merge is bit-identical at any
    shard count; the speedup is CPU-bound, so on a single hardware
    thread it measures pure coordination overhead (reported honestly —
-   on a multi-core host this row scales with the shards).
+   on a multi-core host this row scales with the shards). An opt-in
+   variant (SUU_BENCH_SHARD_DOMAINS=<d>) reruns the fan-out with d
+   estimate domains inside every worker, composing process-level
+   sharding with in-process domain parallelism.
 
    Results: the usual tables plus a BENCH_SHARD.json artifact (path
    overridable via SUU_BENCH_SHARD_JSON) for CI upload. *)
@@ -48,7 +51,7 @@ let solve ~id ~trials ~seed text =
     {|{"op":"solve","id":"%s","trials":%d,"seed":%d,"instance":"%s"}|} id
     trials seed text
 
-let worker_config ~cache =
+let worker_config ?(domains = 1) ~cache () =
   {
     Service.default_config with
     Service.workers = 1;
@@ -57,6 +60,7 @@ let worker_config ~cache =
     default_trials = 100;
     default_seed = 1;
     default_deadline_ms = None;
+    estimate_domains = domains;
   }
 
 let coord_config ~shards ~split_threshold =
@@ -67,8 +71,8 @@ let coord_config ~shards ~split_threshold =
     heartbeat_ms = None;
   }
 
-let timed cfg ~cache lines =
-  let spawn i = Client.local ~id:i (worker_config ~cache) in
+let timed ?domains cfg ~cache lines =
+  let spawn i = Client.local ~id:i (worker_config ?domains ~cache ()) in
   let start = Unix.gettimeofday () in
   let responses, report = Coordinator.run_lines cfg ~spawn lines in
   let elapsed = Unix.gettimeofday () -. start in
@@ -185,6 +189,56 @@ let run () =
            Printf.sprintf "%.1f" (Float.of_int big /. elapsed);
          ])
        fanout);
+  (* --- multi-core fan-out (opt-in) --- *)
+  (* Shards x in-worker estimate domains. Off by default: on a
+     single-thread CI runner every configuration shares one core, so
+     the row would only measure domain overhead. Opt in on a multi-core
+     host with SUU_BENCH_SHARD_DOMAINS=<d>; the table reports the
+     actual hardware parallelism alongside so a 1-thread result reads
+     as what it is. *)
+  let domains =
+    match Sys.getenv_opt "SUU_BENCH_SHARD_DOMAINS" with
+    | Some v -> ( match int_of_string_opt v with Some d when d > 1 -> Some d | _ -> None)
+    | None -> None
+  in
+  let fanout_domains =
+    match domains with
+    | None ->
+        Bench_common.note
+          "multi-core fan-out row skipped (set SUU_BENCH_SHARD_DOMAINS=<d> on \
+           a multi-core host to enable)";
+        []
+    | Some d ->
+        let rows =
+          List.map
+            (fun shards ->
+              let elapsed, _, report =
+                timed ~domains:d
+                  (coord_config ~shards ~split_threshold:64)
+                  ~cache:0 fan_lines
+              in
+              (shards, elapsed, report.Coordinator.subjobs))
+            [ 1; 2; 4 ]
+        in
+        Bench_common.table
+          ~title:
+            (Printf.sprintf
+               "multi-core fan-out (%d solves x %d trials, %d domains per \
+                worker, %d hardware threads)"
+               big big_trials d
+               (Domain.recommended_domain_count ()))
+          ~header:[ "shards"; "elapsed s"; "sub-jobs"; "req/s" ]
+          (List.map
+             (fun (s, elapsed, subjobs) ->
+               [
+                 string_of_int s;
+                 Printf.sprintf "%.3f" elapsed;
+                 string_of_int subjobs;
+                 Printf.sprintf "%.1f" (Float.of_int big /. elapsed);
+               ])
+             rows);
+        rows
+  in
   (* --- artifact --- *)
   let speedup2 =
     match capacity with
@@ -228,6 +282,19 @@ let run () =
                      ("subjobs", Json.int subjobs);
                    ])
                fanout) );
+        ( "fanout_domains_per_worker",
+          Json.int (Option.value ~default:1 domains) );
+        ( "fanout_domains",
+          Json.List
+            (List.map
+               (fun (s, elapsed, subjobs) ->
+                 Json.Obj
+                   [
+                     ("shards", Json.int s);
+                     ("elapsed_s", Json.Num elapsed);
+                     ("subjobs", Json.int subjobs);
+                   ])
+               fanout_domains) );
       ]
   in
   let path =

@@ -52,6 +52,11 @@ let tests () =
            Suu_sim.Engine.run (Rng.create 5) inst64 policy));
     Test.make ~name:"malewicz dp n=8 m=2"
       (Staged.stage (fun () -> Suu_algo.Malewicz.optimal_value tiny));
+    (* The two [estimate_makespan] rows now route through the vectorized
+       Lanes kernel (63 trials per word); the scalar rows below them run
+       the same 200 trials through the per-trial paths, so the
+       vector-vs-scalar ratio is visible in every PERF table (and gated:
+       PERF-GATE fails below 4x). *)
     Test.make ~name:"200 MC trials sequential (n=64 m=16)"
       (Staged.stage (fun () ->
            Suu_sim.Engine.estimate_makespan ~trials:200 (Rng.create 3) inst64
@@ -60,9 +65,18 @@ let tests () =
       (Staged.stage (fun () ->
            Suu_sim.Engine.estimate_makespan ~trials:200 (Rng.create 3) inst64
              policy));
+    Test.make ~name:"200 MC trials scalar range adaptive (n=64 m=16)"
+      (Staged.stage (fun () ->
+           Suu_sim.Engine.estimate_makespan_range ~seed:3 ~lo:0 ~hi:200 inst64
+             policy));
+    Test.make ~name:"200 MC trials scalar seeded oblivious (n=64 m=16)"
+      (Staged.stage (fun () ->
+           Suu_sim.Engine.estimate_makespan_seeded ~trials:200 ~seed:3 inst64
+             obl_policy));
     (* Matched pair for the observability gate: the seeded estimator
-       carries the ?observer seam and the engine counters; left
-       disabled it must price the same as the bare loop above (PERF-GATE
+       carries the ?observer seam and the engine counters; left disabled
+       it must price the same as the scalar range row above, which runs
+       the identical per-trial stepper without the seam (PERF-GATE
        asserts the ratio). *)
     Test.make ~name:"200 MC trials seeded adaptive, observer off (n=64 m=16)"
       (Staged.stage (fun () ->
@@ -115,13 +129,27 @@ let json_path () =
   | Some p when p <> "" -> p
   | _ -> "BENCH_PERF.json"
 
+(* Best-effort source identification for the artifact: `git describe`
+   when the bench runs inside a checkout, "unknown" anywhere else (CI
+   tarballs, stripped containers). Never fails the bench. *)
+let git_describe () =
+  match Unix.open_process_in "git describe --always --dirty 2>/dev/null" with
+  | exception _ -> "unknown"
+  | ic -> (
+      let line = try In_channel.input_line ic with _ -> None in
+      match (Unix.close_process_in ic, line) with
+      | Unix.WEXITED 0, Some d when String.trim d <> "" -> String.trim d
+      | _ -> "unknown")
+
 let write_json ~limit ~quota_s results =
   let module Json = Suu_service.Json in
   let num v = if Float.is_finite v then Json.Num v else Json.Null in
   let doc =
     Json.Obj
       [
-        ("schema", Json.Str "suu-bench-perf/1");
+        ("schema", Json.Str "suu-bench-perf/2");
+        ("schema_version", Json.int 2);
+        ("git_describe", Json.Str (git_describe ()));
         ("unit", Json.Str "ns/run");
         ("ocaml", Json.Str Sys.ocaml_version);
         ("word_size", Json.int Sys.word_size);
@@ -193,23 +221,31 @@ let run () =
        results);
   write_json ~limit ~quota_s results
 
-(* PERF-GATE — the observability zero-cost-when-disabled assertion.
+(* PERF-GATE — two in-process assertions, both min-of-rounds: a machine
+   that is merely noisy shows at least one clean round, a real
+   regression shows none. A BENCH_PERF.json left by a prior `perf` run
+   (same process conventions, same machine in CI) contributes its
+   recorded rows as an extra round, so the uploaded artifact is itself
+   gated. Exits nonzero on failure so the CI perf-smoke job turns red.
 
-   The seeded adaptive MC row routes through the ?observer seam and the
-   engine counters; with no observer armed it must price within
-   SUU_PERF_GATE_PCT (default 2%) of the bare estimator loop. The two
-   sides are measured as matched in-process pairs, three rounds, and the
-   gate passes if the *best* round is inside budget — a machine that is
-   merely noisy shows at least one clean round, a real regression shows
-   none. A BENCH_PERF.json left by a prior `perf` run (same process
-   conventions, same machine in CI) contributes its recorded pair as an
-   extra round, so the uploaded artifact is itself gated. Exits nonzero
-   on failure so the CI perf-smoke job turns red. *)
+   1. Observer seam: the seeded adaptive row carries the ?observer seam
+      and the engine counters; with no observer armed it must price
+      within SUU_PERF_GATE_PCT (default 2%) of the scalar range row,
+      which runs the identical per-trial stepper without the seam.
+   2. Vectorized kernel: the trial-batched [estimate_makespan] rows
+      (adaptive greedy and oblivious) must beat their scalar per-trial
+      counterparts by at least SUU_PERF_VECTOR_GATE x (default 4; the
+      measured margin is well above — see EXPERIMENTS.md). *)
 
-let baseline_row = "200 MC trials sequential adaptive (n=64 m=16)"
+let scalar_adaptive_row = "200 MC trials scalar range adaptive (n=64 m=16)"
 let seeded_row = "200 MC trials seeded adaptive, observer off (n=64 m=16)"
+let vector_adaptive_row = "200 MC trials sequential adaptive (n=64 m=16)"
+let vector_oblivious_row = "200 MC trials sequential (n=64 m=16)"
+let scalar_oblivious_row = "200 MC trials scalar seeded oblivious (n=64 m=16)"
 
-let recorded_ratio () =
+(* The recorded ns/run for each named row of a prior perf run's JSON
+   artifact, when one is readable. *)
+let recorded_rows () =
   let module Json = Suu_service.Json in
   match In_channel.with_open_text (json_path ()) In_channel.input_all with
   | exception Sys_error _ -> None
@@ -232,19 +268,41 @@ let recorded_ratio () =
                 | _ -> None)
               rows
           in
-          (match (ns_of baseline_row, ns_of seeded_row) with
-          | Some base, Some seeded when base > 0. -> Some (seeded /. base)
-          | _ -> None))
+          Some ns_of)
+
+let recorded_ratio ~num ~den =
+  match recorded_rows () with
+  | None -> None
+  | Some ns_of -> (
+      match (ns_of num, ns_of den) with
+      | Some n, Some d when d > 0. -> Some (n /. d)
+      | _ -> None)
+
+let env_float name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( try float_of_string s with Failure _ -> default)
+  | _ -> default
+
+(* The ns ratio [num_row]/[den_row], measured as matched in-process
+   pairs over three rounds, plus the recorded artifact's pair when one
+   is present. *)
+let gate_rounds ~measure ~num_row ~den_row =
+  let fresh () =
+    let d = measure den_row in
+    let n = measure num_row in
+    n /. d
+  in
+  let rounds =
+    List.init 3 (fun k -> (Printf.sprintf "round %d" (k + 1), fresh ()))
+  in
+  match recorded_ratio ~num:num_row ~den:den_row with
+  | Some r -> (json_path (), r) :: rounds
+  | None -> rounds
 
 let gate () =
-  section "PERF-GATE: observer seam (disabled) vs bare adaptive MC loop";
-  let pct =
-    match Sys.getenv_opt "SUU_PERF_GATE_PCT" with
-    | Some s -> ( try float_of_string s with Failure _ -> 2.)
-    | _ -> 2.
-  in
   let inst64 = indep_instance 64 16 in
   let policy = Suu_algo.Suu_i.policy inst64 in
+  let obl_policy = Suu_algo.Suu_i_obl.policy inst64 in
   let cfg = bench_cfg ~limit:2000 ~quota_s:0.5 in
   let time name f =
     let _, ns, _, _ =
@@ -253,43 +311,87 @@ let gate () =
     in
     ns
   in
-  let fresh_ratio () =
-    let base =
-      time baseline_row (fun () ->
-          Suu_sim.Engine.estimate_makespan ~trials:200 (Rng.create 3) inst64
-            policy)
-    in
-    let seeded =
-      time seeded_row (fun () ->
-          Suu_sim.Engine.estimate_makespan_seeded ~trials:200 ~seed:3 inst64
-            policy)
-    in
-    seeded /. base
+  let measure = function
+    | row when String.equal row scalar_adaptive_row ->
+        time row (fun () ->
+            Suu_sim.Engine.estimate_makespan_range ~seed:3 ~lo:0 ~hi:200 inst64
+              policy)
+    | row when String.equal row seeded_row ->
+        time row (fun () ->
+            Suu_sim.Engine.estimate_makespan_seeded ~trials:200 ~seed:3 inst64
+              policy)
+    | row when String.equal row vector_adaptive_row ->
+        time row (fun () ->
+            Suu_sim.Engine.estimate_makespan ~trials:200 (Rng.create 3) inst64
+              policy)
+    | row when String.equal row vector_oblivious_row ->
+        time row (fun () ->
+            Suu_sim.Engine.estimate_makespan ~trials:200 (Rng.create 3) inst64
+              obl_policy)
+    | row when String.equal row scalar_oblivious_row ->
+        time row (fun () ->
+            Suu_sim.Engine.estimate_makespan_seeded ~trials:200 ~seed:3 inst64
+              obl_policy)
+    | row -> invalid_arg ("perf-gate: unknown row " ^ row)
   in
+  let failures = ref 0 in
+  (* 1. Observer seam: seeded/scalar-range overhead within budget. *)
+  section "PERF-GATE: observer seam (disabled) vs scalar adaptive MC loop";
+  let pct = env_float "SUU_PERF_GATE_PCT" 2. in
   let rounds =
-    List.init 3 (fun k -> (Printf.sprintf "round %d" (k + 1), fresh_ratio ()))
-  in
-  let rounds =
-    match recorded_ratio () with
-    | Some r -> (json_path (), r) :: rounds
-    | None -> rounds
+    gate_rounds ~measure ~num_row:seeded_row ~den_row:scalar_adaptive_row
   in
   List.iter
     (fun (label, r) ->
       Printf.printf "  %-16s overhead %+.2f%%\n" label ((r -. 1.) *. 100.))
     rounds;
-  let best = List.fold_left (fun acc (_, r) -> Float.min acc r) infinity rounds in
+  let best =
+    List.fold_left (fun acc (_, r) -> Float.min acc r) infinity rounds
+  in
   let budget = 1. +. (pct /. 100.) in
   if Float.is_nan best || best > budget then begin
     Printf.printf
       "perf-gate: FAIL — disabled-observer overhead %+.2f%% exceeds %.1f%% on \
        %S\n"
       ((best -. 1.) *. 100.)
-      pct baseline_row;
-    exit 1
+      pct scalar_adaptive_row;
+    incr failures
   end
   else
-    Printf.printf "perf-gate: ok — disabled-observer overhead %+.2f%% (budget \
-                   %.1f%%)\n"
+    Printf.printf
+      "perf-gate: ok — disabled-observer overhead %+.2f%% (budget %.1f%%)\n"
       ((best -. 1.) *. 100.)
-      pct
+      pct;
+  (* 2. Vectorized kernel: scalar/vector speedup at least the floor,
+     for both kernels. *)
+  let floor = env_float "SUU_PERF_VECTOR_GATE" 4. in
+  List.iter
+    (fun (what, scalar_row, vector_row) ->
+      section
+        (Printf.sprintf "PERF-GATE: vectorized %s kernel vs scalar (want \
+                         >= %.1fx)" what floor);
+      let rounds =
+        gate_rounds ~measure ~num_row:scalar_row ~den_row:vector_row
+      in
+      List.iter
+        (fun (label, r) -> Printf.printf "  %-16s speedup %.1fx\n" label r)
+        rounds;
+      let best_speedup =
+        List.fold_left (fun acc (_, r) -> Float.max acc r) neg_infinity rounds
+      in
+      if Float.is_nan best_speedup || best_speedup < floor then begin
+        Printf.printf
+          "perf-gate: FAIL — vectorized %s speedup %.1fx below the %.1fx \
+           floor (%S vs %S)\n"
+          what best_speedup floor vector_row scalar_row;
+        incr failures
+      end
+      else
+        Printf.printf "perf-gate: ok — vectorized %s speedup %.1fx (floor \
+                       %.1fx)\n"
+          what best_speedup floor)
+    [
+      ("adaptive", scalar_adaptive_row, vector_adaptive_row);
+      ("oblivious", scalar_oblivious_row, vector_oblivious_row);
+    ];
+  if !failures > 0 then exit 1

@@ -367,6 +367,16 @@ let serve_cmd =
     in
     Arg.(value & opt int 1 & info [ "estimate-domains" ] ~docv:"D" ~doc)
   in
+  let ci_target_arg =
+    let doc =
+      "Default CI-width stopping target for Monte-Carlo requests that omit \
+       \"ci_target\": estimates stop once the 95% CI half-width of the mean \
+       makespan is at most $(docv) (checked every 63 trials); responses \
+       report the executed trial count. Unset = run every trial."
+    in
+    Arg.(
+      value & opt (some float) None & info [ "ci-target" ] ~docv:"W" ~doc)
+  in
   let fault_arg =
     let doc =
       "Deterministic fault injection for demos/chaos testing, e.g. \
@@ -417,8 +427,13 @@ let serve_cmd =
     Arg.(value & opt int 0 & info [ "max-conns" ] ~docv:"N" ~doc)
   in
   let run workers queue cache trials seed deadline max_restarts retries
-      degrade estimate_domains fault_spec quiet stats_format trace_out listen
-      max_conns =
+      degrade estimate_domains ci_target fault_spec quiet stats_format trace_out
+      listen max_conns =
+    (match ci_target with
+    | Some w when w <= 0. ->
+        Printf.eprintf "suu serve: --ci-target must be > 0\n";
+        exit 2
+    | _ -> ());
     let module Service = Suu_service.Service in
     let module Fault = Suu_service.Fault in
     let default_seed =
@@ -448,6 +463,7 @@ let serve_cmd =
         degrade_watermark = Option.map (max 0) degrade;
         degrade_trials = Service.default_config.Service.degrade_trials;
         estimate_domains = max 1 estimate_domains;
+        default_ci_target = ci_target;
         fault;
         tracer =
           (match trace_out with
@@ -507,8 +523,8 @@ let serve_cmd =
     Term.(
       const run $ workers_arg $ queue_arg $ cache_arg $ trials_arg $ seed_arg
       $ deadline_arg $ max_restarts_arg $ retries_arg $ degrade_arg
-      $ estimate_domains_arg $ fault_arg $ quiet_arg $ stats_format_arg
-      $ trace_out_arg $ listen_arg $ max_conns_arg)
+      $ estimate_domains_arg $ ci_target_arg $ fault_arg $ quiet_arg
+      $ stats_format_arg $ trace_out_arg $ listen_arg $ max_conns_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -614,6 +630,16 @@ let coordinator_cmd =
     Arg.(
       value & opt string "" & info [ "worker-fault-spec" ] ~docv:"SPEC" ~doc)
   in
+  let ci_target_arg =
+    let doc =
+      "Default CI-width stopping target for Monte-Carlo requests that omit \
+       \"ci_target\" (see suu serve --ci-target). Forwarded to every \
+       spawned shard so whole-request forwards and trial-range sub-jobs \
+       stop by the same rule."
+    in
+    Arg.(
+      value & opt (some float) None & info [ "ci-target" ] ~docv:"W" ~doc)
+  in
   let quiet_arg =
     Arg.(
       value & flag
@@ -621,7 +647,12 @@ let coordinator_cmd =
   in
   let run shards replicas split_threshold chunk sub_inflight retries
       heartbeat_ms transport respawn_budget workers queue cache trials seed
-      deadline fault_spec worker_fault_spec quiet =
+      deadline ci_target fault_spec worker_fault_spec quiet =
+    (match ci_target with
+    | Some w when w <= 0. ->
+        Printf.eprintf "suu coordinator: --ci-target must be > 0\n";
+        exit 2
+    | _ -> ());
     let module Coordinator = Suu_shard.Coordinator in
     let module Fault = Suu_service.Fault in
     let default_seed =
@@ -660,6 +691,9 @@ let coordinator_cmd =
           (match deadline with
           | None -> []
           | Some d -> [ "--deadline-ms"; string_of_float d ]);
+          (match ci_target with
+          | None -> []
+          | Some w -> [ "--ci-target"; string_of_float w ]);
           (match worker_fault_spec with
           | "" -> []
           | spec -> [ "--fault-spec"; spec ]);
@@ -689,6 +723,7 @@ let coordinator_cmd =
           Coordinator.default_config.Coordinator.respawn_backoff_ms;
         default_trials = trials;
         default_seed = seed;
+        default_ci_target = ci_target;
         fault;
         tracer = Suu_obs.Trace.disabled;
       }
@@ -702,7 +737,8 @@ let coordinator_cmd =
       const run $ shards_arg $ replicas_arg $ split_arg $ chunk_arg
       $ sub_inflight_arg $ retries_arg $ heartbeat_arg $ transport_arg
       $ respawn_budget_arg $ workers_arg $ queue_arg $ cache_arg $ trials_arg
-      $ seed_arg $ deadline_arg $ fault_arg $ worker_fault_arg $ quiet_arg)
+      $ seed_arg $ deadline_arg $ ci_target_arg $ fault_arg $ worker_fault_arg
+      $ quiet_arg)
   in
   Cmd.v
     (Cmd.info "coordinator"

@@ -1,10 +1,9 @@
 let policy inst =
   let n = Suu_core.Instance.n inst and m = Suu_core.Instance.m inst in
-  (* Scratch is allocated once per execution (fresh), not once per step:
-     the simulation loop then runs MSM-ALG allocation-free. *)
-  Suu_core.Policy.make "suu-i-alg" (fun () ->
-      let a = Suu_core.Assignment.idle m in
-      let mass = Array.make n 0. in
-      fun state ->
-        Msm.assign_into inst ~jobs:state.Suu_core.Policy.eligible ~mass a;
-        a)
+  (* MSM-ALG's allocation loop is a greedy pair scan over the sort-once
+     pair arrays; exporting it structurally (rather than as an opaque
+     closure over Msm.assign_into) lets the engine vectorize it across
+     trial lanes. The scalar decision function is bit-identical to the
+     previous Msm.assign_into-based one. *)
+  let probs, machines, jobs = Suu_core.Instance.sorted_pairs inst in
+  Suu_core.Policy.of_greedy_pairs "suu-i-alg" ~n ~m ~probs ~machines ~jobs

@@ -403,6 +403,54 @@ let leapfrog_vs_naive =
           | Some msg -> Fail msg
           | None -> Pass))
 
+(* --- 9b. vectorized trial-lane kernel conformance ------------------ *)
+
+let lanes_vs_exact =
+  Property.make ~name:"lanes-vs-exact"
+    ~sizes:{ Gen.small with max_jobs = 5; min_prob = 0.15 }
+    ~doc:
+      "the trial-batched vectorized kernel (which estimate_makespan routes \
+       structurally-tagged policies through) matches the exact makespan CDF \
+       uniformly (DKW at confidence 1 − 1e-9) for both vectorizable shapes: \
+       the greedy pair scan against the Markov-chain regimen CDF and a \
+       random oblivious schedule against the schedule CDF"
+    (fun case ->
+      let inst = Case.instance case in
+      let rng = Case.aux_rng case in
+      let horizon = min (Engine.default_horizon inst) 300 in
+      let trials = 3000 in
+      let sampler name policy exact =
+        let e =
+          Engine.estimate_makespan ~max_steps:horizon ~trials
+            (Rng.create (Rng.int rng 1_000_000))
+            inst policy
+        in
+        let emp = Oracle.empirical_cdf e ~horizon in
+        let sup = Oracle.sup_distance emp exact in
+        let eps = Oracle.dkw_epsilon ~trials ~delta:1e-9 in
+        if sup > eps then
+          Some
+            (Printf.sprintf "%s kernel: sup|emp − exact| = %.4f > %.4f" name
+               sup eps)
+        else None
+      in
+      match
+        Exact.makespan_distribution_regimen inst (Oracle.msm_regimen inst)
+          ~horizon
+      with
+      | exception Exact.Too_large _ -> Skip "too many jobs for a bitmask"
+      | exception Exact.Nonterminating -> Skip "regimen cannot terminate"
+      | greedy_exact -> (
+          match sampler "greedy" (Suu_i.policy inst) greedy_exact with
+          | Some msg -> Fail msg
+          | None -> (
+              let sched = Gen.oblivious rng case in
+              let exact = Exact_oblivious.cdf inst sched ~horizon in
+              let obl = Policy.of_oblivious "lanes-obl" sched in
+              match sampler "oblivious" obl exact with
+              | Some msg -> Fail msg
+              | None -> Pass)))
+
 (* --- 10. parallel estimator identity ------------------------------- *)
 
 let parallel_vs_seeded =
@@ -837,6 +885,7 @@ let all =
     monotone_in_p;
     exact_vs_mc;
     leapfrog_vs_naive;
+    lanes_vs_exact;
     parallel_vs_seeded;
     serialize_roundtrip;
     obs_mass_trace;

@@ -12,24 +12,48 @@ type state = {
   eligible : bool array;  (** unfinished with all predecessors finished *)
 }
 
+(** A greedy pair-scan regimen: machine–job pairs are scanned in the fixed
+    order of the parallel arrays, and a pair is taken when the machine is
+    still idle, the job is eligible, and the job's accumulated success mass
+    stays within {!greedy_mass_cap}. This is exactly MSM-ALG's allocation
+    loop, exported structurally so the engine can replay the same scan
+    word-wide across trial lanes. *)
+type greedy = {
+  g_probs : float array;  (** success probability of each pair *)
+  g_machines : int array;  (** machine of each pair *)
+  g_jobs : int array;  (** job of each pair *)
+  g_n : int;  (** number of jobs *)
+  g_m : int;  (** number of machines *)
+}
+
 (** Structural knowledge about a policy, used by the simulation engine to
     pick specialised execution paths. [Oblivious_schedule] tags a policy
     whose every decision is a fixed function of the step number alone —
     the engine's estimators then skip unit-step Bernoulli simulation in
-    favour of geometric leapfrogging over the schedule. [General] promises
-    nothing. *)
-type structure = Oblivious_schedule of Oblivious.t | General
+    favour of geometric leapfrogging over the schedule. [Greedy_pairs]
+    tags a greedy pair-scan regimen, the engine's licence for the
+    trial-batched vectorized kernel. [General] promises nothing. *)
+type structure =
+  | Oblivious_schedule of Oblivious.t
+  | Greedy_pairs of greedy
+  | General
 
 type t = {
   name : string;
   structure : structure;
       (** What the engine may assume about the decisions; constructors
-          other than {!of_oblivious} always say [General]. *)
+          other than {!of_oblivious} and {!of_greedy_pairs} always say
+          [General]. *)
   fresh : unit -> state -> Assignment.t;
       (** [fresh ()] creates a decision function for one execution; any
           internal state (e.g. a cursor into an oblivious schedule) is
           re-created per execution so runs are independent. *)
 }
+
+val greedy_mass_cap : float
+(** The mass bound of the greedy scan, [1. +. 1e-12] — shared between the
+    scalar decision function and the engine's vectorized kernel so both
+    execute the identical policy. *)
 
 val make : string -> (unit -> state -> Assignment.t) -> t
 (** A general policy from its [fresh] function (structure [General]). *)
@@ -39,6 +63,20 @@ val of_oblivious : string -> Oblivious.t -> t
     finished or ineligible jobs idle (Definition 2.1 semantics, enforced by
     the engine anyway). The schedule is recorded in [structure], which
     lets the engine's estimators take the event-driven leapfrog path. *)
+
+val of_greedy_pairs :
+  string ->
+  n:int ->
+  m:int ->
+  probs:float array ->
+  machines:int array ->
+  jobs:int array ->
+  t
+(** The greedy pair-scan regimen over the given pair arrays (scanned in
+    index order). The scalar decision function is bit-identical to
+    [Msm.assign_into]'s scan; the structure tag lets the engine's
+    estimators take the vectorized trial-lane path. Raises [Invalid_argument]
+    if the arrays' lengths disagree or an index is out of range. *)
 
 val of_regimen : string -> (bool array -> Assignment.t) -> t
 (** A regimen (Definition 2.2): the assignment depends only on the
@@ -50,3 +88,7 @@ val stateless : string -> (state -> Assignment.t) -> t
 val oblivious : t -> Oblivious.t option
 (** The schedule a policy is known to play obliviously, if any — the
     engine's licence for the leapfrog fast path. *)
+
+val greedy : t -> greedy option
+(** The greedy pair-scan a policy is known to play, if any — the engine's
+    licence for the vectorized trial-lane fast path. *)

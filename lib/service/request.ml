@@ -14,6 +14,7 @@ type op =
       trials : int;
       seed : int;
       range : (int * int) option;
+      ci_target : float option;
       instance : Instance.t;
     }
   | Estimate of {
@@ -22,6 +23,7 @@ type op =
       trials : int;
       seed : int;
       range : (int * int) option;
+      ci_target : float option;
       instance : Instance.t;
     }
   | Info of Instance.t
@@ -75,6 +77,18 @@ let trials_field json ~default =
    [lo <= k < hi] of the seeded estimate. The coordinator splits a large
    request into these; contiguous ranges merge back bit-identically
    ({!Suu_sim.Engine.merge_ranges}). *)
+(* ["ci_target":w] asks for CI-width sequential stopping: the estimate
+   may finish with fewer trials once the 95% CI half-width of the mean
+   is at most [w]. Absent field -> the server's default (usually off). *)
+let ci_target_field json ~default =
+  match Json.member "ci_target" json with
+  | None -> default
+  | Some v -> (
+      match Json.to_num v with
+      | Some w when w > 0. -> Some w
+      | Some _ -> fail "ci_target: must be > 0"
+      | None -> fail "ci_target: expected a number")
+
 let range_field json ~trials =
   match Json.member "range" json with
   | None -> None
@@ -87,7 +101,7 @@ let range_field json ~trials =
       | _ -> fail "range: expected [lo,hi] integers")
   | Some _ -> fail "range: expected [lo,hi] integers"
 
-let of_line ~default_trials ~default_seed line =
+let of_line ~default_trials ~default_seed ?default_ci_target line =
   match Json.of_string line with
   | Error msg -> Error ("parse: " ^ msg, None)
   | Ok json -> (
@@ -118,6 +132,7 @@ let of_line ~default_trials ~default_seed line =
                   trials;
                   seed = int_field json "seed" ~default:default_seed;
                   range = range_field json ~trials;
+                  ci_target = ci_target_field json ~default:default_ci_target;
                   instance = instance_field json;
                 }
           | "estimate" ->
@@ -143,6 +158,7 @@ let of_line ~default_trials ~default_seed line =
                   trials;
                   seed = int_field json "seed" ~default:default_seed;
                   range = range_field json ~trials;
+                  ci_target = ci_target_field json ~default:default_ci_target;
                   instance;
                 }
           | "info" -> Info (instance_field json)
@@ -190,19 +206,27 @@ let range_suffix = function
   | None -> ""
   | Some (lo, hi) -> Printf.sprintf ":r%d-%d" lo hi
 
+(* [%h] is an exact (hex) float representation: two requests share a key
+   iff they stop at the very same CI width. An early-stopped answer must
+   never alias an exhaustive one. *)
+let ci_suffix = function
+  | None -> ""
+  | Some w -> Printf.sprintf ":c%h" w
+
 let cache_key req =
   match req.op with
-  | Solve { algo; trials; seed; range; instance } ->
+  | Solve { algo; trials; seed; range; ci_target; instance } ->
       (* Key on the algorithm actually executed, so "auto" and "adaptive"
          requests share one cache entry. A ranged sub-job keys on its
          range too: a partial answer must never alias the full one. *)
       Some
-        (Printf.sprintf "solve:%s:%s:%d:%d%s" (Io.digest instance)
-           (algo_name (canonical_algo algo)) trials seed (range_suffix range))
-  | Estimate { plan_digest; trials; seed; range; instance; _ } ->
+        (Printf.sprintf "solve:%s:%s:%d:%d%s%s" (Io.digest instance)
+           (algo_name (canonical_algo algo)) trials seed (range_suffix range)
+           (ci_suffix ci_target))
+  | Estimate { plan_digest; trials; seed; range; ci_target; instance; _ } ->
       Some
-        (Printf.sprintf "estimate:%s:%s:%d:%d%s" (Io.digest instance)
-           plan_digest trials seed (range_suffix range))
+        (Printf.sprintf "estimate:%s:%s:%d:%d%s%s" (Io.digest instance)
+           plan_digest trials seed (range_suffix range) (ci_suffix ci_target))
   | Exact instance -> Some (Printf.sprintf "exact:%s" (Io.digest instance))
   | Info _ | Ping | Stats _ -> None
 
@@ -220,27 +244,33 @@ let sub_line req ~lo ~hi =
     in
     Json.to_string (Json.Obj (base @ fields @ deadline))
   in
+  let ci_fields = function
+    | None -> []
+    | Some w -> [ ("ci_target", Json.Num w) ]
+  in
   match req.op with
-  | Solve { algo; trials; seed; instance; _ } ->
+  | Solve { algo; trials; seed; ci_target; instance; _ } ->
       envelope
-        [
-          ("op", Json.Str "solve");
-          ("algo", Json.Str (algo_name algo));
-          ("trials", Json.int trials);
-          ("seed", Json.int seed);
-          ("range", Json.List [ Json.int lo; Json.int hi ]);
-          ("instance", Json.Str (Io.to_string instance));
-        ]
-  | Estimate { plan; trials; seed; instance; _ } ->
+        ([
+           ("op", Json.Str "solve");
+           ("algo", Json.Str (algo_name algo));
+           ("trials", Json.int trials);
+           ("seed", Json.int seed);
+           ("range", Json.List [ Json.int lo; Json.int hi ]);
+         ]
+        @ ci_fields ci_target
+        @ [ ("instance", Json.Str (Io.to_string instance)) ])
+  | Estimate { plan; trials; seed; ci_target; instance; _ } ->
       envelope
-        [
-          ("op", Json.Str "estimate");
-          ("plan", Json.Str (Io.schedule_to_string plan));
-          ("trials", Json.int trials);
-          ("seed", Json.int seed);
-          ("range", Json.List [ Json.int lo; Json.int hi ]);
-          ("instance", Json.Str (Io.to_string instance));
-        ]
+        ([
+           ("op", Json.Str "estimate");
+           ("plan", Json.Str (Io.schedule_to_string plan));
+           ("trials", Json.int trials);
+           ("seed", Json.int seed);
+           ("range", Json.List [ Json.int lo; Json.int hi ]);
+         ]
+        @ ci_fields ci_target
+        @ [ ("instance", Json.Str (Io.to_string instance)) ])
   | Info _ | Exact _ | Ping | Stats _ ->
       invalid_arg "Request.sub_line: not a Monte-Carlo op"
 

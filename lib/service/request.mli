@@ -11,9 +11,9 @@
     fields:
     {v
     {"op":"solve","instance":S,"algo":"auto|adaptive|oblivious",
-     "trials":K,"seed":N,"range":[lo,hi],...}
+     "trials":K,"seed":N,"range":[lo,hi],"ci_target":W,...}
     {"op":"estimate","instance":S,"plan":P,"trials":K,"seed":N,
-     "range":[lo,hi],...}
+     "range":[lo,hi],"ci_target":W,...}
     {"op":"info","instance":S}
     {"op":"exact","instance":S}
     {"op":"ping"}
@@ -23,7 +23,11 @@
     sub-job}: run only trials [lo <= k < hi] of the seeded estimate and
     answer a partial result carrying the raw samples — the unit of work
     the sharding coordinator fans out and merges bit-identically
-    ({!Suu_sim.Engine.merge_ranges}).
+    ({!Suu_sim.Engine.merge_ranges}). ["ci_target"] (optional,
+    Monte-Carlo ops only, > 0) enables CI-width sequential stopping: the
+    estimate may execute fewer trials once the 95% CI half-width of the
+    mean makespan reaches the target
+    ({!Suu_sim.Engine.estimate_makespan}).
 
     Responses carry ["id"], ["status"] (["ok"|"error"|"timeout"]) and
     status-specific fields. *)
@@ -43,6 +47,7 @@ type op =
       trials : int;
       seed : int;
       range : (int * int) option;  (** trial-range sub-job, if any *)
+      ci_target : float option;  (** CI-width stopping target, if any *)
       instance : Suu_core.Instance.t;
     }
       (** Build a schedule ({!Suu_algo.Solver}) and estimate its expected
@@ -53,6 +58,7 @@ type op =
       trials : int;
       seed : int;
       range : (int * int) option;  (** trial-range sub-job, if any *)
+      ci_target : float option;  (** CI-width stopping target, if any *)
       instance : Suu_core.Instance.t;
     }  (** Estimate the expected makespan of a client-supplied plan. *)
   | Info of Suu_core.Instance.t
@@ -85,20 +91,25 @@ val op_kind : op -> string
 val of_line :
   default_trials:int ->
   default_seed:int ->
+  ?default_ci_target:float ->
   string ->
   (t, string * string option) result
 (** Decode one request line. [Error (message, id)] carries the request id
     when the envelope was intact enough to recover it, so the error
     response can still be correlated. Missing ["trials"]/["seed"] take
-    the supplied defaults; a ["range"] must satisfy
-    [0 <= lo < hi <= trials]. Lines with duplicate JSON keys are
+    the supplied defaults, and a missing ["ci_target"] takes
+    [default_ci_target] (default: none — exhaustive estimates); a
+    ["range"] must satisfy [0 <= lo < hi <= trials] and an explicit
+    ["ci_target"] must be positive. Lines with duplicate JSON keys are
     rejected at the parser ({!Json.of_string}). *)
 
 val cache_key : t -> string option
 (** Result-cache key: a content digest of the request's semantics —
     [(instance digest, op, algorithm, trials, seed)] plus the trial
     range when one is present (a partial answer must never alias the
-    full one) — for [solve], [estimate] and [exact]; [None] for the
+    full one) and the [ci_target] when one is set (an early-stopped
+    answer must never alias an exhaustive one) — for [solve], [estimate]
+    and [exact]; [None] for the
     uncacheable ops ([info] is cheap, [ping] and [stats] are
     time-varying). Requests with equal keys are guaranteed identical
     answers by the per-trial seeding discipline
@@ -106,8 +117,8 @@ val cache_key : t -> string option
 
 val sub_line : t -> lo:int -> hi:int -> string
 (** Re-encode a Monte-Carlo request as the sub-job request line for
-    trials [lo <= k < hi]: same id, deadline, algorithm, trials and
-    seed, with ["range":[lo,hi]] and the instance (and plan) serialised
+    trials [lo <= k < hi]: same id, deadline, algorithm, trials, seed
+    and [ci_target], with ["range":[lo,hi]] and the instance (and plan) serialised
     canonically via {!Suu_harness.Io} — those round-trip losslessly, so
     the sub-job computes over bit-identical probabilities. All sub-jobs
     of one request re-encode the plan identically, so their worker-side

@@ -18,6 +18,7 @@ type config = {
   degrade_watermark : int option;
   degrade_trials : int;
   estimate_domains : int;
+  default_ci_target : float option;
   fault : Fault.spec;
   tracer : Trace.t;
 }
@@ -36,6 +37,7 @@ let default_config =
     degrade_watermark = None;
     degrade_trials = 25;
     estimate_domains = 1;
+    default_ci_target = None;
     fault = Fault.none;
     tracer = Trace.disabled;
   }
@@ -245,24 +247,26 @@ let now_ms = Clock.now_ms
    RNG derivation makes the answer — summary and sample order alike — a
    pure function of the request, so changing [domains] never changes a
    cached or recomputed response. *)
-let estimate_fields ~domains ~policy ~trials ~seed ~range ~stop ~on_trial
-    instance =
+let estimate_fields ~domains ~policy ~trials ~seed ~range ~ci_target ~stop
+    ~on_trial instance =
   match range with
   | Some (lo, hi) ->
       (* A trial-range sub-job answers raw material, not a summary: the
          coordinator concatenates the per-range samples (integral
          floats, so they cross the JSON wire bit-exactly) and recomputes
          the summary over the merged vector — identical to a
-         single-process run of the full request. *)
+         single-process run of the full request. ["trials"] reports the
+         executed count, which a [ci_target] can cut below [hi - lo]. *)
       let e =
-        Engine.estimate_makespan_range ~stop ~on_trial ~seed ~lo ~hi instance
-          policy
+        Engine.estimate_makespan_range ?ci_target ~stop ~on_trial ~seed ~lo ~hi
+          instance policy
       in
       [
         ("algo", Json.Str policy.Policy.name);
         ("partial", Json.Bool true);
         ("lo", Json.int lo);
         ("hi", Json.int hi);
+        ("trials", Json.int e.Engine.trials);
         ("incomplete", Json.int e.Engine.incomplete);
         ( "samples",
           Json.List
@@ -272,11 +276,11 @@ let estimate_fields ~domains ~policy ~trials ~seed ~range ~stop ~on_trial
   | None ->
       let e =
         if domains <= 1 then
-          Engine.estimate_makespan_seeded ~stop ~on_trial ~trials ~seed instance
-            policy
-        else
-          Engine.estimate_makespan_parallel ~domains ~stop ~on_trial ~trials
+          Engine.estimate_makespan_seeded ?ci_target ~stop ~on_trial ~trials
             ~seed instance policy
+        else
+          Engine.estimate_makespan_parallel ~domains ?ci_target ~stop ~on_trial
+            ~trials ~seed instance policy
       in
       let p95 =
         if Array.length e.Engine.samples = 0 then 0.
@@ -315,7 +319,7 @@ let info_fields instance =
 
 let execute op ~domains ~stop ~on_trial =
   match op with
-  | Request.Solve { algo; trials; seed; range; instance } ->
+  | Request.Solve { algo; trials; seed; range; ci_target; instance } ->
       (* [auto] is the practical default (the adaptive greedy policy);
          the paper's guaranteed oblivious column is an explicit opt-in.
          [canonical_algo] is also what the cache key is built from, so a
@@ -325,12 +329,12 @@ let execute op ~domains ~stop ~on_trial =
         try Suu_algo.Solver.solve ~kind instance
         with Suu_algo.Solver.Unsupported msg -> failed "unsupported: %s" msg
       in
-      estimate_fields ~domains ~policy ~trials ~seed ~range ~stop ~on_trial
-        instance
-  | Request.Estimate { plan; trials; seed; range; instance; _ } ->
+      estimate_fields ~domains ~policy ~trials ~seed ~range ~ci_target ~stop
+        ~on_trial instance
+  | Request.Estimate { plan; trials; seed; range; ci_target; instance; _ } ->
       estimate_fields ~domains
         ~policy:(Policy.of_oblivious "plan" plan)
-        ~trials ~seed ~range ~stop ~on_trial instance
+        ~trials ~seed ~range ~ci_target ~stop ~on_trial instance
   | Request.Ping -> [ ("pong", Json.Bool true) ]
   | Request.Info instance -> info_fields instance
   | Request.Exact instance -> (
@@ -693,7 +697,8 @@ let serve cfg (module T0 : TRANSPORT) =
            incr seq;
            match
              Request.of_line ~default_trials:cfg.default_trials
-               ~default_seed:cfg.default_seed line
+               ~default_seed:cfg.default_seed
+               ?default_ci_target:cfg.default_ci_target line
            with
            | Error (msg, id) ->
                Metrics.record_error metrics;

@@ -91,6 +91,13 @@ type config = {
           {!Suu_sim.Engine.estimate_makespan_parallel}, which is
           bit-identical to the inline path, so responses (cached or
           recomputed) never depend on this knob *)
+  default_ci_target : float option;
+      (** when a request omits ["ci_target"]; [None] (the default) runs
+          every estimate to its full trial count. A target enables
+          CI-width sequential stopping
+          ({!Suu_sim.Engine.estimate_makespan_seeded}): the response's
+          ["trials"] field then reports the executed count. Part of the
+          request's cache key either way. *)
   fault : Fault.spec;  (** fault injection; {!Fault.none} in production *)
   tracer : Suu_obs.Trace.t;
       (** span tracer for the request path; {!Suu_obs.Trace.disabled}

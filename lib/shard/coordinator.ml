@@ -25,6 +25,7 @@ type config = {
   respawn_backoff_ms : float;
   default_trials : int;
   default_seed : int;
+  default_ci_target : float option;
   fault : Fault.spec;
   tracer : Trace.t;
 }
@@ -45,6 +46,7 @@ let default_config =
     respawn_backoff_ms = 10.;
     default_trials = 200;
     default_seed = 1;
+    default_ci_target = None;
     fault = Fault.none;
     tracer = Trace.disabled;
   }
@@ -798,7 +800,8 @@ let admit t seq line =
     (fun () ->
       match
         Request.of_line ~default_trials:t.cfg.default_trials
-          ~default_seed:t.cfg.default_seed line
+          ~default_seed:t.cfg.default_seed
+          ?default_ci_target:t.cfg.default_ci_target line
       with
       | Error (msg, id) ->
           Metrics.record_error t.metrics;

@@ -89,6 +89,12 @@ type config = {
           jitter *)
   default_trials : int;  (** when a request omits ["trials"] *)
   default_seed : int;  (** when a request omits ["seed"] *)
+  default_ci_target : float option;
+      (** when a request omits ["ci_target"]; [None] = exhaustive.
+          Affects split routing only through the sub-job lines it
+          re-encodes — whole forwards carry the client's line verbatim,
+          so shards spawned by the CLI get the same default on their
+          command line *)
   fault : Suu_service.Fault.spec;  (** coordinator-side injection ([kill]) *)
   tracer : Suu_obs.Trace.t;  (** route/dispatch/merge spans *)
 }

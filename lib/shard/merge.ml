@@ -7,6 +7,10 @@ type part = {
   algo : string;
   lo : int;
   hi : int;
+  trials : int;
+      (* trials the shard actually executed — [hi - lo] unless a
+         ci_target stopped the range early (older shards omit the field;
+         it defaults to the full width) *)
   incomplete : int;
   samples : float array;
 }
@@ -49,7 +53,12 @@ let classify line =
               with
               | Some algo, Some lo, Some hi, Some incomplete, Some samples
                 when 0 <= lo && lo < hi ->
-                  Part { algo; lo; hi; incomplete; samples }
+                  let trials =
+                    match int "trials" with
+                    | Some t when 0 <= t && t <= hi - lo -> t
+                    | Some _ | None -> hi - lo
+                  in
+                  Part { algo; lo; hi; trials; incomplete; samples }
               | _ -> Garbled "malformed partial response")
           | _ -> Whole)
       | _ -> Garbled "response without a status")
@@ -72,7 +81,7 @@ let dummy_stats =
 let estimate_of_part p =
   {
     Engine.stats = dummy_stats;
-    trials = p.hi - p.lo;
+    trials = p.trials;
     incomplete = p.incomplete;
     samples = p.samples;
   }

@@ -13,6 +13,10 @@ type part = {
   algo : string;
   lo : int;
   hi : int;
+  trials : int;
+      (** trials the shard actually executed — [hi - lo] unless the
+          sub-job's [ci_target] stopped it early (or the responding
+          shard predates the field, which defaults to the full width) *)
   incomplete : int;
   samples : float array;
 }

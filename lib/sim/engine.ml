@@ -17,6 +17,9 @@ let c_leap_trials = Counters.make counters "engine_leapfrog_trials_total"
 let c_leap_steps =
   Counters.make counters "engine_leapfrog_steps_skipped_total"
 
+let c_vector_words = Counters.make counters "engine_vector_words_total"
+let c_early_stops = Counters.make counters "engine_early_stops_total"
+
 type outcome = { makespan : int; completed : bool }
 
 let default_horizon inst =
@@ -345,40 +348,130 @@ let collector_samples c = Array.sub c.buf 0 c.filled
    sample-for-sample at any domain count. *)
 let trial_seed seed k = seed lxor ((k + 1) * 0x9E3779B1)
 
-let estimate_makespan ?max_steps ?releases ~trials rng inst policy =
+(* --- CI-width sequential stopping ------------------------------------ *)
+
+(* Running Welford accumulator over completed samples, checked only at
+   whole-word boundaries (the vectorized batch size, so scalar and
+   vectorized estimators stop at the same trial counts). The half-width
+   mirrors [Stats.summarize]: 1.96 * sqrt(m2 / (n-1)) / sqrt(n). *)
+type ci_acc = { mutable cnt : int; mutable mean : float; mutable m2 : float }
+
+let ci_acc () = { cnt = 0; mean = 0.; m2 = 0. }
+
+let ci_add a x =
+  a.cnt <- a.cnt + 1;
+  let d = x -. a.mean in
+  a.mean <- a.mean +. (d /. Float.of_int a.cnt);
+  a.m2 <- a.m2 +. (d *. (x -. a.mean))
+
+let ci_reached a target =
+  a.cnt >= 2
+  &&
+  let n = Float.of_int a.cnt in
+  1.96 *. sqrt (a.m2 /. (n -. 1.) /. n) <= target
+
+let check_ci_target = function
+  | Some c when not (c > 0.) -> invalid_arg "Engine: ci_target must be > 0"
+  | _ -> ()
+
+let word = Lanes.lanes_per_word
+
+let estimate_makespan ?max_steps ?releases ?ci_target ~trials rng inst policy =
   if trials < 1 then invalid_arg "Engine.estimate_makespan: trials < 1";
+  check_ci_target ci_target;
   let max_steps =
     match max_steps with Some v -> v | None -> default_horizon inst
   in
-  let runner = make_runner ?releases inst policy in
   let c = collector trials in
-  for _ = 1 to trials do
-    collect c (run_trial runner rng ~max_steps)
-  done;
-  finish_estimate ~max_steps ~trials ~incomplete:c.truncated
+  let acc = ci_acc () in
+  let executed = ref 0 in
+  let stopped = ref false in
+  (* Stop once the 95% CI half-width over completed samples dips below
+     the target — only at word boundaries, so both paths below agree on
+     where stopping is possible. *)
+  let check_stop () =
+    match ci_target with
+    | Some tgt when !executed < trials && ci_reached acc tgt ->
+        stopped := true;
+        Counters.incr c_early_stops
+    | _ -> ()
+  in
+  (match Lanes.create ?releases inst policy with
+  | Some k ->
+      (* Vectorized path: whole words of trials per kernel call, each
+         word seeded from the caller's generator. Distribution-equivalent
+         to the scalar path, not stream-equivalent. *)
+      let makespans = Array.make word 0 in
+      while (not !stopped) && !executed < trials do
+        let lanes = min word (trials - !executed) in
+        let seed = Int64.to_int (Suu_prob.Rng.int64 rng) in
+        Lanes.run_word k ~seed ~max_steps ~lanes ~makespans;
+        Counters.incr c_vector_words;
+        Counters.add c_trials lanes;
+        for l = 0 to lanes - 1 do
+          let mk = makespans.(l) in
+          if mk >= 0 then begin
+            let x = Float.of_int mk in
+            c.buf.(c.filled) <- x;
+            c.filled <- c.filled + 1;
+            ci_add acc x
+          end
+          else c.truncated <- c.truncated + 1
+        done;
+        executed := !executed + lanes;
+        check_stop ()
+      done
+  | None ->
+      let runner = make_runner ?releases inst policy in
+      while (not !stopped) && !executed < trials do
+        let o = run_trial runner rng ~max_steps in
+        if o.completed then ci_add acc (Float.of_int o.makespan);
+        collect c o;
+        incr executed;
+        if !executed mod word = 0 then check_stop ()
+      done);
+  finish_estimate ~max_steps ~trials:!executed ~incomplete:c.truncated
     (collector_samples c)
 
 exception Interrupted
 
-let estimate_makespan_range ?max_steps ?releases ?(stop = fun () -> false)
-    ?(on_trial = fun (_ : int) -> ()) ~seed ~lo ~hi inst policy =
+let estimate_makespan_range ?max_steps ?releases ?ci_target
+    ?(stop = fun () -> false) ?(on_trial = fun (_ : int) -> ()) ~seed ~lo ~hi
+    inst policy =
   if lo < 0 || hi <= lo then
     invalid_arg "Engine.estimate_makespan_range: need 0 <= lo < hi";
+  check_ci_target ci_target;
   let max_steps =
     match max_steps with Some v -> v | None -> default_horizon inst
   in
   let runner = make_runner ?releases inst policy in
   let c = collector (hi - lo) in
+  let acc = ci_acc () in
+  let executed = ref 0 in
+  let stopped = ref false in
   (* Absolute trial indices: trial [k] of the range draws from the very
      generator trial [k] of a full run draws from, so contiguous ranges
-     concatenate into the full run's sample vector bit-for-bit. *)
-  for k = lo to hi - 1 do
+     concatenate into the full run's sample vector bit-for-bit. Stopping
+     boundaries are counted relative to [lo] — a deterministic property
+     of the range alone, independent of how the caller partitioned. *)
+  let k = ref lo in
+  while (not !stopped) && !k < hi do
     if stop () then raise Interrupted;
-    on_trial k;
-    let rng = Suu_prob.Rng.create (trial_seed seed k) in
-    collect c (run_trial runner rng ~max_steps)
+    on_trial !k;
+    let rng = Suu_prob.Rng.create (trial_seed seed !k) in
+    let o = run_trial runner rng ~max_steps in
+    if o.completed then ci_add acc (Float.of_int o.makespan);
+    collect c o;
+    incr executed;
+    incr k;
+    if !executed mod word = 0 then
+      match ci_target with
+      | Some tgt when !k < hi && ci_reached acc tgt ->
+          stopped := true;
+          Counters.incr c_early_stops
+      | _ -> ()
   done;
-  finish_estimate ~max_steps ~trials:(hi - lo) ~incomplete:c.truncated
+  finish_estimate ~max_steps ~trials:!executed ~incomplete:c.truncated
     (collector_samples c)
 
 let merge_ranges ~max_steps parts =
@@ -388,41 +481,58 @@ let merge_ranges ~max_steps parts =
   let samples = Array.concat (List.map (fun e -> e.samples) parts) in
   finish_estimate ~max_steps ~trials ~incomplete samples
 
-let estimate_makespan_seeded ?max_steps ?releases ?(stop = fun () -> false)
-    ?(on_trial = fun (_ : int) -> ()) ?observer ~trials ~seed inst policy =
+let estimate_makespan_seeded ?max_steps ?releases ?ci_target
+    ?(stop = fun () -> false) ?(on_trial = fun (_ : int) -> ()) ?observer
+    ~trials ~seed inst policy =
   if trials < 1 then invalid_arg "Engine.estimate_makespan_seeded: trials < 1";
+  check_ci_target ci_target;
   let max_steps =
     match max_steps with Some v -> v | None -> default_horizon inst
   in
   let runner = make_runner ?releases inst policy in
   let c = collector trials in
-  for k = 0 to trials - 1 do
+  let acc = ci_acc () in
+  let stopped = ref false in
+  let k = ref 0 in
+  while (not !stopped) && !k < trials do
     if stop () then raise Interrupted;
-    on_trial k;
-    let rng = Suu_prob.Rng.create (trial_seed seed k) in
-    (match observer with
-    | Some o when Exec_trace.selects o k ->
-        let outcome, steps =
-          run_trial_observed runner rng ~max_steps ~limit:o.Exec_trace.limit
-        in
-        o.Exec_trace.emit
-          {
-            Exec_trace.index = k;
-            seed = trial_seed seed k;
-            makespan = outcome.makespan;
-            truncated = not outcome.completed;
-            steps;
-          };
-        collect c outcome
-    | _ -> collect c (run_trial runner rng ~max_steps))
+    on_trial !k;
+    let rng = Suu_prob.Rng.create (trial_seed seed !k) in
+    let outcome =
+      match observer with
+      | Some o when Exec_trace.selects o !k ->
+          let outcome, steps =
+            run_trial_observed runner rng ~max_steps ~limit:o.Exec_trace.limit
+          in
+          o.Exec_trace.emit
+            {
+              Exec_trace.index = !k;
+              seed = trial_seed seed !k;
+              makespan = outcome.makespan;
+              truncated = not outcome.completed;
+              steps;
+            };
+          outcome
+      | _ -> run_trial runner rng ~max_steps
+    in
+    if outcome.completed then ci_add acc (Float.of_int outcome.makespan);
+    collect c outcome;
+    incr k;
+    if !k mod word = 0 then
+      match ci_target with
+      | Some tgt when !k < trials && ci_reached acc tgt ->
+          stopped := true;
+          Counters.incr c_early_stops
+      | _ -> ()
   done;
-  finish_estimate ~max_steps ~trials ~incomplete:c.truncated
+  finish_estimate ~max_steps ~trials:!k ~incomplete:c.truncated
     (collector_samples c)
 
-let estimate_makespan_parallel ?max_steps ?releases ?domains
+let estimate_makespan_parallel ?max_steps ?releases ?domains ?ci_target
     ?(stop = fun () -> false) ?(on_trial = fun (_ : int) -> ()) ~trials ~seed
     inst policy =
   if trials < 1 then invalid_arg "Engine.estimate_makespan_parallel: trials < 1";
+  check_ci_target ci_target;
   let domains =
     match domains with
     | Some d ->
@@ -435,50 +545,114 @@ let estimate_makespan_parallel ?max_steps ?releases ?domains
   let max_steps =
     match max_steps with Some v -> v | None -> default_horizon inst
   in
-  (* Chunked self-scheduling: workers claim trial indices from a shared
-     counter, so domains stay balanced even when trial lengths vary
-     wildly (one unlucky long trial no longer idles the other domains of
-     its static share). Per-trial seeding makes the result a pure
-     function of [(seed, trials)] regardless of which domain runs which
-     trial — bit-identical to [estimate_makespan_seeded]. *)
-  let next = Atomic.make 0 in
   let failure : exn option Atomic.t = Atomic.make None in
   let not_run = -1. in
   let slots = Array.make trials not_run in
-  let worker () =
-    let runner = make_runner ?releases inst policy in
-    let continue = ref true in
-    while !continue && Atomic.get failure = None do
-      let k = Atomic.fetch_and_add next 1 in
-      if k >= trials then continue := false
-      else
-        try
-          if stop () then raise Interrupted;
-          on_trial k;
-          let rng = Suu_prob.Rng.create (trial_seed seed k) in
-          let o = run_trial runner rng ~max_steps in
-          (* Truncated trials keep the sentinel; distinct slots, so the
-             concurrent writes never race. *)
-          if o.completed then slots.(k) <- Float.of_int o.makespan
-        with e ->
-          (* First failure wins; the others drain. *)
-          ignore (Atomic.compare_and_set failure None (Some e) : bool)
-    done
-  in
-  let handles =
-    List.init (domains - 1) (fun _ -> Domain.spawn worker)
-  in
-  worker ();
-  List.iter Domain.join handles;
-  (match Atomic.get failure with Some e -> raise e | None -> ());
-  let c = collector trials in
-  Array.iter
-    (fun s ->
-      if s = not_run then c.truncated <- c.truncated + 1
+  let spawn_and_collect ~executed worker =
+    let handles = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join handles;
+    (match Atomic.get failure with Some e -> raise e | None -> ());
+    let executed = executed () in
+    let c = collector executed in
+    for i = 0 to executed - 1 do
+      if slots.(i) = not_run then c.truncated <- c.truncated + 1
       else begin
-        c.buf.(c.filled) <- s;
+        c.buf.(c.filled) <- slots.(i);
         c.filled <- c.filled + 1
-      end)
-    slots;
-  finish_estimate ~max_steps ~trials ~incomplete:c.truncated
-    (collector_samples c)
+      end
+    done;
+    finish_estimate ~max_steps ~trials:executed ~incomplete:c.truncated
+      (collector_samples c)
+  in
+  match ci_target with
+  | None ->
+      (* Chunked self-scheduling: workers claim trial indices from a
+         shared counter, so domains stay balanced even when trial lengths
+         vary wildly (one unlucky long trial no longer idles the other
+         domains of its static share). Per-trial seeding makes the result
+         a pure function of [(seed, trials)] regardless of which domain
+         runs which trial — bit-identical to [estimate_makespan_seeded]. *)
+      let next = Atomic.make 0 in
+      let worker () =
+        let runner = make_runner ?releases inst policy in
+        let continue = ref true in
+        while !continue && Atomic.get failure = None do
+          let k = Atomic.fetch_and_add next 1 in
+          if k >= trials then continue := false
+          else
+            try
+              if stop () then raise Interrupted;
+              on_trial k;
+              let rng = Suu_prob.Rng.create (trial_seed seed k) in
+              let o = run_trial runner rng ~max_steps in
+              (* Truncated trials keep the sentinel; distinct slots, so
+                 the concurrent writes never race. *)
+              if o.completed then slots.(k) <- Float.of_int o.makespan
+            with e ->
+              (* First failure wins; the others drain. *)
+              ignore (Atomic.compare_and_set failure None (Some e) : bool)
+        done
+      in
+      spawn_and_collect ~executed:(fun () -> trials) worker
+  | Some tgt ->
+      (* Word-granular self-scheduling: the CI fold consumes whole words
+         of trials in index order (under a mutex, as words complete), so
+         the stopping boundary is the same one the sequential seeded
+         estimator finds — words claimed beyond it are discarded, which
+         bounds the overshoot by the domain count. *)
+      let nwords = (trials + word - 1) / word in
+      let next = Atomic.make 0 in
+      let stop_word = Atomic.make max_int in
+      let mu = Mutex.create () in
+      let word_done = Array.make nwords false in
+      let watermark = ref 0 in
+      let acc = ci_acc () in
+      let fold_done_word w =
+        Mutex.lock mu;
+        word_done.(w) <- true;
+        while
+          !watermark < nwords
+          && word_done.(!watermark)
+          && Atomic.get stop_word = max_int
+        do
+          let base = !watermark * word in
+          let bound = min trials (base + word) in
+          for i = base to bound - 1 do
+            if slots.(i) <> not_run then ci_add acc slots.(i)
+          done;
+          incr watermark;
+          if bound < trials && ci_reached acc tgt then begin
+            Atomic.set stop_word !watermark;
+            Counters.incr c_early_stops
+          end
+        done;
+        Mutex.unlock mu
+      in
+      let worker () =
+        let runner = make_runner ?releases inst policy in
+        let continue = ref true in
+        while !continue && Atomic.get failure = None do
+          let w = Atomic.fetch_and_add next 1 in
+          if w >= nwords || w >= Atomic.get stop_word then continue := false
+          else
+            try
+              let base = w * word in
+              let bound = min trials (base + word) in
+              for k = base to bound - 1 do
+                if stop () then raise Interrupted;
+                on_trial k;
+                let rng = Suu_prob.Rng.create (trial_seed seed k) in
+                let o = run_trial runner rng ~max_steps in
+                if o.completed then slots.(k) <- Float.of_int o.makespan
+              done;
+              fold_done_word w
+            with e ->
+              ignore (Atomic.compare_and_set failure None (Some e) : bool)
+        done
+      in
+      spawn_and_collect
+        ~executed:(fun () ->
+          let sw = Atomic.get stop_word in
+          if sw = max_int then trials else min trials (sw * word))
+        worker

@@ -19,7 +19,28 @@
     (much shorter) RNG stream. [run] and [trace] always use the naive
     stepper, and the naive stepper's Bernoulli draw sequence is stable
     across versions, so seeded estimates of non-oblivious policies are
-    bit-reproducible. *)
+    bit-reproducible.
+
+    {!estimate_makespan} additionally routes policies tagged
+    {!Suu_core.Policy.Oblivious_schedule} or
+    {!Suu_core.Policy.Greedy_pairs} through the trial-batched
+    {!Lanes} kernel — {!Lanes.lanes_per_word} trials per word of
+    word-wide bit operations, again distribution-equivalent but on its
+    own stream. The {e seeded} estimators never take that path: their
+    contract is bit-stability of the per-trial scalar draw sequence.
+
+    {2 Sequential stopping}
+
+    Every estimator accepts [?ci_target] (default: off). When set, the
+    estimate stops drawing trials at the first {e word boundary}
+    (multiples of {!Lanes.lanes_per_word} trials) where the 95% CI
+    half-width of the mean makespan over completed samples is at most
+    [ci_target]; the [trials] field of the result reports the executed
+    count. Checks happen only at word boundaries for every estimator, so
+    scalar and vectorized paths stop at identical trial counts, seeded
+    and parallel estimates stay bit-identical to each other, and a range
+    estimate stops at boundaries relative to its own [lo].
+    @raise Invalid_argument if [ci_target <= 0]. *)
 
 type outcome = {
   makespan : int;  (** steps until the last job completed *)
@@ -32,8 +53,10 @@ val counters : Suu_obs.Counters.t
     [engine_steps_simulated_total] (naive-stepper steps),
     [engine_leapfrog_trials_total] and
     [engine_leapfrog_steps_skipped_total] (steps the geometric sampler
-    never had to simulate). The serving layer folds these into its
-    Prometheus exposition. *)
+    never had to simulate), [engine_vector_words_total] (trial words the
+    vectorized {!Lanes} kernel executed) and [engine_early_stops_total]
+    (estimates cut short by a [ci_target]). The serving layer folds
+    these into its Prometheus exposition. *)
 
 val default_horizon : Suu_core.Instance.t -> int
 (** A safe step cap: generous multiple of [n / p_min · (1 + ln n)], the
@@ -69,6 +92,8 @@ val trace :
 type estimate = {
   stats : Suu_prob.Stats.summary;  (** over completed trials *)
   trials : int;
+      (** trials actually executed — less than requested only when a
+          [ci_target] stopped the estimate early *)
   incomplete : int;  (** trials that hit the cap (excluded from stats) *)
   samples : float array;
       (** makespans of the completed trials, in trial order — the k-th
@@ -79,13 +104,19 @@ type estimate = {
 val estimate_makespan :
   ?max_steps:int ->
   ?releases:int array ->
+  ?ci_target:float ->
   trials:int ->
   Suu_prob.Rng.t ->
   Suu_core.Instance.t ->
   Suu_core.Policy.t ->
   estimate
-(** Expected-makespan estimate over [trials] independent executions drawn
-    sequentially from the given generator. *)
+(** Expected-makespan estimate over (up to) [trials] independent
+    executions drawn sequentially from the given generator. Policies
+    with vectorizable structure run through the trial-batched {!Lanes}
+    kernel, one word seed drawn from the generator per
+    {!Lanes.lanes_per_word} trials; the result is then
+    distribution-equivalent (not bit-identical) to earlier scalar
+    versions of this estimator. *)
 
 exception Interrupted
 (** Raised by {!estimate_makespan_seeded}, {!estimate_makespan_range} and
@@ -94,6 +125,7 @@ exception Interrupted
 val estimate_makespan_range :
   ?max_steps:int ->
   ?releases:int array ->
+  ?ci_target:float ->
   ?stop:(unit -> bool) ->
   ?on_trial:(int -> unit) ->
   seed:int ->
@@ -109,9 +141,11 @@ val estimate_makespan_range :
     contiguous ranges, {!merge_ranges} over the per-range estimates (in
     range order) reproduces [estimate_makespan_seeded ~trials:n ~seed]
     bit-for-bit: samples, summary, and incomplete count alike. The
-    returned [trials] field is [hi - lo]; [stop] and [on_trial] have the
-    contract of {!estimate_makespan_seeded} ([on_trial] sees absolute
-    indices).
+    returned [trials] field is [hi - lo], or the executed prefix length
+    when [ci_target] stopped the range early — stopping boundaries count
+    from [lo], a deterministic property of the range alone. [stop] and
+    [on_trial] have the contract of {!estimate_makespan_seeded}
+    ([on_trial] sees absolute indices).
     @raise Invalid_argument unless [0 <= lo < hi]. *)
 
 val merge_ranges : max_steps:int -> estimate list -> estimate
@@ -126,6 +160,7 @@ val merge_ranges : max_steps:int -> estimate list -> estimate
 val estimate_makespan_seeded :
   ?max_steps:int ->
   ?releases:int array ->
+  ?ci_target:float ->
   ?stop:(unit -> bool) ->
   ?on_trial:(int -> unit) ->
   ?observer:Suu_obs.Exec_trace.observer ->
@@ -175,6 +210,7 @@ val estimate_makespan_parallel :
   ?max_steps:int ->
   ?releases:int array ->
   ?domains:int ->
+  ?ci_target:float ->
   ?stop:(unit -> bool) ->
   ?on_trial:(int -> unit) ->
   trials:int ->
@@ -198,4 +234,11 @@ val estimate_makespan_parallel :
     re-raised in the calling domain. The policy's [fresh] function is
     called once per trial inside the worker domain; policies must not
     share hidden mutable state across trials (all policies in this
-    library satisfy this). *)
+    library satisfy this).
+
+    With a [ci_target], workers self-schedule whole words instead of
+    single trials and the CI fold consumes words in index order as they
+    complete, so the stopping boundary — and hence the sample vector and
+    the [trials] count — is exactly the sequential seeded one at any
+    domain count; words already claimed beyond the boundary are
+    discarded, bounding the overshoot by the domain count. *)

@@ -11,12 +11,13 @@ visible property with zero failures.
   ok   monotone-in-p        10 cases
   ok   exact-vs-mc          10 cases
   ok   leapfrog-vs-naive    10 cases
+  ok   lanes-vs-exact       10 cases
   ok   parallel-vs-seeded   10 cases
   ok   serialize-roundtrip  10 cases
   ok   obs-mass-trace       10 cases
   ok   split-merge          10 cases
   ok   shard-heal           10 cases
-  check: 14 properties, 140 cases, 0 failures
+  check: 15 properties, 150 cases, 0 failures
 
 Named selection runs only the requested properties, in the order given.
 

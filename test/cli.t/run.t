@@ -31,10 +31,10 @@ The CLI end to end: generate, inspect, decompose, plan and replay.
   $ suu solve -f fig1.inst --trials 50 --seed 3
   bounds: rate=3.333 capacity=1.500 critical-path=3.333 lp=0.208 exact=- best=3.333
   == expected makespan ==
-  policy     E[makespan]  p95  ratio  timeouts
-  --------------------------------------------
-  suu-i-alg  6.66 ±0.86   12   2.00         0
-  lp-indep   9.10 ±1.44   18   2.73         0
+  policy     E[makespan]   p95  ratio  timeouts
+  ---------------------------------------------
+  suu-i-alg  7.08 ±0.98    14   2.12         0
+  lp-indep   11.58 ±2.25   27   3.47         0
 
 A saved plan replays deterministically.
 

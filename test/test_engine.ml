@@ -280,12 +280,18 @@ let test_seeded_pinned_summary () =
     (Array.sub e.Engine.samples 0 10)
 
 let test_unseeded_samples_trial_order () =
-  (* [estimate_makespan] draws its trials sequentially from the given
-     generator, so the sample vector must equal back-to-back [run]s on an
-     equally-seeded generator, in trial order. (The sample order of the
-     unseeded estimator was historically reversed; this pins the fix.) *)
+  (* On the scalar path, [estimate_makespan] draws its trials
+     sequentially from the given generator, so the sample vector must
+     equal back-to-back [run]s on an equally-seeded generator, in trial
+     order. (The sample order of the unseeded estimator was historically
+     reversed; this pins the fix.) The structure tag is stripped so the
+     estimator cannot take the vectorized path, whose stream is
+     different by design. *)
   let inst = pinned_instance () in
-  let policy = Suu_algo.Suu_i.policy inst in
+  let policy =
+    let tagged = Suu_algo.Suu_i.policy inst in
+    Policy.make "suu-i-untagged" tagged.Policy.fresh
+  in
   let trials = 20 in
   let e = Engine.estimate_makespan ~trials (Rng.create 13) inst policy in
   let rng = Rng.create 13 in

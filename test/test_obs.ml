@@ -263,6 +263,39 @@ let test_counters_merge_disjoint_and_reset () =
         snap)
     [ s0; s1; reset ]
 
+(* Process-wide engine counters are shared across tests, so assert on
+   before/after deltas, not absolute values. One vectorized estimate of
+   [trials] must add ceil(trials / lanes_per_word) to
+   [engine_vector_words_total]; an estimate cut short by its ci_target
+   must bump [engine_early_stops_total]. *)
+let test_engine_vector_counters () =
+  let get name =
+    Option.value ~default:0 (Suu_obs.Counters.find Engine.counters name)
+  in
+  let inst =
+    Instance.independent ~p:[| [| 0.5; 0.6 |]; [| 0.7; 0.4 |] |]
+  in
+  let policy = Suu_algo.Suu_i.policy inst in
+  let words0 = get "engine_vector_words_total"
+  and stops0 = get "engine_early_stops_total" in
+  let trials = 100 in
+  ignore
+    (Engine.estimate_makespan ~trials (Suu_prob.Rng.create 5) inst policy);
+  let expect_words =
+    (trials + Suu_sim.Lanes.lanes_per_word - 1) / Suu_sim.Lanes.lanes_per_word
+  in
+  Alcotest.(check int) "vector words counted" expect_words
+    (get "engine_vector_words_total" - words0);
+  Alcotest.(check int) "no early stop without target" 0
+    (get "engine_early_stops_total" - stops0);
+  let e =
+    Engine.estimate_makespan ~ci_target:0.5 ~trials:50_000
+      (Suu_prob.Rng.create 6) inst policy
+  in
+  Alcotest.(check bool) "estimate stopped early" true (e.Engine.trials < 50_000);
+  Alcotest.(check int) "early stop counted" 1
+    (get "engine_early_stops_total" - stops0)
+
 (* --- trace-event JSON, round-tripped through the service codec --- *)
 
 let sample_events () =
@@ -556,6 +589,8 @@ let () =
             test_counters_merge_snapshots;
           Alcotest.test_case "merge disjoint + respawn reset" `Quick
             test_counters_merge_disjoint_and_reset;
+          Alcotest.test_case "engine vector + early-stop counters" `Quick
+            test_engine_vector_counters;
         ] );
       ( "trace-event",
         [

@@ -310,6 +310,57 @@ let test_request_range () =
       | Ok _ -> Alcotest.fail "sub_line decoded to a different op"
       | Error (msg, _) -> Alcotest.fail ("sub_line does not re-decode: " ^ msg))
 
+let test_request_ci_target () =
+  let line extra =
+    Printf.sprintf
+      {|{"op":"solve","id":"c","trials":40,"seed":5%s,"instance":"%s"}|} extra
+      (String.concat "\\n" (String.split_on_char '\n' instance_text))
+  in
+  (match decode (line {|,"ci_target":0.25|}) with
+  | Ok { op = Request.Solve { ci_target = Some w; _ }; _ } ->
+      Alcotest.(check (float 0.)) "target decoded" 0.25 w
+  | Ok _ -> Alcotest.fail "ci_target not decoded"
+  | Error (msg, _) -> Alcotest.fail msg);
+  (* Absent field: the server default applies; without one, stopping is
+     off. *)
+  (match
+     Request.of_line ~default_trials:40 ~default_seed:5
+       ~default_ci_target:0.5 (line "")
+   with
+  | Ok { op = Request.Solve { ci_target = Some w; _ }; _ } ->
+      Alcotest.(check (float 0.)) "server default applies" 0.5 w
+  | _ -> Alcotest.fail "default ci_target not applied");
+  (match decode (line "") with
+  | Ok { op = Request.Solve { ci_target = None; _ }; _ } -> ()
+  | _ -> Alcotest.fail "stopping should default to off");
+  (* Hostile targets are rejected with the id kept. *)
+  List.iter
+    (fun extra ->
+      match decode (line extra) with
+      | Error (_, Some "c") -> ()
+      | _ -> Alcotest.fail ("hostile ci_target accepted: " ^ extra))
+    [ {|,"ci_target":0|}; {|,"ci_target":-0.5|}; {|,"ci_target":"x"|} ];
+  (* An early-stopped answer must never alias an exhaustive one, and the
+     target survives sub-job re-encoding so shards stop by the same
+     rule. *)
+  let key extra =
+    match decode (line extra) with
+    | Ok req -> Request.cache_key req
+    | Error (msg, _) -> Alcotest.fail msg
+  in
+  Alcotest.(check bool) "target changes the key" true
+    (key "" <> key {|,"ci_target":0.25|});
+  Alcotest.(check bool) "distinct targets, distinct keys" true
+    (key {|,"ci_target":0.25|} <> key {|,"ci_target":0.5|});
+  match decode (line {|,"ci_target":0.25|}) with
+  | Error (msg, _) -> Alcotest.fail msg
+  | Ok req -> (
+      match decode (Request.sub_line req ~lo:0 ~hi:20) with
+      | Ok { op = Request.Solve { ci_target = Some w; range; _ }; _ } ->
+          Alcotest.(check (float 0.)) "sub keeps target" 0.25 w;
+          Alcotest.(check bool) "sub range" true (range = Some (0, 20))
+      | _ -> Alcotest.fail "sub_line dropped the ci_target")
+
 let test_cache_key_semantics () =
   let line trials seed text =
     Printf.sprintf {|{"op":"solve","trials":%d,"seed":%d,"instance":"%s"}|}
@@ -458,6 +509,48 @@ let test_service_estimate_domains_bit_identical () =
       lines
   in
   Alcotest.(check (list string)) "same responses" inline fanned
+
+let test_service_ci_target_stops_early () =
+  (* A request with a ci_target may answer with fewer trials than asked;
+     the response reports the executed count (a multiple of the kernel's
+     word width) and honours the target. A ranged sub-job under the same
+     target reports its executed count too. *)
+  let solve extra =
+    Printf.sprintf
+      {|{"op":"solve","id":"c","trials":20000,"seed":5%s,"instance":"%s"}|}
+      extra (escaped instance_text)
+  in
+  let out, _ =
+    Service.run_lines (config ~workers:1)
+      [
+        solve {|,"ci_target":0.3|};
+        solve {|,"ci_target":0.3,"range":[0,20000]|};
+      ]
+  in
+  let whole = List.nth out 0 and part = List.nth out 1 in
+  Alcotest.(check (option string)) "ok" (Some "ok") (status whole);
+  let trials line =
+    Option.bind (field "trials" line) Json.to_int
+    |> Option.value ~default:(-1)
+  in
+  Alcotest.(check bool) "stopped early" true
+    (trials whole > 0 && trials whole < 20_000);
+  Alcotest.(check int) "at a word boundary" 0
+    (trials whole mod Suu_sim.Lanes.lanes_per_word);
+  let ci95 =
+    Option.bind (field "ci95" whole) Json.to_num
+    |> Option.value ~default:Float.nan
+  in
+  Alcotest.(check bool) "target honoured" true (ci95 <= 0.3);
+  (* The ranged sub-job stops at the same boundary (range lo = 0), and
+     its samples array matches its executed count. *)
+  Alcotest.(check int) "sub-job stops identically" (trials whole)
+    (trials part);
+  match field "samples" part with
+  | Some (Json.List xs) ->
+      Alcotest.(check bool) "samples bounded by executed trials" true
+        (List.length xs <= trials part)
+  | _ -> Alcotest.fail "partial response without samples"
 
 let test_service_estimate_and_exact () =
   let inst = Suu_harness.Io.of_string instance_text in
@@ -1122,6 +1215,7 @@ let () =
           Alcotest.test_case "ping + duplicates" `Quick
             test_request_ping_and_duplicates;
           Alcotest.test_case "trial ranges" `Quick test_request_range;
+          Alcotest.test_case "ci_target" `Quick test_request_ci_target;
         ] );
       ( "service",
         [
@@ -1134,6 +1228,8 @@ let () =
             test_service_ping_and_range_subjobs;
           Alcotest.test_case "estimate_domains bit-identical" `Quick
             test_service_estimate_domains_bit_identical;
+          Alcotest.test_case "ci_target stops early" `Quick
+            test_service_ci_target_stops_early;
           Alcotest.test_case "plan mismatch" `Quick
             test_service_plan_mismatch_rejected;
           Alcotest.test_case "queue full rejects" `Quick

@@ -742,6 +742,28 @@ let coordinator_cases spawn =
   ]
 
 let () =
+  let test_merge_partial_trials_field () =
+    (* A partial response's optional "trials" field is the executed count
+       (a ci_target can cut it below the range width); absent or
+       out-of-range values fall back to the full width so pre-field
+       shards still merge correctly. *)
+    let part extra =
+      match
+        Suu_shard.Merge.classify
+          (Printf.sprintf
+             {|{"id":"x","status":"ok","algo":"a","partial":true,"lo":10,"hi":20,%s"incomplete":0,"samples":[3,4]}|}
+             extra)
+      with
+      | Suu_shard.Merge.Part p -> p
+      | _ -> Alcotest.fail "partial did not classify"
+    in
+    Alcotest.(check int) "explicit executed count" 4
+      (part {|"trials":4,|}).Suu_shard.Merge.trials;
+    Alcotest.(check int) "absent field defaults to the width" 10
+      (part "").Suu_shard.Merge.trials;
+    Alcotest.(check int) "overlong count clamps to the width" 10
+      (part {|"trials":99,|}).Suu_shard.Merge.trials
+  in
   Alcotest.run "shard"
     [
       ( "ring",
@@ -761,6 +783,11 @@ let () =
           Alcotest.test_case "auto chunk" `Quick test_dispatch_auto_chunk;
           Alcotest.test_case "invalid args" `Quick
             test_dispatch_invalid_args;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "partial trials field" `Quick
+            test_merge_partial_trials_field;
         ] );
       ("coordinator", coordinator_cases spawn_local);
       ("coordinator-tcp", coordinator_cases spawn_tcp);
