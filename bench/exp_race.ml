@@ -1,0 +1,154 @@
+(* EXP-RACE — the improved family (suu-imp, arXiv:0802.2418 flavour)
+   head-to-head against the Lin–Rajaraman family on every DAG shape.
+
+   Per shape: one seeded instance; each contender builds its policy
+   (wall-clock recorded) and is Monte-Carlo estimated on the shared
+   trial budget. Ratios are against the LP-free lower bound
+   ({!Suu_algo.Bounds}), and the "imp/old" column is the new family's
+   mean over the best old-family mean — below 1.0 the newcomer wins.
+
+   The rows are merged into the BENCH_PERF.json artifact under a
+   top-level "race" key (the perf writer preserves it, so `perf` and
+   `exp-race` can run in either order in CI's perf-smoke job). *)
+
+open Bench_common
+module Json = Suu_service.Json
+module Policy = Suu_core.Policy
+
+let shapes =
+  [
+    ("independent", fun _rng n -> Suu_dag.Gen.independent n);
+    ("chains", fun rng n -> Suu_dag.Gen.chains rng ~n ~chains:4);
+    ("out-forest", fun rng n -> Suu_dag.Gen.out_forest rng ~n ~trees:3);
+    ("polytree", fun rng n -> Suu_dag.Gen.polytree_forest rng ~n ~trees:3);
+    ( "layered",
+      fun rng n -> Suu_dag.Gen.layered rng ~n ~layers:4 ~edge_prob:0.3 );
+    ("general", fun rng n -> Suu_dag.Gen.random_dag rng ~n ~edge_prob:0.15);
+  ]
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.)
+
+(* The contenders on one instance: the new family first, then the old
+   family's adaptive default, its combinatorial oblivious core, and the
+   paper's per-shape oblivious column (LP for independent, pipelines for
+   chains/trees/forests, layered heuristic for general DAGs). *)
+let contenders inst =
+  [
+    ("suu-imp", fun () -> Suu_algo.Improved.policy inst);
+    ("suu-i-alg", fun () -> Suu_algo.Suu_i.policy inst);
+    ("suu-i-obl", fun () -> Suu_algo.Suu_i_obl.policy inst);
+    ( Suu_algo.Solver.algorithm_name ~kind:`Oblivious ~allow_heuristic:true
+        inst,
+      fun () -> Suu_algo.Solver.solve ~kind:`Oblivious ~allow_heuristic:true inst
+    );
+  ]
+
+let race_shape (shape, gen) =
+  let n = 18 and m = 5 in
+  let rng = Rng.create (master_seed + Hashtbl.hash shape) in
+  let dag = gen rng n in
+  let inst =
+    uniform_instance (master_seed + (17 * String.length shape)) ~n ~m ~lo:0.15
+      ~hi:0.85 dag
+  in
+  let lb = lower_bound inst in
+  let runs =
+    List.map
+      (fun (name, build) ->
+        let policy, build_ms = timed build in
+        let (mean, ci), est_ms = timed (fun () -> mean_makespan inst policy) in
+        (name, mean, ci, mean /. lb, build_ms, est_ms))
+      (contenders inst)
+  in
+  let imp_mean =
+    match runs with (_, mean, _, _, _, _) :: _ -> mean | [] -> Float.nan
+  in
+  let best_old =
+    List.fold_left
+      (fun acc (name, mean, _, _, _, _) ->
+        if String.equal name "suu-imp" then acc else Float.min acc mean)
+      Float.infinity runs
+  in
+  let imp_over_old = imp_mean /. best_old in
+  let row_json =
+    Json.Obj
+      [
+        ("shape", Json.Str shape);
+        ("n", Json.int n);
+        ("m", Json.int m);
+        ("lower_bound", Json.Num lb);
+        ("imp_over_best_old", Json.Num imp_over_old);
+        ( "contenders",
+          Json.List
+            (List.map
+               (fun (name, mean, ci, ratio, build_ms, est_ms) ->
+                 Json.Obj
+                   [
+                     ("name", Json.Str name);
+                     ("mean_makespan", Json.Num mean);
+                     ("ci95", Json.Num ci);
+                     ("ratio_vs_lb", Json.Num ratio);
+                     ("build_ms", Json.Num build_ms);
+                     ("estimate_ms", Json.Num est_ms);
+                   ])
+               runs) );
+      ]
+  in
+  let cells =
+    List.concat_map
+      (fun (name, mean, _, ratio, build_ms, _) ->
+        [
+          Printf.sprintf "%s %.1f (%.2fx, %.1fms)" name mean ratio build_ms;
+        ])
+      runs
+  in
+  ([ shape; Printf.sprintf "%.2f" lb; Printf.sprintf "%.2f" imp_over_old ]
+   @ cells,
+    row_json )
+
+(* Merge the rows into the perf artifact under "race", preserving every
+   other field a prior `perf` run wrote (and writing a minimal envelope
+   when exp-race runs standalone). *)
+let merge_into_artifact rows =
+  let path = Perf.json_path () in
+  let existing_fields =
+    match In_channel.with_open_text path In_channel.input_all with
+    | exception Sys_error _ -> None
+    | text -> (
+        match Json.of_string text with
+        | Ok (Json.Obj fields) -> Some fields
+        | Ok _ | Error _ -> None)
+  in
+  let fields =
+    match existing_fields with
+    | Some fields -> List.filter (fun (k, _) -> not (String.equal k "race")) fields
+    | None ->
+        [
+          ("schema", Json.Str "suu-bench-perf/2");
+          ("schema_version", Json.int 2);
+          ("unix_time", Json.Num (Unix.time ()));
+        ]
+  in
+  let doc = Json.Obj (fields @ [ ("race", Json.List rows) ]) in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Json.to_string doc);
+      Out_channel.output_char oc '\n');
+  Printf.printf "merged race rows into %s (%d shapes)\n" path (List.length rows)
+
+let run () =
+  section
+    "EXP-RACE: improved family (suu-imp) vs Lin-Rajaraman, head-to-head";
+  let rows = List.map race_shape shapes in
+  table ~title:"EXP-RACE means, ratios vs LB, and build wall-clock"
+    ~header:
+      ([ "shape"; "LB"; "imp/old" ]
+      @ [ "suu-imp"; "suu-i-alg"; "suu-i-obl"; "oblivious column" ])
+    (List.map fst rows);
+  merge_into_artifact (List.map snd rows);
+  note
+    "expected: suu-imp within a small factor of the old family everywhere, \
+     ahead of suu-i-obl on dense independent instances (concentration \
+     tail), one scheme across all six shapes."

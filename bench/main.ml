@@ -24,6 +24,7 @@ let experiments =
     ("exp-serve", Exp_serve.run);
     ("exp-fault", Exp_fault.run);
     ("exp-shard", Exp_shard.run);
+    ("exp-race", Exp_race.run);
     ("perf", Perf.run);
     ("perf-gate", Perf.gate);
   ]

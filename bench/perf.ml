@@ -144,9 +144,23 @@ let git_describe () =
 let write_json ~limit ~quota_s results =
   let module Json = Suu_service.Json in
   let num v = if Float.is_finite v then Json.Num v else Json.Null in
+  (* A prior exp-race run may have merged its rows into the artifact;
+     rewriting the perf fields must not drop them (perf-smoke runs the
+     two in sequence and uploads one file). *)
+  let preserved_race =
+    match In_channel.with_open_text (json_path ()) In_channel.input_all with
+    | exception Sys_error _ -> []
+    | text -> (
+        match Json.of_string text with
+        | Ok doc -> (
+            match Json.member "race" doc with
+            | Some r -> [ ("race", r) ]
+            | None -> [])
+        | Error _ -> [])
+  in
   let doc =
     Json.Obj
-      [
+      ([
         ("schema", Json.Str "suu-bench-perf/2");
         ("schema_version", Json.int 2);
         ("git_describe", Json.Str (git_describe ()));
@@ -171,6 +185,7 @@ let write_json ~limit ~quota_s results =
                    ])
                results) );
       ]
+      @ preserved_race)
   in
   let path = json_path () in
   Out_channel.with_open_text path (fun oc ->

@@ -1,0 +1,73 @@
+module Instance = Suu_core.Instance
+module Oblivious = Suu_core.Oblivious
+
+type outcome = {
+  core : Oblivious.t;
+  rounds : int;
+  deficient : bool array;
+  deficient_count : int;
+}
+
+(* The round loop shared by Algorithm 2 (SUU-I-OBL) and the improved
+   phase ladder: repeatedly ask MSM-E-ALG for a length-[t] allocation
+   over the still-deficient jobs, append the packed piece, and retire
+   every job whose round mass reached the target. The 1e-12 slack
+   absorbs the float accumulation error of the allocator's own ledger
+   (which retires headroom with the same comparison). *)
+let accumulate inst ~jobs ~t ~mass_target ~max_rounds ~early_exit =
+  let n = Instance.n inst and m = Instance.m inst in
+  let deficient = Array.copy jobs in
+  let deficient_count =
+    ref (Array.fold_left (fun acc j -> if j then acc + 1 else acc) 0 deficient)
+  in
+  let pieces = ref [] in
+  let rounds = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !deficient_count > 0 && !rounds < max_rounds do
+    incr rounds;
+    let alloc = Msm_ext.allocate inst ~jobs:deficient ~t in
+    pieces := Msm_ext.to_schedule inst alloc :: !pieces;
+    let removed = ref 0 in
+    for j = 0 to n - 1 do
+      if deficient.(j) && alloc.Msm_ext.mass.(j) >= mass_target -. 1e-12
+      then begin
+        deficient.(j) <- false;
+        decr deficient_count;
+        incr removed
+      end
+    done;
+    if early_exit && !removed = 0 then stop := true
+  done;
+  let core =
+    List.fold_left
+      (fun acc piece -> Oblivious.append piece acc)
+      (Oblivious.finite ~m [||])
+      !pieces
+  in
+  {
+    core;
+    rounds = !rounds;
+    deficient;
+    deficient_count = !deficient_count;
+  }
+
+let all_jobs inst = Array.make (Instance.n inst) true
+
+(* Guess-doubling driver (§3.2): [attempt] is tried at t, 2t, 4t, …
+   until it reports success; a guess of O(n / p_min) always succeeds, so
+   the cap below is a defensive backstop against broken callers. *)
+let doubling_guess inst ~t0 ~attempt =
+  let n = Instance.n inst in
+  let hard_cap =
+    let pmin = Instance.p_min inst in
+    Float.to_int (Float.min 1e9 (16. *. Float.of_int n /. pmin)) + 2
+  in
+  let rec search t guesses =
+    match attempt t with
+    | Some result -> (result, t, guesses + 1)
+    | None ->
+        if t >= hard_cap then
+          invalid_arg "Accum.doubling_guess: cap exceeded (unreachable jobs?)"
+        else search (2 * t) (guesses + 1)
+  in
+  search t0 0

@@ -1,0 +1,55 @@
+module Instance = Suu_core.Instance
+module Oblivious = Suu_core.Oblivious
+module Dag = Suu_dag.Dag
+
+type build = {
+  core : Oblivious.t;
+  base : Oblivious.t;
+  levels : int;
+  phases : int;
+}
+
+(* One improved core per level, concatenated shallowest first. Every
+   precedence edge crosses from an earlier level to a strictly later one
+   (Dag.levels), so by the time the cycle reaches a level's section its
+   jobs' predecessors have had a full covering pass; machines assigned
+   to a still-ineligible job simply idle for that step (Definition 2.1),
+   so the schedule is valid on any DAG — no Unsupported case. *)
+let build ?params inst =
+  let m = Instance.m inst in
+  let n = Instance.n inst in
+  let levels = Dag.levels (Instance.dag inst) in
+  let core, phases =
+    List.fold_left
+      (fun (acc, phases) level ->
+        let jobs = Array.make n false in
+        List.iter (fun j -> jobs.(j) <- true) level;
+        let b = Phased.core_for ?params inst ~jobs in
+        (Oblivious.append acc b.Phased.core, phases + b.Phased.phases))
+      (Oblivious.finite ~m [||], 0)
+      levels
+  in
+  (* The tail needs no level structure: one global base pass covers
+     every job to the mass target in far fewer steps than the per-level
+     cores concatenated (each level would pay its own round budget), and
+     jobs whose predecessors are unfinished simply idle their steps. *)
+  let base = (Phased.core_for ?params inst ~jobs:(Accum.all_jobs inst)).Phased.base in
+  { core; base; levels = List.length levels; phases }
+
+(* Same prefix/tail split as {!Phased.schedule}: the boosted level cores
+   run once up front, then the better oblivious tail repeats — the
+   concatenated {e base} cores (every job >= the mass target per cycle)
+   or, when the rate profile lets it saturate, the paper's concentration
+   tail in topological order. *)
+let schedule ?params inst =
+  let r = build ?params inst in
+  let m = Instance.m inst in
+  let base_len = Oblivious.prefix_length r.base in
+  if Array.length r.core.Oblivious.prefix = 0 then r.core
+  else if Phased.concentration_tail_wins inst ~base_len then
+    Oblivious.with_fallback inst (Oblivious.finite ~m r.core.Oblivious.prefix)
+  else
+    Oblivious.create ~m ~cycle:r.base.Oblivious.prefix r.core.Oblivious.prefix
+
+let policy ?params inst =
+  Suu_core.Policy.of_oblivious "suu-imp" (schedule ?params inst)

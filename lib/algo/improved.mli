@@ -1,0 +1,38 @@
+(** The improved approximations as a one-stop DAG scheme
+    (arXiv:0802.2418 via this repo's substrates).
+
+    Level-decompose the DAG ({!Suu_dag.Dag.levels} — the substrate shared
+    with {!Layered}) and run the improved independent-jobs phase ladder
+    ({!Phased.core_for}) over each level in order: the boosted cores run
+    once as prefix, then the better oblivious tail repeats (the
+    concatenated base cores, or the concentration tail when
+    {!Phased.concentration_tail_wins}). Independent instances have a
+    single level, so this
+    degenerates to exactly {!Phased}. Unlike the paper's oblivious
+    column ({!Solver} with [`Oblivious]), every DAG class is supported —
+    levels are antichains and all edges point forward, so precedence is
+    respected by the execution semantics (ineligible assignments idle).
+
+    Compared against the Lin–Rajaraman family head-to-head in EXP-RACE;
+    validity and ratio-vs-TOPT are pinned by the [improved-validity] and
+    [improved-ratio] conformance properties over the full generator
+    grid. *)
+
+type build = {
+  core : Suu_core.Oblivious.t;  (** per-level improved cores, appended *)
+  base : Suu_core.Oblivious.t;
+      (** per-level {e base} cores, appended — the repeatable tail *)
+  levels : int;  (** level count (DAG depth) *)
+  phases : int;  (** total phases across all levels *)
+}
+
+val build : ?params:Phased.params -> Suu_core.Instance.t -> build
+
+val schedule :
+  ?params:Phased.params -> Suu_core.Instance.t -> Suu_core.Oblivious.t
+(** The boosted core once as prefix, then the better oblivious tail
+    forever ({!Phased.concentration_tail_wins}). *)
+
+val policy :
+  ?params:Phased.params -> Suu_core.Instance.t -> Suu_core.Policy.t
+(** {!schedule} wrapped as the policy ["suu-imp"]. *)

@@ -1,23 +1,6 @@
 module Dag = Suu_dag.Dag
 
-let levels g =
-  let n = Dag.n g in
-  if n = 0 then []
-  else begin
-    let depth = Array.make n 1 in
-    Array.iter
-      (fun u ->
-        List.iter
-          (fun v -> if depth.(u) + 1 > depth.(v) then depth.(v) <- depth.(u) + 1)
-          (Dag.succs g u))
-      (Dag.topo_order g);
-    let max_depth = Array.fold_left max 1 depth in
-    let buckets = Array.make max_depth [] in
-    for v = n - 1 downto 0 do
-      buckets.(depth.(v) - 1) <- v :: buckets.(depth.(v) - 1)
-    done;
-    Array.to_list buckets
-  end
+let levels = Dag.levels
 
 let blocks inst =
   levels (Suu_core.Instance.dag inst)

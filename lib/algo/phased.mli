@@ -1,0 +1,77 @@
+(** Improved oblivious scheme for independent jobs — the phase ladder of
+    the follow-up paper (Crutchfield–Dzunic–Fineman–Karger–Scott,
+    "Improved Approximations for Multiprocessor Scheduling Under
+    Uncertainty", arXiv:0802.2418), built on the same substrates as
+    Algorithm 2.
+
+    Algorithm 2 ({!Suu_i_obl}) treats every job identically in every
+    round. The follow-up paper's observation is that after the first
+    covering phase most jobs are already done, so later phases should
+    concentrate the machines on the few likely survivors. Obliviously we
+    cannot observe survivors, but the survivor {e distribution} is known
+    in advance: jobs with the smallest total rate [Σ_i p_ij] linger
+    longest. The scheme therefore appends, after the base covering phase
+    (the shared {!Accum} round loop at the target mass), a ladder of
+    boost phases over the [u] hardest jobs with [u] shrinking by
+    repeated square roots — O(log log n) phases, the shape of the
+    improved bound — so stragglers receive all [m] machines' attention
+    and a full extra mass target per phase at a fraction of the base
+    phase's length. Constants follow the repo's tuned conventions
+    (mass target 1/4, ⌈8·log₂ n⌉ rounds per guess); ratios are measured
+    against the Lin–Rajaraman family in EXP-RACE and pinned by the
+    [improved-*] conformance properties. *)
+
+type params = {
+  mass_target : float;  (** per-phase mass every covered job must reach *)
+  rounds_per_guess : int -> int;  (** round budget per doubling guess *)
+  boost : bool;  (** append the hardest-first boost ladder *)
+  t0 : int;  (** initial guess for the per-round schedule length *)
+}
+
+val tuned_params : params
+
+val boost_ladder : int -> int list
+(** The boost-phase sizes for an [n]-job base phase: [⌈√n⌉, ⌈√√n⌉, …, 1]
+    (strictly decreasing, O(log log n) entries, empty for [n ≤ 1]). *)
+
+val hardness_order : Suu_core.Instance.t -> jobs:bool array -> int list
+(** Flagged jobs sorted hardest first: ascending total rate [Σ_i p_ij],
+    ties by index. A pure function of the instance, so schedules built
+    from it remain oblivious. *)
+
+type build = {
+  core : Suu_core.Oblivious.t;
+      (** base phase then boost phases, appended; empty cycle *)
+  base : Suu_core.Oblivious.t;
+      (** the base phase alone — the part worth repeating forever, since
+          it covers {e every} flagged job to the mass target *)
+  final_t : int;  (** accepted guess length of the base phase *)
+  phases : int;  (** 1 base + ladder length *)
+}
+
+val core_for :
+  ?params:params -> Suu_core.Instance.t -> jobs:bool array -> build
+(** The improved core covering just the flagged jobs — the per-level
+    subroutine of the DAG scheme ({!Improved}). Every flagged job
+    accumulates at least the target mass over the base phase alone. *)
+
+val build : ?params:params -> Suu_core.Instance.t -> build
+(** [core_for] over all jobs. *)
+
+val concentration_tail_wins : Suu_core.Instance.t -> base_len:int -> bool
+(** Should the infinite tail be {!Suu_core.Oblivious.cycle_all_jobs}
+    (all machines concentrated on one job per step) rather than the
+    repeated base phase? True iff the concentration tail's worst-case
+    per-step hazard rate [min_j min(1, Σ_i p_ij) / n] is at least the
+    base phase's [mass_target / base_len]. A function of the rate
+    profile only — never of trial outcomes — so either choice keeps the
+    schedule oblivious. Shared with the DAG scheme ({!Improved}). *)
+
+val schedule : ?params:params -> Suu_core.Instance.t -> Suu_core.Oblivious.t
+(** The boosted core once as prefix (the ladder's concentrated help for
+    likely stragglers pays once, up front), then the better oblivious
+    tail forever: the base phase repeated, or the concentration tail
+    when {!concentration_tail_wins}. *)
+
+val policy : ?params:params -> Suu_core.Instance.t -> Suu_core.Policy.t
+(** {!schedule} wrapped as the policy ["suu-imp"]. *)

@@ -1,6 +1,6 @@
 module Classify = Suu_dag.Classify
 
-type kind = [ `Adaptive | `Oblivious ]
+type kind = [ `Adaptive | `Oblivious | `Improved ]
 
 exception Unsupported of string
 
@@ -9,6 +9,7 @@ let shape inst = Classify.classify (Suu_core.Instance.dag inst)
 let algorithm_name ?(kind = `Oblivious) ?(allow_heuristic = false) inst =
   match kind with
   | `Adaptive -> "suu-i-alg"
+  | `Improved -> "suu-imp"
   | `Oblivious -> (
       match shape inst with
       | Classify.Independent -> "lp-indep"
@@ -21,6 +22,10 @@ let algorithm_name ?(kind = `Oblivious) ?(allow_heuristic = false) inst =
 let solve ?(kind = `Oblivious) ?(allow_heuristic = false) ?params inst =
   match kind with
   | `Adaptive -> Suu_i.policy inst
+  | `Improved ->
+      (* The improved family ignores the Pipeline constants knob: its
+         only tunables live in Phased.params. Supports every DAG. *)
+      Improved.policy inst
   | `Oblivious -> (
       match shape inst with
       | Classify.Independent ->

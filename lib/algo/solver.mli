@@ -11,9 +11,15 @@
 
     The paper gives guarantees only for the oblivious column (plus the
     independent adaptive case); the adaptive column generalises MSM greedy
-    assignment to eligible jobs and is exposed as the practical default. *)
+    assignment to eligible jobs and is exposed as the practical default.
 
-type kind = [ `Adaptive | `Oblivious ]
+    [`Improved] dispatches to the follow-up paper's family
+    (arXiv:0802.2418, {!Improved}/{!Phased}): one oblivious scheme for
+    {e every} DAG class — level decomposition with the phase-ladder
+    independent subroutine per level — so it never raises
+    {!Unsupported}. *)
+
+type kind = [ `Adaptive | `Oblivious | `Improved ]
 
 exception Unsupported of string
 (** Raised for [`Oblivious] on a general DAG unless [allow_heuristic] —

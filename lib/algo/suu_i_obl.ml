@@ -41,48 +41,18 @@ let build ?(params = tuned_params) inst =
     { core = Oblivious.finite ~m [||]; final_t = 0; rounds_used = 0; guesses = 0 }
   else begin
     let max_rounds = params.rounds_per_guess n in
-    (* A guess of O(n / p_min) always succeeds (§3.2), so the doubling
-       terminates; the cap below is a defensive backstop. *)
-    let hard_cap =
-      let pmin = Instance.p_min inst in
-      Float.to_int (Float.min 1e9 (16. *. Float.of_int n /. pmin)) + 2
+    let jobs = Accum.all_jobs inst in
+    let attempt t =
+      let o =
+        Accum.accumulate inst ~jobs ~t ~mass_target:params.mass_target
+          ~max_rounds ~early_exit:params.early_exit
+      in
+      if o.Accum.deficient_count > 0 then None else Some o
     in
-    let rec attempt t guesses =
-      let remaining = Array.make n true in
-      let remaining_count = ref n in
-      let pieces = ref [] in
-      let rounds = ref 0 in
-      let stop = ref false in
-      while (not !stop) && !remaining_count > 0 && !rounds < max_rounds do
-        incr rounds;
-        let alloc = Msm_ext.allocate inst ~jobs:remaining ~t in
-        pieces := Msm_ext.to_schedule inst alloc :: !pieces;
-        let removed = ref 0 in
-        for j = 0 to n - 1 do
-          if remaining.(j) && alloc.Msm_ext.mass.(j) >= params.mass_target -. 1e-12
-          then begin
-            remaining.(j) <- false;
-            decr remaining_count;
-            incr removed
-          end
-        done;
-        if params.early_exit && !removed = 0 then stop := true
-      done;
-      if !remaining_count > 0 then
-        if t >= hard_cap then
-          invalid_arg "Suu_i_obl.build: guess cap exceeded (unreachable jobs?)"
-        else attempt (2 * t) (guesses + 1)
-      else begin
-        let core =
-          List.fold_left
-            (fun acc piece -> Oblivious.append piece acc)
-            (Oblivious.finite ~m [||])
-            !pieces
-        in
-        { core; final_t = t; rounds_used = !rounds; guesses = guesses + 1 }
-      end
+    let o, final_t, guesses =
+      Accum.doubling_guess inst ~t0:params.t0 ~attempt
     in
-    attempt params.t0 0
+    { core = o.Accum.core; final_t; rounds_used = o.Accum.rounds; guesses }
   end
 
 let schedule ?params inst =

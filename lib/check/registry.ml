@@ -8,6 +8,8 @@ module Msm_ext = Suu_algo.Msm_ext
 module Weighted_msm = Suu_algo.Weighted_msm
 module Suu_i = Suu_algo.Suu_i
 module Suu_i_obl = Suu_algo.Suu_i_obl
+module Phased = Suu_algo.Phased
+module Improved = Suu_algo.Improved
 module Malewicz = Suu_algo.Malewicz
 module Engine = Suu_sim.Engine
 module Exec_trace = Suu_obs.Exec_trace
@@ -863,6 +865,96 @@ let shard_heal =
                 report.Coordinator.respawns
             else Pass)
 
+(* --- 15. improved-family schedule validity -------------------------- *)
+
+let improved_validity =
+  Property.make ~name:"improved-validity" ~sizes:Gen.small
+    ~doc:
+      "the improved family's schedule (suu-imp) is structurally valid on \
+       every DAG shape, its boosted prefix alone brings every job to the \
+       phase mass target, and every job keeps gaining mass over each \
+       repetition of the tail (so the schedule finishes almost surely)"
+    (fun case ->
+      let inst = Case.instance case in
+      let sched = Improved.schedule inst in
+      match Oblivious.validate inst sched with
+      | Error msg -> failf "invalid schedule: %s" msg
+      | Ok () ->
+          let n = Instance.n inst in
+          let prefix_len = Oblivious.prefix_length sched in
+          let cycle_len = Oblivious.cycle_length sched in
+          if cycle_len = 0 && n > 0 then Fail "schedule has no infinite tail"
+          else
+            let target = Phased.tuned_params.Phased.mass_target in
+            let prefix_mass =
+              Mass.of_oblivious_capped inst sched ~steps:prefix_len
+            in
+            let deficient = ref None in
+            Array.iteri
+              (fun j mj ->
+                if mj < Float.min 1. target -. 1e-9 then
+                  deficient := Some (j, mj))
+              prefix_mass;
+            (match !deficient with
+            | Some (j, mj) ->
+                failf "job %d accumulates %.4f < target %.4f over the prefix"
+                  j mj target
+            | None ->
+                (* Uncapped mass must strictly grow for every job over one
+                   full tail repetition: both tails (base phase repeated,
+                   concentration cycle) revisit every job. *)
+                let at = Mass.of_oblivious inst sched ~steps:prefix_len in
+                let later =
+                  Mass.of_oblivious inst sched ~steps:(prefix_len + cycle_len)
+                in
+                let stuck = ref None in
+                Array.iteri
+                  (fun j v -> if later.(j) <= v +. 1e-12 then stuck := Some j)
+                  at;
+                (match !stuck with
+                | Some j -> failf "job %d gains no mass over one tail cycle" j
+                | None -> Pass)))
+
+(* --- 16. improved-family ratio vs TOPT ------------------------------ *)
+
+let improved_ratio =
+  Property.make ~name:"improved-ratio" ~sizes:Gen.tiny
+    ~doc:
+      "the improved family's expected makespan stays within a pinned \
+       envelope of the Malewicz optimum — C·(1 + log₂ n)·TOPT with C = 4, \
+       generous against the follow-up paper's O(log n · log log min(m,n)) \
+       DAG bound — and never beats TOPT by more than sampling noise"
+    (fun case ->
+      let inst = Case.instance case in
+      let rng = Case.aux_rng case in
+      match Malewicz.optimal_value inst with
+      | exception Malewicz.Too_expensive _ -> Skip "Malewicz too expensive"
+      | exception Exact.Too_large _ -> Skip "too many jobs for a bitmask"
+      | topt ->
+          let trials = 300 in
+          let e =
+            Engine.estimate_makespan_seeded ~trials
+              ~seed:(Rng.int rng 1_000_000) inst (Improved.policy inst)
+          in
+          if e.Engine.incomplete > 0 then
+            failf "%d of %d trials hit the step cap" e.Engine.incomplete trials
+          else
+            let mean = e.Engine.stats.Suu_prob.Stats.mean in
+            let sem = e.Engine.stats.Suu_prob.Stats.sem in
+            let n = Instance.n inst in
+            let envelope =
+              4.
+              *. (1. +. (Float.log (Float.of_int (max 2 n)) /. Float.log 2.))
+              *. topt
+            in
+            if mean > envelope +. (5. *. sem) then
+              failf "mean %.4f exceeds envelope %.4f (TOPT %.4f, n=%d)" mean
+                envelope topt n
+            else if mean < topt -. (5. *. sem) -. 0.05 then
+              failf "mean %.4f beats TOPT %.4f — estimator or oracle broken"
+                mean topt
+            else Pass)
+
 (* --- hidden: the deliberately broken demo property ----------------- *)
 
 let demo_broken =
@@ -891,6 +983,8 @@ let all =
     obs_mass_trace;
     split_merge;
     shard_heal;
+    improved_validity;
+    improved_ratio;
     demo_broken;
   ]
 

@@ -81,17 +81,29 @@ let sources t =
 let sinks t =
   List.filter (fun v -> t.succs.(v) = []) (List.init t.n (fun i -> i))
 
+let depths t =
+  let depth = Array.make t.n 1 in
+  Array.iter
+    (fun u ->
+      List.iter
+        (fun v -> if depth.(u) + 1 > depth.(v) then depth.(v) <- depth.(u) + 1)
+        t.succs.(u))
+    t.topo;
+  depth
+
 let longest_path t =
-  if t.n = 0 then 0
+  if t.n = 0 then 0 else Array.fold_left max 1 (depths t)
+
+let levels t =
+  if t.n = 0 then []
   else begin
-    let depth = Array.make t.n 1 in
-    Array.iter
-      (fun u ->
-        List.iter
-          (fun v -> if depth.(u) + 1 > depth.(v) then depth.(v) <- depth.(u) + 1)
-          t.succs.(u))
-      t.topo;
-    Array.fold_left max 1 depth
+    let depth = depths t in
+    let max_depth = Array.fold_left max 1 depth in
+    let buckets = Array.make max_depth [] in
+    for v = t.n - 1 downto 0 do
+      buckets.(depth.(v) - 1) <- v :: buckets.(depth.(v) - 1)
+    done;
+    Array.to_list buckets
   end
 
 let reachable t =

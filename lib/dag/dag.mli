@@ -48,6 +48,13 @@ val longest_path : t -> int
 (** Number of vertices on a longest directed path (the critical-path length
     in unit steps; 1 for an edgeless non-empty DAG, 0 for the empty DAG). *)
 
+val levels : t -> int list list
+(** Level decomposition by longest-path depth, shallowest first: each
+    level is an antichain (no edges within a level) and every edge goes
+    from an earlier level to a strictly later one — the shared substrate
+    of the {!Suu_algo} layered pipeline and the improved-approximation
+    DAG scheme. Empty for the empty DAG. *)
+
 val reachable : t -> bool array array
 (** [reachable g] is the full reachability matrix: [(reachable g).(u).(v)]
     iff there is a directed path from [u] to [v] (with [u ≠ v]); quadratic

@@ -1,12 +1,13 @@
 module Instance = Suu_core.Instance
 module Io = Suu_harness.Io
 
-type algo = [ `Auto | `Adaptive | `Oblivious ]
+type algo = [ `Auto | `Adaptive | `Oblivious | `Improved ]
 
 let algo_name = function
   | `Auto -> "auto"
   | `Adaptive -> "adaptive"
   | `Oblivious -> "oblivious"
+  | `Improved -> "improved"
 
 type op =
   | Solve of {
@@ -121,6 +122,7 @@ let of_line ~default_trials ~default_seed ?default_ci_target line =
                 | None | Some (Json.Str "auto") -> `Auto
                 | Some (Json.Str "adaptive") -> `Adaptive
                 | Some (Json.Str "oblivious") -> `Oblivious
+                | Some (Json.Str "improved") -> `Improved
                 | Some (Json.Str other) ->
                     fail "algo: unknown algorithm %S" other
                 | Some _ -> fail "algo: expected a string"
@@ -200,7 +202,7 @@ let of_line ~default_trials ~default_seed ?default_ci_target line =
 
 let canonical_algo = function
   | `Auto -> `Adaptive
-  | (`Adaptive | `Oblivious) as a -> a
+  | (`Adaptive | `Oblivious | `Improved) as a -> a
 
 let range_suffix = function
   | None -> ""
@@ -253,7 +255,11 @@ let sub_line req ~lo ~hi =
       envelope
         ([
            ("op", Json.Str "solve");
-           ("algo", Json.Str (algo_name algo));
+           (* Re-encode the canonical algorithm, not the raw one: "auto"
+              resolution must happen exactly once, at the coordinator, so
+              a sub-job executes (and caches) identically on any worker
+              whatever that worker's own default resolution is. *)
+           ("algo", Json.Str (algo_name (canonical_algo algo)));
            ("trials", Json.int trials);
            ("seed", Json.int seed);
            ("range", Json.List [ Json.int lo; Json.int hi ]);

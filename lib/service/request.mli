@@ -10,7 +10,7 @@
     back), ["deadline_ms"] (optional per-request budget), plus per-op
     fields:
     {v
-    {"op":"solve","instance":S,"algo":"auto|adaptive|oblivious",
+    {"op":"solve","instance":S,"algo":"auto|adaptive|oblivious|improved",
      "trials":K,"seed":N,"range":[lo,hi],"ci_target":W,...}
     {"op":"estimate","instance":S,"plan":P,"trials":K,"seed":N,
      "range":[lo,hi],"ci_target":W,...}
@@ -32,14 +32,18 @@
     Responses carry ["id"], ["status"] (["ok"|"error"|"timeout"]) and
     status-specific fields. *)
 
-type algo = [ `Auto | `Adaptive | `Oblivious ]
+type algo = [ `Auto | `Adaptive | `Oblivious | `Improved ]
 
 val algo_name : algo -> string
 
-val canonical_algo : algo -> [ `Adaptive | `Oblivious ]
+val canonical_algo : algo -> [ `Adaptive | `Oblivious | `Improved ]
 (** The algorithm actually executed: [`Auto] is the practical default and
-    resolves to [`Adaptive]. Cache keys use the canonical form so "auto"
-    and "adaptive" requests for the same instance share one entry. *)
+    resolves to [`Adaptive]; the named algorithms are themselves. Cache
+    keys use the canonical form so "auto" and "adaptive" requests for the
+    same instance share one entry — and distinct named algorithms
+    ("improved" vs "adaptive") can never alias. {!sub_line} re-encodes
+    the canonical form too, so a coordinator resolves "auto" exactly once
+    and its sub-jobs execute identically on any worker. *)
 
 type op =
   | Solve of {

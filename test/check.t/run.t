@@ -17,7 +17,31 @@ visible property with zero failures.
   ok   obs-mass-trace       10 cases
   ok   split-merge          10 cases
   ok   shard-heal           10 cases
-  check: 15 properties, 150 cases, 0 failures
+  ok   improved-validity    10 cases
+  ok   improved-ratio       10 cases
+  check: 17 properties, 170 cases, 0 failures
+
+The registered property names are a pinned contract (CI selects by
+name); --list is the authoritative roster.
+
+  $ suu check --list | awk '{print $1}'
+  instance-validation
+  msm-ratio
+  msm-ext-ratio
+  msm-determinism
+  mass-accumulation
+  relabel-invariance
+  monotone-in-p
+  exact-vs-mc
+  leapfrog-vs-naive
+  lanes-vs-exact
+  parallel-vs-seeded
+  serialize-roundtrip
+  obs-mass-trace
+  split-merge
+  shard-heal
+  improved-validity
+  improved-ratio
 
 Named selection runs only the requested properties, in the order given.
 

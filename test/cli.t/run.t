@@ -28,6 +28,9 @@ The CLI end to end: generate, inspect, decompose, plan and replay.
   $ suu plan -f flow.inst -o flow.plan
   wrote flow.plan: 36 prefix steps, 12 cycle steps (suu-c)
 
+The default "auto" races every applicable family: the adaptive column,
+the paper's oblivious column, and the improved family (suu-imp).
+
   $ suu solve -f fig1.inst --trials 50 --seed 3
   bounds: rate=3.333 capacity=1.500 critical-path=3.333 lp=0.208 exact=- best=3.333
   == expected makespan ==
@@ -35,6 +38,26 @@ The CLI end to end: generate, inspect, decompose, plan and replay.
   ---------------------------------------------
   suu-i-alg  7.08 ±0.98    14   2.12         0
   lp-indep   11.58 ±2.25   27   3.47         0
+  suu-imp    10.88 ±1.27   19   3.26         0
+
+--algo improved selects the new family alone; it works on every DAG
+class (here: chains, which the old oblivious column routes to suu-c).
+
+  $ suu solve -f flow.inst --algo improved --trials 50 --seed 3
+  bounds: rate=1.308 capacity=4.000 critical-path=4.478 lp=0.300 exact=- best=4.478
+  == expected makespan ==
+  policy   E[makespan]   p95  ratio  timeouts
+  -------------------------------------------
+  suu-imp  26.64 ±2.20   40   5.95         0
+
+An unknown algorithm is a usage error, not a silent default.
+
+  $ suu solve -f fig1.inst --algo nope
+  suu: option '--algo': invalid value 'nope', expected one of 'auto',
+       'adaptive', 'oblivious', 'improved' or 'baselines'
+  Usage: suu solve [OPTION]…
+  Try 'suu solve --help' or 'suu --help' for more information.
+  [124]
 
 A saved plan replays deterministically.
 

@@ -2,7 +2,10 @@ The batch scheduling service: one JSON request per line on stdin, one
 response per line on stdout, in request order. The workload below
 exercises the whole lifecycle: an info request, a solve, the same solve
 repeated (a result-cache hit), the same solve again as "auto" (which
-executes as adaptive and must alias its cache entry), a malformed line
+executes as adaptive and must alias its cache entry), the same instance
+under the improved family (a different computation: it must NOT alias
+the adaptive entry, and its own repeat must hit), an unknown algorithm
+name (structured error), a malformed line
 (structured error, the service keeps going), a hostile instance with a
 negative machine count (a structured error too — it must not escape the
 parser and kill the reader), a solve whose deadline is already exhausted
@@ -13,6 +16,9 @@ parser and kill the reader), a solve whose deadline is already exhausted
   > {"op":"solve","id":"s1","algo":"adaptive","trials":64,"seed":3,"instance":"suu 1\nn 2 m 2\nedges 0\nprobs\n0.9 0.5\n0.4 0.8"}
   > {"op":"solve","id":"s2","algo":"adaptive","trials":64,"seed":3,"instance":"suu 1\nn 2 m 2\nedges 0\nprobs\n0.9 0.5\n0.4 0.8"}
   > {"op":"solve","id":"s3","algo":"auto","trials":64,"seed":3,"instance":"suu 1\nn 2 m 2\nedges 0\nprobs\n0.9 0.5\n0.4 0.8"}
+  > {"op":"solve","id":"s4","algo":"improved","trials":64,"seed":3,"instance":"suu 1\nn 2 m 2\nedges 0\nprobs\n0.9 0.5\n0.4 0.8"}
+  > {"op":"solve","id":"s5","algo":"improved","trials":64,"seed":3,"instance":"suu 1\nn 2 m 2\nedges 0\nprobs\n0.9 0.5\n0.4 0.8"}
+  > {"op":"solve","id":"badalgo","algo":"nope","trials":64,"seed":3,"instance":"suu 1\nn 2 m 2\nedges 0\nprobs\n0.9 0.5\n0.4 0.8"}
   > this is not json
   > {"op":"info","id":"evil","instance":"suu 1\nn 0 m -1\nedges 0\nprobs"}
   > {"op":"solve","id":"late","deadline_ms":0,"trials":64,"instance":"suu 1\nn 2 m 2\nedges 0\nprobs\n0.9 0.5\n0.4 0.8"}
@@ -26,29 +32,33 @@ The repeated solve s2 comes back "cached":true with result fields
 byte-identical to s1, and the "auto" solve s3 hits the same entry.
 
   $ suu serve --workers 1 --quiet < requests > responses
-  $ head -8 responses
+  $ head -11 responses
   {"id":"i","status":"ok","class":"chains","jobs":2,"machines":2,"edges":1,"width":1,"critical_path":2,"bounds":{"rate":1,"capacity":1,"critical_path":2,"best":2}}
   {"id":"s1","status":"ok","cached":false,"algo":"suu-i-alg","trials":64,"mean":1.296875,"ci95":0.120971365126,"p95":2,"incomplete":0}
   {"id":"s2","status":"ok","cached":true,"algo":"suu-i-alg","trials":64,"mean":1.296875,"ci95":0.120971365126,"p95":2,"incomplete":0}
   {"id":"s3","status":"ok","cached":true,"algo":"suu-i-alg","trials":64,"mean":1.296875,"ci95":0.120971365126,"p95":2,"incomplete":0}
+  {"id":"s4","status":"ok","cached":false,"algo":"suu-imp","trials":64,"mean":1.640625,"ci95":0.215483246481,"p95":3,"incomplete":0}
+  {"id":"s5","status":"ok","cached":true,"algo":"suu-imp","trials":64,"mean":1.640625,"ci95":0.215483246481,"p95":3,"incomplete":0}
+  {"id":"badalgo","status":"error","error":"algo: unknown algorithm \"nope\""}
   {"id":null,"status":"error","error":"parse: expected true at offset 0"}
   {"id":"evil","status":"error","error":"instance: Io.read: bad machine count"}
   {"id":"late","status":"timeout","error":"deadline exceeded","deadline_ms":0}
   {"id":"x","status":"ok","cached":false,"topt":1.31133304386,"states":3}
 
-The final stats response accounts for every request above: 8 completed
-(5 ok, 2 errors, 1 timeout — the stats request itself is not counted),
-with two cache hits (s2, s3) and two misses (s1, x). Queue and latency
-fields are timing-dependent, so only the counters are pinned here.
+The final stats response accounts for every request above: 11 completed
+(7 ok, 3 errors, 1 timeout — the stats request itself is not counted),
+with three cache hits (s2, s3, s5) and three misses (s1, s4, x). Queue
+and latency fields are timing-dependent, so only the counters are
+pinned here.
 
-  $ sed -n '9p' responses | grep -o '"requests":[0-9]*\|"ok":[0-9]*\|"errors":[0-9]*\|"timeouts":[0-9]*\|"rejected":[0-9]*\|"cache_hits":[0-9]*\|"cache_misses":[0-9]*'
-  "requests":8
-  "ok":5
-  "errors":2
+  $ sed -n '12p' responses | grep -o '"requests":[0-9]*\|"ok":[0-9]*\|"errors":[0-9]*\|"timeouts":[0-9]*\|"rejected":[0-9]*\|"cache_hits":[0-9]*\|"cache_misses":[0-9]*'
+  "requests":11
+  "ok":7
+  "errors":3
   "timeouts":1
   "rejected":0
-  "cache_hits":2
-  "cache_misses":2
+  "cache_hits":3
+  "cache_misses":3
 
 Without --quiet the service dumps its metrics on shutdown (stderr). A
 session that never completes a request has no latency line, so the dump

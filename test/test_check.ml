@@ -33,6 +33,40 @@ let test_registry_green () =
     report.Runner.props;
   Alcotest.(check bool) "report ok" true (Runner.ok report)
 
+(* Regression guard: the registered property list is part of the
+   tool's contract (CI selects properties by name, cram goldens pin the
+   quick run). Adding a property must update this golden deliberately;
+   losing one must never pass silently. *)
+let test_property_list_golden () =
+  let golden =
+    [
+      "instance-validation";
+      "msm-ratio";
+      "msm-ext-ratio";
+      "msm-determinism";
+      "mass-accumulation";
+      "relabel-invariance";
+      "monotone-in-p";
+      "exact-vs-mc";
+      "leapfrog-vs-naive";
+      "lanes-vs-exact";
+      "parallel-vs-seeded";
+      "serialize-roundtrip";
+      "obs-mass-trace";
+      "split-merge";
+      "shard-heal";
+      "improved-validity";
+      "improved-ratio";
+    ]
+  in
+  let names = List.map (fun p -> p.Property.name) Registry.visible in
+  Alcotest.(check (list string)) "visible properties (ordered)" golden names;
+  (* Hidden properties stay findable but out of the default run. *)
+  Alcotest.(check bool)
+    "demo-broken registered but hidden" true
+    (Registry.find "demo-broken" <> None
+    && not (List.exists (fun p -> p.Property.name = "demo-broken") Registry.visible))
+
 let test_demo_broken_shrinks_and_replays () =
   let prop = find "demo-broken" in
   let report = Runner.run_property ~seed:42 ~count:30 prop in
@@ -141,6 +175,8 @@ let () =
       ( "registry",
         [
           Alcotest.test_case "green on a fresh seed" `Quick test_registry_green;
+          Alcotest.test_case "property list golden" `Quick
+            test_property_list_golden;
           Alcotest.test_case "leapfrog vs naive, fresh seeds" `Quick
             test_leapfrog_vs_naive_fresh_seeds;
         ] );

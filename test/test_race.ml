@@ -1,0 +1,130 @@
+(* Differential tests pinning the improved family (suu-imp) against the
+   Lin–Rajaraman family, shape by shape: on the same seeded instances
+   the new schedule must validate, cover every job, stay within a
+   pinned envelope of the lower bound, and never lose to the old
+   oblivious schedules by more than a pinned factor. Everything is
+   seeded, so a regression in either family trips deterministically. *)
+
+module Instance = Suu_core.Instance
+module Oblivious = Suu_core.Oblivious
+module Policy = Suu_core.Policy
+module Mass = Suu_core.Mass
+module Engine = Suu_sim.Engine
+module Improved = Suu_algo.Improved
+module Phased = Suu_algo.Phased
+module Rng = Suu_prob.Rng
+
+let shapes =
+  [
+    ("independent", fun _rng n -> Suu_dag.Gen.independent n);
+    ("chains", fun rng n -> Suu_dag.Gen.chains rng ~n ~chains:4);
+    ("out-forest", fun rng n -> Suu_dag.Gen.out_forest rng ~n ~trees:3);
+    ("polytree", fun rng n -> Suu_dag.Gen.polytree_forest rng ~n ~trees:3);
+    ( "layered",
+      fun rng n -> Suu_dag.Gen.layered rng ~n ~layers:4 ~edge_prob:0.3 );
+    ("general", fun rng n -> Suu_dag.Gen.random_dag rng ~n ~edge_prob:0.15);
+  ]
+
+let instance_for shape gen =
+  let n = 14 and m = 4 in
+  let dag = gen (Rng.create (1000 + Hashtbl.hash shape)) n in
+  let rng = Rng.create (2000 + Hashtbl.hash shape) in
+  Instance.create
+    ~p:(Array.init m (fun _ -> Array.init n (fun _ -> Rng.uniform rng 0.15 0.85)))
+    ~dag
+
+let mean inst sched name =
+  let e =
+    Engine.estimate_makespan_seeded ~trials:200 ~seed:77 inst
+      (Policy.of_oblivious name sched)
+  in
+  Alcotest.(check int)
+    (name ^ ": no truncated trials") 0 e.Engine.incomplete;
+  e.Engine.stats.Suu_prob.Stats.mean
+
+let for_each_shape f () =
+  List.iter (fun (shape, gen) -> f shape (instance_for shape gen)) shapes
+
+(* Structure: valid on every shape, every job covered to the phase mass
+   target by the prefix alone, every job still gaining mass over each
+   tail repetition, and the construction is a pure function of the
+   instance. *)
+let test_structure shape inst =
+  let sched = Improved.schedule inst in
+  (match Oblivious.validate inst sched with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: invalid schedule: %s" shape msg);
+  let prefix_len = Oblivious.prefix_length sched in
+  let cycle_len = Oblivious.cycle_length sched in
+  Alcotest.(check bool) (shape ^ ": has an infinite tail") true (cycle_len > 0);
+  let target = Phased.tuned_params.Phased.mass_target in
+  Array.iteri
+    (fun j mj ->
+      if mj < target -. 1e-9 then
+        Alcotest.failf "%s: job %d reaches %.4f < target %.4f over the prefix"
+          shape j mj target)
+    (Mass.of_oblivious_capped inst sched ~steps:prefix_len);
+  let at = Mass.of_oblivious inst sched ~steps:prefix_len in
+  let later = Mass.of_oblivious inst sched ~steps:(prefix_len + cycle_len) in
+  Array.iteri
+    (fun j v ->
+      if later.(j) <= v +. 1e-12 then
+        Alcotest.failf "%s: job %d gains no mass over one tail cycle" shape j)
+    at;
+  let again = Improved.schedule inst in
+  Alcotest.(check bool)
+    (shape ^ ": deterministic construction") true
+    (sched.Oblivious.prefix = again.Oblivious.prefix
+    && sched.Oblivious.cycle = again.Oblivious.cycle)
+
+(* Quality, differentially: within the pinned envelope of the LP-free
+   lower bound (mirroring the improved-ratio conformance property), and
+   never worse than twice the better of the two old oblivious schedules
+   on the same seeded trials. *)
+let test_quality shape inst =
+  let lb = Suu_algo.Bounds.best (Suu_algo.Bounds.compute ~with_lp:false inst) in
+  let imp = mean inst (Improved.schedule inst) "suu-imp" in
+  let n = Instance.n inst in
+  let envelope =
+    4. *. (1. +. (Float.log (Float.of_int (max 2 n)) /. Float.log 2.)) *. lb
+  in
+  if imp > envelope then
+    Alcotest.failf "%s: suu-imp mean %.2f exceeds envelope %.2f (LB %.2f)"
+      shape imp envelope lb;
+  let old_obl = mean inst (Suu_algo.Suu_i_obl.schedule inst) "suu-i-obl" in
+  let old_column =
+    let pol = Suu_algo.Solver.solve ~kind:`Oblivious ~allow_heuristic:true inst in
+    let e = Engine.estimate_makespan_seeded ~trials:200 ~seed:77 inst pol in
+    e.Engine.stats.Suu_prob.Stats.mean
+  in
+  let best_old = Float.min old_obl old_column in
+  if imp > 2. *. best_old then
+    Alcotest.failf
+      "%s: suu-imp mean %.2f more than doubles the old family's %.2f" shape
+      imp best_old
+
+(* The solver and service agree on the family's identity. *)
+let test_dispatch () =
+  List.iter
+    (fun (shape, gen) ->
+      let inst = instance_for shape gen in
+      Alcotest.(check string)
+        (shape ^ ": solver name") "suu-imp"
+        (Suu_algo.Solver.algorithm_name ~kind:`Improved inst);
+      let pol = Suu_algo.Solver.solve ~kind:`Improved inst in
+      Alcotest.(check string)
+        (shape ^ ": policy name") "suu-imp" pol.Policy.name)
+    shapes
+
+let () =
+  Alcotest.run "race"
+    [
+      ( "improved vs lin-rajaraman",
+        [
+          Alcotest.test_case "structure on every shape" `Quick
+            (for_each_shape test_structure);
+          Alcotest.test_case "quality differential on every shape" `Quick
+            (for_each_shape test_quality);
+          Alcotest.test_case "dispatch identity" `Quick test_dispatch;
+        ] );
+    ]

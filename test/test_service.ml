@@ -310,6 +310,48 @@ let test_request_range () =
       | Ok _ -> Alcotest.fail "sub_line decoded to a different op"
       | Error (msg, _) -> Alcotest.fail ("sub_line does not re-decode: " ^ msg))
 
+(* Every wire algorithm name must survive the coordinator round-trip:
+   decode -> sub_line -> decode yields the canonical algorithm ("auto"
+   resolves to "adaptive" exactly once; named algorithms are fixed
+   points), and a second round-trip changes nothing. *)
+let test_request_algo_roundtrip () =
+  let line a =
+    Printf.sprintf
+      {|{"op":"solve","id":"r","algo":"%s","trials":40,"seed":5,"instance":"%s"}|}
+      a
+      (String.concat "\\n" (String.split_on_char '\n' instance_text))
+  in
+  List.iter
+    (fun (wire, canonical) ->
+      match decode (line wire) with
+      | Error (msg, _) -> Alcotest.fail (wire ^ ": " ^ msg)
+      | Ok req -> (
+          Alcotest.(check string)
+            (wire ^ " decodes") wire
+            (match req.Request.op with
+            | Request.Solve { algo; _ } -> Request.algo_name algo
+            | _ -> "wrong-op");
+          let sub = Request.sub_line req ~lo:0 ~hi:40 in
+          match decode sub with
+          | Error (msg, _) -> Alcotest.fail (wire ^ " sub_line: " ^ msg)
+          | Ok sub_req -> (
+              match sub_req.Request.op with
+              | Request.Solve { algo; _ } ->
+                  Alcotest.(check string)
+                    (wire ^ " canonicalizes once") canonical
+                    (Request.algo_name algo);
+                  (* Idempotent: a sub-job of a sub-job keeps the name. *)
+                  let sub2 = Request.sub_line sub_req ~lo:0 ~hi:40 in
+                  Alcotest.(check string)
+                    (wire ^ " canonical form is a fixed point") sub sub2
+              | _ -> Alcotest.fail (wire ^ " sub_line changed the op"))))
+    [
+      ("auto", "adaptive");
+      ("adaptive", "adaptive");
+      ("oblivious", "oblivious");
+      ("improved", "improved");
+    ]
+
 let test_request_ci_target () =
   let line extra =
     Printf.sprintf
@@ -394,6 +436,15 @@ let test_cache_key_semantics () =
     (key (algo_line "auto"));
   Alcotest.(check bool) "oblivious is distinct" true
     (key (algo_line "oblivious") <> key (algo_line "auto"));
+  (* The improved family is a different computation again: same
+     instance, same trials, same seed must still never alias any other
+     algorithm's entry. *)
+  Alcotest.(check bool) "improved vs adaptive distinct" true
+    (key (algo_line "improved") <> key (algo_line "adaptive"));
+  Alcotest.(check bool) "improved vs oblivious distinct" true
+    (key (algo_line "improved") <> key (algo_line "oblivious"));
+  Alcotest.(check bool) "improved vs auto distinct" true
+    (key (algo_line "improved") <> key (algo_line "auto"));
   match decode {|{"op":"stats"}|} with
   | Ok req ->
       Alcotest.(check (option string)) "stats uncacheable" None
@@ -1216,6 +1267,8 @@ let () =
             test_request_ping_and_duplicates;
           Alcotest.test_case "trial ranges" `Quick test_request_range;
           Alcotest.test_case "ci_target" `Quick test_request_ci_target;
+          Alcotest.test_case "algo round-trip" `Quick
+            test_request_algo_roundtrip;
         ] );
       ( "service",
         [
