@@ -25,6 +25,7 @@ let experiments =
     ("exp-fault", Exp_fault.run);
     ("exp-shard", Exp_shard.run);
     ("exp-race", Exp_race.run);
+    ("exp-dyn", Exp_dyn.run);
     ("perf", Perf.run);
     ("perf-gate", Perf.gate);
   ]

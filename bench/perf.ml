@@ -144,18 +144,19 @@ let git_describe () =
 let write_json ~limit ~quota_s results =
   let module Json = Suu_service.Json in
   let num v = if Float.is_finite v then Json.Num v else Json.Null in
-  (* A prior exp-race run may have merged its rows into the artifact;
-     rewriting the perf fields must not drop them (perf-smoke runs the
-     two in sequence and uploads one file). *)
+  (* A prior exp-race / exp-dyn run may have merged its rows into the
+     artifact; rewriting the perf fields must not drop them (perf-smoke
+     runs them in sequence and uploads one file). *)
   let preserved_race =
     match In_channel.with_open_text (json_path ()) In_channel.input_all with
     | exception Sys_error _ -> []
     | text -> (
         match Json.of_string text with
-        | Ok doc -> (
-            match Json.member "race" doc with
-            | Some r -> [ ("race", r) ]
-            | None -> [])
+        | Ok doc ->
+            List.filter_map
+              (fun k ->
+                Option.map (fun v -> (k, v)) (Json.member k doc))
+              [ "race"; "dyn" ]
         | Error _ -> [])
   in
   let doc =

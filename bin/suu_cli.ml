@@ -128,11 +128,12 @@ let decompose_cmd =
        ~doc:"Print the chain decomposition (Lemma 4.6) of an instance's DAG")
     Term.(const run $ instance_arg)
 
-let algo_names = [ "auto"; "adaptive"; "oblivious"; "improved"; "baselines" ]
+let algo_names =
+  [ "auto"; "adaptive"; "oblivious"; "improved"; "lzf"; "fixed"; "baselines" ]
 
 let solve_cmd =
   let algo_arg =
-    let doc = "Algorithm: auto|adaptive|oblivious|improved|baselines." in
+    let doc = "Algorithm: auto|adaptive|oblivious|improved|lzf|fixed|baselines." in
     Arg.(
       value
       & opt (enum (List.map (fun a -> (a, a)) algo_names)) "auto"
@@ -147,13 +148,19 @@ let solve_cmd =
       | "adaptive" -> [ Suu_algo.Solver.solve ~kind:`Adaptive inst ]
       | "oblivious" -> [ Suu_algo.Solver.solve ~kind:`Oblivious inst ]
       | "improved" -> [ Suu_algo.Solver.solve ~kind:`Improved inst ]
+      | "lzf" -> [ Suu_algo.Solver.solve ~kind:`Lzf inst ]
+      | "fixed" -> [ Suu_algo.Solver.solve ~kind:`Fixed inst ]
       | "baselines" -> Suu_algo.Baselines.all ~seed inst
       | _ -> (
           [ Suu_algo.Solver.solve ~kind:`Adaptive inst ]
           @ (match Suu_algo.Solver.solve ~kind:`Oblivious inst with
             | p -> [ p ]
             | exception Suu_algo.Solver.Unsupported _ -> [])
-          @ [ Suu_algo.Solver.solve ~kind:`Improved inst ])
+          @ [
+              Suu_algo.Solver.solve ~kind:`Improved inst;
+              Suu_algo.Solver.solve ~kind:`Lzf inst;
+              Suu_algo.Solver.solve ~kind:`Fixed inst;
+            ])
     in
     let ms =
       Suu_harness.Experiment.compare_policies ~trials ~seed inst

@@ -1,0 +1,28 @@
+module Instance = Suu_core.Instance
+module Policy = Suu_core.Policy
+
+let z_ratio p = if p >= 1. then infinity else p /. (1. -. p)
+
+(* Z-ratio is strictly increasing in p, so descending-Z order is
+   descending-p order; ties break on (job, machine) so the pair list —
+   and hence the policy and its cache keys — is deterministic. *)
+let policy inst =
+  let n = Instance.n inst and m = Instance.m inst in
+  let pairs = ref [] in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      let p = Instance.prob inst ~machine:i ~job:j in
+      if p > 0. then pairs := (p, j, i) :: !pairs
+    done
+  done;
+  let pairs = Array.of_list !pairs in
+  Array.sort
+    (fun (p1, j1, i1) (p2, j2, i2) ->
+      if p1 <> p2 then compare p2 p1
+      else if j1 <> j2 then compare j1 j2
+      else compare i1 i2)
+    pairs;
+  Policy.of_greedy_pairs "suu-lzf" ~n ~m
+    ~probs:(Array.map (fun (p, _, _) -> p) pairs)
+    ~machines:(Array.map (fun (_, _, i) -> i) pairs)
+    ~jobs:(Array.map (fun (_, j, _) -> j) pairs)

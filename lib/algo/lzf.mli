@@ -1,0 +1,21 @@
+(** Largest-Z-ratio-First — a cheap index policy for unreliable machines.
+
+    LZF (arXiv:1910.05702) schedules unreliable jobs by the index
+    [z_ij = p_ij / (1 - p_ij)], the odds that the attempt succeeds; for
+    unit weights the Z-ratio order is the success-probability order, and
+    the policy is 0.8531-approximate for independent jobs on parallel
+    machines. Here it is exposed as a greedy pair-scan regimen
+    ({!Suu_core.Policy.of_greedy_pairs}) over all positive-probability
+    (machine, job) pairs in descending Z-ratio order: every step, each
+    machine takes the highest-index eligible job it can still help
+    (subject to the scan's unit mass cap), so the policy is adaptive,
+    costs nothing to construct, runs on the vectorized trial-lane kernel
+    unchanged, and — because eligibility is its only input — is
+    automatically an online policy under release dates and churn. *)
+
+val z_ratio : float -> float
+(** [p /. (1 -. p)]; [infinity] when [p >= 1]. *)
+
+val policy : Suu_core.Instance.t -> Suu_core.Policy.t
+(** The LZF pair-scan policy (named ["suu-lzf"], structure
+    {!Suu_core.Policy.Greedy_pairs}). Works on every DAG class. *)

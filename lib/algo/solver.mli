@@ -17,9 +17,14 @@
     (arXiv:0802.2418, {!Improved}/{!Phased}): one oblivious scheme for
     {e every} DAG class — level decomposition with the phase-ladder
     independent subroutine per level — so it never raises
-    {!Unsupported}. *)
+    {!Unsupported}.
 
-type kind = [ `Adaptive | `Oblivious | `Improved ]
+    [`Lzf] and [`Fixed] are the dynamic-environment index-policy family
+    ({!Lzf}, {!Fixed_assignment}): cheap adaptive regimens for online
+    settings with release dates and machine churn. Both support every
+    DAG class and never raise {!Unsupported}. *)
+
+type kind = [ `Adaptive | `Oblivious | `Improved | `Lzf | `Fixed ]
 
 exception Unsupported of string
 (** Raised for [`Oblivious] on a general DAG unless [allow_heuristic] —

@@ -11,6 +11,9 @@ module Suu_i_obl = Suu_algo.Suu_i_obl
 module Phased = Suu_algo.Phased
 module Improved = Suu_algo.Improved
 module Malewicz = Suu_algo.Malewicz
+module Lzf = Suu_algo.Lzf
+module Fixed_assignment = Suu_algo.Fixed_assignment
+module Churn = Suu_dyn.Churn
 module Engine = Suu_sim.Engine
 module Exec_trace = Suu_obs.Exec_trace
 module Exact = Suu_sim.Exact
@@ -955,6 +958,217 @@ let improved_ratio =
                 mean topt
             else Pass)
 
+(* --- 17. index-policy family validity ------------------------------ *)
+
+(* Replay a traced execution against the engine's own rules: every drawn
+   (machine, job) pair must have positive probability on an unfinished,
+   eligible job, and no job may collect more than the greedy mass cap in
+   one step. [extra] adds a policy-specific per-pair invariant. *)
+let replay_violation inst history ~extra =
+  let n = Instance.n inst in
+  let unfinished = Array.make n true in
+  let mass = Array.make n 0. in
+  let rec go = function
+    | [] -> None
+    | (step, asg, completed) :: rest -> (
+        let elig = Oracle.eligible inst unfinished in
+        Array.fill mass 0 n 0.;
+        let bad = ref None in
+        Array.iteri
+          (fun i j ->
+            if !bad = None && j <> Assignment.idle_job then
+              let p = Instance.prob inst ~machine:i ~job:j in
+              if p <= 0. then
+                bad :=
+                  Some
+                    (Printf.sprintf
+                       "step %d: machine %d drawn on job %d with p = 0" step i
+                       j)
+              else if not unfinished.(j) then
+                bad :=
+                  Some
+                    (Printf.sprintf "step %d: machine %d on finished job %d"
+                       step i j)
+              else if not elig.(j) then
+                bad :=
+                  Some
+                    (Printf.sprintf "step %d: machine %d on ineligible job %d"
+                       step i j)
+              else begin
+                mass.(j) <- mass.(j) +. p;
+                if mass.(j) > Policy.greedy_mass_cap then
+                  bad :=
+                    Some
+                      (Printf.sprintf
+                         "step %d: job %d collects mass %.6f over the cap"
+                         step j mass.(j))
+                else
+                  match extra ~machine:i ~job:j with
+                  | Some msg ->
+                      bad := Some (Printf.sprintf "step %d: %s" step msg)
+                  | None -> ()
+              end)
+          asg;
+        match !bad with
+        | Some _ as v -> v
+        | None ->
+            List.iter (fun j -> unfinished.(j) <- false) completed;
+            go rest)
+  in
+  go history
+
+let lzf_validity =
+  Property.make ~name:"lzf-validity" ~sizes:Gen.small
+    ~doc:
+      "the Largest-Z-ratio-First index policy (suu-lzf) carries the greedy \
+       structure tag, only ever draws positive-probability pairs on \
+       unfinished eligible jobs within the greedy mass cap, and completes \
+       every execution within the default horizon"
+    (fun case ->
+      let inst = Case.instance case in
+      let rng = Case.aux_rng case in
+      let policy = Lzf.policy inst in
+      if policy.Policy.structure = Policy.General then
+        Fail "suu-lzf carries no vectorizable structure tag"
+      else
+        let history = Engine.trace rng inst policy in
+        match replay_violation inst history ~extra:(fun ~machine:_ ~job:_ -> None) with
+        | Some msg -> Fail msg
+        | None ->
+            let outcome = Engine.run rng inst policy in
+            if not outcome.Engine.completed then
+              Fail "execution hit the default horizon"
+            else Pass)
+
+let fixed_validity =
+  Property.make ~name:"fixed-validity" ~sizes:Gen.small
+    ~doc:
+      "the fixed-assignment policy (suu-fixed) pins every job to exactly one \
+       positive-probability machine, its executions only ever run a job on \
+       its pinned machine (eligible and unfinished), and they complete \
+       within the default horizon"
+    (fun case ->
+      let inst = Case.instance case in
+      let rng = Case.aux_rng case in
+      let pinned = Fixed_assignment.assignment inst in
+      let bad_pin = ref None in
+      Array.iteri
+        (fun j i ->
+          if !bad_pin = None then
+            if i < 0 || i >= Instance.m inst then
+              bad_pin := Some (Printf.sprintf "job %d pinned to machine %d" j i)
+            else if Instance.prob inst ~machine:i ~job:j <= 0. then
+              bad_pin :=
+                Some
+                  (Printf.sprintf "job %d pinned to machine %d with p = 0" j i))
+        pinned;
+      match !bad_pin with
+      | Some msg -> Fail msg
+      | None -> (
+          let policy = Fixed_assignment.policy inst in
+          let history = Engine.trace rng inst policy in
+          let extra ~machine ~job =
+            if pinned.(job) <> machine then
+              Some
+                (Printf.sprintf "job %d ran on machine %d, pinned to %d" job
+                   machine pinned.(job))
+            else None
+          in
+          match replay_violation inst history ~extra with
+          | Some msg -> Fail msg
+          | None ->
+              let outcome = Engine.run rng inst policy in
+              if not outcome.Engine.completed then
+                Fail "execution hit the default horizon"
+              else Pass))
+
+(* --- 18. machine-churn conformance --------------------------------- *)
+
+let churn_timeline rng ~m ~rate ~perm =
+  Churn.generate ~m
+    {
+      Churn.seed = Rng.int rng 1_000_000;
+      rate;
+      repair = 4;
+      perm;
+      steps = 64;
+    }
+
+let churn_mask =
+  Property.make ~name:"churn-mask"
+    ~sizes:{ Gen.small with max_jobs = 5; min_prob = 0.15 }
+    ~doc:
+      "executing a random oblivious schedule under a churn timeline agrees \
+       with the exact makespan CDF of the Churn.mask'ed schedule uniformly \
+       (DKW at confidence 1 − 1e-9), on both the gated naive stepper and \
+       the estimators' masked leapfrog/vectorized fast path"
+    (fun case ->
+      let inst = Case.instance case in
+      let rng = Case.aux_rng case in
+      let sched = Gen.oblivious rng case in
+      let churn = churn_timeline rng ~m:(Instance.m inst) ~rate:0.15 ~perm:0.02 in
+      let masked = Churn.mask churn sched in
+      let horizon = min (Engine.default_horizon inst) 300 in
+      let exact = Exact_oblivious.cdf inst masked ~horizon in
+      (* Gated stepper on the *original* schedule: the untagged stateless
+         policy forces the naive path, so the per-step availability gate
+         itself is what's under test. *)
+      let naive =
+        Policy.stateless "churn-naive" (fun state ->
+            Oblivious.step sched state.Policy.step)
+      in
+      let check name policy trials =
+        let e =
+          Engine.estimate_makespan_seeded ~availability:churn
+            ~max_steps:horizon ~trials ~seed:(Rng.int rng 1_000_000) inst
+            policy
+        in
+        let emp = Oracle.empirical_cdf e ~horizon in
+        let sup = Oracle.sup_distance emp exact in
+        let eps = Oracle.dkw_epsilon ~trials ~delta:1e-9 in
+        if sup > eps then
+          Some
+            (Printf.sprintf "%s: sup|emp − exact| = %.4f > %.4f" name sup eps)
+        else None
+      in
+      match check "gated stepper" naive 1200 with
+      | Some msg -> Fail msg
+      | None -> (
+          (* Tagged policy: the estimators mask the schedule at compile
+             time and serve it at full leapfrog/vectorized speed. *)
+          match check "masked fast path" (Policy.of_oblivious "churn-obl" sched) 1200 with
+          | Some msg -> Fail msg
+          | None -> Pass))
+
+let churn_monotone =
+  Property.make ~name:"churn-monotone"
+    ~sizes:{ Gen.tiny with min_prob = 0.15 }
+    ~doc:
+      "more churn never helps: for nested timelines (one the union of the \
+       other with extra outages), the exact makespan CDF of the \
+       more-churned masked schedule is pointwise dominated by the \
+       less-churned one — the monotone-coupling argument, checked without \
+       sampling noise"
+    (fun case ->
+      let inst = Case.instance case in
+      let rng = Case.aux_rng case in
+      let sched = Gen.oblivious rng case in
+      let m = Instance.m inst in
+      let less = churn_timeline rng ~m ~rate:0.1 ~perm:0. in
+      let more = Churn.union less (churn_timeline rng ~m ~rate:0.1 ~perm:0.05) in
+      let horizon = min (Engine.default_horizon inst) 300 in
+      let f_less = Exact_oblivious.cdf inst (Churn.mask less sched) ~horizon in
+      let f_more = Exact_oblivious.cdf inst (Churn.mask more sched) ~horizon in
+      let worst = ref (-1, 0.) in
+      for t = 0 to min (Array.length f_less) (Array.length f_more) - 1 do
+        let gap = f_more.(t) -. f_less.(t) in
+        if gap > snd !worst then worst := (t, gap)
+      done;
+      let t, gap = !worst in
+      if gap > 1e-9 then
+        failf "P(T ≤ %d) grew by %.3e under strictly more churn" t gap
+      else Pass)
+
 (* --- hidden: the deliberately broken demo property ----------------- *)
 
 let demo_broken =
@@ -985,6 +1199,10 @@ let all =
     shard_heal;
     improved_validity;
     improved_ratio;
+    lzf_validity;
+    fixed_validity;
+    churn_mask;
+    churn_monotone;
     demo_broken;
   ]
 

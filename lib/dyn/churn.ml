@@ -1,0 +1,259 @@
+module Oblivious = Suu_core.Oblivious
+module Assignment = Suu_core.Assignment
+
+type t = {
+  m : int;
+  down : (int * int) array array;  (** per machine, sorted disjoint *)
+  dead_from : int array;  (** [max_int] = never *)
+}
+
+type error =
+  | Bad_machine_count of { got : int }
+  | Bad_machine of { machine : int; m : int }
+  | Bad_interval of { machine : int; start : int; stop : int }
+  | Bad_dead_from of { machine : int; value : int }
+
+exception Invalid of error
+
+let error_to_string = function
+  | Bad_machine_count { got } ->
+      Printf.sprintf "churn: machine count %d < 1" got
+  | Bad_machine { machine; m } ->
+      Printf.sprintf "churn: machine %d out of range [0,%d)" machine m
+  | Bad_interval { machine; start; stop } ->
+      Printf.sprintf "churn: machine %d: bad down-interval [%d,%d)" machine
+        start stop
+  | Bad_dead_from { machine; value } ->
+      Printf.sprintf "churn: machine %d: negative death step %d" machine value
+
+let fail e = raise (Invalid e)
+
+let none ~m =
+  if m < 1 then fail (Bad_machine_count { got = m });
+  { m; down = Array.make m [||]; dead_from = Array.make m max_int }
+
+let create ~m ?(dead = []) down =
+  if m < 1 then fail (Bad_machine_count { got = m });
+  let dead_from = Array.make m max_int in
+  List.iter
+    (fun (i, v) ->
+      if i < 0 || i >= m then fail (Bad_machine { machine = i; m });
+      if v < 0 then fail (Bad_dead_from { machine = i; value = v });
+      if v < dead_from.(i) then dead_from.(i) <- v)
+    dead;
+  let per = Array.make m [] in
+  List.iter
+    (fun (i, start, stop) ->
+      if i < 0 || i >= m then fail (Bad_machine { machine = i; m });
+      if start < 0 || stop <= start then
+        fail (Bad_interval { machine = i; start; stop });
+      (* clip at the death step; intervals past it are absorbed *)
+      let stop = min stop dead_from.(i) in
+      if start < stop then per.(i) <- (start, stop) :: per.(i))
+    down;
+  let merge l =
+    let a = List.sort compare l in
+    let rec go = function
+      | (s1, e1) :: (s2, e2) :: rest when s2 <= e1 ->
+          go ((s1, max e1 e2) :: rest)
+      | iv :: rest -> iv :: go rest
+      | [] -> []
+    in
+    Array.of_list (go a)
+  in
+  { m; down = Array.map merge per; dead_from }
+
+let m t = t.m
+
+let is_none t =
+  Array.for_all (fun ivs -> Array.length ivs = 0) t.down
+  && Array.for_all (fun d -> d = max_int) t.dead_from
+
+let available t ~machine ~step =
+  machine < 0 || machine >= t.m
+  || step < t.dead_from.(machine)
+     &&
+     let ivs = t.down.(machine) in
+     let k = Array.length ivs in
+     let up = ref true in
+     let i = ref 0 in
+     while !up && !i < k && fst ivs.(!i) <= step do
+       if step < snd ivs.(!i) then up := false;
+       incr i
+     done;
+     !up
+
+let settle t =
+  let s = ref 0 in
+  for i = 0 to t.m - 1 do
+    Array.iter (fun (_, stop) -> if stop > !s then s := stop) t.down.(i);
+    let d = t.dead_from.(i) in
+    if d <> max_int && d > !s then s := d
+  done;
+  !s
+
+let dead t i = t.dead_from.(i) <> max_int
+
+let down_steps t ~upto =
+  let total = ref 0 in
+  for i = 0 to t.m - 1 do
+    Array.iter
+      (fun (start, stop) ->
+        let stop = min stop (min upto t.dead_from.(i)) in
+        if stop > start then total := !total + (stop - start))
+      t.down.(i);
+    let d = t.dead_from.(i) in
+    if d < upto then total := !total + (upto - d)
+  done;
+  !total
+
+let union a b =
+  if a.m <> b.m then fail (Bad_machine { machine = b.m; m = a.m });
+  let down = ref [] in
+  let dead = ref [] in
+  for i = 0 to a.m - 1 do
+    Array.iter (fun (s, e) -> down := (i, s, e) :: !down) a.down.(i);
+    Array.iter (fun (s, e) -> down := (i, s, e) :: !down) b.down.(i);
+    let d = min a.dead_from.(i) b.dead_from.(i) in
+    if d <> max_int then dead := (i, d) :: !dead
+  done;
+  create ~m:a.m ~dead:!dead !down
+
+let mask t sched =
+  if Oblivious.(sched.m) <> t.m then
+    fail (Bad_machine { machine = Oblivious.(sched.m); m = t.m });
+  if is_none t then sched
+  else begin
+    let plen = Oblivious.prefix_length sched in
+    let clen = Oblivious.cycle_length sched in
+    let s = settle t in
+    (* Extend the prefix to a prefix + k*cycle boundary covering the
+       settle point; past it, availability is constant per machine. *)
+    let new_plen =
+      if s <= plen || clen = 0 then plen
+      else plen + ((s - plen + clen - 1) / clen * clen)
+    in
+    let mask_row step row =
+      Array.mapi
+        (fun i j ->
+          if available t ~machine:i ~step then j else Assignment.idle_job)
+        row
+    in
+    let prefix =
+      Array.init new_plen (fun step -> mask_row step (Oblivious.step sched step))
+    in
+    let cycle =
+      Array.map
+        (fun row ->
+          Array.mapi
+            (fun i j -> if dead t i then Assignment.idle_job else j)
+            row)
+        Oblivious.(sched.cycle)
+    in
+    Oblivious.create ~m:t.m ~cycle prefix
+  end
+
+(* --- seeded generation ------------------------------------------------ *)
+
+type params = {
+  seed : int;
+  rate : float;
+  repair : int;
+  perm : float;
+  steps : int;
+}
+
+let default_params = { seed = 1; rate = 0.05; repair = 8; perm = 0.; steps = 256 }
+
+let check_params p =
+  if not (p.rate >= 0. && p.rate <= 1.) then
+    invalid_arg "Churn.generate: rate not in [0,1]";
+  if not (p.perm >= 0. && p.perm <= 1.) then
+    invalid_arg "Churn.generate: perm not in [0,1]";
+  if p.repair < 1 then invalid_arg "Churn.generate: repair < 1";
+  if p.steps < 0 then invalid_arg "Churn.generate: steps < 0"
+
+let generate ~m p =
+  check_params p;
+  if m < 1 then fail (Bad_machine_count { got = m });
+  if p.rate <= 0. || p.steps = 0 then none ~m
+  else begin
+    let down = ref [] and dead = ref [] in
+    for i = 0 to m - 1 do
+      (* Per-machine stream: the timeline of machine [i] depends only on
+         (seed, i), so growing [m] never reshuffles existing machines. *)
+      let rng = Suu_prob.Rng.create (p.seed lxor ((i + 1) * 0x9E3779B1)) in
+      let t = ref 0 and alive = ref true in
+      while !alive && !t < p.steps do
+        if Suu_prob.Rng.bernoulli rng p.rate then
+          if p.perm > 0. && Suu_prob.Rng.bernoulli rng p.perm then begin
+            dead := (i, !t) :: !dead;
+            alive := false
+          end
+          else begin
+            down := (i, !t, !t + p.repair) :: !down;
+            t := !t + p.repair
+          end
+        else incr t
+      done
+    done;
+    create ~m ~dead:!dead !down
+  end
+
+let spec_of_params p =
+  Printf.sprintf "seed=%d,rate=%g,repair=%d,perm=%g,steps=%d" p.seed p.rate
+    p.repair p.perm p.steps
+
+let params_of_spec s =
+  let ( let* ) = Result.bind in
+  let fields = String.split_on_char ',' (String.trim s) in
+  let fields = List.filter (fun f -> String.trim f <> "") fields in
+  let parse_int k v =
+    match int_of_string_opt (String.trim v) with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "churn: %s: bad integer %S" k v)
+  in
+  let parse_float k v =
+    match float_of_string_opt (String.trim v) with
+    | Some f when Float.is_finite f -> Ok f
+    | _ -> Error (Printf.sprintf "churn: %s: bad number %S" k v)
+  in
+  let rec go seen acc = function
+    | [] -> Ok acc
+    | f :: rest -> (
+        match String.index_opt f '=' with
+        | None -> Error (Printf.sprintf "churn: expected key=value, got %S" f)
+        | Some eq ->
+            let k = String.trim (String.sub f 0 eq) in
+            let v = String.sub f (eq + 1) (String.length f - eq - 1) in
+            if List.mem k seen then
+              Error (Printf.sprintf "churn: duplicate field %S" k)
+            else
+              let* acc =
+                match k with
+                | "seed" ->
+                    let* i = parse_int k v in
+                    Ok { acc with seed = i }
+                | "rate" ->
+                    let* x = parse_float k v in
+                    if x < 0. || x > 1. then
+                      Error (Printf.sprintf "churn: rate %g not in [0,1]" x)
+                    else Ok { acc with rate = x }
+                | "repair" ->
+                    let* i = parse_int k v in
+                    if i < 1 then Error "churn: repair < 1"
+                    else Ok { acc with repair = i }
+                | "perm" ->
+                    let* x = parse_float k v in
+                    if x < 0. || x > 1. then
+                      Error (Printf.sprintf "churn: perm %g not in [0,1]" x)
+                    else Ok { acc with perm = x }
+                | "steps" ->
+                    let* i = parse_int k v in
+                    if i < 0 then Error "churn: steps < 0"
+                    else Ok { acc with steps = i }
+                | _ -> Error (Printf.sprintf "churn: unknown field %S" k)
+              in
+              go (k :: seen) acc rest)
+  in
+  go [] default_params fields

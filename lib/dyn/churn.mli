@@ -1,0 +1,112 @@
+(** Machine churn timelines — the dynamic-environment model.
+
+    A churn timeline says, for every (machine, step), whether the machine
+    is up. The representation is a finite set of down-intervals per
+    machine plus an optional permanent-death step, so every timeline
+    {e settles}: from {!settle} onwards each machine is either up forever
+    or down forever. That finiteness is what makes the model compatible
+    with the engine's prefix+cycle schedules — {!mask} folds a timeline
+    into an oblivious schedule by idling down machines, and the masked
+    schedule is again a finite prefix plus a cycle.
+
+    Execution semantics (the [?availability] seam of {!Suu_sim.Engine}
+    and {!Suu_sim.Lanes}): a machine that is down at step [t] contributes
+    no completion mass that step — its Bernoulli draw is suppressed
+    entirely, consuming no randomness, exactly as if the schedule had
+    idled it. Policies are churn-oblivious: they still hand out
+    assignments to down machines, the environment just wastes them, which
+    is the adversarial model of dynamic machine loss. *)
+
+type t
+(** An immutable timeline over a fixed machine count. *)
+
+type error =
+  | Bad_machine_count of { got : int }
+  | Bad_machine of { machine : int; m : int }
+  | Bad_interval of { machine : int; start : int; stop : int }
+  | Bad_dead_from of { machine : int; value : int }
+
+exception Invalid of error
+
+val error_to_string : error -> string
+
+val create :
+  m:int -> ?dead:(int * int) list -> (int * int * int) list -> t
+(** [create ~m ?dead down] builds a timeline for [m] machines from
+    [down = [(machine, start, stop); ...]] intervals (down during
+    [start <= step < stop]) and [dead = [(machine, from); ...]]
+    permanent-loss steps. Overlapping or adjacent intervals of one
+    machine are merged; intervals at or past the machine's death step
+    are absorbed by it. @raise Invalid on a non-positive machine count,
+    out-of-range machine, negative or empty interval, or negative death
+    step. *)
+
+val none : m:int -> t
+(** The all-up timeline. *)
+
+val m : t -> int
+val is_none : t -> bool
+(** No downtime anywhere (every machine up at every step). *)
+
+val available : t -> machine:int -> step:int -> bool
+(** Whether the machine is up at the (0-based) step. *)
+
+val settle : t -> int
+(** The first step from which availability is constant: every finite
+    down-interval has ended and every permanent death has happened.
+    [0] for {!none}. *)
+
+val dead : t -> int -> bool
+(** Whether the machine is permanently lost (down forever after
+    {!settle}). *)
+
+val down_steps : t -> upto:int -> int
+(** Total machine-steps of downtime over steps [0 <= step < upto] — a
+    severity measure for benchmarks and reports. *)
+
+val union : t -> t -> t
+(** Pointwise-more-churned combination: down wherever either argument is
+    down. The canonical way to build nested timelines (for any [a], [b]:
+    [union a b] subsumes both). @raise Invalid on a machine-count
+    mismatch. *)
+
+val mask : t -> Suu_core.Oblivious.t -> Suu_core.Oblivious.t
+(** [mask t sched] is the {e effective} schedule under churn: the
+    assignment of step [s] with every machine that is down at [s] idled.
+    The prefix is extended (by whole cycle periods) to cover {!settle},
+    and the new cycle idles permanently-dead machines, so the result is
+    a faithful finite representation of the infinite masked schedule.
+    Running the masked schedule on the unchurned engine is step-for-step
+    (and draw-for-draw) identical to running [sched] under the
+    [?availability] seam. @raise Invalid on machine-count mismatch. *)
+
+(** {2 Seeded generation} *)
+
+type params = {
+  seed : int;  (** derives every per-machine event stream *)
+  rate : float;  (** per-step crash probability of an up machine *)
+  repair : int;  (** steps a transient crash keeps the machine down *)
+  perm : float;  (** probability a crash is a permanent loss *)
+  steps : int;  (** generation horizon: crashes occur at steps < steps *)
+}
+
+val default_params : params
+(** [seed=1, rate=0.05, repair=8, perm=0., steps=256]. *)
+
+val generate : m:int -> params -> t
+(** Deterministic seeded timeline: machine [i]'s events are drawn from a
+    generator derived from [(params.seed, i)] alone, so the timeline is
+    a pure function of [(m, params)] — the property the service relies
+    on to regenerate a request's timeline from its spec string.
+    @raise Invalid_argument when [rate] or [perm] is outside [0,1],
+    [repair < 1] or [steps < 0]. *)
+
+val spec_of_params : params -> string
+(** Canonical spec string
+    ["seed=S,rate=R,repair=K,perm=Q,steps=N"] — the wire and cache-key
+    form. [params_of_spec (spec_of_params p) = Ok p]. *)
+
+val params_of_spec : string -> (params, string) result
+(** Parse a spec string: comma-separated [key=value] fields in any
+    order, each key at most once, unknown keys rejected. Omitted fields
+    take their {!default_params} value. *)

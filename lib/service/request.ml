@@ -1,13 +1,16 @@
 module Instance = Suu_core.Instance
 module Io = Suu_harness.Io
+module Churn = Suu_dyn.Churn
 
-type algo = [ `Auto | `Adaptive | `Oblivious | `Improved ]
+type algo = [ `Auto | `Adaptive | `Oblivious | `Improved | `Lzf | `Fixed ]
 
 let algo_name = function
   | `Auto -> "auto"
   | `Adaptive -> "adaptive"
   | `Oblivious -> "oblivious"
   | `Improved -> "improved"
+  | `Lzf -> "lzf"
+  | `Fixed -> "fixed"
 
 type op =
   | Solve of {
@@ -16,6 +19,8 @@ type op =
       seed : int;
       range : (int * int) option;
       ci_target : float option;
+      releases : int array option;
+      churn : Churn.params option;
       instance : Instance.t;
     }
   | Estimate of {
@@ -25,6 +30,8 @@ type op =
       seed : int;
       range : (int * int) option;
       ci_target : float option;
+      releases : int array option;
+      churn : Churn.params option;
       instance : Instance.t;
     }
   | Info of Instance.t
@@ -90,6 +97,45 @@ let ci_target_field json ~default =
       | Some _ -> fail "ci_target: must be > 0"
       | None -> fail "ci_target: expected a number")
 
+(* ["releases":[r0,...]] makes the request an online one: job [j] only
+   becomes eligible at step [releases.(j)]. Validated here — length
+   against the instance, entries non-negative — so a hostile vector is
+   a structured request error, not a worker-side exception. *)
+let releases_field json ~n =
+  match Json.member "releases" json with
+  | None -> None
+  | Some (Json.List items) ->
+      let r =
+        Array.of_list
+          (List.map
+             (fun v ->
+               match Json.to_int v with
+               | Some k when k >= 0 -> k
+               | Some k -> fail "releases: negative release %d" k
+               | None -> fail "releases: expected a list of integers")
+             items)
+      in
+      if Array.length r <> n then
+        fail "releases: %d entries but instance has %d jobs" (Array.length r)
+          n;
+      Some r
+  | Some _ -> fail "releases: expected a list of integers"
+
+(* ["churn":"seed=S,rate=R,repair=K,perm=Q,steps=N"] asks for a churned
+   environment: the worker regenerates the deterministic machine up/down
+   timeline from the spec and the instance's machine count, so the spec
+   (not a serialized timeline) is what travels and what the cache key
+   folds in. *)
+let churn_field json =
+  match Json.member "churn" json with
+  | None -> None
+  | Some (Json.Str spec) -> (
+      match Churn.params_of_spec spec with
+      | Ok p -> Some p
+      (* Spec errors already carry the "churn: " prefix. *)
+      | Error msg -> fail "%s" msg)
+  | Some _ -> fail "churn: expected a spec string"
+
 let range_field json ~trials =
   match Json.member "range" json with
   | None -> None
@@ -123,11 +169,14 @@ let of_line ~default_trials ~default_seed ?default_ci_target line =
                 | Some (Json.Str "adaptive") -> `Adaptive
                 | Some (Json.Str "oblivious") -> `Oblivious
                 | Some (Json.Str "improved") -> `Improved
+                | Some (Json.Str "lzf") -> `Lzf
+                | Some (Json.Str "fixed") -> `Fixed
                 | Some (Json.Str other) ->
                     fail "algo: unknown algorithm %S" other
                 | Some _ -> fail "algo: expected a string"
               in
               let trials = trials_field json ~default:default_trials in
+              let instance = instance_field json in
               Solve
                 {
                   algo;
@@ -135,7 +184,9 @@ let of_line ~default_trials ~default_seed ?default_ci_target line =
                   seed = int_field json "seed" ~default:default_seed;
                   range = range_field json ~trials;
                   ci_target = ci_target_field json ~default:default_ci_target;
-                  instance = instance_field json;
+                  releases = releases_field json ~n:(Instance.n instance);
+                  churn = churn_field json;
+                  instance;
                 }
           | "estimate" ->
               let plan_text =
@@ -161,6 +212,8 @@ let of_line ~default_trials ~default_seed ?default_ci_target line =
                   seed = int_field json "seed" ~default:default_seed;
                   range = range_field json ~trials;
                   ci_target = ci_target_field json ~default:default_ci_target;
+                  releases = releases_field json ~n:(Instance.n instance);
+                  churn = churn_field json;
                   instance;
                 }
           | "info" -> Info (instance_field json)
@@ -202,11 +255,28 @@ let of_line ~default_trials ~default_seed ?default_ci_target line =
 
 let canonical_algo = function
   | `Auto -> `Adaptive
-  | (`Adaptive | `Oblivious | `Improved) as a -> a
+  | (`Adaptive | `Oblivious | `Improved | `Lzf | `Fixed) as a -> a
 
 let range_suffix = function
   | None -> ""
   | Some (lo, hi) -> Printf.sprintf ":r%d-%d" lo hi
+
+(* Dynamic-environment parameters get their own cache-key lanes: a
+   churned or release-dated answer must never alias the static one. The
+   churn lane keys on the canonical spec (the timeline is a pure
+   function of spec + machine count); the release lane keys on a digest
+   of the vector. *)
+let releases_suffix = function
+  | None -> ""
+  | Some r ->
+      Printf.sprintf ":l%s"
+        (Digest.to_hex
+           (Digest.string
+              (String.concat "," (List.map string_of_int (Array.to_list r)))))
+
+let churn_suffix = function
+  | None -> ""
+  | Some p -> ":h" ^ Churn.spec_of_params p
 
 (* [%h] is an exact (hex) float representation: two requests share a key
    iff they stop at the very same CI width. An early-stopped answer must
@@ -217,18 +287,32 @@ let ci_suffix = function
 
 let cache_key req =
   match req.op with
-  | Solve { algo; trials; seed; range; ci_target; instance } ->
+  | Solve { algo; trials; seed; range; ci_target; releases; churn; instance }
+    ->
       (* Key on the algorithm actually executed, so "auto" and "adaptive"
          requests share one cache entry. A ranged sub-job keys on its
          range too: a partial answer must never alias the full one. *)
       Some
-        (Printf.sprintf "solve:%s:%s:%d:%d%s%s" (Io.digest instance)
+        (Printf.sprintf "solve:%s:%s:%d:%d%s%s%s%s" (Io.digest instance)
            (algo_name (canonical_algo algo)) trials seed (range_suffix range)
-           (ci_suffix ci_target))
-  | Estimate { plan_digest; trials; seed; range; ci_target; instance; _ } ->
+           (ci_suffix ci_target) (releases_suffix releases)
+           (churn_suffix churn))
+  | Estimate
+      {
+        plan_digest;
+        trials;
+        seed;
+        range;
+        ci_target;
+        releases;
+        churn;
+        instance;
+        _;
+      } ->
       Some
-        (Printf.sprintf "estimate:%s:%s:%d:%d%s%s" (Io.digest instance)
-           plan_digest trials seed (range_suffix range) (ci_suffix ci_target))
+        (Printf.sprintf "estimate:%s:%s:%d:%d%s%s%s%s" (Io.digest instance)
+           plan_digest trials seed (range_suffix range) (ci_suffix ci_target)
+           (releases_suffix releases) (churn_suffix churn))
   | Exact instance -> Some (Printf.sprintf "exact:%s" (Io.digest instance))
   | Info _ | Ping | Stats _ -> None
 
@@ -250,8 +334,25 @@ let sub_line req ~lo ~hi =
     | None -> []
     | Some w -> [ ("ci_target", Json.Num w) ]
   in
+  (* Canonical re-encode of the dynamic-environment fields: releases as
+     the integer list verbatim, churn as the canonical spec string — so
+     every sub-job of one request computes over the identical timeline
+     and their worker-side cache keys agree. *)
+  let dyn_fields ~releases ~churn =
+    (match releases with
+    | None -> []
+    | Some r ->
+        [
+          ( "releases",
+            Json.List (Array.to_list (Array.map Json.int r)) );
+        ])
+    @
+    match churn with
+    | None -> []
+    | Some p -> [ ("churn", Json.Str (Churn.spec_of_params p)) ]
+  in
   match req.op with
-  | Solve { algo; trials; seed; ci_target; instance; _ } ->
+  | Solve { algo; trials; seed; ci_target; releases; churn; instance; _ } ->
       envelope
         ([
            ("op", Json.Str "solve");
@@ -265,8 +366,10 @@ let sub_line req ~lo ~hi =
            ("range", Json.List [ Json.int lo; Json.int hi ]);
          ]
         @ ci_fields ci_target
+        @ dyn_fields ~releases ~churn
         @ [ ("instance", Json.Str (Io.to_string instance)) ])
-  | Estimate { plan; trials; seed; ci_target; instance; _ } ->
+  | Estimate { plan; trials; seed; ci_target; releases; churn; instance; _ }
+    ->
       envelope
         ([
            ("op", Json.Str "estimate");
@@ -276,6 +379,7 @@ let sub_line req ~lo ~hi =
            ("range", Json.List [ Json.int lo; Json.int hi ]);
          ]
         @ ci_fields ci_target
+        @ dyn_fields ~releases ~churn
         @ [ ("instance", Json.Str (Io.to_string instance)) ])
   | Info _ | Exact _ | Ping | Stats _ ->
       invalid_arg "Request.sub_line: not a Monte-Carlo op"

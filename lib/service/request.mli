@@ -10,10 +10,12 @@
     back), ["deadline_ms"] (optional per-request budget), plus per-op
     fields:
     {v
-    {"op":"solve","instance":S,"algo":"auto|adaptive|oblivious|improved",
-     "trials":K,"seed":N,"range":[lo,hi],"ci_target":W,...}
+    {"op":"solve","instance":S,
+     "algo":"auto|adaptive|oblivious|improved|lzf|fixed",
+     "trials":K,"seed":N,"range":[lo,hi],"ci_target":W,
+     "releases":[r0,...],"churn":"seed=..,rate=..,..",...}
     {"op":"estimate","instance":S,"plan":P,"trials":K,"seed":N,
-     "range":[lo,hi],"ci_target":W,...}
+     "range":[lo,hi],"ci_target":W,"releases":…,"churn":…,...}
     {"op":"info","instance":S}
     {"op":"exact","instance":S}
     {"op":"ping"}
@@ -29,14 +31,25 @@
     mean makespan reaches the target
     ({!Suu_sim.Engine.estimate_makespan}).
 
+    ["releases"] (optional, Monte-Carlo ops only) is a per-job list of
+    non-negative release steps making the run an online one; its length
+    must match the instance's job count. ["churn"] (optional,
+    Monte-Carlo ops only) is a {!Suu_dyn.Churn.params_of_spec} spec
+    string — the worker regenerates the deterministic machine up/down
+    timeline from the spec and the instance's machine count, so only
+    the spec travels on the wire. Both fold into the cache key
+    (distinct lanes: a dynamic answer never aliases a static one) and
+    re-encode canonically in coordinator sub-jobs.
+
     Responses carry ["id"], ["status"] (["ok"|"error"|"timeout"]) and
     status-specific fields. *)
 
-type algo = [ `Auto | `Adaptive | `Oblivious | `Improved ]
+type algo = [ `Auto | `Adaptive | `Oblivious | `Improved | `Lzf | `Fixed ]
 
 val algo_name : algo -> string
 
-val canonical_algo : algo -> [ `Adaptive | `Oblivious | `Improved ]
+val canonical_algo :
+  algo -> [ `Adaptive | `Oblivious | `Improved | `Lzf | `Fixed ]
 (** The algorithm actually executed: [`Auto] is the practical default and
     resolves to [`Adaptive]; the named algorithms are themselves. Cache
     keys use the canonical form so "auto" and "adaptive" requests for the
@@ -52,6 +65,9 @@ type op =
       seed : int;
       range : (int * int) option;  (** trial-range sub-job, if any *)
       ci_target : float option;  (** CI-width stopping target, if any *)
+      releases : int array option;  (** per-job release steps, if any *)
+      churn : Suu_dyn.Churn.params option;
+          (** machine-churn timeline spec, if any *)
       instance : Suu_core.Instance.t;
     }
       (** Build a schedule ({!Suu_algo.Solver}) and estimate its expected
@@ -63,6 +79,9 @@ type op =
       seed : int;
       range : (int * int) option;  (** trial-range sub-job, if any *)
       ci_target : float option;  (** CI-width stopping target, if any *)
+      releases : int array option;  (** per-job release steps, if any *)
+      churn : Suu_dyn.Churn.params option;
+          (** machine-churn timeline spec, if any *)
       instance : Suu_core.Instance.t;
     }  (** Estimate the expected makespan of a client-supplied plan. *)
   | Info of Suu_core.Instance.t

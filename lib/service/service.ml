@@ -247,8 +247,17 @@ let now_ms = Clock.now_ms
    RNG derivation makes the answer — summary and sample order alike — a
    pure function of the request, so changing [domains] never changes a
    cached or recomputed response. *)
-let estimate_fields ~domains ~policy ~trials ~seed ~range ~ci_target ~stop
-    ~on_trial instance =
+let estimate_fields ~domains ~policy ~trials ~seed ~range ~ci_target ~releases
+    ~churn ~stop ~on_trial instance =
+  (* The wire carries the churn spec, not the timeline: regenerate it
+     here against this instance's machine count, deterministically, so
+     every worker (and every sub-job of a coordinator split) simulates
+     the identical environment. *)
+  let availability =
+    Option.map
+      (fun p -> Suu_dyn.Churn.generate ~m:(Instance.m instance) p)
+      churn
+  in
   match range with
   | Some (lo, hi) ->
       (* A trial-range sub-job answers raw material, not a summary: the
@@ -258,8 +267,8 @@ let estimate_fields ~domains ~policy ~trials ~seed ~range ~ci_target ~stop
          single-process run of the full request. ["trials"] reports the
          executed count, which a [ci_target] can cut below [hi - lo]. *)
       let e =
-        Engine.estimate_makespan_range ?ci_target ~stop ~on_trial ~seed ~lo ~hi
-          instance policy
+        Engine.estimate_makespan_range ?releases ?availability ?ci_target
+          ~stop ~on_trial ~seed ~lo ~hi instance policy
       in
       [
         ("algo", Json.Str policy.Policy.name);
@@ -276,11 +285,11 @@ let estimate_fields ~domains ~policy ~trials ~seed ~range ~ci_target ~stop
   | None ->
       let e =
         if domains <= 1 then
-          Engine.estimate_makespan_seeded ?ci_target ~stop ~on_trial ~trials
-            ~seed instance policy
+          Engine.estimate_makespan_seeded ?releases ?availability ?ci_target
+            ~stop ~on_trial ~trials ~seed instance policy
         else
-          Engine.estimate_makespan_parallel ~domains ?ci_target ~stop ~on_trial
-            ~trials ~seed instance policy
+          Engine.estimate_makespan_parallel ?releases ?availability ~domains
+            ?ci_target ~stop ~on_trial ~trials ~seed instance policy
       in
       let p95 =
         if Array.length e.Engine.samples = 0 then 0.
@@ -319,7 +328,8 @@ let info_fields instance =
 
 let execute op ~domains ~stop ~on_trial =
   match op with
-  | Request.Solve { algo; trials; seed; range; ci_target; instance } ->
+  | Request.Solve
+      { algo; trials; seed; range; ci_target; releases; churn; instance } ->
       (* [auto] is the practical default (the adaptive greedy policy);
          the paper's guaranteed oblivious column is an explicit opt-in.
          [canonical_algo] is also what the cache key is built from, so a
@@ -329,12 +339,15 @@ let execute op ~domains ~stop ~on_trial =
         try Suu_algo.Solver.solve ~kind instance
         with Suu_algo.Solver.Unsupported msg -> failed "unsupported: %s" msg
       in
-      estimate_fields ~domains ~policy ~trials ~seed ~range ~ci_target ~stop
-        ~on_trial instance
-  | Request.Estimate { plan; trials; seed; range; ci_target; instance; _ } ->
+      estimate_fields ~domains ~policy ~trials ~seed ~range ~ci_target
+        ~releases ~churn ~stop ~on_trial instance
+  | Request.Estimate
+      { plan; trials; seed; range; ci_target; releases; churn; instance; _ }
+    ->
       estimate_fields ~domains
         ~policy:(Policy.of_oblivious "plan" plan)
-        ~trials ~seed ~range ~ci_target ~stop ~on_trial instance
+        ~trials ~seed ~range ~ci_target ~releases ~churn ~stop ~on_trial
+        instance
   | Request.Ping -> [ ("pong", Json.Bool true) ]
   | Request.Info instance -> info_fields instance
   | Request.Exact instance -> (

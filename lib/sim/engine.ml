@@ -4,6 +4,7 @@ module Policy = Suu_core.Policy
 module Oblivious = Suu_core.Oblivious
 module Counters = Suu_obs.Counters
 module Exec_trace = Suu_obs.Exec_trace
+module Churn = Suu_dyn.Churn
 
 (* Process-wide engine telemetry. Counters are bumped once or twice per
    trial (never per step), so they are always on: two atomic adds
@@ -44,6 +45,7 @@ type exec = {
   pending_preds : int array;
   init_preds : int array;  (** in-degrees, the reset image *)
   releases : int array option;
+  churn : Churn.t option;
   mutable remaining : int;
   (* Per-step completion scratch, replacing a per-step Hashtbl: job [j]
      completed during the current step iff [mark.(j) = epoch]. The epoch
@@ -68,15 +70,20 @@ let exec_reset ex =
   ex.remaining <- n;
   ex.completed_count <- 0
 
-let exec_create ?releases inst =
+(* The availability seam: churn timelines must match the instance's
+   machine count, and an all-up timeline is dropped so the hot path
+   keeps its churn-free shape. *)
+let check_availability inst = function
+  | None -> None
+  | Some c ->
+      if Churn.m c <> Instance.m inst then
+        invalid_arg "Engine: availability machine count mismatch";
+      if Churn.is_none c then None else Some c
+
+let exec_create ?releases ?churn inst =
   let n = Instance.n inst in
-  (match releases with
-  | Some r ->
-      if Array.length r <> n then invalid_arg "Engine: releases length mismatch";
-      Array.iter
-        (fun v -> if v < 0 then invalid_arg "Engine: negative release date")
-        r
-  | None -> ());
+  Releases.check ~n releases;
+  let churn = check_availability inst churn in
   let dag = Instance.dag inst in
   let ex =
     {
@@ -86,6 +93,7 @@ let exec_create ?releases inst =
       pending_preds = Array.make n 0;
       init_preds = Array.init n (Suu_dag.Dag.in_degree dag);
       releases;
+      churn;
       remaining = n;
       mark = Array.make n (-1);
       epoch = 0;
@@ -124,6 +132,15 @@ let exec_finish ex t j =
       then ex.eligible.(v) <- true)
     (Suu_dag.Dag.succs (Instance.dag ex.inst) j)
 
+(* Whether machine [i] may draw at step [t]: a machine that churn has
+   taken down contributes no mass — and consumes no randomness, exactly
+   as if the schedule had idled it (so the gated stepper on the original
+   schedule is draw-for-draw the ungated stepper on the masked one). *)
+let exec_machine_up ex i t =
+  match ex.churn with
+  | None -> true
+  | Some c -> Churn.available c ~machine:i ~step:t
+
 (* One step: completed jobs land in [ex.completed_buf] (first
    [ex.completed_count] slots, in marking order). The Bernoulli draw
    sequence — machines in index order, at most one draw per (machine,
@@ -141,6 +158,7 @@ let exec_step rng ex t assignment =
         && ex.unfinished.(j)
         && ex.eligible.(j)
         && ex.mark.(j) <> epoch
+        && exec_machine_up ex i t
       then
         if Suu_prob.Rng.bernoulli rng (Instance.prob ex.inst ~machine:i ~job:j)
         then begin
@@ -180,18 +198,18 @@ let run_exec ~max_steps rng ex policy =
   done;
   { makespan = !t; completed = ex.remaining = 0 }
 
-let run ?max_steps ?releases rng inst policy =
+let run ?max_steps ?releases ?availability rng inst policy =
   let max_steps =
     match max_steps with Some v -> v | None -> default_horizon inst
   in
-  let ex = exec_create ?releases inst in
+  let ex = exec_create ?releases ?churn:availability inst in
   run_exec ~max_steps rng ex policy
 
-let trace ?max_steps ?releases rng inst policy =
+let trace ?max_steps ?releases ?availability rng inst policy =
   let max_steps =
     match max_steps with Some v -> v | None -> default_horizon inst
   in
-  let ex = exec_create ?releases inst in
+  let ex = exec_create ?releases ?churn:availability inst in
   let decide = policy.Policy.fresh () in
   let history = ref [] in
   let t = ref 0 in
@@ -235,10 +253,18 @@ type runner =
       (** the schedule rides along so observed trials can reconstruct
           per-step assignments without re-deriving them from the plan *)
 
-let make_runner ?releases inst policy =
+let make_runner ?releases ?availability inst policy =
+  let churn = check_availability inst availability in
   match Policy.oblivious policy with
-  | Some sched -> Leap (Leapfrog.prepare ?releases inst sched, sched)
-  | None -> Stepper (exec_create ?releases inst, policy)
+  | Some sched ->
+      (* Fold churn into the schedule itself: the masked schedule idles
+         down machines, so the unchurned leapfrog sampler over it draws
+         exactly the surviving (machine, step) attempts. *)
+      let sched =
+        match churn with None -> sched | Some c -> Churn.mask c sched
+      in
+      Leap (Leapfrog.prepare ?releases inst sched, sched)
+  | None -> Stepper (exec_create ?releases ?churn inst, policy)
 
 let run_trial runner rng ~max_steps =
   Counters.incr c_trials;
@@ -376,7 +402,8 @@ let check_ci_target = function
 
 let word = Lanes.lanes_per_word
 
-let estimate_makespan ?max_steps ?releases ?ci_target ~trials rng inst policy =
+let estimate_makespan ?max_steps ?releases ?availability ?ci_target ~trials rng
+    inst policy =
   if trials < 1 then invalid_arg "Engine.estimate_makespan: trials < 1";
   check_ci_target ci_target;
   let max_steps =
@@ -396,7 +423,7 @@ let estimate_makespan ?max_steps ?releases ?ci_target ~trials rng inst policy =
         Counters.incr c_early_stops
     | _ -> ()
   in
-  (match Lanes.create ?releases inst policy with
+  (match Lanes.create ?releases ?availability inst policy with
   | Some k ->
       (* Vectorized path: whole words of trials per kernel call, each
          word seeded from the caller's generator. Distribution-equivalent
@@ -422,7 +449,7 @@ let estimate_makespan ?max_steps ?releases ?ci_target ~trials rng inst policy =
         check_stop ()
       done
   | None ->
-      let runner = make_runner ?releases inst policy in
+      let runner = make_runner ?releases ?availability inst policy in
       while (not !stopped) && !executed < trials do
         let o = run_trial runner rng ~max_steps in
         if o.completed then ci_add acc (Float.of_int o.makespan);
@@ -435,7 +462,7 @@ let estimate_makespan ?max_steps ?releases ?ci_target ~trials rng inst policy =
 
 exception Interrupted
 
-let estimate_makespan_range ?max_steps ?releases ?ci_target
+let estimate_makespan_range ?max_steps ?releases ?availability ?ci_target
     ?(stop = fun () -> false) ?(on_trial = fun (_ : int) -> ()) ~seed ~lo ~hi
     inst policy =
   if lo < 0 || hi <= lo then
@@ -444,7 +471,7 @@ let estimate_makespan_range ?max_steps ?releases ?ci_target
   let max_steps =
     match max_steps with Some v -> v | None -> default_horizon inst
   in
-  let runner = make_runner ?releases inst policy in
+  let runner = make_runner ?releases ?availability inst policy in
   let c = collector (hi - lo) in
   let acc = ci_acc () in
   let executed = ref 0 in
@@ -481,7 +508,7 @@ let merge_ranges ~max_steps parts =
   let samples = Array.concat (List.map (fun e -> e.samples) parts) in
   finish_estimate ~max_steps ~trials ~incomplete samples
 
-let estimate_makespan_seeded ?max_steps ?releases ?ci_target
+let estimate_makespan_seeded ?max_steps ?releases ?availability ?ci_target
     ?(stop = fun () -> false) ?(on_trial = fun (_ : int) -> ()) ?observer
     ~trials ~seed inst policy =
   if trials < 1 then invalid_arg "Engine.estimate_makespan_seeded: trials < 1";
@@ -489,7 +516,7 @@ let estimate_makespan_seeded ?max_steps ?releases ?ci_target
   let max_steps =
     match max_steps with Some v -> v | None -> default_horizon inst
   in
-  let runner = make_runner ?releases inst policy in
+  let runner = make_runner ?releases ?availability inst policy in
   let c = collector trials in
   let acc = ci_acc () in
   let stopped = ref false in
@@ -528,9 +555,9 @@ let estimate_makespan_seeded ?max_steps ?releases ?ci_target
   finish_estimate ~max_steps ~trials:!k ~incomplete:c.truncated
     (collector_samples c)
 
-let estimate_makespan_parallel ?max_steps ?releases ?domains ?ci_target
-    ?(stop = fun () -> false) ?(on_trial = fun (_ : int) -> ()) ~trials ~seed
-    inst policy =
+let estimate_makespan_parallel ?max_steps ?releases ?availability ?domains
+    ?ci_target ?(stop = fun () -> false) ?(on_trial = fun (_ : int) -> ())
+    ~trials ~seed inst policy =
   if trials < 1 then invalid_arg "Engine.estimate_makespan_parallel: trials < 1";
   check_ci_target ci_target;
   let domains =
@@ -575,7 +602,7 @@ let estimate_makespan_parallel ?max_steps ?releases ?domains ?ci_target
          runs which trial — bit-identical to [estimate_makespan_seeded]. *)
       let next = Atomic.make 0 in
       let worker () =
-        let runner = make_runner ?releases inst policy in
+        let runner = make_runner ?releases ?availability inst policy in
         let continue = ref true in
         while !continue && Atomic.get failure = None do
           let k = Atomic.fetch_and_add next 1 in
@@ -630,7 +657,7 @@ let estimate_makespan_parallel ?max_steps ?releases ?domains ?ci_target
         Mutex.unlock mu
       in
       let worker () =
-        let runner = make_runner ?releases inst policy in
+        let runner = make_runner ?releases ?availability inst policy in
         let continue = ref true in
         while !continue && Atomic.get failure = None do
           let w = Atomic.fetch_and_add next 1 in

@@ -66,6 +66,7 @@ val default_horizon : Suu_core.Instance.t -> int
 val run :
   ?max_steps:int ->
   ?releases:int array ->
+  ?availability:Suu_dyn.Churn.t ->
   Suu_prob.Rng.t ->
   Suu_core.Instance.t ->
   Suu_core.Policy.t ->
@@ -77,11 +78,27 @@ val run :
     problem: job [j] only becomes eligible once step [releases.(j)] has
     been reached (in addition to its predecessors being done). Policies
     see release state only through the [eligible] flags, so an adaptive
-    policy is automatically an online algorithm. *)
+    policy is automatically an online algorithm. Hostile vectors are
+    rejected with {!Releases.Invalid} (typed, like
+    {!Suu_core.Instance.Invalid}) at every entry that accepts
+    [?releases].
+
+    [availability] (default: everything up) is the machine-churn seam: a
+    machine that is down at step [t] per the timeline contributes no
+    completion mass that step — its Bernoulli draw is suppressed
+    entirely, consuming no randomness, exactly as if the schedule had
+    idled it. Policies are churn-oblivious (they may still assign work
+    to a down machine; the environment wastes it). The gated stepper on
+    a schedule is draw-for-draw identical to the ungated stepper on
+    {!Suu_dyn.Churn.mask} of that schedule, which is how the estimators
+    below serve oblivious policies under churn at full leapfrog and
+    vectorized speed. @raise Invalid_argument when the timeline's
+    machine count differs from the instance's. *)
 
 val trace :
   ?max_steps:int ->
   ?releases:int array ->
+  ?availability:Suu_dyn.Churn.t ->
   Suu_prob.Rng.t ->
   Suu_core.Instance.t ->
   Suu_core.Policy.t ->
@@ -104,6 +121,7 @@ type estimate = {
 val estimate_makespan :
   ?max_steps:int ->
   ?releases:int array ->
+  ?availability:Suu_dyn.Churn.t ->
   ?ci_target:float ->
   trials:int ->
   Suu_prob.Rng.t ->
@@ -125,6 +143,7 @@ exception Interrupted
 val estimate_makespan_range :
   ?max_steps:int ->
   ?releases:int array ->
+  ?availability:Suu_dyn.Churn.t ->
   ?ci_target:float ->
   ?stop:(unit -> bool) ->
   ?on_trial:(int -> unit) ->
@@ -160,6 +179,7 @@ val merge_ranges : max_steps:int -> estimate list -> estimate
 val estimate_makespan_seeded :
   ?max_steps:int ->
   ?releases:int array ->
+  ?availability:Suu_dyn.Churn.t ->
   ?ci_target:float ->
   ?stop:(unit -> bool) ->
   ?on_trial:(int -> unit) ->
@@ -209,6 +229,7 @@ val estimate_makespan_seeded :
 val estimate_makespan_parallel :
   ?max_steps:int ->
   ?releases:int array ->
+  ?availability:Suu_dyn.Churn.t ->
   ?domains:int ->
   ?ci_target:float ->
   ?stop:(unit -> bool) ->

@@ -4,6 +4,7 @@ module Policy = Suu_core.Policy
 module Oblivious = Suu_core.Oblivious
 module Dag = Suu_dag.Dag
 module Rng = Suu_prob.Rng
+module Churn = Suu_dyn.Churn
 
 (* Trial-batched Monte-Carlo kernel: one native int carries one
    completion bit per trial lane for a job, so the per-step inner loop
@@ -185,6 +186,7 @@ type t = {
   preds : int array array;
   succs : int array array;
   releases : int array option;
+  churn : Churn.t option;
   stream : stream;
   (* cols arenas *)
   comp : int array;  (** (job, lane) completion step; n * 63 *)
@@ -209,6 +211,7 @@ type t = {
   mutable pairs_len : int;
   remaining : int array;  (** per lane, ref-mode unfinished job count *)
   rel_ok : bool array;  (** per job, release date has arrived *)
+  mup : bool array;  (** per machine, up at the current step (churn) *)
   assign : int array;  (** (machine, lane) ref-mode assignment; m * 63 *)
 }
 
@@ -276,18 +279,26 @@ let compile_cols inst n sched =
     jp;
   }
 
-let create ?releases inst policy =
+let create ?releases ?availability inst policy =
   let n = Instance.n inst and m = Instance.m inst in
-  (match releases with
-  | Some r ->
-      if Array.length r <> n then invalid_arg "Engine: releases length mismatch";
-      Array.iter
-        (fun v -> if v < 0 then invalid_arg "Engine: negative release date")
-        r
-  | None -> ());
+  Releases.check ~n releases;
+  let churn =
+    match availability with
+    | None -> None
+    | Some c ->
+        if Churn.m c <> m then
+          invalid_arg "Engine: availability machine count mismatch";
+        if Churn.is_none c then None else Some c
+  in
   let mode =
     match Policy.oblivious policy with
     | Some sched when Oblivious.(sched.m) = m ->
+        (* Churn folds into the schedule: the masked schedule idles down
+           machines, so the unchurned column kernel over it samples
+           exactly the surviving (machine, step) attempts. *)
+        let sched =
+          match churn with None -> sched | Some c -> Churn.mask c sched
+        in
         Some (Cols (compile_cols inst n sched))
     | Some _ -> None
     | None -> (
@@ -316,6 +327,7 @@ let create ?releases inst policy =
           preds = Array.init n (fun j -> Array.of_list (Dag.preds dag j));
           succs = Array.init n (fun j -> Array.of_list (Dag.succs dag j));
           releases;
+          churn = (match mode with Cols _ -> None | Greedy _ -> churn);
           stream = { s = 0 };
           comp =
             (* only DAG instances ever touch [comp]: the writes are
@@ -343,6 +355,7 @@ let create ?releases inst policy =
           pairs_len = 0;
           remaining = Array.make lanes_per_word 0;
           rel_ok = Array.make (max n 1) true;
+          mup = Array.make (max m 1) true;
           assign =
             Array.make
               (if is_cols then 1 else max 1 (m * lanes_per_word))
@@ -655,6 +668,19 @@ let greedy_release_due t step =
         if (not t.rel_ok.(j)) && r.(j) <= step then t.rel_ok.(j) <- true
       done
 
+(* Refresh the per-machine up mask for this step. Availability is
+   trial-independent, so the gate is uniform across lanes: a down
+   machine's pair is still {e taken} by the scan (the policy is
+   churn-oblivious — mass and free-machine bookkeeping proceed) but its
+   Bernoulli draw is suppressed, matching the scalar stepper's gate. *)
+let greedy_machines_up t step =
+  match t.churn with
+  | None -> ()
+  | Some c ->
+      for i = 0 to t.m - 1 do
+        t.mup.(i) <- Churn.available c ~machine:i ~step
+      done
+
 (* End-of-step completion: fold the marked words into done/remaining,
    record lane makespans, refresh successors' pred words. Returns the
    updated alive word. *)
@@ -719,7 +745,8 @@ let run_word_greedy t gk ~lanes ~max_steps ~makespans =
   and contrib_w = t.contrib_w
   and contrib_cnt = t.contrib_cnt
   and pairs = t.pairs_idx
-  and rel_ok = t.rel_ok in
+  and rel_ok = t.rel_ok
+  and mup = t.mup in
   for k = 0 to npairs - 1 do
     pairs.(k) <- k
   done;
@@ -728,6 +755,7 @@ let run_word_greedy t gk ~lanes ~max_steps ~makespans =
   let step = ref 0 in
   while !alive <> 0 && !step < max_steps do
     greedy_release_due t !step;
+    greedy_machines_up t !step;
     let alive0 = !alive in
     Array.fill free 0 m alive0;
     let free_left = ref m in
@@ -787,8 +815,11 @@ let run_word_greedy t gk ~lanes ~max_steps ~makespans =
                 contrib_cnt.(j) <- cc + 1;
                 mass_pos.(j) <- mp lor tk;
                 (* fused draw: lanes already completed this step by an
-                   earlier machine draw nothing, like the scalar stepper *)
-                let dr = tk land lnot marked.(j) in
+                   earlier machine draw nothing, like the scalar stepper;
+                   a churned-down machine draws nothing at all *)
+                let dr =
+                  if mup.(i) then tk land lnot marked.(j) else 0
+                in
                 if dr <> 0 then begin
                   let succ = mask_bernoulli st thrs.(k) dr in
                   if succ <> 0 then begin
@@ -910,6 +941,7 @@ let run_word_ref t ~rngs ~max_steps ~makespans =
         let step = ref 0 in
         while !alive <> 0 && !step < max_steps do
           greedy_release_due t !step;
+          greedy_machines_up t !step;
           Array.fill t.free 0 m !alive;
           Array.fill t.assign 0 (m * lanes_per_word) Assignment.idle_job;
           let free_left = ref m in
@@ -967,7 +999,10 @@ let run_word_ref t ~rngs ~max_steps ~makespans =
             if !alive land (1 lsl l) <> 0 then
               for i = 0 to m - 1 do
                 let j = t.assign.((i * lanes_per_word) + l) in
-                if j <> Assignment.idle_job && t.marked.(j) land (1 lsl l) = 0
+                if
+                  j <> Assignment.idle_job
+                  && t.marked.(j) land (1 lsl l) = 0
+                  && t.mup.(i)
                 then
                   if
                     Rng.bernoulli rngs.(l)

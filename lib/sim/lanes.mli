@@ -30,11 +30,22 @@ type t
 val lanes_per_word : int
 (** Number of trial lanes per word (63). *)
 
-val create : ?releases:int array -> Suu_core.Instance.t -> Suu_core.Policy.t -> t option
-(** [create ?releases inst policy] compiles a kernel, or [None] when the
-    policy carries no vectorizable structure tag ({!Suu_core.Policy.oblivious}
-    or {!Suu_core.Policy.greedy}). Raises [Invalid_argument] on malformed
-    [releases], like the scalar engine. *)
+val create :
+  ?releases:int array ->
+  ?availability:Suu_dyn.Churn.t ->
+  Suu_core.Instance.t ->
+  Suu_core.Policy.t ->
+  t option
+(** [create ?releases ?availability inst policy] compiles a kernel, or
+    [None] when the policy carries no vectorizable structure tag
+    ({!Suu_core.Policy.oblivious} or {!Suu_core.Policy.greedy}). Raises
+    {!Releases.Invalid} on a malformed [releases] vector, like the
+    scalar engine. [availability] is the churn seam: oblivious kernels
+    compile the {!Suu_dyn.Churn.mask}ed schedule, greedy kernels keep
+    the scan intact (the policy is churn-oblivious) but suppress the
+    Bernoulli draw of any machine that is down at the current step —
+    the gate is uniform across lanes because availability is
+    trial-independent. *)
 
 val run_word :
   t -> seed:int -> max_steps:int -> lanes:int -> makespans:int array -> unit

@@ -72,13 +72,7 @@ let runs_of_steps inst n assignments =
 
 let prepare ?releases inst sched =
   let n = Instance.n inst in
-  (match releases with
-  | Some r ->
-      if Array.length r <> n then invalid_arg "Engine: releases length mismatch";
-      Array.iter
-        (fun v -> if v < 0 then invalid_arg "Engine: negative release date")
-        r
-  | None -> ());
+  Releases.check ~n releases;
   if Oblivious.(sched.m) <> Instance.m inst then
     invalid_arg "Leapfrog.prepare: machine count mismatch";
   let dag = Instance.dag inst in

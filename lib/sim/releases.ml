@@ -1,0 +1,30 @@
+type error =
+  | Length_mismatch of { expected : int; got : int }
+  | Negative_release of { job : int; value : int }
+
+exception Invalid of error
+
+let error_to_string = function
+  | Length_mismatch { expected; got } ->
+      Printf.sprintf "releases: length %d, expected one entry per job (%d)" got
+        expected
+  | Negative_release { job; value } ->
+      Printf.sprintf "releases: job %d has negative release date %d" job value
+
+let validate ~n r =
+  if Array.length r <> n then
+    Error (Length_mismatch { expected = n; got = Array.length r })
+  else begin
+    let bad = ref None in
+    Array.iteri
+      (fun j v ->
+        if v < 0 && !bad = None then
+          bad := Some (Negative_release { job = j; value = v }))
+      r;
+    match !bad with None -> Ok () | Some e -> Error e
+  end
+
+let check ~n = function
+  | None -> ()
+  | Some r -> (
+      match validate ~n r with Ok () -> () | Error e -> raise (Invalid e))

@@ -159,6 +159,50 @@ let adversarial_spread ~n ~m =
     instance = Instance.independent ~p;
   }
 
+(* UUniFast (Bini & Buttazzo), discard variant: split [total_util] into
+   [n] shares by the order-statistics recurrence, resampling until every
+   share is <= 1 so the split is uniform over the valid simplex slice. *)
+let uunifast_split rng ~n ~total_util =
+  let u = Array.make n 0. in
+  let rec draw () =
+    let sum = ref total_util in
+    for k = 0 to n - 2 do
+      let next =
+        !sum *. (Rng.float rng ** (1. /. float_of_int (n - 1 - k)))
+      in
+      u.(k) <- !sum -. next;
+      sum := next
+    done;
+    u.(n - 1) <- !sum;
+    if Array.exists (fun x -> x > 1.) u then draw ()
+  in
+  draw ();
+  u
+
+let uunifast rng ~n ~m ~total_util ~dag =
+  if Dag.n dag <> n then invalid_arg "Workload.uunifast: dag size mismatch";
+  if total_util <= 0. || total_util > float_of_int n then
+    invalid_arg "Workload.uunifast: total_util must be in (0, n]";
+  let u = uunifast_split rng ~n ~total_util in
+  (* Utilization share = per-step completion rate on a full-speed
+     machine; heterogeneous speed factors scale it down per machine.
+     Clamped away from 0 so every horizon stays bounded. *)
+  let speed = Array.init m (fun _ -> Rng.uniform rng 0.5 1.) in
+  let p =
+    Array.init m (fun i ->
+        Array.init n (fun j ->
+            Float.max 0.02 (Float.min 1. (u.(j) *. speed.(i)))))
+  in
+  {
+    name = "uunifast";
+    description =
+      Printf.sprintf
+        "UUniFast utilization split (total %.2f) over %d jobs, %d machines \
+         with speed factors"
+        total_util n m;
+    instance = Instance.create ~p ~dag;
+  }
+
 let arrivals rng ~n ~mean_gap =
   if mean_gap <= 0. then invalid_arg "Workload.arrivals: mean_gap must be > 0";
   let p = Float.min 1. (1. /. mean_gap) in
@@ -167,6 +211,27 @@ let arrivals rng ~n ~mean_gap =
     releases.(j) <- releases.(j - 1) + Rng.geometric rng p
   done;
   releases
+
+type dyn = {
+  workload : t;
+  releases : int array;
+  churn : Suu_dyn.Churn.t;
+}
+
+let churned rng ?(mean_gap = 2.) w params =
+  let n = Instance.n w.instance and m = Instance.m w.instance in
+  {
+    workload =
+      {
+        w with
+        description =
+          Printf.sprintf "%s; online arrivals (mean gap %g) under churn %s"
+            w.description mean_gap
+            (Suu_dyn.Churn.spec_of_params params);
+      };
+    releases = arrivals rng ~n ~mean_gap;
+    churn = Suu_dyn.Churn.generate ~m params;
+  }
 
 let figure1 () =
   let p = [| [| 0.3; 0.1; 0.1 |]; [| 0.1; 0.3; 0.2 |] |] in

@@ -55,6 +55,18 @@ val specialists :
     [p ∈ \[lo, hi\]]); everyone else has [p = 0]. Exercises the sparse /
     bucketed paths of the rounding. *)
 
+val uunifast :
+  Suu_prob.Rng.t -> n:int -> m:int -> total_util:float ->
+  dag:Suu_dag.Dag.t -> t
+(** Utilization-calibrated instance: the classic UUniFast split (Bini &
+    Buttazzo, discard variant — uniform over the simplex slice with
+    every share ≤ 1) divides [total_util ∈ (0, n]] into [n] per-job
+    shares; a job's share is its per-step completion rate on a
+    full-speed machine, scaled by per-machine speed factors drawn
+    uniformly from [\[0.5, 1\]] and clamped to [\[0.02, 1\]]. Sweeping
+    [total_util] sweeps system load at fixed [n], the standard
+    real-time-systems evaluation axis. *)
+
 val adversarial_spread : n:int -> m:int -> t
 (** Deterministic stress case for the bucketing: job [j]'s probabilities
     span many powers of two across machines ([p_ij = 2^{-(1 + (i+j) mod
@@ -68,6 +80,25 @@ val arrivals : Suu_prob.Rng.t -> n:int -> mean_gap:float -> int array
     Jobs arrive in index order, so pair with DAGs whose edges point from
     lower to higher indices (all our generators) to keep releases
     consistent with precedence. *)
+
+(** {1 Dynamic environments} *)
+
+type dyn = {
+  workload : t;
+  releases : int array;  (** online release steps, one per job *)
+  churn : Suu_dyn.Churn.t;  (** machine up/down timeline *)
+}
+(** A workload paired with the dynamic environment to execute it in:
+    feed [releases] and [churn] to the engine's [?releases] /
+    [?availability] seams. *)
+
+val churned :
+  Suu_prob.Rng.t -> ?mean_gap:float -> t -> Suu_dyn.Churn.params -> dyn
+(** [churned rng ?mean_gap w params] pairs workload [w] with geometric
+    online {!arrivals} ([mean_gap] defaults to 2 steps) and the
+    deterministic churn timeline {!Suu_dyn.Churn.generate}d from
+    [params] for [w]'s machine count. Deterministic in [rng] and
+    [params]. *)
 
 val figure1 : unit -> t
 (** A 3-job, 2-machine instance in the spirit of the paper's Figure 1

@@ -19,7 +19,11 @@ visible property with zero failures.
   ok   shard-heal           10 cases
   ok   improved-validity    10 cases
   ok   improved-ratio       10 cases
-  check: 17 properties, 170 cases, 0 failures
+  ok   lzf-validity         10 cases
+  ok   fixed-validity       10 cases
+  ok   churn-mask           10 cases
+  ok   churn-monotone       10 cases
+  check: 21 properties, 210 cases, 0 failures
 
 The registered property names are a pinned contract (CI selects by
 name); --list is the authoritative roster.
@@ -42,6 +46,10 @@ name); --list is the authoritative roster.
   shard-heal
   improved-validity
   improved-ratio
+  lzf-validity
+  fixed-validity
+  churn-mask
+  churn-monotone
 
 Named selection runs only the requested properties, in the order given.
 

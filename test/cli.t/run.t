@@ -29,7 +29,8 @@ The CLI end to end: generate, inspect, decompose, plan and replay.
   wrote flow.plan: 36 prefix steps, 12 cycle steps (suu-c)
 
 The default "auto" races every applicable family: the adaptive column,
-the paper's oblivious column, and the improved family (suu-imp).
+the paper's oblivious column, the improved family (suu-imp), and the
+dynamic-environment index policies (suu-lzf, suu-fixed).
 
   $ suu solve -f fig1.inst --trials 50 --seed 3
   bounds: rate=3.333 capacity=1.500 critical-path=3.333 lp=0.208 exact=- best=3.333
@@ -39,6 +40,8 @@ the paper's oblivious column, and the improved family (suu-imp).
   suu-i-alg  7.08 ±0.98    14   2.12         0
   lp-indep   11.58 ±2.25   27   3.47         0
   suu-imp    10.88 ±1.27   19   3.26         0
+  suu-lzf    6.28 ±0.72    10   1.88         0
+  suu-fixed  8.18 ±1.15    15   2.45         0
 
 --algo improved selects the new family alone; it works on every DAG
 class (here: chains, which the old oblivious column routes to suu-c).
@@ -54,7 +57,7 @@ An unknown algorithm is a usage error, not a silent default.
 
   $ suu solve -f fig1.inst --algo nope
   suu: option '--algo': invalid value 'nope', expected one of 'auto',
-       'adaptive', 'oblivious', 'improved' or 'baselines'
+       'adaptive', 'oblivious', 'improved', 'lzf', 'fixed' or 'baselines'
   Usage: suu solve [OPTION]…
   Try 'suu solve --help' or 'suu --help' for more information.
   [124]

@@ -57,6 +57,10 @@ let test_property_list_golden () =
       "shard-heal";
       "improved-validity";
       "improved-ratio";
+      "lzf-validity";
+      "fixed-validity";
+      "churn-mask";
+      "churn-monotone";
     ]
   in
   let names = List.map (fun p -> p.Property.name) Registry.visible in

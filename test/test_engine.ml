@@ -431,7 +431,9 @@ let test_release_never_run_before_release_step () =
 
 let test_release_length_mismatch () =
   let inst = single_job 0.5 in
-  Alcotest.check_raises "length" (Invalid_argument "Engine: releases length mismatch")
+  Alcotest.check_raises "length"
+    (Suu_sim.Releases.Invalid
+       (Suu_sim.Releases.Length_mismatch { expected = 1; got = 2 }))
     (fun () ->
       ignore
         (Engine.run ~releases:[| 0; 1 |] (Rng.create 1) inst (always_assign inst)
@@ -439,11 +441,59 @@ let test_release_length_mismatch () =
 
 let test_release_negative () =
   let inst = single_job 0.5 in
-  Alcotest.check_raises "negative" (Invalid_argument "Engine: negative release date")
+  Alcotest.check_raises "negative"
+    (Suu_sim.Releases.Invalid
+       (Suu_sim.Releases.Negative_release { job = 0; value = -1 }))
     (fun () ->
       ignore
         (Engine.run ~releases:[| -1 |] (Rng.create 1) inst (always_assign inst)
           : Engine.outcome))
+
+let test_release_typed_validation () =
+  (* The typed boundary, satellite-audited: every public entry that takes
+     ?releases rejects hostile vectors with the same structured error,
+     the result-style validator agrees, and the messages are printable. *)
+  let inst = single_job 0.5 in
+  let bad_len = [| 0; 1 |] and bad_neg = [| -3 |] in
+  (match Suu_sim.Releases.validate ~n:1 bad_len with
+  | Error (Suu_sim.Releases.Length_mismatch { expected = 1; got = 2 }) -> ()
+  | _ -> Alcotest.fail "validate: expected Length_mismatch");
+  (match Suu_sim.Releases.validate ~n:1 bad_neg with
+  | Error (Suu_sim.Releases.Negative_release { job = 0; value = -3 }) -> ()
+  | _ -> Alcotest.fail "validate: expected Negative_release");
+  Alcotest.(check bool)
+    "error_to_string is non-empty" true
+    (String.length
+       (Suu_sim.Releases.error_to_string
+          (Suu_sim.Releases.Length_mismatch { expected = 1; got = 2 }))
+    > 0);
+  (* the estimators and the vectorized/leapfrog boundaries reject too *)
+  let expect_invalid label f =
+    match f () with
+    | exception Suu_sim.Releases.Invalid _ -> ()
+    | _ -> Alcotest.fail (label ^ ": hostile releases accepted")
+  in
+  expect_invalid "seeded" (fun () ->
+      ignore
+        (Engine.estimate_makespan_seeded ~releases:bad_neg ~trials:1 ~seed:1
+           inst (always_assign inst)
+          : Engine.estimate));
+  expect_invalid "estimate" (fun () ->
+      ignore
+        (Engine.estimate_makespan ~releases:bad_len ~trials:1 (Rng.create 1)
+           inst (always_assign inst)
+          : Engine.estimate));
+  expect_invalid "lanes" (fun () ->
+      ignore
+        (Suu_sim.Lanes.create ~releases:bad_neg inst
+           (Suu_core.Policy.of_oblivious "sched"
+              (Suu_core.Oblivious.create ~m:1 ~cycle:[| [| 0 |] |] [||]))
+          : Suu_sim.Lanes.t option));
+  expect_invalid "leapfrog" (fun () ->
+      ignore
+        (Suu_sim.Leapfrog.prepare ~releases:bad_len inst
+           (Suu_core.Oblivious.create ~m:1 ~cycle:[| [| 0 |] |] [||])
+          : Suu_sim.Leapfrog.t))
 
 let prop_releases_only_delay =
   QCheck.Test.make ~name:"release dates never speed things up (mean)" ~count:10
@@ -569,6 +619,8 @@ let () =
             test_release_never_run_before_release_step;
           Alcotest.test_case "length checked" `Quick test_release_length_mismatch;
           Alcotest.test_case "sign checked" `Quick test_release_negative;
+          Alcotest.test_case "typed validation everywhere" `Quick
+            test_release_typed_validation;
         ] );
       ( "properties",
         [

@@ -350,7 +350,102 @@ let test_request_algo_roundtrip () =
       ("adaptive", "adaptive");
       ("oblivious", "oblivious");
       ("improved", "improved");
+      ("lzf", "lzf");
+      ("fixed", "fixed");
     ]
+
+(* The dynamic-environment request fields: "releases" (per-job release
+   steps) and "churn" (a seeded timeline spec). Both must decode with
+   full hostile-input validation, fold into the cache key, and survive
+   the coordinator's sub_line re-encoding canonically. *)
+let test_request_dyn_fields () =
+  let line extra =
+    Printf.sprintf
+      {|{"op":"solve","id":"d","trials":40,"seed":5%s,"instance":"%s"}|} extra
+      (String.concat "\\n" (String.split_on_char '\n' instance_text))
+  in
+  (match decode (line {|,"releases":[0,3]|}) with
+  | Ok { op = Request.Solve { releases = Some r; _ }; _ } ->
+      Alcotest.(check (array int)) "releases decoded" [| 0; 3 |] r
+  | Ok _ -> Alcotest.fail "releases not decoded"
+  | Error (msg, _) -> Alcotest.fail msg);
+  (match decode (line {|,"churn":"seed=3,rate=0.2"|}) with
+  | Ok { op = Request.Solve { churn = Some p; _ }; _ } ->
+      Alcotest.(check int) "churn seed" 3 p.Suu_dyn.Churn.seed;
+      Alcotest.(check (float 0.)) "churn rate" 0.2 p.Suu_dyn.Churn.rate;
+      Alcotest.(check int) "churn repair defaulted"
+        Suu_dyn.Churn.default_params.Suu_dyn.Churn.repair p.Suu_dyn.Churn.repair
+  | Ok _ -> Alcotest.fail "churn not decoded"
+  | Error (msg, _) -> Alcotest.fail msg);
+  (* Hostile vectors are rejected at the boundary with the id kept:
+     wrong length, negative step, wrong element type, bad spec. *)
+  List.iter
+    (fun extra ->
+      match decode (line extra) with
+      | Error (_, Some "d") -> ()
+      | Error (_, _) -> Alcotest.fail ("dropped the id: " ^ extra)
+      | Ok _ -> Alcotest.fail ("hostile dyn field accepted: " ^ extra))
+    [
+      {|,"releases":[0]|};
+      {|,"releases":[0,1,2]|};
+      {|,"releases":[0,-1]|};
+      {|,"releases":[0,"x"]|};
+      {|,"releases":"x"|};
+      {|,"churn":"rate=2"|};
+      {|,"churn":"mtbf=1"|};
+      {|,"churn":"rate=0.1,rate=0.2"|};
+      {|,"churn":7|};
+    ];
+  (* A duplicated field dies at the JSON layer (before the id is even
+     extracted), like any other duplicate key. *)
+  (match decode (line {|,"releases":[0,3],"releases":[1,3]|}) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate releases key accepted");
+  (* Cache keys: a dynamic-environment answer must never alias the
+     static one, and distinct environments must not alias each other. *)
+  let key extra =
+    match decode (line extra) with
+    | Ok req -> Request.cache_key req
+    | Error (msg, _) -> Alcotest.fail msg
+  in
+  let base = key "" in
+  let rel = key {|,"releases":[0,3]|} in
+  let chu = key {|,"churn":"seed=3,rate=0.2"|} in
+  let both = key {|,"releases":[0,3],"churn":"seed=3,rate=0.2"|} in
+  Alcotest.(check bool) "released is cacheable" true (rel <> None);
+  Alcotest.(check bool) "releases change the key" true (base <> rel);
+  Alcotest.(check bool) "churn changes the key" true (base <> chu);
+  Alcotest.(check bool) "released vs churned distinct" true (rel <> chu);
+  Alcotest.(check bool) "combined distinct from either" true
+    (both <> rel && both <> chu);
+  Alcotest.(check (option string)) "same vector, same key" rel
+    (key {|,"releases":[0,3]|});
+  Alcotest.(check bool) "different vector, different key" true
+    (rel <> key {|,"releases":[1,3]|});
+  (* The spec is canonicalized before keying: field order is
+     irrelevant, so equivalent environments share a cache entry. *)
+  Alcotest.(check (option string)) "spec order canonicalizes" chu
+    (key {|,"churn":"rate=0.2,seed=3"|});
+  (* sub_line carries both fields, canonically re-encoded. *)
+  match decode (line {|,"releases":[0,3],"churn":"rate=0.2,seed=3"|}) with
+  | Error (msg, _) -> Alcotest.fail msg
+  | Ok req -> (
+      let sub = Request.sub_line req ~lo:0 ~hi:16 in
+      match decode sub with
+      | Ok
+          {
+            op = Request.Solve { releases = Some r; churn = Some p; range; _ };
+            _;
+          } ->
+          Alcotest.(check (array int)) "sub keeps releases" [| 0; 3 |] r;
+          Alcotest.(check string) "sub re-encodes the spec canonically"
+            "seed=3,rate=0.2,repair=8,perm=0,steps=256"
+            (Suu_dyn.Churn.spec_of_params p);
+          Alcotest.(check bool) "sub range" true (range = Some (0, 16));
+          Alcotest.(check string) "canonical form is a fixed point" sub
+            (Request.sub_line (Result.get_ok (decode sub)) ~lo:0 ~hi:16)
+      | Ok _ -> Alcotest.fail "sub_line dropped the dyn fields"
+      | Error (msg, _) -> Alcotest.fail ("sub_line does not re-decode: " ^ msg))
 
 let test_request_ci_target () =
   let line extra =
@@ -445,6 +540,13 @@ let test_cache_key_semantics () =
     (key (algo_line "improved") <> key (algo_line "oblivious"));
   Alcotest.(check bool) "improved vs auto distinct" true
     (key (algo_line "improved") <> key (algo_line "auto"));
+  (* The index-policy families are distinct computations too. *)
+  Alcotest.(check bool) "lzf vs adaptive distinct" true
+    (key (algo_line "lzf") <> key (algo_line "adaptive"));
+  Alcotest.(check bool) "fixed vs lzf distinct" true
+    (key (algo_line "fixed") <> key (algo_line "lzf"));
+  Alcotest.(check bool) "fixed vs improved distinct" true
+    (key (algo_line "fixed") <> key (algo_line "improved"));
   match decode {|{"op":"stats"}|} with
   | Ok req ->
       Alcotest.(check (option string)) "stats uncacheable" None
@@ -1269,6 +1371,7 @@ let () =
           Alcotest.test_case "ci_target" `Quick test_request_ci_target;
           Alcotest.test_case "algo round-trip" `Quick
             test_request_algo_roundtrip;
+          Alcotest.test_case "dyn fields" `Quick test_request_dyn_fields;
         ] );
       ( "service",
         [

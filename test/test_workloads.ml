@@ -83,6 +83,89 @@ let test_figure1 () =
   Alcotest.(check bool) "independent" true
     (shape w.W.instance = Classify.Independent)
 
+let test_uunifast_calibration () =
+  let w =
+    W.uunifast (Rng.create 9) ~n:16 ~m:4 ~total_util:4.
+      ~dag:(Suu_dag.Dag.empty 16)
+  in
+  Alcotest.(check int) "n" 16 (Instance.n w.W.instance);
+  Alcotest.(check int) "m" 4 (Instance.m w.W.instance);
+  for i = 0 to 3 do
+    for j = 0 to 15 do
+      let p = Instance.prob w.W.instance ~machine:i ~job:j in
+      Alcotest.(check bool) "clamped" true (p >= 0.02 && p <= 1.)
+    done
+  done;
+  (* Same seed, same split: the generator is deterministic. *)
+  let w' =
+    W.uunifast (Rng.create 9) ~n:16 ~m:4 ~total_util:4.
+      ~dag:(Suu_dag.Dag.empty 16)
+  in
+  Alcotest.(check (float 0.)) "deterministic"
+    (Instance.prob w.W.instance ~machine:2 ~job:7)
+    (Instance.prob w'.W.instance ~machine:2 ~job:7)
+
+let test_uunifast_bad_util () =
+  let bad u =
+    Alcotest.check_raises
+      (Printf.sprintf "total_util %g rejected" u)
+      (Invalid_argument "Workload.uunifast: total_util must be in (0, n]")
+      (fun () ->
+        ignore
+          (W.uunifast (Rng.create 1) ~n:4 ~m:2 ~total_util:u
+             ~dag:(Suu_dag.Dag.empty 4)
+            : W.t))
+  in
+  bad 0.;
+  bad (-1.);
+  bad 4.5
+
+let test_arrivals_edge_cases () =
+  (* mean_gap = 0 (and negative) are rejected with a typed error. *)
+  let bad g =
+    Alcotest.check_raises
+      (Printf.sprintf "mean_gap %g rejected" g)
+      (Invalid_argument "Workload.arrivals: mean_gap must be > 0")
+      (fun () -> ignore (W.arrivals (Rng.create 1) ~n:4 ~mean_gap:g : int array))
+  in
+  bad 0.;
+  bad (-2.);
+  (* mean_gap < 1 clamps the geometric parameter at 1: job 0 still
+     arrives at step 0 and gaps stay >= 1 (integer steps). *)
+  let r = W.arrivals (Rng.create 2) ~n:12 ~mean_gap:0.25 in
+  Alcotest.(check int) "job 0 at step 0" 0 r.(0);
+  for j = 1 to 11 do
+    Alcotest.(check bool) "gaps >= 1" true (r.(j) >= r.(j - 1) + 1)
+  done;
+  (* Determinism in the generator. *)
+  let a = W.arrivals (Rng.create 3) ~n:8 ~mean_gap:2.5 in
+  let b = W.arrivals (Rng.create 3) ~n:8 ~mean_gap:2.5 in
+  Alcotest.(check (array int)) "deterministic" a b;
+  (* Releases are non-decreasing in job index, so for DAGs whose edges
+     point from lower to higher indices (all our generators) no job is
+     released before a predecessor. *)
+  let r = W.arrivals (Rng.create 4) ~n:20 ~mean_gap:3. in
+  for j = 1 to 19 do
+    Alcotest.(check bool) "monotone" true (r.(j) >= r.(j - 1))
+  done
+
+let test_churned_pairing () =
+  let w = W.grid_batch (Rng.create 11) ~n:10 ~m:6 in
+  let params = { Suu_dyn.Churn.default_params with seed = 5; rate = 0.2 } in
+  let d = W.churned (Rng.create 12) ~mean_gap:1.5 w params in
+  Alcotest.(check int) "one release per job" 10 (Array.length d.W.releases);
+  Alcotest.(check int) "timeline covers the machines" 6
+    (Suu_dyn.Churn.m d.W.churn);
+  Alcotest.(check bool) "description mentions churn" true
+    (String.length d.W.workload.W.description
+    > String.length w.W.description);
+  (* Deterministic: same rng seed and params, same environment. *)
+  let d' = W.churned (Rng.create 12) ~mean_gap:1.5 w params in
+  Alcotest.(check (array int)) "same releases" d.W.releases d'.W.releases;
+  Alcotest.(check bool) "same timeline" true
+    (Suu_dyn.Churn.down_steps d.W.churn ~upto:128
+    = Suu_dyn.Churn.down_steps d'.W.churn ~upto:128)
+
 let test_determinism () =
   let a = W.project (Rng.create 42) ~n:16 ~m:4 in
   let b = W.project (Rng.create 42) ~n:16 ~m:4 in
@@ -132,6 +215,15 @@ let () =
           Alcotest.test_case "adversarial spread" `Quick test_adversarial_spread;
           Alcotest.test_case "figure 1" `Quick test_figure1;
           Alcotest.test_case "determinism" `Quick test_determinism;
+        ] );
+      ( "dynamic",
+        [
+          Alcotest.test_case "uunifast calibration" `Quick
+            test_uunifast_calibration;
+          Alcotest.test_case "uunifast gate" `Quick test_uunifast_bad_util;
+          Alcotest.test_case "arrivals edge cases" `Quick
+            test_arrivals_edge_cases;
+          Alcotest.test_case "churned pairing" `Quick test_churned_pairing;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_all_generators_valid ]);
     ]
